@@ -1,0 +1,271 @@
+//! The Apriori algorithm of \[AS94\].
+//!
+//! Level-wise search: `L_1` from a counting pass, then repeatedly
+//! `C_k = apriori-gen(L_{k-1})` (join + subset prune), count `C_k` in one
+//! pass with a hash tree, keep the frequent ones as `L_k`, stop when empty.
+
+use crate::transaction::TransactionDb;
+use qar_itemset::HashTree;
+use std::collections::HashMap;
+
+/// A frequent itemset with its absolute support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// Sorted item ids.
+    pub items: Vec<u32>,
+    /// Number of transactions containing all items.
+    pub support: u64,
+}
+
+/// All frequent itemsets grouped by size, plus a support lookup table.
+#[derive(Debug, Clone, Default)]
+pub struct FrequentItemsets {
+    /// `by_size[k-1]` holds the frequent `k`-itemsets, sorted by items.
+    pub by_size: Vec<Vec<FrequentItemset>>,
+    support: HashMap<Vec<u32>, u64>,
+}
+
+impl FrequentItemsets {
+    /// Support count of an itemset (sorted ids), if frequent.
+    pub fn support_of(&self, items: &[u32]) -> Option<u64> {
+        self.support.get(items).copied()
+    }
+
+    /// Total number of frequent itemsets across all sizes.
+    pub fn total(&self) -> usize {
+        self.by_size.iter().map(|v| v.len()).sum()
+    }
+
+    /// Iterate over all frequent itemsets of size ≥ 1.
+    pub fn iter(&self) -> impl Iterator<Item = &FrequentItemset> {
+        self.by_size.iter().flatten()
+    }
+
+    fn push_level(&mut self, mut level: Vec<FrequentItemset>) {
+        level.sort_by(|a, b| a.items.cmp(&b.items));
+        for f in &level {
+            self.support.insert(f.items.clone(), f.support);
+        }
+        self.by_size.push(level);
+    }
+
+    /// Append a level (sorting it and indexing supports). Exposed for
+    /// sibling algorithms ([`crate::apriori_tid`](mod@crate::apriori_tid)) that build the same
+    /// result through different counting.
+    pub fn push_level_public(&mut self, level: Vec<FrequentItemset>) {
+        self.push_level(level);
+    }
+}
+
+/// `apriori-gen`: join `L_{k-1}` with itself on the first `k-2` items, then
+/// delete joins with an infrequent `(k-1)`-subset.
+///
+/// `prev` must be sorted by items (as produced by [`apriori`]).
+pub(crate) fn apriori_gen(prev: &[FrequentItemset]) -> Vec<Vec<u32>> {
+    let prev_set: std::collections::HashSet<&[u32]> =
+        prev.iter().map(|f| f.items.as_slice()).collect();
+    let mut candidates = Vec::new();
+    // Join: scan runs sharing the first k-2 items.
+    let mut run_start = 0;
+    while run_start < prev.len() {
+        let k1 = prev[run_start].items.len();
+        let prefix = &prev[run_start].items[..k1 - 1];
+        let mut run_end = run_start + 1;
+        while run_end < prev.len() && &prev[run_end].items[..k1 - 1] == prefix {
+            run_end += 1;
+        }
+        for i in run_start..run_end {
+            for j in (i + 1)..run_end {
+                let mut cand = prev[i].items.clone();
+                cand.push(prev[j].items[k1 - 1]);
+                // Subset prune: all (k-1)-subsets must be frequent. The two
+                // parents are, so only check subsets dropping one of the
+                // first k-1 positions... dropping position p for p < k-1
+                // (dropping the last gives parent i; dropping second-to-last
+                // gives parent j).
+                let frequent = (0..cand.len() - 2).all(|p| {
+                    let mut sub = cand.clone();
+                    sub.remove(p);
+                    prev_set.contains(sub.as_slice())
+                });
+                if frequent {
+                    candidates.push(cand);
+                }
+            }
+        }
+        run_start = run_end;
+    }
+    candidates
+}
+
+/// Run Apriori over `db` at fractional minimum support `minsup`.
+///
+/// ```
+/// use qar_apriori::{apriori, TransactionDb};
+///
+/// let db = TransactionDb::from_transactions(vec![
+///     vec![1, 3, 4],
+///     vec![2, 3, 5],
+///     vec![1, 2, 3, 5],
+///     vec![2, 5],
+/// ]);
+/// let frequent = apriori(&db, 0.5); // support >= 2 transactions
+/// // The classic AS94 example: {2,3,5} is the only frequent 3-itemset.
+/// assert_eq!(frequent.by_size[2].len(), 1);
+/// assert_eq!(frequent.by_size[2][0].items, vec![2, 3, 5]);
+/// assert_eq!(frequent.support_of(&[2, 3, 5]), Some(2));
+/// ```
+pub fn apriori(db: &TransactionDb, minsup: f64) -> FrequentItemsets {
+    let mut result = FrequentItemsets::default();
+    if db.is_empty() {
+        return result;
+    }
+    let min_count = db.support_count(minsup);
+
+    // Pass 1: plain array count of single items.
+    let mut counts = vec![0u64; db.num_items() as usize];
+    for t in db.iter() {
+        for &i in t {
+            counts[i as usize] += 1;
+        }
+    }
+    let l1: Vec<FrequentItemset> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= min_count)
+        .map(|(i, &c)| FrequentItemset {
+            items: vec![i as u32],
+            support: c,
+        })
+        .collect();
+    if l1.is_empty() {
+        return result;
+    }
+    result.push_level(l1);
+
+    // Passes k >= 2.
+    loop {
+        let prev = result.by_size.last().expect("pushed above");
+        let candidates = apriori_gen(prev);
+        if candidates.is_empty() {
+            break;
+        }
+        let mut tree: HashTree<u64> = HashTree::new();
+        for cand in &candidates {
+            tree.insert(cand.iter().map(|&i| i as u64).collect(), 0);
+        }
+        let mut record_buf: Vec<u64> = Vec::new();
+        for t in db.iter() {
+            record_buf.clear();
+            record_buf.extend(t.iter().map(|&i| i as u64));
+            tree.for_each_subset_of(&record_buf, |_, c| *c += 1);
+        }
+        let level: Vec<FrequentItemset> = tree
+            .into_entries()
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .map(|(key, c)| FrequentItemset {
+                items: key.into_iter().map(|i| i as u32).collect(),
+                support: c,
+            })
+            .collect();
+        if level.is_empty() {
+            break;
+        }
+        result.push_level(level);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn as94_db() -> TransactionDb {
+        // The worked example from the AS94 paper.
+        TransactionDb::from_transactions(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ])
+    }
+
+    #[test]
+    fn as94_worked_example() {
+        let f = apriori(&as94_db(), 0.5);
+        let l1: Vec<&[u32]> = f.by_size[0].iter().map(|x| x.items.as_slice()).collect();
+        assert_eq!(l1, vec![&[1][..], &[2], &[3], &[5]]);
+        let l2: Vec<&[u32]> = f.by_size[1].iter().map(|x| x.items.as_slice()).collect();
+        assert_eq!(l2, vec![&[1, 3][..], &[2, 3], &[2, 5], &[3, 5]]);
+        let l3: Vec<&[u32]> = f.by_size[2].iter().map(|x| x.items.as_slice()).collect();
+        assert_eq!(l3, vec![&[2, 3, 5][..]]);
+        assert_eq!(f.support_of(&[2, 5]), Some(3));
+        assert_eq!(f.support_of(&[1, 2]), None);
+        assert_eq!(f.total(), 4 + 4 + 1);
+    }
+
+    #[test]
+    fn supports_are_exact() {
+        let db = as94_db();
+        let f = apriori(&db, 0.25);
+        for itemset in f.iter() {
+            let recount = db
+                .iter()
+                .filter(|t| itemset.items.iter().all(|i| t.contains(i)))
+                .count() as u64;
+            assert_eq!(itemset.support, recount, "{:?}", itemset.items);
+        }
+    }
+
+    #[test]
+    fn anti_monotone_support() {
+        let f = apriori(&as94_db(), 0.25);
+        for level in f.by_size.iter().skip(1) {
+            for itemset in level {
+                for drop in 0..itemset.items.len() {
+                    let mut sub = itemset.items.clone();
+                    sub.remove(drop);
+                    let sub_sup = f.support_of(&sub).expect("subset must be frequent");
+                    assert!(sub_sup >= itemset.support);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_db_and_high_support() {
+        let empty = TransactionDb::from_transactions(vec![]);
+        assert_eq!(apriori(&empty, 0.5).total(), 0);
+        let db = as94_db();
+        let f = apriori(&db, 1.0);
+        assert_eq!(f.total(), 0); // no item is in all four transactions
+    }
+
+    #[test]
+    fn single_transaction() {
+        let db = TransactionDb::from_transactions(vec![vec![0, 1, 2]]);
+        let f = apriori(&db, 1.0);
+        assert_eq!(f.by_size.len(), 3);
+        assert_eq!(f.by_size[2][0].items, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn apriori_gen_join_and_prune() {
+        // L3 = {1,2,3}, {1,2,4}, {1,3,4}, {1,3,5}, {2,3,4}
+        // join -> {1,2,3,4} (from {1,2,3}+{1,2,4}), {1,3,4,5} (from {1,3,4}+{1,3,5})
+        // prune deletes {1,3,4,5} because {1,4,5} not in L3. (AS94 example.)
+        let l3: Vec<FrequentItemset> = [
+            vec![1, 2, 3],
+            vec![1, 2, 4],
+            vec![1, 3, 4],
+            vec![1, 3, 5],
+            vec![2, 3, 4],
+        ]
+        .into_iter()
+        .map(|items| FrequentItemset { items, support: 2 })
+        .collect();
+        let c4 = apriori_gen(&l3);
+        assert_eq!(c4, vec![vec![1, 2, 3, 4]]);
+    }
+}

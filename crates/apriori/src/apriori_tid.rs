@@ -1,0 +1,217 @@
+//! AprioriTid, the second algorithm of \[AS94\].
+//!
+//! Instead of scanning raw transactions on every pass, the database is
+//! rewritten after each pass into `C̄_k`: for every transaction, the list
+//! of candidate `k`-itemsets it contains. Pass `k+1` then intersects
+//! generator ids instead of matching items — cheaper in late passes when
+//! `C̄_k` shrinks far below the raw database.
+
+use crate::apriori::{apriori_gen, FrequentItemset, FrequentItemsets};
+use crate::transaction::TransactionDb;
+use std::collections::HashMap;
+
+/// Run AprioriTid over `db` at fractional minimum support `minsup`.
+/// Produces exactly the same [`FrequentItemsets`] as [`crate::apriori()`]
+/// (asserted by tests), by a different counting strategy.
+pub fn apriori_tid(db: &TransactionDb, minsup: f64) -> FrequentItemsets {
+    let mut result = FrequentItemsets::default();
+    if db.is_empty() {
+        return result;
+    }
+    let min_count = db.support_count(minsup);
+
+    // Pass 1: count single items; build C̄_1 (transaction -> item ids kept).
+    let mut counts = vec![0u64; db.num_items() as usize];
+    for t in db.iter() {
+        for &i in t {
+            counts[i as usize] += 1;
+        }
+    }
+    let l1: Vec<FrequentItemset> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= min_count)
+        .map(|(i, &c)| FrequentItemset {
+            items: vec![i as u32],
+            support: c,
+        })
+        .collect();
+    if l1.is_empty() {
+        return result;
+    }
+    push_sorted(&mut result, l1);
+
+    // C̄_1: per transaction, the contained frequent 1-itemsets as candidate
+    // ids (= positions in the level vector).
+    let frequent1: HashMap<u32, u32> = result.by_size[0]
+        .iter()
+        .enumerate()
+        .map(|(pos, f)| (f.items[0], pos as u32))
+        .collect();
+    let mut cbar: Vec<Vec<u32>> = db
+        .iter()
+        .map(|t| t.iter().filter_map(|i| frequent1.get(i).copied()).collect())
+        .collect();
+
+    loop {
+        let prev = result.by_size.last().expect("pushed above");
+        let candidates = apriori_gen(prev);
+        if candidates.is_empty() {
+            break;
+        }
+        // Each candidate k-itemset is the join of two (k-1)-itemsets
+        // (its generators): candidate = gen1 ∪ {last item of gen2}.
+        // Record generator positions within the previous level.
+        let prev_index: HashMap<&[u32], u32> = prev
+            .iter()
+            .enumerate()
+            .map(|(pos, f)| (f.items.as_slice(), pos as u32))
+            .collect();
+        struct Cand {
+            items: Vec<u32>,
+            gen1: u32,
+            gen2: u32,
+            count: u64,
+        }
+        let mut cands: Vec<Cand> = candidates
+            .into_iter()
+            .map(|items| {
+                let k = items.len();
+                let mut g1 = items.clone();
+                g1.remove(k - 1);
+                let mut g2 = items.clone();
+                g2.remove(k - 2);
+                Cand {
+                    gen1: prev_index[g1.as_slice()],
+                    gen2: prev_index[g2.as_slice()],
+                    items,
+                    count: 0,
+                }
+            })
+            .collect();
+        // Index candidates by gen1 for the per-transaction walk.
+        let mut by_gen1: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (pos, c) in cands.iter().enumerate() {
+            by_gen1.entry(c.gen1).or_default().push(pos as u32);
+        }
+
+        // One pass over C̄_{k-1}: a transaction supports a candidate iff it
+        // contains both generators.
+        let mut next_cbar: Vec<Vec<u32>> = Vec::with_capacity(cbar.len());
+        for prev_ids in &cbar {
+            let mut contained: Vec<u32> = Vec::new();
+            if prev_ids.len() >= 2 {
+                for &g1 in prev_ids {
+                    if let Some(cand_ids) = by_gen1.get(&g1) {
+                        for &cid in cand_ids {
+                            let cand = &cands[cid as usize];
+                            if prev_ids.binary_search(&cand.gen2).is_ok() {
+                                contained.push(cid);
+                            }
+                        }
+                    }
+                }
+            }
+            contained.sort_unstable();
+            for &cid in &contained {
+                cands[cid as usize].count += 1;
+            }
+            next_cbar.push(contained);
+        }
+
+        // Keep frequent candidates; remap C̄_k ids onto the kept level.
+        let mut keep_map: HashMap<u32, u32> = HashMap::new();
+        let mut level = Vec::new();
+        let mut kept_sorted: Vec<(Vec<u32>, u32, u64)> = cands
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.count >= min_count)
+            .map(|(pos, c)| (c.items.clone(), pos as u32, c.count))
+            .collect();
+        kept_sorted.sort();
+        for (new_pos, (items, old_pos, count)) in kept_sorted.into_iter().enumerate() {
+            keep_map.insert(old_pos, new_pos as u32);
+            level.push(FrequentItemset {
+                items,
+                support: count,
+            });
+        }
+        if level.is_empty() {
+            break;
+        }
+        for t in &mut next_cbar {
+            let mut remapped: Vec<u32> =
+                t.iter().filter_map(|cid| keep_map.get(cid).copied()).collect();
+            remapped.sort_unstable();
+            *t = remapped;
+        }
+        cbar = next_cbar;
+        push_sorted(&mut result, level);
+    }
+    result
+}
+
+fn push_sorted(result: &mut FrequentItemsets, level: Vec<FrequentItemset>) {
+    // FrequentItemsets::push_level is private to `apriori`; replicate the
+    // bookkeeping through the public surface.
+    result.push_level_public(level);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+
+    fn as94_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ])
+    }
+
+    #[test]
+    fn matches_apriori_on_as94_example() {
+        for minsup in [0.25, 0.5, 0.75, 1.0] {
+            let a = apriori(&as94_db(), minsup);
+            let t = apriori_tid(&as94_db(), minsup);
+            assert_eq!(a.by_size.len(), t.by_size.len(), "minsup {minsup}");
+            for (la, lt) in a.by_size.iter().zip(&t.by_size) {
+                assert_eq!(la, lt, "minsup {minsup}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_apriori_on_synthetic_data() {
+        // Deterministic pseudo-random transactions.
+        let mut state = 7u64;
+        let mut txns = Vec::new();
+        for _ in 0..300 {
+            let mut t = Vec::new();
+            for item in 0u32..20 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (state >> 33).is_multiple_of(5) {
+                    t.push(item);
+                }
+            }
+            txns.push(t);
+        }
+        let db = TransactionDb::from_transactions(txns);
+        for minsup in [0.02, 0.05, 0.1, 0.2] {
+            let a = apriori(&db, minsup);
+            let t = apriori_tid(&db, minsup);
+            assert_eq!(a.total(), t.total(), "minsup {minsup}");
+            for (la, lt) in a.by_size.iter().zip(&t.by_size) {
+                assert_eq!(la, lt, "minsup {minsup}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = TransactionDb::from_transactions(vec![]);
+        assert_eq!(apriori_tid(&db, 0.5).total(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Section 1.1: mapping the quantitative problem onto the boolean one.
+//!
+//! "Conceptually, instead of having just one field in the table for each
+//! attribute, we have as many fields as the number of attribute values" —
+//! each ⟨attribute, code⟩ pair becomes a boolean item, each record a
+//! transaction of exactly one item per attribute. The paper's "Mapping
+//! Woes" (MinSup and MinConf problems) make this a strawman: ranges are
+//! never combined, so low-support values and information-losing coarse
+//! intervals both hurt. The `baselines` bench measures exactly that.
+
+use crate::transaction::TransactionDb;
+use qar_table::{AttributeId, EncodedTable};
+
+/// How ⟨attribute, code⟩ pairs map to boolean item ids: items of attribute
+/// `a` occupy the dense id block starting at `base[a]`.
+#[derive(Debug, Clone)]
+pub struct BooleanMapping {
+    base: Vec<u32>,
+    num_items: u32,
+}
+
+impl BooleanMapping {
+    /// Derive the mapping from an encoded table's attribute cardinalities.
+    pub fn from_encoded(table: &EncodedTable) -> Self {
+        let mut base = Vec::with_capacity(table.schema().len());
+        let mut next = 0u32;
+        for (id, _) in table.schema().iter() {
+            base.push(next);
+            next += table.cardinality(id);
+        }
+        BooleanMapping {
+            base,
+            num_items: next,
+        }
+    }
+
+    /// The boolean item id of ⟨attribute, code⟩.
+    pub fn item_id(&self, attr: AttributeId, code: u32) -> u32 {
+        self.base[attr.index()] + code
+    }
+
+    /// Reverse lookup: which ⟨attribute, code⟩ does `item` denote?
+    pub fn decode(&self, item: u32) -> (AttributeId, u32) {
+        // base is sorted; find the last base <= item.
+        let attr = match self.base.binary_search(&item) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (AttributeId(attr), item - self.base[attr])
+    }
+
+    /// Total number of boolean items.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+}
+
+/// Map an encoded relational table to a transaction database (Figure 2 of
+/// the paper, generalized): one transaction per record, one item per
+/// attribute value.
+pub fn to_transactions(table: &EncodedTable) -> (TransactionDb, BooleanMapping) {
+    let mapping = BooleanMapping::from_encoded(table);
+    let n = table.num_rows();
+    let mut txns: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for row in 0..n {
+        let mut t = Vec::with_capacity(table.schema().len());
+        for (id, _) in table.schema().iter() {
+            t.push(mapping.item_id(id, table.codes(id)[row]));
+        }
+        txns.push(t);
+    }
+    (TransactionDb::from_transactions(txns), mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qar_table::{Schema, Table, Value};
+
+    fn people_encoded() -> EncodedTable {
+        let schema = Schema::builder()
+            .quantitative("age")
+            .categorical("married")
+            .quantitative("num_cars")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (age, married, cars) in [
+            (23, "No", 1),
+            (25, "Yes", 1),
+            (29, "No", 0),
+            (34, "Yes", 2),
+            (38, "Yes", 2),
+        ] {
+            t.push_row(&[Value::Int(age), Value::from(married), Value::Int(cars)])
+                .unwrap();
+        }
+        EncodedTable::encode_full_resolution(&t).unwrap()
+    }
+
+    #[test]
+    fn figure_2_shape() {
+        // Full-resolution people table: 5 age values + 2 married values +
+        // 3 num_cars values = 10 boolean items; one item per attribute per
+        // record.
+        let enc = people_encoded();
+        let (db, mapping) = to_transactions(&enc);
+        assert_eq!(mapping.num_items(), 10);
+        assert_eq!(db.len(), 5);
+        for t in db.iter() {
+            assert_eq!(t.len(), 3, "one item per attribute");
+        }
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let enc = people_encoded();
+        let mapping = BooleanMapping::from_encoded(&enc);
+        for (id, _) in enc.schema().iter() {
+            for code in 0..enc.cardinality(id) {
+                let item = mapping.item_id(id, code);
+                assert_eq!(mapping.decode(item), (id, code));
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_disjoint() {
+        let enc = people_encoded();
+        let mapping = BooleanMapping::from_encoded(&enc);
+        let mut seen = std::collections::HashSet::new();
+        for (id, _) in enc.schema().iter() {
+            for code in 0..enc.cardinality(id) {
+                assert!(seen.insert(mapping.item_id(id, code)), "id collision");
+            }
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn boolean_rules_match_paper_figure_2_discussion() {
+        // "the rule ⟨NumCars: 0⟩ ⇒ ⟨Married: No⟩ has 100% confidence"
+        // at full resolution.
+        let enc = people_encoded();
+        let (db, mapping) = to_transactions(&enc);
+        let frequent = crate::apriori::apriori(&db, 0.2); // support >= 1 record
+        let rules = crate::rulegen::generate_rules(&frequent, 0.99);
+        let married = enc.schema().id_of("married").unwrap();
+        let cars = enc.schema().id_of("num_cars").unwrap();
+        let cars0 = mapping.item_id(cars, 0); // code 0 == value 0
+        let married_no = mapping.item_id(married, 0); // "No" sorts first
+        assert!(
+            rules
+                .iter()
+                .any(|r| r.antecedent == vec![cars0] && r.consequent == vec![married_no]),
+            "expected ⟨NumCars:0⟩ ⇒ ⟨Married:No⟩ in {rules:?}"
+        );
+    }
+}

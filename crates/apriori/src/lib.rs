@@ -1,0 +1,30 @@
+//! # qar-apriori — boolean association rules (Agrawal & Srikant, VLDB '94)
+//!
+//! The quantitative miner "shares the basic structure of the algorithm for
+//! finding boolean association rules given in \[AS94\]", and the paper's
+//! Section 1.1 considers mapping the quantitative problem onto the boolean
+//! one as a strawman. This crate implements that foundation from scratch:
+//!
+//! * [`transaction`] — transaction databases (sorted item-id lists),
+//! * [`apriori`](mod@apriori) — the level-wise Apriori algorithm with hash-tree support
+//!   counting and the join + subset-prune candidate generation,
+//! * [`apriori_tid`](mod@apriori_tid) — the AprioriTid variant of \[AS94\], which rewrites
+//!   the database into candidate-id lists after the first pass,
+//! * [`rulegen`] — the "ap-genrules" fast rule generator with consequent
+//!   growing,
+//! * [`bridge`] — Section 1.1's mapping of an encoded relational table to a
+//!   boolean transaction database (one item per ⟨attribute, value⟩ pair),
+//!   used as the no-range-combining baseline in the benches.
+
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod apriori_tid;
+pub mod bridge;
+pub mod rulegen;
+pub mod transaction;
+
+pub use apriori::{apriori, FrequentItemset, FrequentItemsets};
+pub use apriori_tid::apriori_tid;
+pub use rulegen::{generate_rules, Rule};
+pub use transaction::TransactionDb;

@@ -1,0 +1,185 @@
+//! Rule generation: the fast "ap-genrules" procedure of \[AS94\].
+//!
+//! For each frequent itemset `f`, rules `f−c ⇒ c` are generated with
+//! growing consequents `c`. Confidence is antitone in the consequent
+//! (`conf = sup(f)/sup(f−c)`, and shrinking the antecedent can only raise
+//! its support), so consequents failing `minconf` are never extended.
+
+use crate::apriori::{apriori_gen, FrequentItemset, FrequentItemsets};
+
+/// A boolean association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Sorted item ids of the antecedent (non-empty).
+    pub antecedent: Vec<u32>,
+    /// Sorted item ids of the consequent (non-empty, disjoint).
+    pub consequent: Vec<u32>,
+    /// Absolute support count of `antecedent ∪ consequent`.
+    pub support: u64,
+    /// `support / support(antecedent)`.
+    pub confidence: f64,
+}
+
+fn difference(f: &[u32], c: &[u32]) -> Vec<u32> {
+    f.iter().filter(|i| !c.contains(i)).copied().collect()
+}
+
+/// Generate all rules meeting `minconf` from `frequent`, sorted by
+/// (antecedent, consequent) for deterministic output.
+pub fn generate_rules(frequent: &FrequentItemsets, minconf: f64) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    for level in frequent.by_size.iter().skip(1) {
+        for itemset in level {
+            // Seed consequents: single items.
+            let seeds: Vec<FrequentItemset> = itemset
+                .items
+                .iter()
+                .map(|&i| FrequentItemset {
+                    items: vec![i],
+                    support: 0, // support field unused for consequent bookkeeping
+                })
+                .collect();
+            grow_consequents(frequent, itemset, seeds, minconf, &mut rules);
+        }
+    }
+    rules.sort_by(|a, b| {
+        a.antecedent
+            .cmp(&b.antecedent)
+            .then_with(|| a.consequent.cmp(&b.consequent))
+    });
+    rules
+}
+
+fn grow_consequents(
+    frequent: &FrequentItemsets,
+    itemset: &FrequentItemset,
+    consequents: Vec<FrequentItemset>,
+    minconf: f64,
+    rules: &mut Vec<Rule>,
+) {
+    if consequents.is_empty() || consequents[0].items.len() >= itemset.items.len() {
+        return;
+    }
+    let mut passing = Vec::new();
+    for c in consequents {
+        let antecedent = difference(&itemset.items, &c.items);
+        let ant_sup = frequent
+            .support_of(&antecedent)
+            .expect("subsets of frequent itemsets are frequent");
+        let confidence = itemset.support as f64 / ant_sup as f64;
+        if confidence >= minconf {
+            rules.push(Rule {
+                antecedent,
+                consequent: c.items.clone(),
+                support: itemset.support,
+                confidence,
+            });
+            passing.push(c);
+        }
+    }
+    // Extend only the passing consequents (confidence is antitone).
+    let next = apriori_gen(&passing);
+    let next: Vec<FrequentItemset> = next
+        .into_iter()
+        .map(|items| FrequentItemset { items, support: 0 })
+        .collect();
+    grow_consequents(frequent, itemset, next, minconf, rules);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use crate::transaction::TransactionDb;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ])
+    }
+
+    #[test]
+    fn rules_satisfy_minconf_and_are_exact() {
+        let d = db();
+        let f = apriori(&d, 0.5);
+        let rules = generate_rules(&f, 0.6);
+        assert!(!rules.is_empty());
+        for r in &rules {
+            assert!(r.confidence >= 0.6, "{r:?}");
+            // Recount from the raw transactions.
+            let both = d
+                .iter()
+                .filter(|t| {
+                    r.antecedent.iter().all(|i| t.contains(i))
+                        && r.consequent.iter().all(|i| t.contains(i))
+                })
+                .count() as u64;
+            let ant = d
+                .iter()
+                .filter(|t| r.antecedent.iter().all(|i| t.contains(i)))
+                .count() as u64;
+            assert_eq!(r.support, both);
+            assert!((r.confidence - both as f64 / ant as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_rule_present() {
+        // {2,5} has support 3; {2} has support 3 => 2 ⇒ 5 with conf 1.0.
+        let f = apriori(&db(), 0.5);
+        let rules = generate_rules(&f, 0.9);
+        assert!(rules
+            .iter()
+            .any(|r| r.antecedent == vec![2] && r.consequent == vec![5] && r.confidence == 1.0));
+    }
+
+    #[test]
+    fn multi_item_consequents_generated() {
+        // From {2,3,5}: rule 3 ⇒ {2,5}: sup({2,3,5})=2, sup({3})=3, conf 2/3.
+        let f = apriori(&db(), 0.5);
+        let rules = generate_rules(&f, 0.6);
+        assert!(rules
+            .iter()
+            .any(|r| r.antecedent == vec![3] && r.consequent == vec![2, 5]));
+    }
+
+    #[test]
+    fn exhaustive_against_brute_force() {
+        // Every rule from every frequent itemset, brute force, must match.
+        let d = db();
+        let f = apriori(&d, 0.25);
+        let minconf = 0.5;
+        let fast = generate_rules(&f, minconf);
+        let mut brute = Vec::new();
+        for itemset in f.iter().filter(|x| x.items.len() >= 2) {
+            let k = itemset.items.len();
+            for mask in 1u32..(1 << k) - 1 {
+                let consequent: Vec<u32> = (0..k)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| itemset.items[i])
+                    .collect();
+                let antecedent = difference(&itemset.items, &consequent);
+                let conf = itemset.support as f64 / f.support_of(&antecedent).unwrap() as f64;
+                if conf >= minconf {
+                    brute.push((antecedent, consequent));
+                }
+            }
+        }
+        brute.sort();
+        let fast_pairs: Vec<(Vec<u32>, Vec<u32>)> = fast
+            .into_iter()
+            .map(|r| (r.antecedent, r.consequent))
+            .collect();
+        assert_eq!(fast_pairs, brute);
+    }
+
+    #[test]
+    fn high_minconf_prunes_everything() {
+        let f = apriori(&db(), 0.5);
+        let rules = generate_rules(&f, 1.01);
+        assert!(rules.is_empty());
+    }
+}

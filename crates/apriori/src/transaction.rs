@@ -1,0 +1,115 @@
+//! Transaction databases for the boolean association-rule setting.
+
+/// A set of transactions, each a sorted duplicate-free list of item ids.
+///
+/// ```
+/// use qar_apriori::TransactionDb;
+///
+/// let db = TransactionDb::from_transactions(vec![
+///     vec![1, 2, 5],
+///     vec![2, 4],
+///     vec![5, 2, 1], // unsorted input is normalized
+/// ]);
+/// assert_eq!(db.len(), 3);
+/// assert_eq!(db.transaction(2), &[1, 2, 5]);
+/// assert_eq!(db.num_items(), 6); // ids are dense 0..=5
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TransactionDb {
+    transactions: Vec<Vec<u32>>,
+    num_items: u32,
+}
+
+impl TransactionDb {
+    /// Build from raw transactions; each is sorted and deduplicated.
+    /// `num_items` becomes one past the largest id seen.
+    pub fn from_transactions(raw: Vec<Vec<u32>>) -> Self {
+        let mut num_items = 0;
+        let transactions = raw
+            .into_iter()
+            .map(|mut t| {
+                t.sort_unstable();
+                t.dedup();
+                if let Some(&max) = t.last() {
+                    num_items = num_items.max(max + 1);
+                }
+                t
+            })
+            .collect();
+        TransactionDb {
+            transactions,
+            num_items,
+        }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// One past the largest item id (the id domain size).
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// The `i`-th transaction (sorted, duplicate-free).
+    pub fn transaction(&self, i: usize) -> &[u32] {
+        &self.transactions[i]
+    }
+
+    /// Iterate over all transactions.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.transactions.iter().map(|t| t.as_slice())
+    }
+
+    /// Convert a fractional minimum support into an absolute record count
+    /// (rounded up, minimum 1).
+    pub fn support_count(&self, minsup_frac: f64) -> u64 {
+        assert!(
+            (0.0..=1.0).contains(&minsup_frac),
+            "minimum support must be a fraction"
+        );
+        ((minsup_frac * self.len() as f64).ceil() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let db = TransactionDb::from_transactions(vec![vec![3, 1, 3, 2]]);
+        assert_eq!(db.transaction(0), &[1, 2, 3]);
+        assert_eq!(db.num_items(), 4);
+    }
+
+    #[test]
+    fn support_count_rounds_up() {
+        let db = TransactionDb::from_transactions(vec![vec![0]; 10]);
+        assert_eq!(db.support_count(0.25), 3);
+        assert_eq!(db.support_count(0.3), 3);
+        assert_eq!(db.support_count(0.0), 1);
+        assert_eq!(db.support_count(1.0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn support_fraction_validated() {
+        let db = TransactionDb::from_transactions(vec![vec![0]]);
+        db.support_count(40.0);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = TransactionDb::from_transactions(vec![]);
+        assert!(db.is_empty());
+        assert_eq!(db.num_items(), 0);
+        assert_eq!(db.iter().count(), 0);
+    }
+}

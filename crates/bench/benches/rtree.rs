@@ -1,0 +1,67 @@
+//! Microbench: R*-tree construction (incremental vs. STR bulk load) and
+//! point queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qar_rtree::{RStarTree, Rect};
+
+fn rects(n: usize) -> Vec<(Rect, u32)> {
+    let mut state = 99u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) % 10_000) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let x = next();
+            let y = next();
+            (
+                Rect::new(&[x, y], &[x + next() / 100.0, y + next() / 100.0]),
+                i as u32,
+            )
+        })
+        .collect()
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let items = rects(20_000);
+    let mut group = c.benchmark_group("rtree");
+    group.sample_size(10);
+
+    group.bench_function("insert/20k", |b| {
+        b.iter(|| {
+            let mut tree = RStarTree::new();
+            for (r, v) in &items {
+                tree.insert(*r, *v);
+            }
+            black_box(tree.len())
+        })
+    });
+    group.bench_function("bulk_load/20k", |b| {
+        b.iter(|| black_box(RStarTree::bulk_load(items.clone()).len()))
+    });
+
+    let tree = RStarTree::bulk_load(items.clone());
+    let mut probe_state = 7u64;
+    let probes: Vec<[f64; 2]> = (0..10_000)
+        .map(|_| {
+            probe_state = probe_state.wrapping_mul(48271).wrapping_add(11);
+            [
+                ((probe_state >> 17) % 10_000) as f64,
+                ((probe_state >> 33) % 10_000) as f64,
+            ]
+        })
+        .collect();
+    group.bench_function("query_point/10k-on-20k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for p in &probes {
+                tree.query_point(p, |_| hits += 1);
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtree);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Figure 8: the effect of the interest level.
+//!
+//! "Figure 8 shows the fraction of rules identified as 'interesting' as
+//! the interest level was increased from 0 (equivalent to not having an
+//! interest measure) to 2", for four (minsup, minconf) combinations:
+//! (10%, 25%), (10%, 50%), (20%, 25%), (20%, 50%).
+//!
+//! Usage: `cargo run --release -p qar-bench --bin fig8 [records]`
+
+use qar_bench::experiments::{credit, records_arg, row, section6_config};
+use qar_core::{annotate_interest, mine_table, InterestConfig, InterestMode};
+
+fn main() {
+    let records = records_arg(500_000);
+    // K = 2 partial completeness for all runs (the paper reuses the
+    // Figure 7 partitioning machinery here).
+    let completeness = 2.0;
+    let combos = [(0.10, 0.25), (0.10, 0.50), (0.20, 0.25), (0.20, 0.50)];
+    let interest_levels: Vec<f64> = (0..=8).map(|i| i as f64 * 0.25).collect();
+
+    println!("Figure 8 — interest level sweep (% of rules found interesting)");
+    println!("dataset: simulated credit data, {records} records; maxsup = min(40%, 2x minsup), K = {completeness}\n");
+    let data = credit(records);
+
+    let mut widths = vec![6usize];
+    widths.extend(std::iter::repeat_n(9, combos.len()));
+    let mut header = vec!["R".to_string()];
+    header.extend(
+        combos
+            .iter()
+            .map(|&(s, c)| format!("{}%/{}%", (s * 100.0) as u32, (c * 100.0) as u32)),
+    );
+    println!("{}", row(&header, &widths));
+
+    // Mine once per combo; sweep the interest level over the same rules.
+    let outputs: Vec<_> = combos
+        .iter()
+        .map(|&(minsup, minconf)| {
+            let config = section6_config(minsup, minconf, completeness, None);
+            mine_table(&data.table, &config).expect("mining succeeds")
+        })
+        .collect();
+
+    for &level in &interest_levels {
+        let mut cells = vec![format!("{level:.2}")];
+        for out in &outputs {
+            let total = out.rules.len();
+            let n = if level == 0.0 {
+                total // no interest measure
+            } else {
+                annotate_interest(
+                    &out.rules,
+                    &out.frequent,
+                    &out.item_supports,
+                    &InterestConfig {
+                        level,
+                        mode: InterestMode::SupportOrConfidence,
+                        prune_candidates: false,
+                    },
+                )
+                .iter()
+                .filter(|v| v.interesting)
+                .count()
+            };
+            cells.push(if total == 0 {
+                "-".into()
+            } else {
+                format!("{:.1}", 100.0 * n as f64 / total as f64)
+            });
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    for (out, &(s, c)) in outputs.iter().zip(&combos) {
+        println!(
+            "total rules at minsup {}%, minconf {}%: {}",
+            (s * 100.0) as u32,
+            (c * 100.0) as u32,
+            out.rules.len()
+        );
+    }
+    println!("\npaper shape: % interesting decreases monotonically as R rises.");
+}

@@ -1,0 +1,19 @@
+//! # qar-bench — benchmark and experiment harness
+//!
+//! One binary per evaluation figure of the paper (`src/bin/`):
+//!
+//! * `fig7` — interesting-rule counts vs. partial completeness level,
+//! * `fig8` — % rules interesting vs. interest level,
+//! * `fig9` — scale-up with the number of records,
+//! * `ablation` — counting backend, partitioner, and interest-prune
+//!   ablations,
+//! * `baselines` — the Section 1.1 boolean-mapping strawman and the PS91
+//!   single-pair miner vs. the quantitative miner,
+//! * `smoke` — quick end-to-end diagnostic.
+//!
+//! Criterion microbenches live in `benches/`. Shared plumbing is in
+//! [`experiments`].
+
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,181 @@
+//! Candidate generation (Section 5.1): join, subset prune, interest prune.
+
+use crate::frequent::QuantFrequentItemsets;
+use qar_itemset::{Item, Itemset};
+use std::collections::HashSet;
+
+/// Join `L_{k-1}` with itself and subset-prune, returning `C_k`.
+///
+/// Join condition: "the lexicographically ordered first k−2 items are the
+/// same, and the attributes of the last two items are different". Two
+/// items of the same attribute can never co-occur in an itemset (records
+/// hold each attribute once), so same-attribute pairs are skipped rather
+/// than joined.
+///
+/// `prev` must be sorted (as [`QuantFrequentItemsets::push_level`]
+/// guarantees).
+pub fn generate_candidates(prev: &[(Itemset, u64)]) -> Vec<Itemset> {
+    if prev.is_empty() {
+        return Vec::new();
+    }
+    let k1 = prev[0].0.len();
+    debug_assert!(prev.iter().all(|(s, _)| s.len() == k1));
+    let prev_set: HashSet<&Itemset> = prev.iter().map(|(s, _)| s).collect();
+    let mut candidates = Vec::new();
+
+    let mut run_start = 0;
+    while run_start < prev.len() {
+        let prefix = &prev[run_start].0.items()[..k1 - 1];
+        let mut run_end = run_start + 1;
+        while run_end < prev.len() && &prev[run_end].0.items()[..k1 - 1] == prefix {
+            run_end += 1;
+        }
+        for i in run_start..run_end {
+            let last_i = prev[i].0.items()[k1 - 1];
+            for j in (i + 1)..run_end {
+                let last_j = prev[j].0.items()[k1 - 1];
+                if last_i.attr == last_j.attr {
+                    continue;
+                }
+                let mut items: Vec<Item> = prev[i].0.items().to_vec();
+                items.push(last_j);
+                let cand = Itemset::new(items);
+                // Subset prune: every (k-1)-subset must be frequent. The
+                // two parents are by construction; check the rest.
+                let keep = (0..cand.len() - 2).all(|p| prev_set.contains(&cand.without_index(p)));
+                if keep {
+                    candidates.push(cand);
+                }
+            }
+        }
+        run_start = run_end;
+    }
+    candidates
+}
+
+/// Interest Prune Phase (Lemma 5): items whose fractional support exceeds
+/// `1/R` cannot appear in any itemset whose support beats `R ×` expected,
+/// so delete them from `L_1` at the end of the first pass. Applies to
+/// quantitative items only (the lemma is stated for quantitative `x`;
+/// categorical single values are their own full information).
+pub fn interest_prune_level1(
+    level1: Vec<(Itemset, u64)>,
+    frequent: &QuantFrequentItemsets,
+    interest_level: f64,
+    is_quantitative: &dyn Fn(u32) -> bool,
+) -> Vec<(Itemset, u64)> {
+    let threshold = 1.0 / interest_level;
+    level1
+        .into_iter()
+        .filter(|(itemset, count)| {
+            let item = itemset.items()[0];
+            if !is_quantitative(item.attr) {
+                return true;
+            }
+            (*count as f64 / frequent.num_rows as f64) <= threshold
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(sets: &[&[(u32, u32, u32)]]) -> Vec<(Itemset, u64)> {
+        let mut v: Vec<(Itemset, u64)> = sets
+            .iter()
+            .map(|items| {
+                (
+                    items
+                        .iter()
+                        .map(|&(a, l, u)| Item::range(a, l, u))
+                        .collect::<Itemset>(),
+                    2,
+                )
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    #[test]
+    fn paper_join_example() {
+        // Section 5.1's example:
+        // L2 = {⟨Married:Yes⟩⟨Age:20..24⟩}, {⟨Married:Yes⟩⟨Age:20..29⟩},
+        //      {⟨Married:Yes⟩⟨NumCars:0..1⟩}, {⟨Age:20..29⟩⟨NumCars:0..1⟩}
+        // (attrs: age=0, married=1, cars=2; Yes=1.)
+        // Join yields the two 3-candidates with both age ranges; prune
+        // deletes the 20..24 one because {⟨Age:20..24⟩⟨NumCars:0..1⟩} ∉ L2.
+        let l2 = level(&[
+            &[(1, 1, 1), (0, 0, 0)], // Married:Yes, Age interval 0 (20..24)
+            &[(1, 1, 1), (0, 0, 1)], // Married:Yes, Age 0..1 (20..29)
+            &[(1, 1, 1), (2, 0, 1)], // Married:Yes, NumCars 0..1
+            &[(0, 0, 1), (2, 0, 1)], // Age 0..1, NumCars 0..1
+        ]);
+        let c3 = generate_candidates(&l2);
+        assert_eq!(c3.len(), 1);
+        let expected: Itemset = vec![
+            Item::range(0, 0, 1),
+            Item::value(1, 1),
+            Item::range(2, 0, 1),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(c3[0], expected);
+    }
+
+    #[test]
+    fn same_attribute_pairs_never_join() {
+        // Two ranges of the same attribute never form a 2-candidate.
+        let l1 = level(&[&[(0, 0, 1)], &[(0, 2, 3)], &[(1, 0, 0)]]);
+        let c2 = generate_candidates(&l1);
+        assert_eq!(c2.len(), 2); // each age range with the categorical item
+        assert!(c2.iter().all(|c| {
+            let attrs = c.attributes();
+            attrs.windows(2).all(|w| w[0] != w[1])
+        }));
+    }
+
+    #[test]
+    fn empty_and_single_input() {
+        assert!(generate_candidates(&[]).is_empty());
+        let l1 = level(&[&[(0, 0, 0)]]);
+        assert!(generate_candidates(&l1).is_empty());
+    }
+
+    #[test]
+    fn candidates_contain_all_frequent_supersets() {
+        // Completeness: C_k ⊇ every itemset whose (k-1)-subsets are all in
+        // L_{k-1}. Build a closed family and check.
+        let l2 = level(&[
+            &[(0, 0, 1), (1, 0, 0)],
+            &[(0, 0, 1), (2, 1, 1)],
+            &[(1, 0, 0), (2, 1, 1)],
+        ]);
+        let c3 = generate_candidates(&l2);
+        let expected: Itemset = vec![
+            Item::range(0, 0, 1),
+            Item::value(1, 0),
+            Item::value(2, 1),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(c3, vec![expected]);
+    }
+
+    #[test]
+    fn interest_prune_drops_wide_quantitative_items() {
+        let mut store = QuantFrequentItemsets::new(100);
+        let wide = Itemset::singleton(Item::range(0, 0, 9)); // support 95
+        let narrow = Itemset::singleton(Item::range(0, 2, 3)); // support 40
+        let cat = Itemset::singleton(Item::value(1, 0)); // support 95, categorical
+        let l1 = vec![(wide.clone(), 95), (narrow.clone(), 40), (cat.clone(), 95)];
+        store.push_level(l1.clone());
+        // R = 2: threshold 1/2 = 50 records.
+        let pruned = interest_prune_level1(l1, &store, 2.0, &|attr| attr == 0);
+        let kept: Vec<&Itemset> = pruned.iter().map(|(s, _)| s).collect();
+        assert!(!kept.contains(&&wide), "wide quantitative item must go");
+        assert!(kept.contains(&&narrow));
+        assert!(kept.contains(&&cat), "categorical items exempt");
+    }
+}

@@ -1,0 +1,262 @@
+//! Exporting mined rules to machine-readable formats (CSV and JSON).
+//!
+//! Both formats decode items back to original attribute names and value
+//! bounds, carry exact support counts, and include the interest verdict
+//! when one was computed. Hand-rolled writers — the rule structure is flat
+//! enough that a serialization framework would be pure dependency weight.
+
+use std::io::Write;
+
+use crate::interest::RuleInterest;
+use crate::rules::QuantRule;
+use qar_itemset::Item;
+use qar_table::{AttributeId, EncodedTable};
+
+fn item_fields(item: Item, table: &EncodedTable) -> (String, String) {
+    let id = AttributeId(item.attr as usize);
+    let name = table.schema().attribute(id).name().to_owned();
+    let range = table.encoder(id).describe_range(item.lo, item.hi);
+    (name, range)
+}
+
+fn side_to_string(items: &[Item], table: &EncodedTable) -> String {
+    items
+        .iter()
+        .map(|&i| {
+            let (name, range) = item_fields(i, table);
+            format!("{name}={range}")
+        })
+        .collect::<Vec<_>>()
+        .join(" & ")
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Write rules as CSV with the header
+/// `antecedent,consequent,support_count,support,confidence,interesting`.
+/// The `interesting` column is empty when no verdicts are supplied.
+pub fn rules_to_csv<W: Write>(
+    out: &mut W,
+    rules: &[QuantRule],
+    verdicts: Option<&[RuleInterest]>,
+    table: &EncodedTable,
+    num_rows: u64,
+) -> std::io::Result<()> {
+    if let Some(v) = verdicts {
+        assert_eq!(v.len(), rules.len(), "one verdict per rule");
+    }
+    writeln!(
+        out,
+        "antecedent,consequent,support_count,support,confidence,interesting"
+    )?;
+    for (i, rule) in rules.iter().enumerate() {
+        let interesting = match verdicts {
+            Some(v) => v[i].interesting.to_string(),
+            None => String::new(),
+        };
+        writeln!(
+            out,
+            "{},{},{},{:.6},{:.6},{}",
+            csv_escape(&side_to_string(rule.antecedent.items(), table)),
+            csv_escape(&side_to_string(rule.consequent.items(), table)),
+            rule.support,
+            rule.support as f64 / num_rows as f64,
+            rule.confidence,
+            interesting,
+        )?;
+    }
+    Ok(())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn items_to_json(items: &[Item], table: &EncodedTable) -> String {
+    let parts: Vec<String> = items
+        .iter()
+        .map(|&i| {
+            let (name, range) = item_fields(i, table);
+            let id = AttributeId(i.attr as usize);
+            match table.encoder(id).numeric_bounds(i.lo, i.hi) {
+                Some((lo, hi)) => format!(
+                    "{{\"attribute\":\"{}\",\"lo\":{lo},\"hi\":{hi}}}",
+                    json_escape(&name)
+                ),
+                None => format!(
+                    "{{\"attribute\":\"{}\",\"value\":\"{}\"}}",
+                    json_escape(&name),
+                    json_escape(&range)
+                ),
+            }
+        })
+        .collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Write rules as a JSON array. Quantitative items carry numeric `lo`/`hi`
+/// bounds; categorical items carry their `value` label.
+pub fn rules_to_json<W: Write>(
+    out: &mut W,
+    rules: &[QuantRule],
+    verdicts: Option<&[RuleInterest]>,
+    table: &EncodedTable,
+    num_rows: u64,
+) -> std::io::Result<()> {
+    if let Some(v) = verdicts {
+        assert_eq!(v.len(), rules.len(), "one verdict per rule");
+    }
+    writeln!(out, "[")?;
+    for (i, rule) in rules.iter().enumerate() {
+        let interesting = match verdicts {
+            Some(v) => format!(",\"interesting\":{}", v[i].interesting),
+            None => String::new(),
+        };
+        let comma = if i + 1 < rules.len() { "," } else { "" };
+        writeln!(
+            out,
+            "  {{\"antecedent\":{},\"consequent\":{},\"support_count\":{},\"support\":{:.6},\"confidence\":{:.6}{}}}{}",
+            items_to_json(rule.antecedent.items(), table),
+            items_to_json(rule.consequent.items(), table),
+            rule.support,
+            rule.support as f64 / num_rows as f64,
+            rule.confidence,
+            interesting,
+            comma,
+        )?;
+    }
+    writeln!(out, "]")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MinerConfig, PartitionSpec};
+    use crate::pipeline::mine_table;
+    use qar_table::{Schema, Table, Value};
+
+    fn mined() -> crate::pipeline::MiningOutput {
+        let schema = Schema::builder()
+            .quantitative("Age")
+            .categorical("Married")
+            .quantitative("NumCars")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (age, married, cars) in [
+            (23, "No", 1),
+            (25, "Yes", 1),
+            (29, "No", 0),
+            (34, "Yes", 2),
+            (38, "Yes", 2),
+        ] {
+            t.push_row(&[Value::Int(age), Value::from(married), Value::Int(cars)])
+                .unwrap();
+        }
+        mine_table(
+            &t,
+            &MinerConfig {
+                min_support: 0.4,
+                min_confidence: 0.5,
+                max_support: 1.0,
+                partitioning: PartitionSpec::None,
+                partition_strategy: Default::default(),
+                taxonomies: Default::default(),
+                interest: Some(crate::config::InterestConfig {
+                    level: 1.1,
+                    mode: crate::config::InterestMode::SupportOrConfidence,
+                    prune_candidates: false,
+                }),
+                max_itemset_size: 0,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_rule() {
+        let out = mined();
+        let mut buf = Vec::new();
+        rules_to_csv(
+            &mut buf,
+            &out.rules,
+            out.interest.as_deref(),
+            &out.encoded,
+            out.frequent.num_rows,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), out.rules.len() + 1);
+        assert!(lines[0].starts_with("antecedent,consequent,"));
+        // The headline rule appears with its exact numbers.
+        assert!(
+            text.contains("Age=34..38 & Married=Yes,NumCars=2,2,0.400000,1.000000"),
+            "{text}"
+        );
+        // Every data line has an interest verdict.
+        assert!(lines[1..]
+            .iter()
+            .all(|l| l.ends_with(",true") || l.ends_with(",false")));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let out = mined();
+        let mut buf = Vec::new();
+        rules_to_json(
+            &mut buf,
+            &out.rules,
+            out.interest.as_deref(),
+            &out.encoded,
+            out.frequent.num_rows,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Structural sanity without a JSON parser dependency: balanced
+        // brackets, one object per rule, correct key set.
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.matches("\"antecedent\"").count(), out.rules.len());
+        assert_eq!(text.matches("\"interesting\"").count(), out.rules.len());
+        assert!(text.contains("\"attribute\":\"NumCars\",\"lo\":2,\"hi\":2"));
+        assert!(text.contains("\"attribute\":\"Married\",\"value\":\"Yes\""));
+        // Object-comma discipline: no trailing comma before the closing ].
+        assert!(!text.contains("},\n]"));
+    }
+
+    #[test]
+    fn no_verdicts_leaves_column_empty() {
+        let out = mined();
+        let mut buf = Vec::new();
+        rules_to_csv(&mut buf, &out.rules, None, &out.encoded, 5).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().skip(1).all(|l| l.ends_with(',')));
+    }
+
+    #[test]
+    fn escaping_helpers() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

@@ -1,0 +1,43 @@
+//! # qar-core — mining quantitative association rules
+//!
+//! The primary contribution of Srikant & Agrawal, SIGMOD 1996, implemented
+//! end to end as the five-step decomposition of Section 2.1:
+//!
+//! 1. **Partition** each quantitative attribute (number of intervals from
+//!    the partial-completeness level, Section 3) — [`pipeline`] driving
+//!    `qar-partition`;
+//! 2. **Map** values/intervals to consecutive integers — `qar-table`'s
+//!    encoders;
+//! 3. **Find frequent itemsets**: frequent values/ranges per attribute
+//!    ([`frequent`], with the `max_support` range-combining cap), then the
+//!    level-wise search with super-candidate counting ([`mine`],
+//!    [`supercand`]) and the Lemma 5 interest prune ([`candidate`]);
+//! 4. **Generate rules** ([`rules`]);
+//! 5. **Identify interesting rules** with the greater-than-expected-value
+//!    measure, close ancestors, and specialization differences
+//!    ([`interest`]).
+//!
+//! [`pipeline::mine_table`] runs the whole thing; [`output`] renders rules
+//! back in terms of the original attribute values, like the paper's
+//! `⟨Age: 30..39⟩ and ⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩`.
+
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod config;
+pub mod export;
+pub mod frequent;
+pub mod interest;
+pub mod mine;
+pub mod naive;
+pub mod output;
+pub mod pipeline;
+pub mod rules;
+pub mod supercand;
+
+pub use config::{InterestConfig, InterestMode, MinerConfig, MinerError, PartitionSpec, PartitionStrategy};
+pub use frequent::QuantFrequentItemsets;
+pub use interest::{annotate_interest, RuleInterest};
+pub use mine::mine_encoded;
+pub use pipeline::{mine_table, MiningOutput, MiningStats};
+pub use rules::{generate_rules, QuantRule};

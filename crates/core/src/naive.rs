@@ -1,0 +1,150 @@
+//! A brute-force reference miner: exponential, obviously correct, used by
+//! tests to validate the real pipeline on small inputs.
+
+use crate::config::MinerConfig;
+use crate::frequent::{find_frequent_items, QuantFrequentItemsets};
+use qar_itemset::Itemset;
+use qar_table::{AttributeId, EncodedTable};
+
+/// Count an itemset's support by scanning every record.
+fn scan_support(table: &EncodedTable, itemset: &Itemset) -> u64 {
+    let mut record: Vec<u32> = vec![0; table.schema().len()];
+    let mut count = 0;
+    for row in 0..table.num_rows() {
+        for (a, slot) in record.iter_mut().enumerate() {
+            *slot = table.codes(AttributeId(a))[row];
+        }
+        if itemset.supported_by(&record) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Mine all frequent itemsets by exhaustive enumeration: every combination
+/// of frequent items over distinct attributes, each counted by a full
+/// scan. Only suitable for tiny tables.
+pub fn naive_mine(table: &EncodedTable, config: &MinerConfig) -> QuantFrequentItemsets {
+    let num_rows = table.num_rows() as u64;
+    let min_count = ((config.min_support * num_rows as f64).ceil() as u64).max(1);
+    let max_count = (config.max_support * num_rows as f64).floor() as u64;
+    let items = find_frequent_items(table, min_count, max_count);
+
+    let mut frequent = QuantFrequentItemsets::new(num_rows);
+    let mut current: Vec<(Itemset, u64)> = items
+        .items
+        .iter()
+        .map(|&(item, count)| (Itemset::singleton(item), count))
+        .collect();
+    while !current.is_empty() {
+        frequent.push_level(current.clone());
+        if config.max_itemset_size != 0
+            && frequent.levels.len() >= config.max_itemset_size
+        {
+            break;
+        }
+        let mut next = Vec::new();
+        for (itemset, _) in &current {
+            let max_attr = itemset.attributes().last().copied().expect("non-empty");
+            for &(item, _) in &items.items {
+                if item.attr <= max_attr {
+                    continue;
+                }
+                let mut members = itemset.items().to_vec();
+                members.push(item);
+                let candidate = Itemset::new(members);
+                let support = scan_support(table, &candidate);
+                if support >= min_count {
+                    next.push((candidate, support));
+                }
+            }
+        }
+        current = next;
+    }
+    frequent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionSpec;
+    use crate::mine::mine_encoded;
+    use qar_table::{Schema, Table, Value};
+
+    fn tiny_table() -> EncodedTable {
+        let schema = Schema::builder()
+            .quantitative("a")
+            .categorical("b")
+            .quantitative("c")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        let rows = [
+            (1, "x", 10),
+            (2, "x", 10),
+            (2, "y", 20),
+            (3, "y", 20),
+            (3, "x", 30),
+            (4, "y", 30),
+            (1, "x", 20),
+            (2, "y", 10),
+        ];
+        for (a, b, c) in rows {
+            t.push_row(&[Value::Int(a), Value::from(b), Value::Int(c)])
+                .unwrap();
+        }
+        EncodedTable::encode_full_resolution(&t).unwrap()
+    }
+
+    #[test]
+    fn naive_matches_real_miner() {
+        let enc = tiny_table();
+        for (minsup, maxsup) in [(0.2, 1.0), (0.3, 0.6), (0.5, 0.7), (0.125, 0.5)] {
+            let config = MinerConfig {
+                min_support: minsup,
+                min_confidence: 0.5,
+                max_support: maxsup,
+                partitioning: PartitionSpec::None,
+partition_strategy: Default::default(),
+taxonomies: Default::default(),
+                interest: None,
+                max_itemset_size: 0,
+            };
+            let naive = naive_mine(&enc, &config);
+            let (real, _) = mine_encoded(&enc, &config, None).unwrap();
+            assert_eq!(
+                naive.total(),
+                real.total(),
+                "minsup {minsup} maxsup {maxsup}: naive {} vs real {}",
+                naive.total(),
+                real.total()
+            );
+            for (itemset, count) in naive.iter() {
+                assert_eq!(
+                    real.support_of(itemset),
+                    Some(*count),
+                    "missing {itemset} at minsup {minsup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_support_agrees_with_counts() {
+        let enc = tiny_table();
+        let config = MinerConfig {
+            min_support: 0.25,
+            min_confidence: 0.5,
+            max_support: 1.0,
+            partitioning: PartitionSpec::None,
+partition_strategy: Default::default(),
+taxonomies: Default::default(),
+            interest: None,
+            max_itemset_size: 0,
+        };
+        let naive = naive_mine(&enc, &config);
+        for (itemset, count) in naive.iter() {
+            assert_eq!(scan_support(&enc, itemset), *count);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Seeded samplers: normal, lognormal, zipf, categorical — built on
+//! `rand`'s uniform primitives only, so the whole crate stays within the
+//! approved dependency set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Create the crate's standard deterministic RNG.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Standard normal via Box–Muller.
+pub fn normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Lognormal: `exp(N(mu, sigma))`.
+pub fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample an index from explicit (unnormalized) weights.
+pub fn categorical(rng: &mut StdRng, weights: &[f64]) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// A Zipf(s) sampler over `{0, .., n-1}` using a precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s > 0.0, "exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("non-empty");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank (0 = most probable).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+}
+
+/// Round `x` to the nearest multiple of `grid` (keeps distinct-value
+/// counts bounded so full-resolution encoding stays cheap).
+pub fn snap(x: f64, grid: f64) -> f64 {
+    (x / grid).round() * grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = rng(7);
+        let mut b = rng(7);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut a, 0.0, 1.0), normal(&mut b, 0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(42);
+        let n = 20000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_positive_and_skewed() {
+        let mut r = rng(1);
+        let samples: Vec<f64> = (0..5000).map(|_| lognormal(&mut r, 0.0, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[samples.len() / 2];
+        assert!(mean > median, "lognormal is right-skewed");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..30000 {
+            counts[categorical(&mut r, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac2 = counts[2] as f64 / 30000.0;
+        assert!((frac2 - 0.7).abs() < 0.02, "frac {frac2}");
+    }
+
+    #[test]
+    fn zipf_head_heavy() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng(3);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > 10 * counts[50].max(1));
+    }
+
+    #[test]
+    fn snap_rounds_to_grid() {
+        assert_eq!(snap(1234.0, 50.0), 1250.0);
+        assert_eq!(snap(1224.0, 50.0), 1200.0);
+        assert_eq!(snap(-77.0, 25.0), -75.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # qar-datagen — synthetic data for the experiments
+//!
+//! The paper's evaluation ran on a proprietary IBM dataset: 500,000
+//! records with five quantitative attributes (monthly-income,
+//! credit-limit, current-balance, year-to-date balance, year-to-date
+//! interest) and two categorical ones (employee-category,
+//! marital-status). That data is gone; [`credit`] generates a seeded
+//! stand-in with the same schema, lognormal-ish marginals and planted
+//! cross-attribute correlations, so every figure's sweep exercises the
+//! same code paths with the same qualitative behaviour (see DESIGN.md §5).
+//!
+//! Also here:
+//! * [`people`] — the worked-example People table of Figures 1 and 3,
+//! * [`quest`] — an IBM Quest-style basket generator for the boolean
+//!   Apriori benches,
+//! * [`planted`] — a generator that plants known quantitative rules and
+//!   reports them, used as a recovery oracle by the integration tests,
+//! * [`dist`] — the seeded samplers everything above draws from.
+
+#![warn(missing_docs)]
+
+pub mod credit;
+pub mod dist;
+pub mod people;
+pub mod planted;
+pub mod quest;
+
+pub use credit::{CreditConfig, CreditDataset};
+pub use people::people_table;
+pub use planted::{PlantedConfig, PlantedDataset, PlantedRule};
+pub use quest::{QuestConfig, QuestDataset};

@@ -1,0 +1,69 @@
+//! The worked-example "People" table of Figures 1 and 3.
+
+use qar_table::{Schema, Table, Value};
+
+/// The five-record People table the paper uses throughout:
+///
+/// | RecordID | Age | Married | NumCars |
+/// |----------|-----|---------|---------|
+/// | 100      | 23  | No      | 1       |
+/// | 200      | 25  | Yes     | 1       |
+/// | 300      | 29  | No      | 0       |
+/// | 400      | 34  | Yes     | 2       |
+/// | 500      | 38  | Yes     | 2       |
+///
+/// Attributes are named `Age`, `Married`, `NumCars` in that order.
+pub fn people_table() -> Table {
+    let schema = Schema::builder()
+        .quantitative("Age")
+        .categorical("Married")
+        .quantitative("NumCars")
+        .build()
+        .expect("static schema is valid");
+    let mut table = Table::new(schema);
+    for (age, married, cars) in [
+        (23, "No", 1),
+        (25, "Yes", 1),
+        (29, "No", 0),
+        (34, "Yes", 2),
+        (38, "Yes", 2),
+    ] {
+        table
+            .push_row(&[Value::Int(age), Value::from(married), Value::Int(cars)])
+            .expect("static rows are valid");
+    }
+    table
+}
+
+/// The Figure 3(b) partitioning of Age: `[20..24] [25..29] [30..34]
+/// [35..39]`, expressed as cut points for
+/// `AttributeEncoder::quant_intervals_from`.
+pub fn fig3_age_cuts() -> Vec<f64> {
+    vec![25.0, 30.0, 35.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_figure_1() {
+        let t = people_table();
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.schema().attribute_by_name("Age").unwrap().kind().name(), "quantitative");
+        assert_eq!(
+            t.schema().attribute_by_name("Married").unwrap().kind().name(),
+            "categorical"
+        );
+        assert_eq!(t.row(3).value(0), Value::Int(34));
+        assert_eq!(t.row(2).value(2), Value::Int(0));
+    }
+
+    #[test]
+    fn age_cuts_partition_into_figure_3b() {
+        let cuts = fig3_age_cuts();
+        assert_eq!(cuts.len(), 3); // four intervals
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

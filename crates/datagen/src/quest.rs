@@ -1,0 +1,173 @@
+//! An IBM Quest-style synthetic basket generator (the `T..I..D..` datasets
+//! of \[AS94\]), used by the boolean Apriori benches.
+//!
+//! Potentially-frequent itemsets are drawn with sizes around `avg_pattern
+//! _len` and head-heavy item popularity; each transaction is filled by
+//! sampling patterns (with corruption) until its target length is reached.
+
+use crate::dist::{rng, Zipf};
+use qar_apriori::TransactionDb;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generator parameters, mirroring the Quest naming: `T` = average
+/// transaction length, `I` = average pattern length, `D` = number of
+/// transactions, `N` = item universe, `L` = number of patterns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuestConfig {
+    /// Number of transactions (`D`).
+    pub num_transactions: usize,
+    /// Item universe size (`N`).
+    pub num_items: u32,
+    /// Average transaction length (`T`).
+    pub avg_transaction_len: usize,
+    /// Average potentially-frequent pattern length (`I`).
+    pub avg_pattern_len: usize,
+    /// Number of potentially-frequent patterns (`L`).
+    pub num_patterns: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QuestConfig {
+    /// T10.I4 over 1000 items with 200 patterns — a scaled-down version of
+    /// the classic T10.I4.D100K.
+    fn default() -> Self {
+        QuestConfig {
+            num_transactions: 10_000,
+            num_items: 1_000,
+            avg_transaction_len: 10,
+            avg_pattern_len: 4,
+            num_patterns: 200,
+            seed: 94,
+        }
+    }
+}
+
+/// The generated basket database plus the patterns that seeded it.
+pub struct QuestDataset {
+    /// Parameters used.
+    pub config: QuestConfig,
+    /// The transaction database.
+    pub db: TransactionDb,
+    /// The potentially-frequent patterns (sorted item lists).
+    pub patterns: Vec<Vec<u32>>,
+}
+
+fn sample_pattern(r: &mut StdRng, zipf: &Zipf, len: usize, num_items: u32) -> Vec<u32> {
+    let mut p = Vec::with_capacity(len);
+    while p.len() < len {
+        let item = (zipf.sample(r) as u32).min(num_items - 1);
+        if !p.contains(&item) {
+            p.push(item);
+        }
+    }
+    p.sort_unstable();
+    p
+}
+
+impl QuestDataset {
+    /// Generate a dataset.
+    pub fn generate(config: QuestConfig) -> Self {
+        assert!(config.num_items >= 2, "need an item universe");
+        assert!(config.avg_pattern_len >= 1);
+        let mut r = rng(config.seed);
+        let zipf = Zipf::new(config.num_items as usize, 0.9);
+
+        // Potentially-frequent patterns with Poisson-ish sizes around I.
+        let patterns: Vec<Vec<u32>> = (0..config.num_patterns)
+            .map(|_| {
+                let len = 1 + r.gen_range(0..config.avg_pattern_len * 2 - 1);
+                sample_pattern(&mut r, &zipf, len, config.num_items)
+            })
+            .collect();
+        // Pattern popularity is itself head-heavy.
+        let pattern_pick = Zipf::new(config.num_patterns, 0.8);
+
+        let mut txns = Vec::with_capacity(config.num_transactions);
+        for _ in 0..config.num_transactions {
+            let target = 1 + r.gen_range(0..config.avg_transaction_len * 2 - 1);
+            let mut t: Vec<u32> = Vec::with_capacity(target + 4);
+            while t.len() < target {
+                let pat = &patterns[pattern_pick.sample(&mut r)];
+                for &item in pat {
+                    // Corruption: drop each pattern item 25% of the time.
+                    if r.gen_range(0.0..1.0) < 0.75 {
+                        t.push(item);
+                    }
+                }
+                // Occasional random noise item.
+                if r.gen_range(0.0..1.0) < 0.1 {
+                    t.push(r.gen_range(0..config.num_items));
+                }
+            }
+            txns.push(t);
+        }
+        QuestDataset {
+            config,
+            db: TransactionDb::from_transactions(txns),
+            patterns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = QuestDataset::generate(QuestConfig {
+            num_transactions: 200,
+            ..QuestConfig::default()
+        });
+        let b = QuestDataset::generate(QuestConfig {
+            num_transactions: 200,
+            ..QuestConfig::default()
+        });
+        for i in 0..200 {
+            assert_eq!(a.db.transaction(i), b.db.transaction(i));
+        }
+    }
+
+    #[test]
+    fn shape_is_plausible() {
+        let d = QuestDataset::generate(QuestConfig {
+            num_transactions: 2_000,
+            ..QuestConfig::default()
+        });
+        assert_eq!(d.db.len(), 2_000);
+        let avg: f64 =
+            d.db.iter().map(|t| t.len()).sum::<usize>() as f64 / d.db.len() as f64;
+        // Post-dedup average sits near T (within a generous band).
+        assert!(avg > 4.0 && avg < 20.0, "avg transaction length {avg}");
+        assert!(d.patterns.len() == 200);
+    }
+
+    #[test]
+    fn frequent_patterns_actually_occur() {
+        // The most popular pattern should appear (as a subset) far more
+        // often than chance.
+        let d = QuestDataset::generate(QuestConfig {
+            num_transactions: 2_000,
+            ..QuestConfig::default()
+        });
+        let pat = &d.patterns[0];
+        let hits = d
+            .db
+            .iter()
+            .filter(|t| pat.iter().all(|i| t.contains(i)))
+            .count();
+        assert!(hits > 20, "pattern {pat:?} occurred only {hits} times");
+    }
+
+    #[test]
+    fn items_within_universe() {
+        let d = QuestDataset::generate(QuestConfig {
+            num_transactions: 500,
+            num_items: 50,
+            ..QuestConfig::default()
+        });
+        assert!(d.db.num_items() <= 50);
+    }
+}

@@ -1,0 +1,393 @@
+//! The hash tree of \[AS94\], used to find which candidate itemsets are
+//! contained in a record without testing every candidate.
+//!
+//! Keys are sorted sequences of abstract item ids (`u64`); every key in one
+//! tree must have the same length `k` (Apriori processes one candidate size
+//! per pass, and the quantitative miner builds one tree per categorical-part
+//! size). Interior nodes hash the next item id; leaves hold the candidate
+//! keys and their values.
+//!
+//! The subset walk follows the paper: at the root, hash every item of the
+//! record; at an interior node reached by hashing item `t[i]`, hash every
+//! item after `t[i]`; at a leaf, check the stored keys against the whole
+//! record. Because hash collisions can route two different record items into
+//! the same subtree, a leaf may be reached more than once per record — each
+//! leaf carries a visit stamp so its candidates are examined exactly once
+//! per walk (otherwise supports would be double-counted).
+
+const BRANCH: usize = 8;
+const LEAF_CAPACITY: usize = 8;
+
+fn bucket(id: u64) -> usize {
+    // Fibonacci hashing; cheap and good enough for dense small ids.
+    ((id.wrapping_mul(0x9E3779B97F4A7C15)) >> 32) as usize % BRANCH
+}
+
+#[derive(Debug, Clone)]
+enum Node<V> {
+    Leaf {
+        entries: Vec<(Vec<u64>, V)>,
+        stamp: u64,
+    },
+    Interior {
+        children: Vec<Option<Box<Node<V>>>>,
+    },
+}
+
+impl<V> Node<V> {
+    fn new_leaf() -> Self {
+        Node::Leaf {
+            entries: Vec::new(),
+            stamp: 0,
+        }
+    }
+}
+
+/// A hash tree mapping fixed-length sorted `u64` keys to values, supporting
+/// "visit every entry whose key is a subset of this record" in sublinear
+/// time.
+///
+/// ```
+/// use qar_itemset::HashTree;
+///
+/// let mut tree = HashTree::new();
+/// tree.insert(vec![1, 3], "a");
+/// tree.insert(vec![2, 5], "b");
+/// tree.insert(vec![3, 9], "c");
+/// let mut found = Vec::new();
+/// tree.for_each_subset_of(&[1, 2, 3, 9], |_, v| found.push(*v));
+/// found.sort();
+/// assert_eq!(found, ["a", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashTree<V> {
+    root: Node<V>,
+    key_len: Option<usize>,
+    len: usize,
+    walk_stamp: u64,
+}
+
+impl<V> Default for HashTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> HashTree<V> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        HashTree {
+            root: Node::new_leaf(),
+            key_len: None,
+            len: 0,
+            walk_stamp: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The uniform key length, once the first key was inserted.
+    pub fn key_len(&self) -> Option<usize> {
+        self.key_len
+    }
+
+    /// Insert `key` (sorted, strictly increasing) with `value`.
+    ///
+    /// Panics if the key is unsorted or its length differs from previously
+    /// inserted keys.
+    pub fn insert(&mut self, key: Vec<u64>, value: V) {
+        assert!(
+            key.windows(2).all(|w| w[0] < w[1]),
+            "keys must be sorted and duplicate-free"
+        );
+        match self.key_len {
+            None => self.key_len = Some(key.len()),
+            Some(k) => assert_eq!(k, key.len(), "all keys in a tree share one length"),
+        }
+        let key_len = key.len();
+        Self::insert_at(&mut self.root, key, value, 0, key_len);
+        self.len += 1;
+    }
+
+    fn insert_at(node: &mut Node<V>, key: Vec<u64>, value: V, depth: usize, key_len: usize) {
+        match node {
+            Node::Leaf { entries, .. } => {
+                entries.push((key, value));
+                // Split when over capacity, unless every key item is already
+                // consumed by the path (then the leaf just grows).
+                if entries.len() > LEAF_CAPACITY && depth < key_len {
+                    let moved = std::mem::take(entries);
+                    let mut children: Vec<Option<Box<Node<V>>>> =
+                        (0..BRANCH).map(|_| None).collect();
+                    for (k, v) in moved {
+                        let b = bucket(k[depth]);
+                        let child = children[b].get_or_insert_with(|| Box::new(Node::new_leaf()));
+                        Self::insert_at(child, k, v, depth + 1, key_len);
+                    }
+                    *node = Node::Interior { children };
+                }
+            }
+            Node::Interior { children } => {
+                let b = bucket(key[depth]);
+                let child = children[b].get_or_insert_with(|| Box::new(Node::new_leaf()));
+                Self::insert_at(child, key, value, depth + 1, key_len);
+            }
+        }
+    }
+
+    /// Visit every `(key, value)` whose key is a subset of `record`.
+    /// `record` must be sorted and duplicate-free. Values are borrowed
+    /// mutably so support counters can be incremented in place.
+    pub fn for_each_subset_of(&mut self, record: &[u64], mut visit: impl FnMut(&[u64], &mut V)) {
+        debug_assert!(record.windows(2).all(|w| w[0] < w[1]), "record must be sorted");
+        let Some(key_len) = self.key_len else { return };
+        if key_len > record.len() {
+            return;
+        }
+        self.walk_stamp += 1;
+        let stamp = self.walk_stamp;
+        Self::walk(&mut self.root, record, record, stamp, &mut visit);
+    }
+
+    fn walk(
+        node: &mut Node<V>,
+        full_record: &[u64],
+        remaining: &[u64],
+        walk_stamp: u64,
+        visit: &mut impl FnMut(&[u64], &mut V),
+    ) {
+        match node {
+            Node::Leaf { entries, stamp } => {
+                if *stamp == walk_stamp {
+                    return; // already examined for this record
+                }
+                *stamp = walk_stamp;
+                // Check against the FULL record, exactly as [AS94] states.
+                // Hash collisions can route the walk to this leaf through
+                // items other than a key's own, so the carried suffix may
+                // lack earlier key members; the full record never does.
+                for (key, value) in entries {
+                    if Self::is_subset(key, full_record) {
+                        visit(key, value);
+                    }
+                }
+            }
+            Node::Interior { children } => {
+                for (i, &id) in remaining.iter().enumerate() {
+                    if let Some(child) = &mut children[bucket(id)] {
+                        Self::walk(child, full_record, &remaining[i + 1..], walk_stamp, visit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Two-pointer subset check over sorted sequences.
+    fn is_subset(key: &[u64], within: &[u64]) -> bool {
+        let mut w = within.iter();
+        'outer: for k in key {
+            for x in w.by_ref() {
+                match x.cmp(k) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Iterate over all `(key, value)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u64], &V)> {
+        let mut stack = vec![&self.root];
+        std::iter::from_fn(move || loop {
+            let node = stack.pop()?;
+            match node {
+                Node::Leaf { entries, .. } => {
+                    if !entries.is_empty() {
+                        // Flatten lazily: push a sentinel-free approach by
+                        // returning entries through a nested iterator is
+                        // awkward without allocation; collect leaf refs.
+                        return Some(entries.iter().map(|(k, v)| (k.as_slice(), v)));
+                    }
+                }
+                Node::Interior { children } => {
+                    for child in children.iter().flatten() {
+                        stack.push(child);
+                    }
+                }
+            }
+        })
+        .flatten()
+    }
+
+    /// Consume the tree, yielding all `(key, value)` pairs.
+    pub fn into_entries(self) -> Vec<(Vec<u64>, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            match node {
+                Node::Leaf { entries, .. } => out.extend(entries),
+                Node::Interior { children } => {
+                    stack.extend(children.into_iter().flatten().map(|b| *b))
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: linear subset scan.
+    fn naive_subsets<'a>(entries: &'a [(Vec<u64>, u32)], record: &[u64]) -> Vec<&'a Vec<u64>> {
+        entries
+            .iter()
+            .filter(|(k, _)| k.iter().all(|i| record.contains(i)))
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_visits_nothing() {
+        let mut t: HashTree<u32> = HashTree::new();
+        let mut n = 0;
+        t.for_each_subset_of(&[1, 2, 3], |_, _| n += 1);
+        assert_eq!(n, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_length_keys_always_match() {
+        let mut t = HashTree::new();
+        t.insert(vec![], 1u32);
+        let mut hits = 0;
+        t.for_each_subset_of(&[5, 9], |_, v| {
+            hits += 1;
+            *v += 1;
+        });
+        t.for_each_subset_of(&[], |_, _| hits += 1);
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn exact_counts_no_double_visits() {
+        // Force many collisions with a tiny value domain and enough keys
+        // to trigger splits.
+        let mut t = HashTree::new();
+        let mut all = Vec::new();
+        for a in 0u64..12 {
+            for b in (a + 1)..12 {
+                t.insert(vec![a, b], 0u32);
+                all.push((vec![a, b], 0u32));
+            }
+        }
+        let record: Vec<u64> = (0..12).collect();
+        let mut visits = 0;
+        t.for_each_subset_of(&record, |_, v| {
+            *v += 1;
+            visits += 1;
+        });
+        assert_eq!(visits, all.len(), "every pair contained exactly once");
+        // Every value got exactly one increment.
+        let entries = t.into_entries();
+        assert!(entries.iter().all(|(_, v)| *v == 1));
+    }
+
+    #[test]
+    fn subsets_match_naive_reference() {
+        let mut t = HashTree::new();
+        let mut entries = Vec::new();
+        // 3-item keys over a domain of 15 with collisions.
+        let mut id = 0u32;
+        for a in 0u64..15 {
+            for b in (a + 1)..15 {
+                for c in (b + 1)..15 {
+                    if (a + 2 * b + 3 * c) % 7 == 0 {
+                        t.insert(vec![a, b, c], id);
+                        entries.push((vec![a, b, c], id));
+                        id += 1;
+                    }
+                }
+            }
+        }
+        for record in [
+            vec![0, 1, 2, 3, 4, 5, 6],
+            vec![2, 5, 7, 9, 11, 13],
+            vec![0, 14],
+            vec![],
+            (0..15).collect::<Vec<u64>>(),
+        ] {
+            let mut got: Vec<Vec<u64>> = Vec::new();
+            t.for_each_subset_of(&record, |k, _| got.push(k.to_vec()));
+            got.sort();
+            let mut want: Vec<Vec<u64>> = naive_subsets(&entries, &record)
+                .into_iter()
+                .cloned()
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "record {record:?}");
+        }
+    }
+
+    #[test]
+    fn record_shorter_than_keys_is_cheap_no_match() {
+        let mut t = HashTree::new();
+        t.insert(vec![1, 2, 3], ());
+        let mut n = 0;
+        t.for_each_subset_of(&[1, 2], |_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_key_rejected() {
+        let mut t = HashTree::new();
+        t.insert(vec![3, 1], ());
+    }
+
+    #[test]
+    #[should_panic(expected = "one length")]
+    fn mixed_key_lengths_rejected() {
+        let mut t = HashTree::new();
+        t.insert(vec![1], ());
+        t.insert(vec![1, 2], ());
+    }
+
+    #[test]
+    fn iter_and_into_entries_agree() {
+        let mut t = HashTree::new();
+        for i in 0u64..40 {
+            t.insert(vec![i, i + 100], i as u32);
+        }
+        assert_eq!(t.len(), 40);
+        let mut via_iter: Vec<u32> = t.iter().map(|(_, v)| *v).collect();
+        via_iter.sort();
+        let mut via_into: Vec<u32> = t.into_entries().into_iter().map(|(_, v)| v).collect();
+        via_into.sort();
+        assert_eq!(via_iter, via_into);
+        assert_eq!(via_iter.len(), 40);
+    }
+
+    #[test]
+    fn duplicate_keys_both_stored() {
+        let mut t = HashTree::new();
+        t.insert(vec![1, 2], "a");
+        t.insert(vec![1, 2], "b");
+        let mut hits = Vec::new();
+        t.for_each_subset_of(&[1, 2, 3], |_, v| hits.push(*v));
+        hits.sort();
+        assert_eq!(hits, vec!["a", "b"]);
+    }
+}

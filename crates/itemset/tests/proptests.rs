@@ -1,0 +1,152 @@
+//! Property tests: the hash tree must agree with a naive subset scan, and
+//! the two counting backends must agree with each other and with a direct
+//! per-record scan.
+
+use proptest::prelude::*;
+use qar_itemset::{CounterKind, HashTree, Item, Itemset, RectCounter};
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hash-tree subset enumeration == brute force, under heavy collisions.
+    #[test]
+    fn hash_tree_equals_naive(
+        keys in prop::collection::btree_set(
+            prop::collection::btree_set(0u64..30, 3), 1..120),
+        records in prop::collection::vec(
+            prop::collection::btree_set(0u64..30, 0..15), 1..20),
+    ) {
+        let keys: Vec<Vec<u64>> = keys.into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let mut tree = HashTree::new();
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(k.clone(), i);
+        }
+        for record in &records {
+            let rec: Vec<u64> = record.iter().copied().collect();
+            let mut got: Vec<usize> = Vec::new();
+            tree.for_each_subset_of(&rec, |_, &mut i| got.push(i));
+            got.sort_unstable();
+            let want: Vec<usize> = keys.iter().enumerate()
+                .filter(|(_, k)| k.iter().all(|x| record.contains(x)))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Array counting == R*-tree counting == naive scan on random rects and
+    /// points.
+    #[test]
+    fn counters_agree_with_naive(
+        dims in prop::collection::vec(2u32..12, 1..4),
+        rect_seeds in prop::collection::vec((0u32..12, 0u32..12, 0u32..12, 0u32..12), 1..25),
+        point_seeds in prop::collection::vec((0u32..12, 0u32..12, 0u32..12), 1..80),
+    ) {
+        let d = dims.len();
+        let rects: Vec<(Vec<u32>, Vec<u32>)> = rect_seeds.iter().map(|&(a, b, c, e)| {
+            let seeds = [a, b, c, e];
+            let mut lo = Vec::with_capacity(d);
+            let mut hi = Vec::with_capacity(d);
+            for j in 0..d {
+                let x = seeds[j % 4] % dims[j];
+                let y = seeds[(j + 1) % 4] % dims[j];
+                lo.push(x.min(y));
+                hi.push(x.max(y));
+            }
+            (lo, hi)
+        }).collect();
+        let points: Vec<Vec<u32>> = point_seeds.iter().map(|&(a, b, c)| {
+            let seeds = [a, b, c];
+            (0..d).map(|j| seeds[j % 3] % dims[j]).collect()
+        }).collect();
+
+        let mut array = RectCounter::build_with(CounterKind::Array, &dims, rects.clone());
+        let mut rtree = RectCounter::build_with(CounterKind::RTree, &dims, rects.clone());
+        for p in &points {
+            array.count_record(p);
+            rtree.count_record(p);
+        }
+        let ca = array.finish();
+        let cr = rtree.finish();
+        let naive: Vec<u64> = rects.iter().map(|(lo, hi)| {
+            points.iter()
+                .filter(|p| (0..d).all(|j| lo[j] <= p[j] && p[j] <= hi[j]))
+                .count() as u64
+        }).collect();
+        prop_assert_eq!(&ca, &naive);
+        prop_assert_eq!(&cr, &naive);
+    }
+
+    /// Generalization is a partial order on same-attribute itemsets.
+    #[test]
+    fn generalization_is_partial_order(
+        ranges_a in prop::collection::vec((0u32..20, 0u32..20), 1..5),
+        deltas in prop::collection::vec((0u32..3, 0u32..3), 1..5),
+    ) {
+        prop_assume!(ranges_a.len() == deltas.len());
+        let a: Itemset = ranges_a.iter().enumerate()
+            .map(|(i, &(x, y))| Item::range(i as u32, x.min(y), x.max(y)))
+            .collect();
+        // b widens every range of a => b generalizes a.
+        let b: Itemset = a.items().iter().zip(&deltas)
+            .map(|(item, &(dl, dr))| {
+                Item::range(item.attr, item.lo.saturating_sub(dl), item.hi + dr)
+            })
+            .collect();
+        prop_assert!(b.generalizes(&a));
+        // Reflexive.
+        prop_assert!(a.generalizes(&a));
+        // Antisymmetric: mutual generalization implies equality.
+        if a.generalizes(&b) {
+            prop_assert_eq!(&a, &b);
+        }
+        // c widening b keeps transitivity.
+        let c: Itemset = b.items().iter()
+            .map(|item| Item::range(item.attr, item.lo.saturating_sub(1), item.hi + 1))
+            .collect();
+        prop_assert!(c.generalizes(&a));
+    }
+
+    /// `supported_by` is monotone under generalization: if a record
+    /// supports X, it supports every generalization of X.
+    #[test]
+    fn support_monotone_under_generalization(
+        record in prop::collection::vec(0u32..20, 3),
+        ranges in prop::collection::vec((0u32..20, 0u32..20), 3),
+    ) {
+        let x: Itemset = ranges.iter().enumerate()
+            .map(|(i, &(a, b))| Item::range(i as u32, a.min(b), a.max(b)))
+            .collect();
+        let wider: Itemset = x.items().iter()
+            .map(|i| Item::range(i.attr, i.lo.saturating_sub(2), i.hi + 2))
+            .collect();
+        if x.supported_by(&record) {
+            prop_assert!(wider.supported_by(&record));
+        }
+    }
+
+    /// Hash-tree visit counts are exact (each contained key once) even for
+    /// adversarial records; validated by counting into values.
+    #[test]
+    fn hash_tree_counts_are_exact(
+        keys in prop::collection::btree_set(
+            prop::collection::btree_set(0u64..16, 2), 1..60),
+        record in prop::collection::btree_set(0u64..16, 0..16),
+    ) {
+        let mut tree = HashTree::new();
+        let keys: Vec<Vec<u64>> = keys.into_iter().map(|s| s.into_iter().collect()).collect();
+        for k in &keys {
+            tree.insert(k.clone(), 0u32);
+        }
+        let rec: Vec<u64> = record.iter().copied().collect();
+        tree.for_each_subset_of(&rec, |_, v| *v += 1);
+        let rec_set: BTreeSet<u64> = record;
+        for (k, v) in tree.into_entries() {
+            let contained = k.iter().all(|x| rec_set.contains(x));
+            prop_assert_eq!(v, u32::from(contained), "key {:?}", k);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The partial-completeness measure (Section 3).
+//!
+//! Partitioning loses information; partial completeness quantifies it. A set
+//! of itemsets `P` is *K-complete* w.r.t. the set of all frequent itemsets
+//! `C` if every `X ∈ C` has a generalization `X̂ ∈ P` whose support is at
+//! most `K·support(X)` — and the same holds for corresponding subsets
+//! (Section 3.1). Lemma 3 ties the level to the maximum support of a base
+//! interval; Lemma 4 shows equi-depth partitioning minimizes it.
+
+/// Parameters of the partial-completeness computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialCompleteness {
+    /// Number of quantitative attributes that can appear together in a rule
+    /// (`n` in the paper; use the schema's quantitative attribute count
+    /// unless rules are known to involve fewer).
+    pub num_quantitative: usize,
+    /// Minimum support as a fraction in `(0, 1]` (`m` in the paper).
+    pub minsup: f64,
+}
+
+impl PartialCompleteness {
+    /// Equation (2): the number of equi-depth intervals needed per
+    /// quantitative attribute to guarantee partial completeness level
+    /// `level` (K):
+    ///
+    /// ```text
+    /// intervals = 2n / (m * (K - 1))
+    /// ```
+    ///
+    /// rounded *up* (fewer intervals would exceed the target level).
+    /// Returns an error for `level <= 1` (K = 1 means no information loss,
+    /// which partitioning cannot achieve) or a `minsup` outside `(0, 1]`.
+    pub fn intervals_for_level(&self, level: f64) -> Result<usize, CompletenessError> {
+        // `!(level > 1)` rather than `level <= 1` so NaN is rejected too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(level > 1.0) {
+            return Err(CompletenessError::LevelTooLow(level));
+        }
+        if !(self.minsup > 0.0 && self.minsup <= 1.0) {
+            return Err(CompletenessError::BadMinsup(self.minsup));
+        }
+        if self.num_quantitative == 0 {
+            return Ok(0);
+        }
+        let raw = 2.0 * self.num_quantitative as f64 / (self.minsup * (level - 1.0));
+        Ok(raw.ceil() as usize)
+    }
+
+    /// Equation (1): the partial completeness level achieved when the
+    /// maximum fractional support of any base interval *containing more
+    /// than one value* is `max_interval_support`:
+    ///
+    /// ```text
+    /// K = 1 + 2n·s / m
+    /// ```
+    pub fn level_for_max_support(&self, max_interval_support: f64) -> f64 {
+        1.0 + 2.0 * self.num_quantitative as f64 * max_interval_support / self.minsup
+    }
+}
+
+/// Convenience wrapper over [`PartialCompleteness::intervals_for_level`].
+pub fn num_intervals(
+    num_quantitative: usize,
+    minsup: f64,
+    level: f64,
+) -> Result<usize, CompletenessError> {
+    PartialCompleteness {
+        num_quantitative,
+        minsup,
+    }
+    .intervals_for_level(level)
+}
+
+/// The level a concrete partitioning achieves over concrete data
+/// (Equation 1 applied to measured interval supports).
+///
+/// * `interval_supports` — for each attribute, the fractional support of
+///   each base interval *paired with* whether the interval holds more than
+///   one distinct value. Single-value intervals are exempt per Lemma 2
+///   ("either the support of B is less than minsup·(K−1)/2 or B consists of
+///   a single value").
+pub fn achieved_level(
+    num_quantitative: usize,
+    minsup: f64,
+    interval_supports: &[Vec<(f64, bool)>],
+) -> f64 {
+    let s = interval_supports
+        .iter()
+        .flatten()
+        .filter(|(_, multi)| *multi)
+        .map(|(sup, _)| *sup)
+        .fold(0.0_f64, f64::max);
+    PartialCompleteness {
+        num_quantitative,
+        minsup,
+    }
+    .level_for_max_support(s)
+}
+
+/// Errors from the completeness formulas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompletenessError {
+    /// The requested level was ≤ 1.
+    LevelTooLow(f64),
+    /// `minsup` was outside `(0, 1]`.
+    BadMinsup(f64),
+}
+
+impl std::fmt::Display for CompletenessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompletenessError::LevelTooLow(k) => {
+                write!(f, "partial completeness level must exceed 1 (got {k})")
+            }
+            CompletenessError::BadMinsup(m) => {
+                write!(f, "minimum support must be a fraction in (0, 1] (got {m})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompletenessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_2_matches_paper_parameters() {
+        // Section 6: 5 quantitative attributes, minsup 20 %. At K = 1.5 the
+        // formula gives 2·5/(0.2·0.5) = 100 intervals.
+        assert_eq!(num_intervals(5, 0.2, 1.5).unwrap(), 100);
+        assert_eq!(num_intervals(5, 0.2, 2.0).unwrap(), 50);
+        assert_eq!(num_intervals(5, 0.2, 3.0).unwrap(), 25);
+        assert_eq!(num_intervals(5, 0.2, 5.0).unwrap(), 13); // 12.5 rounded up
+    }
+
+    #[test]
+    fn equation_1_and_2_are_inverse() {
+        let pc = PartialCompleteness {
+            num_quantitative: 3,
+            minsup: 0.1,
+        };
+        // With exactly the support bound from Lemma 3 the level round-trips.
+        for k in [1.5, 2.0, 4.0] {
+            let intervals = pc.intervals_for_level(k).unwrap();
+            let s = 1.0 / intervals as f64; // equi-depth: each interval 1/intervals
+            let achieved = pc.level_for_max_support(s);
+            assert!(
+                achieved <= k + 1e-9,
+                "achieved {achieved} must not exceed requested {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn level_must_exceed_one() {
+        assert_eq!(
+            num_intervals(2, 0.1, 1.0).unwrap_err(),
+            CompletenessError::LevelTooLow(1.0)
+        );
+        assert!(num_intervals(2, 0.1, 0.5).is_err());
+        assert!(num_intervals(2, 0.1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn minsup_validated() {
+        assert_eq!(
+            num_intervals(2, 0.0, 2.0).unwrap_err(),
+            CompletenessError::BadMinsup(0.0)
+        );
+        assert!(num_intervals(2, 1.5, 2.0).is_err());
+    }
+
+    #[test]
+    fn zero_quantitative_attributes_need_no_intervals() {
+        assert_eq!(num_intervals(0, 0.2, 2.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn achieved_level_ignores_single_value_intervals() {
+        // One attribute; a single-value interval with huge support must not
+        // count (Lemma 2's exemption), the two-value interval must.
+        let sups = vec![vec![(0.6, false), (0.1, true)]];
+        let k = achieved_level(1, 0.2, &sups);
+        assert!((k - (1.0 + 2.0 * 0.1 / 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn achieved_level_takes_max_over_attributes() {
+        let sups = vec![vec![(0.05, true)], vec![(0.2, true)]];
+        let k = achieved_level(2, 0.1, &sups);
+        assert!((k - (1.0 + 2.0 * 2.0 * 0.2 / 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_intervals_means_lower_level() {
+        let pc = PartialCompleteness {
+            num_quantitative: 4,
+            minsup: 0.05,
+        };
+        let k_few = pc.level_for_max_support(1.0 / 10.0);
+        let k_many = pc.level_for_max_support(1.0 / 100.0);
+        assert!(k_many < k_few);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CompletenessError::LevelTooLow(1.0).to_string().contains("exceed 1"));
+        assert!(CompletenessError::BadMinsup(2.0).to_string().contains("(0, 1]"));
+    }
+}

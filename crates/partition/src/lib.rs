@@ -1,0 +1,33 @@
+//! # qar-partition — partitioning quantitative attributes (Section 3)
+//!
+//! Decides *whether* to partition a quantitative attribute, *how many*
+//! partitions to use, and *where* to cut:
+//!
+//! * [`completeness`] — the partial-completeness measure: Equation (2)
+//!   (number of intervals for a desired level `K`), Equation (1) (the level
+//!   a given partitioning achieves), and an executable check of the
+//!   `K`-completeness definition used by the property tests.
+//! * [`partitioner`] — cut-point strategies: [`EquiDepth`] (the paper's
+//!   choice, optimal by Lemma 4), [`EquiWidth`] (baseline for the ablation),
+//!   and [`KMeans1D`] (the clustering approach the paper's future-work
+//!   section suggests for skewed data).
+//! * [`range_completeness`] — the *range-based* partial completeness
+//!   measure sketched in the paper's conclusion, with its interval-count
+//!   formula and an executable cover guarantee.
+//!
+//! Cut points are plain `Vec<f64>` consumed by
+//! `qar_table::AttributeEncoder::quant_intervals_from`.
+//!
+//! [`EquiDepth`]: partitioner::EquiDepth
+//! [`EquiWidth`]: partitioner::EquiWidth
+//! [`KMeans1D`]: partitioner::KMeans1D
+
+#![warn(missing_docs)]
+
+pub mod completeness;
+pub mod partitioner;
+pub mod range_completeness;
+
+pub use completeness::{achieved_level, num_intervals, PartialCompleteness};
+pub use range_completeness::{achieved_range_level, range_intervals};
+pub use partitioner::{EquiDepth, EquiWidth, KMeans1D, Partitioner};

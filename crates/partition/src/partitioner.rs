@@ -1,0 +1,357 @@
+//! Cut-point strategies for quantitative attributes.
+//!
+//! All partitioners return *cut points*: a strictly increasing `Vec<f64>` of
+//! length `k-1` for (at most) `k` intervals, where a value `v` falls in
+//! interval `i` iff `cuts[i-1] <= v < cuts[i]` (with the obvious open ends).
+//! Equal data values can never be separated, so a partitioner may return
+//! fewer cuts than requested when the data has heavy duplication.
+
+/// A strategy for choosing cut points over one quantitative column.
+pub trait Partitioner {
+    /// Compute cut points splitting `values` into at most `k` intervals.
+    ///
+    /// `values` need not be sorted; implementations sort internally.
+    /// Returns an empty vector when `k <= 1` or all values are equal.
+    fn cut_points(&self, values: &[f64], k: usize) -> Vec<f64>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn sorted(values: &[f64]) -> Vec<f64> {
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+/// Midpoint between two adjacent distinct values — cut points sit strictly
+/// between data values so interval membership is unambiguous.
+fn midpoint(a: f64, b: f64) -> f64 {
+    a + (b - a) / 2.0
+}
+
+/// Equi-depth partitioning: each interval receives (as close as possible to)
+/// the same number of *records*. The paper proves (Lemma 4) this minimizes
+/// the partial completeness level for a given interval count, because it
+/// minimizes the maximum interval support.
+///
+/// Ties: a run of equal values cannot be split, so the cut after a
+/// quantile boundary lands at the end of the run. With highly skewed data
+/// this can produce fewer than `k` intervals (the paper's future-work
+/// section discusses exactly this weakness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EquiDepth;
+
+impl Partitioner for EquiDepth {
+    fn cut_points(&self, values: &[f64], k: usize) -> Vec<f64> {
+        let n = values.len();
+        if k <= 1 || n < 2 {
+            return Vec::new();
+        }
+        let v = sorted(values);
+        let mut cuts = Vec::with_capacity(k - 1);
+        for j in 1..k {
+            // Records [0, target) should land left of cut j.
+            let target = (j * n) / k;
+            if target == 0 || target >= n {
+                continue;
+            }
+            // Can't cut inside a run of equal values: advance to the run end.
+            let mut pos = target;
+            while pos < n && v[pos] == v[target - 1] {
+                pos += 1;
+            }
+            if pos >= n {
+                continue;
+            }
+            let cut = midpoint(v[pos - 1], v[pos]);
+            if cuts.last().is_none_or(|&last| cut > last) {
+                cuts.push(cut);
+            }
+        }
+        cuts
+    }
+
+    fn name(&self) -> &'static str {
+        "equi-depth"
+    }
+}
+
+/// Equi-width partitioning: the value range `[min, max]` is split into `k`
+/// intervals of equal width. Baseline for the partitioning ablation — the
+/// paper notes it handles skew poorly (a few intervals soak up most
+/// records, raising the achieved partial-completeness level).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EquiWidth;
+
+impl Partitioner for EquiWidth {
+    fn cut_points(&self, values: &[f64], k: usize) -> Vec<f64> {
+        if k <= 1 || values.len() < 2 {
+            return Vec::new();
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // `!(max > min)` rather than `max <= min` so NaN bails out too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(max > min) {
+            return Vec::new();
+        }
+        let width = (max - min) / k as f64;
+        let mut cuts = Vec::with_capacity(k - 1);
+        for j in 1..k {
+            let cut = min + width * j as f64;
+            if cuts.last().is_none_or(|&last| cut > last) && cut > min && cut < max {
+                cuts.push(cut);
+            }
+        }
+        cuts
+    }
+
+    fn name(&self) -> &'static str {
+        "equi-width"
+    }
+}
+
+/// One-dimensional k-means (Lloyd's algorithm over sorted data with
+/// quantile initialization). The paper's conclusion suggests clustering for
+/// skewed data: "Equi-depth partitioning may not work very well on highly
+/// skewed data ... It may be worth exploring the use of clustering
+/// algorithms \[JD88\] for partitioning".
+///
+/// Deterministic: initialization is by quantiles, not random seeding, so
+/// repeated runs agree.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeans1D {
+    /// Maximum Lloyd iterations (convergence is typically much faster).
+    pub max_iterations: usize,
+}
+
+impl Default for KMeans1D {
+    fn default() -> Self {
+        KMeans1D { max_iterations: 64 }
+    }
+}
+
+impl Partitioner for KMeans1D {
+    fn cut_points(&self, values: &[f64], k: usize) -> Vec<f64> {
+        let n = values.len();
+        if k <= 1 || n < 2 {
+            return Vec::new();
+        }
+        let v = sorted(values);
+        if v[0] == v[n - 1] {
+            return Vec::new();
+        }
+        // Quantile init, deduplicated.
+        let mut centers: Vec<f64> = (0..k).map(|j| v[(j * n + n / 2) / k]).collect();
+        centers.dedup();
+        let mut boundaries: Vec<usize> = Vec::new(); // index of first element of each cluster but the first
+        for _ in 0..self.max_iterations {
+            // Assign: in 1-D with sorted data, cluster boundaries are where
+            // the midpoint between adjacent centers falls.
+            let mut new_boundaries = Vec::with_capacity(centers.len() - 1);
+            for w in centers.windows(2) {
+                let mid = midpoint(w[0], w[1]);
+                new_boundaries.push(v.partition_point(|&x| x < mid));
+            }
+            // Update centers as cluster means.
+            let mut new_centers = Vec::with_capacity(centers.len());
+            let mut start = 0usize;
+            for &end in new_boundaries.iter().chain(std::iter::once(&n)) {
+                if end > start {
+                    let mean = v[start..end].iter().sum::<f64>() / (end - start) as f64;
+                    new_centers.push(mean);
+                }
+                start = end;
+            }
+            new_centers.dedup();
+            let converged = new_boundaries == boundaries && new_centers.len() == centers.len();
+            boundaries = new_boundaries;
+            centers = new_centers;
+            if converged {
+                break;
+            }
+        }
+        // Convert cluster boundaries to cut points between distinct values.
+        let mut cuts = Vec::new();
+        for &b in &boundaries {
+            if b == 0 || b >= n || v[b - 1] == v[b] {
+                continue;
+            }
+            let cut = midpoint(v[b - 1], v[b]);
+            if cuts.last().is_none_or(|&last| cut > last) {
+                cuts.push(cut);
+            }
+        }
+        cuts
+    }
+
+    fn name(&self) -> &'static str {
+        "kmeans-1d"
+    }
+}
+
+/// Fractional support of each interval induced by `cuts` over `values`,
+/// paired with whether the interval contains more than one distinct value —
+/// the exact input `qar_partition::achieved_level` expects.
+pub fn interval_supports(values: &[f64], cuts: &[f64]) -> Vec<(f64, bool)> {
+    let n = values.len();
+    let k = cuts.len() + 1;
+    let mut counts = vec![0usize; k];
+    let mut first_value = vec![f64::NAN; k];
+    let mut multi = vec![false; k];
+    for &v in values {
+        let idx = cuts.partition_point(|&c| c <= v);
+        counts[idx] += 1;
+        if first_value[idx].is_nan() {
+            first_value[idx] = v;
+        } else if first_value[idx] != v {
+            multi[idx] = true;
+        }
+    }
+    counts
+        .into_iter()
+        .zip(multi)
+        .map(|(c, m)| (if n == 0 { 0.0 } else { c as f64 / n as f64 }, m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depth_counts(values: &[f64], cuts: &[f64]) -> Vec<usize> {
+        let k = cuts.len() + 1;
+        let mut counts = vec![0usize; k];
+        for &v in values {
+            counts[cuts.partition_point(|&c| c <= v)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn equi_depth_splits_uniform_data_evenly() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cuts = EquiDepth.cut_points(&values, 4);
+        assert_eq!(cuts.len(), 3);
+        assert_eq!(depth_counts(&values, &cuts), vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn equi_depth_cannot_split_ties() {
+        // 90 copies of 1.0 and ten distinct tail values: at most 2 useful cuts.
+        let mut values = vec![1.0; 90];
+        values.extend((2..12).map(|i| i as f64));
+        let cuts = EquiDepth.cut_points(&values, 4);
+        // All cuts must be > 1.0 (the run can't be split).
+        assert!(cuts.iter().all(|&c| c > 1.0));
+        let counts = depth_counts(&values, &cuts);
+        assert_eq!(counts[0], 90);
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn equi_depth_handles_degenerate_inputs() {
+        assert!(EquiDepth.cut_points(&[], 4).is_empty());
+        assert!(EquiDepth.cut_points(&[1.0], 4).is_empty());
+        assert!(EquiDepth.cut_points(&[1.0, 1.0, 1.0], 4).is_empty());
+        assert!(EquiDepth.cut_points(&[1.0, 2.0], 1).is_empty());
+    }
+
+    #[test]
+    fn equi_depth_unsorted_input() {
+        let values = vec![5.0, 1.0, 3.0, 2.0, 4.0, 6.0];
+        let cuts = EquiDepth.cut_points(&values, 2);
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(depth_counts(&values, &cuts), vec![3, 3]);
+    }
+
+    #[test]
+    fn equi_width_splits_range_evenly() {
+        let values: Vec<f64> = vec![0.0, 10.0];
+        let cuts = EquiWidth.cut_points(&values, 4);
+        assert_eq!(cuts, vec![2.5, 5.0, 7.5]);
+    }
+
+    #[test]
+    fn equi_width_skew_pathology() {
+        // 99 values near 0 and one at 100: equi-width piles everything into
+        // the first interval; equi-depth spreads records.
+        let mut values: Vec<f64> = (0..99).map(|i| i as f64 / 100.0).collect();
+        values.push(100.0);
+        let w = EquiWidth.cut_points(&values, 4);
+        let d = EquiDepth.cut_points(&values, 4);
+        let w_max = depth_counts(&values, &w).into_iter().max().unwrap();
+        let d_max = depth_counts(&values, &d).into_iter().max().unwrap();
+        assert!(w_max > d_max, "equi-width max {w_max} <= equi-depth max {d_max}");
+        assert_eq!(d_max, 25);
+    }
+
+    #[test]
+    fn equi_width_constant_column() {
+        assert!(EquiWidth.cut_points(&[3.0, 3.0, 3.0], 5).is_empty());
+    }
+
+    #[test]
+    fn kmeans_finds_obvious_clusters() {
+        let mut values = Vec::new();
+        values.extend((0..50).map(|i| 0.0 + i as f64 * 0.01));
+        values.extend((0..50).map(|i| 100.0 + i as f64 * 0.01));
+        let cuts = KMeans1D::default().cut_points(&values, 2);
+        assert_eq!(cuts.len(), 1);
+        assert!(cuts[0] > 1.0 && cuts[0] < 100.0, "cut {} not in gap", cuts[0]);
+    }
+
+    #[test]
+    fn kmeans_degenerate_inputs() {
+        assert!(KMeans1D::default().cut_points(&[], 3).is_empty());
+        assert!(KMeans1D::default().cut_points(&[2.0, 2.0], 3).is_empty());
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let values: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64).collect();
+        let a = KMeans1D::default().cut_points(&values, 7);
+        let b = KMeans1D::default().cut_points(&values, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interval_supports_sum_to_one_and_flag_multis() {
+        let values = vec![1.0, 1.0, 2.0, 3.0, 3.0, 3.0];
+        let cuts = vec![2.5];
+        let sups = interval_supports(&values, &cuts);
+        assert_eq!(sups.len(), 2);
+        let total: f64 = sups.iter().map(|(s, _)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(sups[0], (0.5, true)); // {1,1,2}: two distinct values
+        assert_eq!(sups[1], (0.5, false)); // {3,3,3}: single value
+    }
+
+    #[test]
+    fn cut_points_strictly_increasing_for_all_partitioners() {
+        let values: Vec<f64> = (0..500).map(|i| ((i * 17) % 83) as f64).collect();
+        for p in [
+            &EquiDepth as &dyn Partitioner,
+            &EquiWidth,
+            &KMeans1D::default(),
+        ] {
+            for k in [2, 3, 10, 50] {
+                let cuts = p.cut_points(&values, k);
+                assert!(
+                    cuts.windows(2).all(|w| w[0] < w[1]),
+                    "{} k={k} produced non-increasing cuts",
+                    p.name()
+                );
+                assert!(cuts.len() < k);
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(EquiDepth.name(), "equi-depth");
+        assert_eq!(EquiWidth.name(), "equi-width");
+        assert_eq!(KMeans1D::default().name(), "kmeans-1d");
+    }
+}

@@ -1,0 +1,148 @@
+//! Range-based partial completeness — the first future-work item of the
+//! paper's conclusion:
+//!
+//! > "We may generate a partial completeness measure based on the range of
+//! > the attributes in the rules. (For any rule, we will have a
+//! > generalization such that the range of each attribute is at most K
+//! > times the range of the corresponding attribute in the original
+//! > rule.)"
+//!
+//! Where the support-based measure of Section 3 bounds how much *support*
+//! a closest generalization may gain, this measure bounds how much wider
+//! its *ranges* may be. The two behave differently on skewed data: a
+//! support bound lets intervals stretch across sparse value regions, a
+//! range bound does not.
+//!
+//! For equi-width base intervals of width `w`, any value range of width at
+//! least `r_min` generalizes to a union of whole intervals of width at
+//! most `r + 2w ≤ r (1 + 2w/r_min)`; requiring that to be ≤ `K·r` yields
+//!
+//! ```text
+//! w ≤ r_min (K − 1) / 2      ⇔      intervals ≥ 2·D / (r_min (K − 1))
+//! ```
+//!
+//! with `D` the attribute's domain width — the exact analogue of
+//! Equation (2) with the support quantum replaced by a range quantum.
+
+use crate::completeness::CompletenessError;
+
+/// Number of equi-width intervals needed so that every value range of
+/// width ≥ `min_rule_range` has a whole-interval cover of width at most
+/// `level ×` its own (range-based K-completeness).
+///
+/// * `domain_width` — `max − min` of the attribute (must be positive);
+/// * `min_rule_range` — the narrowest rule range the guarantee must hold
+///   for (must be positive and ≤ `domain_width`);
+/// * `level` — the range-completeness level `K > 1`.
+pub fn range_intervals(
+    domain_width: f64,
+    min_rule_range: f64,
+    level: f64,
+) -> Result<usize, CompletenessError> {
+    // `!(level > 1)` rather than `level <= 1` so NaN is rejected too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(level > 1.0) {
+        return Err(CompletenessError::LevelTooLow(level));
+    }
+    assert!(
+        domain_width > 0.0 && min_rule_range > 0.0 && min_rule_range <= domain_width,
+        "need 0 < min_rule_range <= domain_width"
+    );
+    let raw = 2.0 * domain_width / (min_rule_range * (level - 1.0));
+    Ok((raw.ceil() as usize).max(1))
+}
+
+/// The range-completeness level achieved by equi-width intervals of width
+/// `interval_width` for rules of range at least `min_rule_range`
+/// (Equation 1's analogue): `K = 1 + 2w / r_min`.
+pub fn achieved_range_level(interval_width: f64, min_rule_range: f64) -> f64 {
+    assert!(interval_width >= 0.0 && min_rule_range > 0.0);
+    1.0 + 2.0 * interval_width / min_rule_range
+}
+
+/// The tightest whole-interval cover of `[lo, hi]` for equi-width
+/// intervals of width `w` starting at `origin`: returns the cover's
+/// `(lo, hi)`. Used by the property tests to verify the guarantee.
+pub fn snap_to_intervals(lo: f64, hi: f64, origin: f64, w: f64) -> (f64, f64) {
+    assert!(w > 0.0 && hi >= lo);
+    let snapped_lo = origin + ((lo - origin) / w).floor() * w;
+    let snapped_hi = origin + ((hi - origin) / w).ceil() * w;
+    (snapped_lo, snapped_hi.max(snapped_lo + w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_hand_computation() {
+        // Domain 100 wide, rules at least 10 wide, K = 2:
+        // 2·100 / (10·1) = 20 intervals (width 5).
+        assert_eq!(range_intervals(100.0, 10.0, 2.0).unwrap(), 20);
+        // K = 3 halves the requirement.
+        assert_eq!(range_intervals(100.0, 10.0, 3.0).unwrap(), 10);
+        // Non-divisible cases round up.
+        assert_eq!(range_intervals(100.0, 7.0, 2.0).unwrap(), 29);
+    }
+
+    #[test]
+    fn level_too_low_rejected() {
+        assert!(range_intervals(10.0, 1.0, 1.0).is_err());
+        assert!(range_intervals(10.0, 1.0, 0.5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_rule_range")]
+    fn degenerate_domain_rejected() {
+        let _ = range_intervals(5.0, 10.0, 2.0);
+    }
+
+    #[test]
+    fn achieved_level_is_consistent_with_interval_count() {
+        let domain = 100.0;
+        let r_min = 10.0;
+        for k in [1.5, 2.0, 4.0] {
+            let m = range_intervals(domain, r_min, k).unwrap();
+            let w = domain / m as f64;
+            let achieved = achieved_range_level(w, r_min);
+            assert!(
+                achieved <= k + 1e-9,
+                "K requested {k}, achieved {achieved} with {m} intervals"
+            );
+        }
+    }
+
+    #[test]
+    fn snapped_cover_contains_and_respects_bound() {
+        // Exhaustively check the guarantee over a grid of ranges.
+        let domain = 100.0;
+        let r_min = 8.0;
+        let k = 2.0;
+        let m = range_intervals(domain, r_min, k).unwrap();
+        let w = domain / m as f64;
+        let mut lo = 0.0;
+        while lo < domain - r_min {
+            let mut width = r_min;
+            while lo + width <= domain {
+                let (c_lo, c_hi) = snap_to_intervals(lo, lo + width, 0.0, w);
+                assert!(c_lo <= lo && lo + width <= c_hi, "cover must contain");
+                let ratio = (c_hi - c_lo) / width;
+                assert!(
+                    ratio <= k + 1e-9,
+                    "range [{lo}, {}] covered by [{c_lo}, {c_hi}]: ratio {ratio}",
+                    lo + width
+                );
+                width += 3.7;
+            }
+            lo += 2.3;
+        }
+    }
+
+    #[test]
+    fn snap_basic_cases() {
+        assert_eq!(snap_to_intervals(12.0, 18.0, 0.0, 5.0), (10.0, 20.0));
+        assert_eq!(snap_to_intervals(10.0, 20.0, 0.0, 5.0), (10.0, 20.0));
+        // Degenerate range still gets one full interval.
+        assert_eq!(snap_to_intervals(12.0, 12.0, 0.0, 5.0), (10.0, 15.0));
+    }
+}

@@ -1,0 +1,102 @@
+//! A linear-scan rectangle index: the correctness oracle for the R*-tree
+//! and the "no index" baseline in the counting ablation.
+
+use crate::rect::Rect;
+
+/// Stores `(Rect, T)` pairs in a vector and answers queries by scanning.
+/// O(n) per query, trivially correct.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveRectIndex<T> {
+    items: Vec<(Rect, T)>,
+}
+
+impl<T> NaiveRectIndex<T> {
+    /// An empty index.
+    pub fn new() -> Self {
+        NaiveRectIndex { items: Vec::new() }
+    }
+
+    /// Add one rectangle.
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        self.items.push((rect, value));
+    }
+
+    /// Number of stored rectangles.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Visit every value whose rectangle contains `point`.
+    pub fn query_point<'a>(&'a self, point: &[f64], mut visit: impl FnMut(&'a T)) {
+        for (rect, value) in &self.items {
+            if rect.contains_point(point) {
+                visit(value);
+            }
+        }
+    }
+
+    /// Visit every value whose rectangle intersects `window`.
+    pub fn query_intersecting<'a>(&'a self, window: &Rect, mut visit: impl FnMut(&'a T)) {
+        for (rect, value) in &self.items {
+            if rect.intersects(window) {
+                visit(value);
+            }
+        }
+    }
+
+    /// Remove the first rectangle equal to `rect` carrying a value equal to
+    /// `value`; returns whether anything was removed.
+    pub fn remove(&mut self, rect: &Rect, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        if let Some(pos) = self
+            .items
+            .iter()
+            .position(|(r, v)| r == rect && v == value)
+        {
+            self.items.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_queries() {
+        let mut idx = NaiveRectIndex::new();
+        idx.insert(Rect::new(&[0.0], &[5.0]), "a");
+        idx.insert(Rect::new(&[3.0], &[8.0]), "b");
+        let mut hits = Vec::new();
+        idx.query_point(&[4.0], |v| hits.push(*v));
+        hits.sort();
+        assert_eq!(hits, vec!["a", "b"]);
+        hits.clear();
+        idx.query_point(&[9.0], |v| hits.push(*v));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn window_queries_and_remove() {
+        let mut idx = NaiveRectIndex::new();
+        idx.insert(Rect::new(&[0.0, 0.0], &[1.0, 1.0]), 1);
+        idx.insert(Rect::new(&[5.0, 5.0], &[6.0, 6.0]), 2);
+        let mut hits = Vec::new();
+        idx.query_intersecting(&Rect::new(&[0.5, 0.5], &[5.5, 5.5]), |v| hits.push(*v));
+        hits.sort();
+        assert_eq!(hits, vec![1, 2]);
+        assert!(idx.remove(&Rect::new(&[0.0, 0.0], &[1.0, 1.0]), &1));
+        assert!(!idx.remove(&Rect::new(&[0.0, 0.0], &[1.0, 1.0]), &1));
+        assert_eq!(idx.len(), 1);
+    }
+}

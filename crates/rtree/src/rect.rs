@@ -1,0 +1,223 @@
+//! Axis-aligned rectangles with inline coordinate storage.
+
+/// Maximum dimensionality of a [`Rect`]. One dimension per quantitative
+/// attribute of a super-candidate; seven attributes is already the whole
+/// schema of the paper's evaluation dataset, so eight leaves headroom.
+pub const MAX_DIMS: usize = 8;
+
+/// A closed axis-aligned box `[lo_d, hi_d]` in up to [`MAX_DIMS`]
+/// dimensions. Points are degenerate rectangles (`lo == hi`).
+///
+/// Coordinates are `f64` so the same tree serves both the miner (integer
+/// codes) and general spatial tests; all comparisons are closed-interval,
+/// matching the paper's inclusive value ranges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    dims: u8,
+    lo: [f64; MAX_DIMS],
+    hi: [f64; MAX_DIMS],
+}
+
+impl Rect {
+    /// Build from bound slices. Panics if lengths differ, exceed
+    /// [`MAX_DIMS`], are empty, or any `lo > hi`.
+    pub fn new(lo: &[f64], hi: &[f64]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound slices must have equal length");
+        assert!(!lo.is_empty(), "rectangles need at least one dimension");
+        assert!(lo.len() <= MAX_DIMS, "at most {MAX_DIMS} dimensions");
+        let mut r = Rect {
+            dims: lo.len() as u8,
+            lo: [0.0; MAX_DIMS],
+            hi: [0.0; MAX_DIMS],
+        };
+        for d in 0..lo.len() {
+            assert!(lo[d] <= hi[d], "lo {} > hi {} in dim {d}", lo[d], hi[d]);
+            r.lo[d] = lo[d];
+            r.hi[d] = hi[d];
+        }
+        r
+    }
+
+    /// A degenerate rectangle covering exactly one point.
+    pub fn point(coords: &[f64]) -> Self {
+        Self::new(coords, coords)
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims as usize
+    }
+
+    /// Lower bound in dimension `d`.
+    pub fn lo(&self, d: usize) -> f64 {
+        debug_assert!(d < self.dims());
+        self.lo[d]
+    }
+
+    /// Upper bound in dimension `d`.
+    pub fn hi(&self, d: usize) -> f64 {
+        debug_assert!(d < self.dims());
+        self.hi[d]
+    }
+
+    /// Centre coordinate in dimension `d`.
+    pub fn center(&self, d: usize) -> f64 {
+        (self.lo[d] + self.hi[d]) / 2.0
+    }
+
+    /// Product of side lengths. Degenerate sides contribute factor 0, so
+    /// points have area 0 — fine for comparisons, which is all the tree
+    /// does with areas.
+    pub fn area(&self) -> f64 {
+        (0..self.dims()).map(|d| self.hi[d] - self.lo[d]).product()
+    }
+
+    /// Sum of side lengths (the "margin" of BKSS90, up to the factor 2^d-1).
+    pub fn margin(&self) -> f64 {
+        (0..self.dims()).map(|d| self.hi[d] - self.lo[d]).sum()
+    }
+
+    /// Smallest rectangle covering both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dims, other.dims);
+        let mut r = *self;
+        for d in 0..self.dims() {
+            r.lo[d] = r.lo[d].min(other.lo[d]);
+            r.hi[d] = r.hi[d].max(other.hi[d]);
+        }
+        r
+    }
+
+    /// Growth in area needed to absorb `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Closed-interval intersection test.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims, other.dims);
+        (0..self.dims()).all(|d| self.lo[d] <= other.hi[d] && other.lo[d] <= self.hi[d])
+    }
+
+    /// Area of the intersection (0 when disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        debug_assert_eq!(self.dims, other.dims);
+        let mut area = 1.0;
+        for d in 0..self.dims() {
+            let lo = self.lo[d].max(other.lo[d]);
+            let hi = self.hi[d].min(other.hi[d]);
+            if hi < lo {
+                return 0.0;
+            }
+            area *= hi - lo;
+        }
+        area
+    }
+
+    /// Does this rectangle contain the point `p` (closed bounds)?
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.dims());
+        (0..self.dims()).all(|d| self.lo[d] <= p[d] && p[d] <= self.hi[d])
+    }
+
+    /// Does this rectangle fully contain `other`?
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims, other.dims);
+        (0..self.dims()).all(|d| self.lo[d] <= other.lo[d] && other.hi[d] <= self.hi[d])
+    }
+
+    /// Squared Euclidean distance between the centres of two rectangles
+    /// (used by forced reinsert to rank entries).
+    pub fn center_distance_sq(&self, other: &Rect) -> f64 {
+        debug_assert_eq!(self.dims, other.dims);
+        (0..self.dims())
+            .map(|d| {
+                let delta = self.center(d) - other.center(d);
+                delta * delta
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let r = Rect::new(&[0.0, 1.0], &[2.0, 5.0]);
+        assert_eq!(r.dims(), 2);
+        assert_eq!(r.lo(0), 0.0);
+        assert_eq!(r.hi(1), 5.0);
+        assert_eq!(r.center(1), 3.0);
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.margin(), 6.0);
+    }
+
+    #[test]
+    fn point_is_degenerate() {
+        let p = Rect::point(&[3.0, 4.0]);
+        assert_eq!(p.area(), 0.0);
+        assert!(p.contains_point(&[3.0, 4.0]));
+        assert!(!p.contains_point(&[3.0, 4.1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn inverted_bounds_panic() {
+        let _ = Rect::new(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_dims_panic() {
+        let _ = Rect::new(&[], &[]);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = Rect::new(&[2.0, -1.0], &[3.0, 0.5]);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u.lo(1), -1.0);
+        assert_eq!(u.hi(0), 3.0);
+    }
+
+    #[test]
+    fn enlargement_zero_when_contained() {
+        let a = Rect::new(&[0.0], &[10.0]);
+        let b = Rect::new(&[2.0], &[3.0]);
+        assert_eq!(a.enlargement(&b), 0.0);
+        assert_eq!(b.enlargement(&a), 10.0 - 1.0);
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = Rect::new(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = Rect::new(&[2.0, 2.0], &[3.0, 3.0]); // touching corner: closed => intersects
+        let c = Rect::new(&[2.1, 2.1], &[3.0, 3.0]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.overlap_area(&b), 0.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+        let d = Rect::new(&[1.0, 1.0], &[3.0, 4.0]);
+        assert_eq!(a.overlap_area(&d), 1.0);
+    }
+
+    #[test]
+    fn closed_bounds_contain_edges() {
+        let r = Rect::new(&[0.0], &[5.0]);
+        assert!(r.contains_point(&[0.0]));
+        assert!(r.contains_point(&[5.0]));
+        assert!(!r.contains_point(&[5.000001]));
+    }
+
+    #[test]
+    fn center_distance() {
+        let a = Rect::new(&[0.0, 0.0], &[2.0, 2.0]); // center (1,1)
+        let b = Rect::new(&[3.0, 5.0], &[5.0, 5.0]); // center (4,5)
+        assert_eq!(a.center_distance_sq(&b), 9.0 + 16.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests: the R*-tree must agree with a linear scan on every
+//! query, through arbitrary interleavings of inserts, removals, and bulk
+//! loads, while maintaining its structural invariants.
+
+use proptest::prelude::*;
+use qar_rtree::{NaiveRectIndex, RStarTree, Rect};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { lo: [i32; 2], extent: [u8; 2] },
+    Remove { index: usize },
+    QueryPoint { at: [i32; 2] },
+    QueryWindow { lo: [i32; 2], extent: [u8; 2] },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<[i16; 2]>(), any::<[u8; 2]>()).prop_map(|(lo, extent)| Op::Insert {
+            lo: [lo[0] as i32, lo[1] as i32],
+            extent,
+        }),
+        1 => (0usize..64).prop_map(|index| Op::Remove { index }),
+        2 => any::<[i16; 2]>().prop_map(|at| Op::QueryPoint { at: [at[0] as i32, at[1] as i32] }),
+        1 => (any::<[i16; 2]>(), any::<[u8; 2]>()).prop_map(|(lo, extent)| Op::QueryWindow {
+            lo: [lo[0] as i32, lo[1] as i32],
+            extent,
+        }),
+    ]
+}
+
+fn rect(lo: [i32; 2], extent: [u8; 2]) -> Rect {
+    Rect::new(
+        &[lo[0] as f64, lo[1] as f64],
+        &[(lo[0] + extent[0] as i32) as f64, (lo[1] + extent[1] as i32) as f64],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_agrees_with_naive_under_arbitrary_ops(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+        max_entries in 4usize..12,
+    ) {
+        let mut tree = RStarTree::with_max_entries(max_entries);
+        let mut naive = NaiveRectIndex::new();
+        let mut live: Vec<(Rect, u32)> = Vec::new();
+        let mut next_id = 0u32;
+        for op in ops {
+            match op {
+                Op::Insert { lo, extent } => {
+                    let r = rect(lo, extent);
+                    tree.insert(r, next_id);
+                    naive.insert(r, next_id);
+                    live.push((r, next_id));
+                    next_id += 1;
+                }
+                Op::Remove { index } => {
+                    if live.is_empty() { continue; }
+                    let (r, id) = live.swap_remove(index % live.len());
+                    prop_assert!(tree.remove(&r, &id));
+                    prop_assert!(naive.remove(&r, &id));
+                }
+                Op::QueryPoint { at } => {
+                    let p = [at[0] as f64, at[1] as f64];
+                    let mut a = Vec::new();
+                    let mut b = Vec::new();
+                    tree.query_point(&p, |v| a.push(*v));
+                    naive.query_point(&p, |v| b.push(*v));
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    prop_assert_eq!(a, b);
+                }
+                Op::QueryWindow { lo, extent } => {
+                    let w = rect(lo, extent);
+                    let mut a = Vec::new();
+                    let mut b = Vec::new();
+                    tree.query_intersecting(&w, |v| a.push(*v));
+                    naive.query_intersecting(&w, |v| b.push(*v));
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    prop_assert_eq!(a, b);
+                }
+            }
+            tree.check_invariants();
+        }
+        prop_assert_eq!(tree.len(), live.len());
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_everywhere(
+        rects in prop::collection::vec((any::<[i16; 2]>(), any::<[u8; 2]>()), 1..300),
+        probes in prop::collection::vec(any::<[i16; 2]>(), 1..50),
+    ) {
+        let items: Vec<(Rect, usize)> = rects
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, extent))| (rect([lo[0] as i32, lo[1] as i32], *extent), i))
+            .collect();
+        let bulk = RStarTree::bulk_load(items.clone());
+        bulk.check_invariants();
+        let mut incr = RStarTree::with_max_entries(8);
+        for (r, v) in items {
+            incr.insert(r, v);
+        }
+        for p in probes {
+            let point = [p[0] as f64, p[1] as f64];
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            bulk.query_point(&point, |v| a.push(*v));
+            incr.query_point(&point, |v| b.push(*v));
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! A dependency-free CSV reader/writer for relational tables.
+//!
+//! Supports the common subset of RFC 4180: comma separation, `"`-quoting
+//! with doubled-quote escapes, and embedded commas/newlines inside quoted
+//! fields. The first line must be a header whose names match the schema.
+
+use std::io::{BufRead, Write};
+
+use crate::error::TableError;
+use crate::schema::{AttributeKind, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Split one logical CSV record that has already been assembled into
+/// `line` (quoted newlines resolved by the caller).
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, TableError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match (in_quotes, c) {
+            (false, ',') => fields.push(std::mem::take(&mut field)),
+            (false, '"') => {
+                if !field.is_empty() {
+                    return Err(TableError::Csv {
+                        line: line_no,
+                        message: "quote in the middle of an unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+            }
+            (false, c) => field.push(c),
+            (true, '"') => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                    match chars.peek() {
+                        None | Some(',') => {}
+                        Some(_) => {
+                            return Err(TableError::Csv {
+                                line: line_no,
+                                message: "text after closing quote".into(),
+                            })
+                        }
+                    }
+                }
+            }
+            (true, c) => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line: line_no,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Read the next logical record (which may span physical lines when quoted
+/// fields contain newlines). Returns `None` at end of input.
+fn read_record<R: BufRead>(
+    reader: &mut R,
+    line_no: &mut usize,
+) -> Result<Option<(Vec<String>, usize)>, TableError> {
+    // Outer loop skips blank lines between records without recursing.
+    loop {
+        let mut buf = String::new();
+        loop {
+            let n = reader.read_line(&mut buf)?;
+            if n == 0 {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                break;
+            }
+            *line_no += 1;
+            // A record is complete when quotes balance.
+            let quotes = buf.chars().filter(|&c| c == '"').count();
+            if quotes % 2 == 0 {
+                break;
+            }
+        }
+        let start = *line_no;
+        while buf.ends_with('\n') || buf.ends_with('\r') {
+            buf.pop();
+        }
+        if buf.is_empty() {
+            continue;
+        }
+        let fields = split_record(&buf, start)?;
+        return Ok(Some((fields, start)));
+    }
+}
+
+/// Read a whole table from CSV. The header is matched *by name* against the
+/// schema (any column order), and each cell is parsed per the attribute's
+/// kind: quantitative cells must parse as numbers, categorical cells are
+/// taken verbatim.
+///
+/// ```
+/// use qar_table::{csv, Schema, Value};
+///
+/// let schema = Schema::builder()
+///     .quantitative("age").categorical("married").build().unwrap();
+/// let data = "married,age\nNo,23\nYes,38\n";
+/// let table = csv::read_table(data.as_bytes(), &schema).unwrap();
+/// assert_eq!(table.num_rows(), 2);
+/// assert_eq!(table.row(0).value(0), Value::Int(23));
+/// ```
+pub fn read_table<R: BufRead>(mut reader: R, schema: &Schema) -> Result<Table, TableError> {
+    let mut line_no = 0usize;
+    let (header, header_line) = read_record(&mut reader, &mut line_no)?.ok_or(TableError::Csv {
+        line: 1,
+        message: "empty input (no header)".into(),
+    })?;
+    if header.len() != schema.len() {
+        return Err(TableError::Csv {
+            line: header_line,
+            message: format!(
+                "header has {} columns but schema has {}",
+                header.len(),
+                schema.len()
+            ),
+        });
+    }
+    // Map CSV column position -> schema attribute index.
+    let mut order = Vec::with_capacity(header.len());
+    for name in &header {
+        order.push(schema.id_of(name.trim()).map_err(|_| TableError::Csv {
+            line: header_line,
+            message: format!("header column `{name}` is not in the schema"),
+        })?);
+    }
+
+    let mut table = Table::new(schema.clone());
+    let mut cells: Vec<Value> = vec![Value::Int(0); schema.len()];
+    while let Some((fields, line)) = read_record(&mut reader, &mut line_no)? {
+        if fields.len() != schema.len() {
+            return Err(TableError::Csv {
+                line,
+                message: format!(
+                    "record has {} fields but schema has {}",
+                    fields.len(),
+                    schema.len()
+                ),
+            });
+        }
+        for (pos, raw) in fields.iter().enumerate() {
+            let id = order[pos];
+            let def = schema.attribute(id);
+            cells[id.index()] = match def.kind() {
+                AttributeKind::Categorical => Value::Cat(raw.clone()),
+                AttributeKind::Quantitative => {
+                    let token = raw.trim();
+                    if let Ok(i) = token.parse::<i64>() {
+                        Value::Int(i)
+                    } else if let Ok(x) = token.parse::<f64>() {
+                        if !x.is_finite() {
+                            return Err(TableError::BadNumber {
+                                line,
+                                token: raw.clone(),
+                            });
+                        }
+                        Value::Float(x)
+                    } else {
+                        return Err(TableError::BadNumber {
+                            line,
+                            token: raw.clone(),
+                        });
+                    }
+                }
+            };
+        }
+        table.push_row(&cells)?;
+    }
+    Ok(table)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Write a table as CSV (header + one line per record, schema order).
+pub fn write_table<W: Write>(writer: &mut W, table: &Table) -> Result<(), TableError> {
+    let header: Vec<String> = table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| escape(a.name()))
+        .collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for row in table.rows() {
+        let line: Vec<String> = (0..table.num_columns())
+            .map(|c| escape(&row.value(c).to_string()))
+            .collect();
+        writeln!(writer, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .quantitative("age")
+            .categorical("married")
+            .quantitative("num_cars")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = schema();
+        let input = "age,married,num_cars\n23,No,1\n38,Yes,2\n";
+        let t = read_table(input.as_bytes(), &s).unwrap();
+        let mut out = Vec::new();
+        write_table(&mut out, &t).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), input);
+    }
+
+    #[test]
+    fn header_reordering() {
+        let s = schema();
+        let input = "num_cars,age,married\n1,23,No\n";
+        let t = read_table(input.as_bytes(), &s).unwrap();
+        assert_eq!(t.row(0).value(0), Value::Int(23));
+        assert_eq!(t.row(0).value(2), Value::Int(1));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let s = Schema::builder().categorical("note").build().unwrap();
+        let input = "note\n\"hello, \"\"world\"\"\"\n";
+        let t = read_table(input.as_bytes(), &s).unwrap();
+        assert_eq!(t.row(0).value(0), Value::Cat("hello, \"world\"".into()));
+    }
+
+    #[test]
+    fn quoted_newline_spans_lines() {
+        let s = Schema::builder().categorical("note").categorical("tag").build().unwrap();
+        let input = "note,tag\n\"two\nlines\",x\n";
+        let t = read_table(input.as_bytes(), &s).unwrap();
+        assert_eq!(t.row(0).value(0), Value::Cat("two\nlines".into()));
+    }
+
+    #[test]
+    fn floats_and_ints_parse() {
+        let s = Schema::builder().quantitative("income").build().unwrap();
+        let t = read_table("income\n1500\n1500.5\n".as_bytes(), &s).unwrap();
+        assert_eq!(t.row(0).value(0), Value::Float(1500.0));
+        assert_eq!(t.row(1).value(0), Value::Float(1500.5));
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let s = Schema::builder().quantitative("income").build().unwrap();
+        let err = read_table("income\n15k\n".as_bytes(), &s).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::BadNumber {
+                line: 2,
+                token: "15k".into()
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_tokens_rejected() {
+        let s = Schema::builder().quantitative("income").build().unwrap();
+        for bad in ["NaN", "inf", "-inf", "infinity"] {
+            let input = format!("income\n{bad}\n");
+            let err = read_table(input.as_bytes(), &s).unwrap_err();
+            assert!(matches!(err, TableError::BadNumber { line: 2, .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn wrong_field_count_reports_line() {
+        let s = schema();
+        let err = read_table("age,married,num_cars\n23,No\n".as_bytes(), &s).unwrap_err();
+        assert!(matches!(err, TableError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_header_rejected() {
+        let s = schema();
+        let err = read_table("age,married,pets\n".as_bytes(), &s).unwrap_err();
+        assert!(matches!(err, TableError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let s = schema();
+        let err = read_table("".as_bytes(), &s).unwrap_err();
+        assert!(matches!(err, TableError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let s = Schema::builder().quantitative("x").build().unwrap();
+        let t = read_table("x\n\n1\n\n2\n".as_bytes(), &s).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let s = Schema::builder().categorical("c").build().unwrap();
+        let err = read_table("c\n\"oops\n".as_bytes(), &s).unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    #[test]
+    fn stray_quote_rejected() {
+        let s = Schema::builder().categorical("c").build().unwrap();
+        let err = read_table("c\nab\"cd\n".as_bytes(), &s).unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+}

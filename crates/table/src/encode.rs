@@ -1,0 +1,512 @@
+//! Step 2 of the paper's problem decomposition: mapping attribute values to
+//! consecutive integers.
+//!
+//! > "For categorical attributes, the values of the attribute are mapped to
+//! > a set of consecutive integers. For quantitative attributes that are not
+//! > partitioned into intervals, the values are mapped to consecutive
+//! > integers such that the order of the values is preserved. If a
+//! > quantitative attribute is partitioned into intervals, the intervals are
+//! > mapped to consecutive integers, such that the order of the intervals is
+//! > preserved."
+//!
+//! After encoding, the miner sees only `u32` codes per attribute; whether a
+//! code denotes a raw value or an interval is transparent to it. The
+//! [`AttributeEncoder`] remembers enough to decode codes (and code ranges)
+//! back to human-readable form for rule output.
+
+use crate::error::TableError;
+use crate::schema::{AttributeId, AttributeKind, Schema};
+use crate::table::{Column, Table};
+use crate::value::Value;
+
+/// Inclusive display bounds of one encoded interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalSpec {
+    /// Smallest value the interval covers (observed or cut bound).
+    pub lo: f64,
+    /// Largest value the interval covers (observed or cut bound).
+    pub hi: f64,
+}
+
+/// Per-attribute mapping between raw values and consecutive integer codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeEncoder {
+    /// Categorical attribute: sorted distinct labels; code = index.
+    Categorical {
+        /// Sorted distinct labels.
+        labels: Vec<String>,
+    },
+    /// Quantitative attribute kept at full resolution: sorted distinct
+    /// values; code = rank.
+    QuantValues {
+        /// Sorted distinct values.
+        values: Vec<f64>,
+        /// True if every value is a whole number (affects display).
+        integral: bool,
+    },
+    /// Quantitative attribute partitioned into intervals at the given cut
+    /// points; code = interval index.
+    QuantIntervals {
+        /// `cuts[i]` separates interval `i` from interval `i+1`; a value `v`
+        /// belongs to interval `partition_point(cuts, c <= v)`.
+        cuts: Vec<f64>,
+        /// Display bounds per interval.
+        display: Vec<IntervalSpec>,
+        /// True if the underlying data is all whole numbers.
+        integral: bool,
+    },
+    /// Categorical attribute with an is-a taxonomy: labels in DFS leaf
+    /// order so every taxonomy node is a contiguous code interval
+    /// (`groups`). Generalized items over this attribute are plain range
+    /// items.
+    CategoricalTaxonomy {
+        /// Labels in taxonomy DFS order (NOT sorted).
+        labels: Vec<String>,
+        /// Label positions sorted lexicographically, for O(log n) encoding.
+        sorted_index: Vec<u32>,
+        /// Interior taxonomy nodes as `(name, lo, hi)` code intervals.
+        groups: Vec<(String, u32, u32)>,
+    },
+}
+
+impl AttributeEncoder {
+    /// Build a categorical encoder from a column (sorted distinct labels).
+    pub fn categorical_from(data: &[String]) -> Self {
+        let mut labels: Vec<String> = data.to_vec();
+        labels.sort();
+        labels.dedup();
+        AttributeEncoder::Categorical { labels }
+    }
+
+    /// Build a full-resolution quantitative encoder from a column.
+    pub fn quant_values_from(data: &[f64], integral: bool) -> Self {
+        let mut values = data.to_vec();
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        AttributeEncoder::QuantValues { values, integral }
+    }
+
+    /// Build an interval encoder from cut points. Display bounds are the
+    /// observed per-interval min/max of `data`; empty intervals fall back to
+    /// the cut bounds.
+    ///
+    /// `cuts` must be strictly increasing; `k = cuts.len() + 1` intervals
+    /// result.
+    pub fn quant_intervals_from(data: &[f64], cuts: Vec<f64>, integral: bool) -> Self {
+        debug_assert!(
+            cuts.windows(2).all(|w| w[0] < w[1]),
+            "cut points must be strictly increasing"
+        );
+        let k = cuts.len() + 1;
+        let global_min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let global_max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut display: Vec<IntervalSpec> = (0..k)
+            .map(|i| {
+                let lo = if i == 0 { global_min } else { cuts[i - 1] };
+                let hi = if i == k - 1 { global_max } else { cuts[i] };
+                IntervalSpec { lo, hi }
+            })
+            .collect();
+        // Tighten to observed values so rule output reads like the paper's
+        // "Age: 20..29" rather than "Age: 19.5..29.5".
+        let mut seen = vec![false; k];
+        for &v in data {
+            let idx = cuts.partition_point(|&c| c <= v);
+            if !seen[idx] {
+                display[idx] = IntervalSpec { lo: v, hi: v };
+                seen[idx] = true;
+            } else {
+                display[idx].lo = display[idx].lo.min(v);
+                display[idx].hi = display[idx].hi.max(v);
+            }
+        }
+        AttributeEncoder::QuantIntervals {
+            cuts,
+            display,
+            integral,
+        }
+    }
+
+    /// Build a taxonomy-ordered categorical encoder from a column and its
+    /// taxonomy (Step 1/2 for categorical attributes with an is-a
+    /// hierarchy). Labels are numbered in taxonomy DFS order so every
+    /// interior node covers a contiguous code interval, returned as
+    /// `groups`.
+    pub fn categorical_with_taxonomy(
+        data: &[String],
+        taxonomy: &crate::taxonomy::Taxonomy,
+    ) -> Result<Self, TableError> {
+        let observed: std::collections::BTreeSet<String> = data.iter().cloned().collect();
+        let (labels, groups) = taxonomy.plan(&observed)?;
+        let mut sorted_index: Vec<u32> = (0..labels.len() as u32).collect();
+        sorted_index.sort_by(|&a, &b| labels[a as usize].cmp(&labels[b as usize]));
+        Ok(AttributeEncoder::CategoricalTaxonomy {
+            labels,
+            sorted_index,
+            groups,
+        })
+    }
+
+    /// Number of distinct codes this encoder produces (codes are
+    /// `0..cardinality`).
+    pub fn cardinality(&self) -> u32 {
+        match self {
+            AttributeEncoder::Categorical { labels } => labels.len() as u32,
+            AttributeEncoder::QuantValues { values, .. } => values.len() as u32,
+            AttributeEncoder::QuantIntervals { cuts, .. } => cuts.len() as u32 + 1,
+            AttributeEncoder::CategoricalTaxonomy { labels, .. } => labels.len() as u32,
+        }
+    }
+
+    /// True for the two quantitative variants.
+    pub fn is_quantitative(&self) -> bool {
+        !matches!(
+            self,
+            AttributeEncoder::Categorical { .. } | AttributeEncoder::CategoricalTaxonomy { .. }
+        )
+    }
+
+    /// The interior taxonomy nodes of a [`AttributeEncoder::CategoricalTaxonomy`]
+    /// encoder as `(name, lo, hi)` code spans; empty for other variants.
+    pub fn taxonomy_groups(&self) -> &[(String, u32, u32)] {
+        match self {
+            AttributeEncoder::CategoricalTaxonomy { groups, .. } => groups,
+            _ => &[],
+        }
+    }
+
+    /// Encode one value. Quantitative interval encoders accept any number
+    /// (values beyond the data range land in the first/last interval);
+    /// full-resolution and categorical encoders reject values they have
+    /// never seen.
+    pub fn encode(&self, attribute: &str, value: &Value) -> Result<u32, TableError> {
+        let unencodable = || TableError::UnencodableValue {
+            attribute: attribute.to_owned(),
+            value: value.to_string(),
+        };
+        match self {
+            AttributeEncoder::Categorical { labels } => {
+                let s = value.as_cat().ok_or_else(unencodable)?;
+                labels
+                    .binary_search_by(|l| l.as_str().cmp(s))
+                    .map(|i| i as u32)
+                    .map_err(|_| unencodable())
+            }
+            AttributeEncoder::QuantValues { values, .. } => {
+                let v = value.as_f64().ok_or_else(unencodable)?;
+                values
+                    .binary_search_by(|x| x.total_cmp(&v))
+                    .map(|i| i as u32)
+                    .map_err(|_| unencodable())
+            }
+            AttributeEncoder::QuantIntervals { cuts, .. } => {
+                let v = value.as_f64().ok_or_else(unencodable)?;
+                Ok(cuts.partition_point(|&c| c <= v) as u32)
+            }
+            AttributeEncoder::CategoricalTaxonomy {
+                labels,
+                sorted_index,
+                ..
+            } => {
+                let s = value.as_cat().ok_or_else(unencodable)?;
+                sorted_index
+                    .binary_search_by(|&i| labels[i as usize].as_str().cmp(s))
+                    .map(|pos| sorted_index[pos])
+                    .map_err(|_| unencodable())
+            }
+        }
+    }
+
+    fn fmt_num(x: f64, integral: bool) -> String {
+        if integral {
+            format!("{}", x as i64)
+        } else {
+            format!("{x}")
+        }
+    }
+
+    /// Human-readable form of the code range `[lo..hi]` (inclusive), e.g.
+    /// `"20..29"` for an interval range, `"Yes"` for a categorical code.
+    pub fn describe_range(&self, lo: u32, hi: u32) -> String {
+        debug_assert!(lo <= hi);
+        match self {
+            AttributeEncoder::Categorical { labels } => {
+                debug_assert_eq!(lo, hi, "categorical values are never combined");
+                labels[lo as usize].clone()
+            }
+            AttributeEncoder::QuantValues { values, integral } => {
+                let a = Self::fmt_num(values[lo as usize], *integral);
+                if lo == hi {
+                    a
+                } else {
+                    let b = Self::fmt_num(values[hi as usize], *integral);
+                    format!("{a}..{b}")
+                }
+            }
+            AttributeEncoder::QuantIntervals {
+                display, integral, ..
+            } => {
+                let a = Self::fmt_num(display[lo as usize].lo, *integral);
+                let b = Self::fmt_num(display[hi as usize].hi, *integral);
+                if a == b {
+                    a
+                } else {
+                    format!("{a}..{b}")
+                }
+            }
+            AttributeEncoder::CategoricalTaxonomy { labels, groups, .. } => {
+                if lo == hi {
+                    return labels[lo as usize].clone();
+                }
+                // An exact interior node renders by name; other ranges
+                // (e.g. interest-measure differences) list their span.
+                match groups.iter().find(|&&(_, g_lo, g_hi)| g_lo == lo && g_hi == hi) {
+                    Some((name, _, _)) => name.clone(),
+                    None => format!("{}..{}", labels[lo as usize], labels[hi as usize]),
+                }
+            }
+        }
+    }
+
+    /// The numeric bounds a code range decodes to, if quantitative.
+    pub fn numeric_bounds(&self, lo: u32, hi: u32) -> Option<(f64, f64)> {
+        match self {
+            AttributeEncoder::Categorical { .. } => None,
+            AttributeEncoder::QuantValues { values, .. } => {
+                Some((values[lo as usize], values[hi as usize]))
+            }
+            AttributeEncoder::QuantIntervals { display, .. } => {
+                Some((display[lo as usize].lo, display[hi as usize].hi))
+            }
+            AttributeEncoder::CategoricalTaxonomy { .. } => None,
+        }
+    }
+}
+
+/// A table after Step 2: one `u32` code column per attribute.
+///
+/// This is the representation all mining passes run over. Column codes are
+/// dense in `0..cardinality(attr)`.
+#[derive(Debug, Clone)]
+pub struct EncodedTable {
+    schema: Schema,
+    encoders: Vec<AttributeEncoder>,
+    columns: Vec<Vec<u32>>,
+    num_rows: usize,
+}
+
+impl EncodedTable {
+    /// Encode `table` using one encoder per attribute (schema order).
+    pub fn encode(table: &Table, encoders: Vec<AttributeEncoder>) -> Result<Self, TableError> {
+        assert_eq!(
+            encoders.len(),
+            table.schema().len(),
+            "one encoder per attribute required"
+        );
+        let schema = table.schema().clone();
+        let mut columns: Vec<Vec<u32>> = Vec::with_capacity(encoders.len());
+        for (idx, encoder) in encoders.iter().enumerate() {
+            let id = AttributeId(idx);
+            let name = schema.attribute(id).name();
+            let mut codes = Vec::with_capacity(table.num_rows());
+            match (table.column(id), encoder) {
+                (Column::Quantitative { data, .. }, enc) if enc.is_quantitative() => {
+                    for &v in data {
+                        codes.push(enc.encode(name, &Value::Float(v))?);
+                    }
+                }
+                (Column::Categorical { data }, AttributeEncoder::Categorical { labels }) => {
+                    for s in data {
+                        let code = labels
+                            .binary_search_by(|l| l.as_str().cmp(s))
+                            .map(|i| i as u32)
+                            .map_err(|_| TableError::UnencodableValue {
+                                attribute: name.to_owned(),
+                                value: s.clone(),
+                            })?;
+                        codes.push(code);
+                    }
+                }
+                (Column::Categorical { data }, enc @ AttributeEncoder::CategoricalTaxonomy { .. }) => {
+                    for s in data {
+                        codes.push(enc.encode(name, &Value::Cat(s.clone()))?);
+                    }
+                }
+                _ => {
+                    return Err(TableError::TypeMismatch {
+                        attribute: name.to_owned(),
+                        expected: schema.attribute(id).kind().name(),
+                        got: "mismatched encoder".to_owned(),
+                    })
+                }
+            }
+            columns.push(codes);
+        }
+        Ok(EncodedTable {
+            schema,
+            encoders,
+            columns,
+            num_rows: table.num_rows(),
+        })
+    }
+
+    /// Encode without any partitioning: categorical dictionaries and
+    /// full-resolution value ranks (what the paper does when an attribute
+    /// has few values).
+    pub fn encode_full_resolution(table: &Table) -> Result<Self, TableError> {
+        let encoders = table
+            .schema()
+            .iter()
+            .map(|(id, def)| match (def.kind(), table.column(id)) {
+                (AttributeKind::Categorical, Column::Categorical { data }) => {
+                    AttributeEncoder::categorical_from(data)
+                }
+                (AttributeKind::Quantitative, Column::Quantitative { data, integral }) => {
+                    AttributeEncoder::quant_values_from(data, *integral)
+                }
+                _ => unreachable!("columns always match their schema kind"),
+            })
+            .collect();
+        Self::encode(table, encoders)
+    }
+
+    /// The schema shared with the source table.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Code column for `id`.
+    pub fn codes(&self, id: AttributeId) -> &[u32] {
+        &self.columns[id.index()]
+    }
+
+    /// The encoder for `id`.
+    pub fn encoder(&self, id: AttributeId) -> &AttributeEncoder {
+        &self.encoders[id.index()]
+    }
+
+    /// All encoders, schema order.
+    pub fn encoders(&self) -> &[AttributeEncoder] {
+        &self.encoders
+    }
+
+    /// Number of distinct codes of attribute `id`.
+    pub fn cardinality(&self, id: AttributeId) -> u32 {
+        self.encoders[id.index()].cardinality()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn people() -> Table {
+        let schema = Schema::builder()
+            .quantitative("age")
+            .categorical("married")
+            .quantitative("num_cars")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (age, married, cars) in [
+            (23, "No", 1),
+            (25, "Yes", 1),
+            (29, "No", 0),
+            (34, "Yes", 2),
+            (38, "Yes", 2),
+        ] {
+            t.push_row(&[Value::Int(age), Value::from(married), Value::Int(cars)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn full_resolution_encoding_preserves_order() {
+        let t = people();
+        let e = EncodedTable::encode_full_resolution(&t).unwrap();
+        // age distinct sorted: 23,25,29,34,38 -> codes 0..5 in row order.
+        assert_eq!(e.codes(AttributeId(0)), &[0, 1, 2, 3, 4]);
+        // married sorted: No=0, Yes=1.
+        assert_eq!(e.codes(AttributeId(1)), &[0, 1, 0, 1, 1]);
+        // num_cars sorted: 0,1,2 -> codes.
+        assert_eq!(e.codes(AttributeId(2)), &[1, 1, 0, 2, 2]);
+        assert_eq!(e.cardinality(AttributeId(0)), 5);
+        assert_eq!(e.cardinality(AttributeId(1)), 2);
+        assert_eq!(e.cardinality(AttributeId(2)), 3);
+    }
+
+    #[test]
+    fn interval_encoding_matches_paper_figure_3() {
+        // Figure 3b partitions Age into <20..24> <25..29> <30..34> <35..39>.
+        let t = people();
+        let ages = t.column(AttributeId(0)).as_quantitative().unwrap();
+        let enc = AttributeEncoder::quant_intervals_from(ages, vec![25.0, 30.0, 35.0], true);
+        assert_eq!(enc.cardinality(), 4);
+        assert_eq!(enc.encode("age", &Value::Int(23)).unwrap(), 0);
+        assert_eq!(enc.encode("age", &Value::Int(25)).unwrap(), 1);
+        assert_eq!(enc.encode("age", &Value::Int(29)).unwrap(), 1);
+        assert_eq!(enc.encode("age", &Value::Int(34)).unwrap(), 2);
+        assert_eq!(enc.encode("age", &Value::Int(38)).unwrap(), 3);
+        // Display uses observed bounds.
+        assert_eq!(enc.describe_range(0, 1), "23..29");
+        assert_eq!(enc.describe_range(2, 3), "34..38");
+        assert_eq!(enc.describe_range(3, 3), "38");
+    }
+
+    #[test]
+    fn categorical_round_trip_and_rejection() {
+        let enc = AttributeEncoder::categorical_from(&["Yes".into(), "No".into(), "Yes".into()]);
+        assert_eq!(enc.cardinality(), 2);
+        assert_eq!(enc.encode("married", &Value::from("No")).unwrap(), 0);
+        assert_eq!(enc.encode("married", &Value::from("Yes")).unwrap(), 1);
+        assert_eq!(enc.describe_range(1, 1), "Yes");
+        assert!(enc.encode("married", &Value::from("Maybe")).is_err());
+        assert!(enc.encode("married", &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn quant_values_rejects_unseen() {
+        let enc = AttributeEncoder::quant_values_from(&[1.0, 3.0, 2.0], true);
+        assert_eq!(enc.encode("x", &Value::Int(2)).unwrap(), 1);
+        assert!(enc.encode("x", &Value::Float(2.5)).is_err());
+    }
+
+    #[test]
+    fn interval_out_of_range_clamps() {
+        let enc = AttributeEncoder::quant_intervals_from(&[10.0, 20.0, 30.0], vec![15.0, 25.0], true);
+        assert_eq!(enc.encode("x", &Value::Int(-100)).unwrap(), 0);
+        assert_eq!(enc.encode("x", &Value::Int(999)).unwrap(), 2);
+    }
+
+    #[test]
+    fn numeric_bounds_reported() {
+        let enc = AttributeEncoder::quant_intervals_from(&[10.0, 20.0, 30.0], vec![15.0, 25.0], true);
+        assert_eq!(enc.numeric_bounds(0, 1), Some((10.0, 20.0)));
+        let cat = AttributeEncoder::categorical_from(&["a".into()]);
+        assert_eq!(cat.numeric_bounds(0, 0), None);
+    }
+
+    #[test]
+    fn float_display_keeps_decimals() {
+        let enc = AttributeEncoder::quant_values_from(&[1.5, 2.5], false);
+        assert_eq!(enc.describe_range(0, 1), "1.5..2.5");
+    }
+
+    #[test]
+    fn mismatched_encoder_kind_rejected() {
+        let t = people();
+        let bad = vec![
+            AttributeEncoder::categorical_from(&["x".into()]), // age is quantitative
+            AttributeEncoder::categorical_from(&["No".into(), "Yes".into()]),
+            AttributeEncoder::quant_values_from(&[0.0, 1.0, 2.0], true),
+        ];
+        assert!(EncodedTable::encode(&t, bad).is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! Schemas: typed attribute declarations.
+
+use crate::error::TableError;
+
+/// Index of an attribute within its [`Schema`], assigned in declaration
+/// order. Kept as a plain `usize` newtype so it is `Copy` and cheap to hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttributeId(pub usize);
+
+impl AttributeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for AttributeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Whether an attribute's values are ordered numbers or unordered labels.
+///
+/// The paper treats boolean attributes as a special case of categorical
+/// attributes; we do the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeKind {
+    /// Ordered numeric attribute: intervals over it are meaningful and the
+    /// miner may combine adjacent values into ranges.
+    Quantitative,
+    /// Unordered label attribute: values are never combined (unless an
+    /// external taxonomy exists, which this paper does not use).
+    Categorical,
+}
+
+impl AttributeKind {
+    /// Short lowercase name, used in error messages and CSV headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttributeKind::Quantitative => "quantitative",
+            AttributeKind::Categorical => "categorical",
+        }
+    }
+}
+
+/// One attribute declaration: a name plus its [`AttributeKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    name: String,
+    kind: AttributeKind,
+}
+
+impl AttributeDef {
+    /// Declare a quantitative attribute.
+    pub fn quantitative(name: impl Into<String>) -> Self {
+        AttributeDef {
+            name: name.into(),
+            kind: AttributeKind::Quantitative,
+        }
+    }
+
+    /// Declare a categorical attribute.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        AttributeDef {
+            name: name.into(),
+            kind: AttributeKind::Categorical,
+        }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's kind.
+    pub fn kind(&self) -> AttributeKind {
+        self.kind
+    }
+
+    /// True for quantitative attributes.
+    pub fn is_quantitative(&self) -> bool {
+        self.kind == AttributeKind::Quantitative
+    }
+}
+
+/// An ordered list of attribute declarations with unique names.
+///
+/// Build one with [`Schema::builder`]:
+///
+/// ```
+/// use qar_table::{Schema, AttributeKind};
+///
+/// let schema = Schema::builder()
+///     .quantitative("age")
+///     .categorical("married")
+///     .quantitative("num_cars")
+///     .build()
+///     .unwrap();
+/// assert_eq!(schema.len(), 3);
+/// assert_eq!(schema.attribute_by_name("married").unwrap().kind(),
+///            AttributeKind::Categorical);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<AttributeDef>,
+}
+
+impl Schema {
+    /// Start building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder {
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Construct directly from attribute definitions, checking name
+    /// uniqueness and non-emptiness.
+    pub fn new(attributes: Vec<AttributeDef>) -> Result<Self, TableError> {
+        if attributes.is_empty() {
+            return Err(TableError::EmptySchema);
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(TableError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Always false: schemas are non-empty by construction. Provided for
+    /// clippy-friendliness alongside `len`.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// All attribute definitions in declaration order.
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    /// The definition at `id`, panicking on out-of-range ids (ids are only
+    /// minted by this schema, so an out-of-range id is a logic error).
+    pub fn attribute(&self, id: AttributeId) -> &AttributeDef {
+        &self.attributes[id.0]
+    }
+
+    /// Look up an attribute definition by name.
+    pub fn attribute_by_name(&self, name: &str) -> Result<&AttributeDef, TableError> {
+        self.attributes
+            .iter()
+            .find(|a| a.name == name)
+            .ok_or_else(|| TableError::NoSuchAttribute(name.to_owned()))
+    }
+
+    /// Look up an attribute id by name.
+    pub fn id_of(&self, name: &str) -> Result<AttributeId, TableError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .map(AttributeId)
+            .ok_or_else(|| TableError::NoSuchAttribute(name.to_owned()))
+    }
+
+    /// Ids of all quantitative attributes, in declaration order.
+    pub fn quantitative_ids(&self) -> Vec<AttributeId> {
+        self.ids_of_kind(AttributeKind::Quantitative)
+    }
+
+    /// Ids of all categorical attributes, in declaration order.
+    pub fn categorical_ids(&self) -> Vec<AttributeId> {
+        self.ids_of_kind(AttributeKind::Categorical)
+    }
+
+    fn ids_of_kind(&self, kind: AttributeKind) -> Vec<AttributeId> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == kind)
+            .map(|(i, _)| AttributeId(i))
+            .collect()
+    }
+
+    /// Iterate over `(id, def)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttributeId, &AttributeDef)> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttributeId(i), a))
+    }
+}
+
+/// Fluent builder returned by [`Schema::builder`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attributes: Vec<AttributeDef>,
+}
+
+impl SchemaBuilder {
+    /// Add a quantitative attribute.
+    pub fn quantitative(mut self, name: impl Into<String>) -> Self {
+        self.attributes.push(AttributeDef::quantitative(name));
+        self
+    }
+
+    /// Add a categorical attribute.
+    pub fn categorical(mut self, name: impl Into<String>) -> Self {
+        self.attributes.push(AttributeDef::categorical(name));
+        self
+    }
+
+    /// Add an attribute of either kind.
+    pub fn attribute(mut self, def: AttributeDef) -> Self {
+        self.attributes.push(def);
+        self
+    }
+
+    /// Finish, validating name uniqueness and non-emptiness.
+    pub fn build(self) -> Result<Schema, TableError> {
+        Schema::new(self.attributes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Schema {
+        Schema::builder()
+            .quantitative("age")
+            .categorical("married")
+            .quantitative("num_cars")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_ids_in_order() {
+        let s = people();
+        assert_eq!(s.id_of("age").unwrap(), AttributeId(0));
+        assert_eq!(s.id_of("married").unwrap(), AttributeId(1));
+        assert_eq!(s.id_of("num_cars").unwrap(), AttributeId(2));
+    }
+
+    #[test]
+    fn kind_queries() {
+        let s = people();
+        assert_eq!(s.quantitative_ids(), vec![AttributeId(0), AttributeId(2)]);
+        assert_eq!(s.categorical_ids(), vec![AttributeId(1)]);
+        assert!(s.attribute(AttributeId(0)).is_quantitative());
+        assert!(!s.attribute(AttributeId(1)).is_quantitative());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::builder()
+            .quantitative("x")
+            .categorical("x")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TableError::DuplicateAttribute("x".into()));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert_eq!(Schema::new(vec![]).unwrap_err(), TableError::EmptySchema);
+    }
+
+    #[test]
+    fn missing_attribute_lookup() {
+        let s = people();
+        assert!(matches!(
+            s.id_of("income"),
+            Err(TableError::NoSuchAttribute(_))
+        ));
+        assert!(s.attribute_by_name("age").is_ok());
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let s = people();
+        let names: Vec<_> = s.iter().map(|(id, d)| (id.index(), d.name())).collect();
+        assert_eq!(names, vec![(0, "age"), (1, "married"), (2, "num_cars")]);
+    }
+
+    #[test]
+    fn kind_name_strings() {
+        assert_eq!(AttributeKind::Quantitative.name(), "quantitative");
+        assert_eq!(AttributeKind::Categorical.name(), "categorical");
+    }
+
+    #[test]
+    fn attribute_id_display() {
+        assert_eq!(AttributeId(4).to_string(), "#4");
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-column summaries used by the partitioner and the data generators.
+
+use std::collections::BTreeMap;
+
+use crate::error::TableError;
+use crate::schema::AttributeId;
+use crate::table::{Column, Table};
+
+/// Summary statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnStats {
+    /// Statistics of a quantitative column.
+    Quantitative {
+        /// Smallest value.
+        min: f64,
+        /// Largest value.
+        max: f64,
+        /// Arithmetic mean.
+        mean: f64,
+        /// Number of distinct values.
+        distinct: usize,
+        /// Sorted distinct values with their occurrence counts.
+        value_counts: Vec<(f64, usize)>,
+    },
+    /// Statistics of a categorical column.
+    Categorical {
+        /// Number of distinct labels.
+        distinct: usize,
+        /// Sorted labels with their occurrence counts.
+        value_counts: Vec<(String, usize)>,
+    },
+}
+
+impl ColumnStats {
+    /// Compute statistics for one column of `table`.
+    pub fn compute(table: &Table, id: AttributeId) -> Result<Self, TableError> {
+        if table.is_empty() {
+            return Err(TableError::EmptyTable);
+        }
+        match table.column(id) {
+            Column::Quantitative { data, .. } => {
+                let mut sorted: Vec<f64> = data.clone();
+                sorted.sort_by(f64::total_cmp);
+                let min = sorted[0];
+                let max = *sorted.last().expect("non-empty");
+                let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+                let mut value_counts: Vec<(f64, usize)> = Vec::new();
+                for &v in &sorted {
+                    match value_counts.last_mut() {
+                        Some((last, n)) if *last == v => *n += 1,
+                        _ => value_counts.push((v, 1)),
+                    }
+                }
+                Ok(ColumnStats::Quantitative {
+                    min,
+                    max,
+                    mean,
+                    distinct: value_counts.len(),
+                    value_counts,
+                })
+            }
+            Column::Categorical { data } => {
+                let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+                for s in data {
+                    *counts.entry(s).or_insert(0) += 1;
+                }
+                let value_counts: Vec<(String, usize)> =
+                    counts.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+                Ok(ColumnStats::Categorical {
+                    distinct: value_counts.len(),
+                    value_counts,
+                })
+            }
+        }
+    }
+
+    /// Number of distinct values in the column.
+    pub fn distinct(&self) -> usize {
+        match self {
+            ColumnStats::Quantitative { distinct, .. } => *distinct,
+            ColumnStats::Categorical { distinct, .. } => *distinct,
+        }
+    }
+
+    /// The most frequent value's count (the "modal support" that
+    /// equi-depth partitioning cannot split below).
+    pub fn max_count(&self) -> usize {
+        match self {
+            ColumnStats::Quantitative { value_counts, .. } => {
+                value_counts.iter().map(|(_, n)| *n).max().unwrap_or(0)
+            }
+            ColumnStats::Categorical { value_counts, .. } => {
+                value_counts.iter().map(|(_, n)| *n).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let schema = Schema::builder()
+            .quantitative("age")
+            .categorical("married")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (age, m) in [(23, "No"), (25, "Yes"), (25, "No"), (34, "Yes"), (38, "Yes")] {
+            t.push_row(&[Value::Int(age), Value::from(m)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn quantitative_stats() {
+        let t = table();
+        let s = ColumnStats::compute(&t, AttributeId(0)).unwrap();
+        match &s {
+            ColumnStats::Quantitative {
+                min,
+                max,
+                mean,
+                distinct,
+                value_counts,
+            } => {
+                assert_eq!(*min, 23.0);
+                assert_eq!(*max, 38.0);
+                assert!((mean - 29.0).abs() < 1e-12);
+                assert_eq!(*distinct, 4);
+                assert_eq!(value_counts[1], (25.0, 2));
+            }
+            _ => panic!("expected quantitative stats"),
+        }
+        assert_eq!(s.max_count(), 2);
+    }
+
+    #[test]
+    fn categorical_stats_sorted() {
+        let t = table();
+        let s = ColumnStats::compute(&t, AttributeId(1)).unwrap();
+        match &s {
+            ColumnStats::Categorical {
+                distinct,
+                value_counts,
+            } => {
+                assert_eq!(*distinct, 2);
+                assert_eq!(value_counts[0], ("No".into(), 2));
+                assert_eq!(value_counts[1], ("Yes".into(), 3));
+            }
+            _ => panic!("expected categorical stats"),
+        }
+        assert_eq!(s.max_count(), 3);
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let schema = Schema::builder().quantitative("x").build().unwrap();
+        let t = Table::new(schema);
+        assert_eq!(
+            ColumnStats::compute(&t, AttributeId(0)).unwrap_err(),
+            TableError::EmptyTable
+        );
+    }
+}

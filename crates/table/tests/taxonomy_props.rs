@@ -1,0 +1,82 @@
+//! Property tests: `Taxonomy::plan` must produce a valid DFS numbering —
+//! every label once, and the interior-node spans a laminar family that
+//! agrees exactly with the ancestry relation.
+
+use proptest::prelude::*;
+use qar_table::Taxonomy;
+use std::collections::BTreeSet;
+
+/// Build a random forest over labels L0..Ln: each label's parent is a
+/// lower-indexed label or none (guarantees acyclicity), then interior
+/// nodes are excluded from the observed set.
+fn forest_strategy() -> impl Strategy<Value = (Vec<(String, String)>, BTreeSet<String>)> {
+    (3usize..30).prop_flat_map(|n| {
+        prop::collection::vec(prop::option::of(0usize..n), n).prop_map(move |parents| {
+            let label = |i: usize| format!("L{i}");
+            let mut edges = Vec::new();
+            for (i, p) in parents.iter().enumerate() {
+                if let Some(p) = p {
+                    if *p < i {
+                        edges.push((label(i), label(*p)));
+                    }
+                }
+            }
+            let interior: BTreeSet<String> = edges.iter().map(|(_, p)| p.clone()).collect();
+            let observed: BTreeSet<String> = (0..n)
+                .map(label)
+                .filter(|l| !interior.contains(l))
+                .collect();
+            (edges, observed)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn plan_invariants((edges, observed) in forest_strategy()) {
+        prop_assume!(!edges.is_empty());
+        let tax = Taxonomy::from_edges(&edges).expect("acyclic by construction");
+        let (order, groups) = tax.plan(&observed).expect("observed are leaves");
+
+        // 1. The order contains every observed label exactly once.
+        let as_set: BTreeSet<&String> = order.iter().collect();
+        prop_assert_eq!(order.len(), observed.len());
+        prop_assert_eq!(as_set.len(), order.len());
+        for l in &observed {
+            prop_assert!(as_set.contains(l));
+        }
+
+        // 2. Spans are in range and cover >= 2 leaves.
+        for (name, lo, hi) in &groups {
+            prop_assert!(lo < hi, "{name}");
+            prop_assert!((*hi as usize) < order.len());
+        }
+
+        // 3. Laminar family: any two spans are nested or disjoint.
+        for a in &groups {
+            for b in &groups {
+                let (al, ah) = (a.1, a.2);
+                let (bl, bh) = (b.1, b.2);
+                let disjoint = ah < bl || bh < al;
+                let nested = (al <= bl && bh <= ah) || (bl <= al && ah <= bh);
+                prop_assert!(disjoint || nested, "{:?} vs {:?}", a, b);
+            }
+        }
+
+        // 4. Spans agree exactly with ancestry: position i is inside the
+        //    span of group g iff g is an ancestor of order[i].
+        for (name, lo, hi) in &groups {
+            for (i, leaf) in order.iter().enumerate() {
+                let inside = (*lo as usize) <= i && i <= (*hi as usize);
+                prop_assert_eq!(
+                    inside,
+                    tax.is_ancestor(name, leaf),
+                    "group {} span [{}, {}] vs leaf {} at {}",
+                    name, lo, hi, leaf, i
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `qar` — mine quantitative association rules from CSV files.
+//!
+//! See `qar help` or [`quantrules::cli::USAGE`].
+
+use std::fs::File;
+use std::io::{BufReader, Read, Write};
+use std::process::ExitCode;
+
+use quantrules::cli::{self, Command};
+use quantrules::table::csv;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse_command(&args) {
+        Ok(Command::Help) => {
+            print!("{}", cli::USAGE);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Mine(mine)) => match run_mine(&mine) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
+        Ok(Command::Generate(gen)) => match run_generate(&gen) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("qar: {msg}");
+    ExitCode::FAILURE
+}
+
+fn run_mine(args: &cli::MineArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = args.clone();
+    for (attr, path) in std::mem::take(&mut args.taxonomy_files) {
+        let text = std::fs::read_to_string(&path)?;
+        let taxonomy = cli::parse_taxonomy(&text)?;
+        args.config.taxonomies.insert(attr, taxonomy);
+    }
+    let args = &args;
+    let schema = cli::build_schema(&args.schema)?;
+    let table = if args.input == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        csv::read_table(buf.as_bytes(), &schema)?
+    } else {
+        let file = File::open(&args.input)?;
+        csv::read_table(BufReader::new(file), &schema)?
+    };
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    cli::run_mine_on_table(&table, args, &mut lock)?;
+    lock.flush()?;
+    Ok(())
+}
+
+fn run_generate(args: &cli::GenerateArgs) -> Result<(), Box<dyn std::error::Error>> {
+    if args.output == "-" {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        cli::run_generate(args, &mut lock)?;
+        lock.flush()?;
+    } else {
+        let mut file = std::io::BufWriter::new(File::create(&args.output)?);
+        cli::run_generate(args, &mut file)?;
+        file.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,632 @@
+//! Command-line interface support for the `qar` binary.
+//!
+//! Kept in the library so the parsing and plumbing are unit-testable; the
+//! binary in `src/bin/qar.rs` is a thin `main`.
+//!
+//! ```text
+//! qar mine  --input data.csv --schema age:quant,married:cat [options]
+//! qar generate credit|people|planted --records N [--seed S] [--output f]
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qar_core::{
+    mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec, PartitionStrategy,
+};
+use qar_table::{csv, Schema, SchemaBuilder, Table};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Mine rules from a CSV file.
+    Mine(MineArgs),
+    /// Generate a synthetic dataset as CSV.
+    Generate(GenerateArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `qar mine`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MineArgs {
+    /// CSV path ("-" = stdin).
+    pub input: String,
+    /// Attribute declarations, `name:quant` / `name:cat`, in CSV header
+    /// order (any order relative to the file's header is fine — matching
+    /// is by name).
+    pub schema: Vec<(String, bool)>,
+    /// Miner configuration assembled from the flags.
+    pub config: MinerConfig,
+    /// Print at most this many rules (0 = all).
+    pub top: usize,
+    /// Show only interesting rules when an interest level is set.
+    pub interesting_only: bool,
+    /// Output format.
+    pub format: OutputFormat,
+    /// Taxonomy files: `(attribute, path)` pairs from `--taxonomy a=path`.
+    pub taxonomy_files: Vec<(String, String)>,
+}
+
+/// Output format for `qar mine`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable report (default).
+    #[default]
+    Text,
+    /// CSV with one rule per line.
+    Csv,
+    /// A JSON array of rule objects.
+    Json,
+}
+
+/// Arguments of `qar generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Which dataset: "credit", "people", or "planted".
+    pub dataset: String,
+    /// Number of records (ignored for "people").
+    pub records: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output path ("-" = stdout).
+    pub output: String,
+}
+
+/// CLI errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+qar — mine quantitative association rules (Srikant & Agrawal, SIGMOD '96)
+
+USAGE:
+  qar mine --input FILE --schema DECLS [options]
+  qar generate DATASET [--records N] [--seed S] [--output FILE]
+  qar help
+
+MINE OPTIONS:
+  --input FILE          CSV file with a header row (\"-\" for stdin)
+  --schema DECLS        comma-separated `name:quant` / `name:cat`
+  --minsup F            minimum support fraction        [default 0.2]
+  --minconf F           minimum confidence              [default 0.25]
+  --maxsup F            maximum combined-range support  [default 0.4]
+  --completeness K      partial completeness level      [default 2.0]
+  --intervals N         fixed interval count (overrides --completeness)
+  --no-partition        mine raw values (small domains only)
+  --strategy S          equidepth | equiwidth | kmeans  [default equidepth]
+  --interest R          interest level (> 1); omit to keep all rules
+  --interest-mode M     and | or                        [default or]
+  --max-size K          cap itemset size (0 = unbounded)
+  --top N               print at most N rules (0 = all) [default 50]
+  --all-rules           print pruned rules too (with a * marker)
+  --format F            text | csv | json               [default text]
+                        (csv/json always export ALL rules with verdicts)
+  --taxonomy A=FILE     is-a taxonomy for categorical attribute A; FILE has
+                        one `child,parent` edge per line (repeatable)
+
+GENERATE:
+  DATASET               credit | people | planted
+  --records N           number of records               [default 10000]
+  --seed S              RNG seed                        [default 1996]
+  --output FILE         destination (\"-\" for stdout)  [default -]
+";
+
+fn parse_flag_map(args: &[String]) -> Result<BTreeMap<String, String>, CliError> {
+    let mut map: BTreeMap<String, String> = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if !a.starts_with("--") {
+            return Err(err(format!("unexpected argument `{a}` (expected a --flag)")));
+        }
+        let key = a.trim_start_matches("--").to_string();
+        // Boolean flags take no value.
+        if key == "no-partition" || key == "all-rules" {
+            map.insert(key, "true".into());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| err(format!("flag --{key} needs a value")))?;
+        if key == "taxonomy" {
+            // Repeatable flag: accumulate with a separator no path contains.
+            match map.get_mut(&key) {
+                Some(existing) => {
+                    existing.push('\x1f');
+                    existing.push_str(value);
+                }
+                None => {
+                    map.insert(key, value.clone());
+                }
+            }
+        } else {
+            map.insert(key, value.clone());
+        }
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn parse_f64(map: &BTreeMap<String, String>, key: &str, default: f64) -> Result<f64, CliError> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("--{key}: `{v}` is not a number"))),
+    }
+}
+
+fn parse_usize(map: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, CliError> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("--{key}: `{v}` is not an integer"))),
+    }
+}
+
+/// Parse `name:quant,name:cat,...` declarations.
+pub fn parse_schema_decls(decls: &str) -> Result<Vec<(String, bool)>, CliError> {
+    let mut out = Vec::new();
+    for part in decls.split(',') {
+        let (name, kind) = part
+            .split_once(':')
+            .ok_or_else(|| err(format!("schema entry `{part}` must be name:quant or name:cat")))?;
+        let quant = match kind.trim() {
+            "quant" | "q" | "quantitative" => true,
+            "cat" | "c" | "categorical" => false,
+            other => return Err(err(format!("unknown attribute kind `{other}`"))),
+        };
+        if name.trim().is_empty() {
+            return Err(err("empty attribute name in schema"));
+        }
+        out.push((name.trim().to_string(), quant));
+    }
+    if out.is_empty() {
+        return Err(err("schema has no attributes"));
+    }
+    Ok(out)
+}
+
+/// Build a [`Schema`] from parsed declarations.
+pub fn build_schema(decls: &[(String, bool)]) -> Result<Schema, CliError> {
+    let mut builder: SchemaBuilder = Schema::builder();
+    for (name, quant) in decls {
+        builder = if *quant {
+            builder.quantitative(name.clone())
+        } else {
+            builder.categorical(name.clone())
+        };
+    }
+    builder.build().map_err(|e| err(e.to_string()))
+}
+
+/// Parse a full command line (without the program name).
+pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
+    let Some(verb) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match verb.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "mine" => {
+            let map = parse_flag_map(&args[1..])?;
+            let input = map
+                .get("input")
+                .cloned()
+                .ok_or_else(|| err("mine requires --input FILE"))?;
+            let schema = parse_schema_decls(
+                map.get("schema")
+                    .ok_or_else(|| err("mine requires --schema DECLS"))?,
+            )?;
+            let partitioning = if map.contains_key("no-partition") {
+                PartitionSpec::None
+            } else if let Some(n) = map.get("intervals") {
+                PartitionSpec::FixedIntervals(
+                    n.parse()
+                        .map_err(|_| err(format!("--intervals: `{n}` is not an integer")))?,
+                )
+            } else {
+                PartitionSpec::CompletenessLevel(parse_f64(&map, "completeness", 2.0)?)
+            };
+            let partition_strategy = match map.get("strategy").map(String::as_str) {
+                None | Some("equidepth") => PartitionStrategy::EquiDepth,
+                Some("equiwidth") => PartitionStrategy::EquiWidth,
+                Some("kmeans") => PartitionStrategy::KMeans,
+                Some(other) => return Err(err(format!("unknown strategy `{other}`"))),
+            };
+            let interest = match map.get("interest") {
+                None => None,
+                Some(v) => {
+                    let level: f64 = v
+                        .parse()
+                        .map_err(|_| err(format!("--interest: `{v}` is not a number")))?;
+                    let mode = match map.get("interest-mode").map(String::as_str) {
+                        None | Some("or") => InterestMode::SupportOrConfidence,
+                        Some("and") => InterestMode::SupportAndConfidence,
+                        Some(other) => return Err(err(format!("unknown interest mode `{other}`"))),
+                    };
+                    Some(InterestConfig {
+                        level,
+                        mode,
+                        prune_candidates: mode == InterestMode::SupportAndConfidence,
+                    })
+                }
+            };
+            let config = MinerConfig {
+                min_support: parse_f64(&map, "minsup", 0.2)?,
+                min_confidence: parse_f64(&map, "minconf", 0.25)?,
+                max_support: parse_f64(&map, "maxsup", 0.4)?,
+                partitioning,
+                partition_strategy,
+                taxonomies: Default::default(),
+                interest,
+                max_itemset_size: parse_usize(&map, "max-size", 0)?,
+            };
+            config.validate().map_err(|e| err(e.to_string()))?;
+            let format = match map.get("format").map(String::as_str) {
+                None | Some("text") => OutputFormat::Text,
+                Some("csv") => OutputFormat::Csv,
+                Some("json") => OutputFormat::Json,
+                Some(other) => return Err(err(format!("unknown format `{other}`"))),
+            };
+            let mut taxonomy_files = Vec::new();
+            if let Some(spec) = map.get("taxonomy") {
+                for entry in spec.split('\x1f') {
+                    let (attr, path) = entry.split_once('=').ok_or_else(|| {
+                        err(format!("--taxonomy `{entry}` must be attribute=file"))
+                    })?;
+                    taxonomy_files.push((attr.trim().to_string(), path.trim().to_string()));
+                }
+            }
+            Ok(Command::Mine(MineArgs {
+                input,
+                schema,
+                config,
+                top: parse_usize(&map, "top", 50)?,
+                interesting_only: !map.contains_key("all-rules"),
+                format,
+                taxonomy_files,
+            }))
+        }
+        "generate" => {
+            let dataset = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| err("generate requires a dataset: credit | people | planted"))?;
+            if !["credit", "people", "planted"].contains(&dataset.as_str()) {
+                return Err(err(format!("unknown dataset `{dataset}`")));
+            }
+            let map = parse_flag_map(&args[2..])?;
+            Ok(Command::Generate(GenerateArgs {
+                dataset,
+                records: parse_usize(&map, "records", 10_000)?,
+                seed: parse_usize(&map, "seed", 1996)? as u64,
+                output: map.get("output").cloned().unwrap_or_else(|| "-".into()),
+            }))
+        }
+        other => Err(err(format!("unknown command `{other}` (try `qar help`)"))),
+    }
+}
+
+/// Parse a taxonomy edge file: one `child,parent` pair per line; blank
+/// lines and `#` comments ignored.
+pub fn parse_taxonomy(text: &str) -> Result<qar_table::Taxonomy, CliError> {
+    let mut edges: Vec<(String, String)> = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (child, parent) = line
+            .split_once(',')
+            .ok_or_else(|| err(format!("taxonomy line {}: expected `child,parent`", no + 1)))?;
+        edges.push((child.trim().to_string(), parent.trim().to_string()));
+    }
+    if edges.is_empty() {
+        return Err(err("taxonomy file has no edges"));
+    }
+    qar_table::Taxonomy::from_edges(&edges).map_err(|e| err(e.to_string()))
+}
+
+/// Execute `qar mine` against an already-loaded table, writing a report to
+/// `out`. Separated from file I/O for testability.
+pub fn run_mine_on_table(
+    table: &Table,
+    args: &MineArgs,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let result = mine_table(table, &args.config)?;
+    match args.format {
+        OutputFormat::Csv => {
+            qar_core::export::rules_to_csv(
+                out,
+                &result.rules,
+                result.interest.as_deref(),
+                &result.encoded,
+                result.frequent.num_rows,
+            )?;
+            return Ok(());
+        }
+        OutputFormat::Json => {
+            qar_core::export::rules_to_json(
+                out,
+                &result.rules,
+                result.interest.as_deref(),
+                &result.encoded,
+                result.frequent.num_rows,
+            )?;
+            return Ok(());
+        }
+        OutputFormat::Text => {}
+    }
+    writeln!(
+        out,
+        "{} records; {} frequent itemsets across {} levels; {} rules ({} interesting)",
+        table.num_rows(),
+        result.frequent.total(),
+        result.frequent.levels.len(),
+        result.stats.rules_total,
+        result.stats.rules_interesting,
+    )?;
+    writeln!(
+        out,
+        "intervals per attribute: {:?}; mining took {:?}",
+        result.stats.intervals_per_attribute, result.stats.elapsed_mining
+    )?;
+    let verdicts = result.interest.as_deref();
+    // Sort by confidence (descending), then support.
+    let mut order: Vec<usize> = (0..result.rules.len())
+        .filter(|&i| match (args.interesting_only, verdicts) {
+            (true, Some(v)) => v[i].interesting,
+            _ => true,
+        })
+        .collect();
+    order.sort_by(|&a, &b| {
+        result.rules[b]
+            .confidence
+            .total_cmp(&result.rules[a].confidence)
+            .then(result.rules[b].support.cmp(&result.rules[a].support))
+    });
+    let limit = if args.top == 0 { order.len() } else { args.top };
+    for &i in order.iter().take(limit) {
+        let marker = match verdicts {
+            Some(v) if !v[i].interesting => " *pruned*",
+            _ => "",
+        };
+        writeln!(out, "  {}{marker}", result.format_rule(i))?;
+    }
+    if order.len() > limit {
+        writeln!(out, "  ... and {} more (raise --top)", order.len() - limit)?;
+    }
+    Ok(())
+}
+
+/// Execute `qar generate`, writing CSV to `out`.
+pub fn run_generate(
+    args: &GenerateArgs,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let table = match args.dataset.as_str() {
+        "credit" => {
+            qar_datagen::CreditDataset::generate(qar_datagen::CreditConfig {
+                num_records: args.records,
+                seed: args.seed,
+                ..Default::default()
+            })
+            .table
+        }
+        "people" => qar_datagen::people_table(),
+        "planted" => {
+            qar_datagen::PlantedDataset::generate(qar_datagen::PlantedConfig {
+                num_records: args.records,
+                seed: args.seed,
+            })
+            .table
+        }
+        other => return Err(Box::new(err(format!("unknown dataset `{other}`")))),
+    };
+    csv::write_table(out, &table)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_command(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_command(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_command(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn mine_defaults() {
+        let cmd = parse_command(&argv(
+            "mine --input data.csv --schema age:quant,married:cat",
+        ))
+        .unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert_eq!(args.input, "data.csv");
+        assert_eq!(args.schema.len(), 2);
+        assert_eq!(args.config.min_support, 0.2);
+        assert_eq!(
+            args.config.partitioning,
+            PartitionSpec::CompletenessLevel(2.0)
+        );
+        assert!(args.config.interest.is_none());
+        assert_eq!(args.top, 50);
+    }
+
+    #[test]
+    fn mine_full_flags() {
+        let cmd = parse_command(&argv(
+            "mine --input - --schema a:q,b:c --minsup 0.1 --minconf 0.6 --maxsup 0.3 \
+             --intervals 8 --strategy kmeans --interest 1.5 --interest-mode and \
+             --max-size 3 --top 10 --all-rules",
+        ))
+        .unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert_eq!(args.config.min_support, 0.1);
+        assert_eq!(args.config.partitioning, PartitionSpec::FixedIntervals(8));
+        assert_eq!(args.config.partition_strategy, PartitionStrategy::KMeans);
+        let interest = args.config.interest.unwrap();
+        assert_eq!(interest.level, 1.5);
+        assert_eq!(interest.mode, InterestMode::SupportAndConfidence);
+        assert!(interest.prune_candidates);
+        assert_eq!(args.config.max_itemset_size, 3);
+        assert!(!args.interesting_only);
+        assert_eq!(args.format, OutputFormat::Text);
+    }
+
+    #[test]
+    fn format_flag() {
+        for (flag, want) in [
+            ("csv", OutputFormat::Csv),
+            ("json", OutputFormat::Json),
+            ("text", OutputFormat::Text),
+        ] {
+            let cmd = parse_command(&argv(&format!(
+                "mine --input f --schema a:q --format {flag}"
+            )))
+            .unwrap();
+            let Command::Mine(args) = cmd else { panic!() };
+            assert_eq!(args.format, want);
+        }
+        assert!(parse_command(&argv("mine --input f --schema a:q --format yaml")).is_err());
+    }
+
+    #[test]
+    fn csv_format_end_to_end() {
+        let gen = GenerateArgs {
+            dataset: "people".into(),
+            records: 0,
+            seed: 0,
+            output: "-".into(),
+        };
+        let mut csv_bytes = Vec::new();
+        run_generate(&gen, &mut csv_bytes).expect("generate");
+        let decls = parse_schema_decls("Age:quant,Married:cat,NumCars:quant").unwrap();
+        let schema = build_schema(&decls).unwrap();
+        let table = csv::read_table(csv_bytes.as_slice(), &schema).unwrap();
+        let cmd = parse_command(&argv(
+            "mine --input - --schema Age:quant,Married:cat,NumCars:quant \
+             --minsup 0.4 --minconf 0.5 --maxsup 1.0 --no-partition --format csv",
+        ))
+        .unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        let mut report = Vec::new();
+        run_mine_on_table(&table, &args, &mut report).expect("mine");
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.starts_with("antecedent,consequent,"), "{text}");
+        assert!(text.contains("Married=Yes,NumCars=2,2,0.400000,1.000000"));
+    }
+
+    #[test]
+    fn mine_rejects_bad_input() {
+        assert!(parse_command(&argv("mine --schema a:q")).is_err()); // no input
+        assert!(parse_command(&argv("mine --input f")).is_err()); // no schema
+        assert!(parse_command(&argv("mine --input f --schema a:bogus")).is_err());
+        assert!(parse_command(&argv("mine --input f --schema a:q --minsup nope")).is_err());
+        assert!(parse_command(&argv("mine --input f --schema a:q --minsup 2.0")).is_err());
+        assert!(parse_command(&argv("mine --input f --schema a:q --strategy diagonal")).is_err());
+        assert!(parse_command(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn schema_decl_parsing() {
+        let decls = parse_schema_decls("age:quant, income :q,city:cat,flag:c").unwrap();
+        assert_eq!(decls.len(), 4);
+        assert!(decls[0].1 && decls[1].1);
+        assert!(!decls[2].1 && !decls[3].1);
+        assert_eq!(decls[1].0, "income");
+        assert!(parse_schema_decls("x").is_err());
+        assert!(parse_schema_decls(":q").is_err());
+        let schema = build_schema(&decls).unwrap();
+        assert_eq!(schema.len(), 4);
+    }
+
+    #[test]
+    fn taxonomy_flag_parses_and_repeats() {
+        let cmd = parse_command(&argv(
+            "mine --input f --schema a:c,b:c --taxonomy a=ta.txt --taxonomy b=tb.txt",
+        ))
+        .unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert_eq!(
+            args.taxonomy_files,
+            vec![("a".to_string(), "ta.txt".to_string()), ("b".to_string(), "tb.txt".to_string())]
+        );
+        assert!(parse_command(&argv("mine --input f --schema a:c --taxonomy nofile")).is_err());
+    }
+
+    #[test]
+    fn taxonomy_file_parsing() {
+        let tax = parse_taxonomy("# comment\nCA,West\nWA,West\n\nWest,USA\n").unwrap();
+        assert!(tax.is_ancestor("USA", "CA"));
+        assert!(parse_taxonomy("").is_err());
+        assert!(parse_taxonomy("justoneword\n").is_err());
+        assert!(parse_taxonomy("a,b\nb,a\n").is_err()); // cycle
+    }
+
+    #[test]
+    fn generate_parsing() {
+        let cmd = parse_command(&argv("generate credit --records 500 --seed 7")).unwrap();
+        let Command::Generate(args) = cmd else { panic!() };
+        assert_eq!(args.dataset, "credit");
+        assert_eq!(args.records, 500);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.output, "-");
+        assert!(parse_command(&argv("generate nonsense")).is_err());
+        assert!(parse_command(&argv("generate")).is_err());
+    }
+
+    #[test]
+    fn generate_then_mine_round_trip() {
+        // people -> CSV -> parse -> mine, all through the CLI layer.
+        let gen = GenerateArgs {
+            dataset: "people".into(),
+            records: 0,
+            seed: 0,
+            output: "-".into(),
+        };
+        let mut csv_bytes = Vec::new();
+        run_generate(&gen, &mut csv_bytes).expect("generate");
+
+        let decls =
+            parse_schema_decls("Age:quant,Married:cat,NumCars:quant").expect("schema decls");
+        let schema = build_schema(&decls).expect("schema");
+        let table = csv::read_table(csv_bytes.as_slice(), &schema).expect("read generated CSV");
+
+        let cmd = parse_command(&argv(
+            "mine --input - --schema Age:quant,Married:cat,NumCars:quant \
+             --minsup 0.4 --minconf 0.5 --maxsup 1.0 --no-partition --top 0",
+        ))
+        .expect("parse");
+        let Command::Mine(args) = cmd else { panic!() };
+        let mut report = Vec::new();
+        run_mine_on_table(&table, &args, &mut report).expect("mine");
+        let text = String::from_utf8(report).expect("utf8");
+        assert!(text.contains("⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩"), "{text}");
+    }
+}

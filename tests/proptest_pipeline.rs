@@ -1,0 +1,147 @@
+//! Property tests over the whole pipeline: for random small tables and
+//! random thresholds, the miner must agree with the brute-force reference,
+//! and its outputs must satisfy the paper's definitional invariants.
+
+use proptest::prelude::*;
+use quantrules::core::naive::naive_mine;
+use quantrules::core::{mine_encoded, generate_rules, MinerConfig, PartitionSpec};
+use quantrules::table::{EncodedTable, Schema, Table, Value};
+
+fn arbitrary_table() -> impl Strategy<Value = Table> {
+    // 2 quantitative attributes (domains ≤ 6) + 1 categorical (≤ 3).
+    let row = (0i64..6, 0i64..6, 0usize..3);
+    prop::collection::vec(row, 8..60).prop_map(|rows| {
+        let schema = Schema::builder()
+            .quantitative("q1")
+            .quantitative("q2")
+            .categorical("c")
+            .build()
+            .expect("static schema");
+        let mut t = Table::new(schema);
+        let labels = ["a", "b", "c"];
+        for (q1, q2, c) in rows {
+            t.push_row(&[Value::Int(q1), Value::Int(q2), Value::from(labels[c])])
+                .expect("row matches schema");
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Miner == brute force on arbitrary tables and thresholds.
+    #[test]
+    fn miner_equals_naive(
+        table in arbitrary_table(),
+        minsup_pct in 5u32..60,
+        maxsup_pct in 60u32..100,
+    ) {
+        let config = MinerConfig {
+            min_support: minsup_pct as f64 / 100.0,
+            min_confidence: 0.5,
+            max_support: maxsup_pct as f64 / 100.0,
+            partitioning: PartitionSpec::None,
+partition_strategy: Default::default(),
+taxonomies: Default::default(),
+            interest: None,
+            max_itemset_size: 0,
+        };
+        let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
+        let naive = naive_mine(&encoded, &config);
+        let (real, _) = mine_encoded(&encoded, &config, None).expect("mine");
+        prop_assert_eq!(naive.total(), real.total());
+        for (itemset, count) in naive.iter() {
+            prop_assert_eq!(real.support_of(itemset), Some(*count), "{}", itemset);
+        }
+    }
+
+    /// Every generated rule satisfies its definition exactly.
+    #[test]
+    fn rules_satisfy_definitions(
+        table in arbitrary_table(),
+        minconf_pct in 10u32..95,
+    ) {
+        let config = MinerConfig {
+            min_support: 0.15,
+            min_confidence: minconf_pct as f64 / 100.0,
+            max_support: 0.8,
+            partitioning: PartitionSpec::None,
+partition_strategy: Default::default(),
+taxonomies: Default::default(),
+            interest: None,
+            max_itemset_size: 0,
+        };
+        let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
+        let (frequent, _) = mine_encoded(&encoded, &config, None).expect("mine");
+        let rules = generate_rules(&frequent, config.min_confidence);
+        for rule in &rules {
+            // Attribute-disjoint sides.
+            let ants = rule.antecedent.attributes();
+            let cons = rule.consequent.attributes();
+            prop_assert!(ants.iter().all(|a| !cons.contains(a)));
+            // Confidence and support are exact recounts.
+            let both = quantrules::core::supercand::count_candidates_naive(
+                &encoded,
+                &[rule.itemset(), rule.antecedent.clone()],
+            );
+            prop_assert_eq!(rule.support, both[0]);
+            let conf = both[0] as f64 / both[1] as f64;
+            prop_assert!((rule.confidence - conf).abs() < 1e-12);
+            prop_assert!(rule.confidence >= config.min_confidence);
+            // The rule's itemset meets minimum support.
+            let min_count = (config.min_support * table.num_rows() as f64).ceil() as u64;
+            prop_assert!(rule.support >= min_count);
+        }
+    }
+
+    /// Monotonicity in minsup: raising it never adds itemsets, and the
+    /// surviving sets keep their exact supports.
+    #[test]
+    fn minsup_monotone(table in arbitrary_table()) {
+        let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
+        let mk = |minsup: f64| MinerConfig {
+            min_support: minsup,
+            min_confidence: 0.5,
+            max_support: 1.0,
+            partitioning: PartitionSpec::None,
+partition_strategy: Default::default(),
+taxonomies: Default::default(),
+            interest: None,
+            max_itemset_size: 0,
+        };
+        let (lo, _) = mine_encoded(&encoded, &mk(0.1), None).expect("mine");
+        let (hi, _) = mine_encoded(&encoded, &mk(0.3), None).expect("mine");
+        prop_assert!(hi.total() <= lo.total());
+        for (itemset, count) in hi.iter() {
+            prop_assert_eq!(lo.support_of(itemset), Some(*count));
+        }
+    }
+
+    /// The counting backends agree wherever the auto heuristic is allowed
+    /// to choose (end-to-end, forced array vs forced R*-tree vs auto).
+    #[test]
+    fn backends_agree(table in arbitrary_table()) {
+        use quantrules::itemset::CounterKind;
+        let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
+        let config = MinerConfig {
+            min_support: 0.2,
+            min_confidence: 0.5,
+            max_support: 0.7,
+            partitioning: PartitionSpec::None,
+partition_strategy: Default::default(),
+taxonomies: Default::default(),
+            interest: None,
+            max_itemset_size: 0,
+        };
+        let (auto, _) = mine_encoded(&encoded, &config, None).expect("auto");
+        let (arr, _) = mine_encoded(&encoded, &config, Some(CounterKind::Array)).expect("array");
+        let (rt, _) = mine_encoded(&encoded, &config, Some(CounterKind::RTree)).expect("rtree");
+        prop_assert_eq!(auto.total(), arr.total());
+        prop_assert_eq!(auto.total(), rt.total());
+        for (itemset, count) in auto.iter() {
+            prop_assert_eq!(arr.support_of(itemset), Some(*count));
+            prop_assert_eq!(rt.support_of(itemset), Some(*count));
+        }
+    }
+}
