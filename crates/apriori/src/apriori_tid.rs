@@ -140,8 +140,10 @@ pub fn apriori_tid(db: &TransactionDb, minsup: f64) -> FrequentItemsets {
             break;
         }
         for t in &mut next_cbar {
-            let mut remapped: Vec<u32> =
-                t.iter().filter_map(|cid| keep_map.get(cid).copied()).collect();
+            let mut remapped: Vec<u32> = t
+                .iter()
+                .filter_map(|cid| keep_map.get(cid).copied())
+                .collect();
             remapped.sort_unstable();
             *t = remapped;
         }

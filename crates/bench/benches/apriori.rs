@@ -1,30 +1,20 @@
 //! Microbench: Apriori vs. AprioriTid (\[AS94\]) on Quest-style baskets.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qar_apriori::{apriori, apriori_tid};
+use qar_bench::harness::bench;
 use qar_datagen::{QuestConfig, QuestDataset};
 
-fn bench_apriori(c: &mut Criterion) {
+fn main() {
     let data = QuestDataset::generate(QuestConfig {
         num_transactions: 5_000,
         ..QuestConfig::default()
     });
-    let mut group = c.benchmark_group("boolean_apriori");
-    group.sample_size(10);
     for minsup in [0.02f64, 0.01] {
-        group.bench_with_input(
-            BenchmarkId::new("apriori", format!("{minsup}")),
-            &minsup,
-            |b, &m| b.iter(|| black_box(apriori(&data.db, m).total())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("apriori_tid", format!("{minsup}")),
-            &minsup,
-            |b, &m| b.iter(|| black_box(apriori_tid(&data.db, m).total())),
-        );
+        bench(&format!("apriori/minsup{minsup}"), || {
+            apriori(&data.db, minsup).total()
+        });
+        bench(&format!("apriori_tid/minsup{minsup}"), || {
+            apriori_tid(&data.db, minsup).total()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_apriori);
-criterion_main!(benches);

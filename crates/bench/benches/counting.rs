@@ -1,7 +1,7 @@
 //! Microbench: the Section 5.2 counting structures — n-dimensional array
-//! vs. R*-tree vs. the auto heuristic — on a fixed rectangle/point load.
+//! vs. R*-tree — on a fixed rectangle/point load.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qar_bench::harness::bench;
 use qar_itemset::{CounterKind, RectCounter};
 
 type Workload = (Vec<(Vec<u32>, Vec<u32>)>, Vec<Vec<u32>>);
@@ -9,7 +9,9 @@ type Workload = (Vec<(Vec<u32>, Vec<u32>)>, Vec<Vec<u32>>);
 fn workload(dims: &[u32], num_rects: usize, num_points: usize) -> Workload {
     let mut state = 0x5EED_u64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as u32
     };
     let rects = (0..num_rects)
@@ -31,32 +33,20 @@ fn workload(dims: &[u32], num_rects: usize, num_points: usize) -> Workload {
     (rects, points)
 }
 
-fn bench_counting(c: &mut Criterion) {
-    let mut group = c.benchmark_group("counting");
+fn main() {
     for (label, dims, rects, points) in [
         ("2d-50x50", vec![50u32, 50], 2_000usize, 20_000usize),
         ("3d-25", vec![25, 25, 25], 1_000, 10_000),
     ] {
         let (rect_set, point_set) = workload(&dims, rects, points);
         for kind in [CounterKind::Array, CounterKind::RTree] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), label),
-                &(&dims, &rect_set, &point_set),
-                |b, (dims, rect_set, point_set)| {
-                    b.iter(|| {
-                        let mut counter =
-                            RectCounter::build_with(kind, dims, (*rect_set).clone());
-                        for p in point_set.iter() {
-                            counter.count_record(p);
-                        }
-                        black_box(counter.finish())
-                    })
-                },
-            );
+            bench(&format!("counting/{kind:?}/{label}"), || {
+                let mut counter = RectCounter::build_with(kind, &dims, rect_set.clone());
+                for p in point_set.iter() {
+                    counter.count_record(p);
+                }
+                counter.finish()
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_counting);
-criterion_main!(benches);

@@ -1,13 +1,15 @@
 //! Microbench: hash-tree subset matching (Section 5.2 / \[AS94\]) against
 //! a naive per-candidate scan.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qar_bench::harness::bench;
 use qar_itemset::HashTree;
 
 fn keys_and_records() -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
     let mut state = 17u64;
     let mut next = move |m: u64| {
-        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        state = state
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         (state >> 33) % m
     };
     let mut keys: Vec<Vec<u64>> = Vec::new();
@@ -30,39 +32,30 @@ fn keys_and_records() -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
     (keys, records)
 }
 
-fn bench_subset_matching(c: &mut Criterion) {
+fn main() {
     let (keys, records) = keys_and_records();
-    let mut group = c.benchmark_group("hash_tree");
 
-    group.bench_function("hash_tree/5k-keys-2k-records", |b| {
-        b.iter(|| {
-            let mut tree = HashTree::new();
-            for (i, k) in keys.iter().enumerate() {
-                tree.insert(k.clone(), i as u64);
-            }
-            let mut hits = 0u64;
-            for r in &records {
-                tree.for_each_subset_of(r, |_, _| hits += 1);
-            }
-            black_box(hits)
-        })
+    bench("hash_tree/5k-keys-2k-records", || {
+        let mut tree = HashTree::new();
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(k.clone(), i as u64);
+        }
+        let mut hits = 0u64;
+        for r in &records {
+            tree.for_each_subset_of(r, |_, _| hits += 1);
+        }
+        hits
     });
 
-    group.bench_function("naive/5k-keys-2k-records", |b| {
-        b.iter(|| {
-            let mut hits = 0u64;
-            for r in &records {
-                for k in &keys {
-                    if k.iter().all(|x| r.binary_search(x).is_ok()) {
-                        hits += 1;
-                    }
+    bench("naive/5k-keys-2k-records", || {
+        let mut hits = 0u64;
+        for r in &records {
+            for k in &keys {
+                if k.iter().all(|x| r.binary_search(x).is_ok()) {
+                    hits += 1;
                 }
             }
-            black_box(hits)
-        })
+        }
+        hits
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_subset_matching);
-criterion_main!(benches);

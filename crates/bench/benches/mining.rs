@@ -1,24 +1,25 @@
 //! Microbench: the full quantitative mining pipeline on the simulated
-//! Section 6 data, at two partial-completeness levels, plus the
+//! Section 6 data, at three partial-completeness levels, plus the
 //! rule-generation and interest stages separately.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qar_bench::experiments::{credit, section6_config};
+use qar_bench::harness::bench;
 use qar_core::pipeline::{build_encoders, item_supports_of};
 use qar_core::{annotate_interest, generate_rules, mine_encoded, InterestConfig, InterestMode};
 use qar_table::EncodedTable;
 
-fn bench_mining(c: &mut Criterion) {
+fn main() {
     let data = credit(10_000);
-    let mut group = c.benchmark_group("quant_mining");
-    group.sample_size(10);
 
     for k in [1.5f64, 2.0, 3.0] {
         let config = section6_config(0.20, 0.25, k, None);
         let (encoders, _) = build_encoders(&data.table, &config).expect("encoders");
         let encoded = EncodedTable::encode(&data.table, encoders).expect("encode");
-        group.bench_with_input(BenchmarkId::new("mine_encoded", format!("K{k}")), &k, |b, _| {
-            b.iter(|| black_box(mine_encoded(&encoded, &config, None).expect("mine").0.total()))
+        bench(&format!("mine_encoded/K{k}"), || {
+            mine_encoded(&encoded, &config, None)
+                .expect("mine")
+                .0
+                .total()
         });
     }
 
@@ -27,28 +28,22 @@ fn bench_mining(c: &mut Criterion) {
     let (encoders, _) = build_encoders(&data.table, &config).expect("encoders");
     let encoded = EncodedTable::encode(&data.table, encoders).expect("encode");
     let (frequent, _) = mine_encoded(&encoded, &config, None).expect("mine");
-    group.bench_function("generate_rules/K1.5", |b| {
-        b.iter(|| black_box(generate_rules(&frequent, 0.25).len()))
+    bench("generate_rules/K1.5", || {
+        generate_rules(&frequent, 0.25).len()
     });
     let rules = generate_rules(&frequent, 0.25);
     let supports = item_supports_of(&encoded);
-    group.bench_function("interest/K1.5", |b| {
-        b.iter(|| {
-            let verdicts = annotate_interest(
-                &rules,
-                &frequent,
-                &supports,
-                &InterestConfig {
-                    level: 1.1,
-                    mode: InterestMode::SupportOrConfidence,
-                    prune_candidates: false,
-                },
-            );
-            black_box(verdicts.iter().filter(|v| v.interesting).count())
-        })
+    bench("interest/K1.5", || {
+        let verdicts = annotate_interest(
+            &rules,
+            &frequent,
+            &supports,
+            &InterestConfig {
+                level: 1.1,
+                mode: InterestMode::SupportOrConfidence,
+                prune_candidates: false,
+            },
+        );
+        verdicts.iter().filter(|v| v.interesting).count()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_mining);
-criterion_main!(benches);

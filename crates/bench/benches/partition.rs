@@ -1,6 +1,6 @@
 //! Microbench: partitioner cut-point computation on large skewed columns.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qar_bench::harness::bench;
 use qar_partition::{EquiDepth, EquiWidth, KMeans1D, Partitioner};
 
 fn lognormal_column(n: usize) -> Vec<f64> {
@@ -18,24 +18,17 @@ fn lognormal_column(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_partitioners(c: &mut Criterion) {
+fn main() {
     let values = lognormal_column(100_000);
-    let mut group = c.benchmark_group("partition");
     for k in [25usize, 100] {
         for p in [
             &EquiDepth as &dyn Partitioner,
             &EquiWidth,
             &KMeans1D::default(),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(p.name(), format!("k{k}")),
-                &k,
-                |b, &k| b.iter(|| black_box(p.cut_points(&values, k).len())),
-            );
+            bench(&format!("partition/{}/k{k}", p.name()), || {
+                p.cut_points(&values, k).len()
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_partitioners);
-criterion_main!(benches);

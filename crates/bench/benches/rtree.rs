@@ -1,7 +1,7 @@
 //! Microbench: R*-tree construction (incremental vs. STR bulk load) and
 //! point queries.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qar_bench::harness::bench;
 use qar_rtree::{RStarTree, Rect};
 
 fn rects(n: usize) -> Vec<(Rect, u32)> {
@@ -22,22 +22,18 @@ fn rects(n: usize) -> Vec<(Rect, u32)> {
         .collect()
 }
 
-fn bench_rtree(c: &mut Criterion) {
+fn main() {
     let items = rects(20_000);
-    let mut group = c.benchmark_group("rtree");
-    group.sample_size(10);
 
-    group.bench_function("insert/20k", |b| {
-        b.iter(|| {
-            let mut tree = RStarTree::new();
-            for (r, v) in &items {
-                tree.insert(*r, *v);
-            }
-            black_box(tree.len())
-        })
+    bench("rtree/insert/20k", || {
+        let mut tree = RStarTree::new();
+        for (r, v) in &items {
+            tree.insert(*r, *v);
+        }
+        tree.len()
     });
-    group.bench_function("bulk_load/20k", |b| {
-        b.iter(|| black_box(RStarTree::bulk_load(items.clone()).len()))
+    bench("rtree/bulk_load/20k", || {
+        RStarTree::bulk_load(items.clone()).len()
     });
 
     let tree = RStarTree::bulk_load(items.clone());
@@ -51,17 +47,11 @@ fn bench_rtree(c: &mut Criterion) {
             ]
         })
         .collect();
-    group.bench_function("query_point/10k-on-20k", |b| {
-        b.iter(|| {
-            let mut hits = 0u64;
-            for p in &probes {
-                tree.query_point(p, |_| hits += 1);
-            }
-            black_box(hits)
-        })
+    bench("rtree/query_point/10k-on-20k", || {
+        let mut hits = 0u64;
+        for p in &probes {
+            tree.query_point(p, |_| hits += 1);
+        }
+        hits
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_rtree);
-criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Thread-sweep benchmark: end-to-end mining time and counting-pass scan
+//! time versus the `parallelism` knob, on the fig7-scale credit workload.
+//!
+//! Usage: `cargo bench --bench threads [-- <num_records> [thread list]]`
+//! (defaults: 50000 records, threads 1 2 4 8). Prints, per thread count,
+//! the wall-clock mining time, the summed counting-pass scan wall-clock,
+//! the per-shard busy total, and the speedup over the single-thread run —
+//! and asserts that every run mines the identical rule count, so the
+//! sweep doubles as an equivalence check at scale.
+
+use qar_bench::experiments::{credit, section6_config};
+use qar_bench::harness::{bench, fmt_duration};
+use qar_core::pipeline::build_encoders;
+use qar_core::{generate_rules, mine_encoded};
+use qar_table::EncodedTable;
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--bench")
+        .collect();
+    let num_records: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let threads: Vec<usize> = if args.len() > 1 {
+        args[1..].iter().filter_map(|a| a.parse().ok()).collect()
+    } else {
+        vec![1, 2, 4, 8]
+    };
+
+    println!("thread sweep: {num_records} credit records, threads {threads:?}");
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("hardware: available_parallelism = {available}\n");
+
+    let data = credit(num_records);
+    let mut config = section6_config(0.20, 0.25, 2.0, None);
+    let (encoders, _) = build_encoders(&data.table, &config).expect("encoders");
+    let encoded = EncodedTable::encode(&data.table, encoders).expect("encode");
+
+    let mut baseline: Option<Duration> = None;
+    let mut reference_rules: Option<usize> = None;
+    for &t in &threads {
+        config.parallelism = NonZeroUsize::new(t);
+        let mut scan_total = Duration::ZERO;
+        let mut busy_total = Duration::ZERO;
+        let mut merge_total = Duration::ZERO;
+        let mut rules_out = 0usize;
+        let sample = bench(&format!("mine/threads={t}"), || {
+            let (frequent, stats) = mine_encoded(&encoded, &config, None).expect("mine");
+            scan_total = stats
+                .pass_stats
+                .iter()
+                .map(|p| p.scan_time)
+                .sum::<Duration>();
+            busy_total = stats
+                .pass_stats
+                .iter()
+                .flat_map(|p| p.shard_scan_times.iter().copied())
+                .sum::<Duration>();
+            merge_total = stats
+                .pass_stats
+                .iter()
+                .map(|p| p.merge_time)
+                .sum::<Duration>();
+            rules_out = generate_rules(&frequent, config.min_confidence).len();
+            rules_out
+        });
+        match reference_rules {
+            None => reference_rules = Some(rules_out),
+            Some(r) => assert_eq!(
+                r, rules_out,
+                "thread count {t} changed the mined rules — determinism bug"
+            ),
+        }
+        let speedup = match baseline {
+            None => {
+                baseline = Some(sample.median);
+                1.0
+            }
+            Some(base) => base.as_secs_f64() / sample.median.as_secs_f64(),
+        };
+        println!(
+            "  threads={t}: scan wall {} | shard busy {} | merge {} | rules {} | speedup {:.2}x\n",
+            fmt_duration(scan_total),
+            fmt_duration(busy_total),
+            fmt_duration(merge_total),
+            rules_out,
+            speedup,
+        );
+    }
+}

@@ -154,8 +154,8 @@ fn interest_prune_ablation(table: &Table) {
         min_confidence: 0.25,
         max_support: 0.6,
         partitioning: PartitionSpec::CompletenessLevel(2.0),
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
         interest: Some(InterestConfig {
             level: 2.0,
             mode: InterestMode::SupportAndConfidence,
@@ -164,6 +164,7 @@ taxonomies: Default::default(),
         // Wide ranges (maxsup 60 %) make C2 quadratic in the item count;
         // cap the pass depth so the no-prune arm stays measurable.
         max_itemset_size: 2,
+        parallelism: None,
     };
     let widths = [8usize, 12, 14, 14, 12];
     println!(
@@ -192,7 +193,10 @@ taxonomies: Default::default(),
                 &[
                     format!("{prune}"),
                     format!("{}", frequent.levels.first().map_or(0, |l| l.len())),
-                    format!("{:?}", stats.candidates_per_pass.first().copied().unwrap_or(0)),
+                    format!(
+                        "{:?}",
+                        stats.candidates_per_pass.first().copied().unwrap_or(0)
+                    ),
                     format!("{}", frequent.total()),
                     format!("{:.1}", elapsed.as_secs_f64() * 1e3),
                 ],

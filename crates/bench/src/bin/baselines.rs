@@ -38,10 +38,11 @@ fn main() {
         min_confidence: minconf,
         max_support: 0.3,
         partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
         interest: None,
         max_itemset_size: 2,
+        parallelism: None,
     };
     let out = mine_table(&data.table, &config).expect("mining succeeds");
     let recovered = (0..out.rules.len())
@@ -78,10 +79,7 @@ taxonomies: Default::default(),
                     AttributeEncoder::categorical_from(data)
                 }
                 (AttributeKind::Quantitative, Column::Quantitative { data, integral }) => {
-                    let cuts = qar_partition::EquiDepth.cut_points(
-                        data,
-                        intervals,
-                    );
+                    let cuts = qar_partition::EquiDepth.cut_points(data, intervals);
                     AttributeEncoder::quant_intervals_from(data, cuts, *integral)
                 }
                 _ => unreachable!(),
@@ -144,7 +142,10 @@ taxonomies: Default::default(),
         },
     );
     let x0 = AttributeId(0);
-    let from_x0 = pair_rules.iter().filter(|r| r.antecedent_attr == x0).count();
+    let from_x0 = pair_rules
+        .iter()
+        .filter(|r| r.antecedent_attr == x0)
+        .count();
     println!(
         "  {} pair rules total; {} with antecedent x0 (each x0 value has ~1% support,\n   far below minsup 10% — the planted range rule is structurally unreachable)",
         pair_rules.len(),

@@ -19,8 +19,8 @@
 //! Usage: `cargo run --release -p qar-bench --bin fig9 [max_records]`
 
 use qar_bench::experiments::{credit, records_arg, row, section6_config};
-use qar_core::pipeline::build_encoders;
 use qar_core::mine_encoded;
+use qar_core::pipeline::build_encoders;
 use qar_table::EncodedTable;
 use std::time::Duration;
 

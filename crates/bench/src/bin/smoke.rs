@@ -3,23 +3,58 @@ use qar_core::mine_table;
 use std::time::Instant;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
-    let k: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let k: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
     let t0 = Instant::now();
-    let noise: f64 = std::env::args().nth(5).and_then(|s| s.parse().ok()).unwrap_or(0.3);
-    let data = qar_datagen::CreditDataset::generate(qar_datagen::CreditConfig { num_records: n, noise, ..Default::default() });
+    let noise: f64 = std::env::args()
+        .nth(5)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
+    let data = qar_datagen::CreditDataset::generate(qar_datagen::CreditConfig {
+        num_records: n,
+        noise,
+        ..Default::default()
+    });
     println!("generated {n} records in {:?}", t0.elapsed());
-    let minsup: f64 = std::env::args().nth(6).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+    let minsup: f64 = std::env::args()
+        .nth(6)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
     let mut config = section6_config(minsup, 0.25, k, Some(1.1));
-    config.max_itemset_size = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(0);
-    if std::env::args().nth(4).as_deref() == Some("nointerest") { config.interest = None; }
+    config.max_itemset_size = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if std::env::args().nth(4).as_deref() == Some("nointerest") {
+        config.interest = None;
+    }
     let t1 = Instant::now();
     let out = mine_table(&data.table, &config).unwrap();
-    println!("mined in {:?} (mining {:?})", t1.elapsed(), out.stats.elapsed_mining);
+    println!(
+        "mined in {:?} (mining {:?})",
+        t1.elapsed(),
+        out.stats.elapsed_mining
+    );
     println!("intervals: {:?}", out.stats.intervals_per_attribute);
-    println!("levels: {:?}", out.frequent.levels.iter().map(|l| l.len()).collect::<Vec<_>>());
+    println!(
+        "levels: {:?}",
+        out.frequent
+            .levels
+            .iter()
+            .map(|l| l.len())
+            .collect::<Vec<_>>()
+    );
     println!("C_k: {:?}", out.stats.mine.candidates_per_pass);
-    println!("rules: {} / interesting: {}", out.stats.rules_total, out.stats.rules_interesting);
+    println!(
+        "rules: {} / interesting: {}",
+        out.stats.rules_total, out.stats.rules_interesting
+    );
     for (i, _r) in out.rules.iter().enumerate().take(5) {
         println!("  {}", out.format_rule(i));
     }

@@ -20,14 +20,15 @@ pub fn section6_config(
         min_confidence: minconf,
         max_support: (2.0 * minsup).min(0.4).max(minsup),
         partitioning: PartitionSpec::CompletenessLevel(completeness),
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
         interest: interest.map(|level| InterestConfig {
             level,
             mode: InterestMode::SupportOrConfidence,
             prune_candidates: false,
         }),
         max_itemset_size: 0,
+        parallelism: None,
     }
 }
 
@@ -65,7 +66,9 @@ mod tests {
 
     #[test]
     fn config_is_valid() {
-        assert!(section6_config(0.2, 0.25, 1.5, Some(1.1)).validate().is_ok());
+        assert!(section6_config(0.2, 0.25, 1.5, Some(1.1))
+            .validate()
+            .is_ok());
         assert!(section6_config(0.1, 0.5, 5.0, None).validate().is_ok());
     }
 

@@ -1,0 +1,122 @@
+//! A minimal timing harness for the `benches/` targets.
+//!
+//! Criterion is unavailable offline, and the statistical machinery it
+//! brings is overkill for the comparative questions these benches answer
+//! (which backend is faster, how does runtime scale). This harness times a
+//! closure over a handful of samples after a warmup and prints min /
+//! median / mean — enough to read off ratios.
+//!
+//! Environment knobs:
+//!
+//! * `QAR_BENCH_SAMPLES` — fixed sample count (default: adaptive, aiming
+//!   for ~1 s of total measurement per benchmark, between 5 and 50);
+//! * `QAR_BENCH_QUICK` — if set, take 3 samples with no warmup (CI smoke).
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Fastest observed run.
+    pub min: Duration,
+    /// Median run.
+    pub median: Duration,
+    /// Mean run.
+    pub mean: Duration,
+    /// Number of measured runs.
+    pub samples: usize,
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Time `f`, print a one-line summary labelled `label`, and return the
+/// timing summary (for benches that post-process, e.g. speedup ratios).
+/// The closure's result is passed through [`std::hint::black_box`] so the
+/// work cannot be optimized away.
+pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) -> Sample {
+    let quick = std::env::var_os("QAR_BENCH_QUICK").is_some();
+
+    // Warmup + calibration: one timed run decides the sample count.
+    let calibration = {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        t0.elapsed()
+    };
+    let samples = env_usize("QAR_BENCH_SAMPLES").unwrap_or_else(|| {
+        if quick {
+            3
+        } else {
+            let budget = Duration::from_secs(1);
+            (budget.as_nanos() / calibration.as_nanos().max(1)).clamp(5, 50) as usize
+        }
+    });
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let sample = Sample {
+        min,
+        median,
+        mean,
+        samples,
+    };
+    println!(
+        "{label:<44} min {:>10} | median {:>10} | mean {:>10} | n={samples}",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+    sample
+}
+
+/// Human-readable duration with ~4 significant figures.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_times() {
+        std::env::set_var("QAR_BENCH_SAMPLES", "4");
+        let s = bench("noop-spin", || {
+            let mut x = 0u64;
+            for i in 0..10_000u64 {
+                x = x.wrapping_add(i * i);
+            }
+            x
+        });
+        std::env::remove_var("QAR_BENCH_SAMPLES");
+        assert_eq!(s.samples, 4);
+        assert!(s.min <= s.median && s.median <= s.mean.max(s.median));
+        assert!(s.min > Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.500 s");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+    }
+}

@@ -11,9 +11,11 @@
 //!   single-pair miner vs. the quantitative miner,
 //! * `smoke` — quick end-to-end diagnostic.
 //!
-//! Criterion microbenches live in `benches/`. Shared plumbing is in
+//! Microbenches live in `benches/` on the in-repo [`harness`] (the
+//! offline build cannot pull in criterion). Shared plumbing is in
 //! [`experiments`].
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;

@@ -153,13 +153,9 @@ mod tests {
             &[(1, 0, 0), (2, 1, 1)],
         ]);
         let c3 = generate_candidates(&l2);
-        let expected: Itemset = vec![
-            Item::range(0, 0, 1),
-            Item::value(1, 0),
-            Item::value(2, 1),
-        ]
-        .into_iter()
-        .collect();
+        let expected: Itemset = vec![Item::range(0, 0, 1), Item::value(1, 0), Item::value(2, 1)]
+            .into_iter()
+            .collect();
         assert_eq!(c3, vec![expected]);
     }
 

@@ -89,6 +89,13 @@ pub struct MinerConfig {
     /// the paper's observation that `n` in Equation (2) can be replaced by
     /// a bound on rule size.
     pub max_itemset_size: usize,
+    /// Worker threads for the support-counting passes. `None` (the
+    /// default) uses [`std::thread::available_parallelism`]; `Some(1)`
+    /// forces the exact single-threaded code path. Any setting produces
+    /// bit-identical mining output — shards hold disjoint row ranges and
+    /// their integer counts are summed in shard order — so this knob is
+    /// pure performance, never semantics.
+    pub parallelism: Option<std::num::NonZeroUsize>,
 }
 
 impl Default for MinerConfig {
@@ -107,11 +114,38 @@ impl Default for MinerConfig {
                 prune_candidates: true,
             }),
             max_itemset_size: 0,
+            parallelism: None,
         }
     }
 }
 
 impl MinerConfig {
+    /// The worker-thread count the counting passes will actually use:
+    /// the configured [`MinerConfig::parallelism`], or the machine's
+    /// available parallelism when unset (falling back to 1 if the OS
+    /// cannot say).
+    ///
+    /// The `QAR_TEST_THREADS` environment variable, when set to a positive
+    /// integer, overrides an *unset* knob — CI uses it to run the whole
+    /// test suite through the forced-serial path as well as the default
+    /// one. An explicit `parallelism` setting always wins, so tests that
+    /// pin a thread count are unaffected.
+    pub fn effective_parallelism(&self) -> usize {
+        if let Some(n) = self.parallelism {
+            return n.get();
+        }
+        if let Some(n) = std::env::var("QAR_TEST_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
     /// Validate parameter ranges.
     pub fn validate(&self) -> Result<(), MinerError> {
         if !(self.min_support > 0.0 && self.min_support <= 1.0) {
@@ -249,9 +283,27 @@ mod tests {
     }
 
     #[test]
+    fn explicit_parallelism_beats_env_override() {
+        // An explicitly pinned thread count must never be overridden by
+        // QAR_TEST_THREADS (tests that assert serial/parallel equivalence
+        // rely on this). Only the pinned path is exercised here: mutating
+        // the process environment would race with concurrently running
+        // tests that mine under the default config.
+        let c = MinerConfig {
+            parallelism: std::num::NonZeroUsize::new(3),
+            ..MinerConfig::default()
+        };
+        assert_eq!(c.effective_parallelism(), 3);
+        let auto = MinerConfig::default().effective_parallelism();
+        assert!(auto >= 1);
+    }
+
+    #[test]
     fn error_display_and_conversion() {
         let e: MinerError = qar_table::TableError::EmptyTable.into();
         assert!(e.to_string().contains("table error"));
-        assert!(MinerError::BadParameter("x".into()).to_string().contains("x"));
+        assert!(MinerError::BadParameter("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

@@ -187,6 +187,7 @@ mod tests {
                     prune_candidates: false,
                 }),
                 max_itemset_size: 0,
+                parallelism: None,
             },
         )
         .unwrap()

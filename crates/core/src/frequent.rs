@@ -183,12 +183,22 @@ mod tests {
             t.push_row(&[Value::Int(age), Value::from(married), Value::Int(cars)])
                 .unwrap();
         }
-        let ages = t.column(qar_table::AttributeId(0)).as_quantitative().unwrap().to_vec();
-        let cars = t.column(qar_table::AttributeId(2)).as_quantitative().unwrap().to_vec();
+        let ages = t
+            .column(qar_table::AttributeId(0))
+            .as_quantitative()
+            .unwrap()
+            .to_vec();
+        let cars = t
+            .column(qar_table::AttributeId(2))
+            .as_quantitative()
+            .unwrap()
+            .to_vec();
         let encoders = vec![
             qar_table::AttributeEncoder::quant_intervals_from(&ages, vec![25.0, 30.0, 35.0], true),
             qar_table::AttributeEncoder::categorical_from(
-                t.column(qar_table::AttributeId(1)).as_categorical().unwrap(),
+                t.column(qar_table::AttributeId(1))
+                    .as_categorical()
+                    .unwrap(),
             ),
             qar_table::AttributeEncoder::quant_values_from(&cars, true),
         ];
@@ -224,13 +234,19 @@ mod tests {
         // single interval ⟨Married: Yes⟩-like singles stay. Age interval 1
         // alone has support 2 (ages 25, 29).
         let fi = find_frequent_items(&enc, 2, 2);
-        assert!(!fi
+        assert!(
+            !fi.items.iter().any(|&(i, _)| i == Item::range(0, 0, 1)),
+            "capped range kept"
+        );
+        assert!(fi
             .items
             .iter()
-            .any(|&(i, _)| i == Item::range(0, 0, 1)), "capped range kept");
-        assert!(fi.items.iter().any(|&(i, c)| i == Item::value(0, 1) && c == 2));
+            .any(|&(i, c)| i == Item::value(0, 1) && c == 2));
         // Categorical single above the cap is still kept.
-        assert!(fi.items.iter().any(|&(i, c)| i == Item::value(1, 1) && c == 3));
+        assert!(fi
+            .items
+            .iter()
+            .any(|&(i, c)| i == Item::value(1, 1) && c == 3));
     }
 
     #[test]

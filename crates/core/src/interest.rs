@@ -97,7 +97,13 @@ pub fn contiguous_difference(x: &Itemset, x_spec: &Itemset) -> Option<Itemset> {
     let items: Vec<Item> = x
         .items()
         .iter()
-        .map(|&i| if i.attr == diff_item.attr { diff_item } else { i })
+        .map(|&i| {
+            if i.attr == diff_item.attr {
+                diff_item
+            } else {
+                i
+            }
+        })
         .collect();
     Some(Itemset::new(items))
 }
@@ -245,7 +251,12 @@ fn rule_r_interesting(
     let sup_ok = rule_frac >= config.level * expected_sup;
 
     let mut expected_conf = ancestor.confidence;
-    for (y, y_hat) in rule.consequent.items().iter().zip(ancestor.consequent.items()) {
+    for (y, y_hat) in rule
+        .consequent
+        .items()
+        .iter()
+        .zip(ancestor.consequent.items())
+    {
         expected_conf *= items.fraction(*y) / items.fraction(*y_hat);
     }
     let conf_ok = rule.confidence >= config.level * expected_conf;
@@ -322,9 +333,7 @@ mod tests {
             .iter()
             .map(|&(lo, hi)| {
                 let ant = Itemset::singleton(Item::range(0, lo, hi));
-                let sup = f
-                    .support_of(&ant.union_disjoint(&y))
-                    .expect("frequent");
+                let sup = f.support_of(&ant.union_disjoint(&y)).expect("frequent");
                 let ant_sup = f.support_of(&ant).unwrap();
                 QuantRule {
                     antecedent: ant,

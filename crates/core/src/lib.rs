@@ -35,7 +35,9 @@ pub mod pipeline;
 pub mod rules;
 pub mod supercand;
 
-pub use config::{InterestConfig, InterestMode, MinerConfig, MinerError, PartitionSpec, PartitionStrategy};
+pub use config::{
+    InterestConfig, InterestMode, MinerConfig, MinerError, PartitionSpec, PartitionStrategy,
+};
 pub use frequent::QuantFrequentItemsets;
 pub use interest::{annotate_interest, RuleInterest};
 pub use mine::mine_encoded;

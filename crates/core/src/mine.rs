@@ -3,7 +3,7 @@
 use crate::candidate::{generate_candidates, interest_prune_level1};
 use crate::config::{InterestMode, MinerConfig, MinerError};
 use crate::frequent::{find_frequent_items, QuantFrequentItemsets};
-use crate::supercand::{count_candidates, count_pairs_implicit, PassStats};
+use crate::supercand::{count_candidates_sharded, count_pairs_implicit, PassStats};
 
 /// Cell budget for the implicit pass-2 arrays (64 MB of u64 cells).
 const PAIR_CELL_BUDGET: usize = 8 << 20;
@@ -22,6 +22,10 @@ pub struct MineStats {
     pub interest_pruned_items: usize,
     /// Record-scan time of pass 1 (per-attribute value counting).
     pub pass1_scan_time: std::time::Duration,
+    /// Worker threads the counting passes were allowed to use (the
+    /// resolved [`MinerConfig::effective_parallelism`]; actual shard
+    /// counts per pass are in [`PassStats::shard_scan_times`]).
+    pub parallelism: usize,
 }
 
 impl MineStats {
@@ -29,7 +33,12 @@ impl MineStats {
     /// runtime the paper's Section 6 cost model says is "directly
     /// proportional to the number of records".
     pub fn total_scan_time(&self) -> std::time::Duration {
-        self.pass1_scan_time + self.pass_stats.iter().map(|p| p.scan_time).sum::<std::time::Duration>()
+        self.pass1_scan_time
+            + self
+                .pass_stats
+                .iter()
+                .map(|p| p.scan_time)
+                .sum::<std::time::Duration>()
     }
 }
 
@@ -51,6 +60,8 @@ pub fn mine_encoded(
 
     let mut frequent = QuantFrequentItemsets::new(num_rows);
     let mut stats = MineStats::default();
+    let num_threads = config.effective_parallelism();
+    stats.parallelism = num_threads;
 
     // Pass 1: frequent items.
     let pass1_started = std::time::Instant::now();
@@ -110,8 +121,13 @@ pub fn mine_encoded(
                 }
             }
             stats.candidates_per_pass.push(c2_size);
-            let (level, pass) =
-                count_pairs_implicit(table, &items_by_attr, min_count, PAIR_CELL_BUDGET);
+            let (level, pass) = count_pairs_implicit(
+                table,
+                &items_by_attr,
+                min_count,
+                PAIR_CELL_BUDGET,
+                num_threads,
+            );
             stats.pass_stats.push(pass);
             level
         } else {
@@ -120,7 +136,8 @@ pub fn mine_encoded(
                 break;
             }
             stats.candidates_per_pass.push(candidates.len());
-            let (counts, pass) = count_candidates(table, &candidates, force_counter);
+            let (counts, pass) =
+                count_candidates_sharded(table, &candidates, force_counter, num_threads);
             stats.pass_stats.push(pass);
             candidates
                 .into_iter()
@@ -166,9 +183,7 @@ mod tests {
         let cars = t.column(AttributeId(2)).as_quantitative().unwrap().to_vec();
         let encoders = vec![
             AttributeEncoder::quant_intervals_from(&ages, vec![25.0, 30.0, 35.0], true),
-            AttributeEncoder::categorical_from(
-                t.column(AttributeId(1)).as_categorical().unwrap(),
-            ),
+            AttributeEncoder::categorical_from(t.column(AttributeId(1)).as_categorical().unwrap()),
             AttributeEncoder::quant_values_from(&cars, true),
         ];
         EncodedTable::encode(&t, encoders).unwrap()
@@ -180,10 +195,11 @@ mod tests {
             min_confidence: 0.5,
             max_support: 1.0,
             partitioning: PartitionSpec::None, // already encoded
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+            partition_strategy: Default::default(),
+            taxonomies: Default::default(),
             interest: None,
             max_itemset_size: 0,
+            parallelism: None,
         }
     }
 
@@ -201,10 +217,7 @@ taxonomies: Default::default(),
         assert_eq!(sup(vec![Item::value(1, 1)]), Some(3)); // Married Yes
         assert_eq!(sup(vec![Item::value(1, 0)]), Some(2)); // Married No
         assert_eq!(sup(vec![Item::range(2, 0, 1)]), Some(3)); // NumCars 0..1
-        assert_eq!(
-            sup(vec![Item::range(0, 2, 3), Item::value(1, 1)]),
-            Some(2)
-        );
+        assert_eq!(sup(vec![Item::range(0, 2, 3), Item::value(1, 1)]), Some(2));
         // The headline rule's 3-itemset:
         // {⟨Age: 30..39⟩, ⟨Married: Yes⟩, ⟨NumCars: 2⟩} support 2.
         assert_eq!(
@@ -222,7 +235,8 @@ taxonomies: Default::default(),
         let enc = people_fig3();
         let (frequent, _) = mine_encoded(&enc, &fig3_config(), None).unwrap();
         for (itemset, count) in frequent.iter() {
-            let recount = crate::supercand::count_candidates_naive(&enc, std::slice::from_ref(itemset))[0];
+            let recount =
+                crate::supercand::count_candidates_naive(&enc, std::slice::from_ref(itemset))[0];
             assert_eq!(*count, recount, "{itemset}");
         }
     }

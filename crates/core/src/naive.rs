@@ -38,9 +38,7 @@ pub fn naive_mine(table: &EncodedTable, config: &MinerConfig) -> QuantFrequentIt
         .collect();
     while !current.is_empty() {
         frequent.push_level(current.clone());
-        if config.max_itemset_size != 0
-            && frequent.levels.len() >= config.max_itemset_size
-        {
+        if config.max_itemset_size != 0 && frequent.levels.len() >= config.max_itemset_size {
             break;
         }
         let mut next = Vec::new();
@@ -105,10 +103,11 @@ mod tests {
                 min_confidence: 0.5,
                 max_support: maxsup,
                 partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+                partition_strategy: Default::default(),
+                taxonomies: Default::default(),
                 interest: None,
                 max_itemset_size: 0,
+                parallelism: None,
             };
             let naive = naive_mine(&enc, &config);
             let (real, _) = mine_encoded(&enc, &config, None).unwrap();
@@ -137,10 +136,11 @@ taxonomies: Default::default(),
             min_confidence: 0.5,
             max_support: 1.0,
             partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+            partition_strategy: Default::default(),
+            taxonomies: Default::default(),
             interest: None,
             max_itemset_size: 0,
+            parallelism: None,
         };
         let naive = naive_mine(&enc, &config);
         for (itemset, count) in naive.iter() {

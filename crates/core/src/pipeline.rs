@@ -94,9 +94,7 @@ pub fn build_encoders(
             (AttributeKind::Categorical, Column::Categorical { data }) => {
                 match config.taxonomies.get(def.name()) {
                     Some(taxonomy) => {
-                        encoders.push(AttributeEncoder::categorical_with_taxonomy(
-                            data, taxonomy,
-                        )?);
+                        encoders.push(AttributeEncoder::categorical_with_taxonomy(data, taxonomy)?);
                     }
                     None => encoders.push(AttributeEncoder::categorical_from(data)),
                 }
@@ -243,6 +241,7 @@ mod tests {
             taxonomies: Default::default(),
             interest: None,
             max_itemset_size: 0,
+            parallelism: None,
         }
     }
 
@@ -253,8 +252,10 @@ mod tests {
         // Figure 1's two sample rules (full resolution: 30..39 appears as
         // the observed 34..38).
         assert!(
-            rendered.iter().any(|r| r.contains("⟨Age: 34..38⟩ and ⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩")
-                && r.contains("40.0% sup, 100.0% conf")),
+            rendered.iter().any(
+                |r| r.contains("⟨Age: 34..38⟩ and ⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩")
+                    && r.contains("40.0% sup, 100.0% conf")
+            ),
             "headline rule missing from {rendered:#?}"
         );
         assert!(
@@ -298,10 +299,7 @@ mod tests {
         let out = mine_table(&people_table(), &config).unwrap();
         let verdicts = out.interest.as_ref().expect("interest configured");
         assert_eq!(verdicts.len(), out.rules.len());
-        assert_eq!(
-            out.stats.rules_interesting,
-            out.interesting_rules().len()
-        );
+        assert_eq!(out.stats.rules_interesting, out.interesting_rules().len());
         assert!(out.stats.rules_interesting <= out.stats.rules_total);
     }
 

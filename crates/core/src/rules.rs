@@ -54,7 +54,14 @@ pub fn generate_rules(frequent: &QuantFrequentItemsets, min_confidence: f64) -> 
                 .iter()
                 .map(|&i| Itemset::singleton(i))
                 .collect();
-            grow(frequent, itemset, *support, seeds, min_confidence, &mut rules);
+            grow(
+                frequent,
+                itemset,
+                *support,
+                seeds,
+                min_confidence,
+                &mut rules,
+            );
         }
     }
     rules.sort_by(|a, b| {

@@ -1,4 +1,4 @@
-//! Super-candidate support counting (Section 5.2).
+//! Super-candidate support counting (Section 5.2), serial and sharded.
 //!
 //! Candidates sharing (a) identical categorical items and (b) the same set
 //! of quantitative attributes are fused into one *super-candidate*. A hash
@@ -7,10 +7,30 @@
 //! that is counted against the super-candidate's rectangles — in a dense
 //! n-dimensional array or an R*-tree, whichever the memory heuristic
 //! prefers.
+//!
+//! # Parallel counting
+//!
+//! The paper's Section 6 cost model observes that pass runtime is
+//! dominated by the record scan; everything else (grouping, backend
+//! choice, summation) is record-independent. The scan parallelizes over
+//! *data shards*: the table's rows are split into `num_threads` contiguous
+//! ranges, every worker runs the identical per-record counting loop over
+//! its range with private counters (a clone of the hash trees — their
+//! visit stamps are mutable scan state — and per-shard [`RectCounter`]s
+//! built from one shared plan), and the per-shard tallies are merged by
+//! integer addition in shard order before the frequency filter.
+//!
+//! Because each record is counted by exactly one shard and `u64` addition
+//! is exact, the merged counts are **bit-identical** to a serial scan for
+//! every thread count — parallelism is pure performance, never semantics.
+//! The serial-equivalence property is enforced by unit tests here and a
+//! randomized end-to-end test in `tests/proptest_pipeline.rs`.
 
 use qar_itemset::{CounterKind, HashTree, Itemset, RectCounter};
 use qar_table::{AttributeId, AttributeKind, EncodedTable};
 use std::collections::BTreeMap;
+use std::ops::Range;
+use std::time::{Duration, Instant};
 
 /// Statistics of one counting pass, reported in [`crate::MiningStats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -21,11 +41,64 @@ pub struct PassStats {
     pub array_backed: usize,
     /// How many chose the R*-tree backend.
     pub rtree_backed: usize,
-    /// Time spent scanning records (the component the paper's cost model
-    /// calls "counting support", proportional to the table size; the rest
-    /// of a pass — candidate generation and summation — is
-    /// record-independent).
-    pub scan_time: std::time::Duration,
+    /// Wall-clock time of the record scan (the component the paper's cost
+    /// model calls "counting support", proportional to the table size;
+    /// the rest of a pass — candidate generation and summation — is
+    /// record-independent). With `n` shards this is the elapsed time of
+    /// the whole fan-out/join region, so speedup is visible as
+    /// `sum(shard_scan_times) / scan_time`.
+    pub scan_time: Duration,
+    /// Per-shard busy time of the record scan, in shard order. Length is
+    /// the number of shards the pass actually used (1 for a serial scan).
+    pub shard_scan_times: Vec<Duration>,
+    /// Time spent summing per-shard counters into the final tallies
+    /// (zero for a serial scan — there is nothing to merge).
+    pub merge_time: Duration,
+}
+
+impl PassStats {
+    /// Number of data shards the scan used.
+    pub fn num_shards(&self) -> usize {
+        self.shard_scan_times.len().max(1)
+    }
+
+    /// Fold another pass's scan bookkeeping into this one (used when one
+    /// logical pass issues several physical scans, e.g. the chunked
+    /// implicit pair pass).
+    fn absorb_scan(&mut self, other: &PassStats) {
+        self.scan_time += other.scan_time;
+        self.merge_time += other.merge_time;
+        add_shard_times(&mut self.shard_scan_times, &other.shard_scan_times);
+    }
+}
+
+/// Element-wise sum of per-shard durations, extending `dst` as needed.
+fn add_shard_times(dst: &mut Vec<Duration>, src: &[Duration]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), Duration::ZERO);
+    }
+    for (a, &b) in dst.iter_mut().zip(src) {
+        *a += b;
+    }
+}
+
+/// Split `num_rows` into at most `num_threads` contiguous, non-empty,
+/// near-equal ranges covering `0..num_rows` in order. Always returns at
+/// least one range (possibly `0..0` for an empty table) so callers can
+/// treat the serial scan as the one-shard case.
+fn shard_bounds(num_rows: usize, num_threads: usize) -> Vec<Range<usize>> {
+    let shards = num_threads.max(1).min(num_rows.max(1));
+    let base = num_rows / shards;
+    let extra = num_rows % shards;
+    let mut bounds = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        bounds.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, num_rows);
+    bounds
 }
 
 /// Encode a categorical item as a hash-tree key element: attribute-major so
@@ -34,29 +107,43 @@ fn cat_item_id(attr: u32, code: u32) -> u64 {
     ((attr as u64) << 32) | code as u64
 }
 
-struct SuperCandidate {
+/// The record-independent description of one super-candidate: everything a
+/// shard needs to build its private counters. Built once, shared read-only
+/// by every worker.
+struct SuperPlan {
     /// Sorted hash-tree key of the shared categorical items.
     cat_key: Vec<u64>,
     /// Sorted quantitative attribute ids shared by all members.
     quant_attrs: Vec<u32>,
-    /// Indices into the candidate list, aligned with `counter` rectangles.
+    /// Indices into the candidate list, aligned with the counter rectangles.
     members: Vec<usize>,
-    /// Range counter over the quantitative parts (`None` when the
+    /// Code-domain sizes of `quant_attrs`.
+    dims: Vec<u32>,
+    /// Inclusive member rectangles over `dims`.
+    rects: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Counting backend, decided once for all shards (`None` when the
     /// super-candidate is purely categorical).
-    counter: Option<RectCounter>,
-    /// Match count for purely categorical super-candidates.
-    direct_count: u64,
+    kind: Option<CounterKind>,
 }
 
-/// Count the support of every candidate in one pass over `table`.
-///
-/// `force_kind` pins the quantitative counting backend (for the ablation
-/// bench); `None` applies the paper's memory heuristic per super-candidate.
-pub fn count_candidates(
+/// One shard's private tallies, merged in shard order after the scan.
+struct ShardTally {
+    /// Per-plan rectangle counters (`None` for purely categorical plans).
+    counters: Vec<Option<RectCounter>>,
+    /// Per-plan match counts for purely categorical plans.
+    direct: Vec<u64>,
+    /// Busy time of this shard's scan loop.
+    scan_time: Duration,
+}
+
+/// Group candidates into super-candidate plans and decide each plan's
+/// counting backend. Deterministic: grouping uses a `BTreeMap` and the
+/// backend choice is a pure function of the (record-independent) inputs.
+fn build_plans(
     table: &EncodedTable,
     candidates: &[Itemset],
     force_kind: Option<CounterKind>,
-) -> (Vec<u64>, PassStats) {
+) -> (Vec<SuperPlan>, PassStats) {
     let schema = table.schema();
     let is_quant: Vec<bool> = schema
         .attributes()
@@ -64,7 +151,6 @@ pub fn count_candidates(
         .map(|a| a.kind() == AttributeKind::Quantitative)
         .collect();
 
-    // Group candidates into super-candidates. BTreeMap for determinism.
     let mut groups: BTreeMap<(Vec<u64>, Vec<u32>), Vec<usize>> = BTreeMap::new();
     for (idx, cand) in candidates.iter().enumerate() {
         let mut cat_key = Vec::new();
@@ -86,10 +172,10 @@ pub fn count_candidates(
     }
 
     let mut stats = PassStats::default();
-    let mut supers: Vec<SuperCandidate> = Vec::with_capacity(groups.len());
+    let mut plans: Vec<SuperPlan> = Vec::with_capacity(groups.len());
     for ((cat_key, quant_attrs), members) in groups {
-        let counter = if quant_attrs.is_empty() {
-            None
+        let (dims, rects, kind) = if quant_attrs.is_empty() {
+            (Vec::new(), Vec::new(), None)
         } else {
             let dims: Vec<u32> = quant_attrs
                 .iter()
@@ -109,88 +195,192 @@ pub fn count_candidates(
                     (lo, hi)
                 })
                 .collect();
-            let counter = match force_kind {
-                Some(kind) => RectCounter::build_with(kind, &dims, rects),
-                None => RectCounter::build(&dims, rects),
-            };
-            match counter.kind() {
+            let kind = force_kind.unwrap_or_else(|| RectCounter::choose_kind(&dims, rects.len()));
+            match kind {
                 CounterKind::Array => stats.array_backed += 1,
                 CounterKind::RTree => stats.rtree_backed += 1,
             }
-            Some(counter)
+            (dims, rects, Some(kind))
         };
-        supers.push(SuperCandidate {
+        plans.push(SuperPlan {
             cat_key,
             quant_attrs,
             members,
-            counter,
-            direct_count: 0,
+            dims,
+            rects,
+            kind,
         });
     }
-    stats.super_candidates = supers.len();
+    stats.super_candidates = plans.len();
+    (plans, stats)
+}
 
-    // Index super-candidates: those with empty categorical parts match
-    // every record; the rest go into one hash tree per key length.
-    let mut always: Vec<usize> = Vec::new();
+/// Index the plans for the scan: plans with empty categorical parts match
+/// every record; the rest go into one hash tree per key length.
+fn build_trees(plans: &[SuperPlan]) -> (Vec<u32>, BTreeMap<usize, HashTree<u32>>) {
+    let mut always: Vec<u32> = Vec::new();
     let mut trees: BTreeMap<usize, HashTree<u32>> = BTreeMap::new();
-    for (i, sc) in supers.iter().enumerate() {
-        if sc.cat_key.is_empty() {
-            always.push(i);
+    for (i, plan) in plans.iter().enumerate() {
+        if plan.cat_key.is_empty() {
+            always.push(i as u32);
         } else {
             // One key may belong to several super-candidates (different
             // quantitative attribute sets); duplicate keys are fine — the
             // subset walk visits each stored entry.
-            let tree = trees.entry(sc.cat_key.len()).or_default();
-            tree.insert(sc.cat_key.clone(), i as u32);
+            let tree = trees.entry(plan.cat_key.len()).or_default();
+            tree.insert(plan.cat_key.clone(), i as u32);
         }
     }
+    (always, trees)
+}
 
-    // The counting pass.
-    let cat_ids: Vec<AttributeId> = schema.categorical_ids();
-    let num_rows = table.num_rows();
+/// The per-record counting loop over one contiguous row range. `trees` is
+/// this shard's private clone (subset walks stamp leaves), and the
+/// returned tally holds this shard's private counters.
+fn scan_shard(
+    table: &EncodedTable,
+    plans: &[SuperPlan],
+    always: &[u32],
+    trees: &mut BTreeMap<usize, HashTree<u32>>,
+    rows: Range<usize>,
+) -> ShardTally {
+    let started = Instant::now();
+    let mut counters: Vec<Option<RectCounter>> = plans
+        .iter()
+        .map(|plan| {
+            plan.kind
+                .map(|kind| RectCounter::build_with(kind, &plan.dims, plan.rects.clone()))
+        })
+        .collect();
+    let mut direct = vec![0u64; plans.len()];
+
+    let cat_ids: Vec<AttributeId> = table.schema().categorical_ids();
     let mut cat_buf: Vec<u64> = Vec::with_capacity(cat_ids.len());
     let mut matched: Vec<u32> = Vec::new();
     let mut point_buf: Vec<u32> = Vec::new();
-    let scan_started = std::time::Instant::now();
-    for row in 0..num_rows {
+    for row in rows {
         cat_buf.clear();
         for &id in &cat_ids {
             cat_buf.push(cat_item_id(id.index() as u32, table.codes(id)[row]));
         }
         matched.clear();
-        matched.extend(always.iter().map(|&i| i as u32));
+        matched.extend_from_slice(always);
         for tree in trees.values_mut() {
             tree.for_each_subset_of(&cat_buf, |_, &mut id| matched.push(id));
         }
-        for &sci in &matched {
-            let sc = &mut supers[sci as usize];
-            match &mut sc.counter {
+        for &pi in &matched {
+            let pi = pi as usize;
+            match &mut counters[pi] {
                 Some(counter) => {
                     point_buf.clear();
-                    for &a in &sc.quant_attrs {
+                    for &a in &plans[pi].quant_attrs {
                         point_buf.push(table.codes(AttributeId(a as usize))[row]);
                     }
                     counter.count_record(&point_buf);
                 }
-                None => sc.direct_count += 1,
+                None => direct[pi] += 1,
             }
         }
     }
+    ShardTally {
+        counters,
+        direct,
+        scan_time: started.elapsed(),
+    }
+}
 
+/// Count the support of every candidate in one (serial) pass over `table`.
+///
+/// Equivalent to [`count_candidates_sharded`] with one thread; kept as the
+/// reference entry point for tests and ablations.
+pub fn count_candidates(
+    table: &EncodedTable,
+    candidates: &[Itemset],
+    force_kind: Option<CounterKind>,
+) -> (Vec<u64>, PassStats) {
+    count_candidates_sharded(table, candidates, force_kind, 1)
+}
+
+/// Count the support of every candidate in one pass over `table`, scanning
+/// up to `num_threads` contiguous row shards in parallel.
+///
+/// `force_kind` pins the quantitative counting backend (for the ablation
+/// bench); `None` applies the paper's memory heuristic per super-candidate.
+/// Output is bit-identical for every `num_threads` (see module docs);
+/// `num_threads <= 1` runs the scan inline without spawning.
+pub fn count_candidates_sharded(
+    table: &EncodedTable,
+    candidates: &[Itemset],
+    force_kind: Option<CounterKind>,
+    num_threads: usize,
+) -> (Vec<u64>, PassStats) {
+    let (plans, mut stats) = build_plans(table, candidates, force_kind);
+    let (always, mut trees) = build_trees(&plans);
+    let num_rows = table.num_rows();
+    let bounds = shard_bounds(num_rows, num_threads);
+
+    let scan_started = Instant::now();
+    let mut tallies: Vec<ShardTally> = if bounds.len() <= 1 {
+        let range = bounds.into_iter().next().unwrap_or(0..0);
+        vec![scan_shard(table, &plans, &always, &mut trees, range)]
+    } else {
+        let plans_ref = &plans;
+        let always_ref = &always;
+        let trees_ref = &trees;
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = bounds
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut trees = trees_ref.clone();
+                        scan_shard(table, plans_ref, always_ref, &mut trees, range)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("shard scan worker panicked"))
+                .collect()
+        })
+    };
     stats.scan_time = scan_started.elapsed();
+    stats.shard_scan_times = tallies.iter().map(|t| t.scan_time).collect();
+
+    // Merge per-shard tallies in shard order (u64 sums: order-independent,
+    // fixed anyway for determinism of the timing bookkeeping).
+    let merge_started = Instant::now();
+    let mut merged = tallies.remove(0);
+    for tally in tallies {
+        for (into, from) in merged.counters.iter_mut().zip(tally.counters) {
+            match (into, from) {
+                (Some(into), Some(from)) => into.merge_from(from),
+                (None, None) => {}
+                _ => unreachable!("shards share one plan"),
+            }
+        }
+        for (into, from) in merged.direct.iter_mut().zip(tally.direct) {
+            *into += from;
+        }
+    }
+    if stats.shard_scan_times.len() > 1 {
+        stats.merge_time = merge_started.elapsed();
+    }
 
     // Scatter per-rectangle counts back to candidate order.
     let mut counts = vec![0u64; candidates.len()];
-    for sc in supers {
-        match sc.counter {
+    for (plan, (counter, direct)) in plans
+        .iter()
+        .zip(merged.counters.into_iter().zip(merged.direct))
+    {
+        match counter {
             Some(counter) => {
-                for (member, count) in sc.members.iter().zip(counter.finish()) {
+                for (member, count) in plan.members.iter().zip(counter.finish()) {
                     counts[*member] = count;
                 }
             }
             None => {
-                for member in sc.members {
-                    counts[member] = sc.direct_count;
+                for &member in &plan.members {
+                    counts[member] = direct;
                 }
             }
         }
@@ -209,11 +399,17 @@ pub fn count_candidates(
 ///
 /// Pairs whose full code domain exceeds `cell_budget` cells fall back to
 /// explicit enumeration with the R*-tree backend.
+///
+/// Like [`count_candidates_sharded`], the record scans split into up to
+/// `num_threads` contiguous row shards whose 2-D arrays are summed
+/// cell-wise before the prefix-sum readout; output is independent of the
+/// thread count.
 pub fn count_pairs_implicit(
     table: &EncodedTable,
     items_by_attr: &BTreeMap<u32, Vec<(qar_itemset::Item, u64)>>,
     min_count: u64,
     cell_budget: usize,
+    num_threads: usize,
 ) -> (Vec<(Itemset, u64)>, PassStats) {
     use qar_itemset::MultiDimCounter;
 
@@ -257,27 +453,74 @@ pub fn count_pairs_implicit(
             end += 1;
         }
         let chunk = &array_pairs[start..end];
-        let mut counters: Vec<MultiDimCounter> = chunk
-            .iter()
-            .map(|&(a, b, _)| {
-                MultiDimCounter::new(
-                    &[
-                        table.cardinality(AttributeId(a as usize)),
-                        table.cardinality(AttributeId(b as usize)),
-                    ],
-                    usize::MAX,
-                )
-            })
-            .collect();
-        let scan_started = std::time::Instant::now();
-        for row in 0..num_rows {
-            for (ci, &(a, b, _)) in chunk.iter().enumerate() {
-                let pa = table.codes(AttributeId(a as usize))[row];
-                let pb = table.codes(AttributeId(b as usize))[row];
-                counters[ci].increment(&[pa, pb]);
+        let make_counters = || -> Vec<MultiDimCounter> {
+            chunk
+                .iter()
+                .map(|&(a, b, _)| {
+                    MultiDimCounter::new(
+                        &[
+                            table.cardinality(AttributeId(a as usize)),
+                            table.cardinality(AttributeId(b as usize)),
+                        ],
+                        usize::MAX,
+                    )
+                })
+                .collect()
+        };
+        let scan_rows = |counters: &mut [MultiDimCounter], rows: Range<usize>| {
+            for row in rows {
+                for (ci, &(a, b, _)) in chunk.iter().enumerate() {
+                    let pa = table.codes(AttributeId(a as usize))[row];
+                    let pb = table.codes(AttributeId(b as usize))[row];
+                    counters[ci].increment(&[pa, pb]);
+                }
             }
-        }
+        };
+
+        let bounds = shard_bounds(num_rows, num_threads);
+        let scan_started = Instant::now();
+        let (mut counters, shard_times) = if bounds.len() <= 1 {
+            let range = bounds.into_iter().next().unwrap_or(0..0);
+            let mut counters = make_counters();
+            let t0 = Instant::now();
+            scan_rows(&mut counters, range);
+            (counters, vec![t0.elapsed()])
+        } else {
+            let shards: Vec<(Vec<MultiDimCounter>, Duration)> = std::thread::scope(|scope| {
+                let workers: Vec<_> = bounds
+                    .into_iter()
+                    .map(|range| {
+                        let make_counters = &make_counters;
+                        let scan_rows = &scan_rows;
+                        scope.spawn(move || {
+                            let mut counters = make_counters();
+                            let t0 = Instant::now();
+                            scan_rows(&mut counters, range);
+                            (counters, t0.elapsed())
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("pair scan worker panicked"))
+                    .collect()
+            });
+            let mut shards = shards.into_iter();
+            let (mut merged, t) = shards.next().expect("at least one shard");
+            let mut times = vec![t];
+            let merge_started = Instant::now();
+            for (shard_counters, t) in shards {
+                for (into, from) in merged.iter_mut().zip(&shard_counters) {
+                    into.merge_from(from);
+                }
+                times.push(t);
+            }
+            stats.merge_time += merge_started.elapsed();
+            (merged, times)
+        };
         stats.scan_time += scan_started.elapsed();
+        add_shard_times(&mut stats.shard_scan_times, &shard_times);
+
         for (ci, &(a, b, _)) in chunk.iter().enumerate() {
             counters[ci].build_prefix_sums();
             for &(ia, _) in &items_by_attr[&a] {
@@ -292,10 +535,9 @@ pub fn count_pairs_implicit(
         start = end;
     }
 
-    // Fallback pairs: explicit cross product through the generic counter.
+    // Fallback pairs: explicit cross product through the generic counter
+    // (its scan/merge times are folded into this pass's stats).
     for (a, b) in fallback_pairs {
-        // (their scan time is folded into the recursive call's stats and
-        // re-accumulated below)
         let candidates: Vec<Itemset> = items_by_attr[&a]
             .iter()
             .flat_map(|&(ia, _)| {
@@ -304,8 +546,9 @@ pub fn count_pairs_implicit(
                     .map(move |&(ib, _)| Itemset::new(vec![ia, ib]))
             })
             .collect();
-        let (counts, sub) = count_candidates(table, &candidates, Some(CounterKind::RTree));
-        stats.scan_time += sub.scan_time;
+        let (counts, sub) =
+            count_candidates_sharded(table, &candidates, Some(CounterKind::RTree), num_threads);
+        stats.absorb_scan(&sub);
         frequent.extend(
             candidates
                 .into_iter()
@@ -365,16 +608,26 @@ mod tests {
     fn candidates() -> Vec<Itemset> {
         vec![
             // ⟨Age: 30..39⟩ (codes 3..4) and ⟨Married: Yes⟩ (code 1)
-            vec![Item::range(0, 3, 4), Item::value(1, 1)].into_iter().collect(),
+            vec![Item::range(0, 3, 4), Item::value(1, 1)]
+                .into_iter()
+                .collect(),
             // ⟨Age: 30..39⟩ and ⟨NumCars: 2⟩
-            vec![Item::range(0, 3, 4), Item::value(2, 2)].into_iter().collect(),
+            vec![Item::range(0, 3, 4), Item::value(2, 2)]
+                .into_iter()
+                .collect(),
             // ⟨Married: Yes⟩ and ⟨NumCars: 2⟩ — purely categorical + quant
-            vec![Item::value(1, 1), Item::value(2, 2)].into_iter().collect(),
+            vec![Item::value(1, 1), Item::value(2, 2)]
+                .into_iter()
+                .collect(),
             // ⟨Age: 20..29⟩ (codes 0..2) and ⟨NumCars: 0..1⟩
-            vec![Item::range(0, 0, 2), Item::range(2, 0, 1)].into_iter().collect(),
+            vec![Item::range(0, 0, 2), Item::range(2, 0, 1)]
+                .into_iter()
+                .collect(),
             // Purely categorical singleton group: ⟨Married: No⟩ + ⟨Age: any⟩?
             // keep a 2-itemset with married only + age full range
-            vec![Item::value(1, 0), Item::range(0, 0, 4)].into_iter().collect(),
+            vec![Item::value(1, 0), Item::range(0, 0, 4)]
+                .into_iter()
+                .collect(),
         ]
     }
 
@@ -420,8 +673,12 @@ mod tests {
         }
         let enc = EncodedTable::encode_full_resolution(&t).unwrap();
         let cands: Vec<Itemset> = vec![
-            vec![Item::value(0, 0), Item::value(1, 0)].into_iter().collect(), // x,u
-            vec![Item::value(0, 1), Item::value(1, 0)].into_iter().collect(), // y,u
+            vec![Item::value(0, 0), Item::value(1, 0)]
+                .into_iter()
+                .collect(), // x,u
+            vec![Item::value(0, 1), Item::value(1, 0)]
+                .into_iter()
+                .collect(), // y,u
         ];
         let (counts, stats) = count_candidates(&enc, &cands, None);
         assert_eq!(counts, vec![2, 1]);
@@ -441,9 +698,15 @@ mod tests {
         }
         let enc = EncodedTable::encode_full_resolution(&t).unwrap();
         let cands: Vec<Itemset> = vec![
-            vec![Item::range(0, 0, 1), Item::range(1, 0, 1)].into_iter().collect(),
-            vec![Item::range(0, 2, 3), Item::range(1, 2, 3)].into_iter().collect(),
-            vec![Item::range(0, 0, 3), Item::range(1, 0, 0)].into_iter().collect(),
+            vec![Item::range(0, 0, 1), Item::range(1, 0, 1)]
+                .into_iter()
+                .collect(),
+            vec![Item::range(0, 2, 3), Item::range(1, 2, 3)]
+                .into_iter()
+                .collect(),
+            vec![Item::range(0, 0, 3), Item::range(1, 0, 0)]
+                .into_iter()
+                .collect(),
         ];
         let (counts, stats) = count_candidates(&enc, &cands, None);
         assert_eq!(counts, vec![2, 2, 1]);
@@ -456,5 +719,116 @@ mod tests {
         let (counts, stats) = count_candidates(&enc, &[], None);
         assert!(counts.is_empty());
         assert_eq!(stats.super_candidates, 0);
+    }
+
+    #[test]
+    fn shard_bounds_cover_rows_contiguously() {
+        for (rows, threads) in [
+            (0usize, 1usize),
+            (0, 4),
+            (1, 4),
+            (3, 4),
+            (4, 4),
+            (5, 4),
+            (100, 7),
+            (100, 1),
+        ] {
+            let bounds = shard_bounds(rows, threads);
+            assert!(!bounds.is_empty(), "{rows} rows / {threads} threads");
+            assert!(bounds.len() <= threads.max(1));
+            assert_eq!(bounds.first().unwrap().start, 0);
+            assert_eq!(bounds.last().unwrap().end, rows);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+                assert!(!w[0].is_empty(), "non-empty shards when rows > 0");
+            }
+            // Near-equal: sizes differ by at most one.
+            let sizes: Vec<usize> = bounds.iter().map(|r| r.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "sizes {sizes:?}");
+        }
+    }
+
+    /// The heart of the tentpole guarantee: every thread count yields the
+    /// serial counts exactly, across backends.
+    #[test]
+    fn sharded_counts_equal_serial_for_all_thread_counts() {
+        let enc = people();
+        let cands = candidates();
+        for force in [None, Some(CounterKind::Array), Some(CounterKind::RTree)] {
+            let (serial, _) = count_candidates_sharded(&enc, &cands, force, 1);
+            for threads in [2, 3, 4, 5, 8, 64] {
+                let (sharded, stats) = count_candidates_sharded(&enc, &cands, force, threads);
+                assert_eq!(sharded, serial, "force={force:?} threads={threads}");
+                // 5 rows: at most 5 shards regardless of the request.
+                assert!(stats.num_shards() <= 5);
+                assert_eq!(stats.shard_scan_times.len(), stats.num_shards());
+            }
+        }
+    }
+
+    #[test]
+    fn one_row_shards() {
+        // rows == threads: every shard scans exactly one row.
+        let enc = people();
+        let cands = candidates();
+        let (serial, _) = count_candidates_sharded(&enc, &cands, None, 1);
+        let (sharded, stats) = count_candidates_sharded(&enc, &cands, None, 5);
+        assert_eq!(sharded, serial);
+        assert_eq!(stats.num_shards(), 5);
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let schema = Schema::builder().quantitative("x").build().unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(&[Value::Int(1)]).unwrap();
+        t.push_row(&[Value::Int(2)]).unwrap();
+        let enc = EncodedTable::encode_full_resolution(&t).unwrap();
+        let cands: Vec<Itemset> = vec![vec![Item::range(0, 0, 1)].into_iter().collect()];
+        let (counts, stats) = count_candidates_sharded(&enc, &cands, None, 16);
+        assert_eq!(counts, vec![2]);
+        assert_eq!(stats.num_shards(), 2, "clamped to one row per shard");
+    }
+
+    #[test]
+    fn empty_table_zero_counts_any_threads() {
+        // An empty table has zero-cardinality code domains, so no valid
+        // quantitative rectangle exists; categorical candidates exercise
+        // the zero-row scan path.
+        let schema = Schema::builder()
+            .quantitative("x")
+            .categorical("c")
+            .build()
+            .unwrap();
+        let t = Table::new(schema);
+        let enc = EncodedTable::encode_full_resolution(&t).unwrap();
+        let cands: Vec<Itemset> = vec![vec![Item::value(1, 0)].into_iter().collect()];
+        for threads in [1, 4] {
+            let (counts, stats) = count_candidates_sharded(&enc, &cands, None, threads);
+            assert_eq!(counts, vec![0], "threads={threads}");
+            assert_eq!(stats.num_shards(), 1, "empty table collapses to one shard");
+        }
+    }
+
+    #[test]
+    fn implicit_pairs_equal_serial_for_all_thread_counts() {
+        let enc = people();
+        // Frequent items per attribute, as `mine_encoded` would pass them.
+        let mut items: BTreeMap<u32, Vec<(Item, u64)>> = BTreeMap::new();
+        items.insert(
+            0,
+            vec![(Item::range(0, 0, 2), 3), (Item::range(0, 3, 4), 2)],
+        );
+        items.insert(1, vec![(Item::value(1, 0), 2), (Item::value(1, 1), 3)]);
+        items.insert(2, vec![(Item::range(2, 0, 1), 3), (Item::value(2, 2), 2)]);
+        for budget in [usize::MAX, 1] {
+            // budget 1 forces the R*-tree fallback for every pair.
+            let (serial, _) = count_pairs_implicit(&enc, &items, 2, budget, 1);
+            for threads in [2, 4, 9] {
+                let (sharded, _) = count_pairs_implicit(&enc, &items, 2, budget, threads);
+                assert_eq!(sharded, serial, "budget={budget} threads={threads}");
+            }
+        }
     }
 }

@@ -89,7 +89,13 @@ impl CreditDataset {
         let income_sigma = 0.30 + 0.25 * noise;
         // Copula loadings per quantitative attribute; `noise` fades them.
         let fade = 1.0 - 0.5 * noise;
-        let load = [0.85 * fade, 0.80 * fade, 0.65 * fade, 0.70 * fade, 0.60 * fade];
+        let load = [
+            0.85 * fade,
+            0.80 * fade,
+            0.65 * fade,
+            0.70 * fade,
+            0.60 * fade,
+        ];
 
         for _ in 0..config.num_records {
             let cat = categorical(&mut r, &[0.35, 0.30, 0.20, 0.10, 0.05]);
@@ -100,15 +106,13 @@ impl CreditDataset {
                 *slot = load[i] * f + (1.0 - load[i] * load[i]).sqrt() * normal(&mut r, 0.0, 1.0);
             }
 
-            let income =
-                (income_mu[cat] + income_sigma * z[0]).exp().clamp(600.0, 25_000.0);
+            let income = (income_mu[cat] + income_sigma * z[0])
+                .exp()
+                .clamp(600.0, 25_000.0);
 
             // Marital status skews with income: richer records marry more.
             let married_w = 0.25 + 0.5 * (income / 10_000.0).min(1.0);
-            let marital = categorical(
-                &mut r,
-                &[0.9 - married_w.min(0.65), married_w, 0.12, 0.05],
-            );
+            let marital = categorical(&mut r, &[0.9 - married_w.min(0.65), married_w, 0.12, 0.05]);
 
             // Remaining marginals are lognormal in their own units.
             let credit_limit = (8.9 + 0.55 * z[1]).exp().clamp(500.0, 120_000.0);
@@ -158,8 +162,8 @@ mod tests {
             assert_eq!(a.table.row(row).to_values(), b.table.row(row).to_values());
         }
         let c = CreditDataset::small(500, 12);
-        let differs = (0..500)
-            .any(|row| a.table.row(row).to_values() != c.table.row(row).to_values());
+        let differs =
+            (0..500).any(|row| a.table.row(row).to_values() != c.table.row(row).to_values());
         assert!(differs, "different seeds must differ");
     }
 
@@ -198,7 +202,12 @@ mod tests {
         let n = income.len() as f64;
         let mi = income.iter().sum::<f64>() / n;
         let ml = limit.iter().sum::<f64>() / n;
-        let cov: f64 = income.iter().zip(limit).map(|(&x, &y)| (x - mi) * (y - ml)).sum::<f64>() / n;
+        let cov: f64 = income
+            .iter()
+            .zip(limit)
+            .map(|(&x, &y)| (x - mi) * (y - ml))
+            .sum::<f64>()
+            / n;
         let sx = (income.iter().map(|&x| (x - mi).powi(2)).sum::<f64>() / n).sqrt();
         let sy = (limit.iter().map(|&y| (y - ml).powi(2)).sum::<f64>() / n).sqrt();
         let r = cov / (sx * sy);
@@ -228,7 +237,12 @@ mod tests {
             let n = x.len() as f64;
             let mx = x.iter().sum::<f64>() / n;
             let my = y.iter().sum::<f64>() / n;
-            let cov: f64 = x.iter().zip(y).map(|(&u, &v)| (u - mx) * (v - my)).sum::<f64>() / n;
+            let cov: f64 = x
+                .iter()
+                .zip(y)
+                .map(|(&u, &v)| (u - mx) * (v - my))
+                .sum::<f64>()
+                / n;
             let sx = (x.iter().map(|&u| (u - mx).powi(2)).sum::<f64>() / n).sqrt();
             let sy = (y.iter().map(|&v| (v - my).powi(2)).sum::<f64>() / n).sqrt();
             cov / (sx * sy)

@@ -1,17 +1,16 @@
-//! Seeded samplers: normal, lognormal, zipf, categorical — built on
-//! `rand`'s uniform primitives only, so the whole crate stays within the
-//! approved dependency set.
+//! Seeded samplers: normal, lognormal, zipf, categorical — built on the
+//! uniform primitives of the in-repo [`qar_prng`] generator, so the whole
+//! crate builds with no external dependencies.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qar_prng::Prng;
 
 /// Create the crate's standard deterministic RNG.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Prng {
+    Prng::seed_from_u64(seed)
 }
 
 /// Standard normal via Box–Muller.
-pub fn normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+pub fn normal(rng: &mut Prng, mean: f64, std_dev: f64) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -19,12 +18,12 @@ pub fn normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
 }
 
 /// Lognormal: `exp(N(mu, sigma))`.
-pub fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+pub fn lognormal(rng: &mut Prng, mu: f64, sigma: f64) -> f64 {
     normal(rng, mu, sigma).exp()
 }
 
 /// Sample an index from explicit (unnormalized) weights.
-pub fn categorical(rng: &mut StdRng, weights: &[f64]) -> usize {
+pub fn categorical(rng: &mut Prng, weights: &[f64]) -> usize {
     debug_assert!(!weights.is_empty());
     let total: f64 = weights.iter().sum();
     let mut x = rng.gen_range(0.0..total);
@@ -62,7 +61,7 @@ impl Zipf {
     }
 
     /// Draw a rank (0 = most probable).
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
+    pub fn sample(&self, rng: &mut Prng) -> usize {
         let x: f64 = rng.gen_range(0.0..1.0);
         self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
     }

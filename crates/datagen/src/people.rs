@@ -51,9 +51,16 @@ mod tests {
         let t = people_table();
         assert_eq!(t.num_rows(), 5);
         assert_eq!(t.num_columns(), 3);
-        assert_eq!(t.schema().attribute_by_name("Age").unwrap().kind().name(), "quantitative");
         assert_eq!(
-            t.schema().attribute_by_name("Married").unwrap().kind().name(),
+            t.schema().attribute_by_name("Age").unwrap().kind().name(),
+            "quantitative"
+        );
+        assert_eq!(
+            t.schema()
+                .attribute_by_name("Married")
+                .unwrap()
+                .kind()
+                .name(),
             "categorical"
         );
         assert_eq!(t.row(3).value(0), Value::Int(34));

@@ -4,7 +4,6 @@
 
 use crate::dist::rng;
 use qar_table::{Schema, Table, Value};
-use rand::Rng;
 
 /// One planted implication over the generated table.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,8 +129,7 @@ mod tests {
         let in1: Vec<usize> = (0..d.table.num_rows())
             .filter(|&i| (20.0..=39.0).contains(&x0[i]))
             .collect();
-        let conf1 =
-            in1.iter().filter(|&&i| c[i] == "A").count() as f64 / in1.len() as f64;
+        let conf1 = in1.iter().filter(|&&i| c[i] == "A").count() as f64 / in1.len() as f64;
         assert!(conf1 > 0.85, "rule 1 confidence {conf1}");
         // Antecedent covers ~20 % of records.
         let frac = in1.len() as f64 / d.table.num_rows() as f64;

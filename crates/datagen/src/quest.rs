@@ -7,8 +7,7 @@
 
 use crate::dist::{rng, Zipf};
 use qar_apriori::TransactionDb;
-use rand::rngs::StdRng;
-use rand::Rng;
+use qar_prng::Prng;
 
 /// Generator parameters, mirroring the Quest naming: `T` = average
 /// transaction length, `I` = average pattern length, `D` = number of
@@ -54,7 +53,7 @@ pub struct QuestDataset {
     pub patterns: Vec<Vec<u32>>,
 }
 
-fn sample_pattern(r: &mut StdRng, zipf: &Zipf, len: usize, num_items: u32) -> Vec<u32> {
+fn sample_pattern(r: &mut Prng, zipf: &Zipf, len: usize, num_items: u32) -> Vec<u32> {
     let mut p = Vec::with_capacity(len);
     while p.len() < len {
         let item = (zipf.sample(r) as u32).min(num_items - 1);
@@ -137,8 +136,7 @@ mod tests {
             ..QuestConfig::default()
         });
         assert_eq!(d.db.len(), 2_000);
-        let avg: f64 =
-            d.db.iter().map(|t| t.len()).sum::<usize>() as f64 / d.db.len() as f64;
+        let avg: f64 = d.db.iter().map(|t| t.len()).sum::<usize>() as f64 / d.db.len() as f64;
         // Post-dedup average sits near T (within a generous band).
         assert!(avg > 4.0 && avg < 20.0, "avg transaction length {avg}");
         assert!(d.patterns.len() == 200);
@@ -153,11 +151,10 @@ mod tests {
             ..QuestConfig::default()
         });
         let pat = &d.patterns[0];
-        let hits = d
-            .db
-            .iter()
-            .filter(|t| pat.iter().all(|i| t.contains(i)))
-            .count();
+        let hits =
+            d.db.iter()
+                .filter(|t| pat.iter().all(|i| t.contains(i)))
+                .count();
         assert!(hits > 20, "pattern {pat:?} occurred only {hits} times");
     }
 

@@ -68,17 +68,25 @@ impl RectCounter {
     /// * `dims[j]` — code domain size of quantitative dimension `j`;
     /// * `rects` — inclusive `(lo, hi)` code rectangles, one per candidate.
     pub fn build(dims: &[u32], rects: Vec<(Vec<u32>, Vec<u32>)>) -> Self {
-        let array_bytes = MultiDimCounter::estimate_bytes(dims);
-        let kind = match array_bytes {
+        let kind = Self::choose_kind(dims, rects.len());
+        Self::build_with(kind, dims, rects)
+    }
+
+    /// The paper's memory-ratio heuristic, exposed so a caller that builds
+    /// one counter per data shard can pin a single backend choice for all
+    /// of them (per-shard decisions would agree anyway — the inputs are
+    /// record-independent — but deciding once keeps that invariant
+    /// explicit and the statistics exact).
+    pub fn choose_kind(dims: &[u32], num_rects: usize) -> CounterKind {
+        match MultiDimCounter::estimate_bytes(dims) {
             Some(bytes)
-                if bytes <= rtree_estimate_bytes(rects.len())
+                if bytes <= rtree_estimate_bytes(num_rects)
                     && bytes / std::mem::size_of::<u64>() <= Self::MAX_ARRAY_CELLS =>
             {
                 CounterKind::Array
             }
             _ => CounterKind::RTree,
-        };
-        Self::build_with(kind, dims, rects)
+        }
     }
 
     /// Build with an explicit backend (used by tests and the ablation
@@ -145,13 +153,43 @@ impl RectCounter {
         }
     }
 
+    /// Fold another counter's record tallies into this one. Both counters
+    /// must have been built over the same rectangles with the same backend
+    /// (the parallel scan guarantees this by constructing every shard's
+    /// counter from one shared plan). After the merge, [`RectCounter::finish`]
+    /// reports counts as if this counter had seen both record streams.
+    pub fn merge_from(&mut self, other: RectCounter) {
+        match (&mut self.backend, other.backend) {
+            (
+                Backend::Array { counter, rects },
+                Backend::Array {
+                    counter: other_counter,
+                    rects: other_rects,
+                },
+            ) => {
+                debug_assert_eq!(*rects, other_rects, "merging counters over different rects");
+                counter.merge_from(&other_counter);
+            }
+            (
+                Backend::RTree { counts, .. },
+                Backend::RTree {
+                    counts: other_counts,
+                    ..
+                },
+            ) => {
+                assert_eq!(counts.len(), other_counts.len(), "rect count mismatch");
+                for (a, b) in counts.iter_mut().zip(other_counts) {
+                    *a += b;
+                }
+            }
+            _ => panic!("cannot merge counters with different backends"),
+        }
+    }
+
     /// Final per-rectangle counts, in the order the rectangles were given.
     pub fn finish(self) -> Vec<u64> {
         match self.backend {
-            Backend::Array {
-                mut counter,
-                rects,
-            } => {
+            Backend::Array { mut counter, rects } => {
                 counter.build_prefix_sums();
                 rects
                     .iter()
@@ -176,15 +214,7 @@ mod tests {
     }
 
     fn feed(counter: &mut RectCounter) {
-        let points = [
-            [0u32, 0],
-            [4, 9],
-            [3, 4],
-            [7, 5],
-            [9, 9],
-            [9, 8],
-            [2, 3],
-        ];
+        let points = [[0u32, 0], [4, 9], [3, 4], [7, 5], [9, 9], [9, 8], [2, 3]];
         for p in points {
             counter.count_record(&p);
         }
@@ -236,6 +266,57 @@ mod tests {
             let mut c = RectCounter::build_with(kind, &[10], rects.clone());
             c.count_record(&[5]);
             assert_eq!(c.finish(), vec![1, 1], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        // Split the record stream in two; merged shard counters must equal
+        // one counter that saw everything.
+        let points: Vec<[u32; 2]> = (0..40u32).map(|i| [i % 10, (i * 7) % 10]).collect();
+        for kind in [CounterKind::Array, CounterKind::RTree] {
+            let mut whole = RectCounter::build_with(kind, &[10, 10], demo_rects());
+            for p in &points {
+                whole.count_record(p);
+            }
+            let mut left = RectCounter::build_with(kind, &[10, 10], demo_rects());
+            let mut right = RectCounter::build_with(kind, &[10, 10], demo_rects());
+            for p in &points[..13] {
+                left.count_record(p);
+            }
+            for p in &points[13..] {
+                right.count_record(p);
+            }
+            left.merge_from(right);
+            assert_eq!(left.finish(), whole.finish(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_shard_is_identity() {
+        let mut a = RectCounter::build_with(CounterKind::Array, &[10, 10], demo_rects());
+        feed(&mut a);
+        let b = RectCounter::build_with(CounterKind::Array, &[10, 10], demo_rects());
+        a.merge_from(b);
+        assert_eq!(a.finish(), vec![4, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different backends")]
+    fn merge_kind_mismatch_rejected() {
+        let mut a = RectCounter::build_with(CounterKind::Array, &[10, 10], demo_rects());
+        let b = RectCounter::build_with(CounterKind::RTree, &[10, 10], demo_rects());
+        a.merge_from(b);
+    }
+
+    #[test]
+    fn choose_kind_matches_build() {
+        for (dims, n) in [(vec![10u32, 10], 5usize), (vec![1000, 1000, 1000], 1)] {
+            let rects = vec![(vec![0; dims.len()], vec![0; dims.len()]); n];
+            assert_eq!(
+                RectCounter::choose_kind(&dims, n),
+                RectCounter::build(&dims, rects).kind()
+            );
         }
     }
 

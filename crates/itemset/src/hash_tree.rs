@@ -143,11 +143,59 @@ impl<V> HashTree<V> {
         }
     }
 
+    /// Mutable reference to the value stored under `key` (the first match
+    /// in insertion order when duplicates exist), or `None`.
+    pub fn get_mut(&mut self, key: &[u64]) -> Option<&mut V> {
+        if self.key_len != Some(key.len()) {
+            return None;
+        }
+        let mut node = &mut self.root;
+        let mut depth = 0;
+        loop {
+            match node {
+                Node::Leaf { entries, .. } => {
+                    return entries
+                        .iter_mut()
+                        .find(|(k, _)| k.as_slice() == key)
+                        .map(|(_, v)| v);
+                }
+                Node::Interior { children } => {
+                    node = children[bucket(key[depth])].as_deref_mut()?;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Fold `other` into this tree: entries whose key already exists are
+    /// combined with `combine(existing, incoming)`; new keys are inserted.
+    ///
+    /// This is the shard-merge primitive for trees whose values are
+    /// per-shard tallies. The merge is deterministic: a hash tree's entry
+    /// order is a pure function of its insertion sequence, so two trees
+    /// built by the same deterministic procedure merge identically on
+    /// every run, regardless of how many shards the scan used.
+    ///
+    /// When duplicate keys exist, every incoming duplicate combines into
+    /// the first matching entry of `self` — counting trees insert each
+    /// candidate key once, so the distinction never arises there.
+    pub fn merge_from(&mut self, other: HashTree<V>, mut combine: impl FnMut(&mut V, V)) {
+        for (key, value) in other.into_entries() {
+            match self.get_mut(&key) {
+                Some(existing) => combine(existing, value),
+                None => self.insert(key, value),
+            }
+        }
+    }
+
     /// Visit every `(key, value)` whose key is a subset of `record`.
     /// `record` must be sorted and duplicate-free. Values are borrowed
     /// mutably so support counters can be incremented in place.
     pub fn for_each_subset_of(&mut self, record: &[u64], mut visit: impl FnMut(&[u64], &mut V)) {
-        debug_assert!(record.windows(2).all(|w| w[0] < w[1]), "record must be sorted");
+        debug_assert!(
+            record.windows(2).all(|w| w[0] < w[1]),
+            "record must be sorted"
+        );
         let Some(key_len) = self.key_len else { return };
         if key_len > record.len() {
             return;
@@ -378,6 +426,100 @@ mod tests {
         via_into.sort();
         assert_eq!(via_iter, via_into);
         assert_eq!(via_iter.len(), 40);
+    }
+
+    #[test]
+    fn get_mut_finds_existing_keys_only() {
+        let mut t = HashTree::new();
+        for a in 0u64..20 {
+            t.insert(vec![a, a + 50], a as u32);
+        }
+        assert_eq!(t.get_mut(&[3, 53]), Some(&mut 3));
+        assert_eq!(t.get_mut(&[3, 54]), None);
+        assert_eq!(t.get_mut(&[3]), None, "wrong key length");
+        *t.get_mut(&[7, 57]).unwrap() += 100;
+        assert_eq!(t.get_mut(&[7, 57]), Some(&mut 107));
+    }
+
+    #[test]
+    fn merge_combines_shared_keys_and_inserts_new() {
+        let mut a = HashTree::new();
+        let mut b = HashTree::new();
+        // Overlapping and disjoint keys, enough to force splits in both.
+        for i in 0u64..30 {
+            a.insert(vec![i, i + 40], 1u64);
+        }
+        for i in 15u64..45 {
+            b.insert(vec![i, i + 40], 10u64);
+        }
+        a.merge_from(b, |x, y| *x += y);
+        assert_eq!(a.len(), 45);
+        let entries = a.into_entries();
+        for (key, v) in entries {
+            let i = key[0];
+            let want = if i < 15 {
+                1
+            } else if i < 30 {
+                11
+            } else {
+                10
+            };
+            assert_eq!(v, want, "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn merge_is_shard_count_exact() {
+        // Simulate a sharded counting pass: each shard counts subset hits
+        // of its records into its own tree; merged totals must equal one
+        // serial pass over all records.
+        let keys: Vec<Vec<u64>> = (0u64..10)
+            .flat_map(|a| ((a + 1)..10).map(move |b| vec![a, b]))
+            .collect();
+        let records: Vec<Vec<u64>> = (0..40u64)
+            .map(|r| {
+                let mut rec: Vec<u64> = (0..10).filter(|x| (r + x) % 3 != 0).collect();
+                rec.sort_unstable();
+                rec
+            })
+            .collect();
+        let build = || {
+            let mut t = HashTree::new();
+            for k in &keys {
+                t.insert(k.clone(), 0u64);
+            }
+            t
+        };
+        let mut serial = build();
+        for r in &records {
+            serial.for_each_subset_of(r, |_, v| *v += 1);
+        }
+        let mut merged = build();
+        for shard in records.chunks(7) {
+            let mut t = build();
+            for r in shard {
+                t.for_each_subset_of(r, |_, v| *v += 1);
+            }
+            merged.merge_from(t, |x, y| *x += y);
+        }
+        let mut want = serial.into_entries();
+        let mut got = merged.into_entries();
+        want.sort();
+        got.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_into_empty_tree() {
+        let mut a: HashTree<u32> = HashTree::new();
+        let mut b = HashTree::new();
+        b.insert(vec![1, 2], 5u32);
+        a.merge_from(b, |x, y| *x += y);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get_mut(&[1, 2]), Some(&mut 5));
+        // And merging an empty tree changes nothing.
+        a.merge_from(HashTree::new(), |x, y| *x += y);
+        assert_eq!(a.len(), 1);
     }
 
     #[test]

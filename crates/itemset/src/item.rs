@@ -122,7 +122,9 @@ impl Itemset {
     /// Does a full record (code per attribute, indexed by attribute id)
     /// support every item?
     pub fn supported_by(&self, record: &[u32]) -> bool {
-        self.items.iter().all(|i| i.matches(record[i.attr as usize]))
+        self.items
+            .iter()
+            .all(|i| i.matches(record[i.attr as usize]))
     }
 
     /// Is `self` a generalization of `other`? Requires identical attribute

@@ -86,7 +86,10 @@ impl MultiDimCounter {
     /// promises. Panics after [`MultiDimCounter::build_prefix_sums`].
     #[inline]
     pub fn increment(&mut self, point: &[u32]) {
-        assert!(!self.prefixed, "cannot increment after building prefix sums");
+        assert!(
+            !self.prefixed,
+            "cannot increment after building prefix sums"
+        );
         let off = self.offset(point);
         self.counts[off] += 1;
     }
@@ -121,6 +124,26 @@ impl MultiDimCounter {
                 }
                 point[j] = lo[j];
             }
+        }
+    }
+
+    /// Add another counter's cells into this one (the parallel-shard merge:
+    /// each worker counts its row range into a private counter, and the
+    /// shards are summed cell-wise before the rectangle readout).
+    ///
+    /// Panics if the shapes differ or either counter already holds prefix
+    /// sums — merging is only meaningful over raw cell counts.
+    pub fn merge_from(&mut self, other: &MultiDimCounter) {
+        assert_eq!(
+            self.dims, other.dims,
+            "cannot merge counters of different shape"
+        );
+        assert!(
+            !self.prefixed && !other.prefixed,
+            "cannot merge after building prefix sums"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
         }
     }
 
@@ -221,7 +244,9 @@ mod tests {
         }
         assert_eq!(c.rect_sum_by_iteration(&[1, 1], &[2, 3]), manual);
         // Whole grid.
-        let all: u64 = (0..3u64).flat_map(|i| (0..4u64).map(move |j| i + 2 * j)).sum();
+        let all: u64 = (0..3u64)
+            .flat_map(|i| (0..4u64).map(move |j| i + 2 * j))
+            .sum();
         assert_eq!(c.rect_sum_by_iteration(&[0, 0], &[2, 3]), all);
     }
 
@@ -284,6 +309,41 @@ mod tests {
         assert_eq!(c.rect_sum(&[5], &[5]), 2);
         assert_eq!(c.rect_sum(&[0], &[9]), 4);
         assert_eq!(c.rect_sum(&[6], &[9]), 1);
+    }
+
+    #[test]
+    fn merge_is_cellwise_sum() {
+        let mut a = filled_2d();
+        let b = filled_2d();
+        a.merge_from(&b);
+        for i in 0..3u32 {
+            for j in 0..4u32 {
+                assert_eq!(a.cell(&[i, j]), 2 * (i + 2 * j) as u64);
+            }
+        }
+        // Prefix sums over the merged counter still answer rectangles.
+        a.build_prefix_sums();
+        let whole: u64 = (0..3u64)
+            .flat_map(|i| (0..4u64).map(move |j| i + 2 * j))
+            .sum();
+        assert_eq!(a.rect_sum(&[0, 0], &[2, 3]), 2 * whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn merge_shape_mismatch_rejected() {
+        let mut a = MultiDimCounter::new(&[3, 4], 100);
+        let b = MultiDimCounter::new(&[4, 3], 100);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix sums")]
+    fn merge_after_prefix_rejected() {
+        let mut a = MultiDimCounter::new(&[2, 2], 100);
+        let mut b = MultiDimCounter::new(&[2, 2], 100);
+        b.build_prefix_sums();
+        a.merge_from(&b);
     }
 
     #[test]

@@ -206,7 +206,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CompletenessError::LevelTooLow(1.0).to_string().contains("exceed 1"));
-        assert!(CompletenessError::BadMinsup(2.0).to_string().contains("(0, 1]"));
+        assert!(CompletenessError::LevelTooLow(1.0)
+            .to_string()
+            .contains("exceed 1"));
+        assert!(CompletenessError::BadMinsup(2.0)
+            .to_string()
+            .contains("(0, 1]"));
     }
 }

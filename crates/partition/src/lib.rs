@@ -29,5 +29,5 @@ pub mod partitioner;
 pub mod range_completeness;
 
 pub use completeness::{achieved_level, num_intervals, PartialCompleteness};
-pub use range_completeness::{achieved_range_level, range_intervals};
 pub use partitioner::{EquiDepth, EquiWidth, KMeans1D, Partitioner};
+pub use range_completeness::{achieved_range_level, range_intervals};

@@ -283,7 +283,10 @@ mod tests {
         let d = EquiDepth.cut_points(&values, 4);
         let w_max = depth_counts(&values, &w).into_iter().max().unwrap();
         let d_max = depth_counts(&values, &d).into_iter().max().unwrap();
-        assert!(w_max > d_max, "equi-width max {w_max} <= equi-depth max {d_max}");
+        assert!(
+            w_max > d_max,
+            "equi-width max {w_max} <= equi-depth max {d_max}"
+        );
         assert_eq!(d_max, 25);
     }
 
@@ -299,7 +302,11 @@ mod tests {
         values.extend((0..50).map(|i| 100.0 + i as f64 * 0.01));
         let cuts = KMeans1D::default().cut_points(&values, 2);
         assert_eq!(cuts.len(), 1);
-        assert!(cuts[0] > 1.0 && cuts[0] < 100.0, "cut {} not in gap", cuts[0]);
+        assert!(
+            cuts[0] > 1.0 && cuts[0] < 100.0,
+            "cut {} not in gap",
+            cuts[0]
+        );
     }
 
     #[test]

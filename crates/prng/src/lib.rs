@@ -1,0 +1,268 @@
+//! # qar-prng — deterministic pseudo-randomness without external crates
+//!
+//! The workspace builds against an offline registry, so it cannot pull in
+//! `rand` or `proptest`. This crate provides the small slice of both that
+//! the workspace actually needs:
+//!
+//! * [`Prng`] — a seeded SplitMix64 generator with `gen_range`,
+//!   `gen_bool`, `shuffle`, and friends, API-compatible with the way the
+//!   data generators used `rand::rngs::StdRng`;
+//! * [`cases`] — a tiny property-test driver: run a closure over many
+//!   independently-seeded generators and report the failing case seed.
+//!
+//! Streams are stable across platforms and releases: tests and golden
+//! snapshots may rely on exact sequences for a fixed seed.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A seeded [SplitMix64](https://prng.di.unimi.it/splitmix64.c) generator.
+///
+/// SplitMix64 passes BigCrush, has a full 2^64 period for every seed, and
+/// needs only one `u64` of state — more than enough statistical quality
+/// for synthetic datasets and randomized tests.
+///
+/// ```
+/// use qar_prng::Prng;
+///
+/// let mut a = Prng::seed_from_u64(7);
+/// let mut b = Prng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x: i64 = a.gen_range(0..100);
+/// assert!((0..100).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Create a generator from a 64-bit seed. Any seed (including 0) is
+    /// fine; the first output is already well mixed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Prng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of precision).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform sample from a half-open range; works for the integer types
+    /// the workspace uses and for `f64`.
+    ///
+    /// Panics on an empty range.
+    #[inline]
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A reference to a uniformly chosen element (`None` when empty).
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_range(0..xs.len())])
+        }
+    }
+
+    /// Derive an independent generator (for splitting one seed into
+    /// per-case streams without correlating them).
+    pub fn fork(&mut self) -> Prng {
+        Prng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Types [`Prng::gen_range`] can sample uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)`. Panics when the range is empty.
+    fn sample(rng: &mut Prng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(rng: &mut Prng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift bounded sampling (Lemire, without the
+                // rejection step): bias is < span / 2^64, far below any
+                // statistical test in this workspace.
+                let x = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + x) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample(rng: &mut Prng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        let x = lo + rng.gen_f64() * (hi - lo);
+        // Guard against rounding up to `hi` when the span is tiny.
+        if x >= hi {
+            lo
+        } else {
+            x
+        }
+    }
+}
+
+/// Run `prop` over `n` independently seeded generators — a minimal
+/// stand-in for a property-testing harness. The closure receives the case
+/// index and a fresh [`Prng`]; assertion failures inside it name the case,
+/// so a failure is reproducible with `Prng::seed_from_u64(base_seed ^ i)`.
+///
+/// ```
+/// qar_prng::cases(32, 0xABCD, |case, rng| {
+///     let x: u32 = rng.gen_range(0..1000);
+///     assert!(x < 1000, "case {case}");
+/// });
+/// ```
+pub fn cases(n: u64, base_seed: u64, mut prop: impl FnMut(u64, &mut Prng)) {
+    for i in 0..n {
+        // Distinct, well-separated streams per case.
+        let mut rng = Prng::seed_from_u64(base_seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F));
+        prop(i, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Prng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 1234567, from the reference C
+        // implementation (Vigna).
+        let mut r = Prng::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut r = Prng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(0..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let x: i64 = r.gen_range(-50..-40);
+            assert!((-50..-40).contains(&x));
+            let f: f64 = r.gen_range(2.5..3.5);
+            assert!((2.5..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = Prng::seed_from_u64(99);
+        let n = 100_000;
+        let mut counts = [0u32; 8];
+        for _ in 0..n {
+            counts[r.gen_range(0..8usize)] += 1;
+        }
+        let expect = n as f64 / 8.0;
+        for c in counts {
+            assert!((c as f64 - expect).abs() < expect * 0.05, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Prng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "{frac}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut r = Prng::seed_from_u64(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(
+            xs, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
+        assert!(xs.contains(r.choose(&xs).unwrap()));
+        assert_eq!(r.choose::<u32>(&[]), None);
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut r = Prng::seed_from_u64(3);
+        let mut a = r.fork();
+        let mut b = r.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Prng::seed_from_u64(0);
+        let _: u32 = r.gen_range(5..5);
+    }
+
+    #[test]
+    fn cases_runs_each_once_with_distinct_seeds() {
+        let mut seen = Vec::new();
+        cases(16, 77, |i, rng| {
+            seen.push((i, rng.next_u64()));
+        });
+        assert_eq!(seen.len(), 16);
+        let mut outputs: Vec<u64> = seen.iter().map(|&(_, x)| x).collect();
+        outputs.sort_unstable();
+        outputs.dedup();
+        assert_eq!(outputs.len(), 16, "case streams must differ");
+    }
+}

@@ -167,12 +167,18 @@ pub fn mine_pair_rules(table: &EncodedTable, config: &Ps91Config) -> Vec<PairRul
         rules.extend(rules_from_summary(table, &summary, config));
     }
     rules.sort_by(|a, b| {
-        (a.antecedent_attr, a.antecedent_code, a.consequent_attr, a.consequent_code).cmp(&(
-            b.antecedent_attr,
-            b.antecedent_code,
-            b.consequent_attr,
-            b.consequent_code,
-        ))
+        (
+            a.antecedent_attr,
+            a.antecedent_code,
+            a.consequent_attr,
+            a.consequent_code,
+        )
+            .cmp(&(
+                b.antecedent_attr,
+                b.antecedent_code,
+                b.consequent_attr,
+                b.consequent_code,
+            ))
     });
     rules
 }

@@ -55,11 +55,7 @@ impl<T> NaiveRectIndex<T> {
     where
         T: PartialEq,
     {
-        if let Some(pos) = self
-            .items
-            .iter()
-            .position(|(r, v)| r == rect && v == value)
-        {
+        if let Some(pos) = self.items.iter().position(|(r, v)| r == rect && v == value) {
             self.items.swap_remove(pos);
             true
         } else {

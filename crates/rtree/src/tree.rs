@@ -136,10 +136,7 @@ impl<T> RStarTree<T> {
 
     fn entry_rect(&self, level: u32, child: u32) -> Rect {
         if level == 0 {
-            self.items[child as usize]
-                .as_ref()
-                .expect("live item")
-                .0
+            self.items[child as usize].as_ref().expect("live item").0
         } else {
             self.nodes[child as usize].mbr
         }
@@ -422,17 +419,16 @@ impl<T> RStarTree<T> {
             } else {
                 (b.1.lo(axis), b.1.hi(axis))
             };
-            pa.total_cmp(&pb).then(sa.total_cmp(&sb)).then(a.0.cmp(&b.0))
+            pa.total_cmp(&pb)
+                .then(sa.total_cmp(&sb))
+                .then(a.0.cmp(&b.0))
         });
         v
     }
 
     fn group_bbs(sorted: &[(u32, Rect)], k: usize) -> (Rect, Rect) {
-        let bb = |slice: &[(u32, Rect)]| {
-            slice[1..]
-                .iter()
-                .fold(slice[0].1, |acc, e| acc.union(&e.1))
-        };
+        let bb =
+            |slice: &[(u32, Rect)]| slice[1..].iter().fold(slice[0].1, |acc, e| acc.union(&e.1));
         (bb(&sorted[..k]), bb(&sorted[k..]))
     }
 
@@ -697,7 +693,14 @@ impl<T> RStarTree<T> {
         while start < n {
             let end = (start + per_slab).min(n);
             if axis + 1 < dims {
-                self.str_tile(&mut entries[start..end], next_axis, dims, capacity, level, out);
+                self.str_tile(
+                    &mut entries[start..end],
+                    next_axis,
+                    dims,
+                    capacity,
+                    level,
+                    out,
+                );
             } else {
                 // Last axis: chunk straight into nodes.
                 let mut s = start;
@@ -738,7 +741,10 @@ impl<T> RStarTree<T> {
         assert_eq!(item_count, self.len, "live items vs len");
         let root = &self.nodes[self.root as usize];
         if root.level > 0 {
-            assert!(root.children.len() >= 2, "internal root needs >= 2 children");
+            assert!(
+                root.children.len() >= 2,
+                "internal root needs >= 2 children"
+            );
         }
     }
 
@@ -785,7 +791,9 @@ mod tests {
 
     /// Deterministic pseudo-random f64 in [0, 1000) without external crates.
     fn prng(state: &mut u64) -> f64 {
-        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((*state >> 11) as f64 / (1u64 << 53) as f64) * 1000.0
     }
 

@@ -1,8 +1,8 @@
-//! Property tests: the R*-tree must agree with a linear scan on every
-//! query, through arbitrary interleavings of inserts, removals, and bulk
-//! loads, while maintaining its structural invariants.
+//! Randomized property tests: the R*-tree must agree with a linear scan on
+//! every query, through arbitrary interleavings of inserts, removals, and
+//! bulk loads, while maintaining its structural invariants.
 
-use proptest::prelude::*;
+use qar_prng::{cases, Prng};
 use qar_rtree::{NaiveRectIndex, RStarTree, Rect};
 
 #[derive(Debug, Clone)]
@@ -13,42 +13,53 @@ enum Op {
     QueryWindow { lo: [i32; 2], extent: [u8; 2] },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (any::<[i16; 2]>(), any::<[u8; 2]>()).prop_map(|(lo, extent)| Op::Insert {
-            lo: [lo[0] as i32, lo[1] as i32],
-            extent,
-        }),
-        1 => (0usize..64).prop_map(|index| Op::Remove { index }),
-        2 => any::<[i16; 2]>().prop_map(|at| Op::QueryPoint { at: [at[0] as i32, at[1] as i32] }),
-        1 => (any::<[i16; 2]>(), any::<[u8; 2]>()).prop_map(|(lo, extent)| Op::QueryWindow {
-            lo: [lo[0] as i32, lo[1] as i32],
-            extent,
-        }),
-    ]
+fn random_lo(rng: &mut Prng) -> [i32; 2] {
+    [rng.gen_range(-500..500), rng.gen_range(-500..500)]
+}
+
+fn random_extent(rng: &mut Prng) -> [u8; 2] {
+    [rng.gen_range(0..64u8), rng.gen_range(0..64u8)]
+}
+
+fn random_op(rng: &mut Prng) -> Op {
+    // Same op mix as the old proptest strategy: 3:1:2:1.
+    match rng.gen_range(0..7u32) {
+        0..=2 => Op::Insert {
+            lo: random_lo(rng),
+            extent: random_extent(rng),
+        },
+        3 => Op::Remove {
+            index: rng.gen_range(0..64usize),
+        },
+        4..=5 => Op::QueryPoint { at: random_lo(rng) },
+        _ => Op::QueryWindow {
+            lo: random_lo(rng),
+            extent: random_extent(rng),
+        },
+    }
 }
 
 fn rect(lo: [i32; 2], extent: [u8; 2]) -> Rect {
     Rect::new(
         &[lo[0] as f64, lo[1] as f64],
-        &[(lo[0] + extent[0] as i32) as f64, (lo[1] + extent[1] as i32) as f64],
+        &[
+            (lo[0] + extent[0] as i32) as f64,
+            (lo[1] + extent[1] as i32) as f64,
+        ],
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tree_agrees_with_naive_under_arbitrary_ops(
-        ops in prop::collection::vec(op_strategy(), 1..200),
-        max_entries in 4usize..12,
-    ) {
+#[test]
+fn tree_agrees_with_naive_under_arbitrary_ops() {
+    cases(64, 0x5EED_2176_0001, |case, rng| {
+        let num_ops = rng.gen_range(1..200usize);
+        let max_entries = rng.gen_range(4..12usize);
         let mut tree = RStarTree::with_max_entries(max_entries);
         let mut naive = NaiveRectIndex::new();
         let mut live: Vec<(Rect, u32)> = Vec::new();
         let mut next_id = 0u32;
-        for op in ops {
-            match op {
+        for _ in 0..num_ops {
+            match random_op(rng) {
                 Op::Insert { lo, extent } => {
                     let r = rect(lo, extent);
                     tree.insert(r, next_id);
@@ -57,10 +68,12 @@ proptest! {
                     next_id += 1;
                 }
                 Op::Remove { index } => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let (r, id) = live.swap_remove(index % live.len());
-                    prop_assert!(tree.remove(&r, &id));
-                    prop_assert!(naive.remove(&r, &id));
+                    assert!(tree.remove(&r, &id), "case {case}");
+                    assert!(naive.remove(&r, &id), "case {case}");
                 }
                 Op::QueryPoint { at } => {
                     let p = [at[0] as f64, at[1] as f64];
@@ -70,7 +83,7 @@ proptest! {
                     naive.query_point(&p, |v| b.push(*v));
                     a.sort_unstable();
                     b.sort_unstable();
-                    prop_assert_eq!(a, b);
+                    assert_eq!(a, b, "case {case}");
                 }
                 Op::QueryWindow { lo, extent } => {
                     let w = rect(lo, extent);
@@ -80,23 +93,21 @@ proptest! {
                     naive.query_intersecting(&w, |v| b.push(*v));
                     a.sort_unstable();
                     b.sort_unstable();
-                    prop_assert_eq!(a, b);
+                    assert_eq!(a, b, "case {case}");
                 }
             }
             tree.check_invariants();
         }
-        prop_assert_eq!(tree.len(), live.len());
-    }
+        assert_eq!(tree.len(), live.len(), "case {case}");
+    });
+}
 
-    #[test]
-    fn bulk_load_equals_incremental_everywhere(
-        rects in prop::collection::vec((any::<[i16; 2]>(), any::<[u8; 2]>()), 1..300),
-        probes in prop::collection::vec(any::<[i16; 2]>(), 1..50),
-    ) {
-        let items: Vec<(Rect, usize)> = rects
-            .iter()
-            .enumerate()
-            .map(|(i, (lo, extent))| (rect([lo[0] as i32, lo[1] as i32], *extent), i))
+#[test]
+fn bulk_load_equals_incremental_everywhere() {
+    cases(48, 0x5EED_2176_0002, |case, rng| {
+        let n = rng.gen_range(1..300usize);
+        let items: Vec<(Rect, usize)> = (0..n)
+            .map(|i| (rect(random_lo(rng), random_extent(rng)), i))
             .collect();
         let bulk = RStarTree::bulk_load(items.clone());
         bulk.check_invariants();
@@ -104,15 +115,17 @@ proptest! {
         for (r, v) in items {
             incr.insert(r, v);
         }
-        for p in probes {
-            let point = [p[0] as f64, p[1] as f64];
+        let probes = rng.gen_range(1..50usize);
+        for _ in 0..probes {
+            let at = random_lo(rng);
+            let point = [at[0] as f64, at[1] as f64];
             let mut a = Vec::new();
             let mut b = Vec::new();
             bulk.query_point(&point, |v| a.push(*v));
             incr.query_point(&point, |v| b.push(*v));
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
         }
-    }
+    });
 }

@@ -249,7 +249,11 @@ mod tests {
 
     #[test]
     fn quoted_newline_spans_lines() {
-        let s = Schema::builder().categorical("note").categorical("tag").build().unwrap();
+        let s = Schema::builder()
+            .categorical("note")
+            .categorical("tag")
+            .build()
+            .unwrap();
         let input = "note,tag\n\"two\nlines\",x\n";
         let t = read_table(input.as_bytes(), &s).unwrap();
         assert_eq!(t.row(0).value(0), Value::Cat("two\nlines".into()));
@@ -282,7 +286,10 @@ mod tests {
         for bad in ["NaN", "inf", "-inf", "infinity"] {
             let input = format!("income\n{bad}\n");
             let err = read_table(input.as_bytes(), &s).unwrap_err();
-            assert!(matches!(err, TableError::BadNumber { line: 2, .. }), "{bad}");
+            assert!(
+                matches!(err, TableError::BadNumber { line: 2, .. }),
+                "{bad}"
+            );
         }
     }
 

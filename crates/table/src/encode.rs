@@ -260,7 +260,10 @@ impl AttributeEncoder {
                 }
                 // An exact interior node renders by name; other ranges
                 // (e.g. interest-measure differences) list their span.
-                match groups.iter().find(|&&(_, g_lo, g_hi)| g_lo == lo && g_hi == hi) {
+                match groups
+                    .iter()
+                    .find(|&&(_, g_lo, g_hi)| g_lo == lo && g_hi == hi)
+                {
                     Some((name, _, _)) => name.clone(),
                     None => format!("{}..{}", labels[lo as usize], labels[hi as usize]),
                 }
@@ -327,7 +330,10 @@ impl EncodedTable {
                         codes.push(code);
                     }
                 }
-                (Column::Categorical { data }, enc @ AttributeEncoder::CategoricalTaxonomy { .. }) => {
+                (
+                    Column::Categorical { data },
+                    enc @ AttributeEncoder::CategoricalTaxonomy { .. },
+                ) => {
                     for s in data {
                         codes.push(enc.encode(name, &Value::Cat(s.clone()))?);
                     }
@@ -480,14 +486,16 @@ mod tests {
 
     #[test]
     fn interval_out_of_range_clamps() {
-        let enc = AttributeEncoder::quant_intervals_from(&[10.0, 20.0, 30.0], vec![15.0, 25.0], true);
+        let enc =
+            AttributeEncoder::quant_intervals_from(&[10.0, 20.0, 30.0], vec![15.0, 25.0], true);
         assert_eq!(enc.encode("x", &Value::Int(-100)).unwrap(), 0);
         assert_eq!(enc.encode("x", &Value::Int(999)).unwrap(), 2);
     }
 
     #[test]
     fn numeric_bounds_reported() {
-        let enc = AttributeEncoder::quant_intervals_from(&[10.0, 20.0, 30.0], vec![15.0, 25.0], true);
+        let enc =
+            AttributeEncoder::quant_intervals_from(&[10.0, 20.0, 30.0], vec![15.0, 25.0], true);
         assert_eq!(enc.numeric_bounds(0, 1), Some((10.0, 20.0)));
         let cat = AttributeEncoder::categorical_from(&["a".into()]);
         assert_eq!(cat.numeric_bounds(0, 0), None);

@@ -73,7 +73,10 @@ impl fmt::Display for TableError {
             }
             TableError::EmptySchema => write!(f, "schema has no attributes"),
             TableError::ArityMismatch { expected, got } => {
-                write!(f, "row has {got} cells but schema has {expected} attributes")
+                write!(
+                    f,
+                    "row has {got} cells but schema has {expected} attributes"
+                )
             }
             TableError::TypeMismatch {
                 attribute,
@@ -84,15 +87,23 @@ impl fmt::Display for TableError {
                 "attribute `{attribute}` expects {expected} values, got {got}"
             ),
             TableError::NoSuchAttribute(name) => write!(f, "no attribute named `{name}`"),
-            TableError::Csv { line, message } => write!(f, "CSV parse error on line {line}: {message}"),
+            TableError::Csv { line, message } => {
+                write!(f, "CSV parse error on line {line}: {message}")
+            }
             TableError::BadNumber { line, token } => {
                 write!(f, "line {line}: `{token}` is not a number")
             }
             TableError::UnencodableValue { attribute, value } => {
-                write!(f, "value `{value}` of attribute `{attribute}` cannot be encoded")
+                write!(
+                    f,
+                    "value `{value}` of attribute `{attribute}` cannot be encoded"
+                )
             }
             TableError::NonFiniteValue { attribute } => {
-                write!(f, "attribute `{attribute}` received a NaN or infinite value")
+                write!(
+                    f,
+                    "attribute `{attribute}` received a NaN or infinite value"
+                )
             }
             TableError::EmptyTable => write!(f, "operation requires a non-empty table"),
             TableError::Taxonomy(message) => write!(f, "taxonomy error: {message}"),

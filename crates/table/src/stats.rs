@@ -109,7 +109,13 @@ mod tests {
             .build()
             .unwrap();
         let mut t = Table::new(schema);
-        for (age, m) in [(23, "No"), (25, "Yes"), (25, "No"), (34, "Yes"), (38, "Yes")] {
+        for (age, m) in [
+            (23, "No"),
+            (25, "Yes"),
+            (25, "No"),
+            (34, "Yes"),
+            (38, "Yes"),
+        ] {
             t.push_row(&[Value::Int(age), Value::from(m)]).unwrap();
         }
         t

@@ -130,7 +130,11 @@ pub struct Table {
 impl Table {
     /// Create an empty table for `schema`.
     pub fn new(schema: Schema) -> Self {
-        let columns = schema.attributes().iter().map(|a| Column::new(a.kind())).collect();
+        let columns = schema
+            .attributes()
+            .iter()
+            .map(|a| Column::new(a.kind()))
+            .collect();
         Table {
             schema,
             columns,
@@ -238,7 +242,10 @@ impl Table {
 
     /// Iterate over all records.
     pub fn rows(&self) -> impl Iterator<Item = RowView<'_>> {
-        (0..self.num_rows).map(move |i| RowView { table: self, index: i })
+        (0..self.num_rows).map(move |i| RowView {
+            table: self,
+            index: i,
+        })
     }
 }
 
@@ -267,7 +274,9 @@ impl<'a> RowView<'a> {
 
     /// All cells, materialized.
     pub fn to_values(&self) -> Vec<Value> {
-        (0..self.table.num_columns()).map(|c| self.value(c)).collect()
+        (0..self.table.num_columns())
+            .map(|c| self.value(c))
+            .collect()
     }
 }
 
@@ -311,7 +320,11 @@ mod tests {
         let t = people_table();
         let ages = t.column_by_name("age").unwrap().as_quantitative().unwrap();
         assert_eq!(ages, &[23.0, 25.0, 29.0, 34.0, 38.0]);
-        let married = t.column_by_name("married").unwrap().as_categorical().unwrap();
+        let married = t
+            .column_by_name("married")
+            .unwrap()
+            .as_categorical()
+            .unwrap();
         assert_eq!(married[1], "Yes");
         assert!(t.column_by_name("age").unwrap().is_integral());
     }
@@ -320,7 +333,13 @@ mod tests {
     fn arity_mismatch_rejected_atomically() {
         let mut t = people_table();
         let err = t.push_row(&[Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, TableError::ArityMismatch { expected: 3, got: 1 }));
+        assert!(matches!(
+            err,
+            TableError::ArityMismatch {
+                expected: 3,
+                got: 1
+            }
+        ));
         assert_eq!(t.num_rows(), 5);
     }
 
@@ -377,7 +396,9 @@ mod tests {
             .unwrap();
         let mut t = Table::new(schema);
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
-            let err = t.push_row(&[Value::Float(1.0), Value::Float(bad)]).unwrap_err();
+            let err = t
+                .push_row(&[Value::Float(1.0), Value::Float(bad)])
+                .unwrap_err();
             assert!(matches!(err, TableError::NonFiniteValue { .. }), "{bad}");
         }
         assert!(t.is_empty(), "no partial rows");

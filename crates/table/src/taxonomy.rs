@@ -80,9 +80,7 @@ impl Taxonomy {
                 cur = p;
                 steps += 1;
                 if steps > bound {
-                    return Err(TableError::Taxonomy(format!(
-                        "cycle through `{label}`"
-                    )));
+                    return Err(TableError::Taxonomy(format!("cycle through `{label}`")));
                 }
             }
         }
@@ -119,7 +117,10 @@ impl Taxonomy {
     fn children_of(&self) -> BTreeMap<&str, Vec<&str>> {
         let mut children: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
         for (child, par) in &self.parent {
-            children.entry(par.as_str()).or_default().push(child.as_str());
+            children
+                .entry(par.as_str())
+                .or_default()
+                .push(child.as_str());
         }
         children
     }

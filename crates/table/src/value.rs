@@ -138,8 +138,14 @@ mod tests {
 
     #[test]
     fn numeric_ordering_mixes_int_and_float() {
-        assert_eq!(Value::Int(2).cmp_numeric(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).cmp_numeric(&Value::Int(3)), Ordering::Equal);
+        assert_eq!(
+            Value::Int(2).cmp_numeric(&Value::Float(2.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float(3.0).cmp_numeric(&Value::Int(3)),
+            Ordering::Equal
+        );
     }
 
     #[test]

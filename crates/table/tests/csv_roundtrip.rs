@@ -1,33 +1,34 @@
-//! Property test: any table survives a CSV write/read round trip intact,
-//! including adversarial categorical strings (quotes, commas, newlines,
-//! unicode).
+//! Randomized property test: any table survives a CSV write/read round
+//! trip intact, including adversarial categorical strings (quotes, commas,
+//! newlines, unicode).
 
-use proptest::prelude::*;
+use qar_prng::{cases, Prng};
 use qar_table::{csv, Schema, Table, Value};
 
-fn categorical_string() -> impl Strategy<Value = String> {
+fn categorical_string(rng: &mut Prng) -> String {
     // A mix of plain words and adversarial CSV content. Leading/trailing
     // whitespace-only distinctions and bare CR are excluded: the format
     // cannot represent them unambiguously (matching RFC 4180 practice).
-    prop_oneof![
-        "[a-zA-Z0-9_]{1,12}",
-        Just("with,comma".to_string()),
-        Just("with\"quote".to_string()),
-        Just("multi\nline".to_string()),
-        Just("ünïcødé 字".to_string()),
-        Just("\"\"".to_string()),
-        Just("trailing,".to_string()),
-    ]
+    const WORD_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    match rng.gen_range(0..7u32) {
+        0 => "with,comma".to_string(),
+        1 => "with\"quote".to_string(),
+        2 => "multi\nline".to_string(),
+        3 => "ünïcødé 字".to_string(),
+        4 => "\"\"".to_string(),
+        5 => "trailing,".to_string(),
+        _ => {
+            let len = rng.gen_range(1..13usize);
+            (0..len)
+                .map(|_| *rng.choose(WORD_CHARS).unwrap() as char)
+                .collect()
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn roundtrip_preserves_every_cell(
-        rows in prop::collection::vec(
-            (any::<i32>(), categorical_string(), -1.0e6f64..1.0e6), 1..60),
-    ) {
+#[test]
+fn roundtrip_preserves_every_cell() {
+    cases(64, 0x5EED_C511_0001, |case, rng| {
         let schema = Schema::builder()
             .quantitative("q_int")
             .categorical("label")
@@ -35,30 +36,48 @@ proptest! {
             .build()
             .unwrap();
         let mut table = Table::new(schema.clone());
-        for (i, s, f) in &rows {
+        let num_rows = rng.gen_range(1..60usize);
+        for _ in 0..num_rows {
+            let i = rng.gen_range(i32::MIN as i64..i32::MAX as i64 + 1);
+            let s = categorical_string(rng);
+            let f = rng.gen_range(-1.0e6..1.0e6);
             table
-                .push_row(&[Value::Int(*i as i64), Value::from(s.clone()), Value::Float(*f)])
+                .push_row(&[Value::Int(i), Value::from(s), Value::Float(f)])
                 .unwrap();
         }
         let mut buf = Vec::new();
         csv::write_table(&mut buf, &table).unwrap();
         let reread = csv::read_table(buf.as_slice(), &schema).unwrap();
-        prop_assert_eq!(reread.num_rows(), table.num_rows());
+        assert_eq!(reread.num_rows(), table.num_rows(), "case {case}");
         for row in 0..table.num_rows() {
             // Integer column: exact.
-            prop_assert_eq!(reread.row(row).value(0), table.row(row).value(0));
+            assert_eq!(
+                reread.row(row).value(0),
+                table.row(row).value(0),
+                "case {case}"
+            );
             // Categorical column: exact bytes.
-            prop_assert_eq!(reread.row(row).value(1), table.row(row).value(1));
+            assert_eq!(
+                reread.row(row).value(1),
+                table.row(row).value(1),
+                "case {case}"
+            );
             // Float column: Display uses shortest-roundtrip form, so parsing
             // it back is exact.
             let (a, b) = (reread.row(row).value(2), table.row(row).value(2));
-            prop_assert_eq!(a.as_f64().unwrap(), b.as_f64().unwrap());
+            assert_eq!(a.as_f64().unwrap(), b.as_f64().unwrap(), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn header_escaping_roundtrips(word in "[a-z]{1,8}") {
+#[test]
+fn header_escaping_roundtrips() {
+    cases(16, 0x5EED_C511_0002, |case, rng| {
         // Attribute names containing commas/quotes must be escaped too.
+        let len = rng.gen_range(1..9usize);
+        let word: String = (0..len)
+            .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+            .collect();
         let tricky = format!("{word},\"x");
         let schema = Schema::builder()
             .categorical(tricky.clone())
@@ -70,10 +89,11 @@ proptest! {
         let mut buf = Vec::new();
         csv::write_table(&mut buf, &table).unwrap();
         let reread = csv::read_table(buf.as_slice(), &schema).unwrap();
-        prop_assert_eq!(reread.num_rows(), 1);
-        prop_assert_eq!(
+        assert_eq!(reread.num_rows(), 1, "case {case}");
+        assert_eq!(
             reread.schema().attribute_by_name(&tricky).unwrap().name(),
-            tricky.as_str()
+            tricky.as_str(),
+            "case {case}"
         );
-    }
+    });
 }

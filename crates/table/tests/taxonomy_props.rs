@@ -1,57 +1,55 @@
-//! Property tests: `Taxonomy::plan` must produce a valid DFS numbering —
-//! every label once, and the interior-node spans a laminar family that
-//! agrees exactly with the ancestry relation.
+//! Randomized property tests: `Taxonomy::plan` must produce a valid DFS
+//! numbering — every label once, and the interior-node spans a laminar
+//! family that agrees exactly with the ancestry relation.
 
-use proptest::prelude::*;
+use qar_prng::{cases, Prng};
 use qar_table::Taxonomy;
 use std::collections::BTreeSet;
 
 /// Build a random forest over labels L0..Ln: each label's parent is a
 /// lower-indexed label or none (guarantees acyclicity), then interior
 /// nodes are excluded from the observed set.
-fn forest_strategy() -> impl Strategy<Value = (Vec<(String, String)>, BTreeSet<String>)> {
-    (3usize..30).prop_flat_map(|n| {
-        prop::collection::vec(prop::option::of(0usize..n), n).prop_map(move |parents| {
-            let label = |i: usize| format!("L{i}");
-            let mut edges = Vec::new();
-            for (i, p) in parents.iter().enumerate() {
-                if let Some(p) = p {
-                    if *p < i {
-                        edges.push((label(i), label(*p)));
-                    }
-                }
-            }
-            let interior: BTreeSet<String> = edges.iter().map(|(_, p)| p.clone()).collect();
-            let observed: BTreeSet<String> = (0..n)
-                .map(label)
-                .filter(|l| !interior.contains(l))
-                .collect();
-            (edges, observed)
-        })
-    })
+fn random_forest(rng: &mut Prng) -> (Vec<(String, String)>, BTreeSet<String>) {
+    let n = rng.gen_range(3..30usize);
+    let label = |i: usize| format!("L{i}");
+    let mut edges = Vec::new();
+    for i in 1..n {
+        // ~50% of labels get a lower-indexed parent.
+        if rng.gen_bool(0.5) {
+            let p = rng.gen_range(0..i);
+            edges.push((label(i), label(p)));
+        }
+    }
+    let interior: BTreeSet<String> = edges.iter().map(|(_, p)| p.clone()).collect();
+    let observed: BTreeSet<String> = (0..n)
+        .map(label)
+        .filter(|l| !interior.contains(l))
+        .collect();
+    (edges, observed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn plan_invariants((edges, observed) in forest_strategy()) {
-        prop_assume!(!edges.is_empty());
+#[test]
+fn plan_invariants() {
+    cases(256, 0x5EED_7A40_0001, |case, rng| {
+        let (edges, observed) = random_forest(rng);
+        if edges.is_empty() {
+            return;
+        }
         let tax = Taxonomy::from_edges(&edges).expect("acyclic by construction");
         let (order, groups) = tax.plan(&observed).expect("observed are leaves");
 
         // 1. The order contains every observed label exactly once.
         let as_set: BTreeSet<&String> = order.iter().collect();
-        prop_assert_eq!(order.len(), observed.len());
-        prop_assert_eq!(as_set.len(), order.len());
+        assert_eq!(order.len(), observed.len(), "case {case}");
+        assert_eq!(as_set.len(), order.len(), "case {case}");
         for l in &observed {
-            prop_assert!(as_set.contains(l));
+            assert!(as_set.contains(l), "case {case}");
         }
 
         // 2. Spans are in range and cover >= 2 leaves.
         for (name, lo, hi) in &groups {
-            prop_assert!(lo < hi, "{name}");
-            prop_assert!((*hi as usize) < order.len());
+            assert!(lo < hi, "case {case} {name}");
+            assert!((*hi as usize) < order.len(), "case {case} {name}");
         }
 
         // 3. Laminar family: any two spans are nested or disjoint.
@@ -61,7 +59,7 @@ proptest! {
                 let (bl, bh) = (b.1, b.2);
                 let disjoint = ah < bl || bh < al;
                 let nested = (al <= bl && bh <= ah) || (bl <= al && ah <= bh);
-                prop_assert!(disjoint || nested, "{:?} vs {:?}", a, b);
+                assert!(disjoint || nested, "case {case}: {a:?} vs {b:?}");
             }
         }
 
@@ -70,13 +68,12 @@ proptest! {
         for (name, lo, hi) in &groups {
             for (i, leaf) in order.iter().enumerate() {
                 let inside = (*lo as usize) <= i && i <= (*hi as usize);
-                prop_assert_eq!(
+                assert_eq!(
                     inside,
                     tax.is_ancestor(name, leaf),
-                    "group {} span [{}, {}] vs leaf {} at {}",
-                    name, lo, hi, leaf, i
+                    "case {case}: group {name} span [{lo}, {hi}] vs leaf {leaf} at {i}"
                 );
             }
         }
-    }
+    });
 }

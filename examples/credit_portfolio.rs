@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example credit_portfolio [records] [K]`
 
-use quantrules::core::{
-    mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec,
-};
+use quantrules::core::{mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec};
 use quantrules::datagen::{CreditConfig, CreditDataset};
 
 fn main() {
@@ -34,14 +32,15 @@ fn main() {
         min_confidence: 0.25,
         max_support: 0.40,
         partitioning: PartitionSpec::CompletenessLevel(completeness),
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
         interest: Some(InterestConfig {
             level: 1.5,
             mode: InterestMode::SupportOrConfidence,
             prune_candidates: false,
         }),
         max_itemset_size: 0,
+        parallelism: None,
     };
 
     let output = mine_table(&data.table, &config).expect("mining succeeds");

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example marketing_survey`
 
-use quantrules::core::{
-    mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec,
-};
+use quantrules::core::{mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec};
 use quantrules::datagen::{PlantedConfig, PlantedDataset};
 
 fn main() {
@@ -39,6 +37,7 @@ fn main() {
             prune_candidates: false,
         }),
         max_itemset_size: 2,
+        parallelism: None,
     };
     let output = mine_table(&data.table, &config).expect("mining succeeds");
     println!(

@@ -18,10 +18,11 @@ fn main() {
         min_confidence: 0.5,
         max_support: 1.0,
         partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
         interest: None,
         max_itemset_size: 0,
+        parallelism: None,
     };
 
     let output = mine_table(&table, &config).expect("mining the example table succeeds");

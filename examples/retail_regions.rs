@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release --example retail_regions`
 
+use qar_prng::Prng;
 use quantrules::core::{mine_table, MinerConfig, PartitionSpec};
 use quantrules::table::{Schema, Table, Taxonomy, Value};
-use rand::{Rng, SeedableRng};
 
 fn main() {
     // A three-level taxonomy: states -> regions -> USA.
@@ -37,7 +37,7 @@ fn main() {
         .build()
         .expect("schema");
     let mut table = Table::new(schema);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1996);
+    let mut rng = Prng::seed_from_u64(1996);
     let west = ["CA", "WA", "OR", "NV"];
     let east = ["NY", "MA", "NJ", "CT"];
     for _ in 0..30_000 {
@@ -69,6 +69,7 @@ fn main() {
         taxonomies,
         interest: None,
         max_itemset_size: 2,
+        parallelism: None,
     };
     let out = mine_table(&table, &config).expect("mining succeeds");
     println!(
@@ -88,9 +89,11 @@ fn main() {
 
     let leaf_rules = (0..out.rules.len())
         .map(|i| out.format_rule(i))
-        .filter(|r| ["CA", "WA", "OR", "NV", "NY", "MA", "NJ", "CT"]
-            .iter()
-            .any(|s| r.contains(&format!("⟨state: {s}⟩"))))
+        .filter(|r| {
+            ["CA", "WA", "OR", "NV", "NY", "MA", "NJ", "CT"]
+                .iter()
+                .any(|s| r.contains(&format!("⟨state: {s}⟩")))
+        })
         .count();
     println!("\nState-level (leaf) rules found: {leaf_rules} — the taxonomy is what makes the pattern visible.");
 }

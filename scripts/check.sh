@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally. Mirrors .github/workflows/ci.yml.
+#
+# QAR_TEST_THREADS=1 runs the miner's counting passes single-threaded
+# (the tests that pin parallelism explicitly are unaffected); CI runs the
+# suite both ways to exercise the serial and the parallel code paths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (default parallelism)"
+cargo test --workspace -q
+
+echo "==> cargo test (forced serial counting)"
+QAR_TEST_THREADS=1 cargo test --workspace -q
+
+echo "==> clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> rustfmt --check"
+cargo fmt --check
+
+echo "All checks passed."

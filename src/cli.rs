@@ -111,6 +111,7 @@ MINE OPTIONS:
   --interest R          interest level (> 1); omit to keep all rules
   --interest-mode M     and | or                        [default or]
   --max-size K          cap itemset size (0 = unbounded)
+  --threads N           counting worker threads (0 = all cores) [default 0]
   --top N               print at most N rules (0 = all) [default 50]
   --all-rules           print pruned rules too (with a * marker)
   --format F            text | csv | json               [default text]
@@ -131,7 +132,9 @@ fn parse_flag_map(args: &[String]) -> Result<BTreeMap<String, String>, CliError>
     while i < args.len() {
         let a = &args[i];
         if !a.starts_with("--") {
-            return Err(err(format!("unexpected argument `{a}` (expected a --flag)")));
+            return Err(err(format!(
+                "unexpected argument `{a}` (expected a --flag)"
+            )));
         }
         let key = a.trim_start_matches("--").to_string();
         // Boolean flags take no value.
@@ -171,7 +174,11 @@ fn parse_f64(map: &BTreeMap<String, String>, key: &str, default: f64) -> Result<
     }
 }
 
-fn parse_usize(map: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, CliError> {
+fn parse_usize(
+    map: &BTreeMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, CliError> {
     match map.get(key) {
         None => Ok(default),
         Some(v) => v
@@ -184,9 +191,11 @@ fn parse_usize(map: &BTreeMap<String, String>, key: &str, default: usize) -> Res
 pub fn parse_schema_decls(decls: &str) -> Result<Vec<(String, bool)>, CliError> {
     let mut out = Vec::new();
     for part in decls.split(',') {
-        let (name, kind) = part
-            .split_once(':')
-            .ok_or_else(|| err(format!("schema entry `{part}` must be name:quant or name:cat")))?;
+        let (name, kind) = part.split_once(':').ok_or_else(|| {
+            err(format!(
+                "schema entry `{part}` must be name:quant or name:cat"
+            ))
+        })?;
         let quant = match kind.trim() {
             "quant" | "q" | "quantitative" => true,
             "cat" | "c" | "categorical" => false,
@@ -276,6 +285,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 taxonomies: Default::default(),
                 interest,
                 max_itemset_size: parse_usize(&map, "max-size", 0)?,
+                parallelism: std::num::NonZeroUsize::new(parse_usize(&map, "threads", 0)?),
             };
             config.validate().map_err(|e| err(e.to_string()))?;
             let format = match map.get("format").map(String::as_str) {
@@ -575,7 +585,10 @@ mod tests {
         let Command::Mine(args) = cmd else { panic!() };
         assert_eq!(
             args.taxonomy_files,
-            vec![("a".to_string(), "ta.txt".to_string()), ("b".to_string(), "tb.txt".to_string())]
+            vec![
+                ("a".to_string(), "ta.txt".to_string()),
+                ("b".to_string(), "tb.txt".to_string())
+            ]
         );
         assert!(parse_command(&argv("mine --input f --schema a:c --taxonomy nofile")).is_err());
     }
@@ -592,7 +605,9 @@ mod tests {
     #[test]
     fn generate_parsing() {
         let cmd = parse_command(&argv("generate credit --records 500 --seed 7")).unwrap();
-        let Command::Generate(args) = cmd else { panic!() };
+        let Command::Generate(args) = cmd else {
+            panic!()
+        };
         assert_eq!(args.dataset, "credit");
         assert_eq!(args.records, 500);
         assert_eq!(args.seed, 7);

@@ -47,10 +47,11 @@ fn no_combining_config(minsup: f64) -> MinerConfig {
         min_confidence: 0.5,
         max_support: 1.0,
         partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
         interest: None,
         max_itemset_size: 0,
+        parallelism: None,
     }
 }
 
@@ -212,14 +213,15 @@ fn pipeline_is_deterministic() {
         min_confidence: 0.4,
         max_support: 0.5,
         partitioning: PartitionSpec::FixedIntervals(4),
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
         interest: Some(quantrules::core::InterestConfig {
             level: 1.2,
             mode: quantrules::core::InterestMode::SupportOrConfidence,
             prune_candidates: false,
         }),
         max_itemset_size: 0,
+        parallelism: None,
     };
     let a = mine_table(&table, &config).expect("run 1");
     let b = mine_table(&table, &config).expect("run 2");
@@ -236,7 +238,9 @@ fn record_order_does_not_matter() {
     // Rebuild with rows reversed.
     let mut reversed = Table::new(table.schema().clone());
     for i in (0..table.num_rows()).rev() {
-        reversed.push_row(&table.row(i).to_values()).expect("same schema");
+        reversed
+            .push_row(&table.row(i).to_values())
+            .expect("same schema");
     }
     let config = no_combining_config(0.1);
     let a = mine_table(&table, &config).expect("mine");

@@ -15,6 +15,7 @@ fn base_config() -> MinerConfig {
         taxonomies: Default::default(),
         interest: None,
         max_itemset_size: 0,
+        parallelism: None,
     }
 }
 
@@ -49,11 +50,13 @@ fn constant_columns() {
     cfg.partitioning = PartitionSpec::FixedIntervals(4);
     let out = mine_table(&t, &cfg).expect("constant columns are fine");
     assert_eq!(out.frequent.total(), 3);
-    assert!(out
-        .stats
-        .intervals_per_attribute
-        .iter()
-        .all(|i| i.is_none()), "1 distinct value -> never partitioned");
+    assert!(
+        out.stats
+            .intervals_per_attribute
+            .iter()
+            .all(|i| i.is_none()),
+        "1 distinct value -> never partitioned"
+    );
 }
 
 #[test]
@@ -87,7 +90,10 @@ fn interest_with_pruning_and_all_modes_runs() {
         let c = if i % 3 == 0 { "a" } else { "b" };
         t.push_row(&[Value::Int(i % 10), Value::from(c)]).unwrap();
     }
-    for mode in [InterestMode::SupportAndConfidence, InterestMode::SupportOrConfidence] {
+    for mode in [
+        InterestMode::SupportAndConfidence,
+        InterestMode::SupportOrConfidence,
+    ] {
         for prune in [false, true] {
             let mut cfg = base_config();
             cfg.min_support = 0.1;
@@ -149,8 +155,11 @@ fn very_high_minsup_yields_empty_output() {
         .unwrap();
     let mut t = Table::new(schema);
     for i in 0..20 {
-        t.push_row(&[Value::Int(i), Value::from(if i % 2 == 0 { "a" } else { "b" })])
-            .unwrap();
+        t.push_row(&[
+            Value::Int(i),
+            Value::from(if i % 2 == 0 { "a" } else { "b" }),
+        ])
+        .unwrap();
     }
     let mut cfg = base_config();
     cfg.min_support = 1.0;

@@ -1,0 +1,103 @@
+//! Golden regression test: mining the planted-rules dataset with a fixed
+//! seed must reproduce a checked-in rule listing byte-for-byte.
+//!
+//! The snapshot pins the whole visible pipeline — partitioning, counting,
+//! rule generation, formatting — so any unintended behavioural change
+//! (including a nondeterminism bug in the parallel counting path) shows up
+//! as a diff. To regenerate after an *intended* change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_planted
+//! ```
+//!
+//! and review the diff of `tests/golden/planted_rules.snap` like code.
+
+use quantrules::core::{mine_table, MinerConfig, PartitionSpec};
+use quantrules::datagen::{PlantedConfig, PlantedDataset};
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+
+const SNAPSHOT_PATH: &str = "tests/golden/planted_rules.snap";
+
+fn config(parallelism: Option<NonZeroUsize>) -> MinerConfig {
+    MinerConfig {
+        min_support: 0.1,
+        min_confidence: 0.8,
+        max_support: 0.3,
+        partitioning: PartitionSpec::FixedIntervals(20),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
+        interest: None,
+        max_itemset_size: 2,
+        parallelism,
+    }
+}
+
+/// Mine the fixed dataset and render a canonical listing: a header with
+/// the aggregate counts, then one line per rule, sorted lexicographically
+/// (rule generation order is already deterministic; the sort makes the
+/// snapshot robust to harmless reorderings too).
+fn render(parallelism: Option<NonZeroUsize>) -> String {
+    let data = PlantedDataset::generate(PlantedConfig {
+        num_records: 4_000,
+        seed: 1996,
+    });
+    let out = mine_table(&data.table, &config(parallelism)).expect("mining succeeds");
+    let mut lines: Vec<String> = (0..out.rules.len()).map(|i| out.format_rule(i)).collect();
+    lines.sort_unstable();
+    let mut s = String::new();
+    writeln!(
+        s,
+        "# planted dataset: 4000 records, seed 1996; minsup 10%, minconf 80%, maxsup 30%, 20 equi-depth intervals, rules <= 2 items"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "# frequent itemsets: {}; rules: {}",
+        out.frequent.total(),
+        out.rules.len()
+    )
+    .unwrap();
+    for line in lines {
+        writeln!(s, "{line}").unwrap();
+    }
+    s
+}
+
+#[test]
+fn mined_rules_match_snapshot() {
+    let got = render(NonZeroUsize::new(1));
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(SNAPSHOT_PATH, &got).expect("write snapshot");
+        return;
+    }
+
+    let want = std::fs::read_to_string(SNAPSHOT_PATH)
+        .expect("snapshot missing — run with UPDATE_GOLDEN=1 to create it");
+    if got != want {
+        // Show a compact diff rather than two multi-KB strings.
+        let mut diffs = Vec::new();
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            if g != w {
+                diffs.push(format!("line {}: got  {g}\n          want {w}", i + 1));
+            }
+        }
+        let (gn, wn) = (got.lines().count(), want.lines().count());
+        if gn != wn {
+            diffs.push(format!("line count: got {gn}, want {wn}"));
+        }
+        panic!(
+            "mined rules diverged from {SNAPSHOT_PATH} ({} differing lines):\n{}",
+            diffs.len(),
+            diffs.join("\n")
+        );
+    }
+}
+
+/// The snapshot is thread-count independent: a 4-way parallel run renders
+/// the identical listing.
+#[test]
+fn snapshot_is_parallelism_independent() {
+    assert_eq!(render(NonZeroUsize::new(1)), render(NonZeroUsize::new(4)));
+}

@@ -1,9 +1,9 @@
 //! Close-ancestor semantics of the interest measure on hand-built
 //! generalization chains (Section 4's "close ancestor" definition).
 
+use quantrules::core::frequent::QuantFrequentItemsets;
 use quantrules::core::interest::{annotate_interest, ItemSupports};
 use quantrules::core::{InterestConfig, InterestMode, QuantRule};
-use quantrules::core::frequent::QuantFrequentItemsets;
 use quantrules::itemset::{Item, Itemset};
 
 /// A world with one quantitative attribute (codes 0..10, ~uniform) and one
@@ -61,7 +61,10 @@ fn verdicts_for(
     level: f64,
 ) -> (Vec<QuantRule>, Vec<quantrules::core::RuleInterest>) {
     let w = world();
-    let rules: Vec<QuantRule> = ranges.iter().map(|&(l, h)| rule(&w.frequent, l, h)).collect();
+    let rules: Vec<QuantRule> = ranges
+        .iter()
+        .map(|&(l, h)| rule(&w.frequent, l, h))
+        .collect();
     let v = annotate_interest(
         &rules,
         &w.frequent,

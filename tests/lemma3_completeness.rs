@@ -54,14 +54,22 @@ fn small_domain_table(records: usize, seed: u64) -> Table {
     let mut table = Table::with_capacity(schema, records);
     let mut state = seed;
     let mut next = move |m: u64| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) % m) as i64
     };
     for _ in 0..records {
         let a = next(30);
         // b tracks a with noise; c tracks a's band.
         let b = (a + next(17) - 8).clamp(0, 29);
-        let c = if a < 12 { "low" } else if a < 22 { "mid" } else { "high" };
+        let c = if a < 12 {
+            "low"
+        } else if a < 22 {
+            "mid"
+        } else {
+            "high"
+        };
         table
             .push_row(&[Value::Int(a), Value::Int(b), Value::from(c)])
             .expect("rows match schema");
@@ -84,10 +92,11 @@ fn partitioned_mining_is_k_complete() {
         min_confidence: 0.5,
         max_support: 1.0,
         partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
         interest: None,
         max_itemset_size: 2,
+        parallelism: None,
     };
 
     // Reference: raw values (no partitioning).
@@ -146,5 +155,8 @@ taxonomies: Default::default(),
         );
         checked += 1;
     }
-    assert!(checked > 30, "only {checked} itemsets checked — too few to be meaningful");
+    assert!(
+        checked > 30,
+        "only {checked} itemsets checked — too few to be meaningful"
+    );
 }

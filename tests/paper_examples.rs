@@ -3,8 +3,8 @@
 
 use quantrules::apriori::bridge::to_transactions;
 use quantrules::core::{mine_table, MinerConfig, PartitionSpec};
-use quantrules::datagen::people_table;
 use quantrules::datagen::people::fig3_age_cuts;
+use quantrules::datagen::people_table;
 use quantrules::itemset::{Item, Itemset};
 use quantrules::table::{AttributeEncoder, AttributeId, EncodedTable};
 
@@ -14,10 +14,11 @@ fn fig1_config() -> MinerConfig {
         min_confidence: 0.5,
         max_support: 1.0,
         partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
         interest: None,
         max_itemset_size: 0,
+        parallelism: None,
     }
 }
 
@@ -26,10 +27,10 @@ taxonomies: Default::default(),
 fn figure_1_sample_rules() {
     let out = mine_table(&people_table(), &fig1_config()).expect("mining succeeds");
     let rendered: Vec<String> = (0..out.rules.len()).map(|i| out.format_rule(i)).collect();
-    assert!(rendered
-        .iter()
-        .any(|r| r.contains("⟨Age: 34..38⟩ and ⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩")
-            && r.contains("40.0% sup, 100.0% conf")));
+    assert!(rendered.iter().any(
+        |r| r.contains("⟨Age: 34..38⟩ and ⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩")
+            && r.contains("40.0% sup, 100.0% conf")
+    ));
     assert!(rendered
         .iter()
         .any(|r| r.contains("⟨NumCars: 0..1⟩ ⇒ ⟨Married: No⟩")
@@ -79,9 +80,7 @@ fn figure_3_problem_decomposition() {
         .to_vec();
     let encoders = vec![
         AttributeEncoder::quant_intervals_from(&ages, fig3_age_cuts(), true),
-        AttributeEncoder::categorical_from(
-            table.column(AttributeId(1)).as_categorical().unwrap(),
-        ),
+        AttributeEncoder::categorical_from(table.column(AttributeId(1)).as_categorical().unwrap()),
         AttributeEncoder::quant_values_from(&cars, true),
     ];
     let encoded = EncodedTable::encode(&table, encoders).expect("encode");
@@ -113,8 +112,7 @@ fn figure_3_problem_decomposition() {
     let headline = rules
         .iter()
         .find(|r| {
-            r.antecedent == headline_ant
-                && r.consequent == Itemset::singleton(Item::value(2, 2))
+            r.antecedent == headline_ant && r.consequent == Itemset::singleton(Item::value(2, 2))
         })
         .expect("⟨Age: 30..39⟩ and ⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩");
     assert_eq!(headline.support, 2);

@@ -1,9 +1,7 @@
 //! End-to-end recovery oracle: rules planted by the generator must come
 //! out of the full pipeline, and the interest measure must keep them.
 
-use quantrules::core::{
-    mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec,
-};
+use quantrules::core::{mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec};
 use quantrules::datagen::{PlantedConfig, PlantedDataset};
 use quantrules::itemset::{Item, Itemset};
 
@@ -13,10 +11,11 @@ fn config() -> MinerConfig {
         min_confidence: 0.6,
         max_support: 0.3,
         partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
         interest: None,
         max_itemset_size: 2,
+        parallelism: None,
     }
 }
 

@@ -1,76 +1,144 @@
-//! Property tests over the whole pipeline: for random small tables and
-//! random thresholds, the miner must agree with the brute-force reference,
-//! and its outputs must satisfy the paper's definitional invariants.
+//! Randomized property tests over the whole pipeline: for random small
+//! tables and random thresholds, the miner must agree with the brute-force
+//! reference, a parallel run must agree exactly with a serial one, and the
+//! outputs must satisfy the paper's definitional invariants.
 
-use proptest::prelude::*;
+use qar_prng::{cases, Prng};
 use quantrules::core::naive::naive_mine;
-use quantrules::core::{mine_encoded, generate_rules, MinerConfig, PartitionSpec};
+use quantrules::core::{generate_rules, mine_encoded, MinerConfig, PartitionSpec};
 use quantrules::table::{EncodedTable, Schema, Table, Value};
+use std::num::NonZeroUsize;
 
-fn arbitrary_table() -> impl Strategy<Value = Table> {
-    // 2 quantitative attributes (domains ≤ 6) + 1 categorical (≤ 3).
-    let row = (0i64..6, 0i64..6, 0usize..3);
-    prop::collection::vec(row, 8..60).prop_map(|rows| {
-        let schema = Schema::builder()
-            .quantitative("q1")
-            .quantitative("q2")
-            .categorical("c")
-            .build()
-            .expect("static schema");
-        let mut t = Table::new(schema);
-        let labels = ["a", "b", "c"];
-        for (q1, q2, c) in rows {
-            t.push_row(&[Value::Int(q1), Value::Int(q2), Value::from(labels[c])])
-                .expect("row matches schema");
-        }
-        t
-    })
+/// Random small table: 2 quantitative attributes (domains ≤ 6) + 1
+/// categorical (≤ 3 labels), 8–59 rows.
+fn arbitrary_table(rng: &mut Prng) -> Table {
+    let schema = Schema::builder()
+        .quantitative("q1")
+        .quantitative("q2")
+        .categorical("c")
+        .build()
+        .expect("static schema");
+    let mut t = Table::new(schema);
+    let labels = ["a", "b", "c"];
+    let num_rows = rng.gen_range(8..60usize);
+    for _ in 0..num_rows {
+        let q1 = rng.gen_range(0i64..6);
+        let q2 = rng.gen_range(0i64..6);
+        let c = rng.gen_range(0..labels.len());
+        t.push_row(&[Value::Int(q1), Value::Int(q2), Value::from(labels[c])])
+            .expect("row matches schema");
+    }
+    t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn base_config() -> MinerConfig {
+    MinerConfig {
+        min_support: 0.2,
+        min_confidence: 0.5,
+        max_support: 0.7,
+        partitioning: PartitionSpec::None,
+        partition_strategy: Default::default(),
+        taxonomies: Default::default(),
+        interest: None,
+        max_itemset_size: 0,
+        parallelism: None,
+    }
+}
 
-    /// Miner == brute force on arbitrary tables and thresholds.
-    #[test]
-    fn miner_equals_naive(
-        table in arbitrary_table(),
-        minsup_pct in 5u32..60,
-        maxsup_pct in 60u32..100,
-    ) {
+/// Miner == brute force on arbitrary tables and thresholds.
+#[test]
+fn miner_equals_naive() {
+    cases(48, 0x5EED_4242_0001, |case, rng| {
+        let table = arbitrary_table(rng);
         let config = MinerConfig {
-            min_support: minsup_pct as f64 / 100.0,
-            min_confidence: 0.5,
-            max_support: maxsup_pct as f64 / 100.0,
-            partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
-            interest: None,
-            max_itemset_size: 0,
+            min_support: rng.gen_range(5u32..60) as f64 / 100.0,
+            max_support: rng.gen_range(60u32..100) as f64 / 100.0,
+            ..base_config()
         };
         let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
         let naive = naive_mine(&encoded, &config);
         let (real, _) = mine_encoded(&encoded, &config, None).expect("mine");
-        prop_assert_eq!(naive.total(), real.total());
+        assert_eq!(naive.total(), real.total(), "case {case}");
         for (itemset, count) in naive.iter() {
-            prop_assert_eq!(real.support_of(itemset), Some(*count), "{}", itemset);
+            assert_eq!(
+                real.support_of(itemset),
+                Some(*count),
+                "case {case}: {itemset}"
+            );
         }
-    }
+    });
+}
 
-    /// Every generated rule satisfies its definition exactly.
-    #[test]
-    fn rules_satisfy_definitions(
-        table in arbitrary_table(),
-        minconf_pct in 10u32..95,
-    ) {
+/// The tentpole equivalence property: mining with one worker thread and
+/// mining with four must produce *identical* rule sets — same rules, same
+/// supports, same confidences — after a canonical sort. Counting shards
+/// hold disjoint row ranges and integer counts merge by exact addition, so
+/// this holds bit-for-bit, not just approximately.
+#[test]
+fn parallel_mining_equals_serial() {
+    cases(48, 0x5EED_4242_0005, |case, rng| {
+        let table = arbitrary_table(rng);
+        let mut config = MinerConfig {
+            min_support: rng.gen_range(5u32..40) as f64 / 100.0,
+            min_confidence: rng.gen_range(10u32..90) as f64 / 100.0,
+            max_support: 1.0,
+            ..base_config()
+        };
+        let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
+
+        config.parallelism = NonZeroUsize::new(1);
+        let (serial_freq, serial_stats) = mine_encoded(&encoded, &config, None).expect("serial");
+        let mut serial_rules = generate_rules(&serial_freq, config.min_confidence);
+
+        config.parallelism = NonZeroUsize::new(4);
+        let (par_freq, par_stats) = mine_encoded(&encoded, &config, None).expect("parallel");
+        let mut par_rules = generate_rules(&par_freq, config.min_confidence);
+
+        assert_eq!(serial_stats.parallelism, 1, "case {case}");
+        assert_eq!(par_stats.parallelism, 4, "case {case}");
+
+        // Frequent itemsets: identical levels, supports included.
+        assert_eq!(serial_freq.total(), par_freq.total(), "case {case}");
+        for (itemset, count) in serial_freq.iter() {
+            assert_eq!(
+                par_freq.support_of(itemset),
+                Some(*count),
+                "case {case}: {itemset}"
+            );
+        }
+
+        // Rules: identical after canonical (antecedent, consequent) sort.
+        let canon = |rules: &mut Vec<quantrules::core::QuantRule>| {
+            rules.sort_by(|a, b| {
+                (format!("{}", a.antecedent), format!("{}", a.consequent))
+                    .cmp(&(format!("{}", b.antecedent), format!("{}", b.consequent)))
+            });
+        };
+        canon(&mut serial_rules);
+        canon(&mut par_rules);
+        assert_eq!(serial_rules.len(), par_rules.len(), "case {case}");
+        for (s, p) in serial_rules.iter().zip(&par_rules) {
+            assert_eq!(s.antecedent, p.antecedent, "case {case}");
+            assert_eq!(s.consequent, p.consequent, "case {case}");
+            assert_eq!(s.support, p.support, "case {case}");
+            assert!(
+                (s.confidence - p.confidence).abs() == 0.0,
+                "case {case}: confidences differ"
+            );
+        }
+    });
+}
+
+/// Every generated rule satisfies its definition exactly.
+#[test]
+fn rules_satisfy_definitions() {
+    cases(48, 0x5EED_4242_0002, |case, rng| {
+        let table = arbitrary_table(rng);
         let config = MinerConfig {
             min_support: 0.15,
-            min_confidence: minconf_pct as f64 / 100.0,
+            min_confidence: rng.gen_range(10u32..95) as f64 / 100.0,
             max_support: 0.8,
-            partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
-            interest: None,
-            max_itemset_size: 0,
+            ..base_config()
         };
         let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
         let (frequent, _) = mine_encoded(&encoded, &config, None).expect("mine");
@@ -79,69 +147,61 @@ taxonomies: Default::default(),
             // Attribute-disjoint sides.
             let ants = rule.antecedent.attributes();
             let cons = rule.consequent.attributes();
-            prop_assert!(ants.iter().all(|a| !cons.contains(a)));
+            assert!(ants.iter().all(|a| !cons.contains(a)), "case {case}");
             // Confidence and support are exact recounts.
             let both = quantrules::core::supercand::count_candidates_naive(
                 &encoded,
                 &[rule.itemset(), rule.antecedent.clone()],
             );
-            prop_assert_eq!(rule.support, both[0]);
+            assert_eq!(rule.support, both[0], "case {case}");
             let conf = both[0] as f64 / both[1] as f64;
-            prop_assert!((rule.confidence - conf).abs() < 1e-12);
-            prop_assert!(rule.confidence >= config.min_confidence);
+            assert!((rule.confidence - conf).abs() < 1e-12, "case {case}");
+            assert!(rule.confidence >= config.min_confidence, "case {case}");
             // The rule's itemset meets minimum support.
             let min_count = (config.min_support * table.num_rows() as f64).ceil() as u64;
-            prop_assert!(rule.support >= min_count);
+            assert!(rule.support >= min_count, "case {case}");
         }
-    }
+    });
+}
 
-    /// Monotonicity in minsup: raising it never adds itemsets, and the
-    /// surviving sets keep their exact supports.
-    #[test]
-    fn minsup_monotone(table in arbitrary_table()) {
+/// Monotonicity in minsup: raising it never adds itemsets, and the
+/// surviving sets keep their exact supports.
+#[test]
+fn minsup_monotone() {
+    cases(48, 0x5EED_4242_0003, |case, rng| {
+        let table = arbitrary_table(rng);
         let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
         let mk = |minsup: f64| MinerConfig {
             min_support: minsup,
-            min_confidence: 0.5,
             max_support: 1.0,
-            partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
-            interest: None,
-            max_itemset_size: 0,
+            ..base_config()
         };
         let (lo, _) = mine_encoded(&encoded, &mk(0.1), None).expect("mine");
         let (hi, _) = mine_encoded(&encoded, &mk(0.3), None).expect("mine");
-        prop_assert!(hi.total() <= lo.total());
+        assert!(hi.total() <= lo.total(), "case {case}");
         for (itemset, count) in hi.iter() {
-            prop_assert_eq!(lo.support_of(itemset), Some(*count));
+            assert_eq!(lo.support_of(itemset), Some(*count), "case {case}");
         }
-    }
+    });
+}
 
-    /// The counting backends agree wherever the auto heuristic is allowed
-    /// to choose (end-to-end, forced array vs forced R*-tree vs auto).
-    #[test]
-    fn backends_agree(table in arbitrary_table()) {
+/// The counting backends agree wherever the auto heuristic is allowed to
+/// choose (end-to-end, forced array vs forced R*-tree vs auto).
+#[test]
+fn backends_agree() {
+    cases(48, 0x5EED_4242_0004, |case, rng| {
         use quantrules::itemset::CounterKind;
+        let table = arbitrary_table(rng);
         let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
-        let config = MinerConfig {
-            min_support: 0.2,
-            min_confidence: 0.5,
-            max_support: 0.7,
-            partitioning: PartitionSpec::None,
-partition_strategy: Default::default(),
-taxonomies: Default::default(),
-            interest: None,
-            max_itemset_size: 0,
-        };
+        let config = base_config();
         let (auto, _) = mine_encoded(&encoded, &config, None).expect("auto");
         let (arr, _) = mine_encoded(&encoded, &config, Some(CounterKind::Array)).expect("array");
         let (rt, _) = mine_encoded(&encoded, &config, Some(CounterKind::RTree)).expect("rtree");
-        prop_assert_eq!(auto.total(), arr.total());
-        prop_assert_eq!(auto.total(), rt.total());
+        assert_eq!(auto.total(), arr.total(), "case {case}");
+        assert_eq!(auto.total(), rt.total(), "case {case}");
         for (itemset, count) in auto.iter() {
-            prop_assert_eq!(arr.support_of(itemset), Some(*count));
-            prop_assert_eq!(rt.support_of(itemset), Some(*count));
+            assert_eq!(arr.support_of(itemset), Some(*count), "case {case}");
+            assert_eq!(rt.support_of(itemset), Some(*count), "case {case}");
         }
-    }
+    });
 }

@@ -33,7 +33,9 @@ fn store_table(records: usize, seed: u64) -> Table {
     let mut t = Table::with_capacity(schema, records);
     let mut state = seed;
     let mut next = move |m: u64| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) % m) as usize
     };
     for _ in 0..records {
@@ -63,6 +65,7 @@ fn config_with_taxonomy() -> MinerConfig {
         taxonomies,
         interest: None,
         max_itemset_size: 0,
+        parallelism: None,
     }
 }
 
@@ -82,13 +85,17 @@ fn region_rule_emerges_where_no_state_rule_can() {
     // No single state reaches the 20 % support floor, so no leaf rule.
     for st in WEST.iter().chain(EAST.iter()) {
         assert!(
-            !rendered.iter().any(|r| r.contains(&format!("⟨state: {st}⟩"))),
+            !rendered
+                .iter()
+                .any(|r| r.contains(&format!("⟨state: {st}⟩"))),
             "leaf rule for {st} should be below minsup"
         );
     }
 
     // The East region implies low sales symmetrically.
-    assert!(rendered.iter().any(|r| r.starts_with("⟨state: East⟩ ⇒ ⟨sales:")));
+    assert!(rendered
+        .iter()
+        .any(|r| r.starts_with("⟨state: East⟩ ⇒ ⟨sales:")));
 }
 
 #[test]
@@ -112,7 +119,9 @@ fn without_taxonomy_the_region_rule_is_invisible() {
     let out = mine_table(&table, &cfg).expect("mining succeeds");
     let rendered: Vec<String> = (0..out.rules.len()).map(|i| out.format_rule(i)).collect();
     assert!(
-        !rendered.iter().any(|r| r.contains("West") || r.contains("East")),
+        !rendered
+            .iter()
+            .any(|r| r.contains("West") || r.contains("East")),
         "region names cannot appear without the taxonomy: {rendered:?}"
     );
     // And no state-antecedent rules exist at all (each leaf ~12.5% < 20%).
@@ -136,14 +145,13 @@ fn interest_measure_handles_taxonomy_generalizations() {
     });
     let out = mine_table(&table, &cfg).expect("mining succeeds");
     let verdicts = out.interest.as_ref().expect("configured");
-    let west_interesting = out
-        .rules
-        .iter()
-        .zip(verdicts)
-        .any(|(r, v)| {
-            v.interesting
-                && quantrules::core::output::format_itemset(&r.antecedent, &out.encoded)
-                    == "⟨state: West⟩"
-        });
-    assert!(west_interesting, "West rule should survive the interest filter");
+    let west_interesting = out.rules.iter().zip(verdicts).any(|(r, v)| {
+        v.interesting
+            && quantrules::core::output::format_itemset(&r.antecedent, &out.encoded)
+                == "⟨state: West⟩"
+    });
+    assert!(
+        west_interesting,
+        "West rule should survive the interest filter"
+    );
 }
