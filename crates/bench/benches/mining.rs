@@ -5,7 +5,7 @@
 use qar_bench::experiments::{credit, section6_config};
 use qar_bench::harness::bench;
 use qar_core::pipeline::{build_encoders, item_supports_of};
-use qar_core::{annotate_interest, generate_rules, mine_encoded, InterestConfig, InterestMode};
+use qar_core::{annotate_interest, generate_rules, InterestConfig, InterestMode, Miner};
 use qar_table::EncodedTable;
 
 fn main() {
@@ -15,11 +15,9 @@ fn main() {
         let config = section6_config(0.20, 0.25, k, None);
         let (encoders, _) = build_encoders(&data.table, &config).expect("encoders");
         let encoded = EncodedTable::encode(&data.table, encoders).expect("encode");
+        let miner = Miner::new(config.clone());
         bench(&format!("mine_encoded/K{k}"), || {
-            mine_encoded(&encoded, &config, None)
-                .expect("mine")
-                .0
-                .total()
+            miner.frequent_itemsets(&encoded).expect("mine").0.total()
         });
     }
 
@@ -27,7 +25,9 @@ fn main() {
     let config = section6_config(0.20, 0.25, 1.5, None);
     let (encoders, _) = build_encoders(&data.table, &config).expect("encoders");
     let encoded = EncodedTable::encode(&data.table, encoders).expect("encode");
-    let (frequent, _) = mine_encoded(&encoded, &config, None).expect("mine");
+    let (frequent, _) = Miner::new(config.clone())
+        .frequent_itemsets(&encoded)
+        .expect("mine");
     bench("generate_rules/K1.5", || {
         generate_rules(&frequent, 0.25).len()
     });

@@ -7,13 +7,19 @@
 //! the per-shard busy total, and the speedup over the single-thread run —
 //! and asserts that every run mines the identical rule count, so the
 //! sweep doubles as an equivalence check at scale.
+//!
+//! All timing detail comes from the miner's trace events (the same stream
+//! `qar mine --trace` exposes), folded by [`qar_bench::events::pass_totals`].
 
+use qar_bench::events::pass_totals;
 use qar_bench::experiments::{credit, section6_config};
 use qar_bench::harness::{bench, fmt_duration};
 use qar_core::pipeline::build_encoders;
-use qar_core::{generate_rules, mine_encoded};
+use qar_core::{generate_rules, Miner};
 use qar_table::EncodedTable;
+use qar_trace::CollectingSink;
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -43,27 +49,14 @@ fn main() {
     let mut reference_rules: Option<usize> = None;
     for &t in &threads {
         config.parallelism = NonZeroUsize::new(t);
-        let mut scan_total = Duration::ZERO;
-        let mut busy_total = Duration::ZERO;
-        let mut merge_total = Duration::ZERO;
+        let sink = Arc::new(CollectingSink::new());
+        let miner = Miner::new(config.clone()).with_progress(sink.clone());
+        let mut totals = Default::default();
         let mut rules_out = 0usize;
         let sample = bench(&format!("mine/threads={t}"), || {
-            let (frequent, stats) = mine_encoded(&encoded, &config, None).expect("mine");
-            scan_total = stats
-                .pass_stats
-                .iter()
-                .map(|p| p.scan_time)
-                .sum::<Duration>();
-            busy_total = stats
-                .pass_stats
-                .iter()
-                .flat_map(|p| p.shard_scan_times.iter().copied())
-                .sum::<Duration>();
-            merge_total = stats
-                .pass_stats
-                .iter()
-                .map(|p| p.merge_time)
-                .sum::<Duration>();
+            sink.drain();
+            let (frequent, _) = miner.frequent_itemsets(&encoded).expect("mine");
+            totals = pass_totals(&sink.events());
             rules_out = generate_rules(&frequent, config.min_confidence).len();
             rules_out
         });
@@ -83,9 +76,9 @@ fn main() {
         };
         println!(
             "  threads={t}: scan wall {} | shard busy {} | merge {} | rules {} | speedup {:.2}x\n",
-            fmt_duration(scan_total),
-            fmt_duration(busy_total),
-            fmt_duration(merge_total),
+            fmt_duration(totals.scan_wall),
+            fmt_duration(totals.shard_busy),
+            fmt_duration(totals.merge),
             rules_out,
             speedup,
         );

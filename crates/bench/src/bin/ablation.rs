@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p qar-bench --bin ablation [records]`
 
 use qar_bench::experiments::{credit, records_arg, row, section6_config};
-use qar_core::{mine_encoded, InterestConfig, InterestMode, MinerConfig, PartitionSpec};
+use qar_core::{InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec};
 use qar_itemset::CounterKind;
 use qar_partition::partitioner::interval_supports;
 use qar_partition::{achieved_level, EquiDepth, EquiWidth, KMeans1D, Partitioner};
@@ -63,7 +63,11 @@ fn counting_ablation(table: &Table, config: &MinerConfig) {
         ("rtree", Some(CounterKind::RTree)),
     ] {
         let t0 = Instant::now();
-        let (frequent, stats) = mine_encoded(&encoded, config, force).expect("mining succeeds");
+        let mut miner = Miner::new(config.clone());
+        if let Some(kind) = force {
+            miner = miner.with_counter(kind);
+        }
+        let (frequent, stats) = miner.frequent_itemsets(&encoded).expect("mining succeeds");
         let elapsed = t0.elapsed();
         let arrays: usize = stats.pass_stats.iter().map(|p| p.array_backed).sum();
         let rtrees: usize = stats.pass_stats.iter().map(|p| p.rtree_backed).sum();
@@ -125,7 +129,9 @@ fn partitioning_ablation(table: &Table, config: &MinerConfig) {
             .collect();
         let k = achieved_level(n_quant, config.min_support, &sups);
         let t0 = Instant::now();
-        let (frequent, _) = mine_encoded(&encoded, config, None).expect("mining succeeds");
+        let (frequent, _) = Miner::new(config.clone())
+            .frequent_itemsets(&encoded)
+            .expect("mining succeeds");
         let rules = qar_core::generate_rules(&frequent, config.min_confidence);
         let elapsed = t0.elapsed();
         println!(
@@ -185,7 +191,9 @@ fn interest_prune_ablation(table: &Table) {
         let (encoders, _) = qar_core::pipeline::build_encoders(table, &config).expect("encoders");
         let encoded = EncodedTable::encode(table, encoders).expect("encode");
         let t0 = Instant::now();
-        let (frequent, stats) = mine_encoded(&encoded, &config, None).expect("mining succeeds");
+        let (frequent, stats) = Miner::new(config.clone())
+            .frequent_itemsets(&encoded)
+            .expect("mining succeeds");
         let elapsed = t0.elapsed();
         println!(
             "{}",

@@ -15,7 +15,7 @@
 use qar_apriori::bridge::to_transactions;
 use qar_apriori::{apriori, generate_rules as bool_rules};
 use qar_bench::experiments::{records_arg, row};
-use qar_core::{mine_table, MinerConfig, PartitionSpec};
+use qar_core::{Miner, MinerConfig, PartitionSpec};
 use qar_datagen::{PlantedConfig, PlantedDataset};
 use qar_partition::Partitioner;
 use qar_ps91::{mine_pair_rules, Ps91Config};
@@ -44,7 +44,9 @@ fn main() {
         max_itemset_size: 2,
         parallelism: None,
     };
-    let out = mine_table(&data.table, &config).expect("mining succeeds");
+    let out = Miner::new(config)
+        .mine(&data.table)
+        .expect("mining succeeds");
     let recovered = (0..out.rules.len())
         .map(|i| out.format_rule(i))
         .find(|r| r.contains("⟨x0: 20..39⟩ ⇒ ⟨c: A⟩"));

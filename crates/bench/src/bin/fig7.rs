@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p qar-bench --bin fig7 [records]`
 
 use qar_bench::experiments::{credit, records_arg, row, section6_config};
-use qar_core::{annotate_interest, mine_table, InterestConfig, InterestMode};
+use qar_core::{annotate_interest, InterestConfig, InterestMode, Miner};
 
 fn main() {
     let records = records_arg(500_000);
@@ -41,7 +41,9 @@ fn main() {
         // Mine once per K (rule extraction is interest-independent), then
         // apply the interest measure at each level.
         let config = section6_config(0.20, 0.25, k, None);
-        let out = mine_table(&data.table, &config).expect("mining succeeds");
+        let out = Miner::new(config)
+            .mine(&data.table)
+            .expect("mining succeeds");
         let total = out.rules.len();
         let mut cells = vec![format!("{k:.1}"), format!("{total}")];
         let mut percents = Vec::new();

@@ -8,7 +8,7 @@
 //! Usage: `cargo run --release -p qar-bench --bin fig8 [records]`
 
 use qar_bench::experiments::{credit, records_arg, row, section6_config};
-use qar_core::{annotate_interest, mine_table, InterestConfig, InterestMode};
+use qar_core::{annotate_interest, InterestConfig, InterestMode, Miner};
 
 fn main() {
     let records = records_arg(500_000);
@@ -37,7 +37,9 @@ fn main() {
         .iter()
         .map(|&(minsup, minconf)| {
             let config = section6_config(minsup, minconf, completeness, None);
-            mine_table(&data.table, &config).expect("mining succeeds")
+            Miner::new(config)
+                .mine(&data.table)
+                .expect("mining succeeds")
         })
         .collect();
 

@@ -19,8 +19,8 @@
 //! Usage: `cargo run --release -p qar-bench --bin fig9 [max_records]`
 
 use qar_bench::experiments::{credit, records_arg, row, section6_config};
-use qar_core::mine_encoded;
 use qar_core::pipeline::build_encoders;
+use qar_core::Miner;
 use qar_table::EncodedTable;
 use std::time::Duration;
 
@@ -60,7 +60,9 @@ fn main() {
             let mut best_scan: Option<Duration> = None;
             for _ in 0..3 {
                 let started = std::time::Instant::now();
-                let (_, stats) = mine_encoded(&encoded, &config, None).expect("mine");
+                let (_, stats) = Miner::new(config.clone())
+                    .frequent_itemsets(&encoded)
+                    .expect("mine");
                 let total = started.elapsed();
                 let scan = stats.total_scan_time();
                 if best_total.is_none_or(|b| total < b) {

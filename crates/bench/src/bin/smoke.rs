@@ -1,41 +1,48 @@
 use qar_bench::experiments::section6_config;
-use qar_core::mine_table;
+use qar_core::Miner;
+use qar_trace::{TraceFormat, WriterSink};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_000);
-    let k: f64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2.0);
+    // Positional args: N K MAX_SIZE [nointerest] NOISE MINSUP. An optional
+    // `--trace json|text` pair anywhere in the list streams the miner's
+    // per-pass events to stderr (stdout keeps the report).
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace: Option<TraceFormat> = match args.iter().position(|a| a == "--trace") {
+        Some(i) => {
+            let fmt = args
+                .get(i + 1)
+                .expect("--trace needs a value: json | text")
+                .parse()
+                .expect("--trace value must be json or text");
+            args.drain(i..i + 2);
+            Some(fmt)
+        }
+        None => None,
+    };
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let k: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2.0);
     let t0 = Instant::now();
-    let noise: f64 = std::env::args()
-        .nth(5)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.3);
+    let noise: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0.3);
     let data = qar_datagen::CreditDataset::generate(qar_datagen::CreditConfig {
         num_records: n,
         noise,
         ..Default::default()
     });
     println!("generated {n} records in {:?}", t0.elapsed());
-    let minsup: f64 = std::env::args()
-        .nth(6)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.2);
+    let minsup: f64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(0.2);
     let mut config = section6_config(minsup, 0.25, k, Some(1.1));
-    config.max_itemset_size = std::env::args()
-        .nth(3)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    if std::env::args().nth(4).as_deref() == Some("nointerest") {
+    config.max_itemset_size = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+    if args.get(3).map(String::as_str) == Some("nointerest") {
         config.interest = None;
     }
+    let mut miner = Miner::new(config);
+    if let Some(format) = trace {
+        miner = miner.with_progress(Arc::new(WriterSink::new(format, std::io::stderr())));
+    }
     let t1 = Instant::now();
-    let out = mine_table(&data.table, &config).unwrap();
+    let out = miner.mine(&data.table).unwrap();
     println!(
         "mined in {:?} (mining {:?})",
         t1.elapsed(),

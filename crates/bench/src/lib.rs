@@ -17,5 +17,6 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod experiments;
 pub mod harness;

@@ -149,19 +149,19 @@ impl MinerConfig {
     /// Validate parameter ranges.
     pub fn validate(&self) -> Result<(), MinerError> {
         if !(self.min_support > 0.0 && self.min_support <= 1.0) {
-            return Err(MinerError::BadParameter(format!(
+            return Err(MinerError::Config(format!(
                 "min_support must be in (0, 1], got {}",
                 self.min_support
             )));
         }
         if !(0.0..=1.0).contains(&self.min_confidence) {
-            return Err(MinerError::BadParameter(format!(
+            return Err(MinerError::Config(format!(
                 "min_confidence must be in [0, 1], got {}",
                 self.min_confidence
             )));
         }
         if self.max_support < self.min_support {
-            return Err(MinerError::BadParameter(format!(
+            return Err(MinerError::Config(format!(
                 "max_support ({}) must be >= min_support ({})",
                 self.max_support, self.min_support
             )));
@@ -170,12 +170,12 @@ impl MinerConfig {
             // `!(k > 1)` rather than `k <= 1` so NaN is rejected too.
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
             PartitionSpec::CompletenessLevel(k) if !(*k > 1.0) => {
-                return Err(MinerError::BadParameter(format!(
+                return Err(MinerError::Config(format!(
                     "partial completeness level must exceed 1, got {k}"
                 )));
             }
             PartitionSpec::FixedIntervals(0) => {
-                return Err(MinerError::BadParameter(
+                return Err(MinerError::Config(
                     "fixed interval count must be positive".into(),
                 ));
             }
@@ -185,7 +185,7 @@ impl MinerConfig {
             // `!(level > 1)` rather than `level <= 1` so NaN is rejected too.
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
             if !(interest.level > 1.0) {
-                return Err(MinerError::BadParameter(format!(
+                return Err(MinerError::Config(format!(
                     "interest level must exceed 1, got {}",
                     interest.level
                 )));
@@ -195,20 +195,56 @@ impl MinerConfig {
     }
 }
 
-/// Errors surfaced by the miner.
+/// What a cancelled run had accomplished when it stopped — carried inside
+/// [`MinerError::Cancelled`] so callers aborting or deadlining a run still
+/// get the statistics of the passes that completed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CancelledInfo {
+    /// 1-based pass during (or before) which cancellation was observed.
+    pub pass: usize,
+    /// True when a [`qar_trace::CancelToken`] deadline expired; false for
+    /// an explicit abort.
+    pub deadline_exceeded: bool,
+    /// Statistics of the passes completed before cancellation. Each later
+    /// cancellation point extends (never shrinks) these partial stats.
+    pub stats: crate::mine::MineStats,
+}
+
+/// Errors surfaced by the miner, by failure domain.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MinerError {
     /// A configuration parameter was out of range.
-    BadParameter(String),
-    /// The input table was unusable (empty, schema error, ...).
-    Table(qar_table::TableError),
+    Config(String),
+    /// The input table was unusable (empty, wrong arity, type mismatch,
+    /// unknown attribute, ...).
+    Schema(qar_table::TableError),
+    /// Quantitative partitioning failed (bad interval count for an
+    /// attribute's value distribution).
+    Partition(String),
+    /// Reading input (tables, schemas, taxonomy files) failed.
+    Io(String),
+    /// The run was aborted through a [`qar_trace::CancelToken`]; partial
+    /// statistics are inside.
+    Cancelled(CancelledInfo),
 }
 
 impl fmt::Display for MinerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MinerError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
-            MinerError::Table(e) => write!(f, "table error: {e}"),
+            MinerError::Config(msg) => write!(f, "bad parameter: {msg}"),
+            MinerError::Schema(e) => write!(f, "table error: {e}"),
+            MinerError::Partition(msg) => write!(f, "partitioning error: {msg}"),
+            MinerError::Io(msg) => write!(f, "i/o error: {msg}"),
+            MinerError::Cancelled(info) => write!(
+                f,
+                "mining cancelled during pass {} ({})",
+                info.pass,
+                if info.deadline_exceeded {
+                    "deadline exceeded"
+                } else {
+                    "caller abort"
+                }
+            ),
         }
     }
 }
@@ -217,7 +253,13 @@ impl std::error::Error for MinerError {}
 
 impl From<qar_table::TableError> for MinerError {
     fn from(e: qar_table::TableError) -> Self {
-        MinerError::Table(e)
+        MinerError::Schema(e)
+    }
+}
+
+impl From<std::io::Error> for MinerError {
+    fn from(e: std::io::Error) -> Self {
+        MinerError::Io(e.to_string())
     }
 }
 
@@ -248,7 +290,7 @@ mod tests {
             max_support: 0.3,
             ..MinerConfig::default()
         };
-        assert!(matches!(c.validate(), Err(MinerError::BadParameter(_))));
+        assert!(matches!(c.validate(), Err(MinerError::Config(_))));
     }
 
     #[test]
@@ -302,8 +344,6 @@ mod tests {
     fn error_display_and_conversion() {
         let e: MinerError = qar_table::TableError::EmptyTable.into();
         assert!(e.to_string().contains("table error"));
-        assert!(MinerError::BadParameter("x".into())
-            .to_string()
-            .contains("x"));
+        assert!(MinerError::Config("x".into()).to_string().contains("x"));
     }
 }

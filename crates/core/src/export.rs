@@ -147,11 +147,69 @@ pub fn rules_to_json<W: Write>(
     Ok(())
 }
 
+/// Write run statistics as a JSON object, including the pass-level
+/// numbers (`passes[k]` covers counting pass `k + 2`; pass 1 is the
+/// per-attribute scan reported by `pass1_scan_us`).
+pub fn stats_to_json<W: Write>(
+    out: &mut W,
+    stats: &crate::pipeline::MiningStats,
+) -> std::io::Result<()> {
+    let us = |d: std::time::Duration| d.as_micros() as u64;
+    let intervals: Vec<String> = stats
+        .intervals_per_attribute
+        .iter()
+        .map(|i| match i {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        })
+        .collect();
+    let passes: Vec<String> = stats
+        .mine
+        .pass_stats
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            format!(
+                "{{\"pass\":{},\"candidates\":{},\"super_candidates\":{},\
+                 \"array_backed\":{},\"rtree_backed\":{},\"hash_tree_nodes\":{},\
+                 \"counter_bytes\":{},\"scan_us\":{},\"merge_us\":{},\"shards\":{}}}",
+                i + 2,
+                stats.mine.candidates_per_pass.get(i).copied().unwrap_or(0),
+                p.super_candidates,
+                p.array_backed,
+                p.rtree_backed,
+                p.hash_tree_nodes,
+                p.counter_bytes,
+                us(p.scan_time),
+                us(p.merge_time),
+                p.shard_scan_times.len().max(1),
+            )
+        })
+        .collect();
+    writeln!(
+        out,
+        "{{\"rules_total\":{},\"rules_interesting\":{},\"elapsed_us\":{},\
+         \"elapsed_mining_us\":{},\"encoding_reused\":{},\"parallelism\":{},\
+         \"interest_pruned_items\":{},\"pass1_scan_us\":{},\
+         \"intervals_per_attribute\":[{}],\"passes\":[{}]}}",
+        stats.rules_total,
+        stats.rules_interesting,
+        us(stats.elapsed),
+        us(stats.elapsed_mining),
+        stats.encoding_reused,
+        stats.mine.parallelism,
+        stats.mine.interest_pruned_items,
+        us(stats.mine.pass1_scan_time),
+        intervals.join(","),
+        passes.join(","),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::{MinerConfig, PartitionSpec};
-    use crate::pipeline::mine_table;
+    use crate::miner::Miner;
     use qar_table::{Schema, Table, Value};
 
     fn mined() -> crate::pipeline::MiningOutput {
@@ -172,24 +230,22 @@ mod tests {
             t.push_row(&[Value::Int(age), Value::from(married), Value::Int(cars)])
                 .unwrap();
         }
-        mine_table(
-            &t,
-            &MinerConfig {
-                min_support: 0.4,
-                min_confidence: 0.5,
-                max_support: 1.0,
-                partitioning: PartitionSpec::None,
-                partition_strategy: Default::default(),
-                taxonomies: Default::default(),
-                interest: Some(crate::config::InterestConfig {
-                    level: 1.1,
-                    mode: crate::config::InterestMode::SupportOrConfidence,
-                    prune_candidates: false,
-                }),
-                max_itemset_size: 0,
-                parallelism: None,
-            },
-        )
+        Miner::new(MinerConfig {
+            min_support: 0.4,
+            min_confidence: 0.5,
+            max_support: 1.0,
+            partitioning: PartitionSpec::None,
+            partition_strategy: Default::default(),
+            taxonomies: Default::default(),
+            interest: Some(crate::config::InterestConfig {
+                level: 1.1,
+                mode: crate::config::InterestMode::SupportOrConfidence,
+                prune_candidates: false,
+            }),
+            max_itemset_size: 0,
+            parallelism: None,
+        })
+        .mine(&t)
         .unwrap()
     }
 
@@ -259,5 +315,27 @@ mod tests {
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+
+    #[test]
+    fn stats_json_carries_pass_level_numbers() {
+        let out = mined();
+        let mut buf = Vec::new();
+        stats_to_json(&mut buf, &out.stats).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = qar_trace::json::parse(&text).expect("valid JSON");
+        let obj = parsed.as_object().expect("an object");
+        assert_eq!(
+            obj["rules_total"].as_u64(),
+            Some(out.stats.rules_total as u64)
+        );
+        assert_eq!(obj["encoding_reused"].as_bool(), Some(false));
+        let passes = obj["passes"].as_array().expect("passes array");
+        assert_eq!(passes.len(), out.stats.mine.pass_stats.len());
+        for (i, p) in passes.iter().enumerate() {
+            let p = p.as_object().expect("pass object");
+            assert_eq!(p["pass"].as_u64(), Some(i as u64 + 2));
+            assert!(p["scan_us"].is_integer());
+        }
     }
 }

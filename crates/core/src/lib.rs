@@ -17,8 +17,11 @@
 //!    measure, close ancestors, and specialization differences
 //!    ([`interest`]).
 //!
-//! [`pipeline::mine_table`] runs the whole thing; [`output`] renders rules
-//! back in terms of the original attribute values, like the paper's
+//! The [`Miner`] facade runs the whole thing — with optional progress
+//! events ([`qar_trace::ProgressSink`]), cooperative cancellation
+//! ([`qar_trace::CancelToken`]), and encoding reuse across repeated
+//! runs — and [`output`] renders rules back in terms of the original
+//! attribute values, like the paper's
 //! `⟨Age: 30..39⟩ and ⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩`.
 
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@ pub mod export;
 pub mod frequent;
 pub mod interest;
 pub mod mine;
+pub mod miner;
 pub mod naive;
 pub mod output;
 pub mod pipeline;
@@ -36,10 +40,14 @@ pub mod rules;
 pub mod supercand;
 
 pub use config::{
-    InterestConfig, InterestMode, MinerConfig, MinerError, PartitionSpec, PartitionStrategy,
+    CancelledInfo, InterestConfig, InterestMode, MinerConfig, MinerError, PartitionSpec,
+    PartitionStrategy,
 };
 pub use frequent::QuantFrequentItemsets;
 pub use interest::{annotate_interest, RuleInterest};
+#[allow(deprecated)]
 pub use mine::mine_encoded;
+pub use miner::Miner;
+#[allow(deprecated)]
 pub use pipeline::{mine_table, MiningOutput, MiningStats};
 pub use rules::{generate_rules, QuantRule};

@@ -1,17 +1,20 @@
 //! The level-wise mining loop (Step 3, second half; Section 5).
 
 use crate::candidate::{generate_candidates, interest_prune_level1};
-use crate::config::{InterestMode, MinerConfig, MinerError};
+use crate::config::{CancelledInfo, InterestMode, MinerConfig, MinerError};
 use crate::frequent::{find_frequent_items, QuantFrequentItemsets};
-use crate::supercand::{count_candidates_sharded, count_pairs_implicit, PassStats};
+use crate::supercand::{
+    count_candidates_cancellable, count_pairs_cancellable, PassStats, ScanCancelled,
+};
 
 /// Cell budget for the implicit pass-2 arrays (64 MB of u64 cells).
 const PAIR_CELL_BUDGET: usize = 8 << 20;
 use qar_itemset::{CounterKind, Itemset};
 use qar_table::{AttributeKind, EncodedTable};
+use qar_trace::{event::micros, CancelToken, ProgressSink, TraceEvent};
 
 /// Per-pass numbers collected while mining.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MineStats {
     /// `candidates[k-2]` — |C_k| before counting, for k ≥ 2.
     pub candidates_per_pass: Vec<usize>,
@@ -42,18 +45,102 @@ impl MineStats {
     }
 }
 
+/// The observability context a mining run carries: an optional event sink
+/// and an optional cancellation token. Built by the [`crate::Miner`]
+/// facade; the deprecated free functions run with [`RunCtx::none`].
+#[derive(Clone, Copy, Default)]
+pub(crate) struct RunCtx<'a> {
+    /// Receives one [`TraceEvent`] per pipeline milestone.
+    pub sink: Option<&'a dyn ProgressSink>,
+    /// Checked at pass boundaries and inside shard scans.
+    pub cancel: Option<&'a CancelToken>,
+}
+
+impl<'a> RunCtx<'a> {
+    /// No observers, no cancellation — the legacy behavior.
+    pub fn none() -> Self {
+        RunCtx::default()
+    }
+
+    /// Emit an event if a sink is attached (the closure keeps event
+    /// construction off the unobserved path).
+    fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink {
+            sink.on_event(&make());
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Emit the `cancelled` event and build the [`MinerError::Cancelled`]
+    /// carrying the completed passes' statistics.
+    fn cancelled(&self, pass: usize, stats: MineStats) -> MinerError {
+        let deadline = self.cancel.is_some_and(CancelToken::deadline_exceeded);
+        self.emit(|| TraceEvent::Cancelled { pass, deadline });
+        MinerError::Cancelled(CancelledInfo {
+            pass,
+            deadline_exceeded: deadline,
+            stats,
+        })
+    }
+}
+
+/// A [`TraceEvent::PassFinished`] for a counting pass `k ≥ 2`.
+fn pass_finished_event(
+    pass: usize,
+    candidates: usize,
+    frequent: usize,
+    stats: &PassStats,
+) -> TraceEvent {
+    TraceEvent::PassFinished {
+        pass,
+        candidates,
+        frequent,
+        pruned: 0,
+        super_candidates: stats.super_candidates,
+        array_backed: stats.array_backed,
+        rtree_backed: stats.rtree_backed,
+        hash_tree_nodes: stats.hash_tree_nodes,
+        counter_bytes: stats.counter_bytes,
+        scan_us: micros(stats.scan_time),
+        merge_us: micros(stats.merge_time),
+        shard_scan_us: stats.shard_scan_times.iter().map(|&d| micros(d)).collect(),
+    }
+}
+
 /// Mine all frequent itemsets of an already-encoded table.
 ///
 /// `force_counter` pins the quantitative counting backend for ablations.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Miner` facade: `Miner::new(config).mine_encoded(&table)` \
+            (or `.with_counter(..)` for the backend pin)"
+)]
 pub fn mine_encoded(
     table: &EncodedTable,
     config: &MinerConfig,
     force_counter: Option<CounterKind>,
 ) -> Result<(QuantFrequentItemsets, MineStats), MinerError> {
+    mine_encoded_ctx(table, config, force_counter, RunCtx::none())
+}
+
+/// [`mine_encoded`] with an observability context: every pass emits trace
+/// events into `ctx.sink`, and `ctx.cancel` aborts the run cooperatively
+/// (pass boundaries plus periodic checks inside every shard scan),
+/// returning the completed passes' statistics in
+/// [`MinerError::Cancelled`].
+pub(crate) fn mine_encoded_ctx(
+    table: &EncodedTable,
+    config: &MinerConfig,
+    force_counter: Option<CounterKind>,
+    ctx: RunCtx<'_>,
+) -> Result<(QuantFrequentItemsets, MineStats), MinerError> {
     config.validate()?;
     let num_rows = table.num_rows() as u64;
     if num_rows == 0 {
-        return Err(MinerError::Table(qar_table::TableError::EmptyTable));
+        return Err(MinerError::Schema(qar_table::TableError::EmptyTable));
     }
     let min_count = ((config.min_support * num_rows as f64).ceil() as u64).max(1);
     let max_count = (config.max_support * num_rows as f64).floor() as u64;
@@ -63,7 +150,23 @@ pub fn mine_encoded(
     let num_threads = config.effective_parallelism();
     stats.parallelism = num_threads;
 
+    let run_started = std::time::Instant::now();
+    ctx.emit(|| TraceEvent::RunStarted {
+        rows: num_rows,
+        attributes: table.schema().len(),
+        min_count,
+        max_count,
+        parallelism: num_threads,
+    });
+    if ctx.is_cancelled() {
+        return Err(ctx.cancelled(1, stats));
+    }
+
     // Pass 1: frequent items.
+    ctx.emit(|| TraceEvent::PassStarted {
+        pass: 1,
+        candidates: 0,
+    });
     let pass1_started = std::time::Instant::now();
     let items = find_frequent_items(table, min_count, max_count);
     stats.pass1_scan_time = pass1_started.elapsed();
@@ -89,7 +192,26 @@ pub fn mine_encoded(
             stats.interest_pruned_items = before - level1.len();
         }
     }
+    ctx.emit(|| TraceEvent::PassFinished {
+        pass: 1,
+        candidates: 0,
+        frequent: level1.len(),
+        pruned: stats.interest_pruned_items,
+        super_candidates: 0,
+        array_backed: 0,
+        rtree_backed: 0,
+        hash_tree_nodes: 0,
+        counter_bytes: 0,
+        scan_us: micros(stats.pass1_scan_time),
+        merge_us: 0,
+        shard_scan_us: Vec::new(),
+    });
     if level1.is_empty() {
+        ctx.emit(|| TraceEvent::RunFinished {
+            passes: 1,
+            frequent_total: 0,
+            elapsed_us: micros(run_started.elapsed()),
+        });
         return Ok((frequent, stats));
     }
     frequent.push_level(level1);
@@ -99,6 +221,9 @@ pub fn mine_encoded(
         let k = frequent.levels.len() + 1;
         if config.max_itemset_size != 0 && k > config.max_itemset_size {
             break;
+        }
+        if ctx.is_cancelled() {
+            return Err(ctx.cancelled(k, stats));
         }
         let prev = frequent.levels.last().expect("level 1 pushed");
         let level: Vec<(Itemset, u64)> = if k == 2 && force_counter.is_none() {
@@ -121,13 +246,22 @@ pub fn mine_encoded(
                 }
             }
             stats.candidates_per_pass.push(c2_size);
-            let (level, pass) = count_pairs_implicit(
+            ctx.emit(|| TraceEvent::PassStarted {
+                pass: k,
+                candidates: c2_size,
+            });
+            let (level, pass) = match count_pairs_cancellable(
                 table,
                 &items_by_attr,
                 min_count,
                 PAIR_CELL_BUDGET,
                 num_threads,
-            );
+                ctx.cancel,
+            ) {
+                Ok(result) => result,
+                Err(ScanCancelled) => return Err(ctx.cancelled(k, stats)),
+            };
+            ctx.emit(|| pass_finished_event(k, c2_size, level.len(), &pass));
             stats.pass_stats.push(pass);
             level
         } else {
@@ -136,20 +270,41 @@ pub fn mine_encoded(
                 break;
             }
             stats.candidates_per_pass.push(candidates.len());
-            let (counts, pass) =
-                count_candidates_sharded(table, &candidates, force_counter, num_threads);
-            stats.pass_stats.push(pass);
-            candidates
+            ctx.emit(|| TraceEvent::PassStarted {
+                pass: k,
+                candidates: candidates.len(),
+            });
+            let (counts, pass) = match count_candidates_cancellable(
+                table,
+                &candidates,
+                force_counter,
+                num_threads,
+                ctx.cancel,
+            ) {
+                Ok(result) => result,
+                Err(ScanCancelled) => return Err(ctx.cancelled(k, stats)),
+            };
+            let level: Vec<(Itemset, u64)> = candidates
                 .into_iter()
                 .zip(counts)
                 .filter(|(_, c)| *c >= min_count)
-                .collect()
+                .collect();
+            ctx.emit(|| {
+                pass_finished_event(k, stats.candidates_per_pass[k - 2], level.len(), &pass)
+            });
+            stats.pass_stats.push(pass);
+            level
         };
         if level.is_empty() {
             break;
         }
         frequent.push_level(level);
     }
+    ctx.emit(|| TraceEvent::RunFinished {
+        passes: 1 + stats.pass_stats.len(),
+        frequent_total: frequent.total(),
+        elapsed_us: micros(run_started.elapsed()),
+    });
     Ok((frequent, stats))
 }
 
@@ -159,6 +314,14 @@ mod tests {
     use crate::config::PartitionSpec;
     use qar_itemset::Item;
     use qar_table::{AttributeEncoder, AttributeId, Schema, Table, Value};
+
+    fn mine(
+        table: &EncodedTable,
+        config: &MinerConfig,
+        force: Option<CounterKind>,
+    ) -> Result<(QuantFrequentItemsets, MineStats), MinerError> {
+        mine_encoded_ctx(table, config, force, RunCtx::none())
+    }
 
     /// Figure 3's People table with the Figure 3(b) Age partitioning.
     fn people_fig3() -> EncodedTable {
@@ -206,7 +369,7 @@ mod tests {
     #[test]
     fn figure_3f_frequent_itemsets() {
         let enc = people_fig3();
-        let (frequent, _) = mine_encoded(&enc, &fig3_config(), None).unwrap();
+        let (frequent, _) = mine(&enc, &fig3_config(), None).unwrap();
         // The paper's sample (Figure 3f):
         // {⟨Age: 30..39⟩} support 2, {⟨Age: 20..29⟩} support 3,
         // {⟨Married: Yes⟩} 3, {⟨Married: No⟩} 2, {⟨NumCars: 0..1⟩} 3,
@@ -233,7 +396,7 @@ mod tests {
     #[test]
     fn all_reported_supports_are_exact() {
         let enc = people_fig3();
-        let (frequent, _) = mine_encoded(&enc, &fig3_config(), None).unwrap();
+        let (frequent, _) = mine(&enc, &fig3_config(), None).unwrap();
         for (itemset, count) in frequent.iter() {
             let recount =
                 crate::supercand::count_candidates_naive(&enc, std::slice::from_ref(itemset))[0];
@@ -244,7 +407,7 @@ mod tests {
     #[test]
     fn support_is_anti_monotone_across_levels() {
         let enc = people_fig3();
-        let (frequent, _) = mine_encoded(&enc, &fig3_config(), None).unwrap();
+        let (frequent, _) = mine(&enc, &fig3_config(), None).unwrap();
         for level in frequent.levels.iter().skip(1) {
             for (itemset, count) in level {
                 for sub in itemset.subsets_dropping_one() {
@@ -260,7 +423,7 @@ mod tests {
         let enc = people_fig3();
         let mut cfg = fig3_config();
         cfg.max_itemset_size = 1;
-        let (frequent, stats) = mine_encoded(&enc, &cfg, None).unwrap();
+        let (frequent, stats) = mine(&enc, &cfg, None).unwrap();
         assert_eq!(frequent.levels.len(), 1);
         assert!(stats.candidates_per_pass.is_empty());
     }
@@ -271,8 +434,8 @@ mod tests {
         let t = Table::new(schema);
         let enc = EncodedTable::encode_full_resolution(&t).unwrap();
         assert!(matches!(
-            mine_encoded(&enc, &fig3_config(), None),
-            Err(MinerError::Table(_))
+            mine(&enc, &fig3_config(), None),
+            Err(MinerError::Schema(_))
         ));
     }
 
@@ -287,7 +450,7 @@ mod tests {
             mode: InterestMode::SupportAndConfidence,
             prune_candidates: true,
         });
-        let (pruned, stats) = mine_encoded(&enc, &cfg, None).unwrap();
+        let (pruned, stats) = mine(&enc, &cfg, None).unwrap();
         assert!(stats.interest_pruned_items > 0);
         // ⟨Age: 20..29⟩ has support 3/5 = 0.6 > 0.5 -> pruned.
         assert_eq!(
@@ -305,11 +468,87 @@ mod tests {
     fn counting_backends_agree_end_to_end() {
         let enc = people_fig3();
         let cfg = fig3_config();
-        let (a, _) = mine_encoded(&enc, &cfg, Some(CounterKind::Array)).unwrap();
-        let (r, _) = mine_encoded(&enc, &cfg, Some(CounterKind::RTree)).unwrap();
+        let (a, _) = mine(&enc, &cfg, Some(CounterKind::Array)).unwrap();
+        let (r, _) = mine(&enc, &cfg, Some(CounterKind::RTree)).unwrap();
         assert_eq!(a.total(), r.total());
         for (itemset, count) in a.iter() {
             assert_eq!(r.support_of(itemset), Some(*count));
+        }
+    }
+
+    #[test]
+    fn events_cover_every_pass_and_run_lifecycle() {
+        let enc = people_fig3();
+        let sink = qar_trace::CollectingSink::new();
+        let ctx = RunCtx {
+            sink: Some(&sink),
+            cancel: None,
+        };
+        let (frequent, stats) = mine_encoded_ctx(&enc, &fig3_config(), None, ctx).unwrap();
+        let events = sink.events();
+        assert_eq!(events[0].name(), "run_started");
+        assert_eq!(events.last().unwrap().name(), "run_finished");
+        let started = events.iter().filter(|e| e.name() == "pass_started").count();
+        let finished = events
+            .iter()
+            .filter(|e| e.name() == "pass_finished")
+            .count();
+        // One started/finished pair per counting pass (pass 1 + each k).
+        assert_eq!(started, 1 + stats.pass_stats.len());
+        assert_eq!(started, finished);
+        assert!(frequent.total() > 0);
+        // Pass-finished events agree with the returned stats.
+        for event in &events {
+            if let TraceEvent::PassFinished {
+                pass,
+                candidates,
+                super_candidates,
+                ..
+            } = event
+            {
+                if *pass >= 2 {
+                    assert_eq!(*candidates, stats.candidates_per_pass[pass - 2]);
+                    assert_eq!(
+                        *super_candidates,
+                        stats.pass_stats[pass - 2].super_candidates
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_pass_one() {
+        let enc = people_fig3();
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = RunCtx {
+            sink: None,
+            cancel: Some(&token),
+        };
+        match mine_encoded_ctx(&enc, &fig3_config(), None, ctx) {
+            Err(MinerError::Cancelled(info)) => {
+                assert_eq!(info.pass, 1);
+                assert!(!info.deadline_exceeded);
+                assert!(info.stats.pass_stats.is_empty());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let enc = people_fig3();
+        let token = CancelToken::new();
+        let ctx = RunCtx {
+            sink: None,
+            cancel: Some(&token),
+        };
+        let (with_token, _) = mine_encoded_ctx(&enc, &fig3_config(), None, ctx).unwrap();
+        let (plain, _) = mine(&enc, &fig3_config(), None).unwrap();
+        assert_eq!(with_token.total(), plain.total());
+        for (itemset, count) in plain.iter() {
+            assert_eq!(with_token.support_of(itemset), Some(*count));
         }
     }
 }

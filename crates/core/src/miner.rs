@@ -1,0 +1,452 @@
+//! The [`Miner`] facade: one configured entry point for the whole
+//! pipeline, with progress events, cooperative cancellation, and
+//! encoding reuse across repeated runs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::config::{MinerConfig, MinerError};
+use crate::interest::annotate_interest;
+use crate::mine::{mine_encoded_ctx, MineStats, RunCtx};
+use crate::pipeline::{build_encoders, item_supports_of, MiningOutput, MiningStats};
+use crate::rules::generate_rules;
+use qar_itemset::CounterKind;
+use qar_table::{Column, EncodedTable, Table};
+use qar_trace::{CancelToken, ProgressSink};
+
+/// A configured miner: the builder-style entry point for the pipeline.
+///
+/// Compared with the deprecated free functions (`mine_table`,
+/// `mine_encoded`), a `Miner`:
+///
+/// - emits one structured [`qar_trace::TraceEvent`] per pipeline
+///   milestone into an attached [`ProgressSink`],
+/// - honors a [`CancelToken`] cooperatively (pass boundaries plus
+///   periodic checks inside every shard scan), returning partial
+///   statistics via [`MinerError::Cancelled`],
+/// - caches the partitioned/encoded form of the last table it mined, so
+///   re-mining the same table (e.g. with different support thresholds)
+///   skips Steps 1–2 entirely.
+///
+/// ```
+/// use qar_core::{Miner, MinerConfig};
+/// use qar_table::{Schema, Table, Value};
+///
+/// let schema = Schema::builder().quantitative("x").build().unwrap();
+/// let mut table = Table::new(schema);
+/// for v in [1, 1, 2] {
+///     table.push_row(&[Value::Int(v)]).unwrap();
+/// }
+/// let output = Miner::new(MinerConfig {
+///     min_support: 0.5,
+///     max_support: 1.0,
+///     interest: None,
+///     ..MinerConfig::default()
+/// })
+/// .mine(&table)
+/// .unwrap();
+/// assert!(output.frequent.total() > 0);
+/// ```
+pub struct Miner {
+    config: MinerConfig,
+    sink: Option<Arc<dyn ProgressSink>>,
+    cancel: Option<CancelToken>,
+    force_counter: Option<CounterKind>,
+    cache: Option<EncodingCache>,
+}
+
+/// The memoized Steps 1–2 of the previous [`Miner::mine`] call.
+struct EncodingCache {
+    fingerprint: (u64, u64),
+    encoded: EncodedTable,
+    intervals: Vec<Option<usize>>,
+}
+
+impl std::fmt::Debug for Miner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Miner")
+            .field("config", &self.config)
+            .field("sink", &self.sink.as_ref().map(|_| "dyn ProgressSink"))
+            .field("cancel", &self.cancel)
+            .field("force_counter", &self.force_counter)
+            .field("cached_encoding", &self.cache.is_some())
+            .finish()
+    }
+}
+
+impl Miner {
+    /// A miner with the given configuration and no observers.
+    pub fn new(config: MinerConfig) -> Self {
+        Miner {
+            config,
+            sink: None,
+            cancel: None,
+            force_counter: None,
+            cache: None,
+        }
+    }
+
+    /// Attach a progress sink; every subsequent run reports its trace
+    /// events there.
+    pub fn with_progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attach a cancellation token; runs abort cooperatively once it
+    /// trips (explicitly or by deadline), returning
+    /// [`MinerError::Cancelled`] with the completed passes' statistics.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Pin the quantitative counting backend (for ablations; the default
+    /// picks per super-candidate by the memory heuristic).
+    pub fn with_counter(mut self, kind: CounterKind) -> Self {
+        self.force_counter = Some(kind);
+        self
+    }
+
+    /// The configuration this miner runs with.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// Replace the configuration. The encoding cache survives only if
+    /// the partitioning policy is unchanged (Steps 1–2 depend on it).
+    pub fn set_config(&mut self, config: MinerConfig) {
+        if config.partitioning != self.config.partitioning
+            || config.partition_strategy != self.config.partition_strategy
+            || config.taxonomies != self.config.taxonomies
+            || config.min_support != self.config.min_support
+        {
+            self.cache = None;
+        }
+        self.config = config;
+    }
+
+    /// Drop the cached encoding (e.g. to release memory between runs).
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn ctx(&self) -> RunCtx<'_> {
+        RunCtx {
+            sink: self.sink.as_deref(),
+            cancel: self.cancel.as_ref(),
+        }
+    }
+
+    /// Run the full five-step pipeline over a raw [`Table`].
+    ///
+    /// Repeated calls on a table with identical contents reuse the
+    /// partitioned encoding from the previous call
+    /// ([`MiningStats::encoding_reused`] reports which path ran).
+    pub fn mine(&mut self, table: &Table) -> Result<MiningOutput, MinerError> {
+        self.config.validate()?;
+        if table.is_empty() {
+            return Err(MinerError::Schema(qar_table::TableError::EmptyTable));
+        }
+        let started = Instant::now();
+
+        // Steps 1 + 2: partition and encode — or reuse the cached
+        // encoding when the table is bit-identical to the previous run's.
+        let fingerprint = table_fingerprint(table);
+        let reused = match &self.cache {
+            Some(cache) if cache.fingerprint == fingerprint => true,
+            _ => {
+                let (encoders, intervals) = build_encoders(table, &self.config)?;
+                let encoded = EncodedTable::encode(table, encoders)?;
+                self.cache = Some(EncodingCache {
+                    fingerprint,
+                    encoded,
+                    intervals,
+                });
+                false
+            }
+        };
+        let cache = self.cache.as_ref().expect("cache populated above");
+
+        // Steps 3–5 over the encoded table.
+        let mut output = self.finish_pipeline(&cache.encoded, started)?;
+        output.stats.intervals_per_attribute = cache.intervals.clone();
+        output.stats.encoding_reused = reused;
+        Ok(output)
+    }
+
+    /// Run Steps 3–5 over an already-encoded table (partitioning was
+    /// done by the caller, so [`MiningStats::intervals_per_attribute`]
+    /// is empty and nothing is cached).
+    pub fn mine_encoded(&self, table: &EncodedTable) -> Result<MiningOutput, MinerError> {
+        self.config.validate()?;
+        self.finish_pipeline(table, Instant::now())
+    }
+
+    /// Frequent itemsets only (Step 3) over an already-encoded table —
+    /// the trace/cancel-aware replacement for the deprecated
+    /// `mine_encoded` free function.
+    pub fn frequent_itemsets(
+        &self,
+        table: &EncodedTable,
+    ) -> Result<(crate::frequent::QuantFrequentItemsets, MineStats), MinerError> {
+        self.config.validate()?;
+        mine_encoded_ctx(table, &self.config, self.force_counter, self.ctx())
+    }
+
+    /// Steps 3–5: frequent itemsets, rules, interest, stats assembly.
+    fn finish_pipeline(
+        &self,
+        encoded: &EncodedTable,
+        started: Instant,
+    ) -> Result<MiningOutput, MinerError> {
+        let mining_started = Instant::now();
+        let (frequent, mine_stats) =
+            mine_encoded_ctx(encoded, &self.config, self.force_counter, self.ctx())?;
+        let elapsed_mining = mining_started.elapsed();
+
+        // Step 4: rules.
+        let rules = generate_rules(&frequent, self.config.min_confidence);
+
+        // Step 5: interest.
+        let item_supports = item_supports_of(encoded);
+        let interest = self
+            .config
+            .interest
+            .as_ref()
+            .map(|ic| annotate_interest(&rules, &frequent, &item_supports, ic));
+
+        let rules_total = rules.len();
+        let rules_interesting = match &interest {
+            Some(v) => v.iter().filter(|x| x.interesting).count(),
+            None => rules_total,
+        };
+        Ok(MiningOutput {
+            frequent,
+            rules,
+            interest,
+            item_supports,
+            stats: MiningStats {
+                intervals_per_attribute: Vec::new(),
+                mine: mine_stats,
+                rules_total,
+                rules_interesting,
+                elapsed: started.elapsed(),
+                elapsed_mining,
+                encoding_reused: false,
+            },
+            encoded: encoded.clone(),
+        })
+    }
+}
+
+/// A 128-bit content fingerprint of a table: schema (names and kinds),
+/// row count, and every cell, mixed through two independently-seeded
+/// SplitMix64 lanes. Collisions would silently reuse a stale encoding,
+/// so two lanes keep the probability negligible for same-process reuse.
+fn table_fingerprint(table: &Table) -> (u64, u64) {
+    let mut lanes = [
+        Lane::new(0x9e37_79b9_7f4a_7c15),
+        Lane::new(0x1234_5678_9abc_def0),
+    ];
+    let mut absorb = |word: u64| {
+        for lane in &mut lanes {
+            lane.absorb(word);
+        }
+    };
+    absorb(table.num_rows() as u64);
+    for (id, def) in table.schema().iter() {
+        absorb(def.name().len() as u64);
+        for chunk in def.name().as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            absorb(u64::from_le_bytes(word));
+        }
+        match table.column(id) {
+            Column::Quantitative { data, integral } => {
+                absorb(1 + u64::from(*integral));
+                for v in data {
+                    absorb(v.to_bits());
+                }
+            }
+            Column::Categorical { data } => {
+                absorb(3);
+                for label in data {
+                    absorb(label.len() as u64);
+                    for chunk in label.as_bytes().chunks(8) {
+                        let mut word = [0u8; 8];
+                        word[..chunk.len()].copy_from_slice(chunk);
+                        absorb(u64::from_le_bytes(word));
+                    }
+                }
+            }
+        }
+    }
+    (lanes[0].finish(), lanes[1].finish())
+}
+
+/// One SplitMix64-style absorbing lane.
+struct Lane(u64);
+
+impl Lane {
+    fn new(seed: u64) -> Self {
+        Lane(seed)
+    }
+
+    fn absorb(&mut self, word: u64) {
+        let mut z = self.0 ^ word.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionSpec;
+    use qar_table::{Schema, Value};
+
+    fn people_table() -> Table {
+        let schema = Schema::builder()
+            .quantitative("Age")
+            .categorical("Married")
+            .quantitative("NumCars")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (age, married, cars) in [
+            (23, "No", 1),
+            (25, "Yes", 1),
+            (29, "No", 0),
+            (34, "Yes", 2),
+            (38, "Yes", 2),
+        ] {
+            t.push_row(&[Value::Int(age), Value::from(married), Value::Int(cars)])
+                .unwrap();
+        }
+        t
+    }
+
+    fn config() -> MinerConfig {
+        MinerConfig {
+            min_support: 0.4,
+            min_confidence: 0.5,
+            max_support: 1.0,
+            partitioning: PartitionSpec::None,
+            interest: None,
+            ..MinerConfig::default()
+        }
+    }
+
+    #[test]
+    fn facade_matches_deprecated_free_function() {
+        #[allow(deprecated)]
+        let via_free = crate::pipeline::mine_table(&people_table(), &config()).unwrap();
+        let via_miner = Miner::new(config()).mine(&people_table()).unwrap();
+        assert_eq!(via_free.frequent.levels, via_miner.frequent.levels);
+        assert_eq!(via_free.rules.len(), via_miner.rules.len());
+        assert_eq!(via_free.stats.rules_total, via_miner.stats.rules_total);
+    }
+
+    #[test]
+    fn second_run_reuses_encoding_and_matches() {
+        let table = people_table();
+        let mut miner = Miner::new(config());
+        let first = miner.mine(&table).unwrap();
+        assert!(!first.stats.encoding_reused);
+        let second = miner.mine(&table).unwrap();
+        assert!(second.stats.encoding_reused);
+        assert_eq!(first.frequent.levels, second.frequent.levels);
+        assert_eq!(
+            first.stats.intervals_per_attribute,
+            second.stats.intervals_per_attribute
+        );
+    }
+
+    #[test]
+    fn changed_cell_invalidates_the_cache() {
+        let mut miner = Miner::new(config());
+        miner.mine(&people_table()).unwrap();
+        let mut other = people_table();
+        other
+            .push_row(&[Value::Int(60), Value::from("Yes"), Value::Int(3)])
+            .unwrap();
+        let out = miner.mine(&other).unwrap();
+        assert!(!out.stats.encoding_reused);
+        assert_eq!(out.frequent.num_rows, 6);
+    }
+
+    #[test]
+    fn set_config_keeps_cache_only_when_encoding_unaffected() {
+        let table = people_table();
+        let mut miner = Miner::new(config());
+        miner.mine(&table).unwrap();
+
+        // Confidence does not affect Steps 1-2: cache survives.
+        let mut same_encoding = config();
+        same_encoding.min_confidence = 0.9;
+        miner.set_config(same_encoding);
+        assert!(miner.mine(&table).unwrap().stats.encoding_reused);
+
+        // Partitioning does: cache dropped.
+        let mut repartitioned = config();
+        repartitioned.partitioning = PartitionSpec::FixedIntervals(2);
+        miner.set_config(repartitioned);
+        assert!(!miner.mine(&table).unwrap().stats.encoding_reused);
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_content_and_schema() {
+        let base = table_fingerprint(&people_table());
+        assert_eq!(base, table_fingerprint(&people_table()));
+
+        let mut more_rows = people_table();
+        more_rows
+            .push_row(&[Value::Int(23), Value::from("No"), Value::Int(1)])
+            .unwrap();
+        assert_ne!(base, table_fingerprint(&more_rows));
+
+        let renamed = Schema::builder()
+            .quantitative("Age2")
+            .categorical("Married")
+            .quantitative("NumCars")
+            .build()
+            .unwrap();
+        let mut t = Table::new(renamed);
+        for (age, married, cars) in [
+            (23, "No", 1),
+            (25, "Yes", 1),
+            (29, "No", 0),
+            (34, "Yes", 2),
+            (38, "Yes", 2),
+        ] {
+            t.push_row(&[Value::Int(age), Value::from(married), Value::Int(cars)])
+                .unwrap();
+        }
+        assert_ne!(base, table_fingerprint(&t));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut bad = config();
+        bad.min_support = 0.0;
+        assert!(matches!(
+            Miner::new(bad).mine(&people_table()),
+            Err(MinerError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let schema = Schema::builder().quantitative("x").build().unwrap();
+        assert!(matches!(
+            Miner::new(config()).mine(&Table::new(schema)),
+            Err(MinerError::Schema(_))
+        ));
+    }
+}

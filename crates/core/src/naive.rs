@@ -66,7 +66,7 @@ pub fn naive_mine(table: &EncodedTable, config: &MinerConfig) -> QuantFrequentIt
 mod tests {
     use super::*;
     use crate::config::PartitionSpec;
-    use crate::mine::mine_encoded;
+    use crate::miner::Miner;
     use qar_table::{Schema, Table, Value};
 
     fn tiny_table() -> EncodedTable {
@@ -110,7 +110,7 @@ mod tests {
                 parallelism: None,
             };
             let naive = naive_mine(&enc, &config);
-            let (real, _) = mine_encoded(&enc, &config, None).unwrap();
+            let (real, _) = Miner::new(config.clone()).frequent_itemsets(&enc).unwrap();
             assert_eq!(
                 naive.total(),
                 real.total(),

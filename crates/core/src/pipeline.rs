@@ -1,13 +1,13 @@
 //! The five-step pipeline (Section 2.1), end to end.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::config::{MinerConfig, MinerError, PartitionSpec, PartitionStrategy};
 use crate::frequent::QuantFrequentItemsets;
-use crate::interest::{annotate_interest, ItemSupports, RuleInterest};
-use crate::mine::{mine_encoded, MineStats};
+use crate::interest::{ItemSupports, RuleInterest};
+use crate::mine::MineStats;
 use crate::output;
-use crate::rules::{generate_rules, QuantRule};
+use crate::rules::QuantRule;
 use qar_partition::{num_intervals, EquiDepth, EquiWidth, KMeans1D, Partitioner};
 use qar_table::{AttributeEncoder, AttributeKind, Column, EncodedTable, Table};
 
@@ -29,6 +29,11 @@ pub struct MiningStats {
     /// Wall-clock time of the frequent-itemset passes alone (the part the
     /// paper's scale-up experiment measures).
     pub elapsed_mining: Duration,
+    /// True when this run reused the [`crate::Miner`]'s cached encoding
+    /// instead of re-partitioning and re-encoding the table (always false
+    /// for the first run on a table and for the deprecated free-function
+    /// entry points).
+    pub encoding_reused: bool,
 }
 
 /// Everything a mining run produces.
@@ -82,7 +87,7 @@ pub fn build_encoders(
         PartitionSpec::FixedIntervals(m) => Some(*m),
         PartitionSpec::CompletenessLevel(k) => Some(
             num_intervals(n_quant.max(1), config.min_support, *k)
-                .map_err(|e| MinerError::BadParameter(e.to_string()))?,
+                .map_err(|e| MinerError::Partition(e.to_string()))?,
         ),
         PartitionSpec::PerAttribute(_) => None,
     };
@@ -140,52 +145,13 @@ pub fn build_encoders(
 }
 
 /// Run the full pipeline over a raw [`Table`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Miner` facade: `Miner::new(config.clone()).mine(&table)` \
+            (it adds progress events, cancellation, and encoding reuse)"
+)]
 pub fn mine_table(table: &Table, config: &MinerConfig) -> Result<MiningOutput, MinerError> {
-    config.validate()?;
-    if table.is_empty() {
-        return Err(MinerError::Table(qar_table::TableError::EmptyTable));
-    }
-    let started = Instant::now();
-
-    // Steps 1 + 2: partition and encode.
-    let (encoders, intervals_per_attribute) = build_encoders(table, config)?;
-    let encoded = EncodedTable::encode(table, encoders)?;
-
-    // Step 3: frequent itemsets.
-    let mining_started = Instant::now();
-    let (frequent, mine_stats) = mine_encoded(&encoded, config, None)?;
-    let elapsed_mining = mining_started.elapsed();
-
-    // Step 4: rules.
-    let rules = generate_rules(&frequent, config.min_confidence);
-
-    // Step 5: interest.
-    let item_supports = item_supports_of(&encoded);
-    let interest = config
-        .interest
-        .as_ref()
-        .map(|ic| annotate_interest(&rules, &frequent, &item_supports, ic));
-
-    let rules_total = rules.len();
-    let rules_interesting = match &interest {
-        Some(v) => v.iter().filter(|x| x.interesting).count(),
-        None => rules_total,
-    };
-    Ok(MiningOutput {
-        frequent,
-        rules,
-        interest,
-        item_supports,
-        stats: MiningStats {
-            intervals_per_attribute,
-            mine: mine_stats,
-            rules_total,
-            rules_interesting,
-            elapsed: started.elapsed(),
-            elapsed_mining,
-        },
-        encoded,
-    })
+    crate::miner::Miner::new(config.clone()).mine(table)
 }
 
 /// Exact per-item supports of an encoded table.
@@ -205,6 +171,9 @@ pub fn item_supports_of(table: &EncodedTable) -> ItemSupports {
 }
 
 #[cfg(test)]
+// The tests exercise the deprecated `mine_table` wrapper on purpose: it must
+// keep behaving exactly like the `Miner` facade it delegates to.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::{InterestConfig, InterestMode};
@@ -309,7 +278,7 @@ mod tests {
         let t = Table::new(schema);
         assert!(matches!(
             mine_table(&t, &fig1_config()),
-            Err(MinerError::Table(_))
+            Err(MinerError::Schema(_))
         ));
     }
 
@@ -319,7 +288,7 @@ mod tests {
         config.min_support = 0.0;
         assert!(matches!(
             mine_table(&people_table(), &config),
-            Err(MinerError::BadParameter(_))
+            Err(MinerError::Config(_))
         ));
     }
 

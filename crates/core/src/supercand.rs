@@ -28,9 +28,29 @@
 
 use qar_itemset::{CounterKind, HashTree, Itemset, RectCounter};
 use qar_table::{AttributeId, AttributeKind, EncodedTable};
+use qar_trace::CancelToken;
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::time::{Duration, Instant};
+
+/// A shard scan observed its [`CancelToken`] and stopped early. The pass's
+/// partial counts are meaningless (some shards may not have finished), so
+/// the counting entry points return this marker instead of tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanCancelled;
+
+/// How many records a shard scans between [`CancelToken`] checks. Small
+/// enough that cancellation lands "within one shard's worth of work" even
+/// on wide tables, large enough that the atomic load is invisible next to
+/// the per-record counting cost.
+const CANCEL_CHECK_INTERVAL: usize = 1024;
+
+/// True when `row` is a cancellation checkpoint and the token (if any) has
+/// fired.
+#[inline]
+fn cancelled_at(cancel: Option<&CancelToken>, row: usize) -> bool {
+    row.is_multiple_of(CANCEL_CHECK_INTERVAL) && cancel.is_some_and(CancelToken::is_cancelled)
+}
 
 /// Statistics of one counting pass, reported in [`crate::MiningStats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -54,6 +74,15 @@ pub struct PassStats {
     /// Time spent summing per-shard counters into the final tallies
     /// (zero for a serial scan — there is nothing to merge).
     pub merge_time: Duration,
+    /// Total nodes across the pass's categorical hash trees (the shared
+    /// structure each shard clones; zero when every super-candidate is
+    /// purely quantitative).
+    pub hash_tree_nodes: usize,
+    /// Estimated peak heap bytes of the pass's counting structures —
+    /// per-shard counters are live simultaneously, so this is the
+    /// single-shard estimate times the shard count (and the maximum over
+    /// sequential chunks for the chunked implicit pair pass).
+    pub counter_bytes: usize,
 }
 
 impl PassStats {
@@ -68,6 +97,10 @@ impl PassStats {
     fn absorb_scan(&mut self, other: &PassStats) {
         self.scan_time += other.scan_time;
         self.merge_time += other.merge_time;
+        self.hash_tree_nodes += other.hash_tree_nodes;
+        // Sequential sub-scans free their counters before the next one
+        // allocates, so the peak is the max, not the sum.
+        self.counter_bytes = self.counter_bytes.max(other.counter_bytes);
         add_shard_times(&mut self.shard_scan_times, &other.shard_scan_times);
     }
 }
@@ -134,6 +167,9 @@ struct ShardTally {
     direct: Vec<u64>,
     /// Busy time of this shard's scan loop.
     scan_time: Duration,
+    /// True when the scan stopped early on a fired [`CancelToken`] — the
+    /// tallies are partial and must be discarded.
+    cancelled: bool,
 }
 
 /// Group candidates into super-candidate plans and decide each plan's
@@ -200,6 +236,9 @@ fn build_plans(
                 CounterKind::Array => stats.array_backed += 1,
                 CounterKind::RTree => stats.rtree_backed += 1,
             }
+            stats.counter_bytes = stats
+                .counter_bytes
+                .saturating_add(RectCounter::estimated_bytes(kind, &dims, rects.len()));
             (dims, rects, Some(kind))
         };
         plans.push(SuperPlan {
@@ -243,8 +282,10 @@ fn scan_shard(
     always: &[u32],
     trees: &mut BTreeMap<usize, HashTree<u32>>,
     rows: Range<usize>,
+    cancel: Option<&CancelToken>,
 ) -> ShardTally {
     let started = Instant::now();
+    let mut was_cancelled = false;
     let mut counters: Vec<Option<RectCounter>> = plans
         .iter()
         .map(|plan| {
@@ -259,6 +300,10 @@ fn scan_shard(
     let mut matched: Vec<u32> = Vec::new();
     let mut point_buf: Vec<u32> = Vec::new();
     for row in rows {
+        if cancelled_at(cancel, row) {
+            was_cancelled = true;
+            break;
+        }
         cat_buf.clear();
         for &id in &cat_ids {
             cat_buf.push(cat_item_id(id.index() as u32, table.codes(id)[row]));
@@ -286,6 +331,7 @@ fn scan_shard(
         counters,
         direct,
         scan_time: started.elapsed(),
+        cancelled: was_cancelled,
     }
 }
 
@@ -314,15 +360,37 @@ pub fn count_candidates_sharded(
     force_kind: Option<CounterKind>,
     num_threads: usize,
 ) -> (Vec<u64>, PassStats) {
+    match count_candidates_cancellable(table, candidates, force_kind, num_threads, None) {
+        Ok(result) => result,
+        Err(ScanCancelled) => unreachable!("no cancel token was supplied"),
+    }
+}
+
+/// [`count_candidates_sharded`] with a cooperative [`CancelToken`]: every
+/// shard checks the token every `CANCEL_CHECK_INTERVAL` records and at
+/// the scan start, so a fired token stops the pass within roughly one
+/// check interval per shard. A cancelled pass returns [`ScanCancelled`] —
+/// its partial tallies are discarded, never observable.
+pub fn count_candidates_cancellable(
+    table: &EncodedTable,
+    candidates: &[Itemset],
+    force_kind: Option<CounterKind>,
+    num_threads: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<(Vec<u64>, PassStats), ScanCancelled> {
     let (plans, mut stats) = build_plans(table, candidates, force_kind);
     let (always, mut trees) = build_trees(&plans);
+    stats.hash_tree_nodes = trees.values().map(HashTree::node_count).sum();
     let num_rows = table.num_rows();
     let bounds = shard_bounds(num_rows, num_threads);
+    stats.counter_bytes = stats.counter_bytes.saturating_mul(bounds.len());
 
     let scan_started = Instant::now();
     let mut tallies: Vec<ShardTally> = if bounds.len() <= 1 {
         let range = bounds.into_iter().next().unwrap_or(0..0);
-        vec![scan_shard(table, &plans, &always, &mut trees, range)]
+        vec![scan_shard(
+            table, &plans, &always, &mut trees, range, cancel,
+        )]
     } else {
         let plans_ref = &plans;
         let always_ref = &always;
@@ -333,7 +401,7 @@ pub fn count_candidates_sharded(
                 .map(|range| {
                     scope.spawn(move || {
                         let mut trees = trees_ref.clone();
-                        scan_shard(table, plans_ref, always_ref, &mut trees, range)
+                        scan_shard(table, plans_ref, always_ref, &mut trees, range, cancel)
                     })
                 })
                 .collect();
@@ -343,6 +411,9 @@ pub fn count_candidates_sharded(
                 .collect()
         })
     };
+    if tallies.iter().any(|t| t.cancelled) {
+        return Err(ScanCancelled);
+    }
     stats.scan_time = scan_started.elapsed();
     stats.shard_scan_times = tallies.iter().map(|t| t.scan_time).collect();
 
@@ -385,7 +456,7 @@ pub fn count_candidates_sharded(
             }
         }
     }
-    (counts, stats)
+    Ok((counts, stats))
 }
 
 /// Implicit second pass: `C_2` is the cross product of frequent items over
@@ -411,6 +482,30 @@ pub fn count_pairs_implicit(
     cell_budget: usize,
     num_threads: usize,
 ) -> (Vec<(Itemset, u64)>, PassStats) {
+    match count_pairs_cancellable(
+        table,
+        items_by_attr,
+        min_count,
+        cell_budget,
+        num_threads,
+        None,
+    ) {
+        Ok(result) => result,
+        Err(ScanCancelled) => unreachable!("no cancel token was supplied"),
+    }
+}
+
+/// [`count_pairs_implicit`] with a cooperative [`CancelToken`], checked
+/// every `CANCEL_CHECK_INTERVAL` records inside each shard's scan and
+/// between chunks/fallback groups.
+pub fn count_pairs_cancellable(
+    table: &EncodedTable,
+    items_by_attr: &BTreeMap<u32, Vec<(qar_itemset::Item, u64)>>,
+    min_count: u64,
+    cell_budget: usize,
+    num_threads: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<(Vec<(Itemset, u64)>, PassStats), ScanCancelled> {
     use qar_itemset::MultiDimCounter;
 
     let attrs: Vec<u32> = items_by_attr
@@ -467,26 +562,38 @@ pub fn count_pairs_implicit(
                 })
                 .collect()
         };
-        let scan_rows = |counters: &mut [MultiDimCounter], rows: Range<usize>| {
+        // Returns true when the scan stopped early on a fired token.
+        let scan_rows = |counters: &mut [MultiDimCounter], rows: Range<usize>| -> bool {
             for row in rows {
+                if cancelled_at(cancel, row) {
+                    return true;
+                }
                 for (ci, &(a, b, _)) in chunk.iter().enumerate() {
                     let pa = table.codes(AttributeId(a as usize))[row];
                     let pb = table.codes(AttributeId(b as usize))[row];
                     counters[ci].increment(&[pa, pb]);
                 }
             }
+            false
         };
 
         let bounds = shard_bounds(num_rows, num_threads);
+        stats.counter_bytes = stats.counter_bytes.max(
+            cells
+                .saturating_mul(std::mem::size_of::<u64>())
+                .saturating_mul(bounds.len()),
+        );
         let scan_started = Instant::now();
         let (mut counters, shard_times) = if bounds.len() <= 1 {
             let range = bounds.into_iter().next().unwrap_or(0..0);
             let mut counters = make_counters();
             let t0 = Instant::now();
-            scan_rows(&mut counters, range);
+            if scan_rows(&mut counters, range) {
+                return Err(ScanCancelled);
+            }
             (counters, vec![t0.elapsed()])
         } else {
-            let shards: Vec<(Vec<MultiDimCounter>, Duration)> = std::thread::scope(|scope| {
+            let shards: Vec<(Vec<MultiDimCounter>, Duration, bool)> = std::thread::scope(|scope| {
                 let workers: Vec<_> = bounds
                     .into_iter()
                     .map(|range| {
@@ -495,8 +602,8 @@ pub fn count_pairs_implicit(
                         scope.spawn(move || {
                             let mut counters = make_counters();
                             let t0 = Instant::now();
-                            scan_rows(&mut counters, range);
-                            (counters, t0.elapsed())
+                            let cancelled = scan_rows(&mut counters, range);
+                            (counters, t0.elapsed(), cancelled)
                         })
                     })
                     .collect();
@@ -505,11 +612,14 @@ pub fn count_pairs_implicit(
                     .map(|w| w.join().expect("pair scan worker panicked"))
                     .collect()
             });
+            if shards.iter().any(|(_, _, cancelled)| *cancelled) {
+                return Err(ScanCancelled);
+            }
             let mut shards = shards.into_iter();
-            let (mut merged, t) = shards.next().expect("at least one shard");
+            let (mut merged, t, _) = shards.next().expect("at least one shard");
             let mut times = vec![t];
             let merge_started = Instant::now();
-            for (shard_counters, t) in shards {
+            for (shard_counters, t, _) in shards {
                 for (into, from) in merged.iter_mut().zip(&shard_counters) {
                     into.merge_from(from);
                 }
@@ -546,8 +656,13 @@ pub fn count_pairs_implicit(
                     .map(move |&(ib, _)| Itemset::new(vec![ia, ib]))
             })
             .collect();
-        let (counts, sub) =
-            count_candidates_sharded(table, &candidates, Some(CounterKind::RTree), num_threads);
+        let (counts, sub) = count_candidates_cancellable(
+            table,
+            &candidates,
+            Some(CounterKind::RTree),
+            num_threads,
+            cancel,
+        )?;
         stats.absorb_scan(&sub);
         frequent.extend(
             candidates
@@ -556,7 +671,7 @@ pub fn count_pairs_implicit(
                 .filter(|(_, c)| *c >= min_count),
         );
     }
-    (frequent, stats)
+    Ok((frequent, stats))
 }
 
 /// Reference counter: test every candidate against every record directly.

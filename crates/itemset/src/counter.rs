@@ -89,6 +89,18 @@ impl RectCounter {
         }
     }
 
+    /// Estimated heap bytes a counter of `kind` over `dims` and
+    /// `num_rects` rectangles will use — the number the choice heuristic
+    /// compares, exposed so the miner can report peak counting memory in
+    /// its trace events. Returns `usize::MAX` when an array over `dims`
+    /// would overflow the address space.
+    pub fn estimated_bytes(kind: CounterKind, dims: &[u32], num_rects: usize) -> usize {
+        match kind {
+            CounterKind::Array => MultiDimCounter::estimate_bytes(dims).unwrap_or(usize::MAX),
+            CounterKind::RTree => rtree_estimate_bytes(num_rects),
+        }
+    }
+
     /// Build with an explicit backend (used by tests and the ablation
     /// bench).
     pub fn build_with(kind: CounterKind, dims: &[u32], rects: Vec<(Vec<u32>, Vec<u32>)>) -> Self {
@@ -307,6 +319,24 @@ mod tests {
         let mut a = RectCounter::build_with(CounterKind::Array, &[10, 10], demo_rects());
         let b = RectCounter::build_with(CounterKind::RTree, &[10, 10], demo_rects());
         a.merge_from(b);
+    }
+
+    #[test]
+    fn estimated_bytes_matches_heuristic_inputs() {
+        // 10x10 array: 100 cells of u64.
+        assert_eq!(
+            RectCounter::estimated_bytes(CounterKind::Array, &[10, 10], 3),
+            800
+        );
+        assert_eq!(
+            RectCounter::estimated_bytes(CounterKind::RTree, &[10, 10], 3),
+            600
+        );
+        // A domain too large for the address space saturates.
+        assert_eq!(
+            RectCounter::estimated_bytes(CounterKind::Array, &[u32::MAX, u32::MAX, u32::MAX], 1),
+            usize::MAX
+        );
     }
 
     #[test]

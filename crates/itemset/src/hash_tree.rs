@@ -99,6 +99,24 @@ impl<V> HashTree<V> {
         self.key_len
     }
 
+    /// Total nodes (interior + leaf) in the tree — the structural size
+    /// reported in per-pass trace events.
+    pub fn node_count(&self) -> usize {
+        fn count<V>(node: &Node<V>) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Interior { children } => {
+                    1 + children
+                        .iter()
+                        .flatten()
+                        .map(|child| count(child))
+                        .sum::<usize>()
+                }
+            }
+        }
+        count(&self.root)
+    }
+
     /// Insert `key` (sorted, strictly increasing) with `value`.
     ///
     /// Panics if the key is unsorted or its length differs from previously
@@ -305,6 +323,21 @@ mod tests {
             .filter(|(k, _)| k.iter().all(|i| record.contains(i)))
             .map(|(k, _)| k)
             .collect()
+    }
+
+    #[test]
+    fn node_count_grows_with_splits() {
+        let mut t: HashTree<u32> = HashTree::new();
+        assert_eq!(t.node_count(), 1, "empty tree is one leaf");
+        t.insert(vec![1, 2], 0);
+        assert_eq!(t.node_count(), 1, "still within leaf capacity");
+        // Enough keys to force interior splits.
+        for a in 0u64..12 {
+            for b in (a + 1)..12 {
+                t.insert(vec![a, b], 0);
+            }
+        }
+        assert!(t.node_count() > 1, "splits create interior nodes");
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Structured trace events emitted by a mining run.
+//!
+//! One event per pipeline milestone. The JSON rendering is one object per
+//! line (JSON-lines) with an `"event"` discriminator, matching the
+//! checked-in schema in `schemas/trace_events.schema.json`; the text
+//! rendering (via [`std::fmt::Display`]) is for humans watching a run.
+//!
+//! Durations are reported in integer microseconds so events stay exact
+//! under JSON's double-precision numbers.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Convert a duration to whole microseconds (the unit every event uses).
+pub fn micros(d: Duration) -> u64 {
+    d.as_micros() as u64
+}
+
+/// One observability event from the mining pipeline.
+///
+/// Pass numbering is 1-based and matches the paper: pass 1 counts single
+/// values/ranges, pass `k ≥ 2` counts the `C_k` candidates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A mining run began (emitted before pass 1).
+    RunStarted {
+        /// Records in the encoded table.
+        rows: u64,
+        /// Attributes in the schema.
+        attributes: usize,
+        /// Absolute minimum support count derived from `min_support`.
+        min_count: u64,
+        /// Absolute maximum combined-range support count.
+        max_count: u64,
+        /// Worker threads the counting passes may use.
+        parallelism: usize,
+    },
+    /// A pass is about to scan the table. `candidates` is `|C_k|` for
+    /// `k ≥ 2` and 0 for pass 1 (pass 1 has no candidate set — every
+    /// value is counted).
+    PassStarted {
+        /// 1-based pass number (= itemset size `k`).
+        pass: usize,
+        /// Candidates to be counted this pass.
+        candidates: usize,
+    },
+    /// A pass completed, with its statistics.
+    PassFinished {
+        /// 1-based pass number.
+        pass: usize,
+        /// Candidates counted (0 for pass 1).
+        candidates: usize,
+        /// Itemsets that met minimum support.
+        frequent: usize,
+        /// Frequent items deleted by the Lemma 5 interest prune (pass 1
+        /// only; 0 elsewhere).
+        pruned: usize,
+        /// Super-candidates formed (0 for pass 1).
+        super_candidates: usize,
+        /// Super-candidates counted by the dense-array backend.
+        array_backed: usize,
+        /// Super-candidates counted by the R*-tree backend.
+        rtree_backed: usize,
+        /// Total nodes across the pass's categorical hash trees.
+        hash_tree_nodes: usize,
+        /// Estimated peak bytes of counting structures across all shards.
+        counter_bytes: usize,
+        /// Wall-clock of the record scan, µs.
+        scan_us: u64,
+        /// Wall-clock of merging per-shard tallies, µs (0 when serial).
+        merge_us: u64,
+        /// Per-shard busy time of the scan, µs, in shard order.
+        shard_scan_us: Vec<u64>,
+    },
+    /// The run completed (all frequent itemsets found).
+    RunFinished {
+        /// Number of passes executed (including pass 1).
+        passes: usize,
+        /// Total frequent itemsets across all levels.
+        frequent_total: usize,
+        /// Wall-clock of the whole frequent-itemset phase, µs.
+        elapsed_us: u64,
+    },
+    /// The run was cancelled before completing.
+    Cancelled {
+        /// Pass during (or before) which cancellation was observed.
+        pass: usize,
+        /// True when a deadline expired, false for an explicit abort.
+        deadline: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The event's JSON-lines discriminator (`"event"` field value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStarted { .. } => "run_started",
+            TraceEvent::PassStarted { .. } => "pass_started",
+            TraceEvent::PassFinished { .. } => "pass_finished",
+            TraceEvent::RunFinished { .. } => "run_finished",
+            TraceEvent::Cancelled { .. } => "cancelled",
+        }
+    }
+
+    /// Render as a single JSON-lines object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            TraceEvent::RunStarted {
+                rows,
+                attributes,
+                min_count,
+                max_count,
+                parallelism,
+            } => format!(
+                "{{\"event\":\"run_started\",\"rows\":{rows},\"attributes\":{attributes},\
+                 \"min_count\":{min_count},\"max_count\":{max_count},\"parallelism\":{parallelism}}}"
+            ),
+            TraceEvent::PassStarted { pass, candidates } => format!(
+                "{{\"event\":\"pass_started\",\"pass\":{pass},\"candidates\":{candidates}}}"
+            ),
+            TraceEvent::PassFinished {
+                pass,
+                candidates,
+                frequent,
+                pruned,
+                super_candidates,
+                array_backed,
+                rtree_backed,
+                hash_tree_nodes,
+                counter_bytes,
+                scan_us,
+                merge_us,
+                shard_scan_us,
+            } => {
+                let shards: Vec<String> =
+                    shard_scan_us.iter().map(|us| us.to_string()).collect();
+                format!(
+                    "{{\"event\":\"pass_finished\",\"pass\":{pass},\"candidates\":{candidates},\
+                     \"frequent\":{frequent},\"pruned\":{pruned},\
+                     \"super_candidates\":{super_candidates},\"array_backed\":{array_backed},\
+                     \"rtree_backed\":{rtree_backed},\"hash_tree_nodes\":{hash_tree_nodes},\
+                     \"counter_bytes\":{counter_bytes},\"scan_us\":{scan_us},\
+                     \"merge_us\":{merge_us},\"shard_scan_us\":[{}]}}",
+                    shards.join(",")
+                )
+            }
+            TraceEvent::RunFinished {
+                passes,
+                frequent_total,
+                elapsed_us,
+            } => format!(
+                "{{\"event\":\"run_finished\",\"passes\":{passes},\
+                 \"frequent_total\":{frequent_total},\"elapsed_us\":{elapsed_us}}}"
+            ),
+            TraceEvent::Cancelled { pass, deadline } => format!(
+                "{{\"event\":\"cancelled\",\"pass\":{pass},\"deadline\":{deadline}}}"
+            ),
+        }
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{:.3} s", us as f64 / 1e6)
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::RunStarted {
+                rows,
+                attributes,
+                min_count,
+                max_count,
+                parallelism,
+            } => write!(
+                f,
+                "run started: {rows} rows × {attributes} attributes, \
+                 min count {min_count}, max count {max_count}, {parallelism} thread(s)"
+            ),
+            TraceEvent::PassStarted { pass, candidates } => {
+                if *candidates == 0 {
+                    write!(f, "pass {pass}: counting single values/ranges")
+                } else {
+                    write!(f, "pass {pass}: counting {candidates} candidates")
+                }
+            }
+            TraceEvent::PassFinished {
+                pass,
+                candidates,
+                frequent,
+                pruned,
+                super_candidates,
+                array_backed,
+                rtree_backed,
+                hash_tree_nodes,
+                counter_bytes,
+                scan_us,
+                merge_us,
+                shard_scan_us,
+            } => {
+                write!(
+                    f,
+                    "pass {pass} done: {candidates} candidates -> {frequent} frequent"
+                )?;
+                if *pruned > 0 {
+                    write!(f, " ({pruned} interest-pruned)")?;
+                }
+                if *super_candidates > 0 {
+                    write!(
+                        f,
+                        " | {super_candidates} super-candidates \
+                         ({array_backed} array, {rtree_backed} rtree)"
+                    )?;
+                }
+                write!(
+                    f,
+                    " | scan {} over {} shard(s)",
+                    fmt_us(*scan_us),
+                    shard_scan_us.len().max(1)
+                )?;
+                if *merge_us > 0 {
+                    write!(f, " | merge {}", fmt_us(*merge_us))?;
+                }
+                if *hash_tree_nodes > 0 {
+                    write!(f, " | tree nodes {hash_tree_nodes}")?;
+                }
+                if *counter_bytes > 0 {
+                    write!(f, " | counters ~{} KiB", counter_bytes / 1024)?;
+                }
+                Ok(())
+            }
+            TraceEvent::RunFinished {
+                passes,
+                frequent_total,
+                elapsed_us,
+            } => write!(
+                f,
+                "run finished: {frequent_total} frequent itemsets over \
+                 {passes} pass(es) in {}",
+                fmt_us(*elapsed_us)
+            ),
+            TraceEvent::Cancelled { pass, deadline } => write!(
+                f,
+                "run cancelled during pass {pass} ({})",
+                if *deadline {
+                    "deadline exceeded"
+                } else {
+                    "caller abort"
+                }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn sample_pass_finished() -> TraceEvent {
+        TraceEvent::PassFinished {
+            pass: 2,
+            candidates: 120,
+            frequent: 14,
+            pruned: 0,
+            super_candidates: 6,
+            array_backed: 5,
+            rtree_backed: 1,
+            hash_tree_nodes: 9,
+            counter_bytes: 4096,
+            scan_us: 1500,
+            merge_us: 20,
+            shard_scan_us: vec![700, 750],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let events = [
+            TraceEvent::RunStarted {
+                rows: 4000,
+                attributes: 4,
+                min_count: 400,
+                max_count: 1200,
+                parallelism: 4,
+            },
+            TraceEvent::PassStarted {
+                pass: 2,
+                candidates: 120,
+            },
+            sample_pass_finished(),
+            TraceEvent::RunFinished {
+                passes: 3,
+                frequent_total: 44,
+                elapsed_us: 9001,
+            },
+            TraceEvent::Cancelled {
+                pass: 3,
+                deadline: true,
+            },
+        ];
+        for event in events {
+            let parsed = parse(&event.to_json()).expect("event JSON parses");
+            let obj = parsed.as_object().expect("event is an object");
+            assert_eq!(
+                obj.get("event").and_then(Json::as_str),
+                Some(event.name()),
+                "{event:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pass_finished_fields_survive() {
+        let parsed = parse(&sample_pass_finished().to_json()).unwrap();
+        let obj = parsed.as_object().unwrap();
+        assert_eq!(obj.get("pass").unwrap().as_u64(), Some(2));
+        assert_eq!(obj.get("candidates").unwrap().as_u64(), Some(120));
+        assert_eq!(obj.get("counter_bytes").unwrap().as_u64(), Some(4096));
+        let shards = obj.get("shard_scan_us").unwrap().as_array().unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].as_u64(), Some(700));
+    }
+
+    #[test]
+    fn text_rendering_mentions_the_pass() {
+        let text = sample_pass_finished().to_string();
+        assert!(text.contains("pass 2"), "{text}");
+        assert!(text.contains("120 candidates"), "{text}");
+        assert!(text.contains("2 shard(s)"), "{text}");
+        let cancelled = TraceEvent::Cancelled {
+            pass: 4,
+            deadline: false,
+        }
+        .to_string();
+        assert!(cancelled.contains("pass 4"), "{cancelled}");
+        assert!(cancelled.contains("caller abort"), "{cancelled}");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_us(999), "999 µs");
+        assert_eq!(fmt_us(1500), "1.50 ms");
+        assert_eq!(fmt_us(2_500_000), "2.500 s");
+    }
+}

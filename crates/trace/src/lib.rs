@@ -1,0 +1,44 @@
+//! # qar-trace — pipeline observability without external dependencies
+//!
+//! The miner runs long passes over large tables; a server-grade deployment
+//! has to be able to *watch* a run (per-pass candidate counts, prune
+//! effectiveness, per-shard scan times), *bound* it (deadlines), and
+//! *abort* it (cooperative cancellation) — without pulling in `tracing`,
+//! `serde`, or `tokio`, none of which are available to this offline build.
+//! Like `qar-prng`, this crate reimplements the small slice the workspace
+//! actually needs:
+//!
+//! * [`TraceEvent`] — one structured event per pipeline milestone (run
+//!   started, pass started/finished, run finished, cancelled), with
+//!   one-line JSON and human-readable text renderings;
+//! * [`ProgressSink`] — the callback trait a mining run emits events into,
+//!   with [`NullSink`], [`CollectingSink`], and [`WriterSink`]
+//!   implementations;
+//! * [`CancelToken`] — a cloneable cancellation flag with optional
+//!   deadline, checked cooperatively at pass and shard boundaries;
+//! * [`json`] — a minimal JSON value parser (events are hand-serialized;
+//!   the parser exists so tests and the `qar trace-check` validator can
+//!   read them back);
+//! * [`schema`] — a validator for the checked-in trace-event JSON schema
+//!   (`schemas/trace_events.schema.json`), used by CI to catch silent
+//!   event drift.
+//!
+//! [`TraceEvent`]: event::TraceEvent
+//! [`ProgressSink`]: sink::ProgressSink
+//! [`NullSink`]: sink::NullSink
+//! [`CollectingSink`]: sink::CollectingSink
+//! [`WriterSink`]: sink::WriterSink
+//! [`CancelToken`]: cancel::CancelToken
+
+#![warn(missing_docs)]
+
+pub mod cancel;
+pub mod event;
+pub mod json;
+pub mod schema;
+pub mod sink;
+
+pub use cancel::CancelToken;
+pub use event::TraceEvent;
+pub use schema::Schema;
+pub use sink::{CollectingSink, NullSink, ProgressSink, TraceFormat, WriterSink};

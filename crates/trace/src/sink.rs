@@ -1,0 +1,205 @@
+//! Progress sinks: where a mining run sends its [`TraceEvent`]s.
+
+use std::fmt;
+use std::io::Write;
+use std::str::FromStr;
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+
+/// Receiver for trace events emitted during a mining run.
+///
+/// Implementations must be `Send + Sync` because counting passes run on
+/// scoped worker threads; events themselves are only emitted from the
+/// coordinating thread, but the sink travels with the run. `on_event`
+/// must not panic — the miner treats sinks as pure observers.
+pub trait ProgressSink: Send + Sync {
+    /// Called once per event, in emission order.
+    fn on_event(&self, event: &TraceEvent);
+}
+
+/// A sink that discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {
+    fn on_event(&self, _event: &TraceEvent) {}
+}
+
+/// A sink that buffers every event in memory, for tests and callers that
+/// want to inspect a run after the fact.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectingSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        CollectingSink::default()
+    }
+
+    /// A copy of every event received so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("sink mutex poisoned").clone()
+    }
+
+    /// Remove and return the buffered events, leaving the sink empty.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("sink mutex poisoned"))
+    }
+
+    /// Number of events buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink mutex poisoned").len()
+    }
+
+    /// True when no events have been received (or all were drained).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ProgressSink for CollectingSink {
+    fn on_event(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("sink mutex poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Rendering used by [`WriterSink`] and the CLI's `--trace` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line (machine-readable, schema-checked).
+    Json,
+    /// One human-readable line per event.
+    Text,
+}
+
+impl FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(TraceFormat::Json),
+            "text" => Ok(TraceFormat::Text),
+            other => Err(format!(
+                "unknown trace format '{other}' (expected json|text)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceFormat::Json => "json",
+            TraceFormat::Text => "text",
+        })
+    }
+}
+
+/// A sink that writes each event as one line to a [`Write`] target.
+///
+/// Write errors are deliberately swallowed: tracing is an observer and
+/// must never abort the mining run it is watching (e.g. when stderr is a
+/// closed pipe).
+pub struct WriterSink<W: Write + Send> {
+    format: TraceFormat,
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> WriterSink<W> {
+    /// Wrap `writer`, rendering each event in `format`.
+    pub fn new(format: TraceFormat, writer: W) -> Self {
+        WriterSink {
+            format,
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Unwrap the inner writer (flushing is the caller's business).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().expect("sink mutex poisoned")
+    }
+}
+
+impl<W: Write + Send> ProgressSink for WriterSink<W> {
+    fn on_event(&self, event: &TraceEvent) {
+        let line = match self.format {
+            TraceFormat::Json => event.to_json(),
+            TraceFormat::Text => event.to_string(),
+        };
+        let mut writer = self.writer.lock().expect("sink mutex poisoned");
+        let _ = writeln!(writer, "{line}");
+    }
+}
+
+impl<W: Write + Send> fmt::Debug for WriterSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriterSink")
+            .field("format", &self.format)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceEvent {
+        TraceEvent::PassStarted {
+            pass: 2,
+            candidates: 7,
+        }
+    }
+
+    #[test]
+    fn collecting_sink_preserves_order_and_drains() {
+        let sink = CollectingSink::new();
+        assert!(sink.is_empty());
+        sink.on_event(&sample());
+        sink.on_event(&TraceEvent::RunFinished {
+            passes: 2,
+            frequent_total: 3,
+            elapsed_us: 10,
+        });
+        assert_eq!(sink.len(), 2);
+        let events = sink.drain();
+        assert_eq!(events[0], sample());
+        assert_eq!(events[1].name(), "run_finished");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn writer_sink_renders_one_line_per_event() {
+        let json = WriterSink::new(TraceFormat::Json, Vec::new());
+        json.on_event(&sample());
+        json.on_event(&sample());
+        let out = String::from_utf8(json.into_inner()).unwrap();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.starts_with("{\"event\":\"pass_started\""), "{out}");
+
+        let text = WriterSink::new(TraceFormat::Text, Vec::new());
+        text.on_event(&sample());
+        let out = String::from_utf8(text.into_inner()).unwrap();
+        assert!(out.contains("pass 2"), "{out}");
+    }
+
+    #[test]
+    fn trace_format_parses() {
+        assert_eq!("json".parse::<TraceFormat>(), Ok(TraceFormat::Json));
+        assert_eq!("text".parse::<TraceFormat>(), Ok(TraceFormat::Text));
+        assert!("yaml".parse::<TraceFormat>().is_err());
+        assert_eq!(TraceFormat::Json.to_string(), "json");
+    }
+
+    #[test]
+    fn null_sink_is_send_sync() {
+        fn assert_sink<S: ProgressSink>(_: &S) {}
+        assert_sink(&NullSink);
+        assert_sink(&CollectingSink::new());
+    }
+}

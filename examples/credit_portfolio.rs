@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example credit_portfolio [records] [K]`
 
-use quantrules::core::{mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec};
+use quantrules::core::{InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec};
 use quantrules::datagen::{CreditConfig, CreditDataset};
 
 fn main() {
@@ -43,7 +43,9 @@ fn main() {
         parallelism: None,
     };
 
-    let output = mine_table(&data.table, &config).expect("mining succeeds");
+    let output = Miner::new(config)
+        .mine(&data.table)
+        .expect("mining succeeds");
 
     println!(
         "Partial completeness K = {completeness}; intervals per attribute: {:?}",

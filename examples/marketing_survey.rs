@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example marketing_survey`
 
-use quantrules::core::{mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec};
+use quantrules::core::{InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec};
 use quantrules::datagen::{PlantedConfig, PlantedDataset};
 
 fn main() {
@@ -39,7 +39,9 @@ fn main() {
         max_itemset_size: 2,
         parallelism: None,
     };
-    let output = mine_table(&data.table, &config).expect("mining succeeds");
+    let output = Miner::new(config)
+        .mine(&data.table)
+        .expect("mining succeeds");
     println!(
         "\n{} rules at ≥60% confidence, {} interesting.",
         output.stats.rules_total, output.stats.rules_interesting

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use quantrules::core::{mine_table, MinerConfig, PartitionSpec};
+use quantrules::core::{Miner, MinerConfig, PartitionSpec};
 use quantrules::datagen::people_table;
 
 fn main() {
@@ -25,7 +25,9 @@ fn main() {
         parallelism: None,
     };
 
-    let output = mine_table(&table, &config).expect("mining the example table succeeds");
+    let output = Miner::new(config)
+        .mine(&table)
+        .expect("mining the example table succeeds");
 
     println!("People table: {} records", table.num_rows());
     println!(

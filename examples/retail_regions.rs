@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example retail_regions`
 
 use qar_prng::Prng;
-use quantrules::core::{mine_table, MinerConfig, PartitionSpec};
+use quantrules::core::{Miner, MinerConfig, PartitionSpec};
 use quantrules::table::{Schema, Table, Taxonomy, Value};
 
 fn main() {
@@ -71,7 +71,7 @@ fn main() {
         max_itemset_size: 2,
         parallelism: None,
     };
-    let out = mine_table(&table, &config).expect("mining succeeds");
+    let out = Miner::new(config).mine(&table).expect("mining succeeds");
     println!(
         "{} records, {} frequent itemsets, {} rules\n",
         table.num_rows(),

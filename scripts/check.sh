@@ -16,6 +16,13 @@ cargo test --workspace -q
 echo "==> cargo test (forced serial counting)"
 QAR_TEST_THREADS=1 cargo test --workspace -q
 
+echo "==> trace smoke (events vs. schemas/trace_events.schema.json)"
+TRACE_FILE="$(mktemp)"
+trap 'rm -f "$TRACE_FILE"' EXIT
+./target/release/smoke 2000 2.0 3 nointerest 0.3 0.2 --trace json \
+    > /dev/null 2> "$TRACE_FILE"
+./target/release/qar trace-check < "$TRACE_FILE"
+
 echo "==> clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -24,6 +24,10 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e.to_string()),
         },
+        Ok(Command::TraceCheck(check)) => match run_trace_check(&check) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
         Err(e) => fail(&e.to_string()),
     }
 }
@@ -53,6 +57,22 @@ fn run_mine(args: &cli::MineArgs) -> Result<(), Box<dyn std::error::Error>> {
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     cli::run_mine_on_table(&table, args, &mut lock)?;
+    lock.flush()?;
+    Ok(())
+}
+
+fn run_trace_check(args: &cli::TraceCheckArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let schema_path = args
+        .schema
+        .as_deref()
+        .unwrap_or("schemas/trace_events.schema.json");
+    let schema_text = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("cannot read schema `{schema_path}`: {e}"))?;
+    let mut input = String::new();
+    std::io::stdin().read_to_string(&mut input)?;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    cli::run_trace_check(&schema_text, &input, &mut lock)?;
     lock.flush()?;
     Ok(())
 }

@@ -10,11 +10,14 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 use qar_core::{
-    mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec, PartitionStrategy,
+    InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec, PartitionStrategy,
 };
 use qar_table::{csv, Schema, SchemaBuilder, Table};
+use qar_trace::{CancelToken, TraceFormat, WriterSink};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +26,8 @@ pub enum Command {
     Mine(MineArgs),
     /// Generate a synthetic dataset as CSV.
     Generate(GenerateArgs),
+    /// Validate a JSON-lines trace stream against the event schema.
+    TraceCheck(TraceCheckArgs),
     /// Print usage.
     Help,
 }
@@ -46,6 +51,18 @@ pub struct MineArgs {
     pub format: OutputFormat,
     /// Taxonomy files: `(attribute, path)` pairs from `--taxonomy a=path`.
     pub taxonomy_files: Vec<(String, String)>,
+    /// Emit per-pass trace events to stderr in this format.
+    pub trace: Option<TraceFormat>,
+    /// Abort the run after this many seconds, reporting partial progress.
+    pub deadline: Option<f64>,
+}
+
+/// Arguments of `qar trace-check`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCheckArgs {
+    /// Schema file path; `None` uses the checked-in default
+    /// (`schemas/trace_events.schema.json`).
+    pub schema: Option<String>,
 }
 
 /// Output format for `qar mine`.
@@ -96,6 +113,7 @@ qar — mine quantitative association rules (Srikant & Agrawal, SIGMOD '96)
 USAGE:
   qar mine --input FILE --schema DECLS [options]
   qar generate DATASET [--records N] [--seed S] [--output FILE]
+  qar trace-check [--schema FILE]
   qar help
 
 MINE OPTIONS:
@@ -118,12 +136,20 @@ MINE OPTIONS:
                         (csv/json always export ALL rules with verdicts)
   --taxonomy A=FILE     is-a taxonomy for categorical attribute A; FILE has
                         one `child,parent` edge per line (repeatable)
+  --trace F             emit per-pass trace events to stderr: json | text
+  --deadline SECS       abort after SECS seconds, reporting partial progress
 
 GENERATE:
   DATASET               credit | people | planted
   --records N           number of records               [default 10000]
   --seed S              RNG seed                        [default 1996]
   --output FILE         destination (\"-\" for stdout)  [default -]
+
+TRACE-CHECK:
+  Reads a JSON-lines trace stream (as written by --trace json) from stdin
+  and validates every event against the trace-event schema.
+  --schema FILE         schema to validate against
+                        [default schemas/trace_events.schema.json]
 ";
 
 fn parse_flag_map(args: &[String]) -> Result<BTreeMap<String, String>, CliError> {
@@ -303,6 +329,25 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                     taxonomy_files.push((attr.trim().to_string(), path.trim().to_string()));
                 }
             }
+            let trace = match map.get("trace") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<TraceFormat>()
+                        .map_err(|_| err(format!("--trace: `{v}` is not json or text")))?,
+                ),
+            };
+            let deadline = match map.get("deadline") {
+                None => None,
+                Some(v) => {
+                    let secs: f64 = v
+                        .parse()
+                        .map_err(|_| err(format!("--deadline: `{v}` is not a number")))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(err(format!("--deadline must be positive, got {v}")));
+                    }
+                    Some(secs)
+                }
+            };
             Ok(Command::Mine(MineArgs {
                 input,
                 schema,
@@ -311,6 +356,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 interesting_only: !map.contains_key("all-rules"),
                 format,
                 taxonomy_files,
+                trace,
+                deadline,
             }))
         }
         "generate" => {
@@ -328,6 +375,12 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 records: parse_usize(&map, "records", 10_000)?,
                 seed: parse_usize(&map, "seed", 1996)? as u64,
                 output: map.get("output").cloned().unwrap_or_else(|| "-".into()),
+            }))
+        }
+        "trace-check" => {
+            let map = parse_flag_map(&args[1..])?;
+            Ok(Command::TraceCheck(TraceCheckArgs {
+                schema: map.get("schema").cloned(),
             }))
         }
         other => Err(err(format!("unknown command `{other}` (try `qar help`)"))),
@@ -354,14 +407,28 @@ pub fn parse_taxonomy(text: &str) -> Result<qar_table::Taxonomy, CliError> {
     qar_table::Taxonomy::from_edges(&edges).map_err(|e| err(e.to_string()))
 }
 
+/// Build the [`Miner`] a `qar mine` invocation described: configuration
+/// plus the trace sink (stderr) and deadline token from the flags.
+pub fn build_miner(args: &MineArgs) -> Miner {
+    let mut miner = Miner::new(args.config.clone());
+    if let Some(format) = args.trace {
+        miner = miner.with_progress(Arc::new(WriterSink::new(format, std::io::stderr())));
+    }
+    if let Some(secs) = args.deadline {
+        miner = miner.with_cancel(CancelToken::with_deadline(Duration::from_secs_f64(secs)));
+    }
+    miner
+}
+
 /// Execute `qar mine` against an already-loaded table, writing a report to
-/// `out`. Separated from file I/O for testability.
+/// `out` (trace events, when enabled, go to stderr). Separated from file
+/// I/O for testability.
 pub fn run_mine_on_table(
     table: &Table,
     args: &MineArgs,
     out: &mut impl std::io::Write,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let result = mine_table(table, &args.config)?;
+    let result = build_miner(args).mine(table)?;
     match args.format {
         OutputFormat::Csv => {
             qar_core::export::rules_to_csv(
@@ -374,6 +441,15 @@ pub fn run_mine_on_table(
             return Ok(());
         }
         OutputFormat::Json => {
+            // One object with run/pass statistics alongside the rules, so
+            // scripted consumers get the pass-level numbers too.
+            let mut stats = Vec::new();
+            qar_core::export::stats_to_json(&mut stats, &result.stats)?;
+            write!(
+                out,
+                "{{\"stats\":{},\"rules\":",
+                String::from_utf8(stats)?.trim_end()
+            )?;
             qar_core::export::rules_to_json(
                 out,
                 &result.rules,
@@ -381,6 +457,7 @@ pub fn run_mine_on_table(
                 &result.encoded,
                 result.frequent.num_rows,
             )?;
+            writeln!(out, "}}")?;
             return Ok(());
         }
         OutputFormat::Text => {}
@@ -452,6 +529,27 @@ pub fn run_generate(
         other => return Err(Box::new(err(format!("unknown dataset `{other}`")))),
     };
     csv::write_table(out, &table)?;
+    Ok(())
+}
+
+/// Execute `qar trace-check`: validate a JSON-lines trace stream against
+/// the given schema document, writing a per-event tally to `out`. Fails on
+/// the first invalid line.
+pub fn run_trace_check(
+    schema_text: &str,
+    input: &str,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let schema: qar_trace::Schema = schema_text
+        .parse()
+        .map_err(|e| err(format!("trace schema: {e}")))?;
+    let counts = qar_trace::schema::validate_lines(&schema, input)
+        .map_err(|(line, e)| err(format!("trace line {line}: {e}")))?;
+    let total: usize = counts.iter().map(|(_, n)| n).sum();
+    writeln!(out, "{total} events valid")?;
+    for (name, n) in &counts {
+        writeln!(out, "  {name}: {n}")?;
+    }
     Ok(())
 }
 
@@ -614,6 +712,72 @@ mod tests {
         assert_eq!(args.output, "-");
         assert!(parse_command(&argv("generate nonsense")).is_err());
         assert!(parse_command(&argv("generate")).is_err());
+    }
+
+    #[test]
+    fn trace_and_deadline_flags() {
+        let cmd = parse_command(&argv(
+            "mine --input f --schema a:q --trace json --deadline 2.5",
+        ))
+        .unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert_eq!(args.trace, Some(TraceFormat::Json));
+        assert_eq!(args.deadline, Some(2.5));
+        assert!(parse_command(&argv("mine --input f --schema a:q --trace yaml")).is_err());
+        assert!(parse_command(&argv("mine --input f --schema a:q --deadline 0")).is_err());
+        assert!(parse_command(&argv("mine --input f --schema a:q --deadline -1")).is_err());
+    }
+
+    #[test]
+    fn trace_check_parsing_and_validation() {
+        let cmd = parse_command(&argv("trace-check")).unwrap();
+        assert_eq!(cmd, Command::TraceCheck(TraceCheckArgs { schema: None }));
+        let cmd = parse_command(&argv("trace-check --schema custom.json")).unwrap();
+        let Command::TraceCheck(args) = cmd else {
+            panic!()
+        };
+        assert_eq!(args.schema.as_deref(), Some("custom.json"));
+
+        let schema_text = include_str!("../schemas/trace_events.schema.json");
+        let good = "{\"event\":\"pass_started\",\"pass\":2,\"candidates\":7}\n";
+        let mut out = Vec::new();
+        run_trace_check(schema_text, good, &mut out).expect("valid stream");
+        let report = String::from_utf8(out).unwrap();
+        assert!(report.starts_with("1 events valid"), "{report}");
+        assert!(report.contains("pass_started: 1"), "{report}");
+
+        let bad = "{\"event\":\"pass_started\",\"pass\":2}\n";
+        assert!(run_trace_check(schema_text, bad, &mut Vec::new()).is_err());
+        assert!(run_trace_check("not json", good, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn json_format_includes_pass_stats() {
+        let gen = GenerateArgs {
+            dataset: "people".into(),
+            records: 0,
+            seed: 0,
+            output: "-".into(),
+        };
+        let mut csv_bytes = Vec::new();
+        run_generate(&gen, &mut csv_bytes).expect("generate");
+        let decls = parse_schema_decls("Age:quant,Married:cat,NumCars:quant").unwrap();
+        let schema = build_schema(&decls).unwrap();
+        let table = csv::read_table(csv_bytes.as_slice(), &schema).unwrap();
+        let cmd = parse_command(&argv(
+            "mine --input - --schema Age:quant,Married:cat,NumCars:quant \
+             --minsup 0.4 --minconf 0.5 --maxsup 1.0 --no-partition --format json",
+        ))
+        .unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        let mut report = Vec::new();
+        run_mine_on_table(&table, &args, &mut report).expect("mine");
+        let text = String::from_utf8(report).unwrap();
+        let doc = qar_trace::json::parse(&text).expect("valid JSON output");
+        let obj = doc.as_object().expect("top-level object");
+        let stats = obj["stats"].as_object().expect("stats object");
+        assert!(!stats["passes"].as_array().expect("passes").is_empty());
+        assert!(!obj["rules"].as_array().expect("rules array").is_empty());
     }
 
     #[test]

@@ -15,3 +15,4 @@ pub use qar_partition as partition;
 pub use qar_ps91 as ps91;
 pub use qar_rtree as rtree;
 pub use qar_table as table;
+pub use qar_trace as trace;

@@ -4,7 +4,7 @@
 
 use quantrules::apriori::bridge::to_transactions;
 use quantrules::apriori::{apriori, apriori_tid};
-use quantrules::core::{mine_encoded, mine_table, MinerConfig, PartitionSpec};
+use quantrules::core::{Miner, MinerConfig, PartitionSpec};
 use quantrules::itemset::Itemset;
 use quantrules::ps91::{mine_pair_rules, Ps91Config};
 use quantrules::table::{csv, AttributeId, EncodedTable, Schema, Table, Value};
@@ -64,7 +64,9 @@ fn quantitative_restricted_to_values_equals_boolean_apriori() {
     let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
     let minsup = 0.15;
 
-    let (frequent, _) = mine_encoded(&encoded, &no_combining_config(minsup), None).expect("mine");
+    let (frequent, _) = Miner::new(no_combining_config(minsup))
+        .frequent_itemsets(&encoded)
+        .expect("mine");
     let mut quant_value_itemsets: Vec<(Vec<u32>, u64)> = frequent
         .iter()
         .filter(|(s, _)| s.items().iter().all(|i| i.lo == i.hi))
@@ -143,7 +145,9 @@ fn ps91_is_the_single_pair_slice() {
     let minsup = 0.12;
     let minconf = 0.5;
 
-    let (frequent, _) = mine_encoded(&encoded, &no_combining_config(minsup), None).expect("mine");
+    let (frequent, _) = Miner::new(no_combining_config(minsup))
+        .frequent_itemsets(&encoded)
+        .expect("mine");
     let rules = quantrules::core::generate_rules(&frequent, minconf);
     let mut quant_pairs: Vec<(u32, u32, u32, u32, u64)> = rules
         .iter()
@@ -194,8 +198,12 @@ fn csv_roundtrip_preserves_mining_results() {
     assert_eq!(reread.num_rows(), table.num_rows());
 
     let config = no_combining_config(0.1);
-    let a = mine_table(&table, &config).expect("mine original");
-    let b = mine_table(&reread, &config).expect("mine reread");
+    let a = Miner::new(config.clone())
+        .mine(&table)
+        .expect("mine original");
+    let b = Miner::new(config.clone())
+        .mine(&reread)
+        .expect("mine reread");
     assert_eq!(a.frequent.total(), b.frequent.total());
     assert_eq!(a.rules.len(), b.rules.len());
     for (x, y) in a.rules.iter().zip(&b.rules) {
@@ -223,8 +231,8 @@ fn pipeline_is_deterministic() {
         max_itemset_size: 0,
         parallelism: None,
     };
-    let a = mine_table(&table, &config).expect("run 1");
-    let b = mine_table(&table, &config).expect("run 2");
+    let a = Miner::new(config.clone()).mine(&table).expect("run 1");
+    let b = Miner::new(config.clone()).mine(&table).expect("run 2");
     let ra: Vec<String> = (0..a.rules.len()).map(|i| a.format_rule(i)).collect();
     let rb: Vec<String> = (0..b.rules.len()).map(|i| b.format_rule(i)).collect();
     assert_eq!(ra, rb);
@@ -243,8 +251,10 @@ fn record_order_does_not_matter() {
             .expect("same schema");
     }
     let config = no_combining_config(0.1);
-    let a = mine_table(&table, &config).expect("mine");
-    let b = mine_table(&reversed, &config).expect("mine reversed");
+    let a = Miner::new(config.clone()).mine(&table).expect("mine");
+    let b = Miner::new(config.clone())
+        .mine(&reversed)
+        .expect("mine reversed");
     assert_eq!(a.frequent.total(), b.frequent.total());
     for (itemset, count) in a.frequent.iter() {
         let same: Option<u64> = b.frequent.support_of(itemset);
@@ -257,7 +267,7 @@ fn record_order_does_not_matter() {
 fn rules_survive_schema_permutation() {
     let table = synthetic_table(300, 33);
     let config = no_combining_config(0.12);
-    let out = mine_table(&table, &config).expect("mine");
+    let out = Miner::new(config.clone()).mine(&table).expect("mine");
 
     // Permuted schema: move q2, c2 in front.
     let schema2 = Schema::builder()
@@ -274,7 +284,9 @@ fn rules_survive_schema_permutation() {
             .push_row(&[v[2].clone(), v[3].clone(), v[0].clone(), v[1].clone()])
             .expect("permuted row");
     }
-    let out2 = mine_table(&permuted, &config).expect("mine permuted");
+    let out2 = Miner::new(config.clone())
+        .mine(&permuted)
+        .expect("mine permuted");
     assert_eq!(out.frequent.total(), out2.frequent.total());
     assert_eq!(out.rules.len(), out2.rules.len());
 }

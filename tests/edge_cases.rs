@@ -1,7 +1,7 @@
 //! Failure injection and degenerate inputs through the public API.
 
 use quantrules::core::{
-    mine_table, InterestConfig, InterestMode, MinerConfig, MinerError, PartitionSpec,
+    InterestConfig, InterestMode, Miner, MinerConfig, MinerError, PartitionSpec,
 };
 use quantrules::table::{csv, Schema, Table, TableError, Value};
 
@@ -28,7 +28,9 @@ fn single_row_table() {
         .unwrap();
     let mut t = Table::new(schema);
     t.push_row(&[Value::Int(5), Value::from("only")]).unwrap();
-    let out = mine_table(&t, &base_config()).expect("one row is minable");
+    let out = Miner::new(base_config())
+        .mine(&t)
+        .expect("one row is minable");
     // Both singletons and their pair are frequent at any threshold ≤ 1.
     assert_eq!(out.frequent.total(), 3);
     assert_eq!(out.rules.len(), 2); // x⇒c and c⇒x, both 100% confident
@@ -48,7 +50,9 @@ fn constant_columns() {
     // Partitioning a constant column must not blow up (no valid cuts).
     let mut cfg = base_config();
     cfg.partitioning = PartitionSpec::FixedIntervals(4);
-    let out = mine_table(&t, &cfg).expect("constant columns are fine");
+    let out = Miner::new(cfg.clone())
+        .mine(&t)
+        .expect("constant columns are fine");
     assert_eq!(out.frequent.total(), 3);
     assert!(
         out.stats
@@ -69,7 +73,7 @@ fn all_distinct_quantitative_column() {
     }
     let mut cfg = base_config();
     cfg.max_support = 0.5;
-    let out = mine_table(&t, &cfg).expect("mines");
+    let out = Miner::new(cfg.clone()).mine(&t).expect("mines");
     assert!(out.frequent.total() > 0);
     for (itemset, count) in out.frequent.iter() {
         let item = itemset.items()[0];
@@ -103,7 +107,7 @@ fn interest_with_pruning_and_all_modes_runs() {
                 mode,
                 prune_candidates: prune,
             });
-            let out = mine_table(&t, &cfg).expect("mines");
+            let out = Miner::new(cfg.clone()).mine(&t).expect("mines");
             let verdicts = out.interest.expect("interest configured");
             assert_eq!(verdicts.len(), out.rules.len());
         }
@@ -129,8 +133,8 @@ fn errors_are_reported_not_panicked() {
     let schema = Schema::builder().quantitative("x").build().unwrap();
     let t = Table::new(schema.clone());
     assert!(matches!(
-        mine_table(&t, &base_config()),
-        Err(MinerError::Table(TableError::EmptyTable))
+        Miner::new(base_config()).mine(&t),
+        Err(MinerError::Schema(TableError::EmptyTable))
     ));
     // Bad thresholds.
     let mut one = Table::new(schema);
@@ -140,7 +144,10 @@ fn errors_are_reported_not_panicked() {
         cfg.min_support = minsup;
         cfg.max_support = maxsup;
         assert!(
-            matches!(mine_table(&one, &cfg), Err(MinerError::BadParameter(_))),
+            matches!(
+                Miner::new(cfg.clone()).mine(&one),
+                Err(MinerError::Config(_))
+            ),
             "minsup {minsup} maxsup {maxsup} must be rejected"
         );
     }
@@ -164,7 +171,7 @@ fn very_high_minsup_yields_empty_output() {
     let mut cfg = base_config();
     cfg.min_support = 1.0;
     cfg.max_support = 1.0;
-    let out = mine_table(&t, &cfg).expect("mines");
+    let out = Miner::new(cfg.clone()).mine(&t).expect("mines");
     // Only the full x-range is in every record.
     assert!(out.frequent.total() <= 1);
     assert!(out.rules.is_empty());
@@ -190,7 +197,7 @@ fn kmeans_strategy_end_to_end() {
     cfg.partition_strategy = PartitionStrategy::KMeans;
     cfg.min_support = 0.3;
     cfg.min_confidence = 0.9;
-    let out = mine_table(&t, &cfg).expect("mines");
+    let out = Miner::new(cfg.clone()).mine(&t).expect("mines");
     let rendered: Vec<String> = (0..out.rules.len()).map(|i| out.format_rule(i)).collect();
     assert!(
         rendered.iter().any(|r| r.contains("⇒ ⟨c: low⟩")),

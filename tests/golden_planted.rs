@@ -12,10 +12,12 @@
 //!
 //! and review the diff of `tests/golden/planted_rules.snap` like code.
 
-use quantrules::core::{mine_table, MinerConfig, PartitionSpec};
+use quantrules::core::{Miner, MinerConfig, PartitionSpec};
 use quantrules::datagen::{PlantedConfig, PlantedDataset};
+use quantrules::trace::{CollectingSink, TraceEvent};
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 const SNAPSHOT_PATH: &str = "tests/golden/planted_rules.snap";
 
@@ -42,7 +44,12 @@ fn render(parallelism: Option<NonZeroUsize>) -> String {
         num_records: 4_000,
         seed: 1996,
     });
-    let out = mine_table(&data.table, &config(parallelism)).expect("mining succeeds");
+    let sink = Arc::new(CollectingSink::new());
+    let out = Miner::new(config(parallelism))
+        .with_progress(sink.clone())
+        .mine(&data.table)
+        .expect("mining succeeds");
+    assert_pass_coverage(&sink.events(), &out.stats.mine);
     let mut lines: Vec<String> = (0..out.rules.len()).map(|i| out.format_rule(i)).collect();
     lines.sort_unstable();
     let mut s = String::new();
@@ -62,6 +69,38 @@ fn render(parallelism: Option<NonZeroUsize>) -> String {
         writeln!(s, "{line}").unwrap();
     }
     s
+}
+
+/// Every pass of the run shows up in the trace: exactly one
+/// `pass_started`/`pass_finished` pair per pass (pass 1 plus each
+/// counting pass), bracketed by `run_started`/`run_finished`.
+fn assert_pass_coverage(events: &[TraceEvent], mine: &quantrules::core::mine::MineStats) {
+    let passes = 1 + mine.pass_stats.len();
+    let started: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::PassStarted { pass, .. } => Some(*pass),
+            _ => None,
+        })
+        .collect();
+    let finished: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::PassFinished { pass, .. } => Some(*pass),
+            _ => None,
+        })
+        .collect();
+    let want: Vec<usize> = (1..=passes).collect();
+    assert_eq!(started, want, "one pass_started per pass");
+    assert_eq!(finished, want, "one pass_finished per pass");
+    assert!(matches!(
+        events.first(),
+        Some(TraceEvent::RunStarted { .. })
+    ));
+    assert!(matches!(
+        events.last(),
+        Some(TraceEvent::RunFinished { .. })
+    ));
 }
 
 #[test]

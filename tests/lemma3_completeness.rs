@@ -8,7 +8,7 @@
 //! exist).
 
 use quantrules::core::pipeline::build_encoders;
-use quantrules::core::{mine_encoded, MinerConfig, PartitionSpec};
+use quantrules::core::{Miner, MinerConfig, PartitionSpec};
 use quantrules::itemset::Itemset;
 use quantrules::partition::achieved_level;
 use quantrules::partition::partitioner::interval_supports;
@@ -102,14 +102,18 @@ fn partitioned_mining_is_k_complete() {
     // Reference: raw values (no partitioning).
     let (raw_encoders, _) = build_encoders(table, &base).expect("encoders");
     let raw_encoded = EncodedTable::encode(table, raw_encoders).expect("encode");
-    let (raw_frequent, _) = mine_encoded(&raw_encoded, &base, None).expect("mine");
+    let (raw_frequent, _) = Miner::new(base.clone())
+        .frequent_itemsets(&raw_encoded)
+        .expect("mine");
 
     // Partitioned run at the requested completeness level.
     let mut part_cfg = base.clone();
     part_cfg.partitioning = PartitionSpec::CompletenessLevel(requested_k);
     let (part_encoders, intervals) = build_encoders(table, &part_cfg).expect("encoders");
     let part_encoded = EncodedTable::encode(table, part_encoders.clone()).expect("encode");
-    let (part_frequent, _) = mine_encoded(&part_encoded, &part_cfg, None).expect("mine");
+    let (part_frequent, _) = Miner::new(part_cfg.clone())
+        .frequent_itemsets(&part_encoded)
+        .expect("mine");
     assert!(
         intervals.iter().any(|i| i.is_some()),
         "test must actually partition something"

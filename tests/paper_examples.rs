@@ -2,7 +2,7 @@
 //! public API.
 
 use quantrules::apriori::bridge::to_transactions;
-use quantrules::core::{mine_table, MinerConfig, PartitionSpec};
+use quantrules::core::{Miner, MinerConfig, PartitionSpec};
 use quantrules::datagen::people::fig3_age_cuts;
 use quantrules::datagen::people_table;
 use quantrules::itemset::{Item, Itemset};
@@ -25,7 +25,9 @@ fn fig1_config() -> MinerConfig {
 /// Figure 1: both sample rules, with their exact support and confidence.
 #[test]
 fn figure_1_sample_rules() {
-    let out = mine_table(&people_table(), &fig1_config()).expect("mining succeeds");
+    let out = Miner::new(fig1_config())
+        .mine(&people_table())
+        .expect("mining succeeds");
     let rendered: Vec<String> = (0..out.rules.len()).map(|i| out.format_rule(i)).collect();
     assert!(rendered.iter().any(
         |r| r.contains("⟨Age: 34..38⟩ and ⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩")
@@ -93,8 +95,9 @@ fn figure_3_problem_decomposition() {
     assert_eq!(encoded.codes(AttributeId(2)), &[1, 1, 0, 2, 2]);
 
     // Figure 3(f): sample frequent itemsets at minsup 40 % (= 2 records).
-    let (frequent, _) =
-        quantrules::core::mine_encoded(&encoded, &fig1_config(), None).expect("mine");
+    let (frequent, _) = Miner::new(fig1_config())
+        .frequent_itemsets(&encoded)
+        .expect("mine");
     let support = |items: Vec<Item>| frequent.support_of(&Itemset::new(items));
     assert_eq!(support(vec![Item::range(0, 2, 3)]), Some(2)); // ⟨Age: 30..39⟩
     assert_eq!(support(vec![Item::range(0, 0, 1)]), Some(3)); // ⟨Age: 20..29⟩

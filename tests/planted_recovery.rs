@@ -1,7 +1,7 @@
 //! End-to-end recovery oracle: rules planted by the generator must come
 //! out of the full pipeline, and the interest measure must keep them.
 
-use quantrules::core::{mine_table, InterestConfig, InterestMode, MinerConfig, PartitionSpec};
+use quantrules::core::{InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec};
 use quantrules::datagen::{PlantedConfig, PlantedDataset};
 use quantrules::itemset::{Item, Itemset};
 
@@ -25,7 +25,9 @@ fn both_planted_rules_recovered_exactly() {
         num_records: 8_000,
         seed: 31337,
     });
-    let out = mine_table(&data.table, &config()).expect("mining succeeds");
+    let out = Miner::new(config())
+        .mine(&data.table)
+        .expect("mining succeeds");
     // x0 values are 0..=99 and all present at this size, so code == value.
     // Rule 1: x0 ∈ [20..39] ⇒ c = "A" (c codes: A=0 in sorted dictionary).
     let r1 = out
@@ -61,7 +63,9 @@ fn recovery_survives_partitioning() {
     });
     let mut cfg = config();
     cfg.partitioning = PartitionSpec::FixedIntervals(20);
-    let out = mine_table(&data.table, &cfg).expect("mining succeeds");
+    let out = Miner::new(cfg.clone())
+        .mine(&data.table)
+        .expect("mining succeeds");
     let hit = (0..out.rules.len())
         .map(|i| out.format_rule(i))
         .find(|r| r.contains("⇒ ⟨c: A⟩") && r.contains("⟨x0: 2") && r.contains("..3"));
@@ -83,7 +87,9 @@ fn interest_measure_keeps_planted_rules() {
         mode: InterestMode::SupportOrConfidence,
         prune_candidates: false,
     });
-    let out = mine_table(&data.table, &cfg).expect("mining succeeds");
+    let out = Miner::new(cfg.clone())
+        .mine(&data.table)
+        .expect("mining succeeds");
     let verdicts = out.interest.as_ref().expect("interest configured");
     // A tight refinement of the planted confidence plateau must survive:
     // rules hugging [20..39] ⇒ A beat the expectation set by the widest
@@ -122,7 +128,9 @@ fn supports_reported_are_exact_counts() {
         num_records: 3_000,
         seed: 55,
     });
-    let out = mine_table(&data.table, &config()).expect("mining succeeds");
+    let out = Miner::new(config())
+        .mine(&data.table)
+        .expect("mining succeeds");
     // Spot-check a sample of reported rules against a raw scan.
     for rule in out.rules.iter().step_by(97) {
         let both = rule.itemset();

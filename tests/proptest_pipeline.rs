@@ -5,7 +5,7 @@
 
 use qar_prng::{cases, Prng};
 use quantrules::core::naive::naive_mine;
-use quantrules::core::{generate_rules, mine_encoded, MinerConfig, PartitionSpec};
+use quantrules::core::{generate_rules, Miner, MinerConfig, PartitionSpec};
 use quantrules::table::{EncodedTable, Schema, Table, Value};
 use std::num::NonZeroUsize;
 
@@ -57,7 +57,9 @@ fn miner_equals_naive() {
         };
         let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
         let naive = naive_mine(&encoded, &config);
-        let (real, _) = mine_encoded(&encoded, &config, None).expect("mine");
+        let (real, _) = Miner::new(config.clone())
+            .frequent_itemsets(&encoded)
+            .expect("mine");
         assert_eq!(naive.total(), real.total(), "case {case}");
         for (itemset, count) in naive.iter() {
             assert_eq!(
@@ -87,11 +89,15 @@ fn parallel_mining_equals_serial() {
         let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
 
         config.parallelism = NonZeroUsize::new(1);
-        let (serial_freq, serial_stats) = mine_encoded(&encoded, &config, None).expect("serial");
+        let (serial_freq, serial_stats) = Miner::new(config.clone())
+            .frequent_itemsets(&encoded)
+            .expect("serial");
         let mut serial_rules = generate_rules(&serial_freq, config.min_confidence);
 
         config.parallelism = NonZeroUsize::new(4);
-        let (par_freq, par_stats) = mine_encoded(&encoded, &config, None).expect("parallel");
+        let (par_freq, par_stats) = Miner::new(config.clone())
+            .frequent_itemsets(&encoded)
+            .expect("parallel");
         let mut par_rules = generate_rules(&par_freq, config.min_confidence);
 
         assert_eq!(serial_stats.parallelism, 1, "case {case}");
@@ -141,7 +147,9 @@ fn rules_satisfy_definitions() {
             ..base_config()
         };
         let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
-        let (frequent, _) = mine_encoded(&encoded, &config, None).expect("mine");
+        let (frequent, _) = Miner::new(config.clone())
+            .frequent_itemsets(&encoded)
+            .expect("mine");
         let rules = generate_rules(&frequent, config.min_confidence);
         for rule in &rules {
             // Attribute-disjoint sides.
@@ -176,8 +184,12 @@ fn minsup_monotone() {
             max_support: 1.0,
             ..base_config()
         };
-        let (lo, _) = mine_encoded(&encoded, &mk(0.1), None).expect("mine");
-        let (hi, _) = mine_encoded(&encoded, &mk(0.3), None).expect("mine");
+        let (lo, _) = Miner::new(mk(0.1))
+            .frequent_itemsets(&encoded)
+            .expect("mine");
+        let (hi, _) = Miner::new(mk(0.3))
+            .frequent_itemsets(&encoded)
+            .expect("mine");
         assert!(hi.total() <= lo.total(), "case {case}");
         for (itemset, count) in hi.iter() {
             assert_eq!(lo.support_of(itemset), Some(*count), "case {case}");
@@ -194,9 +206,17 @@ fn backends_agree() {
         let table = arbitrary_table(rng);
         let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
         let config = base_config();
-        let (auto, _) = mine_encoded(&encoded, &config, None).expect("auto");
-        let (arr, _) = mine_encoded(&encoded, &config, Some(CounterKind::Array)).expect("array");
-        let (rt, _) = mine_encoded(&encoded, &config, Some(CounterKind::RTree)).expect("rtree");
+        let (auto, _) = Miner::new(config.clone())
+            .frequent_itemsets(&encoded)
+            .expect("auto");
+        let (arr, _) = Miner::new(config.clone())
+            .with_counter(CounterKind::Array)
+            .frequent_itemsets(&encoded)
+            .expect("array");
+        let (rt, _) = Miner::new(config.clone())
+            .with_counter(CounterKind::RTree)
+            .frequent_itemsets(&encoded)
+            .expect("rtree");
         assert_eq!(auto.total(), arr.total(), "case {case}");
         assert_eq!(auto.total(), rt.total(), "case {case}");
         for (itemset, count) in auto.iter() {

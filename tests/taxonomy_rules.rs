@@ -3,7 +3,7 @@
 //! points out: "the taxonomy can be used to implicitly combine values of
 //! a categorical attribute").
 
-use quantrules::core::{mine_table, MinerConfig, PartitionSpec};
+use quantrules::core::{Miner, MinerConfig, PartitionSpec};
 use quantrules::table::{Schema, Table, Taxonomy, Value};
 
 const WEST: [&str; 4] = ["CA", "WA", "OR", "NV"];
@@ -72,7 +72,9 @@ fn config_with_taxonomy() -> MinerConfig {
 #[test]
 fn region_rule_emerges_where_no_state_rule_can() {
     let table = store_table(8_000, 42);
-    let out = mine_table(&table, &config_with_taxonomy()).expect("mining succeeds");
+    let out = Miner::new(config_with_taxonomy())
+        .mine(&table)
+        .expect("mining succeeds");
     let rendered: Vec<String> = (0..out.rules.len()).map(|i| out.format_rule(i)).collect();
 
     // The region-level rule must exist and render by its taxonomy name.
@@ -101,7 +103,9 @@ fn region_rule_emerges_where_no_state_rule_can() {
 #[test]
 fn taxonomy_supports_are_exact() {
     let table = store_table(3_000, 7);
-    let out = mine_table(&table, &config_with_taxonomy()).expect("mining succeeds");
+    let out = Miner::new(config_with_taxonomy())
+        .mine(&table)
+        .expect("mining succeeds");
     for (itemset, count) in out.frequent.iter() {
         let recount = quantrules::core::supercand::count_candidates_naive(
             &out.encoded,
@@ -116,7 +120,9 @@ fn without_taxonomy_the_region_rule_is_invisible() {
     let table = store_table(8_000, 42);
     let mut cfg = config_with_taxonomy();
     cfg.taxonomies.clear();
-    let out = mine_table(&table, &cfg).expect("mining succeeds");
+    let out = Miner::new(cfg.clone())
+        .mine(&table)
+        .expect("mining succeeds");
     let rendered: Vec<String> = (0..out.rules.len()).map(|i| out.format_rule(i)).collect();
     assert!(
         !rendered
@@ -143,7 +149,9 @@ fn interest_measure_handles_taxonomy_generalizations() {
         mode: quantrules::core::InterestMode::SupportOrConfidence,
         prune_candidates: false,
     });
-    let out = mine_table(&table, &cfg).expect("mining succeeds");
+    let out = Miner::new(cfg.clone())
+        .mine(&table)
+        .expect("mining succeeds");
     let verdicts = out.interest.as_ref().expect("configured");
     let west_interesting = out.rules.iter().zip(verdicts).any(|(r, v)| {
         v.interesting
