@@ -1,0 +1,141 @@
+//! Query-throughput benchmark for the `qar-store` catalog + index.
+//!
+//! Mines the planted dataset once (looser thresholds than the golden
+//! snapshot test so the catalog holds a non-trivial number of rules),
+//! stores the result as a `.qarcat` byte buffer, then
+//! measures the mine-once / query-many path against the *reopened*
+//! catalog: decode, index build, point-query batches ("which rules fire
+//! for this record"), and range-overlap batches.
+//!
+//! Usage: `cargo run --release -p qar-bench --bin store_query [records]`
+//!
+//! Each benchmark prints the human harness line plus one machine line of
+//! harness JSON (`json_line`) carrying a `queries_per_sec` extra. The
+//! acceptance floor checked by CI is >= 10k point-queries/sec; the run
+//! exits non-zero below it.
+
+use qar_bench::experiments::records_arg;
+use qar_bench::harness::{bench, json_line};
+use qar_core::{Miner, MinerConfig, PartitionSpec};
+use qar_datagen::{PlantedConfig, PlantedDataset};
+use qar_prng::Prng;
+use qar_store::{Catalog, RuleIndex};
+
+/// Queries per measured batch; large enough that per-batch overhead is
+/// noise, small enough that a quick run stays under a second.
+const BATCH: usize = 10_000;
+
+fn main() {
+    let records = records_arg(20_000);
+    let data = PlantedDataset::generate(PlantedConfig {
+        num_records: records,
+        seed: 1996,
+    });
+    // Looser thresholds than the golden snapshot so the catalog carries
+    // enough rules for index timings to mean something.
+    let config = MinerConfig {
+        min_support: 0.08,
+        min_confidence: 0.5,
+        max_support: 0.4,
+        partitioning: PartitionSpec::FixedIntervals(20),
+        interest: None,
+        max_itemset_size: 2,
+        ..MinerConfig::default()
+    };
+    let out = Miner::new(config)
+        .mine(&data.table)
+        .expect("mining succeeds");
+    let catalog = Catalog::from_mining(&out);
+    let bytes = catalog.encode();
+    println!(
+        "planted dataset: {records} records -> {} rules, catalog {} bytes\n",
+        catalog.rules().len(),
+        bytes.len()
+    );
+
+    let s = bench("catalog decode", || {
+        Catalog::decode(&bytes).expect("decode")
+    });
+    println!("{}", json_line("catalog_decode", &s, &[]));
+
+    let loaded = Catalog::decode(&bytes).expect("decode");
+    let s = bench("index build", || RuleIndex::build(&loaded, None));
+    println!("{}", json_line("index_build", &s, &[]));
+    let index = RuleIndex::build(&loaded, None);
+
+    // Random full records in code space: one (attribute, code) per
+    // attribute, codes drawn uniformly from each encoder's range.
+    let mut rng = Prng::seed_from_u64(42);
+    let cards: Vec<u32> = loaded.encoders().iter().map(|e| e.cardinality()).collect();
+    let queries: Vec<Vec<(u32, u32)>> = (0..BATCH)
+        .map(|_| {
+            cards
+                .iter()
+                .enumerate()
+                .map(|(attr, &card)| (attr as u32, rng.gen_range(0..card.max(1))))
+                .collect()
+        })
+        .collect();
+
+    let mut hits = 0usize;
+    let s = bench(&format!("point queries ({BATCH} per batch)"), || {
+        hits = queries.iter().map(|q| index.query_record(q).len()).sum();
+        hits
+    });
+    let point_qps = BATCH as f64 / s.median.as_secs_f64();
+    println!(
+        "{}",
+        json_line(
+            "point_query",
+            &s,
+            &[
+                ("queries_per_sec", point_qps),
+                ("batch", BATCH as f64),
+                ("rules_fired", hits as f64),
+            ],
+        )
+    );
+
+    // Range-overlap queries in raw value space, windows drawn from each
+    // quantitative attribute's encoded domain.
+    let ranges: Vec<(u32, f64, f64)> = (0..BATCH)
+        .map(|_| loop {
+            let attr = rng.gen_range(0..cards.len() as u32);
+            let encoder = &loaded.encoders()[attr as usize];
+            let last = cards[attr as usize] - 1;
+            if let Some((dom_lo, dom_hi)) = encoder.numeric_bounds(0, last) {
+                let a = dom_lo + rng.gen_f64() * (dom_hi - dom_lo);
+                let b = dom_lo + rng.gen_f64() * (dom_hi - dom_lo);
+                break (attr, a.min(b), a.max(b));
+            }
+        })
+        .collect();
+
+    let mut mentions = 0usize;
+    let s = bench(&format!("range queries ({BATCH} per batch)"), || {
+        mentions = ranges
+            .iter()
+            .map(|&(attr, lo, hi)| index.query_range(attr, lo, hi).len())
+            .sum();
+        mentions
+    });
+    let range_qps = BATCH as f64 / s.median.as_secs_f64();
+    println!(
+        "{}",
+        json_line(
+            "range_query",
+            &s,
+            &[
+                ("queries_per_sec", range_qps),
+                ("batch", BATCH as f64),
+                ("rules_mentioned", mentions as f64),
+            ],
+        )
+    );
+
+    println!("\npoint-query throughput: {point_qps:.0} queries/sec (floor 10000)");
+    if point_qps < 10_000.0 {
+        eprintln!("store_query: below the 10k point-queries/sec floor");
+        std::process::exit(1);
+    }
+}

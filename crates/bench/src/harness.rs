@@ -78,6 +78,44 @@ pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) -> Sample {
     sample
 }
 
+/// Render one benchmark result as a single JSON line for scripted
+/// consumers (CI smoke checks, EXPERIMENTS.md plots): the label, the
+/// timings in nanoseconds, the sample count, and any bench-specific
+/// extra metrics (e.g. `queries_per_sec`). Keys with non-finite values
+/// are emitted as `null` so the line stays valid JSON.
+pub fn json_line(label: &str, sample: &Sample, extras: &[(&str, f64)]) -> String {
+    let mut s = format!(
+        "{{\"bench\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"samples\":{}",
+        escape_json(label),
+        sample.min.as_nanos(),
+        sample.median.as_nanos(),
+        sample.mean.as_nanos(),
+        sample.samples,
+    );
+    for (key, value) in extras {
+        if value.is_finite() {
+            s.push_str(&format!(",\"{}\":{value}", escape_json(key)));
+        } else {
+            s.push_str(&format!(",\"{}\":null", escape_json(key)));
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Human-readable duration with ~4 significant figures.
 pub fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -110,6 +148,26 @@ mod tests {
         assert_eq!(s.samples, 4);
         assert!(s.min <= s.median && s.median <= s.mean.max(s.median));
         assert!(s.min > Duration::ZERO);
+    }
+
+    #[test]
+    fn json_line_is_parseable() {
+        let s = Sample {
+            min: Duration::from_micros(10),
+            median: Duration::from_micros(12),
+            mean: Duration::from_micros(13),
+            samples: 5,
+        };
+        let line = json_line("point \"q\"", &s, &[("queries_per_sec", 12_500.0)]);
+        let doc = qar_trace::json::parse(&line).expect("valid JSON");
+        let obj = doc.as_object().expect("object");
+        assert_eq!(obj["bench"].as_str(), Some("point \"q\""));
+        assert_eq!(obj["min_ns"].as_u64(), Some(10_000));
+        assert_eq!(obj["samples"].as_u64(), Some(5));
+        assert_eq!(obj["queries_per_sec"].as_u64(), Some(12_500));
+        let nan = json_line("x", &s, &[("rate", f64::NAN)]);
+        assert!(qar_trace::json::parse(&nan).is_ok());
+        assert!(nan.contains("\"rate\":null"));
     }
 
     #[test]

@@ -8,18 +8,19 @@
 use std::io::Write;
 
 use crate::interest::RuleInterest;
+use crate::output::RuleDecoder;
 use crate::rules::QuantRule;
 use qar_itemset::Item;
-use qar_table::{AttributeId, EncodedTable};
+use qar_table::AttributeId;
 
-fn item_fields(item: Item, table: &EncodedTable) -> (String, String) {
+fn item_fields(item: Item, table: &impl RuleDecoder) -> (String, String) {
     let id = AttributeId(item.attr as usize);
     let name = table.schema().attribute(id).name().to_owned();
     let range = table.encoder(id).describe_range(item.lo, item.hi);
     (name, range)
 }
 
-fn side_to_string(items: &[Item], table: &EncodedTable) -> String {
+fn side_to_string(items: &[Item], table: &impl RuleDecoder) -> String {
     items
         .iter()
         .map(|&i| {
@@ -45,7 +46,7 @@ pub fn rules_to_csv<W: Write>(
     out: &mut W,
     rules: &[QuantRule],
     verdicts: Option<&[RuleInterest]>,
-    table: &EncodedTable,
+    table: &impl RuleDecoder,
     num_rows: u64,
 ) -> std::io::Result<()> {
     if let Some(v) = verdicts {
@@ -90,7 +91,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn items_to_json(items: &[Item], table: &EncodedTable) -> String {
+fn items_to_json(items: &[Item], table: &impl RuleDecoder) -> String {
     let parts: Vec<String> = items
         .iter()
         .map(|&i| {
@@ -118,7 +119,7 @@ pub fn rules_to_json<W: Write>(
     out: &mut W,
     rules: &[QuantRule],
     verdicts: Option<&[RuleInterest]>,
-    table: &EncodedTable,
+    table: &impl RuleDecoder,
     num_rows: u64,
 ) -> std::io::Result<()> {
     if let Some(v) = verdicts {

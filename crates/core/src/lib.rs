@@ -48,6 +48,7 @@ pub use interest::{annotate_interest, RuleInterest};
 #[allow(deprecated)]
 pub use mine::mine_encoded;
 pub use miner::Miner;
+pub use output::RuleDecoder;
 #[allow(deprecated)]
 pub use pipeline::{mine_table, MiningOutput, MiningStats};
 pub use rules::{generate_rules, QuantRule};

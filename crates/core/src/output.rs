@@ -2,10 +2,30 @@
 
 use crate::rules::QuantRule;
 use qar_itemset::{Item, Itemset};
-use qar_table::{AttributeId, EncodedTable};
+use qar_table::{AttributeEncoder, AttributeId, EncodedTable, Schema};
+
+/// Anything that can decode item codes back to attribute names and value
+/// bounds. [`EncodedTable`] is the in-process implementation; `qar-store`'s
+/// `Catalog` implements it too, so a reloaded catalog renders and exports
+/// rules byte-identically to the mine that produced it.
+pub trait RuleDecoder {
+    /// The schema the rules' attribute ids refer to.
+    fn schema(&self) -> &Schema;
+    /// The encoder that maps an attribute's codes back to values.
+    fn encoder(&self, id: AttributeId) -> &AttributeEncoder;
+}
+
+impl RuleDecoder for EncodedTable {
+    fn schema(&self) -> &Schema {
+        EncodedTable::schema(self)
+    }
+    fn encoder(&self, id: AttributeId) -> &AttributeEncoder {
+        EncodedTable::encoder(self, id)
+    }
+}
 
 /// Render one item, e.g. `⟨Age: 30..39⟩` or `⟨Married: Yes⟩`.
-pub fn format_item(item: Item, table: &EncodedTable) -> String {
+pub fn format_item(item: Item, table: &impl RuleDecoder) -> String {
     let id = AttributeId(item.attr as usize);
     let name = table.schema().attribute(id).name();
     let range = table.encoder(id).describe_range(item.lo, item.hi);
@@ -13,7 +33,7 @@ pub fn format_item(item: Item, table: &EncodedTable) -> String {
 }
 
 /// Render an itemset, items joined by `and`.
-pub fn format_itemset(itemset: &Itemset, table: &EncodedTable) -> String {
+pub fn format_itemset(itemset: &Itemset, table: &impl RuleDecoder) -> String {
     itemset
         .items()
         .iter()
@@ -24,7 +44,7 @@ pub fn format_itemset(itemset: &Itemset, table: &EncodedTable) -> String {
 
 /// Render a rule in the paper's style:
 /// `⟨Age: 30..39⟩ and ⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩  (40.0% sup, 100.0% conf)`.
-pub fn format_rule(rule: &QuantRule, num_rows: u64, table: &EncodedTable) -> String {
+pub fn format_rule(rule: &QuantRule, num_rows: u64, table: &impl RuleDecoder) -> String {
     format!(
         "{} ⇒ {}  ({:.1}% sup, {:.1}% conf)",
         format_itemset(&rule.antecedent, table),

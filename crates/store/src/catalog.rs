@@ -1,0 +1,774 @@
+//! The persistent rule catalog: everything a mine produced, decodable
+//! without the original table.
+//!
+//! A [`Catalog`] bundles the schema, the per-attribute encoders (so item
+//! codes decode back to labels and value bounds), the mined rules with
+//! their interest verdicts, and the run's [`MiningStats`] provenance. It
+//! serializes to the `.qarcat` format described in [`crate::format`] and
+//! round-trips bit-exactly: `encode(decode(bytes)) == bytes`.
+//!
+//! Decoding validates every structural invariant the in-memory types
+//! assume (sorted labels, increasing cuts, in-range item codes, ...) and
+//! returns [`StoreError`] — never panics — on any violation, so a catalog
+//! from an untrusted source is safe to open.
+
+use std::time::Instant;
+
+use crate::error::StoreError;
+use crate::format::{self, Reader, Writer};
+use qar_core::pipeline::{MiningOutput, MiningStats};
+use qar_core::supercand::PassStats;
+use qar_core::{mine::MineStats, QuantRule, RuleDecoder, RuleInterest};
+use qar_itemset::{Item, Itemset};
+use qar_table::encode::IntervalSpec;
+use qar_table::{AttributeDef, AttributeEncoder, AttributeId, AttributeKind, Schema};
+use qar_trace::{event::micros, ProgressSink, TraceEvent};
+
+/// A mined ruleset with everything needed to query and render it.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    schema: Schema,
+    encoders: Vec<AttributeEncoder>,
+    num_rows: u64,
+    rules: Vec<QuantRule>,
+    interest: Option<Vec<RuleInterest>>,
+    stats: MiningStats,
+}
+
+impl Catalog {
+    /// Build a catalog from parts, validating the same invariants
+    /// [`Catalog::decode`] enforces.
+    pub fn new(
+        schema: Schema,
+        encoders: Vec<AttributeEncoder>,
+        num_rows: u64,
+        rules: Vec<QuantRule>,
+        interest: Option<Vec<RuleInterest>>,
+        stats: MiningStats,
+    ) -> Result<Self, StoreError> {
+        let catalog = Catalog {
+            schema,
+            encoders,
+            num_rows,
+            rules,
+            interest,
+            stats,
+        };
+        catalog.validate()?;
+        Ok(catalog)
+    }
+
+    /// Capture a finished mine as a catalog.
+    ///
+    /// # Panics
+    /// If the miner produced structurally invalid output — which would be
+    /// a bug in the miner, not in the caller.
+    pub fn from_mining(output: &MiningOutput) -> Self {
+        Catalog::new(
+            output.encoded.schema().clone(),
+            output.encoded.encoders().to_vec(),
+            output.frequent.num_rows,
+            output.rules.clone(),
+            output.interest.clone(),
+            output.stats.clone(),
+        )
+        .expect("miner output is always a valid catalog")
+    }
+
+    /// The schema the rules' attribute ids refer to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All per-attribute encoders, in schema order.
+    pub fn encoders(&self) -> &[AttributeEncoder] {
+        &self.encoders
+    }
+
+    /// Rows of the table the rules were mined from.
+    pub fn num_rows(&self) -> u64 {
+        self.num_rows
+    }
+
+    /// The mined rules, in the miner's output order.
+    pub fn rules(&self) -> &[QuantRule] {
+        &self.rules
+    }
+
+    /// Interest verdicts aligned with [`Catalog::rules`], if the mine
+    /// computed them.
+    pub fn interest(&self) -> Option<&[RuleInterest]> {
+        self.interest.as_deref()
+    }
+
+    /// The run's statistics.
+    pub fn stats(&self) -> &MiningStats {
+        &self.stats
+    }
+
+    /// Serialize to `.qarcat` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        for &b in &format::MAGIC {
+            w.put_u8(b);
+        }
+        w.put_u32(format::VERSION);
+        w.put_section(format::tag::SCHEMA, &self.encode_schema());
+        w.put_section(format::tag::RULES, &self.encode_rules());
+        w.put_section(format::tag::STATS, &self.encode_stats());
+        w.into_bytes()
+    }
+
+    /// Decode a catalog from `.qarcat` bytes, verifying magic, version,
+    /// per-section CRCs, and every structural invariant.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        if bytes.len() < format::MAGIC.len() || bytes[..format::MAGIC.len()] != format::MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut r = Reader::new(&bytes[format::MAGIC.len()..]);
+        let version = r.get_u32()?;
+        if version != format::VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let mut sections = Vec::with_capacity(3);
+        for expected in [format::tag::SCHEMA, format::tag::RULES, format::tag::STATS] {
+            let (tag, payload) = r.get_section()?;
+            if tag != expected {
+                return Err(StoreError::Corrupt {
+                    section: "header",
+                    detail: format!(
+                        "expected {} section (tag {expected}), found tag {tag}",
+                        format::section_name(expected)
+                    ),
+                });
+            }
+            sections.push(payload);
+        }
+        if r.remaining() > 0 {
+            return Err(StoreError::TrailingBytes {
+                offset: format::MAGIC.len() + r.pos(),
+            });
+        }
+        let (schema, encoders) = decode_schema(sections[0])?;
+        let (num_rows, rules, interest) = decode_rules(sections[1])?;
+        let stats = decode_stats(sections[2])?;
+        Catalog::new(schema, encoders, num_rows, rules, interest, stats)
+    }
+
+    /// Decode from bytes already in memory (e.g. piped via stdin),
+    /// reporting a [`TraceEvent::CatalogLoaded`] to `sink`.
+    pub fn load_bytes(bytes: &[u8], sink: Option<&dyn ProgressSink>) -> Result<Self, StoreError> {
+        let start = Instant::now();
+        let catalog = Catalog::decode(bytes)?;
+        if let Some(sink) = sink {
+            sink.on_event(&TraceEvent::CatalogLoaded {
+                rules: catalog.rules.len(),
+                bytes: bytes.len() as u64,
+                elapsed_us: micros(start.elapsed()),
+            });
+        }
+        Ok(catalog)
+    }
+
+    /// Read and decode a catalog file.
+    pub fn load(
+        path: impl AsRef<std::path::Path>,
+        sink: Option<&dyn ProgressSink>,
+    ) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(path)?;
+        Catalog::load_bytes(&bytes, sink)
+    }
+
+    /// Encode and write a catalog file, reporting a
+    /// [`TraceEvent::CatalogSaved`] to `sink`.
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        sink: Option<&dyn ProgressSink>,
+    ) -> Result<(), StoreError> {
+        let start = Instant::now();
+        let bytes = self.encode();
+        std::fs::write(path, &bytes)?;
+        if let Some(sink) = sink {
+            sink.on_event(&TraceEvent::CatalogSaved {
+                rules: self.rules.len(),
+                bytes: bytes.len() as u64,
+                elapsed_us: micros(start.elapsed()),
+            });
+        }
+        Ok(())
+    }
+
+    fn encode_schema(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.schema.len() as u64);
+        for (id, def) in self.schema.iter() {
+            w.put_str(def.name());
+            w.put_u8(match def.kind() {
+                AttributeKind::Quantitative => 0,
+                AttributeKind::Categorical => 1,
+            });
+            encode_encoder(&mut w, &self.encoders[id.index()]);
+        }
+        w.into_bytes()
+    }
+
+    fn encode_rules(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.num_rows);
+        w.put_u64(self.rules.len() as u64);
+        for rule in &self.rules {
+            encode_itemset(&mut w, &rule.antecedent);
+            encode_itemset(&mut w, &rule.consequent);
+            w.put_u64(rule.support);
+            w.put_f64(rule.confidence);
+        }
+        w.put_bool(self.interest.is_some());
+        if let Some(verdicts) = &self.interest {
+            for v in verdicts {
+                w.put_u8(v.interesting as u8 | (v.has_ancestors as u8) << 1);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn encode_stats(&self) -> Vec<u8> {
+        let s = &self.stats;
+        let mut w = Writer::new();
+        w.put_u64(s.intervals_per_attribute.len() as u64);
+        for iv in &s.intervals_per_attribute {
+            w.put_bool(iv.is_some());
+            if let Some(n) = iv {
+                w.put_u64(*n as u64);
+            }
+        }
+        w.put_u64(s.rules_total as u64);
+        w.put_u64(s.rules_interesting as u64);
+        w.put_duration(s.elapsed);
+        w.put_duration(s.elapsed_mining);
+        w.put_bool(s.encoding_reused);
+        w.put_u64(s.mine.candidates_per_pass.len() as u64);
+        for &c in &s.mine.candidates_per_pass {
+            w.put_u64(c as u64);
+        }
+        w.put_u64(s.mine.interest_pruned_items as u64);
+        w.put_duration(s.mine.pass1_scan_time);
+        w.put_u64(s.mine.parallelism as u64);
+        w.put_u64(s.mine.pass_stats.len() as u64);
+        for p in &s.mine.pass_stats {
+            w.put_u64(p.super_candidates as u64);
+            w.put_u64(p.array_backed as u64);
+            w.put_u64(p.rtree_backed as u64);
+            w.put_u64(p.hash_tree_nodes as u64);
+            w.put_u64(p.counter_bytes as u64);
+            w.put_duration(p.scan_time);
+            w.put_duration(p.merge_time);
+            w.put_u64(p.shard_scan_times.len() as u64);
+            for &d in &p.shard_scan_times {
+                w.put_duration(d);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Check every invariant decode relies on. `Err` carries the section
+    /// the violation would live in on disk.
+    fn validate(&self) -> Result<(), StoreError> {
+        let corrupt = |section, detail: String| StoreError::Corrupt { section, detail };
+        if self.encoders.len() != self.schema.len() {
+            return Err(corrupt(
+                "schema",
+                format!(
+                    "{} encoder(s) for {} attribute(s)",
+                    self.encoders.len(),
+                    self.schema.len()
+                ),
+            ));
+        }
+        for (id, def) in self.schema.iter() {
+            let enc = &self.encoders[id.index()];
+            validate_encoder(def.name(), def.kind(), enc)?;
+        }
+        if let Some(verdicts) = &self.interest {
+            if verdicts.len() != self.rules.len() {
+                return Err(corrupt(
+                    "rules",
+                    format!(
+                        "{} interest verdict(s) for {} rule(s)",
+                        verdicts.len(),
+                        self.rules.len()
+                    ),
+                ));
+            }
+        }
+        for (i, rule) in self.rules.iter().enumerate() {
+            validate_itemset(i, "antecedent", &rule.antecedent, &self.encoders)?;
+            validate_itemset(i, "consequent", &rule.consequent, &self.encoders)?;
+            let overlap = rule
+                .antecedent
+                .items()
+                .iter()
+                .any(|a| rule.consequent.items().iter().any(|c| c.attr == a.attr));
+            if overlap {
+                return Err(corrupt(
+                    "rules",
+                    format!("rule {i}: antecedent and consequent share an attribute"),
+                ));
+            }
+        }
+        if self.stats.intervals_per_attribute.len() != self.schema.len() {
+            return Err(corrupt(
+                "stats",
+                format!(
+                    "{} interval count(s) for {} attribute(s)",
+                    self.stats.intervals_per_attribute.len(),
+                    self.schema.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl RuleDecoder for Catalog {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn encoder(&self, id: AttributeId) -> &AttributeEncoder {
+        &self.encoders[id.index()]
+    }
+}
+
+fn encode_itemset(w: &mut Writer, itemset: &Itemset) {
+    w.put_u64(itemset.items().len() as u64);
+    for item in itemset.items() {
+        w.put_u32(item.attr);
+        w.put_u32(item.lo);
+        w.put_u32(item.hi);
+    }
+}
+
+fn encode_encoder(w: &mut Writer, enc: &AttributeEncoder) {
+    match enc {
+        AttributeEncoder::Categorical { labels } => {
+            w.put_u8(0);
+            w.put_u64(labels.len() as u64);
+            for l in labels {
+                w.put_str(l);
+            }
+        }
+        AttributeEncoder::QuantValues { values, integral } => {
+            w.put_u8(1);
+            w.put_u64(values.len() as u64);
+            for &v in values {
+                w.put_f64(v);
+            }
+            w.put_bool(*integral);
+        }
+        AttributeEncoder::QuantIntervals {
+            cuts,
+            display,
+            integral,
+        } => {
+            w.put_u8(2);
+            w.put_u64(cuts.len() as u64);
+            for &c in cuts {
+                w.put_f64(c);
+            }
+            w.put_u64(display.len() as u64);
+            for spec in display {
+                w.put_f64(spec.lo);
+                w.put_f64(spec.hi);
+            }
+            w.put_bool(*integral);
+        }
+        AttributeEncoder::CategoricalTaxonomy {
+            labels,
+            sorted_index,
+            groups,
+        } => {
+            w.put_u8(3);
+            w.put_u64(labels.len() as u64);
+            for l in labels {
+                w.put_str(l);
+            }
+            w.put_u64(sorted_index.len() as u64);
+            for &i in sorted_index {
+                w.put_u32(i);
+            }
+            w.put_u64(groups.len() as u64);
+            for (name, lo, hi) in groups {
+                w.put_str(name);
+                w.put_u32(*lo);
+                w.put_u32(*hi);
+            }
+        }
+    }
+}
+
+fn decode_schema(payload: &[u8]) -> Result<(Schema, Vec<AttributeEncoder>), StoreError> {
+    let mut r = Reader::new(payload);
+    r.set_section("schema");
+    let count = r.get_count(2)?; // name len prefix + kind byte at minimum
+    let mut defs = Vec::with_capacity(count);
+    let mut encoders = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = r.get_str()?;
+        let kind = match r.get_u8()? {
+            0 => AttributeKind::Quantitative,
+            1 => AttributeKind::Categorical,
+            b => return Err(r.corrupt(format!("attribute kind byte is {b}"))),
+        };
+        let def = match kind {
+            AttributeKind::Quantitative => AttributeDef::quantitative(name),
+            AttributeKind::Categorical => AttributeDef::categorical(name),
+        };
+        encoders.push(decode_encoder(&mut r)?);
+        defs.push(def);
+    }
+    if r.remaining() > 0 {
+        return Err(r.corrupt(format!("{} unread byte(s) in section", r.remaining())));
+    }
+    let schema = Schema::new(defs).map_err(|e| StoreError::Corrupt {
+        section: "schema",
+        detail: e.to_string(),
+    })?;
+    Ok((schema, encoders))
+}
+
+fn decode_encoder(r: &mut Reader<'_>) -> Result<AttributeEncoder, StoreError> {
+    match r.get_u8()? {
+        0 => {
+            let n = r.get_count(8)?;
+            let mut labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                labels.push(r.get_str()?);
+            }
+            Ok(AttributeEncoder::Categorical { labels })
+        }
+        1 => {
+            let n = r.get_count(8)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.get_f64()?);
+            }
+            let integral = r.get_bool()?;
+            Ok(AttributeEncoder::QuantValues { values, integral })
+        }
+        2 => {
+            let n = r.get_count(8)?;
+            let mut cuts = Vec::with_capacity(n);
+            for _ in 0..n {
+                cuts.push(r.get_f64()?);
+            }
+            let n = r.get_count(16)?;
+            let mut display = Vec::with_capacity(n);
+            for _ in 0..n {
+                let lo = r.get_f64()?;
+                let hi = r.get_f64()?;
+                display.push(IntervalSpec { lo, hi });
+            }
+            let integral = r.get_bool()?;
+            Ok(AttributeEncoder::QuantIntervals {
+                cuts,
+                display,
+                integral,
+            })
+        }
+        3 => {
+            let n = r.get_count(8)?;
+            let mut labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                labels.push(r.get_str()?);
+            }
+            let n = r.get_count(4)?;
+            let mut sorted_index = Vec::with_capacity(n);
+            for _ in 0..n {
+                sorted_index.push(r.get_u32()?);
+            }
+            let n = r.get_count(16)?;
+            let mut groups = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.get_str()?;
+                let lo = r.get_u32()?;
+                let hi = r.get_u32()?;
+                groups.push((name, lo, hi));
+            }
+            Ok(AttributeEncoder::CategoricalTaxonomy {
+                labels,
+                sorted_index,
+                groups,
+            })
+        }
+        b => Err(r.corrupt(format!("unknown encoder tag {b}"))),
+    }
+}
+
+/// Check one encoder's internal invariants (the ones `encode`,
+/// `describe_range`, and `numeric_bounds` assume).
+fn validate_encoder(
+    name: &str,
+    kind: AttributeKind,
+    enc: &AttributeEncoder,
+) -> Result<(), StoreError> {
+    let corrupt = |detail: String| StoreError::Corrupt {
+        section: "schema",
+        detail: format!("attribute {name}: {detail}"),
+    };
+    if enc.is_quantitative() != matches!(kind, AttributeKind::Quantitative) {
+        return Err(corrupt(format!(
+            "{} encoder on a {} attribute",
+            if enc.is_quantitative() {
+                "quantitative"
+            } else {
+                "categorical"
+            },
+            kind.name()
+        )));
+    }
+    match enc {
+        AttributeEncoder::Categorical { labels } => {
+            if !labels.windows(2).all(|w| w[0] < w[1]) {
+                return Err(corrupt("labels are not sorted and distinct".into()));
+            }
+        }
+        AttributeEncoder::QuantValues { values, .. } => {
+            if values.iter().any(|v| !v.is_finite()) {
+                return Err(corrupt("non-finite value".into()));
+            }
+            if !values.windows(2).all(|w| w[0] < w[1]) {
+                return Err(corrupt("values are not sorted and distinct".into()));
+            }
+        }
+        AttributeEncoder::QuantIntervals { cuts, display, .. } => {
+            if cuts.iter().any(|c| !c.is_finite())
+                || display
+                    .iter()
+                    .any(|s| !s.lo.is_finite() || !s.hi.is_finite())
+            {
+                return Err(corrupt("non-finite cut or display bound".into()));
+            }
+            if !cuts.windows(2).all(|w| w[0] < w[1]) {
+                return Err(corrupt("cut points are not strictly increasing".into()));
+            }
+            if display.len() != cuts.len() + 1 {
+                return Err(corrupt(format!(
+                    "{} display interval(s) for {} cut(s)",
+                    display.len(),
+                    cuts.len()
+                )));
+            }
+            if display.iter().any(|s| s.lo > s.hi) || display.windows(2).any(|w| w[0].hi > w[1].lo)
+            {
+                return Err(corrupt("display intervals are not ordered".into()));
+            }
+        }
+        AttributeEncoder::CategoricalTaxonomy {
+            labels,
+            sorted_index,
+            groups,
+        } => {
+            if sorted_index.len() != labels.len() {
+                return Err(corrupt(format!(
+                    "sorted index has {} entries for {} label(s)",
+                    sorted_index.len(),
+                    labels.len()
+                )));
+            }
+            let mut seen = vec![false; labels.len()];
+            for &i in sorted_index {
+                match seen.get_mut(i as usize) {
+                    Some(s) if !*s => *s = true,
+                    _ => return Err(corrupt("sorted index is not a permutation".into())),
+                }
+            }
+            let in_order = sorted_index
+                .windows(2)
+                .all(|w| labels[w[0] as usize] < labels[w[1] as usize]);
+            if !in_order {
+                return Err(corrupt("sorted index is not in label order".into()));
+            }
+            for (gname, lo, hi) in groups {
+                if lo > hi || *hi as usize >= labels.len() {
+                    return Err(corrupt(format!("group {gname} spans {lo}..{hi}")));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_itemset(r: &mut Reader<'_>) -> Result<Itemset, StoreError> {
+    let n = r.get_count(12)?;
+    let mut items = Vec::with_capacity(n);
+    let mut prev_attr = None;
+    for _ in 0..n {
+        let attr = r.get_u32()?;
+        let lo = r.get_u32()?;
+        let hi = r.get_u32()?;
+        if lo > hi {
+            return Err(r.corrupt(format!("item on attribute {attr} has lo {lo} > hi {hi}")));
+        }
+        if prev_attr.is_some_and(|p| p >= attr) {
+            return Err(r.corrupt("itemset attributes are not strictly increasing"));
+        }
+        prev_attr = Some(attr);
+        items.push(Item::range(attr, lo, hi));
+    }
+    if items.is_empty() {
+        return Err(r.corrupt("empty itemset"));
+    }
+    Ok(Itemset::new(items))
+}
+
+/// Decoded rules-section payload: row count, rules, optional interest
+/// verdicts (one per rule when present).
+type RulesSection = (u64, Vec<QuantRule>, Option<Vec<RuleInterest>>);
+
+fn decode_rules(payload: &[u8]) -> Result<RulesSection, StoreError> {
+    let mut r = Reader::new(payload);
+    r.set_section("rules");
+    let num_rows = r.get_u64()?;
+    let count = r.get_count(12 * 2 + 16)?; // two 1-item itemsets + support + confidence
+    let mut rules = Vec::with_capacity(count);
+    for _ in 0..count {
+        let antecedent = decode_itemset(&mut r)?;
+        let consequent = decode_itemset(&mut r)?;
+        let support = r.get_u64()?;
+        let confidence = r.get_f64()?;
+        rules.push(QuantRule {
+            antecedent,
+            consequent,
+            support,
+            confidence,
+        });
+    }
+    let interest = if r.get_bool()? {
+        let mut verdicts = Vec::with_capacity(rules.len());
+        for _ in 0..rules.len() {
+            let bits = r.get_u8()?;
+            if bits > 0b11 {
+                return Err(r.corrupt(format!("interest bits are {bits:#04b}")));
+            }
+            verdicts.push(RuleInterest {
+                interesting: bits & 1 != 0,
+                has_ancestors: bits & 2 != 0,
+            });
+        }
+        Some(verdicts)
+    } else {
+        None
+    };
+    if r.remaining() > 0 {
+        return Err(r.corrupt(format!("{} unread byte(s) in section", r.remaining())));
+    }
+    Ok((num_rows, rules, interest))
+}
+
+fn decode_stats(payload: &[u8]) -> Result<MiningStats, StoreError> {
+    let mut r = Reader::new(payload);
+    r.set_section("stats");
+    let count = r.get_count(1)?;
+    let mut intervals_per_attribute = Vec::with_capacity(count);
+    for _ in 0..count {
+        intervals_per_attribute.push(if r.get_bool()? {
+            Some(r.get_u64()? as usize)
+        } else {
+            None
+        });
+    }
+    let rules_total = r.get_u64()? as usize;
+    let rules_interesting = r.get_u64()? as usize;
+    let elapsed = r.get_duration()?;
+    let elapsed_mining = r.get_duration()?;
+    let encoding_reused = r.get_bool()?;
+    let count = r.get_count(8)?;
+    let mut candidates_per_pass = Vec::with_capacity(count);
+    for _ in 0..count {
+        candidates_per_pass.push(r.get_u64()? as usize);
+    }
+    let interest_pruned_items = r.get_u64()? as usize;
+    let pass1_scan_time = r.get_duration()?;
+    let parallelism = r.get_u64()? as usize;
+    let count = r.get_count(5 * 8 + 2 * 12 + 8)?;
+    let mut pass_stats = Vec::with_capacity(count);
+    for _ in 0..count {
+        let super_candidates = r.get_u64()? as usize;
+        let array_backed = r.get_u64()? as usize;
+        let rtree_backed = r.get_u64()? as usize;
+        let hash_tree_nodes = r.get_u64()? as usize;
+        let counter_bytes = r.get_u64()? as usize;
+        let scan_time = r.get_duration()?;
+        let merge_time = r.get_duration()?;
+        let shards = r.get_count(12)?;
+        let mut shard_scan_times = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            shard_scan_times.push(r.get_duration()?);
+        }
+        pass_stats.push(PassStats {
+            super_candidates,
+            array_backed,
+            rtree_backed,
+            hash_tree_nodes,
+            counter_bytes,
+            scan_time,
+            merge_time,
+            shard_scan_times,
+        });
+    }
+    if r.remaining() > 0 {
+        return Err(r.corrupt(format!("{} unread byte(s) in section", r.remaining())));
+    }
+    Ok(MiningStats {
+        intervals_per_attribute,
+        mine: MineStats {
+            candidates_per_pass,
+            pass_stats,
+            interest_pruned_items,
+            pass1_scan_time,
+            parallelism,
+        },
+        rules_total,
+        rules_interesting,
+        elapsed,
+        elapsed_mining,
+        encoding_reused,
+    })
+}
+
+/// Check an in-memory itemset against the catalog's encoders: non-empty,
+/// every attribute known, every code within the attribute's cardinality.
+/// (`Item`/`Itemset` construction already guarantees `lo <= hi` and
+/// strictly increasing attributes.)
+fn validate_itemset(
+    rule: usize,
+    side: &str,
+    itemset: &Itemset,
+    encoders: &[AttributeEncoder],
+) -> Result<(), StoreError> {
+    let corrupt = |detail: String| StoreError::Corrupt {
+        section: "rules",
+        detail,
+    };
+    if itemset.items().is_empty() {
+        return Err(corrupt(format!("rule {rule}: empty {side}")));
+    }
+    for item in itemset.items() {
+        let Some(enc) = encoders.get(item.attr as usize) else {
+            return Err(corrupt(format!(
+                "rule {rule}: {side} references unknown attribute {}",
+                item.attr
+            )));
+        };
+        if item.hi >= enc.cardinality() {
+            return Err(corrupt(format!(
+                "rule {rule}: {side} codes {}..{} exceed cardinality {} of attribute {}",
+                item.lo,
+                item.hi,
+                enc.cardinality(),
+                item.attr
+            )));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Structured errors for catalog I/O and decoding.
+//!
+//! Every way a `.qarcat` file can be malformed maps to a variant here —
+//! decoding never panics on untrusted bytes, no matter how they were
+//! corrupted (the round-trip property test flips bytes at random offsets
+//! to enforce this).
+
+use std::fmt;
+
+/// Why a catalog could not be written, read, or decoded.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying read or write failed.
+    Io(std::io::Error),
+    /// The file does not start with the `QARCAT\r\n` magic — not a
+    /// catalog, or mangled by a text-mode transfer.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The input ended before a length-prefixed value was complete.
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+        /// Bytes the read needed beyond what remained.
+        needed: usize,
+    },
+    /// A section's CRC-32 did not match its framing + payload bytes.
+    ChecksumMismatch {
+        /// Which section failed (`"schema"`, `"rules"`, `"stats"`).
+        section: &'static str,
+    },
+    /// A section's payload decoded to something structurally invalid
+    /// (out-of-range code, unsorted itemset, impossible count, ...).
+    Corrupt {
+        /// Which section the problem is in.
+        section: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Well-formed sections were followed by extra bytes.
+    TrailingBytes {
+        /// Offset of the first unexpected byte.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "catalog I/O error: {e}"),
+            StoreError::BadMagic => {
+                write!(f, "not a .qarcat file (bad magic header)")
+            }
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported catalog format version {v}")
+            }
+            StoreError::Truncated { offset, needed } => write!(
+                f,
+                "catalog truncated at byte {offset} ({needed} more byte(s) needed)"
+            ),
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section} section")
+            }
+            StoreError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section} section: {detail}")
+            }
+            StoreError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after final section (offset {offset})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,317 @@
+//! The in-memory query engine over a catalog's rules.
+//!
+//! [`RuleIndex`] answers three query shapes without scanning the ruleset:
+//!
+//! * **Point** ([`RuleIndex::query_record`]): which rules *fire* for a
+//!   record — every antecedent item matched by the record's code on that
+//!   attribute. Exact (single-code) antecedent items live in per-code
+//!   posting lists; range items live in a per-attribute 1-D
+//!   [`RStarTree`] over code space. A per-rule match counter turns the
+//!   union of lookups into "all antecedent items matched".
+//! * **Overlap** ([`RuleIndex::query_range`]): which rules *mention* a
+//!   value range on a quantitative attribute, on either side of the
+//!   arrow. These trees are built in raw value space (via
+//!   [`AttributeEncoder::numeric_bounds`]) so a query range that falls
+//!   between observed values still hits the enclosing intervals.
+//! * **Top-k** ([`RuleIndex::top_k`], [`RuleIndex::rank`]): rules by
+//!   support, confidence, or interest verdict, precomputed once.
+//!
+//! Rule ids are indices into [`Catalog::rules`], so every query result
+//! can be decoded and rendered through the catalog.
+
+use crate::catalog::Catalog;
+use qar_rtree::{RStarTree, Rect};
+use qar_table::AttributeEncoder;
+use qar_trace::{event::micros, ProgressSink, TraceEvent};
+use std::time::Instant;
+
+/// Ranking metric for [`RuleIndex::top_k`] and [`RuleIndex::rank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankBy {
+    /// Support count, descending.
+    Support,
+    /// Confidence, descending.
+    Confidence,
+    /// Interesting rules first (per the catalog's verdicts), then by
+    /// confidence. Falls back to confidence order when the catalog has
+    /// no interest verdicts.
+    Interest,
+}
+
+impl std::str::FromStr for RankBy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "support" => Ok(RankBy::Support),
+            "confidence" => Ok(RankBy::Confidence),
+            "interest" => Ok(RankBy::Interest),
+            other => Err(format!(
+                "unknown ranking '{other}' (expected support, confidence, or interest)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for RankBy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RankBy::Support => "support",
+            RankBy::Confidence => "confidence",
+            RankBy::Interest => "interest",
+        })
+    }
+}
+
+/// Interval-indexed view of one catalog's rules. Build once with
+/// [`RuleIndex::build`], query many times.
+pub struct RuleIndex {
+    /// Antecedent length per rule — the match-count target.
+    ant_len: Vec<u32>,
+    /// `postings[attr][code]` → rules whose antecedent has the exact
+    /// item `⟨attr, code⟩`.
+    postings: Vec<Vec<Vec<u32>>>,
+    /// Per-attribute interval tree over *code* space for antecedent
+    /// range items (`lo < hi`).
+    point_trees: Vec<Option<RStarTree<u32>>>,
+    /// Per-attribute interval tree over *value* space for every item
+    /// (antecedent and consequent) with numeric bounds.
+    mention_trees: Vec<Option<RStarTree<u32>>>,
+    /// Rule ids in descending order per metric.
+    by_support: Vec<u32>,
+    by_confidence: Vec<u32>,
+    by_interest: Vec<u32>,
+}
+
+impl RuleIndex {
+    /// Index `catalog`'s rules, reporting a [`TraceEvent::IndexBuilt`]
+    /// to `sink`.
+    pub fn build(catalog: &Catalog, sink: Option<&dyn ProgressSink>) -> Self {
+        let start = Instant::now();
+        let num_attrs = catalog.schema().len();
+        let rules = catalog.rules();
+
+        let mut postings: Vec<Vec<Vec<u32>>> = catalog
+            .encoders()
+            .iter()
+            .map(|e| vec![Vec::new(); e.cardinality() as usize])
+            .collect();
+        let mut point_items: Vec<Vec<(f64, f64, u32)>> = vec![Vec::new(); num_attrs];
+        let mut mention_items: Vec<Vec<(f64, f64, u32)>> = vec![Vec::new(); num_attrs];
+        let mut ant_len = Vec::with_capacity(rules.len());
+        let mut posting_entries = 0usize;
+
+        for (id, rule) in rules.iter().enumerate() {
+            let id = id as u32;
+            ant_len.push(rule.antecedent.items().len() as u32);
+            for item in rule.antecedent.items() {
+                if item.lo == item.hi {
+                    postings[item.attr as usize][item.lo as usize].push(id);
+                    posting_entries += 1;
+                } else {
+                    point_items[item.attr as usize].push((item.lo as f64, item.hi as f64, id));
+                }
+            }
+            for item in rule
+                .antecedent
+                .items()
+                .iter()
+                .chain(rule.consequent.items())
+            {
+                let enc = &catalog.encoders()[item.attr as usize];
+                if let Some((lo, hi)) = enc.numeric_bounds(item.lo, item.hi) {
+                    mention_items[item.attr as usize].push((lo, hi, id));
+                }
+            }
+        }
+
+        let interval_entries = point_items.iter().map(Vec::len).sum::<usize>()
+            + mention_items.iter().map(Vec::len).sum::<usize>();
+        let to_tree = |items: Vec<(f64, f64, u32)>| {
+            (!items.is_empty()).then(|| RStarTree::bulk_load_intervals(items))
+        };
+        let point_trees = point_items.into_iter().map(to_tree).collect();
+        let mention_trees = mention_items.into_iter().map(to_tree).collect();
+
+        let ids = || (0..rules.len() as u32).collect::<Vec<u32>>();
+        let mut by_support = ids();
+        by_support.sort_by(|&a, &b| {
+            let (ra, rb) = (&rules[a as usize], &rules[b as usize]);
+            rb.support.cmp(&ra.support).then(a.cmp(&b))
+        });
+        let mut by_confidence = ids();
+        by_confidence.sort_by(|&a, &b| {
+            let (ra, rb) = (&rules[a as usize], &rules[b as usize]);
+            rb.confidence
+                .total_cmp(&ra.confidence)
+                .then(rb.support.cmp(&ra.support))
+                .then(a.cmp(&b))
+        });
+        let mut by_interest = ids();
+        by_interest.sort_by(|&a, &b| {
+            let interesting = |i: u32| catalog.interest().is_none_or(|v| v[i as usize].interesting);
+            let (ra, rb) = (&rules[a as usize], &rules[b as usize]);
+            interesting(b)
+                .cmp(&interesting(a))
+                .then(rb.confidence.total_cmp(&ra.confidence))
+                .then(rb.support.cmp(&ra.support))
+                .then(a.cmp(&b))
+        });
+
+        let index = RuleIndex {
+            ant_len,
+            postings,
+            point_trees,
+            mention_trees,
+            by_support,
+            by_confidence,
+            by_interest,
+        };
+        if let Some(sink) = sink {
+            sink.on_event(&TraceEvent::IndexBuilt {
+                rules: rules.len(),
+                posting_entries,
+                interval_entries,
+                elapsed_us: micros(start.elapsed()),
+            });
+        }
+        index
+    }
+
+    /// Rules indexed.
+    pub fn num_rules(&self) -> usize {
+        self.ant_len.len()
+    }
+
+    /// Rules that fire for a record given as `(attribute id, code)`
+    /// pairs: every antecedent item's attribute is present and its code
+    /// range contains the record's code. Returns ascending rule ids.
+    ///
+    /// Attributes the record does not supply simply fail any rule that
+    /// requires them; duplicate attributes keep the first occurrence;
+    /// unknown attributes and out-of-range codes match nothing.
+    pub fn query_record(&self, record: &[(u32, u32)]) -> Vec<u32> {
+        let mut matches = vec![0u32; self.num_rules()];
+        let mut seen = vec![false; self.postings.len()];
+        for &(attr, code) in record {
+            let Some(seen_slot) = seen.get_mut(attr as usize) else {
+                continue;
+            };
+            if std::mem::replace(seen_slot, true) {
+                continue;
+            }
+            if let Some(ids) = self.postings[attr as usize].get(code as usize) {
+                for &id in ids {
+                    matches[id as usize] += 1;
+                }
+            }
+            if let Some(tree) = &self.point_trees[attr as usize] {
+                tree.query_point(&[code as f64], |&id| matches[id as usize] += 1);
+            }
+        }
+        matches
+            .iter()
+            .enumerate()
+            .filter(|&(id, &m)| m == self.ant_len[id])
+            .map(|(id, _)| id as u32)
+            .collect()
+    }
+
+    /// Rules mentioning a value range `[lo, hi]` on a quantitative
+    /// attribute (either rule side, bounds inclusive, in raw value
+    /// space). Returns ascending rule ids; empty for unknown/categorical
+    /// attributes or an empty range (`lo > hi`).
+    pub fn query_range(&self, attr: u32, lo: f64, hi: f64) -> Vec<u32> {
+        let Some(Some(tree)) = self.mention_trees.get(attr as usize) else {
+            return Vec::new();
+        };
+        if lo > hi || lo.is_nan() || hi.is_nan() {
+            return Vec::new();
+        }
+        let mut ids = Vec::new();
+        tree.query_intersecting(&Rect::new(&[lo], &[hi]), |&id| ids.push(id));
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The first `k` rule ids under `by` (all of them when
+    /// `k >= num_rules`).
+    pub fn top_k(&self, by: RankBy, k: usize) -> Vec<u32> {
+        let order = self.order(by);
+        order[..k.min(order.len())].to_vec()
+    }
+
+    /// Sort `ids` into the `by` ranking (e.g. to rank the result of a
+    /// point or overlap query).
+    pub fn rank(&self, ids: &mut [u32], by: RankBy) {
+        let order = self.order(by);
+        let mut pos = vec![u32::MAX; self.num_rules()];
+        for (p, &id) in order.iter().enumerate() {
+            pos[id as usize] = p as u32;
+        }
+        ids.sort_by_key(|&id| pos.get(id as usize).copied().unwrap_or(u32::MAX));
+    }
+
+    fn order(&self, by: RankBy) -> &[u32] {
+        match by {
+            RankBy::Support => &self.by_support,
+            RankBy::Confidence => &self.by_confidence,
+            RankBy::Interest => &self.by_interest,
+        }
+    }
+}
+
+/// Naive reference for [`RuleIndex::query_record`]: linear scan over all
+/// rules checking antecedent coverage item by item. The property tests
+/// assert the index returns exactly this.
+pub fn naive_query_record(catalog: &Catalog, record: &[(u32, u32)]) -> Vec<u32> {
+    let mut seen: Vec<(u32, u32)> = Vec::new();
+    for &(attr, code) in record {
+        if !seen.iter().any(|&(a, _)| a == attr) {
+            seen.push((attr, code));
+        }
+    }
+    catalog
+        .rules()
+        .iter()
+        .enumerate()
+        .filter(|(_, rule)| {
+            rule.antecedent.items().iter().all(|item| {
+                seen.iter()
+                    .any(|&(attr, code)| attr == item.attr && item.matches(code))
+            })
+        })
+        .map(|(id, _)| id as u32)
+        .collect()
+}
+
+/// Naive reference for [`RuleIndex::query_range`]: linear scan over all
+/// items of all rules, intersecting numeric bounds.
+pub fn naive_query_range(catalog: &Catalog, attr: u32, lo: f64, hi: f64) -> Vec<u32> {
+    if lo > hi || lo.is_nan() || hi.is_nan() {
+        return Vec::new();
+    }
+    let encoders = catalog.encoders();
+    let enc: &AttributeEncoder = match encoders.get(attr as usize) {
+        Some(e) => e,
+        None => return Vec::new(),
+    };
+    catalog
+        .rules()
+        .iter()
+        .enumerate()
+        .filter(|(_, rule)| {
+            rule.antecedent
+                .items()
+                .iter()
+                .chain(rule.consequent.items())
+                .any(|item| {
+                    item.attr == attr
+                        && enc
+                            .numeric_bounds(item.lo, item.hi)
+                            .is_some_and(|(ilo, ihi)| ilo <= hi && lo <= ihi)
+                })
+        })
+        .map(|(id, _)| id as u32)
+        .collect()
+}

@@ -1,0 +1,131 @@
+//! Property tests for the query engine: [`RuleIndex`] answers must match
+//! the naive linear-scan reference on arbitrary catalogs and on catalogs
+//! produced by a real mine of the planted dataset.
+
+mod common;
+
+use common::arb_catalog;
+use qar_core::{Miner, MinerConfig, PartitionSpec};
+use qar_datagen::{PlantedConfig, PlantedDataset};
+use qar_prng::Prng;
+use qar_store::{naive_query_range, naive_query_record, Catalog, RuleIndex};
+use qar_table::AttributeKind;
+
+/// A random record in code space: a subset of attributes (sometimes all,
+/// sometimes partial, sometimes with out-of-range codes the index must
+/// treat as non-matching).
+fn arb_record(rng: &mut Prng, catalog: &Catalog) -> Vec<(u32, u32)> {
+    let mut record = Vec::new();
+    for attr in 0..catalog.schema().len() as u32 {
+        if !rng.gen_bool(0.8) {
+            continue;
+        }
+        let card = catalog.encoders()[attr as usize].cardinality();
+        // Occasionally one past the end: unknown codes never match.
+        record.push((attr, rng.gen_range(0..card + 1)));
+    }
+    record
+}
+
+#[test]
+fn point_queries_match_naive_scan() {
+    qar_prng::cases(48, 0x901147, |case, rng| {
+        let catalog = arb_catalog(rng);
+        let index = RuleIndex::build(&catalog, None);
+        for _ in 0..16 {
+            let record = arb_record(rng, &catalog);
+            let got = index.query_record(&record);
+            let want = naive_query_record(&catalog, &record);
+            assert_eq!(got, want, "case {case}: record {record:?}");
+            // Double-entry check: every reported rule really covers the
+            // record.
+            for &id in &got {
+                let rule = &catalog.rules()[id as usize];
+                for item in rule.antecedent.items() {
+                    assert!(
+                        record
+                            .iter()
+                            .any(|&(a, c)| a == item.attr && item.matches(c)),
+                        "case {case}: rule {id} does not cover {record:?}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn range_queries_match_naive_scan() {
+    qar_prng::cases(48, 0x9A25E, |case, rng| {
+        let catalog = arb_catalog(rng);
+        let index = RuleIndex::build(&catalog, None);
+        for _ in 0..16 {
+            let attr = rng.gen_range(0..catalog.schema().len() as u32);
+            let a = rng.gen_range(-1.0e11..1.0e11);
+            let b = rng.gen_range(-1.0e11..1.0e11);
+            let (lo, hi) = (a.min(b), a.max(b));
+            assert_eq!(
+                index.query_range(attr, lo, hi),
+                naive_query_range(&catalog, attr, lo, hi),
+                "case {case}: range {attr}={lo}..{hi}"
+            );
+        }
+    });
+}
+
+/// The same agreement holds for a catalog captured from an actual mine,
+/// with records drawn from the mined table itself (so most queries hit).
+#[test]
+fn mined_catalog_queries_match_naive_scan() {
+    let data = PlantedDataset::generate(PlantedConfig {
+        num_records: 2_000,
+        seed: 1996,
+    });
+    let config = MinerConfig {
+        min_support: 0.05,
+        min_confidence: 0.4,
+        max_support: 0.5,
+        partitioning: PartitionSpec::FixedIntervals(10),
+        interest: None,
+        max_itemset_size: 2,
+        ..MinerConfig::default()
+    };
+    let out = Miner::new(config).mine(&data.table).expect("mine");
+    let catalog = Catalog::from_mining(&out);
+    assert!(!catalog.rules().is_empty(), "planted mine found rules");
+    let index = RuleIndex::build(&catalog, None);
+
+    // Records straight from the encoded table rows.
+    let encoded = &out.encoded;
+    for row in (0..2_000).step_by(37) {
+        let record: Vec<(u32, u32)> = catalog
+            .schema()
+            .iter()
+            .map(|(id, _)| (id.index() as u32, encoded.codes(id)[row]))
+            .collect();
+        assert_eq!(
+            index.query_record(&record),
+            naive_query_record(&catalog, &record),
+            "row {row}"
+        );
+    }
+
+    // Value-space windows over every quantitative attribute.
+    let mut rng = Prng::seed_from_u64(7);
+    for (id, def) in catalog.schema().iter() {
+        if def.kind() != AttributeKind::Quantitative {
+            continue;
+        }
+        let attr = id.index() as u32;
+        for _ in 0..32 {
+            let a = rng.gen_range(-50.0..150.0);
+            let b = rng.gen_range(-50.0..150.0);
+            let (lo, hi) = (a.min(b), a.max(b));
+            assert_eq!(
+                index.query_range(attr, lo, hi),
+                naive_query_range(&catalog, attr, lo, hi),
+                "attr {attr} range {lo}..{hi}"
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the `.qarcat` wire format: encode→decode is the
+//! identity (bit-exactly, including NaN confidences and extreme float
+//! values), and no corrupted or truncated input ever panics — every one
+//! surfaces a structured [`StoreError`].
+
+mod common;
+
+use common::arb_catalog;
+use qar_store::Catalog;
+
+/// Arbitrary valid catalogs survive encode → decode → encode with byte
+/// equality — the strongest round-trip statement, immune to `f64`
+/// comparison pitfalls (`NaN != NaN`).
+#[test]
+fn arbitrary_catalogs_round_trip_bit_exactly() {
+    qar_prng::cases(64, 0x5702E, |case, rng| {
+        let catalog = arb_catalog(rng);
+        let bytes = catalog.encode();
+        let back =
+            Catalog::decode(&bytes).unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
+        assert_eq!(back.encode(), bytes, "case {case}: re-encode differs");
+        assert_eq!(back.rules().len(), catalog.rules().len(), "case {case}");
+        assert_eq!(back.num_rows(), catalog.num_rows(), "case {case}");
+        assert_eq!(back.schema().len(), catalog.schema().len(), "case {case}");
+        assert_eq!(
+            back.interest().map(<[_]>::len),
+            catalog.interest().map(<[_]>::len),
+            "case {case}"
+        );
+    });
+}
+
+/// Flipping any single byte always produces an `Err` (the magic, version,
+/// and per-section CRCs leave no unprotected byte) and never a panic.
+#[test]
+fn single_byte_corruption_is_always_detected() {
+    qar_prng::cases(24, 0xC0552, |case, rng| {
+        let bytes = arb_catalog(rng).encode();
+        for _ in 0..64 {
+            let mut bad = bytes.clone();
+            let offset = rng.gen_range(0..bad.len());
+            let mask = rng.gen_range(1..256u32) as u8;
+            bad[offset] ^= mask;
+            let result = Catalog::decode(&bad);
+            assert!(
+                result.is_err(),
+                "case {case}: flipping byte {offset} with {mask:#04x} went undetected"
+            );
+        }
+    });
+}
+
+/// Every strict prefix of a valid catalog fails to decode (no truncation
+/// is silently accepted), and decoding never panics on any prefix.
+#[test]
+fn truncated_catalogs_always_error() {
+    qar_prng::cases(8, 0x7254C, |case, rng| {
+        let bytes = arb_catalog(rng).encode();
+        for len in 0..bytes.len() {
+            assert!(
+                Catalog::decode(&bytes[..len]).is_err(),
+                "case {case}: prefix of {len}/{} bytes decoded",
+                bytes.len()
+            );
+        }
+    });
+}
+
+/// Appending trailing garbage after a valid catalog is rejected too.
+#[test]
+fn trailing_bytes_are_rejected() {
+    qar_prng::cases(8, 0x72A17, |case, rng| {
+        let mut bytes = arb_catalog(rng).encode();
+        bytes.push(0);
+        assert!(
+            Catalog::decode(&bytes).is_err(),
+            "case {case}: trailing byte accepted"
+        );
+    });
+}

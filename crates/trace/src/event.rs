@@ -88,6 +88,35 @@ pub enum TraceEvent {
         /// True when a deadline expired, false for an explicit abort.
         deadline: bool,
     },
+    /// A rule catalog was serialized (`qar-store`'s `.qarcat` format).
+    CatalogSaved {
+        /// Rules written to the catalog.
+        rules: usize,
+        /// Total encoded size in bytes (header + sections).
+        bytes: u64,
+        /// Wall-clock of encode + write, µs.
+        elapsed_us: u64,
+    },
+    /// A rule catalog was opened and decoded (checksums verified).
+    CatalogLoaded {
+        /// Rules the catalog holds.
+        rules: usize,
+        /// Total encoded size in bytes.
+        bytes: u64,
+        /// Wall-clock of read + decode, µs.
+        elapsed_us: u64,
+    },
+    /// The in-memory query index over a catalog was built.
+    IndexBuilt {
+        /// Rules indexed.
+        rules: usize,
+        /// Entries across the categorical posting lists.
+        posting_entries: usize,
+        /// Entries across the R*-tree interval indexes.
+        interval_entries: usize,
+        /// Wall-clock of the index build, µs.
+        elapsed_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -99,6 +128,9 @@ impl TraceEvent {
             TraceEvent::PassFinished { .. } => "pass_finished",
             TraceEvent::RunFinished { .. } => "run_finished",
             TraceEvent::Cancelled { .. } => "cancelled",
+            TraceEvent::CatalogSaved { .. } => "catalog_saved",
+            TraceEvent::CatalogLoaded { .. } => "catalog_loaded",
+            TraceEvent::IndexBuilt { .. } => "index_built",
         }
     }
 
@@ -154,6 +186,32 @@ impl TraceEvent {
             ),
             TraceEvent::Cancelled { pass, deadline } => format!(
                 "{{\"event\":\"cancelled\",\"pass\":{pass},\"deadline\":{deadline}}}"
+            ),
+            TraceEvent::CatalogSaved {
+                rules,
+                bytes,
+                elapsed_us,
+            } => format!(
+                "{{\"event\":\"catalog_saved\",\"rules\":{rules},\"bytes\":{bytes},\
+                 \"elapsed_us\":{elapsed_us}}}"
+            ),
+            TraceEvent::CatalogLoaded {
+                rules,
+                bytes,
+                elapsed_us,
+            } => format!(
+                "{{\"event\":\"catalog_loaded\",\"rules\":{rules},\"bytes\":{bytes},\
+                 \"elapsed_us\":{elapsed_us}}}"
+            ),
+            TraceEvent::IndexBuilt {
+                rules,
+                posting_entries,
+                interval_entries,
+                elapsed_us,
+            } => format!(
+                "{{\"event\":\"index_built\",\"rules\":{rules},\
+                 \"posting_entries\":{posting_entries},\
+                 \"interval_entries\":{interval_entries},\"elapsed_us\":{elapsed_us}}}"
             ),
         }
     }
@@ -254,6 +312,35 @@ impl fmt::Display for TraceEvent {
                     "caller abort"
                 }
             ),
+            TraceEvent::CatalogSaved {
+                rules,
+                bytes,
+                elapsed_us,
+            } => write!(
+                f,
+                "catalog saved: {rules} rule(s), {bytes} bytes in {}",
+                fmt_us(*elapsed_us)
+            ),
+            TraceEvent::CatalogLoaded {
+                rules,
+                bytes,
+                elapsed_us,
+            } => write!(
+                f,
+                "catalog loaded: {rules} rule(s), {bytes} bytes in {}",
+                fmt_us(*elapsed_us)
+            ),
+            TraceEvent::IndexBuilt {
+                rules,
+                posting_entries,
+                interval_entries,
+                elapsed_us,
+            } => write!(
+                f,
+                "index built: {rules} rule(s), {posting_entries} posting + \
+                 {interval_entries} interval entries in {}",
+                fmt_us(*elapsed_us)
+            ),
         }
     }
 }
@@ -303,6 +390,22 @@ mod tests {
             TraceEvent::Cancelled {
                 pass: 3,
                 deadline: true,
+            },
+            TraceEvent::CatalogSaved {
+                rules: 44,
+                bytes: 18_000,
+                elapsed_us: 210,
+            },
+            TraceEvent::CatalogLoaded {
+                rules: 44,
+                bytes: 18_000,
+                elapsed_us: 95,
+            },
+            TraceEvent::IndexBuilt {
+                rules: 44,
+                posting_entries: 30,
+                interval_entries: 52,
+                elapsed_us: 40,
             },
         ];
         for event in events {

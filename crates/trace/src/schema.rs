@@ -446,12 +446,28 @@ mod tests {
                 pass: 2,
                 deadline: false,
             },
+            TraceEvent::CatalogSaved {
+                rules: 7,
+                bytes: 2048,
+                elapsed_us: 120,
+            },
+            TraceEvent::CatalogLoaded {
+                rules: 7,
+                bytes: 2048,
+                elapsed_us: 80,
+            },
+            TraceEvent::IndexBuilt {
+                rules: 7,
+                posting_entries: 12,
+                interval_entries: 5,
+                elapsed_us: 33,
+            },
         ];
         for event in events {
             schema
                 .validate_line(&event.to_json())
                 .unwrap_or_else(|e| panic!("{}: {e}", event.name()));
         }
-        assert_eq!(schema.event_names().len(), 5);
+        assert_eq!(schema.event_names().len(), 8);
     }
 }

@@ -18,10 +18,43 @@ QAR_TEST_THREADS=1 cargo test --workspace -q
 
 echo "==> trace smoke (events vs. schemas/trace_events.schema.json)"
 TRACE_FILE="$(mktemp)"
-trap 'rm -f "$TRACE_FILE"' EXIT
+STORE_DIR="$(mktemp -d)"
+trap 'rm -f "$TRACE_FILE"; rm -rf "$STORE_DIR"' EXIT
 ./target/release/smoke 2000 2.0 3 nointerest 0.3 0.2 --trace json \
     > /dev/null 2> "$TRACE_FILE"
 ./target/release/qar trace-check < "$TRACE_FILE"
+
+echo "==> store smoke (mine -> store -> store-check -> query -> diff)"
+./target/release/qar generate planted --records 2000 --seed 7 \
+    --output "$STORE_DIR/planted.csv"
+./target/release/qar mine --input "$STORE_DIR/planted.csv" \
+    --schema x0:quant,x1:quant,x2:quant,c:cat \
+    --minsup 0.1 --minconf 0.5 --maxsup 0.4 --intervals 10 --format json \
+    --store "$STORE_DIR/cat.qarcat" > "$STORE_DIR/mine.json"
+./target/release/qar store-check "$STORE_DIR/cat.qarcat" > /dev/null
+./target/release/qar store-check - < "$STORE_DIR/cat.qarcat" > /dev/null
+# An unfiltered JSON query must reproduce the mined rules array
+# byte-for-byte (drop mine's leading stats line and trailing brace).
+./target/release/qar query "$STORE_DIR/cat.qarcat" --format json \
+    > "$STORE_DIR/query.json"
+diff <(tail -n +2 "$STORE_DIR/mine.json" | head -n -1) \
+     <(tail -n +2 "$STORE_DIR/query.json")
+./target/release/qar query "$STORE_DIR/cat.qarcat" --record x0=50,c=A > /dev/null
+./target/release/qar query - --range x1=20..40 --top-k 5 --by support \
+    < "$STORE_DIR/cat.qarcat" > /dev/null
+# A single corrupted byte must be rejected.
+cp "$STORE_DIR/cat.qarcat" "$STORE_DIR/bad.qarcat"
+off=$(( $(stat -c %s "$STORE_DIR/bad.qarcat") / 2 ))
+orig=$(dd if="$STORE_DIR/bad.qarcat" bs=1 skip="$off" count=1 status=none \
+    | od -An -tu1 | tr -d ' ')
+rep='\xaa'; [ "$orig" = "170" ] && rep='\x55'
+printf "$rep" | dd of="$STORE_DIR/bad.qarcat" bs=1 seek="$off" conv=notrunc status=none
+if ./target/release/qar store-check "$STORE_DIR/bad.qarcat" > /dev/null 2>&1; then
+    echo "store-check accepted a corrupted catalog" >&2
+    exit 1
+fi
+# Query throughput floor (the bin exits non-zero below 10k queries/sec).
+QAR_BENCH_QUICK=1 ./target/release/store_query > /dev/null
 
 echo "==> clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -28,8 +28,45 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e.to_string()),
         },
+        Ok(Command::Query(query)) => match run_query(&query) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
+        Ok(Command::StoreCheck(check)) => match run_store_check(&check) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
         Err(e) => fail(&e.to_string()),
     }
+}
+
+/// Read a binary input that may be a path or `-` for stdin.
+fn read_input_bytes(path: &str) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin().read_to_end(&mut buf)?;
+        Ok(buf)
+    } else {
+        Ok(std::fs::read(path)?)
+    }
+}
+
+fn run_query(args: &cli::QueryArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = read_input_bytes(&args.catalog)?;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    cli::run_query(&bytes, args, &mut lock)?;
+    lock.flush()?;
+    Ok(())
+}
+
+fn run_store_check(args: &cli::StoreCheckArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let bytes = read_input_bytes(&args.input)?;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    cli::run_store_check(&bytes, &mut lock)?;
+    lock.flush()?;
+    Ok(())
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -68,8 +105,14 @@ fn run_trace_check(args: &cli::TraceCheckArgs) -> Result<(), Box<dyn std::error:
         .unwrap_or("schemas/trace_events.schema.json");
     let schema_text = std::fs::read_to_string(schema_path)
         .map_err(|e| format!("cannot read schema `{schema_path}`: {e}"))?;
-    let mut input = String::new();
-    std::io::stdin().read_to_string(&mut input)?;
+    let input = if args.input == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf
+    } else {
+        std::fs::read_to_string(&args.input)
+            .map_err(|e| format!("cannot read trace `{}`: {e}", args.input))?
+    };
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     cli::run_trace_check(&schema_text, &input, &mut lock)?;

@@ -14,10 +14,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use qar_core::{
-    InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec, PartitionStrategy,
+    InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec, PartitionStrategy, QuantRule,
+    RuleInterest,
 };
-use qar_table::{csv, Schema, SchemaBuilder, Table};
-use qar_trace::{CancelToken, TraceFormat, WriterSink};
+use qar_store::{Catalog, RankBy, RuleIndex};
+use qar_table::{csv, AttributeKind, Schema, SchemaBuilder, Table, Value};
+use qar_trace::{CancelToken, ProgressSink, TraceFormat, WriterSink};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +30,10 @@ pub enum Command {
     Generate(GenerateArgs),
     /// Validate a JSON-lines trace stream against the event schema.
     TraceCheck(TraceCheckArgs),
+    /// Query a stored rule catalog.
+    Query(QueryArgs),
+    /// Validate a `.qarcat` catalog file.
+    StoreCheck(StoreCheckArgs),
     /// Print usage.
     Help,
 }
@@ -55,14 +61,45 @@ pub struct MineArgs {
     pub trace: Option<TraceFormat>,
     /// Abort the run after this many seconds, reporting partial progress.
     pub deadline: Option<f64>,
+    /// Also write the mined ruleset to this `.qarcat` catalog file.
+    pub store: Option<String>,
 }
 
 /// Arguments of `qar trace-check`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceCheckArgs {
+    /// Trace file to validate; `-` (the default) reads stdin.
+    pub input: String,
     /// Schema file path; `None` uses the checked-in default
     /// (`schemas/trace_events.schema.json`).
     pub schema: Option<String>,
+}
+
+/// Arguments of `qar query`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// Catalog path (`-` = stdin).
+    pub catalog: String,
+    /// Point query: `attr=value,...` — rules whose antecedents cover
+    /// this record.
+    pub record: Option<String>,
+    /// Overlap query: `attr=lo..hi` — rules mentioning this value range.
+    pub range: Option<String>,
+    /// Keep only the first N rules after ranking (`None` = all).
+    pub top_k: Option<usize>,
+    /// Ranking metric; `None` preserves the catalog's mined order.
+    pub by: Option<RankBy>,
+    /// Output format.
+    pub format: OutputFormat,
+    /// Emit store trace events (catalog load, index build) to stderr.
+    pub trace: Option<TraceFormat>,
+}
+
+/// Arguments of `qar store-check`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreCheckArgs {
+    /// Catalog file to validate; `-` (the default) reads stdin.
+    pub input: String,
 }
 
 /// Output format for `qar mine`.
@@ -113,7 +150,9 @@ qar — mine quantitative association rules (Srikant & Agrawal, SIGMOD '96)
 USAGE:
   qar mine --input FILE --schema DECLS [options]
   qar generate DATASET [--records N] [--seed S] [--output FILE]
-  qar trace-check [--schema FILE]
+  qar query CATALOG [--record K=V,...|--range A=LO..HI] [--top-k N] [--by M]
+  qar store-check [CATALOG]
+  qar trace-check [TRACE] [--schema FILE]
   qar help
 
 MINE OPTIONS:
@@ -138,6 +177,8 @@ MINE OPTIONS:
                         one `child,parent` edge per line (repeatable)
   --trace F             emit per-pass trace events to stderr: json | text
   --deadline SECS       abort after SECS seconds, reporting partial progress
+  --store FILE          also write the ruleset to FILE as a .qarcat catalog
+                        (query it later with `qar query`, no re-mining)
 
 GENERATE:
   DATASET               credit | people | planted
@@ -145,12 +186,41 @@ GENERATE:
   --seed S              RNG seed                        [default 1996]
   --output FILE         destination (\"-\" for stdout)  [default -]
 
+QUERY:
+  CATALOG               .qarcat file written by `qar mine --store`
+                        (\"-\" reads the catalog from stdin)
+  --record K=V,...      rules that FIRE for this record: every antecedent
+                        item is satisfied by the record's value on that
+                        attribute
+  --range A=LO..HI      rules MENTIONING quantitative attribute A on
+                        [LO, HI] (either rule side, bounds inclusive)
+  --top-k N             keep only the first N rules after ranking (0 = all)
+  --by M                rank by support | confidence | interest
+                        [default: the catalog's mined order]
+  --format F            text | csv | json               [default text]
+
+STORE-CHECK:
+  Decodes a .qarcat catalog (\"-\" or no argument reads stdin), verifying
+  magic, version, section checksums, and structural invariants, then
+  prints a summary. Exits non-zero on any corruption.
+
 TRACE-CHECK:
-  Reads a JSON-lines trace stream (as written by --trace json) from stdin
-  and validates every event against the trace-event schema.
+  Reads a JSON-lines trace stream (as written by --trace json) from TRACE
+  (\"-\" or no argument reads stdin) and validates every event against the
+  trace-event schema.
   --schema FILE         schema to validate against
                         [default schemas/trace_events.schema.json]
 ";
+
+/// Split an optional leading positional argument (anything not starting
+/// with `--`) from the flags that follow. Returns the positional (or
+/// `default` when absent) and the remaining args.
+fn positional_then_flags<'a>(args: &'a [String], default: &str) -> (String, &'a [String]) {
+    match args.first() {
+        Some(a) if !a.starts_with("--") => (a.clone(), &args[1..]),
+        _ => (default.to_string(), args),
+    }
+}
 
 fn parse_flag_map(args: &[String]) -> Result<BTreeMap<String, String>, CliError> {
     let mut map: BTreeMap<String, String> = BTreeMap::new();
@@ -358,6 +428,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 taxonomy_files,
                 trace,
                 deadline,
+                store: map.get("store").cloned(),
             }))
         }
         "generate" => {
@@ -378,10 +449,65 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
             }))
         }
         "trace-check" => {
-            let map = parse_flag_map(&args[1..])?;
+            let (input, rest) = positional_then_flags(&args[1..], "-");
+            let map = parse_flag_map(rest)?;
             Ok(Command::TraceCheck(TraceCheckArgs {
+                input,
                 schema: map.get("schema").cloned(),
             }))
+        }
+        "query" => {
+            let (catalog, rest) = positional_then_flags(&args[1..], "");
+            if catalog.is_empty() {
+                return Err(err("query requires a CATALOG path (or `-` for stdin)"));
+            }
+            let map = parse_flag_map(rest)?;
+            let record = map.get("record").cloned();
+            let range = map.get("range").cloned();
+            if record.is_some() && range.is_some() {
+                return Err(err("--record and --range are mutually exclusive"));
+            }
+            let by = match map.get("by") {
+                None => None,
+                Some(v) => Some(v.parse::<RankBy>().map_err(|e| err(format!("--by: {e}")))?),
+            };
+            let top_k = match map.get("top-k") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| err(format!("--top-k: `{v}` is not an integer")))?,
+                ),
+            };
+            let format = match map.get("format").map(String::as_str) {
+                None | Some("text") => OutputFormat::Text,
+                Some("csv") => OutputFormat::Csv,
+                Some("json") => OutputFormat::Json,
+                Some(other) => return Err(err(format!("unknown format `{other}`"))),
+            };
+            let trace = match map.get("trace") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<TraceFormat>()
+                        .map_err(|_| err(format!("--trace: `{v}` is not json or text")))?,
+                ),
+            };
+            Ok(Command::Query(QueryArgs {
+                catalog,
+                record,
+                range,
+                top_k,
+                by,
+                format,
+                trace,
+            }))
+        }
+        "store-check" => {
+            let (input, rest) = positional_then_flags(&args[1..], "-");
+            parse_flag_map(rest)?; // no flags yet; reject unknown ones
+            if !rest.is_empty() {
+                return Err(err("store-check takes no flags"));
+            }
+            Ok(Command::StoreCheck(StoreCheckArgs { input }))
         }
         other => Err(err(format!("unknown command `{other}` (try `qar help`)"))),
     }
@@ -407,12 +533,19 @@ pub fn parse_taxonomy(text: &str) -> Result<qar_table::Taxonomy, CliError> {
     qar_table::Taxonomy::from_edges(&edges).map_err(|e| err(e.to_string()))
 }
 
+/// The stderr trace sink a `--trace` flag asks for, shared between the
+/// miner and the catalog store so their events interleave on one stream.
+pub fn trace_sink(trace: Option<TraceFormat>) -> Option<Arc<dyn ProgressSink>> {
+    trace
+        .map(|format| Arc::new(WriterSink::new(format, std::io::stderr())) as Arc<dyn ProgressSink>)
+}
+
 /// Build the [`Miner`] a `qar mine` invocation described: configuration
-/// plus the trace sink (stderr) and deadline token from the flags.
-pub fn build_miner(args: &MineArgs) -> Miner {
+/// plus the given progress sink and the deadline token from the flags.
+pub fn build_miner(args: &MineArgs, sink: Option<Arc<dyn ProgressSink>>) -> Miner {
     let mut miner = Miner::new(args.config.clone());
-    if let Some(format) = args.trace {
-        miner = miner.with_progress(Arc::new(WriterSink::new(format, std::io::stderr())));
+    if let Some(sink) = sink {
+        miner = miner.with_progress(sink);
     }
     if let Some(secs) = args.deadline {
         miner = miner.with_cancel(CancelToken::with_deadline(Duration::from_secs_f64(secs)));
@@ -428,7 +561,11 @@ pub fn run_mine_on_table(
     args: &MineArgs,
     out: &mut impl std::io::Write,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let result = build_miner(args).mine(table)?;
+    let sink = trace_sink(args.trace);
+    let result = build_miner(args, sink.clone()).mine(table)?;
+    if let Some(path) = &args.store {
+        Catalog::from_mining(&result).save(path, sink.as_deref())?;
+    }
     match args.format {
         OutputFormat::Csv => {
             qar_core::export::rules_to_csv(
@@ -549,6 +686,202 @@ pub fn run_trace_check(
     writeln!(out, "{total} events valid")?;
     for (name, n) in &counts {
         writeln!(out, "  {name}: {n}")?;
+    }
+    Ok(())
+}
+
+/// Parse a `--record attr=value,...` spec into `(attribute, code)` pairs
+/// using the catalog's schema and encoders. Quantitative values are
+/// numbers; categorical values are labels. Rejects unknown attributes,
+/// duplicate attributes, and values the encoder has never seen.
+pub fn parse_record(catalog: &Catalog, spec: &str) -> Result<Vec<(u32, u32)>, CliError> {
+    let mut record: Vec<(u32, u32)> = Vec::new();
+    for part in spec.split(',') {
+        let (name, value) = part
+            .split_once('=')
+            .ok_or_else(|| err(format!("record entry `{part}` must be attribute=value")))?;
+        let name = name.trim();
+        let def = catalog
+            .schema()
+            .attribute_by_name(name)
+            .map_err(|e| err(e.to_string()))?;
+        let id = catalog
+            .schema()
+            .iter()
+            .find(|(_, d)| d.name() == name)
+            .map(|(id, _)| id)
+            .expect("attribute_by_name succeeded");
+        if record.iter().any(|&(a, _)| a == id.index() as u32) {
+            return Err(err(format!("attribute `{name}` appears twice in --record")));
+        }
+        let value = value.trim();
+        let parsed = match def.kind() {
+            AttributeKind::Quantitative => Value::Float(
+                value
+                    .parse::<f64>()
+                    .map_err(|_| err(format!("`{value}` is not a number for `{name}`")))?,
+            ),
+            AttributeKind::Categorical => Value::from(value),
+        };
+        let code = catalog.encoders()[id.index()]
+            .encode(name, &parsed)
+            .map_err(|e| err(e.to_string()))?;
+        record.push((id.index() as u32, code));
+    }
+    if record.is_empty() {
+        return Err(err("record has no attributes"));
+    }
+    Ok(record)
+}
+
+/// Parse a `--range attr=lo..hi` spec against the catalog's schema.
+/// The attribute must be quantitative.
+pub fn parse_range(catalog: &Catalog, spec: &str) -> Result<(u32, f64, f64), CliError> {
+    let (name, bounds) = spec
+        .split_once('=')
+        .ok_or_else(|| err(format!("range `{spec}` must be attribute=lo..hi")))?;
+    let name = name.trim();
+    let def = catalog
+        .schema()
+        .attribute_by_name(name)
+        .map_err(|e| err(e.to_string()))?;
+    if def.kind() != AttributeKind::Quantitative {
+        return Err(err(format!(
+            "--range needs a quantitative attribute; `{name}` is categorical"
+        )));
+    }
+    let id = catalog
+        .schema()
+        .iter()
+        .find(|(_, d)| d.name() == name)
+        .map(|(id, _)| id)
+        .expect("attribute_by_name succeeded");
+    let (lo, hi) = bounds
+        .split_once("..")
+        .ok_or_else(|| err(format!("range bounds `{bounds}` must be lo..hi")))?;
+    let lo: f64 = lo
+        .trim()
+        .parse()
+        .map_err(|_| err(format!("`{lo}` is not a number")))?;
+    let hi: f64 = hi
+        .trim()
+        .parse()
+        .map_err(|_| err(format!("`{hi}` is not a number")))?;
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        return Err(err(format!("range {lo}..{hi} is empty")));
+    }
+    Ok((id.index() as u32, lo, hi))
+}
+
+/// Execute `qar query` against catalog bytes (already read from a file
+/// or stdin), writing matching rules to `out`.
+pub fn run_query(
+    bytes: &[u8],
+    args: &QueryArgs,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let sink = trace_sink(args.trace);
+    let catalog = Catalog::load_bytes(bytes, sink.as_deref())?;
+    let index = RuleIndex::build(&catalog, sink.as_deref());
+
+    let (mut ids, what) = if let Some(spec) = &args.record {
+        let record = parse_record(&catalog, spec)?;
+        (index.query_record(&record), "fire for the record")
+    } else if let Some(spec) = &args.range {
+        let (attr, lo, hi) = parse_range(&catalog, spec)?;
+        (index.query_range(attr, lo, hi), "mention the range")
+    } else {
+        ((0..catalog.rules().len() as u32).collect(), "stored")
+    };
+    let matched = ids.len();
+    if args.by.is_some() || args.top_k.is_some() {
+        index.rank(&mut ids, args.by.unwrap_or(RankBy::Confidence));
+    }
+    if let Some(k) = args.top_k {
+        if k > 0 {
+            ids.truncate(k);
+        }
+    }
+
+    let rules: Vec<QuantRule> = ids
+        .iter()
+        .map(|&i| catalog.rules()[i as usize].clone())
+        .collect();
+    let verdicts: Option<Vec<RuleInterest>> = catalog
+        .interest()
+        .map(|v| ids.iter().map(|&i| v[i as usize].clone()).collect());
+    match args.format {
+        OutputFormat::Csv => {
+            qar_core::export::rules_to_csv(
+                out,
+                &rules,
+                verdicts.as_deref(),
+                &catalog,
+                catalog.num_rows(),
+            )?;
+        }
+        OutputFormat::Json => {
+            qar_core::export::rules_to_json(
+                out,
+                &rules,
+                verdicts.as_deref(),
+                &catalog,
+                catalog.num_rows(),
+            )?;
+        }
+        OutputFormat::Text => {
+            writeln!(
+                out,
+                "{matched} of {} rules {what}{}",
+                catalog.rules().len(),
+                if rules.len() < matched {
+                    format!(" (showing {})", rules.len())
+                } else {
+                    String::new()
+                }
+            )?;
+            for rule in &rules {
+                writeln!(
+                    out,
+                    "  {}",
+                    qar_core::output::format_rule(rule, catalog.num_rows(), &catalog)
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Execute `qar store-check` against catalog bytes: decode with full
+/// validation and print a summary. Any corruption surfaces as an `Err`.
+pub fn run_store_check(
+    bytes: &[u8],
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::decode(bytes)?;
+    let interesting = catalog
+        .interest()
+        .map(|v| v.iter().filter(|r| r.interesting).count());
+    writeln!(
+        out,
+        "catalog OK: {} bytes, {} attribute(s), {} rule(s), {} row(s)",
+        bytes.len(),
+        catalog.schema().len(),
+        catalog.rules().len(),
+        catalog.num_rows(),
+    )?;
+    for (id, def) in catalog.schema().iter() {
+        writeln!(
+            out,
+            "  {} ({}, {} code(s))",
+            def.name(),
+            def.kind().name(),
+            catalog.encoders()[id.index()].cardinality(),
+        )?;
+    }
+    match interesting {
+        Some(n) => writeln!(out, "  interest verdicts: {n} interesting")?,
+        None => writeln!(out, "  interest verdicts: none")?,
     }
     Ok(())
 }
@@ -731,12 +1064,25 @@ mod tests {
     #[test]
     fn trace_check_parsing_and_validation() {
         let cmd = parse_command(&argv("trace-check")).unwrap();
-        assert_eq!(cmd, Command::TraceCheck(TraceCheckArgs { schema: None }));
-        let cmd = parse_command(&argv("trace-check --schema custom.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::TraceCheck(TraceCheckArgs {
+                input: "-".into(),
+                schema: None
+            })
+        );
+        // Positional input: a file path or `-` for stdin.
+        let cmd = parse_command(&argv("trace-check run.jsonl --schema custom.json")).unwrap();
         let Command::TraceCheck(args) = cmd else {
             panic!()
         };
+        assert_eq!(args.input, "run.jsonl");
         assert_eq!(args.schema.as_deref(), Some("custom.json"));
+        let cmd = parse_command(&argv("trace-check -")).unwrap();
+        let Command::TraceCheck(args) = cmd else {
+            panic!()
+        };
+        assert_eq!(args.input, "-");
 
         let schema_text = include_str!("../schemas/trace_events.schema.json");
         let good = "{\"event\":\"pass_started\",\"pass\":2,\"candidates\":7}\n";
@@ -807,5 +1153,128 @@ mod tests {
         run_mine_on_table(&table, &args, &mut report).expect("mine");
         let text = String::from_utf8(report).expect("utf8");
         assert!(text.contains("⟨Married: Yes⟩ ⇒ ⟨NumCars: 2⟩"), "{text}");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let cmd = parse_command(&argv("query cat.qarcat")).unwrap();
+        let Command::Query(args) = cmd else { panic!() };
+        assert_eq!(args.catalog, "cat.qarcat");
+        assert!(args.record.is_none() && args.range.is_none());
+        assert!(args.by.is_none() && args.top_k.is_none());
+        assert_eq!(args.format, OutputFormat::Text);
+
+        let cmd = parse_command(&argv(
+            "query - --record Age=30,Married=Yes --top-k 5 --by interest --format json",
+        ))
+        .unwrap();
+        let Command::Query(args) = cmd else { panic!() };
+        assert_eq!(args.catalog, "-"); // stdin
+        assert_eq!(args.record.as_deref(), Some("Age=30,Married=Yes"));
+        assert_eq!(args.top_k, Some(5));
+        assert_eq!(args.by, Some(RankBy::Interest));
+        assert_eq!(args.format, OutputFormat::Json);
+
+        let cmd = parse_command(&argv("query c.qarcat --range Age=30..40")).unwrap();
+        let Command::Query(args) = cmd else { panic!() };
+        assert_eq!(args.range.as_deref(), Some("Age=30..40"));
+
+        assert!(parse_command(&argv("query")).is_err()); // catalog required
+        assert!(parse_command(&argv("query c --record a=1 --range a=1..2")).is_err());
+        assert!(parse_command(&argv("query c --by niceness")).is_err());
+        assert!(parse_command(&argv("query c --top-k lots")).is_err());
+        assert!(parse_command(&argv("query c --format yaml")).is_err());
+    }
+
+    #[test]
+    fn store_check_parsing() {
+        let cmd = parse_command(&argv("store-check")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::StoreCheck(StoreCheckArgs { input: "-".into() })
+        );
+        let cmd = parse_command(&argv("store-check cat.qarcat")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::StoreCheck(StoreCheckArgs {
+                input: "cat.qarcat".into()
+            })
+        );
+        assert!(parse_command(&argv("store-check cat.qarcat --verbose yes")).is_err());
+    }
+
+    #[test]
+    fn mine_store_query_end_to_end() {
+        let gen = GenerateArgs {
+            dataset: "people".into(),
+            records: 0,
+            seed: 0,
+            output: "-".into(),
+        };
+        let mut csv_bytes = Vec::new();
+        run_generate(&gen, &mut csv_bytes).expect("generate");
+        let decls = parse_schema_decls("Age:quant,Married:cat,NumCars:quant").unwrap();
+        let schema = build_schema(&decls).unwrap();
+        let table = csv::read_table(csv_bytes.as_slice(), &schema).unwrap();
+
+        let store_path =
+            std::env::temp_dir().join(format!("qar-cli-end-to-end-{}.qarcat", std::process::id()));
+        let cmd = parse_command(&argv(
+            "mine --input - --schema Age:quant,Married:cat,NumCars:quant \
+             --minsup 0.4 --minconf 0.5 --maxsup 1.0 --no-partition --format json",
+        ))
+        .unwrap();
+        let Command::Mine(mut args) = cmd else {
+            panic!()
+        };
+        args.store = Some(store_path.to_str().unwrap().to_string());
+        let mut mine_out = Vec::new();
+        run_mine_on_table(&table, &args, &mut mine_out).expect("mine");
+        let mine_text = String::from_utf8(mine_out).unwrap();
+        let bytes = std::fs::read(&store_path).expect("catalog written");
+        std::fs::remove_file(&store_path).ok();
+
+        // `qar store-check` accepts the pristine catalog...
+        let mut check_out = Vec::new();
+        run_store_check(&bytes, &mut check_out).expect("store-check");
+        let check_text = String::from_utf8(check_out).unwrap();
+        assert!(check_text.starts_with("catalog OK:"), "{check_text}");
+
+        // ...and rejects a bit-flipped copy.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        assert!(run_store_check(&corrupt, &mut Vec::new()).is_err());
+
+        // An unfiltered JSON query reproduces the mined rules array
+        // byte-for-byte — the contract the CI store-smoke step relies on.
+        let cmd = parse_command(&argv("query - --format json")).unwrap();
+        let Command::Query(qargs) = cmd else { panic!() };
+        let mut query_out = Vec::new();
+        run_query(&bytes, &qargs, &mut query_out).expect("query");
+        let query_text = String::from_utf8(query_out).unwrap();
+        let rules_at = mine_text.find("\"rules\":").expect("rules key") + "\"rules\":".len();
+        let mined_rules = &mine_text[rules_at..mine_text.len() - "}\n".len()];
+        assert_eq!(query_text, mined_rules);
+
+        // A record query returns only rules whose antecedents cover it.
+        let cmd = parse_command(&argv("query - --record Married=Yes,NumCars=2")).unwrap();
+        let Command::Query(qargs) = cmd else { panic!() };
+        let mut rec_out = Vec::new();
+        run_query(&bytes, &qargs, &mut rec_out).expect("record query");
+        let rec_text = String::from_utf8(rec_out).unwrap();
+        assert!(rec_text.contains("fire for the record"), "{rec_text}");
+        assert!(rec_text.contains("⟨Married: Yes⟩"), "{rec_text}");
+
+        // A range query mentions the interval; an unknown label errors.
+        let cmd = parse_command(&argv("query - --range Age=20..30 --top-k 3")).unwrap();
+        let Command::Query(qargs) = cmd else { panic!() };
+        run_query(&bytes, &qargs, &mut Vec::new()).expect("range query");
+        let cmd = parse_command(&argv("query - --record Married=Perhaps")).unwrap();
+        let Command::Query(qargs) = cmd else { panic!() };
+        assert!(run_query(&bytes, &qargs, &mut Vec::new()).is_err());
+        let cmd = parse_command(&argv("query - --range Married=1..2")).unwrap();
+        let Command::Query(qargs) = cmd else { panic!() };
+        assert!(run_query(&bytes, &qargs, &mut Vec::new()).is_err());
     }
 }
