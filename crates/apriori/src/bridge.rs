@@ -53,6 +53,21 @@ impl BooleanMapping {
     pub fn num_items(&self) -> u32 {
         self.num_items
     }
+
+    /// Decode a whole boolean itemset back to `(attribute, code)` pairs,
+    /// sorted by attribute — the canonical relational form differential
+    /// tests compare against the quantitative miner's value itemsets.
+    pub fn decode_items(&self, items: &[u32]) -> Vec<(u32, u32)> {
+        let mut decoded: Vec<(u32, u32)> = items
+            .iter()
+            .map(|&item| {
+                let (attr, code) = self.decode(item);
+                (attr.index() as u32, code)
+            })
+            .collect();
+        decoded.sort_unstable();
+        decoded
+    }
 }
 
 /// Map an encoded relational table to a transaction database (Figure 2 of
@@ -122,6 +137,21 @@ mod tests {
                 assert_eq!(mapping.decode(item), (id, code));
             }
         }
+    }
+
+    #[test]
+    fn decode_items_sorts_by_attribute() {
+        let enc = people_encoded();
+        let mapping = BooleanMapping::from_encoded(&enc);
+        let married = enc.schema().id_of("married").unwrap();
+        let cars = enc.schema().id_of("num_cars").unwrap();
+        // Pass the items in reverse attribute order; decoding sorts them.
+        let items = [mapping.item_id(cars, 2), mapping.item_id(married, 1)];
+        assert_eq!(
+            mapping.decode_items(&items),
+            vec![(married.index() as u32, 1), (cars.index() as u32, 2)]
+        );
+        assert!(mapping.decode_items(&[]).is_empty());
     }
 
     #[test]

@@ -64,7 +64,6 @@ pub fn interest_prune_level1(
     interest_level: f64,
     is_quantitative: &dyn Fn(u32) -> bool,
 ) -> Vec<(Itemset, u64)> {
-    let threshold = 1.0 / interest_level;
     level1
         .into_iter()
         .filter(|(itemset, count)| {
@@ -72,7 +71,13 @@ pub fn interest_prune_level1(
             if !is_quantitative(item.attr) {
                 return true;
             }
-            (*count as f64 / frequent.num_rows as f64) <= threshold
+            // Keep iff support ≤ 1/R — the lemma prunes on *strict*
+            // excess. Stated multiplicatively (`count · R ≤ rows`) so a
+            // support sitting exactly on 1/R survives: the division form
+            // `count/rows ≤ 1/R` misjudges the boundary when both
+            // quotients round in opposite directions (e.g. rows = 3·10¹⁵,
+            // count = 10¹⁵, R = 3).
+            *count as f64 * interest_level <= frequent.num_rows as f64
         })
         .collect()
 }

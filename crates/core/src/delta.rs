@@ -1,0 +1,287 @@
+//! Structured diffs between mining outputs.
+//!
+//! Every equivalence claim in this codebase — serial vs. parallel
+//! counting, the real pipeline vs. the naive reference, a catalog
+//! round-trip vs. the rules it stored — bottoms out in "these two rule
+//! sets are the same". [`RuleSetDelta`] and [`ItemsetSetDelta`] make that
+//! comparison a first-class value: key-based (so neither side's ordering
+//! matters), deterministic in its report ordering (so a failing diff
+//! renders identically run to run), and tolerant of a configurable number
+//! of ulps on confidence (the one field two correct paths may compute
+//! through differently-associated floating-point arithmetic).
+
+use crate::frequent::QuantFrequentItemsets;
+use crate::rules::QuantRule;
+use qar_itemset::Itemset;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// True when `a` and `b` are within `ulps` representable floats of each
+/// other (bit-distance on the IEEE-754 number line). `0` demands bit
+/// equality; NaNs are never close to anything.
+pub fn f64_close_ulps(a: f64, b: f64, ulps: u64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_nan() || b.is_nan() || a.is_sign_positive() != b.is_sign_positive() {
+        return false;
+    }
+    a.to_bits().abs_diff(b.to_bits()) <= ulps
+}
+
+/// A support or confidence disagreement on a rule both sides produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleMismatch {
+    /// The rule as the left side produced it.
+    pub left: QuantRule,
+    /// The rule as the right side produced it.
+    pub right: QuantRule,
+}
+
+/// The difference between two rule sets, keyed by (antecedent,
+/// consequent). Empty iff the sets agree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleSetDelta {
+    /// Rules only the left side produced, in key order.
+    pub missing_right: Vec<QuantRule>,
+    /// Rules only the right side produced, in key order.
+    pub missing_left: Vec<QuantRule>,
+    /// Rules both produced with different support or confidence, in key
+    /// order.
+    pub mismatched: Vec<RuleMismatch>,
+}
+
+impl RuleSetDelta {
+    /// Diff `left` against `right`. Supports must match exactly;
+    /// confidences within `confidence_ulps` ulps.
+    pub fn between(left: &[QuantRule], right: &[QuantRule], confidence_ulps: u64) -> Self {
+        let key = |r: &QuantRule| (r.antecedent.clone(), r.consequent.clone());
+        let left_map: BTreeMap<_, &QuantRule> = left.iter().map(|r| (key(r), r)).collect();
+        let right_map: BTreeMap<_, &QuantRule> = right.iter().map(|r| (key(r), r)).collect();
+        let mut delta = RuleSetDelta::default();
+        for (k, l) in &left_map {
+            match right_map.get(k) {
+                None => delta.missing_right.push((*l).clone()),
+                Some(r) => {
+                    let same = l.support == r.support
+                        && f64_close_ulps(l.confidence, r.confidence, confidence_ulps);
+                    if !same {
+                        delta.mismatched.push(RuleMismatch {
+                            left: (*l).clone(),
+                            right: (*r).clone(),
+                        });
+                    }
+                }
+            }
+        }
+        for (k, r) in &right_map {
+            if !left_map.contains_key(k) {
+                delta.missing_left.push((*r).clone());
+            }
+        }
+        delta
+    }
+
+    /// No differences.
+    pub fn is_empty(&self) -> bool {
+        self.missing_right.is_empty() && self.missing_left.is_empty() && self.mismatched.is_empty()
+    }
+}
+
+impl fmt::Display for RuleSetDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "rule sets agree");
+        }
+        writeln!(
+            f,
+            "rule sets differ: {} only-left, {} only-right, {} mismatches",
+            self.missing_right.len(),
+            self.missing_left.len(),
+            self.mismatched.len()
+        )?;
+        let show = |f: &mut fmt::Formatter<'_>, tag: &str, r: &QuantRule| {
+            writeln!(
+                f,
+                "  {tag} {:?} => {:?} (support {}, confidence {})",
+                r.antecedent, r.consequent, r.support, r.confidence
+            )
+        };
+        for r in self.missing_right.iter().take(MAX_SHOWN) {
+            show(f, "only left: ", r)?;
+        }
+        for r in self.missing_left.iter().take(MAX_SHOWN) {
+            show(f, "only right:", r)?;
+        }
+        for m in self.mismatched.iter().take(MAX_SHOWN) {
+            writeln!(
+                f,
+                "  mismatch:   {:?} => {:?}: support {} vs {}, confidence {} vs {}",
+                m.left.antecedent,
+                m.left.consequent,
+                m.left.support,
+                m.right.support,
+                m.left.confidence,
+                m.right.confidence
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The difference between two frequent-itemset collections, keyed by
+/// itemset. Empty iff the collections agree (same itemsets, same exact
+/// supports).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ItemsetSetDelta {
+    /// Itemsets only the left side found, with their supports.
+    pub missing_right: Vec<(Itemset, u64)>,
+    /// Itemsets only the right side found, with their supports.
+    pub missing_left: Vec<(Itemset, u64)>,
+    /// Itemsets both found with different supports: (itemset, left
+    /// support, right support).
+    pub mismatched: Vec<(Itemset, u64, u64)>,
+}
+
+impl ItemsetSetDelta {
+    /// Diff two frequent-itemset collections (exact support equality).
+    pub fn between(left: &QuantFrequentItemsets, right: &QuantFrequentItemsets) -> Self {
+        let collect = |f: &QuantFrequentItemsets| -> BTreeMap<Itemset, u64> {
+            f.iter().map(|(s, c)| (s.clone(), *c)).collect()
+        };
+        let left_map = collect(left);
+        let right_map = collect(right);
+        let mut delta = ItemsetSetDelta::default();
+        for (s, &lc) in &left_map {
+            match right_map.get(s) {
+                None => delta.missing_right.push((s.clone(), lc)),
+                Some(&rc) if rc != lc => delta.mismatched.push((s.clone(), lc, rc)),
+                Some(_) => {}
+            }
+        }
+        for (s, &rc) in &right_map {
+            if !left_map.contains_key(s) {
+                delta.missing_left.push((s.clone(), rc));
+            }
+        }
+        delta
+    }
+
+    /// No differences.
+    pub fn is_empty(&self) -> bool {
+        self.missing_right.is_empty() && self.missing_left.is_empty() && self.mismatched.is_empty()
+    }
+}
+
+impl fmt::Display for ItemsetSetDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "itemset sets agree");
+        }
+        writeln!(
+            f,
+            "itemset sets differ: {} only-left, {} only-right, {} support mismatches",
+            self.missing_right.len(),
+            self.missing_left.len(),
+            self.mismatched.len()
+        )?;
+        for (s, c) in self.missing_right.iter().take(MAX_SHOWN) {
+            writeln!(f, "  only left:  {s:?} (support {c})")?;
+        }
+        for (s, c) in self.missing_left.iter().take(MAX_SHOWN) {
+            writeln!(f, "  only right: {s:?} (support {c})")?;
+        }
+        for (s, l, r) in self.mismatched.iter().take(MAX_SHOWN) {
+            writeln!(f, "  support:    {s:?} left {l} vs right {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How many entries of each category a rendered delta shows.
+const MAX_SHOWN: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qar_itemset::Item;
+
+    fn rule(attr: u32, code: u32, support: u64, confidence: f64) -> QuantRule {
+        QuantRule {
+            antecedent: Itemset::singleton(Item::value(attr, code)),
+            consequent: Itemset::singleton(Item::value(attr + 1, 0)),
+            support,
+            confidence,
+        }
+    }
+
+    #[test]
+    fn equal_sets_have_empty_delta_regardless_of_order() {
+        let a = vec![rule(0, 0, 5, 0.5), rule(1, 1, 3, 0.25)];
+        let b = vec![a[1].clone(), a[0].clone()];
+        let d = RuleSetDelta::between(&a, &b, 0);
+        assert!(d.is_empty(), "{d}");
+        assert_eq!(d.to_string(), "rule sets agree");
+    }
+
+    #[test]
+    fn missing_and_extra_and_mismatch_reported_deterministically() {
+        let left = vec![rule(0, 0, 5, 0.5), rule(1, 1, 3, 0.25)];
+        let right = vec![rule(1, 1, 4, 0.25), rule(2, 2, 9, 0.75)];
+        let d = RuleSetDelta::between(&left, &right, 0);
+        assert_eq!(d.missing_right.len(), 1);
+        assert_eq!(d.missing_left.len(), 1);
+        assert_eq!(d.mismatched.len(), 1);
+        assert_eq!(d.mismatched[0].left.support, 3);
+        assert_eq!(d.mismatched[0].right.support, 4);
+        // Deterministic render.
+        assert_eq!(
+            d.to_string(),
+            RuleSetDelta::between(&left, &right, 0).to_string()
+        );
+    }
+
+    #[test]
+    fn confidence_ulp_tolerance() {
+        let l = vec![rule(0, 0, 5, 0.1 + 0.2)];
+        let r = vec![rule(0, 0, 5, 0.3)];
+        assert!(
+            !RuleSetDelta::between(&l, &r, 0).is_empty(),
+            "bit-exact must fail"
+        );
+        assert!(
+            RuleSetDelta::between(&l, &r, 4).is_empty(),
+            "4 ulps must pass"
+        );
+    }
+
+    #[test]
+    fn ulp_closeness_edge_cases() {
+        assert!(f64_close_ulps(1.0, 1.0, 0));
+        assert!(f64_close_ulps(0.0, -0.0, 0), "signed zeros are equal");
+        assert!(!f64_close_ulps(f64::NAN, f64::NAN, u64::MAX));
+        assert!(!f64_close_ulps(-1e-300, 1e-300, 1000), "sign straddle");
+        let next = f64::from_bits(1.0f64.to_bits() + 1);
+        assert!(f64_close_ulps(1.0, next, 1));
+        assert!(!f64_close_ulps(1.0, next, 0));
+    }
+
+    #[test]
+    fn itemset_delta() {
+        let mut l = QuantFrequentItemsets::new(10);
+        l.push_level(vec![
+            (Itemset::singleton(Item::value(0, 0)), 4),
+            (Itemset::singleton(Item::value(0, 1)), 6),
+        ]);
+        let mut r = QuantFrequentItemsets::new(10);
+        r.push_level(vec![(Itemset::singleton(Item::value(0, 0)), 5)]);
+        let d = ItemsetSetDelta::between(&l, &r);
+        assert_eq!(d.missing_right.len(), 1);
+        assert!(d.missing_left.is_empty());
+        assert_eq!(
+            d.mismatched,
+            vec![(Itemset::singleton(Item::value(0, 0)), 4, 5)]
+        );
+        assert!(ItemsetSetDelta::between(&l, &l).is_empty());
+    }
+}

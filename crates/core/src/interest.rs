@@ -294,6 +294,50 @@ fn rule_r_interesting(
 mod tests {
     use super::*;
 
+    /// Lemma 5 is worded with a strict inequality — "if the support of
+    /// `x` is greater than `1/R`, the itemset cannot be R-interesting" —
+    /// so an item whose support is *exactly* `1/R` must survive the
+    /// prune, including when neither `1/R` nor `count/rows` is exactly
+    /// representable (count·R == rows in the reals).
+    #[test]
+    fn lemma5_prune_keeps_support_exactly_one_over_r() {
+        use crate::candidate::interest_prune_level1;
+
+        // rows = 3·count with R = 3: count/rows = 1/3 exactly equals 1/R
+        // in the reals, but both sides round in f64. Scan a spread of
+        // magnitudes including counts where `count/rows` rounds *above*
+        // `1/3` (the two-division form misclassifies some of these).
+        for count in [1u64, 2, 7, 49_999_999, 3_002_399_751_580_330] {
+            let rows = 3 * count;
+            let exact = Itemset::singleton(Item::value(0, 0));
+            let above = Itemset::singleton(Item::value(0, 1));
+            let store = QuantFrequentItemsets::new(rows);
+            let level1 = vec![(exact.clone(), count), (above.clone(), count + 1)];
+            let kept = interest_prune_level1(level1, &store, 3.0, &|_| true);
+            let kept: Vec<&Itemset> = kept.iter().map(|(s, _)| s).collect();
+            assert!(
+                kept.contains(&&exact),
+                "support exactly 1/R must be kept (count {count})"
+            );
+            assert!(
+                !kept.contains(&&above),
+                "support just above 1/R must be pruned (count {count})"
+            );
+        }
+
+        // Non-integer R at the boundary: R = 2.5, count·R == rows exactly.
+        let store = QuantFrequentItemsets::new(5);
+        let exact = Itemset::singleton(Item::value(0, 0));
+        let kept = interest_prune_level1(vec![(exact.clone(), 2)], &store, 2.5, &|_| true);
+        assert_eq!(kept.len(), 1, "2/5 == 1/2.5 must be kept");
+
+        // Categorical items are exempt regardless of support.
+        let store = QuantFrequentItemsets::new(4);
+        let cat = Itemset::singleton(Item::value(1, 0));
+        let kept = interest_prune_level1(vec![(cat.clone(), 4)], &store, 2.0, &|a| a != 1);
+        assert_eq!(kept.len(), 1, "categorical item must be exempt");
+    }
+
     fn items_xy() -> ItemSupports {
         // Attribute 0 ("x"): ten values, 1900 records each (N = 19000).
         // Attribute 1 ("y"): code 1 = "y" with 2100 records.

@@ -28,6 +28,7 @@
 
 pub mod candidate;
 pub mod config;
+pub mod delta;
 pub mod export;
 pub mod frequent;
 pub mod interest;
@@ -38,6 +39,8 @@ pub mod output;
 pub mod pipeline;
 pub mod rules;
 pub mod supercand;
+
+pub use delta::{f64_close_ulps, ItemsetSetDelta, RuleSetDelta};
 
 pub use config::{
     CancelledInfo, InterestConfig, InterestMode, MinerConfig, MinerError, PartitionSpec,

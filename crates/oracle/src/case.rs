@@ -1,0 +1,79 @@
+//! The cases the fuzzer draws, checks, shrinks, and persists.
+
+use qar_core::{MinerConfig, PartitionStrategy};
+use qar_table::Table;
+
+/// One fuzz case: an input plus everything needed to re-run its check
+/// deterministically. Serialized to/parsed from the repro fixture format
+/// by [`crate::repro`].
+#[derive(Debug, Clone)]
+pub enum ReproCase {
+    /// End-to-end differential case: one table, one configuration, five
+    /// execution paths that must agree.
+    Mining(MiningCase),
+    /// Partitioner invariant case: one column, one strategy, one `k`.
+    Partition(PartitionCase),
+    /// Range-snapping invariant case for
+    /// [`qar_partition::range_completeness::snap_to_intervals`].
+    Snap(SnapCase),
+    /// Interval-count invariant case for [`qar_partition::num_intervals`].
+    Intervals(IntervalsCase),
+}
+
+impl ReproCase {
+    /// Short kind tag, used in fixture files and log lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReproCase::Mining(_) => "mining",
+            ReproCase::Partition(_) => "partition",
+            ReproCase::Snap(_) => "snap",
+            ReproCase::Intervals(_) => "intervals",
+        }
+    }
+}
+
+/// A table + miner configuration to run through every execution path.
+#[derive(Debug, Clone)]
+pub struct MiningCase {
+    /// The input table (possibly empty or single-row).
+    pub table: Table,
+    /// The configuration; `parallelism` is overridden per path.
+    pub config: MinerConfig,
+    /// Worker threads for the parallel path (the serial path uses 1).
+    pub threads: usize,
+}
+
+/// A column to partition plus the requested interval count.
+#[derive(Debug, Clone)]
+pub struct PartitionCase {
+    /// Raw column values (unsorted, duplicates expected).
+    pub values: Vec<f64>,
+    /// Requested interval count.
+    pub k: usize,
+    /// Which partitioner to check.
+    pub strategy: PartitionStrategy,
+}
+
+/// A range-to-interval-grid snapping problem.
+#[derive(Debug, Clone)]
+pub struct SnapCase {
+    /// Range lower bound (`lo <= hi`).
+    pub lo: f64,
+    /// Range upper bound.
+    pub hi: f64,
+    /// Interval grid origin.
+    pub origin: f64,
+    /// Interval width (`> 0`).
+    pub w: f64,
+}
+
+/// An Equation-2 interval-count computation.
+#[derive(Debug, Clone)]
+pub struct IntervalsCase {
+    /// Number of quantitative attributes.
+    pub num_quantitative: usize,
+    /// Minimum support fraction.
+    pub minsup: f64,
+    /// Partial-completeness level (deliberately sometimes invalid).
+    pub level: f64,
+}

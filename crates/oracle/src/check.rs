@@ -1,0 +1,487 @@
+//! The oracle proper: run a case through every execution path and demand
+//! agreement, or check the invariant a primitive promises.
+//!
+//! A mining case exercises five paths that must produce the same answer:
+//!
+//! 1. the full miner with `parallelism = 1` (the reference execution),
+//! 2. the full miner with `parallelism = threads` (sharded counting),
+//! 3. the brute-force [`naive_mine`] enumerator,
+//! 4. the boolean [`apriori()`] bridge, cross-checked against an independent
+//!    row-index-intersection enumerator over the encoded table,
+//! 5. a `.qarcat` save → load → query round trip.
+//!
+//! Partition, snap, and intervals cases check the contracts of the
+//! corresponding primitives directly — those bugs cannot surface as
+//! mining-path divergence because every mining path shares the one
+//! encoded table.
+
+use crate::case::{IntervalsCase, MiningCase, PartitionCase, ReproCase, SnapCase};
+use qar_apriori::apriori;
+use qar_apriori::bridge::to_transactions;
+use qar_core::naive::naive_mine;
+use qar_core::{
+    InterestMode, ItemsetSetDelta, Miner, MinerConfig, MiningOutput, PartitionStrategy,
+    QuantFrequentItemsets, RuleSetDelta,
+};
+use qar_itemset::{Item, Itemset};
+use qar_partition::range_completeness::snap_to_intervals;
+use qar_partition::{num_intervals, EquiDepth, EquiWidth, KMeans1D, Partitioner, MAX_INTERVALS};
+use qar_store::{naive_query_range, naive_query_record, Catalog, RuleIndex};
+use qar_table::{AttributeId, AttributeKind, EncodedTable};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::num::NonZeroUsize;
+
+/// A failed check: which oracle tripped, and enough detail to debug it.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Stable name of the check that failed (e.g. `serial-vs-parallel`).
+    pub check: &'static str,
+    /// Human-readable explanation of the disagreement.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+fn div(check: &'static str, detail: String) -> Divergence {
+    Divergence { check, detail }
+}
+
+/// Check one case; `Ok(())` means every path and invariant agreed.
+pub fn check_case(case: &ReproCase) -> Result<(), Divergence> {
+    match case {
+        ReproCase::Mining(c) => check_mining(c),
+        ReproCase::Partition(c) => check_partition(c),
+        ReproCase::Snap(c) => check_snap(c),
+        ReproCase::Intervals(c) => check_intervals(c),
+    }
+}
+
+fn with_parallelism(config: &MinerConfig, threads: usize) -> MinerConfig {
+    let mut c = config.clone();
+    c.parallelism = NonZeroUsize::new(threads);
+    c
+}
+
+/// Run the five mining paths and compare them pairwise.
+pub fn check_mining(case: &MiningCase) -> Result<(), Divergence> {
+    let serial = Miner::new(with_parallelism(&case.config, 1)).mine(&case.table);
+    let parallel =
+        Miner::new(with_parallelism(&case.config, case.threads.max(2))).mine(&case.table);
+    let out = match (serial, parallel) {
+        (Err(s), Err(p)) => {
+            // Rejection must not depend on the thread count.
+            if s.to_string() != p.to_string() {
+                return Err(div(
+                    "error-agreement",
+                    format!("serial error `{s}` != parallel error `{p}`"),
+                ));
+            }
+            return Ok(());
+        }
+        (Ok(_), Err(p)) => {
+            return Err(div(
+                "error-agreement",
+                format!("serial succeeded but parallel failed: {p}"),
+            ))
+        }
+        (Err(s), Ok(_)) => {
+            return Err(div(
+                "error-agreement",
+                format!("parallel succeeded but serial failed: {s}"),
+            ))
+        }
+        (Ok(s), Ok(p)) => {
+            let itemsets = ItemsetSetDelta::between(&s.frequent, &p.frequent);
+            if !itemsets.is_empty() {
+                return Err(div("serial-vs-parallel-itemsets", itemsets.to_string()));
+            }
+            let rules = RuleSetDelta::between(&s.rules, &p.rules, 0);
+            if !rules.is_empty() {
+                return Err(div("serial-vs-parallel-rules", rules.to_string()));
+            }
+            if s.interest != p.interest {
+                return Err(div(
+                    "serial-vs-parallel-interest",
+                    format!(
+                        "interest verdicts differ: serial {:?} != parallel {:?}",
+                        s.interest, p.interest
+                    ),
+                ));
+            }
+            s
+        }
+    };
+    check_naive(&out, &case.config)?;
+    check_apriori(&out.encoded, &case.config)?;
+    check_catalog(&out)
+}
+
+fn check_naive(out: &MiningOutput, config: &MinerConfig) -> Result<(), Divergence> {
+    let reference = naive_reference(&out.encoded, config);
+    let delta = ItemsetSetDelta::between(&reference, &out.frequent);
+    if !delta.is_empty() {
+        return Err(div("miner-vs-naive", delta.to_string()));
+    }
+    Ok(())
+}
+
+/// Brute-force reference for the miner's frequent itemsets.
+///
+/// [`naive_mine`] ignores the interest measure, but the miner's Lemma 5
+/// prune deletes low-interest *items* after pass 1 — before extension —
+/// so every itemset containing a pruned item disappears from the miner's
+/// output. Mirror that here: a frequent singleton over a quantitative
+/// attribute is pruned exactly when `count × R > rows` (fractional
+/// support strictly above `1/R`). Anti-monotonicity guarantees the
+/// filtered levels stay downward closed.
+fn naive_reference(encoded: &EncodedTable, config: &MinerConfig) -> QuantFrequentItemsets {
+    let raw = naive_mine(encoded, config);
+    let Some(interest) = config
+        .interest
+        .as_ref()
+        .filter(|i| i.prune_candidates && i.mode == InterestMode::SupportAndConfidence)
+    else {
+        return raw;
+    };
+    let rows = raw.num_rows as f64;
+    let attrs = encoded.schema().attributes();
+    let mut pruned: HashSet<Item> = HashSet::new();
+    if let Some(level1) = raw.levels.first() {
+        for (set, count) in level1 {
+            let item = set.items()[0];
+            let quantitative = attrs[item.attr as usize].kind() == AttributeKind::Quantitative;
+            if quantitative && *count as f64 * interest.level > rows {
+                pruned.insert(item);
+            }
+        }
+    }
+    if pruned.is_empty() {
+        return raw;
+    }
+    let mut filtered = QuantFrequentItemsets::new(raw.num_rows);
+    for level in &raw.levels {
+        let keep: Vec<(Itemset, u64)> = level
+            .iter()
+            .filter(|(set, _)| set.items().iter().all(|i| !pruned.contains(i)))
+            .cloned()
+            .collect();
+        filtered.push_level(keep);
+    }
+    filtered
+}
+
+/// Cross-check the boolean apriori bridge against an independent
+/// enumerator that never goes through transactions at all.
+fn check_apriori(encoded: &EncodedTable, config: &MinerConfig) -> Result<(), Divergence> {
+    let (db, mapping) = to_transactions(encoded);
+    let found = apriori(&db, config.min_support);
+    let mut got: BTreeMap<Vec<(u32, u32)>, u64> = BTreeMap::new();
+    for level in &found.by_size {
+        for itemset in level {
+            got.insert(mapping.decode_items(&itemset.items), itemset.support);
+        }
+    }
+    let min_count = ((config.min_support * encoded.num_rows() as f64).ceil() as u64).max(1);
+    let all_rows: Vec<usize> = (0..encoded.num_rows()).collect();
+    let mut want = BTreeMap::new();
+    enumerate_combos(encoded, 0, &all_rows, min_count, &mut Vec::new(), &mut want);
+    if got != want {
+        let only_want: Vec<_> = want
+            .iter()
+            .filter(|(k, v)| got.get(*k) != Some(v))
+            .take(8)
+            .collect();
+        let only_got: Vec<_> = got
+            .iter()
+            .filter(|(k, v)| want.get(*k) != Some(v))
+            .take(8)
+            .collect();
+        return Err(div(
+            "apriori-vs-enumeration",
+            format!(
+                "apriori bridge disagrees with direct enumeration; \
+                 enumeration-only (first 8): {only_want:?}; \
+                 apriori-only (first 8): {only_got:?}"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Enumerate every one-code-per-attribute combination whose support count
+/// reaches `min_count`, by intersecting row-index lists attribute by
+/// attribute. Support anti-monotonicity makes the prefix pruning exact:
+/// an infrequent prefix has no frequent extension.
+fn enumerate_combos(
+    encoded: &EncodedTable,
+    attr: usize,
+    rows: &[usize],
+    min_count: u64,
+    prefix: &mut Vec<(u32, u32)>,
+    out: &mut BTreeMap<Vec<(u32, u32)>, u64>,
+) {
+    if attr == encoded.schema().len() {
+        return;
+    }
+    // Either skip this attribute entirely...
+    enumerate_combos(encoded, attr + 1, rows, min_count, prefix, out);
+    // ...or fix it to each code frequent together with the prefix.
+    let codes = encoded.codes(AttributeId(attr));
+    let mut by_code: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for &row in rows {
+        by_code.entry(codes[row]).or_default().push(row);
+    }
+    for (code, matching) in by_code {
+        if matching.len() as u64 >= min_count {
+            prefix.push((attr as u32, code));
+            out.insert(prefix.clone(), matching.len() as u64);
+            enumerate_combos(encoded, attr + 1, &matching, min_count, prefix, out);
+            prefix.pop();
+        }
+    }
+}
+
+/// Save → load → query round trip: the decoded catalog must carry the
+/// same content, and the interval index must agree with a linear scan on
+/// deterministic probes (deterministic so persisted repros re-check
+/// identically).
+fn check_catalog(out: &MiningOutput) -> Result<(), Divergence> {
+    let catalog = Catalog::from_mining(out);
+    let bytes = catalog.encode();
+    let loaded = match Catalog::load_bytes(&bytes, None) {
+        Ok(c) => c,
+        Err(e) => {
+            return Err(div(
+                "catalog-round-trip",
+                format!("decoding a just-encoded catalog failed: {e}"),
+            ))
+        }
+    };
+    // NaN confidences make a catalog unequal even to itself, exactly like
+    // `f64` comparison; content equality is only decidable without them.
+    let has_nan = catalog.rules().iter().any(|r| r.confidence.is_nan());
+    if !has_nan && !loaded.content_eq(&catalog) {
+        let delta = RuleSetDelta::between(catalog.rules(), loaded.rules(), 0);
+        return Err(div(
+            "catalog-round-trip",
+            format!("decoded catalog differs in content; rule delta: {delta}"),
+        ));
+    }
+
+    let index = RuleIndex::build(&loaded, None);
+    let schema = out.encoded.schema();
+    // Record probes: the first few rows of the table itself.
+    for row in 0..out.encoded.num_rows().min(3) {
+        let record: Vec<(u32, u32)> = (0..schema.len())
+            .map(|a| (a as u32, out.encoded.codes(AttributeId(a))[row]))
+            .collect();
+        let got = sorted_dedup(index.query_record(&record));
+        let want = sorted_dedup(naive_query_record(&loaded, &record));
+        if got != want {
+            return Err(div(
+                "index-vs-scan-record",
+                format!("record {record:?}: index {got:?} != linear scan {want:?}"),
+            ));
+        }
+    }
+    // Range probes: full span and both halves of every quantitative
+    // attribute's encoded domain.
+    for (id, def) in schema.iter() {
+        if def.kind() != AttributeKind::Quantitative {
+            continue;
+        }
+        let encoder = out.encoded.encoder(id);
+        let card = encoder.cardinality();
+        if card == 0 {
+            continue;
+        }
+        let Some((lo, hi)) = encoder.numeric_bounds(0, card - 1) else {
+            continue;
+        };
+        let mid = lo + (hi - lo) / 2.0;
+        for (a, b) in [(lo, hi), (lo, mid), (mid, hi)] {
+            let got = sorted_dedup(index.query_range(id.index() as u32, a, b));
+            let want = sorted_dedup(naive_query_range(&loaded, id.index() as u32, a, b));
+            if got != want {
+                return Err(div(
+                    "index-vs-scan-range",
+                    format!(
+                        "attribute `{}` range [{a}, {b}]: index {got:?} != linear scan {want:?}",
+                        def.name()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn sorted_dedup(mut ids: Vec<u32>) -> Vec<u32> {
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+fn cut_points_for(case: &PartitionCase) -> Vec<f64> {
+    match case.strategy {
+        PartitionStrategy::EquiDepth => EquiDepth.cut_points(&case.values, case.k),
+        PartitionStrategy::EquiWidth => EquiWidth.cut_points(&case.values, case.k),
+        PartitionStrategy::KMeans => KMeans1D::default().cut_points(&case.values, case.k),
+    }
+}
+
+/// Partitioner contract: deterministic, strictly increasing cuts, at most
+/// `k` intervals, cuts inside the data range, and — for the data-driven
+/// strategies — no empty interval. (Equi-width legitimately produces
+/// empty intervals on skewed data; that weakness is the paper's point.)
+pub fn check_partition(case: &PartitionCase) -> Result<(), Divergence> {
+    let cuts = cut_points_for(case);
+    if cuts != cut_points_for(case) {
+        return Err(div(
+            "partition-determinism",
+            format!(
+                "two runs disagreed on {} values, k={}",
+                case.values.len(),
+                case.k
+            ),
+        ));
+    }
+    if cuts.len() + 1 > case.k.max(1) {
+        return Err(div(
+            "partition-count",
+            format!("{} cuts for k={} (at most k-1 allowed)", cuts.len(), case.k),
+        ));
+    }
+    // partial_cmp so a NaN cut (never `Less`) also registers as a failure.
+    let strictly_less = |a: f64, b: f64| a.partial_cmp(&b) == Some(std::cmp::Ordering::Less);
+    if let Some(w) = cuts.windows(2).find(|w| !strictly_less(w[0], w[1])) {
+        return Err(div(
+            "partition-order",
+            format!("cuts not strictly increasing: {} then {}", w[0], w[1]),
+        ));
+    }
+    let min = case.values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = case
+        .values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if let Some(&c) = cuts.iter().find(|&&c| !(c > min && c <= max)) {
+        return Err(div(
+            "partition-bounds",
+            format!("cut {c} outside data range ({min}, {max}]"),
+        ));
+    }
+    if case.strategy != PartitionStrategy::EquiWidth && !cuts.is_empty() {
+        // Membership convention: value v lands in interval
+        // `cuts.partition_point(|&c| c <= v)`.
+        let mut counts = vec![0usize; cuts.len() + 1];
+        for &v in &case.values {
+            counts[cuts.partition_point(|&c| c <= v)] += 1;
+        }
+        if let Some(i) = counts.iter().position(|&c| c == 0) {
+            return Err(div(
+                "partition-empty-interval",
+                format!(
+                    "{:?} left interval {i} of {} empty (cuts {cuts:?})",
+                    case.strategy,
+                    counts.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Snapping contract: the snapped range contains the input, has positive
+/// width, stays finite — and when both endpoints sit bit-exactly on the
+/// interval grid (and the range is non-degenerate), snapping must be the
+/// identity: any widening there is a spurious interval.
+pub fn check_snap(case: &SnapCase) -> Result<(), Divergence> {
+    let &SnapCase { lo, hi, origin, w } = case;
+    let (s_lo, s_hi) = snap_to_intervals(lo, hi, origin, w);
+    if !s_lo.is_finite() || !s_hi.is_finite() {
+        return Err(div(
+            "snap-finite",
+            format!("snap({lo}, {hi}) produced non-finite ({s_lo}, {s_hi})"),
+        ));
+    }
+    if s_lo > lo || s_hi < hi {
+        return Err(div(
+            "snap-containment",
+            format!("snapped ({s_lo}, {s_hi}) does not contain input ({lo}, {hi})"),
+        ));
+    }
+    // Both ends are finite by now, so `<=` is the exact negation.
+    if s_hi <= s_lo {
+        return Err(div(
+            "snap-zero-width",
+            format!("snapped range ({s_lo}, {s_hi}) has no width"),
+        ));
+    }
+    // Bit-exact grid case: float rounding is out of the picture, so the
+    // necessity argument is exact and we can demand identity.
+    let r_lo = ((lo - origin) / w).round();
+    let r_hi = ((hi - origin) / w).round();
+    if hi > lo && origin + r_lo * w == lo && origin + r_hi * w == hi && (s_lo, s_hi) != (lo, hi) {
+        return Err(div(
+            "snap-spurious-interval",
+            format!(
+                "({lo}, {hi}) lies exactly on the grid (origin {origin}, width {w}) \
+                 but snapped to ({s_lo}, {s_hi})"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Equation-2 contract: `Ok(n)` must be the true ceiling of the raw count
+/// for valid inputs and never exceed [`MAX_INTERVALS`]; `Err` must be
+/// justified by an actually-invalid input or an overflowing count.
+pub fn check_intervals(case: &IntervalsCase) -> Result<(), Divergence> {
+    let &IntervalsCase {
+        num_quantitative,
+        minsup,
+        level,
+    } = case;
+    let raw = 2.0 * num_quantitative as f64 / (minsup * (level - 1.0));
+    let valid_params = level > 1.0 && minsup > 0.0 && minsup <= 1.0;
+    match num_intervals(num_quantitative, minsup, level) {
+        Ok(n) => {
+            if !valid_params {
+                return Err(div(
+                    "intervals-accepts-invalid",
+                    format!("num_intervals({num_quantitative}, {minsup}, {level}) = Ok({n})"),
+                ));
+            }
+            if n > MAX_INTERVALS {
+                return Err(div(
+                    "intervals-overflow",
+                    format!("Ok({n}) exceeds MAX_INTERVALS = {MAX_INTERVALS}"),
+                ));
+            }
+            if !raw.is_finite() || n as f64 != raw.ceil() {
+                return Err(div(
+                    "intervals-count",
+                    format!("Ok({n}) but the raw Equation-2 count is {raw}"),
+                ));
+            }
+        }
+        Err(e) => {
+            let justified = !valid_params || !raw.is_finite() || raw > MAX_INTERVALS as f64;
+            if justified {
+                return Ok(());
+            }
+            return Err(div(
+                "intervals-rejects-valid",
+                format!("num_intervals({num_quantitative}, {minsup}, {level}) = Err({e})"),
+            ));
+        }
+    }
+    Ok(())
+}

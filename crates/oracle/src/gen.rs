@@ -1,0 +1,242 @@
+//! Case generation, skewed toward the edge regions where boundary bugs
+//! live: duplicate-heavy columns, adjacent-float values, minsup on exact
+//! `k/n` grid points or near 0/1, completeness levels just above 1,
+//! empty and single-row tables.
+
+use crate::case::{IntervalsCase, MiningCase, PartitionCase, ReproCase, SnapCase};
+use qar_core::{InterestConfig, InterestMode, MinerConfig, PartitionSpec, PartitionStrategy};
+use qar_prng::Prng;
+use qar_table::{Schema, Table, Value};
+
+/// Draw one case. The mix favors end-to-end mining cases; the rest stress
+/// the partitioning and completeness primitives directly.
+pub fn gen_case(rng: &mut Prng) -> ReproCase {
+    match rng.gen_weighted(&[6.0, 2.0, 1.0, 1.0]) {
+        0 => ReproCase::Mining(gen_mining(rng)),
+        1 => ReproCase::Partition(gen_partition(rng)),
+        2 => ReproCase::Snap(gen_snap(rng)),
+        _ => ReproCase::Intervals(gen_intervals(rng)),
+    }
+}
+
+/// A quantitative column of length `len`, drawn from one of the edge
+/// styles. Values are always finite.
+fn gen_quant_column(rng: &mut Prng, len: usize) -> Vec<f64> {
+    match rng.gen_weighted(&[3.0, 3.0, 2.0, 2.0, 1.0, 1.0]) {
+        // Small integer domain: heavy natural duplication.
+        0 => (0..len).map(|_| rng.gen_range(0i64..6) as f64).collect(),
+        // Zipf-weighted duplicates over a handful of values.
+        1 => {
+            let distinct = rng.gen_range(2..7);
+            rng.gen_duplicate_heavy(len, distinct)
+        }
+        // Values a few ulps apart: midpoint-rounding territory.
+        2 => {
+            let base = *rng.choose(&[1.0, 3.5, 1.0e9]).expect("non-empty");
+            let radius = rng.gen_range(1..5);
+            rng.gen_ulp_neighborhood(len, base, radius)
+        }
+        // Clustered with near-duplicates inside clusters.
+        3 => {
+            let clusters = rng.gen_range(2..5);
+            rng.gen_clustered(len, clusters, 0.5)
+        }
+        // Constant column (one distinct value).
+        4 => vec![rng.gen_range(-3i64..4) as f64; len],
+        // Exact multiples of a decimal step: grid-boundary values.
+        _ => {
+            let step = *rng.choose(&[0.07, 0.1, 0.25]).expect("non-empty");
+            (0..len)
+                .map(|_| rng.gen_range(0i64..12) as f64 * step)
+                .collect()
+        }
+    }
+}
+
+/// An end-to-end mining case: small enough for the brute-force references,
+/// adversarial enough to hit rounding and tie boundaries.
+fn gen_mining(rng: &mut Prng) -> MiningCase {
+    let num_rows = match rng.gen_weighted(&[1.0, 1.0, 4.0, 6.0]) {
+        0 => 0,
+        1 => 1,
+        2 => rng.gen_range(2..8),
+        _ => rng.gen_range(8..41),
+    };
+    let num_attrs = rng.gen_range(1..4usize);
+    let kinds: Vec<bool> = (0..num_attrs).map(|_| rng.gen_bool(0.7)).collect();
+    let mut builder = Schema::builder();
+    for (i, &quant) in kinds.iter().enumerate() {
+        let name = format!("a{i}");
+        builder = if quant {
+            builder.quantitative(name)
+        } else {
+            builder.categorical(name)
+        };
+    }
+    let schema = builder.build().expect("generated names are valid");
+
+    let labels = ["a", "b", "c", "d"];
+    let columns: Vec<Vec<Value>> = kinds
+        .iter()
+        .map(|&quant| {
+            if quant {
+                gen_quant_column(rng, num_rows)
+                    .into_iter()
+                    .map(Value::Float)
+                    .collect()
+            } else {
+                let distinct = rng.gen_range(1..labels.len() + 1);
+                (0..num_rows)
+                    .map(|_| Value::from(labels[rng.gen_zipf(distinct, 1.0)]))
+                    .collect()
+            }
+        })
+        .collect();
+    let mut table = Table::new(schema);
+    for row in 0..num_rows {
+        let cells: Vec<Value> = columns.iter().map(|c| c[row].clone()).collect();
+        table.push_row(&cells).expect("cells match schema");
+    }
+
+    let denom = num_rows.max(1) as u64;
+    let min_support = rng.gen_edge_fraction(denom);
+    let min_confidence = match rng.gen_weighted(&[1.0, 1.0, 3.0]) {
+        0 => 0.0,
+        1 => 1.0,
+        _ => rng.gen_edge_fraction(denom),
+    };
+    let max_support = if rng.gen_bool(0.5) {
+        1.0
+    } else {
+        rng.gen_edge_fraction(denom).max(min_support)
+    };
+    let partitioning = match rng.gen_weighted(&[4.0, 4.0, 2.0]) {
+        0 => PartitionSpec::None,
+        1 => {
+            let level = *rng
+                .choose(&[1.0 + 1.0e-9, 1.1, 1.5, 2.0, 3.0])
+                .expect("non-empty");
+            PartitionSpec::CompletenessLevel(level)
+        }
+        _ => PartitionSpec::FixedIntervals(rng.gen_range(1..7)),
+    };
+    let partition_strategy = *rng
+        .choose(&[
+            PartitionStrategy::EquiDepth,
+            PartitionStrategy::EquiWidth,
+            PartitionStrategy::KMeans,
+        ])
+        .expect("non-empty");
+    let interest = if rng.gen_bool(0.5) {
+        None
+    } else {
+        // Sometimes aim R exactly at rows/s so an item's support can sit
+        // precisely on the Lemma-5 `1/R` boundary.
+        let level = if num_rows >= 2 && rng.gen_bool(0.4) {
+            let s = rng.gen_range(1..num_rows as u64);
+            let exact = num_rows as f64 / s as f64;
+            if exact > 1.0 {
+                exact
+            } else {
+                2.0
+            }
+        } else {
+            *rng.choose(&[1.5, 2.0, 3.0]).expect("non-empty")
+        };
+        let mode = if rng.gen_bool(0.5) {
+            InterestMode::SupportAndConfidence
+        } else {
+            InterestMode::SupportOrConfidence
+        };
+        Some(InterestConfig {
+            level,
+            mode,
+            prune_candidates: rng.gen_bool(0.7),
+        })
+    };
+    let config = MinerConfig {
+        min_support,
+        min_confidence,
+        max_support,
+        partitioning,
+        partition_strategy,
+        taxonomies: Default::default(),
+        interest,
+        max_itemset_size: *rng.choose(&[0, 0, 0, 1, 2, 3]).expect("non-empty"),
+        parallelism: None,
+    };
+    MiningCase {
+        table,
+        config,
+        threads: rng.gen_range(2..9),
+    }
+}
+
+fn gen_partition(rng: &mut Prng) -> PartitionCase {
+    let len = rng.gen_range(2..60usize);
+    let values = gen_quant_column(rng, len);
+    let k = match rng.gen_weighted(&[1.0, 2.0, 4.0, 2.0]) {
+        0 => 1,
+        1 => 2,
+        2 => rng.gen_range(3..9),
+        // At or above the distinct-value count: full-resolution territory.
+        _ => rng.gen_range(len.max(3)..len + 40),
+    };
+    let strategy = *rng
+        .choose(&[
+            PartitionStrategy::EquiDepth,
+            PartitionStrategy::EquiWidth,
+            PartitionStrategy::KMeans,
+        ])
+        .expect("non-empty");
+    PartitionCase {
+        values,
+        k,
+        strategy,
+    }
+}
+
+fn gen_snap(rng: &mut Prng) -> SnapCase {
+    // The huge-magnitude case: the interval width is below the endpoint's
+    // ulp, so naive snapping cannot move the bounds at all.
+    if rng.gen_bool(0.1) {
+        let x = 1.0e16;
+        return SnapCase {
+            lo: x,
+            hi: x,
+            origin: 0.0,
+            w: 0.5,
+        };
+    }
+    let w = *rng
+        .choose(&[0.07, 0.1, 0.5, 1.0, 0.003])
+        .expect("non-empty");
+    let origin = *rng.choose(&[0.0, -1.0, 10.0]).expect("non-empty");
+    let lo = if rng.gen_bool(0.6) {
+        // Exactly on the grid (modulo float rounding of origin + i*w).
+        origin + rng.gen_range(0i64..30) as f64 * w
+    } else {
+        origin + rng.gen_f64() * 30.0 * w
+    };
+    let hi = match rng.gen_weighted(&[2.0, 4.0, 3.0]) {
+        0 => lo, // degenerate range
+        1 => lo + rng.gen_range(0i64..10) as f64 * w,
+        _ => lo + rng.gen_f64() * 10.0 * w,
+    };
+    SnapCase {
+        lo,
+        hi: hi.max(lo),
+        origin,
+        w,
+    }
+}
+
+fn gen_intervals(rng: &mut Prng) -> IntervalsCase {
+    IntervalsCase {
+        num_quantitative: rng.gen_range(1..4),
+        minsup: rng.gen_edge_fraction(40),
+        level: *rng
+            .choose(&[0.5, 1.0, 1.0 + 1.0e-9, 1.0 + 1.0e-6, 1.5, 2.0, f64::NAN])
+            .expect("non-empty"),
+    }
+}

@@ -43,7 +43,7 @@ impl PartialCompleteness {
             return Ok(0);
         }
         let raw = 2.0 * self.num_quantitative as f64 / (self.minsup * (level - 1.0));
-        Ok(raw.ceil() as usize)
+        checked_interval_count(raw)
     }
 
     /// Equation (1): the partial completeness level achieved when the
@@ -97,6 +97,25 @@ pub fn achieved_level(
     .level_for_max_support(s)
 }
 
+/// Largest interval count the formulas will hand back. Anything above
+/// this is useless for mining (no dataset has that many distinct values)
+/// and signals a degenerate parameter combination.
+pub const MAX_INTERVALS: usize = u32::MAX as usize;
+
+/// Convert a raw interval-count formula result into a usable `usize`.
+///
+/// The quotient `2n / (m·(K−1))` overflows to `inf` when the denominator
+/// underflows (legal-but-tiny `minsup` times `K − 1`); letting that reach
+/// `ceil() as usize` silently saturates to `usize::MAX` and poisons every
+/// downstream capacity computation. Out-of-range results become a
+/// structured [`CompletenessError::TooManyIntervals`] instead.
+pub(crate) fn checked_interval_count(raw: f64) -> Result<usize, CompletenessError> {
+    if !raw.is_finite() || raw > MAX_INTERVALS as f64 {
+        return Err(CompletenessError::TooManyIntervals(raw));
+    }
+    Ok(raw.ceil() as usize)
+}
+
 /// Errors from the completeness formulas.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CompletenessError {
@@ -104,6 +123,10 @@ pub enum CompletenessError {
     LevelTooLow(f64),
     /// `minsup` was outside `(0, 1]`.
     BadMinsup(f64),
+    /// The parameters demand more intervals than any dataset could use
+    /// (more than [`MAX_INTERVALS`], or a non-finite count from
+    /// denominator underflow).
+    TooManyIntervals(f64),
 }
 
 impl std::fmt::Display for CompletenessError {
@@ -114,6 +137,13 @@ impl std::fmt::Display for CompletenessError {
             }
             CompletenessError::BadMinsup(m) => {
                 write!(f, "minimum support must be a fraction in (0, 1] (got {m})")
+            }
+            CompletenessError::TooManyIntervals(raw) => {
+                write!(
+                    f,
+                    "parameters demand {raw} intervals per attribute \
+                     (max {MAX_INTERVALS}); raise minsup or the completeness level"
+                )
             }
         }
     }
@@ -175,6 +205,20 @@ mod tests {
     #[test]
     fn zero_quantitative_attributes_need_no_intervals() {
         assert_eq!(num_intervals(0, 0.2, 2.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn degenerate_denominator_is_a_structured_error_not_saturation() {
+        // minsup and (K − 1) are each individually legal, but their
+        // product underflows to 0: the quotient is +inf, which previously
+        // saturated `ceil() as usize` to usize::MAX.
+        let err = num_intervals(2, 1e-300, 1.0 + 1e-9).unwrap_err();
+        assert!(matches!(err, CompletenessError::TooManyIntervals(raw) if raw.is_infinite()));
+        // Finite but absurd counts are rejected too.
+        let err = num_intervals(2, 1e-300, 2.0).unwrap_err();
+        assert!(matches!(err, CompletenessError::TooManyIntervals(_)));
+        // Large-but-usable counts still work.
+        assert_eq!(num_intervals(1, 1e-9, 2.0).unwrap(), 2_000_000_000);
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub mod completeness;
 pub mod partitioner;
 pub mod range_completeness;
 
-pub use completeness::{achieved_level, num_intervals, PartialCompleteness};
+pub use completeness::{
+    achieved_level, num_intervals, CompletenessError, PartialCompleteness, MAX_INTERVALS,
+};
 pub use partitioner::{EquiDepth, EquiWidth, KMeans1D, Partitioner};
 pub use range_completeness::{achieved_range_level, range_intervals};

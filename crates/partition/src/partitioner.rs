@@ -30,6 +30,42 @@ fn midpoint(a: f64, b: f64) -> f64 {
     a + (b - a) / 2.0
 }
 
+/// A cut point `c` with `a < c <= b` for adjacent distinct values `a < b`.
+///
+/// The plain midpoint is preferred, but when `a` and `b` are so close that
+/// `a + (b - a) / 2` rounds back onto `a` (adjacent or near-adjacent
+/// floats), the cut falls *on* the left value — and since membership is
+/// `v >= cut ⇒ right interval`, every copy of `a` would silently migrate
+/// to the right interval, leaving the left one empty. Clamping to `b`
+/// keeps the split unambiguous: values `< b` left, values `>= b` right.
+fn cut_between(a: f64, b: f64) -> f64 {
+    debug_assert!(a < b, "cut_between needs distinct ordered values");
+    let mid = midpoint(a, b);
+    if mid > a {
+        mid
+    } else {
+        b
+    }
+}
+
+/// Sorted distinct values of a column.
+fn sorted_distinct(values: &[f64]) -> Vec<f64> {
+    let mut d = sorted(values);
+    d.dedup();
+    d
+}
+
+/// Full-resolution cuts: one interval per distinct value. The right answer
+/// for every strategy when `k` is at least the distinct-value count —
+/// anything else either wastes intervals (duplicates) or merges values it
+/// had room to separate.
+fn full_resolution_cuts(distinct: &[f64]) -> Vec<f64> {
+    distinct
+        .windows(2)
+        .map(|w| cut_between(w[0], w[1]))
+        .collect()
+}
+
 /// Equi-depth partitioning: each interval receives (as close as possible to)
 /// the same number of *records*. The paper proves (Lemma 4) this minimizes
 /// the partial completeness level for a given interval count, because it
@@ -49,6 +85,13 @@ impl Partitioner for EquiDepth {
             return Vec::new();
         }
         let v = sorted(values);
+        let distinct = sorted_distinct(&v);
+        if distinct.len() <= k {
+            // Enough intervals for every distinct value: full resolution.
+            // Walking quantile targets here can skip gaps (duplicated
+            // intervals) while other targets land inside runs (empty ones).
+            return full_resolution_cuts(&distinct);
+        }
         let mut cuts = Vec::with_capacity(k - 1);
         for j in 1..k {
             // Records [0, target) should land left of cut j.
@@ -64,7 +107,7 @@ impl Partitioner for EquiDepth {
             if pos >= n {
                 continue;
             }
-            let cut = midpoint(v[pos - 1], v[pos]);
+            let cut = cut_between(v[pos - 1], v[pos]);
             if cuts.last().is_none_or(|&last| cut > last) {
                 cuts.push(cut);
             }
@@ -142,9 +185,19 @@ impl Partitioner for KMeans1D {
         if v[0] == v[n - 1] {
             return Vec::new();
         }
-        // Quantile init, deduplicated.
-        let mut centers: Vec<f64> = (0..k).map(|j| v[(j * n + n / 2) / k]).collect();
-        centers.dedup();
+        let distinct = sorted_distinct(&v);
+        if distinct.len() <= k {
+            // One interval per distinct value; no clustering to do.
+            return full_resolution_cuts(&distinct);
+        }
+        // Quantile init over the *distinct* values. Sampling record
+        // quantiles (`v[(j * n + n / 2) / k]`) can land several seeds in
+        // one duplicate run on skewed data, collapsing them to a single
+        // center and forfeiting intervals the data had room for. Distinct
+        // quantiles are guaranteed pairwise different: `distinct.len() > k`
+        // makes `(j * distinct.len()) / k` strictly increasing in `j`.
+        let mut centers: Vec<f64> = (0..k).map(|j| distinct[(j * distinct.len()) / k]).collect();
+        debug_assert!(centers.windows(2).all(|w| w[0] < w[1]));
         let mut boundaries: Vec<usize> = Vec::new(); // index of first element of each cluster but the first
         for _ in 0..self.max_iterations {
             // Assign: in 1-D with sorted data, cluster boundaries are where
@@ -178,7 +231,7 @@ impl Partitioner for KMeans1D {
             if b == 0 || b >= n || v[b - 1] == v[b] {
                 continue;
             }
-            let cut = midpoint(v[b - 1], v[b]);
+            let cut = cut_between(v[b - 1], v[b]);
             if cuts.last().is_none_or(|&last| cut > last) {
                 cuts.push(cut);
             }
@@ -353,6 +406,55 @@ mod tests {
                 assert!(cuts.len() < k);
             }
         }
+    }
+
+    #[test]
+    fn adjacent_float_runs_are_never_split_or_emptied() {
+        // `b` is the very next float after `a`: the naive midpoint rounds
+        // back onto `a`, which would push every copy of `a` into the right
+        // interval and leave the left one empty.
+        let a = 1.0_f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        for p in [&EquiDepth as &dyn Partitioner, &KMeans1D::default()] {
+            let values = [a, a, b, b];
+            let cuts = p.cut_points(&values, 2);
+            assert_eq!(cuts.len(), 1, "{} found no cut", p.name());
+            assert!(
+                a < cuts[0] && cuts[0] <= b,
+                "{} cut on/outside run",
+                p.name()
+            );
+            assert_eq!(depth_counts(&values, &cuts), vec![2, 2], "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn k_at_least_distinct_count_gives_full_resolution() {
+        // k >= number of distinct values: one non-empty interval per
+        // distinct value, never an empty or duplicated interval.
+        let values = [5.0, 1.0, 1.0, 3.0, 3.0, 3.0, 5.0, 1.0];
+        for p in [&EquiDepth as &dyn Partitioner, &KMeans1D::default()] {
+            for k in [3, 4, 10] {
+                let cuts = p.cut_points(&values, k);
+                assert_eq!(cuts.len(), 2, "{} k={k}", p.name());
+                let counts = depth_counts(&values, &cuts);
+                assert_eq!(counts, vec![3, 3, 2], "{} k={k}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_center_seeds_survive_duplicate_runs() {
+        // 1 appears 8 times out of 10: record-quantile seeding would put
+        // both centers inside the run of 1s and collapse them, returning
+        // no cuts at all even though a 2-way split exists.
+        let mut values = vec![0.0];
+        values.extend(std::iter::repeat_n(1.0, 8));
+        values.push(2.0);
+        let cuts = KMeans1D::default().cut_points(&values, 2);
+        assert_eq!(cuts.len(), 1, "center collapse lost the split");
+        let counts = depth_counts(&values, &cuts);
+        assert!(counts.iter().all(|&c| c > 0), "empty interval: {counts:?}");
     }
 
     #[test]

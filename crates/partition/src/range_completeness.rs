@@ -24,7 +24,7 @@
 //! with `D` the attribute's domain width — the exact analogue of
 //! Equation (2) with the support quantum replaced by a range quantum.
 
-use crate::completeness::CompletenessError;
+use crate::completeness::{checked_interval_count, CompletenessError};
 
 /// Number of equi-width intervals needed so that every value range of
 /// width ≥ `min_rule_range` has a whole-interval cover of width at most
@@ -49,7 +49,7 @@ pub fn range_intervals(
         "need 0 < min_rule_range <= domain_width"
     );
     let raw = 2.0 * domain_width / (min_rule_range * (level - 1.0));
-    Ok((raw.ceil() as usize).max(1))
+    Ok(checked_interval_count(raw)?.max(1))
 }
 
 /// The range-completeness level achieved by equi-width intervals of width
@@ -60,14 +60,71 @@ pub fn achieved_range_level(interval_width: f64, min_rule_range: f64) -> f64 {
     1.0 + 2.0 * interval_width / min_rule_range
 }
 
+/// Interval index of `x`, snapped against representation error: when the
+/// quotient `(x - origin) / w` lands within a few ulps of an integer, that
+/// integer is the boundary `x` sits on and wins over `floor`/`ceil` —
+/// otherwise a boundary value whose quotient computed a hair *above* the
+/// true integer would `ceil` a whole spurious interval into the cover (and
+/// one a hair below would `floor` one out of it).
+fn snap_index(x: f64, origin: f64, w: f64, up: bool) -> f64 {
+    let q = (x - origin) / w;
+    let r = q.round();
+    // Relative tolerance: quotient error from two roundings is a few ulps.
+    if (q - r).abs() <= 1e-9 * q.abs().max(1.0) {
+        r
+    } else if up {
+        q.ceil()
+    } else {
+        q.floor()
+    }
+}
+
+/// The next float above `x` (toward `+∞`).
+fn next_up(x: f64) -> f64 {
+    debug_assert!(x.is_finite());
+    if x == 0.0 {
+        f64::from_bits(1)
+    } else if x > 0.0 {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        f64::from_bits(x.to_bits() - 1)
+    }
+}
+
 /// The tightest whole-interval cover of `[lo, hi]` for equi-width
 /// intervals of width `w` starting at `origin`: returns the cover's
 /// `(lo, hi)`. Used by the property tests to verify the guarantee.
+///
+/// Guarantees, even at float boundaries:
+/// * the cover contains `[lo, hi]` (`c_lo <= lo` and `c_hi >= hi`);
+/// * the cover has positive width — `lo == hi` yields (at least) one full
+///   interval, including when `w` underflows the ulp of `lo`;
+/// * an endpoint sitting exactly on an interval boundary does not gain a
+///   spurious extra interval from `floor`/`ceil` rounding error.
 pub fn snap_to_intervals(lo: f64, hi: f64, origin: f64, w: f64) -> (f64, f64) {
     assert!(w > 0.0 && hi >= lo);
-    let snapped_lo = origin + ((lo - origin) / w).floor() * w;
-    let snapped_hi = origin + ((hi - origin) / w).ceil() * w;
-    (snapped_lo, snapped_hi.max(snapped_lo + w))
+    let lo_idx = snap_index(lo, origin, w, false);
+    let mut hi_idx = snap_index(hi, origin, w, true);
+    if hi_idx <= lo_idx {
+        // Degenerate range on (or snapped to) a boundary: one interval.
+        hi_idx = lo_idx + 1.0;
+    }
+    let mut snapped_lo = origin + lo_idx * w;
+    let mut snapped_hi = origin + hi_idx * w;
+    // Boundary snapping must never cost containment: if the tolerance
+    // pulled an index inward past the true endpoint, push it back out.
+    if snapped_lo > lo {
+        snapped_lo = origin + (lo_idx - 1.0) * w;
+    }
+    if snapped_hi < hi {
+        snapped_hi = origin + (hi_idx + 1.0) * w;
+    }
+    // `w` below the ulp of the endpoints can still collapse the cover
+    // (e.g. `origin + (k + 1) * w == origin + k * w`); force positive width.
+    if snapped_hi <= snapped_lo {
+        snapped_hi = next_up(snapped_lo.max(hi));
+    }
+    (snapped_lo, snapped_hi)
 }
 
 #[cfg(test)]
@@ -144,5 +201,45 @@ mod tests {
         assert_eq!(snap_to_intervals(10.0, 20.0, 0.0, 5.0), (10.0, 20.0));
         // Degenerate range still gets one full interval.
         assert_eq!(snap_to_intervals(12.0, 12.0, 0.0, 5.0), (10.0, 15.0));
+    }
+
+    #[test]
+    fn snap_degenerate_range_on_boundary_gets_one_interval() {
+        // lo == hi exactly on an interval boundary: exactly one interval,
+        // not zero width and not two.
+        assert_eq!(snap_to_intervals(10.0, 10.0, 0.0, 5.0), (10.0, 15.0));
+        assert_eq!(snap_to_intervals(0.0, 0.0, 0.0, 5.0), (0.0, 5.0));
+    }
+
+    #[test]
+    fn snap_no_spurious_interval_on_exact_boundary() {
+        // 0.7 / 0.07 computes as 10.000000000000002: a raw `ceil` would
+        // cover 11 intervals where 10 suffice.
+        let w = 0.07;
+        let (c_lo, c_hi) = snap_to_intervals(0.0, 0.7, 0.0, w);
+        assert_eq!(c_lo, 0.0);
+        assert!(c_hi >= 0.7, "cover lost containment: {c_hi}");
+        let intervals = (c_hi - c_lo) / w;
+        assert!(
+            intervals < 10.5,
+            "spurious extra interval: {intervals} intervals"
+        );
+        // Same on the low side: 0.07 * 3 = 0.21000000000000002 as a `lo`
+        // must not lose an interval by flooring below index 3.
+        let lo = 3.0 * w;
+        let (c_lo, c_hi) = snap_to_intervals(lo, 0.7, 0.0, w);
+        assert!(c_lo <= lo && c_hi >= 0.7);
+        assert!((c_lo / w - 3.0).abs() < 0.5, "low side off: {c_lo}");
+    }
+
+    #[test]
+    fn snap_survives_width_below_endpoint_ulp() {
+        // At 1e16 the float spacing is 2.0, so adding w = 0.5 is a no-op;
+        // the cover must still come back with positive width containing
+        // the degenerate range.
+        let x = 1e16;
+        let (c_lo, c_hi) = snap_to_intervals(x, x, 0.0, 0.5);
+        assert!(c_lo <= x && c_hi >= x);
+        assert!(c_hi > c_lo, "zero-width cover at large magnitude");
     }
 }

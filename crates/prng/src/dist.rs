@@ -1,0 +1,226 @@
+//! Value-distribution generators for edge-region fuzzing.
+//!
+//! Uniform streams almost never hit the inputs where boundary bugs live:
+//! duplicate-heavy columns that stress tie handling, values packed into a
+//! few-ulp float neighborhood that stress midpoint rounding, and
+//! fractions sitting *exactly* on `k/n` thresholds that stress
+//! strict-vs-non-strict comparisons. These samplers make those regions
+//! the common case instead of the astronomically rare one.
+
+use crate::Prng;
+
+impl Prng {
+    /// Index sampled proportionally to `weights` (non-negative, not all
+    /// zero — a degenerate weight vector falls back to uniform).
+    pub fn gen_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "gen_weighted: no weights");
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 {
+            return self.gen_range(0..weights.len());
+        }
+        let mut x = self.gen_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0.0 {
+                x -= w;
+                if x < 0.0 {
+                    return i;
+                }
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Zipf-distributed rank in `0..n`: rank `r` with probability
+    /// proportional to `1 / (r + 1)^exponent`. Exponent `0` is uniform;
+    /// larger exponents concentrate mass on the first ranks — the classic
+    /// shape of a duplicate-heavy column.
+    pub fn gen_zipf(&mut self, n: usize, exponent: f64) -> usize {
+        assert!(n > 0, "gen_zipf: empty support");
+        // n is small in this workspace (column cardinalities); the O(n)
+        // inverse-CDF walk is simpler than rejection sampling and exact.
+        let total: f64 = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).sum();
+        let mut x = self.gen_f64() * total;
+        for r in 0..n {
+            x -= 1.0 / ((r + 1) as f64).powf(exponent);
+            if x < 0.0 {
+                return r;
+            }
+        }
+        n - 1
+    }
+
+    /// A duplicate-heavy column: `len` draws from only `distinct` values,
+    /// Zipf-weighted so a few values dominate. The values themselves are
+    /// spread over `0..distinct * 3` so runs and gaps both occur.
+    pub fn gen_duplicate_heavy(&mut self, len: usize, distinct: usize) -> Vec<f64> {
+        assert!(distinct > 0);
+        let pool: Vec<f64> = (0..distinct)
+            .map(|_| self.gen_range(0i64..(distinct as i64 * 3).max(2)) as f64)
+            .collect();
+        (0..len)
+            .map(|_| pool[self.gen_zipf(distinct, 1.5)])
+            .collect()
+    }
+
+    /// A column whose values all sit within `radius_ulps` representable
+    /// floats of `base` — adjacent-float territory, where a midpoint
+    /// between two values can round onto one of them.
+    pub fn gen_ulp_neighborhood(&mut self, len: usize, base: f64, radius_ulps: u64) -> Vec<f64> {
+        assert!(base.is_finite() && base > 0.0, "positive finite base");
+        let bits = base.to_bits();
+        (0..len)
+            .map(|_| f64::from_bits(bits + self.gen_range(0..radius_ulps + 1)))
+            .collect()
+    }
+
+    /// A clustered column: values in `clusters` groups, each group packed
+    /// within `spread` of its center — k-means-style structure with
+    /// near-duplicates inside clusters.
+    pub fn gen_clustered(&mut self, len: usize, clusters: usize, spread: f64) -> Vec<f64> {
+        assert!(clusters > 0);
+        let centers: Vec<f64> = (0..clusters)
+            .map(|i| i as f64 * 10.0 + self.gen_f64())
+            .collect();
+        (0..len)
+            .map(|_| {
+                let c = centers[self.gen_range(0..clusters)];
+                c + self.gen_f64() * spread
+            })
+            .collect()
+    }
+
+    /// A fraction for thresholds like minsup/minconf, skewed toward the
+    /// edge regions where rounding bugs live: exact grid points `k/n`
+    /// (so `ceil(minsup·rows)` sits on an integer), near-zero, near-one,
+    /// and the endpoints themselves. `denominator` is typically the row
+    /// count of the table under test. Always in `(0, 1]`.
+    pub fn gen_edge_fraction(&mut self, denominator: u64) -> f64 {
+        let n = denominator.max(1);
+        match self.gen_weighted(&[4.0, 2.0, 1.0, 1.0, 2.0]) {
+            // Exactly k/n for a uniform k — the boundary where a support
+            // count equals the threshold.
+            0 => self.gen_range(1..n + 1) as f64 / n as f64,
+            // Near zero (everything frequent).
+            1 => f64::from_bits(self.gen_range(1u64..0x0010_0000_0000_0000)).max(1e-300),
+            // Just below one.
+            2 => 1.0 - f64::EPSILON * self.gen_range(1i64..8) as f64,
+            // Exactly one.
+            3 => 1.0,
+            // Plain uniform.
+            _ => loop {
+                let x = self.gen_f64();
+                if x > 0.0 {
+                    break x;
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_tracks_weights() {
+        let mut r = Prng::seed_from_u64(1);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.gen_weighted(&[1.0, 2.0, 1.0])] += 1;
+        }
+        assert!(counts[1] > counts[0] && counts[1] > counts[2], "{counts:?}");
+        // Zero-weight entries are never picked.
+        for _ in 0..1000 {
+            assert_ne!(r.gen_weighted(&[1.0, 0.0, 1.0]), 1);
+        }
+        // All-zero weights degrade to uniform without panicking.
+        let _ = r.gen_weighted(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_concentrates_on_low_ranks() {
+        let mut r = Prng::seed_from_u64(2);
+        let mut counts = vec![0u32; 6];
+        for _ in 0..30_000 {
+            counts[r.gen_zipf(6, 1.5)] += 1;
+        }
+        assert!(counts[0] > counts[5] * 4, "{counts:?}");
+        // Exponent 0 is uniform-ish.
+        let mut flat = vec![0u32; 4];
+        for _ in 0..20_000 {
+            flat[r.gen_zipf(4, 0.0)] += 1;
+        }
+        let (lo, hi) = (
+            *flat.iter().min().unwrap() as f64,
+            *flat.iter().max().unwrap() as f64,
+        );
+        assert!(hi / lo < 1.2, "{flat:?}");
+    }
+
+    #[test]
+    fn duplicate_heavy_has_heavy_duplicates() {
+        let mut r = Prng::seed_from_u64(3);
+        let v = r.gen_duplicate_heavy(100, 4);
+        assert_eq!(v.len(), 100);
+        let mut d = v.clone();
+        d.sort_by(f64::total_cmp);
+        d.dedup();
+        assert!(d.len() <= 4, "at most `distinct` values: {d:?}");
+    }
+
+    #[test]
+    fn ulp_neighborhood_stays_within_radius() {
+        let mut r = Prng::seed_from_u64(4);
+        let base = 1.0f64;
+        let v = r.gen_ulp_neighborhood(200, base, 3);
+        for x in &v {
+            let d = x.to_bits() - base.to_bits();
+            assert!(d <= 3, "{x} is {d} ulps from base");
+        }
+        // With radius 3 and 200 draws, adjacent floats must occur.
+        let mut d: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+        d.sort_unstable();
+        d.dedup();
+        assert!(d.len() >= 3, "neighborhood too narrow: {d:?}");
+    }
+
+    #[test]
+    fn clustered_values_cluster() {
+        let mut r = Prng::seed_from_u64(5);
+        let v = r.gen_clustered(300, 3, 0.5);
+        assert_eq!(v.len(), 300);
+        // Every value is within spread+1 of some cluster center lattice
+        // point (centers at ~0, ~10, ~20).
+        for x in &v {
+            let nearest = (x / 10.0).round() * 10.0;
+            assert!((x - nearest).abs() < 2.0, "{x} not near any cluster");
+        }
+    }
+
+    #[test]
+    fn edge_fractions_are_valid_and_hit_edges() {
+        let mut r = Prng::seed_from_u64(6);
+        let mut exact_grid = 0;
+        let mut ones = 0;
+        for _ in 0..5000 {
+            let f = r.gen_edge_fraction(20);
+            assert!(f > 0.0 && f <= 1.0, "{f} out of (0, 1]");
+            if f == 1.0 {
+                ones += 1;
+            }
+            if (f * 20.0).fract() == 0.0 && f < 1.0 {
+                exact_grid += 1;
+            }
+        }
+        assert!(exact_grid > 500, "grid fractions too rare: {exact_grid}");
+        assert!(ones > 100, "exact 1.0 too rare: {ones}");
+    }
+
+    #[test]
+    fn dist_streams_are_deterministic() {
+        let mut a = Prng::seed_from_u64(9);
+        let mut b = Prng::seed_from_u64(9);
+        assert_eq!(a.gen_duplicate_heavy(50, 5), b.gen_duplicate_heavy(50, 5));
+        assert_eq!(a.gen_edge_fraction(17), b.gen_edge_fraction(17));
+    }
+}

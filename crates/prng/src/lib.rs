@@ -8,12 +8,17 @@
 //!   `gen_bool`, `shuffle`, and friends, API-compatible with the way the
 //!   data generators used `rand::rngs::StdRng`;
 //! * [`cases`] — a tiny property-test driver: run a closure over many
-//!   independently-seeded generators and report the failing case seed.
+//!   independently-seeded generators and report the failing case seed;
+//! * [`dist`] — value-distribution samplers (Zipf, duplicate-heavy,
+//!   ulp-neighborhood, exact-grid fractions) that skew fuzzing toward the
+//!   edge regions where boundary bugs live.
 //!
 //! Streams are stable across platforms and releases: tests and golden
 //! snapshots may rely on exact sequences for a fixed seed.
 
 #![warn(missing_docs)]
+
+pub mod dist;
 
 use std::ops::Range;
 

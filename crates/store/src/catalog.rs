@@ -106,6 +106,19 @@ impl Catalog {
         &self.stats
     }
 
+    /// True when two catalogs carry the same mining *content*: schema,
+    /// encoders, row count, rules (bit-for-bit supports and confidences),
+    /// and interest verdicts. Run statistics are excluded — they describe
+    /// how a mine ran, not what it found. This is the equality a
+    /// save→load round trip must preserve.
+    pub fn content_eq(&self, other: &Catalog) -> bool {
+        self.schema == other.schema
+            && self.encoders == other.encoders
+            && self.num_rows == other.num_rows
+            && self.rules == other.rules
+            && self.interest == other.interest
+    }
+
     /// Serialize to `.qarcat` bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();

@@ -30,6 +30,32 @@ fn arbitrary_catalogs_round_trip_bit_exactly() {
     });
 }
 
+/// A decoded catalog is [`Catalog::content_eq`] to the one that was
+/// encoded (whenever content equality is decidable — NaN confidences make
+/// a catalog unequal even to itself, exactly like `f64` comparison), and
+/// two independently drawn catalogs with different bytes are not.
+#[test]
+fn round_trip_preserves_content_equality() {
+    qar_prng::cases(32, 0xC07E47, |case, rng| {
+        let catalog = arb_catalog(rng);
+        let bytes = catalog.encode();
+        let back = Catalog::decode(&bytes).expect("valid catalog decodes");
+        let has_nan = catalog.rules().iter().any(|r| r.confidence.is_nan());
+        assert_eq!(
+            back.content_eq(&catalog),
+            !has_nan,
+            "case {case}: round trip must preserve content (modulo NaN)"
+        );
+        let other = arb_catalog(rng);
+        if other.schema() != back.schema() || other.rules() != back.rules() {
+            assert!(
+                !back.content_eq(&other),
+                "case {case}: catalogs with different schemas/rules compared equal"
+            );
+        }
+    });
+}
+
 /// Flipping any single byte always produces an `Err` (the magic, version,
 /// and per-section CRCs leave no unprotected byte) and never a panic.
 #[test]

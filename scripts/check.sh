@@ -56,6 +56,13 @@ fi
 # Query throughput floor (the bin exits non-zero below 10k queries/sec).
 QAR_BENCH_QUICK=1 ./target/release/store_query > /dev/null
 
+echo "==> fuzz smoke (200 differential cases, fixed seed)"
+# A short deterministic sweep of the differential oracle: serial miner,
+# parallel miner, naive reference, apriori bridge, and catalog round trip
+# must agree on every generated case. Divergences minimize into
+# tests/fuzz_repros/ fixtures; a clean run writes nothing.
+./target/release/qar fuzz --iters 200 --seed 42
+
 echo "==> clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

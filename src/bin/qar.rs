@@ -36,6 +36,11 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e.to_string()),
         },
+        Ok(Command::Fuzz(fuzz)) => match run_fuzz(&fuzz) {
+            Ok(0) => ExitCode::SUCCESS,
+            Ok(n) => fail(&format!("{n} divergence(s) found; see fixtures above")),
+            Err(e) => fail(&e.to_string()),
+        },
         Err(e) => fail(&e.to_string()),
     }
 }
@@ -72,6 +77,14 @@ fn run_store_check(args: &cli::StoreCheckArgs) -> Result<(), Box<dyn std::error:
 fn fail(msg: &str) -> ExitCode {
     eprintln!("qar: {msg}");
     ExitCode::FAILURE
+}
+
+fn run_fuzz(args: &cli::FuzzArgs) -> Result<usize, Box<dyn std::error::Error>> {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let divergences = cli::run_fuzz(args, &mut lock)?;
+    lock.flush()?;
+    Ok(divergences)
 }
 
 fn run_mine(args: &cli::MineArgs) -> Result<(), Box<dyn std::error::Error>> {

@@ -34,6 +34,8 @@ pub enum Command {
     Query(QueryArgs),
     /// Validate a `.qarcat` catalog file.
     StoreCheck(StoreCheckArgs),
+    /// Differentially fuzz every mining path against its references.
+    Fuzz(FuzzArgs),
     /// Print usage.
     Help,
 }
@@ -102,6 +104,17 @@ pub struct StoreCheckArgs {
     pub input: String,
 }
 
+/// Arguments of `qar fuzz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzArgs {
+    /// Number of fuzz iterations.
+    pub iters: u64,
+    /// Base RNG seed; each iteration derives its own replayable seed.
+    pub seed: u64,
+    /// Directory minimized repro fixtures are written to.
+    pub out: String,
+}
+
 /// Output format for `qar mine`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OutputFormat {
@@ -153,6 +166,7 @@ USAGE:
   qar query CATALOG [--record K=V,...|--range A=LO..HI] [--top-k N] [--by M]
   qar store-check [CATALOG]
   qar trace-check [TRACE] [--schema FILE]
+  qar fuzz [--iters N] [--seed S] [--out DIR]
   qar help
 
 MINE OPTIONS:
@@ -210,6 +224,17 @@ TRACE-CHECK:
   trace-event schema.
   --schema FILE         schema to validate against
                         [default schemas/trace_events.schema.json]
+
+FUZZ:
+  Draws random tables and configurations (skewed toward boundary cases)
+  and cross-checks every mining path — serial, parallel, the brute-force
+  reference, the apriori bridge, and the catalog round trip — for
+  agreement. On divergence the failing case is shrunk to a minimal repro
+  and written as a fixture under --out; the exit code is non-zero.
+  --iters N             fuzz iterations                 [default 200]
+  --seed S              base RNG seed (each iteration derives a
+                        replayable per-case seed)       [default 42]
+  --out DIR             fixture directory    [default tests/fuzz_repros]
 ";
 
 /// Split an optional leading positional argument (anything not starting
@@ -508,6 +533,26 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 return Err(err("store-check takes no flags"));
             }
             Ok(Command::StoreCheck(StoreCheckArgs { input }))
+        }
+        "fuzz" => {
+            let map = parse_flag_map(&args[1..])?;
+            for key in map.keys() {
+                if !["iters", "seed", "out"].contains(&key.as_str()) {
+                    return Err(err(format!("fuzz does not take --{key}")));
+                }
+            }
+            let iters = parse_usize(&map, "iters", 200)? as u64;
+            if iters == 0 {
+                return Err(err("--iters must be at least 1"));
+            }
+            Ok(Command::Fuzz(FuzzArgs {
+                iters,
+                seed: parse_usize(&map, "seed", 42)? as u64,
+                out: map
+                    .get("out")
+                    .cloned()
+                    .unwrap_or_else(|| "tests/fuzz_repros".into()),
+            }))
         }
         other => Err(err(format!("unknown command `{other}` (try `qar help`)"))),
     }
@@ -886,6 +931,60 @@ pub fn run_store_check(
     Ok(())
 }
 
+/// Execute `qar fuzz`: run the differential oracle, write one fixture
+/// file per minimized failure under `args.out`, and return how many
+/// divergences were found (the binary exits non-zero when `> 0`).
+pub fn run_fuzz(
+    args: &FuzzArgs,
+    out: &mut impl std::io::Write,
+) -> Result<usize, Box<dyn std::error::Error>> {
+    writeln!(
+        out,
+        "fuzzing {} iteration(s) from seed {} ...",
+        args.iters, args.seed
+    )?;
+    let mut progress: Vec<String> = Vec::new();
+    let report = qar_oracle::run_fuzz(args.iters, args.seed, |line| {
+        progress.push(line.to_string());
+    });
+    for line in &progress {
+        writeln!(out, "  {line}")?;
+    }
+    let kinds: Vec<String> = report
+        .kind_counts
+        .iter()
+        .map(|(kind, count)| format!("{count} {kind}"))
+        .collect();
+    writeln!(
+        out,
+        "ran {} case(s) ({})",
+        report.iterations,
+        kinds.join(", ")
+    )?;
+    if report.ok() {
+        writeln!(out, "all paths agreed on every case")?;
+        return Ok(0);
+    }
+    std::fs::create_dir_all(&args.out).map_err(|e| {
+        err(format!(
+            "cannot create fixture directory `{}`: {e}",
+            args.out
+        ))
+    })?;
+    for failure in &report.failures {
+        let path = std::path::Path::new(&args.out).join(format!(
+            "{}_{:016x}.txt",
+            failure.case.kind(),
+            failure.case_seed
+        ));
+        std::fs::write(&path, &failure.fixture)
+            .map_err(|e| err(format!("cannot write fixture `{}`: {e}", path.display())))?;
+        writeln!(out, "DIVERGENCE {}", failure.divergence)?;
+        writeln!(out, "  minimized repro written to {}", path.display())?;
+    }
+    Ok(report.failures.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -992,6 +1091,51 @@ mod tests {
         assert!(parse_command(&argv("mine --input f --schema a:q --minsup 2.0")).is_err());
         assert!(parse_command(&argv("mine --input f --schema a:q --strategy diagonal")).is_err());
         assert!(parse_command(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn fuzz_defaults_and_flags() {
+        let cmd = parse_command(&argv("fuzz")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fuzz(FuzzArgs {
+                iters: 200,
+                seed: 42,
+                out: "tests/fuzz_repros".into(),
+            })
+        );
+        let cmd = parse_command(&argv("fuzz --iters 1000 --seed 7 --out /tmp/repros")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fuzz(FuzzArgs {
+                iters: 1000,
+                seed: 7,
+                out: "/tmp/repros".into(),
+            })
+        );
+        assert!(parse_command(&argv("fuzz --iters 0")).is_err());
+        assert!(parse_command(&argv("fuzz --iters nope")).is_err());
+        assert!(parse_command(&argv("fuzz --input f")).is_err());
+    }
+
+    /// A short in-process fuzz run through the CLI plumbing: clean repo,
+    /// zero divergences, nothing written to the fixture directory.
+    #[test]
+    fn run_fuzz_smoke_reports_clean() {
+        let args = FuzzArgs {
+            iters: 30,
+            seed: 0xCAFE,
+            out: "target/test-fuzz-out-should-not-exist".into(),
+        };
+        let mut report = Vec::new();
+        let divergences = run_fuzz(&args, &mut report).expect("fuzz runs");
+        let text = String::from_utf8(report).unwrap();
+        assert_eq!(divergences, 0, "{text}");
+        assert!(text.contains("all paths agreed"), "{text}");
+        assert!(
+            !std::path::Path::new(&args.out).exists(),
+            "clean run must not create the fixture directory"
+        );
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Every fixture under `tests/fuzz_repros/` is a minimized repro of a
+//! boundary bug that has since been fixed: parsing it and re-running the
+//! differential oracle must come back clean. Re-introducing any of those
+//! bugs makes this test fail, naming the fixture — the cheap, permanent
+//! half of the fuzz subsystem (the `qar fuzz` sweep is the exploratory
+//! half).
+
+use qar_oracle::{check_case, repro};
+
+#[test]
+fn checked_in_repros_stay_fixed() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fuzz_repros");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("fixture directory exists")
+        .map(|entry| entry.expect("readable directory entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 6,
+        "expected the checked-in fixtures, found only {}",
+        paths.len()
+    );
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("readable fixture");
+        let case = repro::parse(&text)
+            .unwrap_or_else(|e| panic!("fixture {} does not parse: {e}", path.display()));
+        if let Err(divergence) = check_case(&case) {
+            panic!(
+                "fixture {} diverges again: {divergence}\n\n{text}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// The fixture format and the oracle agree end to end: a case that goes
+/// through serialize → parse is checked identically to the original.
+#[test]
+fn fixtures_round_trip_through_the_oracle() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fuzz_repros");
+    for entry in std::fs::read_dir(dir).expect("fixture directory exists") {
+        let path = entry.expect("readable directory entry").path();
+        if path.extension().is_none() || path.extension().is_some_and(|e| e != "txt") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable fixture");
+        let case = repro::parse(&text).expect("fixture parses");
+        let reserialized = repro::serialize(&case, "round trip");
+        let reparsed = repro::parse(&reserialized).expect("own output parses");
+        assert_eq!(
+            check_case(&case).is_ok(),
+            check_case(&reparsed).is_ok(),
+            "round trip changed the verdict for {}",
+            path.display()
+        );
+    }
+}
