@@ -1,0 +1,267 @@
+//! Scan-kernel throughput benchmark: the support-counting record scan
+//! (`count_candidates_opts`) measured serial vs pooled and memoized vs
+//! direct, on the two tables that bracket the memo cache's behavior:
+//!
+//! * **duplicate-heavy** — 3 low-cardinality categorical attributes
+//!   (24 distinct tuples cover every row) + 1 small quantitative, the
+//!   regime the categorical-tuple cache is built for;
+//! * **all-distinct** — every row's categorical tuple is unique, so the
+//!   cache saturates at its admission limit and the scan degenerates to
+//!   the direct walk plus cache-probe overhead (the worst case the memo
+//!   path must not regress).
+//!
+//! Usage: `cargo run --release -p qar-bench --bin scan_kernel [records]`
+//!
+//! Each measurement prints the human harness line plus one JSON line
+//! (`rows_per_sec` extra). The whole suite is also written as a single
+//! JSON document to `BENCH_scan.json` (override the path with
+//! `QAR_BENCH_OUT`) — the committed copy at the repo root is the
+//! baseline future perf work diffs against. Exit is non-zero when the
+//! memoized pooled scan falls below the throughput floor, when
+//! memoization fails to beat the direct scan on the duplicate-heavy
+//! table, or when it regresses the all-distinct worst case.
+
+use qar_bench::experiments::records_arg;
+use qar_bench::harness::{bench, json_line};
+use qar_core::supercand::{count_candidates_opts, ScanOptions};
+use qar_core::WorkerPool;
+use qar_itemset::{Item, Itemset};
+use qar_table::{EncodedTable, Schema, Table, Value};
+
+/// Threads for the pooled measurements (the acceptance criteria are
+/// stated at 4 threads).
+const THREADS: usize = 4;
+
+/// Floors enforced on exit (chosen well under the committed baseline so
+/// machine variance in CI cannot trip them spuriously):
+/// memoized pooled rows/sec on the duplicate-heavy table…
+const FLOOR_ROWS_PER_SEC: f64 = 1_000_000.0;
+/// …memoized/direct speedup there (acceptance asks for ≥ 1.4×)…
+const FLOOR_DUP_SPEEDUP: f64 = 1.4;
+/// …and the memoized/direct ratio on the all-distinct worst case
+/// (acceptance allows at most a 5% regression; quick CI runs get slack).
+const FLOOR_DISTINCT_RATIO: f64 = 0.80;
+
+/// The duplicate-heavy table: c0 × c1 × c2 cycle through 2 × 3 × 4
+/// labels (24 distinct categorical tuples regardless of row count) and
+/// q cycles through 5 values.
+fn duplicate_heavy(rows: usize) -> EncodedTable {
+    let schema = Schema::builder()
+        .categorical("c0")
+        .categorical("c1")
+        .categorical("c2")
+        .quantitative("q")
+        .build()
+        .expect("static schema");
+    let mut t = Table::new(schema);
+    let c0 = ["a", "b"];
+    let c1 = ["u", "v", "w"];
+    let c2 = ["p", "q", "r", "s"];
+    for i in 0..rows {
+        t.push_row(&[
+            Value::from(c0[i % c0.len()]),
+            Value::from(c1[i % c1.len()]),
+            Value::from(c2[i % c2.len()]),
+            Value::Int((i % 5) as i64),
+        ])
+        .expect("row matches schema");
+    }
+    EncodedTable::encode_full_resolution(&t).expect("encode")
+}
+
+/// The all-distinct worst case: three coprime-cardinality categorical
+/// attributes whose combined tuple is unique for every row up to
+/// 59 × 61 × 57 ≈ 205k, far past the memo admission limit.
+fn all_distinct(rows: usize) -> EncodedTable {
+    assert!(rows <= 59 * 61 * 57, "tuples would repeat");
+    let schema = Schema::builder()
+        .categorical("c0")
+        .categorical("c1")
+        .categorical("c2")
+        .quantitative("q")
+        .build()
+        .expect("static schema");
+    let mut t = Table::new(schema);
+    for i in 0..rows {
+        t.push_row(&[
+            Value::from(format!("v{}", i % 59)),
+            Value::from(format!("v{}", (i / 59) % 61)),
+            Value::from(format!("v{}", (i / (59 * 61)) % 57)),
+            Value::Int((i % 5) as i64),
+        ])
+        .expect("row matches schema");
+    }
+    EncodedTable::encode_full_resolution(&t).expect("encode")
+}
+
+/// A fixed candidate set over the first few codes of each categorical
+/// attribute plus quant-range supersets — enough hash-tree depth and
+/// rectangle work that the scan resembles a real pass `k ≥ 2`.
+fn candidates(encoded: &EncodedTable) -> Vec<Itemset> {
+    let card = |attr: usize| {
+        encoded
+            .encoder(qar_table::AttributeId(attr))
+            .cardinality()
+            .min(4)
+    };
+    let (n0, n1, n2) = (card(0), card(1), card(2));
+    let mut out = Vec::new();
+    for a in 0..n0 {
+        for b in 0..n1 {
+            out.push(Itemset::new(vec![Item::value(0, a), Item::value(1, b)]));
+            for c in 0..n2 {
+                out.push(Itemset::new(vec![
+                    Item::value(0, a),
+                    Item::value(1, b),
+                    Item::value(2, c),
+                ]));
+            }
+        }
+    }
+    // Mixed categorical + quantitative candidates exercise the rect
+    // counters behind the tree walk.
+    for a in 0..n0 {
+        for (lo, hi) in [(0u32, 1u32), (1, 3), (0, 4)] {
+            out.push(Itemset::new(vec![
+                Item::value(0, a),
+                Item::range(3, lo, hi),
+            ]));
+        }
+    }
+    out
+}
+
+struct Measurement {
+    label: String,
+    json: String,
+    rows_per_sec: f64,
+}
+
+/// Time one scan configuration and return its JSON line + throughput.
+fn measure(
+    table_name: &str,
+    encoded: &EncodedTable,
+    cands: &[Itemset],
+    threads: usize,
+    pool: Option<&WorkerPool>,
+    memoize: bool,
+) -> Measurement {
+    let rows = encoded.num_rows() as f64;
+    let mode = if memoize { "memo" } else { "direct" };
+    let exec = if threads == 1 {
+        "serial".to_string()
+    } else {
+        format!("pooled{threads}")
+    };
+    let label = format!("{table_name} {exec} {mode}");
+    let opts = ScanOptions {
+        pool,
+        memoize,
+        ..ScanOptions::new(threads)
+    };
+    let sample = bench(&label, || {
+        count_candidates_opts(encoded, cands, None, opts).expect("no cancel token")
+    });
+    let rows_per_sec = rows / sample.median.as_secs_f64();
+    let json = json_line(
+        &label,
+        &sample,
+        &[
+            ("rows_per_sec", rows_per_sec),
+            ("threads", threads as f64),
+            ("memoized", if memoize { 1.0 } else { 0.0 }),
+        ],
+    );
+    println!("{json}");
+    Measurement {
+        label,
+        json,
+        rows_per_sec,
+    }
+}
+
+fn main() {
+    let records = records_arg(200_000);
+    let pool = WorkerPool::new(THREADS);
+
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut suite = Vec::new();
+    for (name, encoded) in [
+        ("dup_heavy", duplicate_heavy(records)),
+        ("all_distinct", all_distinct(records.min(59 * 61 * 57))),
+    ] {
+        let cands = candidates(&encoded);
+        println!(
+            "\n{name}: {} rows, {} candidates",
+            encoded.num_rows(),
+            cands.len()
+        );
+        for (threads, memoize) in [(1, false), (1, true), (THREADS, false), (THREADS, true)] {
+            let pool_ref = (threads > 1).then_some(&pool);
+            results.push(measure(name, &encoded, &cands, threads, pool_ref, memoize));
+        }
+        suite.push((name, results.split_off(0)));
+    }
+
+    let find = |rs: &[Measurement], needle: &str| -> f64 {
+        rs.iter()
+            .find(|m| m.label.contains(needle))
+            .map(|m| m.rows_per_sec)
+            .expect("measurement present")
+    };
+    let dup = &suite[0].1;
+    let distinct = &suite[1].1;
+    let dup_memo_4t = find(dup, &format!("pooled{THREADS} memo"));
+    let dup_direct_4t = find(dup, &format!("pooled{THREADS} direct"));
+    let distinct_memo_4t = find(distinct, &format!("pooled{THREADS} memo"));
+    let distinct_direct_4t = find(distinct, &format!("pooled{THREADS} direct"));
+    let dup_speedup = dup_memo_4t / dup_direct_4t;
+    let distinct_ratio = distinct_memo_4t / distinct_direct_4t;
+
+    // Assemble the committed baseline document: suite metadata, every
+    // per-measurement JSON object, and the two acceptance ratios.
+    let mut doc = String::from("{\"suite\":\"scan_kernel\"");
+    doc.push_str(&format!(",\"records\":{records},\"threads\":{THREADS}"));
+    doc.push_str(&format!(
+        ",\"dup_memo_speedup_4t\":{dup_speedup:.4},\"distinct_memo_ratio_4t\":{distinct_ratio:.4}"
+    ));
+    doc.push_str(",\"results\":[");
+    let all: Vec<&str> = suite
+        .iter()
+        .flat_map(|(_, rs)| rs.iter().map(|m| m.json.as_str()))
+        .collect();
+    doc.push_str(&all.join(","));
+    doc.push_str("]}");
+    let out_path = std::env::var("QAR_BENCH_OUT").unwrap_or_else(|_| "BENCH_scan.json".to_string());
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write bench JSON");
+
+    println!(
+        "\nduplicate-heavy @{THREADS}t: memo {dup_memo_4t:.0} rows/s vs direct \
+         {dup_direct_4t:.0} rows/s ({dup_speedup:.2}x, floor {FLOOR_DUP_SPEEDUP}x)"
+    );
+    println!(
+        "all-distinct  @{THREADS}t: memo {distinct_memo_4t:.0} rows/s vs direct \
+         {distinct_direct_4t:.0} rows/s (ratio {distinct_ratio:.2}, floor {FLOOR_DISTINCT_RATIO})"
+    );
+    println!("wrote {out_path}");
+
+    let mut failed = false;
+    if dup_memo_4t < FLOOR_ROWS_PER_SEC {
+        eprintln!("scan_kernel: memoized pooled scan below {FLOOR_ROWS_PER_SEC} rows/sec");
+        failed = true;
+    }
+    if dup_speedup < FLOOR_DUP_SPEEDUP {
+        eprintln!("scan_kernel: memoization speedup {dup_speedup:.2}x below {FLOOR_DUP_SPEEDUP}x");
+        failed = true;
+    }
+    if distinct_ratio < FLOOR_DISTINCT_RATIO {
+        eprintln!(
+            "scan_kernel: memoization regresses the all-distinct case \
+             ({distinct_ratio:.2} < {FLOOR_DISTINCT_RATIO})"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

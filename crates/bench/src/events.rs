@@ -82,6 +82,10 @@ mod tests {
             scan_us,
             merge_us: 7,
             shard_scan_us: shards,
+            pooled: true,
+            memoized: false,
+            distinct_tuples: 0,
+            memo_hits: 0,
         }
     }
 

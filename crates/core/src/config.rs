@@ -96,6 +96,13 @@ pub struct MinerConfig {
     /// their integer counts are summed in shard order — so this knob is
     /// pure performance, never semantics.
     pub parallelism: Option<std::num::NonZeroUsize>,
+    /// Enable categorical-tuple memoization in the support-counting scan:
+    /// each shard caches `categorical tuple → matched super-candidates`
+    /// so the hash-tree subset walk runs once per *distinct* tuple rather
+    /// than once per row. Counts are bit-identical either way — this knob
+    /// (default `true`) exists for the `--no-memoize` ablation and the
+    /// differential fuzz oracle.
+    pub memoize_scan: bool,
 }
 
 impl Default for MinerConfig {
@@ -115,6 +122,7 @@ impl Default for MinerConfig {
             }),
             max_itemset_size: 0,
             parallelism: None,
+            memoize_scan: true,
         }
     }
 }

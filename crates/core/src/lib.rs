@@ -37,6 +37,7 @@ pub mod miner;
 pub mod naive;
 pub mod output;
 pub mod pipeline;
+pub mod pool;
 pub mod rules;
 pub mod supercand;
 
@@ -54,4 +55,5 @@ pub use miner::Miner;
 pub use output::RuleDecoder;
 #[allow(deprecated)]
 pub use pipeline::{mine_table, MiningOutput, MiningStats};
+pub use pool::WorkerPool;
 pub use rules::{generate_rules, QuantRule};

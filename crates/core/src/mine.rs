@@ -3,8 +3,9 @@
 use crate::candidate::{generate_candidates, interest_prune_level1};
 use crate::config::{CancelledInfo, InterestMode, MinerConfig, MinerError};
 use crate::frequent::{find_frequent_items, QuantFrequentItemsets};
+use crate::pool::WorkerPool;
 use crate::supercand::{
-    count_candidates_cancellable, count_pairs_cancellable, PassStats, ScanCancelled,
+    count_candidates_opts, count_pairs_opts, PassStats, ScanCancelled, ScanOptions,
 };
 
 /// Cell budget for the implicit pass-2 arrays (64 MB of u64 cells).
@@ -54,6 +55,9 @@ pub(crate) struct RunCtx<'a> {
     pub sink: Option<&'a dyn ProgressSink>,
     /// Checked at pass boundaries and inside shard scans.
     pub cancel: Option<&'a CancelToken>,
+    /// Runs the shard tasks of every counting pass. `None` falls back to
+    /// the process-wide [`WorkerPool::global`].
+    pub pool: Option<&'a WorkerPool>,
 }
 
 impl<'a> RunCtx<'a> {
@@ -107,6 +111,10 @@ fn pass_finished_event(
         scan_us: micros(stats.scan_time),
         merge_us: micros(stats.merge_time),
         shard_scan_us: stats.shard_scan_times.iter().map(|&d| micros(d)).collect(),
+        pooled: stats.pooled,
+        memoized: stats.memoized,
+        distinct_tuples: stats.distinct_tuples,
+        memo_hits: stats.memo_hits,
     }
 }
 
@@ -149,6 +157,12 @@ pub(crate) fn mine_encoded_ctx(
     let mut stats = MineStats::default();
     let num_threads = config.effective_parallelism();
     stats.parallelism = num_threads;
+    let scan_opts = ScanOptions {
+        cancel: ctx.cancel,
+        pool: ctx.pool,
+        memoize: config.memoize_scan,
+        ..ScanOptions::new(num_threads)
+    };
 
     let run_started = std::time::Instant::now();
     ctx.emit(|| TraceEvent::RunStarted {
@@ -205,6 +219,10 @@ pub(crate) fn mine_encoded_ctx(
         scan_us: micros(stats.pass1_scan_time),
         merge_us: 0,
         shard_scan_us: Vec::new(),
+        pooled: false,
+        memoized: false,
+        distinct_tuples: 0,
+        memo_hits: 0,
     });
     if level1.is_empty() {
         ctx.emit(|| TraceEvent::RunFinished {
@@ -250,13 +268,12 @@ pub(crate) fn mine_encoded_ctx(
                 pass: k,
                 candidates: c2_size,
             });
-            let (level, pass) = match count_pairs_cancellable(
+            let (level, pass) = match count_pairs_opts(
                 table,
                 &items_by_attr,
                 min_count,
                 PAIR_CELL_BUDGET,
-                num_threads,
-                ctx.cancel,
+                scan_opts,
             ) {
                 Ok(result) => result,
                 Err(ScanCancelled) => return Err(ctx.cancelled(k, stats)),
@@ -274,16 +291,11 @@ pub(crate) fn mine_encoded_ctx(
                 pass: k,
                 candidates: candidates.len(),
             });
-            let (counts, pass) = match count_candidates_cancellable(
-                table,
-                &candidates,
-                force_counter,
-                num_threads,
-                ctx.cancel,
-            ) {
-                Ok(result) => result,
-                Err(ScanCancelled) => return Err(ctx.cancelled(k, stats)),
-            };
+            let (counts, pass) =
+                match count_candidates_opts(table, &candidates, force_counter, scan_opts) {
+                    Ok(result) => result,
+                    Err(ScanCancelled) => return Err(ctx.cancelled(k, stats)),
+                };
             let level: Vec<(Itemset, u64)> = candidates
                 .into_iter()
                 .zip(counts)
@@ -363,6 +375,7 @@ mod tests {
             interest: None,
             max_itemset_size: 0,
             parallelism: None,
+            memoize_scan: true,
         }
     }
 
@@ -482,7 +495,7 @@ mod tests {
         let sink = qar_trace::CollectingSink::new();
         let ctx = RunCtx {
             sink: Some(&sink),
-            cancel: None,
+            ..RunCtx::none()
         };
         let (frequent, stats) = mine_encoded_ctx(&enc, &fig3_config(), None, ctx).unwrap();
         let events = sink.events();
@@ -523,8 +536,8 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         let ctx = RunCtx {
-            sink: None,
             cancel: Some(&token),
+            ..RunCtx::none()
         };
         match mine_encoded_ctx(&enc, &fig3_config(), None, ctx) {
             Err(MinerError::Cancelled(info)) => {
@@ -541,8 +554,8 @@ mod tests {
         let enc = people_fig3();
         let token = CancelToken::new();
         let ctx = RunCtx {
-            sink: None,
             cancel: Some(&token),
+            ..RunCtx::none()
         };
         let (with_token, _) = mine_encoded_ctx(&enc, &fig3_config(), None, ctx).unwrap();
         let (plain, _) = mine(&enc, &fig3_config(), None).unwrap();

@@ -2,13 +2,14 @@
 //! pipeline, with progress events, cooperative cancellation, and
 //! encoding reuse across repeated runs.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crate::config::{MinerConfig, MinerError};
 use crate::interest::annotate_interest;
 use crate::mine::{mine_encoded_ctx, MineStats, RunCtx};
 use crate::pipeline::{build_encoders, item_supports_of, MiningOutput, MiningStats};
+use crate::pool::WorkerPool;
 use crate::rules::generate_rules;
 use qar_itemset::CounterKind;
 use qar_table::{Column, EncodedTable, Table};
@@ -53,6 +54,10 @@ pub struct Miner {
     cancel: Option<CancelToken>,
     force_counter: Option<CounterKind>,
     cache: Option<EncodingCache>,
+    /// The persistent scan pool, created lazily on the first parallel
+    /// counting pass and reused by every later run of this miner (the
+    /// workers park between scans). Serial configurations never spawn it.
+    pool: OnceLock<WorkerPool>,
 }
 
 /// The memoized Steps 1–2 of the previous [`Miner::mine`] call.
@@ -70,6 +75,7 @@ impl std::fmt::Debug for Miner {
             .field("cancel", &self.cancel)
             .field("force_counter", &self.force_counter)
             .field("cached_encoding", &self.cache.is_some())
+            .field("pool", &self.pool.get())
             .finish()
     }
 }
@@ -83,6 +89,7 @@ impl Miner {
             cancel: None,
             force_counter: None,
             cache: None,
+            pool: OnceLock::new(),
         }
     }
 
@@ -123,6 +130,11 @@ impl Miner {
         {
             self.cache = None;
         }
+        // Re-size the scan pool if the thread budget changed (a fresh
+        // OnceLock drops the old pool, joining its workers).
+        if config.effective_parallelism() != self.config.effective_parallelism() {
+            self.pool = OnceLock::new();
+        }
         self.config = config;
     }
 
@@ -132,9 +144,16 @@ impl Miner {
     }
 
     fn ctx(&self) -> RunCtx<'_> {
+        // Multi-threaded configurations get this miner's own pool so
+        // repeated runs reuse one set of workers; a serial run needs no
+        // pool at all (and must not spawn the global one as a side
+        // effect).
+        let threads = self.config.effective_parallelism();
+        let pool = (threads > 1).then(|| self.pool.get_or_init(|| WorkerPool::new(threads)));
         RunCtx {
             sink: self.sink.as_deref(),
             cancel: self.cancel.as_ref(),
+            pool,
         }
     }
 

@@ -1,0 +1,278 @@
+//! A persistent worker pool for the support-counting scan.
+//!
+//! The paper's cost model (Section 6) says pass runtime is dominated by
+//! the record scan, and a mining run issues one sharded scan per pass —
+//! so spawning OS threads per pass (the previous `std::thread::scope`
+//! design) pays thread start-up latency `k` times per run. The pool here
+//! is created once (per [`crate::Miner`], or process-wide for the free
+//! counting functions) and reused by every subsequent scan: workers park
+//! on a shared job queue between passes.
+//!
+//! The pool runs *borrowed* closures — shard tasks capture `&EncodedTable`
+//! and `&[SuperPlan]` from the caller's stack — which a channel of
+//! `'static` jobs cannot express directly. [`WorkerPool::run`] therefore
+//! erases the closure lifetime and restores soundness structurally: it
+//! never returns (or unwinds) before every submitted job has finished, so
+//! no job can outlive the borrows it captured. This is the same contract
+//! scoped-thread APIs provide, minus the per-call spawn.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased job, executable on any worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads executing submitted closures; see the
+/// module docs for why this exists and how borrowing stays sound.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads.max(1)` workers, parked until jobs arrive.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("qar-scan-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn scan worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The process-wide pool used by counting entry points that are not
+    /// handed a [`crate::Miner`]'s own pool, sized to the machine. Created
+    /// on first use and kept for the life of the process (its workers park
+    /// between scans).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+            WorkerPool::new(threads)
+        })
+    }
+
+    /// Execute every task on the pool and return their results in task
+    /// order. Blocks until all tasks completed; if any task panicked, the
+    /// first panic (in task order) is resumed on the caller after all
+    /// tasks have settled. Tasks may borrow from the caller's stack.
+    ///
+    /// More tasks than workers is fine — the excess queue and run as
+    /// workers free up. A single task runs inline on the caller.
+    pub fn run<'env, T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        if tasks.len() <= 1 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        let n = tasks.len();
+        // One slot per task, written by the worker that runs it. The slots
+        // live on this stack frame; the completion loop below guarantees
+        // the frame outlives every job.
+        let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let (done_tx, done_rx) = channel::<()>();
+        let sender = self.sender.as_ref().expect("pool is alive while borrowed");
+        for (slot, task) in slots.iter().zip(tasks) {
+            let done = done_tx.clone();
+            let job = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                *slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                // Receiver hang-up is impossible here: the submitting call
+                // frame is still inside its completion loop.
+                let _ = done.send(());
+            });
+            // SAFETY: the job is only lifetime-erased (see `erase_job`).
+            // The erased borrows — `slot` and whatever `task` captured —
+            // stay valid because this function does not return until the
+            // completion loop below has received one `done` message per
+            // submitted job, and the loop itself cannot exit early: `recv`
+            // only fails once every sender — each owned by a not-yet-run
+            // job — is dropped, and worker threads cannot vanish while
+            // `self` keeps their join handles.
+            let job = unsafe { erase_job(job) };
+            sender.send(job).expect("scan workers alive");
+        }
+        drop(done_tx);
+        for _ in 0..n {
+            done_rx.recv().expect("scan worker completion");
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                let result = slot
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every job signalled completion");
+                match result {
+                    Ok(value) => value,
+                    Err(panic) => resume_unwind(panic),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every parked worker with `Err`.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Erase a job closure's borrow lifetime so it can travel through the
+/// `'static` job channel.
+///
+/// # Safety
+///
+/// The caller must not let the erased job run (or be dropped) after any
+/// borrow it captures expires. [`WorkerPool::run`] upholds this by
+/// blocking until every submitted job has completed.
+unsafe fn erase_job<'env>(job: Box<dyn FnOnce() + Send + 'env>) -> Job {
+    // SAFETY: identical layout — only the lifetime parameter differs.
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = receiver
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => break, // pool dropped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_borrowed_tasks_in_order() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<u64> = (0..100).collect();
+        let chunks: Vec<&[u64]> = data.chunks(9).collect();
+        let sums = pool.run(
+            chunks
+                .iter()
+                .map(|c| move || c.iter().sum::<u64>())
+                .collect(),
+        );
+        let want: Vec<u64> = chunks.iter().map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, want);
+    }
+
+    #[test]
+    fn reused_across_many_rounds() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        for round in 0..20 {
+            let results = pool.run(
+                (0..5)
+                    .map(|i| {
+                        let hits = &hits;
+                        move || {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            round * 10 + i
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(results, (0..5).map(|i| round * 10 + i).collect::<Vec<_>>());
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn single_task_runs_inline() {
+        let pool = WorkerPool::new(2);
+        let caller = std::thread::current().id();
+        let ids = pool.run(vec![move || std::thread::current().id() == caller]);
+        assert_eq!(ids, vec![true]);
+    }
+
+    #[test]
+    fn more_tasks_than_workers_all_complete() {
+        let pool = WorkerPool::new(2);
+        let results = pool.run((0..64).map(|i| move || i * i).collect::<Vec<_>>());
+        assert_eq!(results, (0..64).map(|i| i * i).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn task_panic_propagates_after_all_settle() {
+        let pool = WorkerPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                (0..6)
+                    .map(|i| {
+                        let finished = &finished;
+                        move || {
+                            if i == 3 {
+                                panic!("task 3 failed");
+                            }
+                            finished.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(finished.load(Ordering::Relaxed), 5, "other tasks still ran");
+        // The pool survives a panicking round.
+        assert_eq!(pool.run(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = WorkerPool::global();
+        let b = WorkerPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.workers() >= 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.run(vec![|| 7, || 8, || 9]), vec![7, 8, 9]);
+    }
+}

@@ -15,22 +15,47 @@
 //! choice, summation) is record-independent. The scan parallelizes over
 //! *data shards*: the table's rows are split into `num_threads` contiguous
 //! ranges, every worker runs the identical per-record counting loop over
-//! its range with private counters (a clone of the hash trees — their
-//! visit stamps are mutable scan state — and per-shard [`RectCounter`]s
-//! built from one shared plan), and the per-shard tallies are merged by
-//! integer addition in shard order before the frequency filter.
+//! its range with private counters, and the per-shard tallies are merged
+//! by integer addition in shard order before the frequency filter.
+//!
+//! Shard tasks execute on a persistent [`WorkerPool`] (the [`crate::Miner`]'s
+//! own, or the process-wide pool) instead of freshly spawned threads, and
+//! every piece of record-independent state is shared rather than cloned:
+//! plan rectangles sit behind `Arc`, and the hash trees are walked
+//! read-only with per-shard [`VisitScratch`] visit stamps.
 //!
 //! Because each record is counted by exactly one shard and `u64` addition
 //! is exact, the merged counts are **bit-identical** to a serial scan for
 //! every thread count — parallelism is pure performance, never semantics.
 //! The serial-equivalence property is enforced by unit tests here and a
 //! randomized end-to-end test in `tests/proptest_pipeline.rs`.
+//!
+//! # Categorical-tuple memoization
+//!
+//! On tables where a handful of distinct categorical tuples cover most
+//! rows (low-cardinality categorical attributes — the common shape for
+//! the paper's census-style data), the hash-tree subset walk computes the
+//! same matched-super-candidate list over and over. Each shard therefore
+//! caches `categorical tuple → matched plan list` and reuses the list for
+//! every later row with the same tuple, so the subset walk runs once per
+//! *distinct* tuple instead of once per row. The cache stops admitting
+//! new tuples past [`ScanOptions::memo_limit`], and falls back to the
+//! direct walk outright when the distinct-tuple count is high — after the
+//! first full block, if fewer than [`MEMO_TRIAL_FACTOR`] rows share each
+//! observed tuple on average, or at any block boundary where the cache is
+//! full and has never served a hit, the shard stops probing entirely so
+//! near-distinct tables pay at most one block's worth of cache overhead.
+//! Cached and direct walks produce the same list, so memoization never
+//! changes counts — [`ScanOptions::memoize`] exists purely for ablation
+//! and the differential fuzz oracle.
 
-use qar_itemset::{CounterKind, HashTree, Itemset, RectCounter};
+use crate::pool::WorkerPool;
+use qar_itemset::{CounterKind, HashTree, Itemset, RectCounter, VisitScratch};
 use qar_table::{AttributeId, AttributeKind, EncodedTable};
 use qar_trace::CancelToken;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A shard scan observed its [`CancelToken`] and stopped early. The pass's
@@ -42,14 +67,74 @@ pub struct ScanCancelled;
 /// How many records a shard scans between [`CancelToken`] checks. Small
 /// enough that cancellation lands "within one shard's worth of work" even
 /// on wide tables, large enough that the atomic load is invisible next to
-/// the per-record counting cost.
-const CANCEL_CHECK_INTERVAL: usize = 1024;
+/// the per-record counting cost. The interval is relative to the rows a
+/// shard has scanned (not the absolute row index), so every shard hits
+/// its first checkpoint after at most one interval regardless of where
+/// its range starts.
+pub const CANCEL_CHECK_INTERVAL: usize = 1024;
 
-/// True when `row` is a cancellation checkpoint and the token (if any) has
-/// fired.
-#[inline]
-fn cancelled_at(cancel: Option<&CancelToken>, row: usize) -> bool {
-    row.is_multiple_of(CANCEL_CHECK_INTERVAL) && cancel.is_some_and(CancelToken::is_cancelled)
+/// Most distinct categorical tuples a shard's memo cache will admit.
+/// Past this the cache stops growing (existing entries still serve hits):
+/// a table whose tuples are mostly distinct gains nothing from
+/// memoization, so unbounded growth would only add hashing and memory on
+/// exactly the tables the optimization cannot help.
+pub const MEMO_MAX_DISTINCT: usize = 1 << 12;
+
+/// Minimum average rows-per-distinct-tuple the memo cache must observe in
+/// a shard's first full block to stay enabled. Below this the table is
+/// (nearly) all-distinct from the cache's point of view, every probe is a
+/// miss, and hashing the tuple per row is pure overhead — the shard drops
+/// the cache and runs the direct walk for its remaining rows. The trial
+/// only runs when the first block is full-size
+/// ([`CANCEL_CHECK_INTERVAL`] rows), so small tables and narrow shards —
+/// whose total cache cost is bounded anyway — are never kicked off the
+/// fast path by a noisy sample.
+pub const MEMO_TRIAL_FACTOR: usize = 2;
+
+/// Tuning knobs for one counting scan. [`ScanOptions::new`] gives the
+/// defaults every production path uses; the extra fields exist for the
+/// `--no-memoize` ablation, the fuzz oracle, and threshold unit tests.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOptions<'a> {
+    /// Upper bound on data shards scanned in parallel (`<= 1` is serial).
+    pub num_threads: usize,
+    /// Cooperative cancellation token, checked every
+    /// [`CANCEL_CHECK_INTERVAL`] rows within each shard.
+    pub cancel: Option<&'a CancelToken>,
+    /// Worker pool to run shard tasks on; `None` uses the process-wide
+    /// [`WorkerPool::global`].
+    pub pool: Option<&'a WorkerPool>,
+    /// Enable the categorical-tuple memo cache (see module docs). Counts
+    /// are bit-identical either way.
+    pub memoize: bool,
+    /// Distinct-tuple cap of the memo cache, [`MEMO_MAX_DISTINCT`] unless
+    /// a test overrides it.
+    pub memo_limit: usize,
+}
+
+impl<'a> ScanOptions<'a> {
+    /// Default options for an uncancellable scan on `num_threads` shards.
+    pub fn new(num_threads: usize) -> Self {
+        ScanOptions {
+            num_threads,
+            cancel: None,
+            pool: None,
+            memoize: true,
+            memo_limit: MEMO_MAX_DISTINCT,
+        }
+    }
+}
+
+/// Run shard tasks on the supplied pool, or the process-wide one.
+fn run_sharded<'env, T, F>(pool: Option<&WorkerPool>, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send + 'env,
+    F: FnOnce() -> T + Send + 'env,
+{
+    match pool {
+        Some(pool) => pool.run(tasks),
+        None => WorkerPool::global().run(tasks),
+    }
 }
 
 /// Statistics of one counting pass, reported in [`crate::MiningStats`].
@@ -83,6 +168,18 @@ pub struct PassStats {
     /// single-shard estimate times the shard count (and the maximum over
     /// sequential chunks for the chunked implicit pair pass).
     pub counter_bytes: usize,
+    /// True when the scan ran its shards on a worker pool (more than one
+    /// shard); a serial scan never leaves the calling thread.
+    pub pooled: bool,
+    /// True when the categorical-tuple memo cache was enabled for the
+    /// scan (it never changes counts — see module docs).
+    pub memoized: bool,
+    /// Distinct categorical tuples the memo caches admitted, summed over
+    /// shards. Zero when memoization was disabled or never engaged.
+    pub distinct_tuples: usize,
+    /// Rows whose matched-plan list was served from the memo cache,
+    /// summed over shards.
+    pub memo_hits: u64,
 }
 
 impl PassStats {
@@ -101,6 +198,10 @@ impl PassStats {
         // Sequential sub-scans free their counters before the next one
         // allocates, so the peak is the max, not the sum.
         self.counter_bytes = self.counter_bytes.max(other.counter_bytes);
+        self.pooled |= other.pooled;
+        self.memoized |= other.memoized;
+        self.distinct_tuples += other.distinct_tuples;
+        self.memo_hits += other.memo_hits;
         add_shard_times(&mut self.shard_scan_times, &other.shard_scan_times);
     }
 }
@@ -143,6 +244,10 @@ fn cat_item_id(attr: u32, code: u32) -> u64 {
 /// The record-independent description of one super-candidate: everything a
 /// shard needs to build its private counters. Built once, shared read-only
 /// by every worker.
+/// Shared inclusive rectangle list of one super-candidate (`(lo, hi)`
+/// corner pairs over the plan's `dims`).
+type SharedRects = Arc<[(Vec<u32>, Vec<u32>)]>;
+
 struct SuperPlan {
     /// Sorted hash-tree key of the shared categorical items.
     cat_key: Vec<u64>,
@@ -152,8 +257,10 @@ struct SuperPlan {
     members: Vec<usize>,
     /// Code-domain sizes of `quant_attrs`.
     dims: Vec<u32>,
-    /// Inclusive member rectangles over `dims`.
-    rects: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Inclusive member rectangles over `dims`, behind `Arc` so per-shard
+    /// counter construction shares one allocation instead of deep-cloning
+    /// O(rects) vectors per shard.
+    rects: SharedRects,
     /// Counting backend, decided once for all shards (`None` when the
     /// super-candidate is purely categorical).
     kind: Option<CounterKind>,
@@ -170,6 +277,10 @@ struct ShardTally {
     /// True when the scan stopped early on a fired [`CancelToken`] — the
     /// tallies are partial and must be discarded.
     cancelled: bool,
+    /// Distinct categorical tuples this shard's memo cache admitted.
+    distinct_tuples: usize,
+    /// Rows this shard served from the memo cache.
+    memo_hits: u64,
 }
 
 /// Group candidates into super-candidate plans and decide each plan's
@@ -210,8 +321,8 @@ fn build_plans(
     let mut stats = PassStats::default();
     let mut plans: Vec<SuperPlan> = Vec::with_capacity(groups.len());
     for ((cat_key, quant_attrs), members) in groups {
-        let (dims, rects, kind) = if quant_attrs.is_empty() {
-            (Vec::new(), Vec::new(), None)
+        let (dims, rects, kind): (Vec<u32>, SharedRects, _) = if quant_attrs.is_empty() {
+            (Vec::new(), Vec::new().into(), None)
         } else {
             let dims: Vec<u32> = quant_attrs
                 .iter()
@@ -239,7 +350,7 @@ fn build_plans(
             stats.counter_bytes = stats
                 .counter_bytes
                 .saturating_add(RectCounter::estimated_bytes(kind, &dims, rects.len()));
-            (dims, rects, Some(kind))
+            (dims, rects.into(), Some(kind))
         };
         plans.push(SuperPlan {
             cat_key,
@@ -274,15 +385,26 @@ fn build_trees(plans: &[SuperPlan]) -> (Vec<u32>, BTreeMap<usize, HashTree<u32>>
 }
 
 /// The per-record counting loop over one contiguous row range. `trees` is
-/// this shard's private clone (subset walks stamp leaves), and the
-/// returned tally holds this shard's private counters.
+/// shared read-only across shards (visit stamps live in this shard's
+/// private [`VisitScratch`]es); the returned tally holds this shard's
+/// private counters.
+///
+/// The scan is *blocked columnar*: all column slices are hoisted out of
+/// the row loop (one `table.codes(..)` call per column per shard, not per
+/// row), and rows are processed in [`CANCEL_CHECK_INTERVAL`]-sized blocks
+/// with the cancellation checkpoint at each block boundary — relative to
+/// the rows this shard has scanned, so a shard starting mid-interval
+/// still checks after at most one block.
+#[allow(clippy::too_many_arguments)]
 fn scan_shard(
     table: &EncodedTable,
     plans: &[SuperPlan],
     always: &[u32],
-    trees: &mut BTreeMap<usize, HashTree<u32>>,
+    trees: &BTreeMap<usize, HashTree<u32>>,
     rows: Range<usize>,
     cancel: Option<&CancelToken>,
+    memoize: bool,
+    memo_limit: usize,
 ) -> ShardTally {
     let started = Instant::now();
     let mut was_cancelled = false;
@@ -290,40 +412,102 @@ fn scan_shard(
         .iter()
         .map(|plan| {
             plan.kind
-                .map(|kind| RectCounter::build_with(kind, &plan.dims, plan.rects.clone()))
+                .map(|kind| RectCounter::build_shared(kind, &plan.dims, Arc::clone(&plan.rects)))
         })
         .collect();
     let mut direct = vec![0u64; plans.len()];
 
-    let cat_ids: Vec<AttributeId> = table.schema().categorical_ids();
-    let mut cat_buf: Vec<u64> = Vec::with_capacity(cat_ids.len());
-    let mut matched: Vec<u32> = Vec::new();
+    // Hoisted column slices: categorical columns once for the tuple key,
+    // and each plan's quantitative columns once for the point lookup.
+    let cat_cols: Vec<(u32, &[u32])> = table
+        .schema()
+        .categorical_ids()
+        .into_iter()
+        .map(|id| (id.index() as u32, table.codes(id)))
+        .collect();
+    let plan_cols: Vec<Vec<&[u32]>> = plans
+        .iter()
+        .map(|plan| {
+            plan.quant_attrs
+                .iter()
+                .map(|&a| table.codes(AttributeId(a as usize)))
+                .collect()
+        })
+        .collect();
+    let mut scratches: Vec<VisitScratch> = trees.values().map(|_| VisitScratch::new()).collect();
+
+    // The cache can be dropped mid-scan by the distinct-tuple fallback, so
+    // the admitted-tuple high-water mark is tracked outside the map.
+    let mut memo: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
+    let mut memo_on = memoize && memo_limit > 0;
+    let mut distinct_high = 0usize;
+    let mut memo_hits = 0u64;
+    let mut scanned = 0usize;
+    let mut cat_buf: Vec<u64> = Vec::with_capacity(cat_cols.len());
+    let mut matched_buf: Vec<u32> = Vec::new();
     let mut point_buf: Vec<u32> = Vec::new();
-    for row in rows {
-        if cancelled_at(cancel, row) {
+
+    let mut block_start = rows.start;
+    'scan: while block_start < rows.end {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
             was_cancelled = true;
-            break;
+            break 'scan;
         }
-        cat_buf.clear();
-        for &id in &cat_ids {
-            cat_buf.push(cat_item_id(id.index() as u32, table.codes(id)[row]));
-        }
-        matched.clear();
-        matched.extend_from_slice(always);
-        for tree in trees.values_mut() {
-            tree.for_each_subset_of(&cat_buf, |_, &mut id| matched.push(id));
-        }
-        for &pi in &matched {
-            let pi = pi as usize;
-            match &mut counters[pi] {
-                Some(counter) => {
-                    point_buf.clear();
-                    for &a in &plans[pi].quant_attrs {
-                        point_buf.push(table.codes(AttributeId(a as usize))[row]);
+        let block_end = rows.end.min(block_start + CANCEL_CHECK_INTERVAL);
+        for row in block_start..block_end {
+            cat_buf.clear();
+            for &(attr, col) in &cat_cols {
+                cat_buf.push(cat_item_id(attr, col[row]));
+            }
+            // Resolve this row's matched plans: from the memo cache when
+            // its tuple was seen before, otherwise via the subset walk
+            // (cached for later rows while the cache has room).
+            let mut count_matches = |matched: &[u32]| {
+                for &pi in matched {
+                    let pi = pi as usize;
+                    match &mut counters[pi] {
+                        Some(counter) => {
+                            point_buf.clear();
+                            for col in &plan_cols[pi] {
+                                point_buf.push(col[row]);
+                            }
+                            counter.count_record(&point_buf);
+                        }
+                        None => direct[pi] += 1,
                     }
-                    counter.count_record(&point_buf);
                 }
-                None => direct[pi] += 1,
+            };
+            if memo_on {
+                if let Some(hit) = memo.get(&cat_buf) {
+                    memo_hits += 1;
+                    count_matches(hit);
+                    continue;
+                }
+            }
+            matched_buf.clear();
+            matched_buf.extend_from_slice(always);
+            for (tree, scratch) in trees.values().zip(&mut scratches) {
+                tree.for_each_subset_of_shared(scratch, &cat_buf, |_, &id| matched_buf.push(id));
+            }
+            count_matches(&matched_buf);
+            if memo_on && memo.len() < memo_limit {
+                memo.insert(cat_buf.clone(), matched_buf.clone());
+            }
+        }
+        scanned += block_end - block_start;
+        block_start = block_end;
+        // Distinct-tuple fallback (see module docs): give up on the cache
+        // when the first full block shows near-zero tuple reuse, or when
+        // the cache has filled without ever serving a hit. Dropping the
+        // cache only skips future probes — counts are unaffected.
+        if memo_on {
+            distinct_high = distinct_high.max(memo.len());
+            let trial_failed =
+                scanned == CANCEL_CHECK_INTERVAL && memo.len() * MEMO_TRIAL_FACTOR >= scanned;
+            let full_and_cold = memo.len() >= memo_limit && memo_hits == 0;
+            if trial_failed || full_and_cold {
+                memo_on = false;
+                memo = HashMap::new();
             }
         }
     }
@@ -332,6 +516,8 @@ fn scan_shard(
         direct,
         scan_time: started.elapsed(),
         cancelled: was_cancelled,
+        distinct_tuples: distinct_high.max(memo.len()),
+        memo_hits,
     }
 }
 
@@ -360,17 +546,18 @@ pub fn count_candidates_sharded(
     force_kind: Option<CounterKind>,
     num_threads: usize,
 ) -> (Vec<u64>, PassStats) {
-    match count_candidates_cancellable(table, candidates, force_kind, num_threads, None) {
+    match count_candidates_opts(table, candidates, force_kind, ScanOptions::new(num_threads)) {
         Ok(result) => result,
         Err(ScanCancelled) => unreachable!("no cancel token was supplied"),
     }
 }
 
 /// [`count_candidates_sharded`] with a cooperative [`CancelToken`]: every
-/// shard checks the token every `CANCEL_CHECK_INTERVAL` records and at
-/// the scan start, so a fired token stops the pass within roughly one
-/// check interval per shard. A cancelled pass returns [`ScanCancelled`] —
-/// its partial tallies are discarded, never observable.
+/// shard checks the token every `CANCEL_CHECK_INTERVAL` of its own
+/// records and at the scan start, so a fired token stops the pass within
+/// roughly one check interval per shard. A cancelled pass returns
+/// [`ScanCancelled`] — its partial tallies are discarded, never
+/// observable.
 pub fn count_candidates_cancellable(
     table: &EncodedTable,
     candidates: &[Itemset],
@@ -378,44 +565,80 @@ pub fn count_candidates_cancellable(
     num_threads: usize,
     cancel: Option<&CancelToken>,
 ) -> Result<(Vec<u64>, PassStats), ScanCancelled> {
+    count_candidates_opts(
+        table,
+        candidates,
+        force_kind,
+        ScanOptions {
+            cancel,
+            ..ScanOptions::new(num_threads)
+        },
+    )
+}
+
+/// The fully parameterized counting scan behind every `count_candidates*`
+/// entry point; see [`ScanOptions`] for the knobs. Counts are
+/// bit-identical across every option combination — threads, pool, and
+/// memoization are performance choices, never semantics.
+pub fn count_candidates_opts(
+    table: &EncodedTable,
+    candidates: &[Itemset],
+    force_kind: Option<CounterKind>,
+    opts: ScanOptions<'_>,
+) -> Result<(Vec<u64>, PassStats), ScanCancelled> {
     let (plans, mut stats) = build_plans(table, candidates, force_kind);
-    let (always, mut trees) = build_trees(&plans);
+    let (always, trees) = build_trees(&plans);
     stats.hash_tree_nodes = trees.values().map(HashTree::node_count).sum();
+    stats.memoized = opts.memoize;
     let num_rows = table.num_rows();
-    let bounds = shard_bounds(num_rows, num_threads);
+    let bounds = shard_bounds(num_rows, opts.num_threads);
     stats.counter_bytes = stats.counter_bytes.saturating_mul(bounds.len());
+    stats.pooled = bounds.len() > 1;
+    let cancel = opts.cancel;
 
     let scan_started = Instant::now();
     let mut tallies: Vec<ShardTally> = if bounds.len() <= 1 {
         let range = bounds.into_iter().next().unwrap_or(0..0);
         vec![scan_shard(
-            table, &plans, &always, &mut trees, range, cancel,
+            table,
+            &plans,
+            &always,
+            &trees,
+            range,
+            cancel,
+            opts.memoize,
+            opts.memo_limit,
         )]
     } else {
         let plans_ref = &plans;
         let always_ref = &always;
         let trees_ref = &trees;
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = bounds
-                .into_iter()
-                .map(|range| {
-                    scope.spawn(move || {
-                        let mut trees = trees_ref.clone();
-                        scan_shard(table, plans_ref, always_ref, &mut trees, range, cancel)
-                    })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|w| w.join().expect("shard scan worker panicked"))
-                .collect()
-        })
+        let tasks: Vec<_> = bounds
+            .into_iter()
+            .map(|range| {
+                move || {
+                    scan_shard(
+                        table,
+                        plans_ref,
+                        always_ref,
+                        trees_ref,
+                        range,
+                        cancel,
+                        opts.memoize,
+                        opts.memo_limit,
+                    )
+                }
+            })
+            .collect();
+        run_sharded(opts.pool, tasks)
     };
     if tallies.iter().any(|t| t.cancelled) {
         return Err(ScanCancelled);
     }
     stats.scan_time = scan_started.elapsed();
     stats.shard_scan_times = tallies.iter().map(|t| t.scan_time).collect();
+    stats.distinct_tuples = tallies.iter().map(|t| t.distinct_tuples).sum();
+    stats.memo_hits = tallies.iter().map(|t| t.memo_hits).sum();
 
     // Merge per-shard tallies in shard order (u64 sums: order-independent,
     // fixed anyway for determinism of the timing bookkeeping).
@@ -482,13 +705,12 @@ pub fn count_pairs_implicit(
     cell_budget: usize,
     num_threads: usize,
 ) -> (Vec<(Itemset, u64)>, PassStats) {
-    match count_pairs_cancellable(
+    match count_pairs_opts(
         table,
         items_by_attr,
         min_count,
         cell_budget,
-        num_threads,
-        None,
+        ScanOptions::new(num_threads),
     ) {
         Ok(result) => result,
         Err(ScanCancelled) => unreachable!("no cancel token was supplied"),
@@ -506,7 +728,32 @@ pub fn count_pairs_cancellable(
     num_threads: usize,
     cancel: Option<&CancelToken>,
 ) -> Result<(Vec<(Itemset, u64)>, PassStats), ScanCancelled> {
+    count_pairs_opts(
+        table,
+        items_by_attr,
+        min_count,
+        cell_budget,
+        ScanOptions {
+            cancel,
+            ..ScanOptions::new(num_threads)
+        },
+    )
+}
+
+/// The fully parameterized implicit pair pass behind the `count_pairs*`
+/// entry points. The dense 2-D array scan has no hash-tree walk, so
+/// [`ScanOptions::memoize`] only reaches the explicit R*-tree fallback
+/// groups; shard tasks run on the pool like the generic scan.
+pub fn count_pairs_opts(
+    table: &EncodedTable,
+    items_by_attr: &BTreeMap<u32, Vec<(qar_itemset::Item, u64)>>,
+    min_count: u64,
+    cell_budget: usize,
+    opts: ScanOptions<'_>,
+) -> Result<(Vec<(Itemset, u64)>, PassStats), ScanCancelled> {
     use qar_itemset::MultiDimCounter;
+    let num_threads = opts.num_threads;
+    let cancel = opts.cancel;
 
     let attrs: Vec<u32> = items_by_attr
         .iter()
@@ -562,17 +809,31 @@ pub fn count_pairs_cancellable(
                 })
                 .collect()
         };
-        // Returns true when the scan stopped early on a fired token.
+        // Returns true when the scan stopped early on a fired token. Like
+        // `scan_shard`, column slices are hoisted and the token is checked
+        // per block of rows *this shard* scanned.
         let scan_rows = |counters: &mut [MultiDimCounter], rows: Range<usize>| -> bool {
-            for row in rows {
-                if cancelled_at(cancel, row) {
+            let cols: Vec<(&[u32], &[u32])> = chunk
+                .iter()
+                .map(|&(a, b, _)| {
+                    (
+                        table.codes(AttributeId(a as usize)),
+                        table.codes(AttributeId(b as usize)),
+                    )
+                })
+                .collect();
+            let mut block_start = rows.start;
+            while block_start < rows.end {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
                     return true;
                 }
-                for (ci, &(a, b, _)) in chunk.iter().enumerate() {
-                    let pa = table.codes(AttributeId(a as usize))[row];
-                    let pb = table.codes(AttributeId(b as usize))[row];
-                    counters[ci].increment(&[pa, pb]);
+                let block_end = rows.end.min(block_start + CANCEL_CHECK_INTERVAL);
+                for row in block_start..block_end {
+                    for (ci, &(col_a, col_b)) in cols.iter().enumerate() {
+                        counters[ci].increment(&[col_a[row], col_b[row]]);
+                    }
                 }
+                block_start = block_end;
             }
             false
         };
@@ -593,25 +854,21 @@ pub fn count_pairs_cancellable(
             }
             (counters, vec![t0.elapsed()])
         } else {
-            let shards: Vec<(Vec<MultiDimCounter>, Duration, bool)> = std::thread::scope(|scope| {
-                let workers: Vec<_> = bounds
-                    .into_iter()
-                    .map(|range| {
-                        let make_counters = &make_counters;
-                        let scan_rows = &scan_rows;
-                        scope.spawn(move || {
-                            let mut counters = make_counters();
-                            let t0 = Instant::now();
-                            let cancelled = scan_rows(&mut counters, range);
-                            (counters, t0.elapsed(), cancelled)
-                        })
-                    })
-                    .collect();
-                workers
-                    .into_iter()
-                    .map(|w| w.join().expect("pair scan worker panicked"))
-                    .collect()
-            });
+            stats.pooled = true;
+            let tasks: Vec<_> = bounds
+                .into_iter()
+                .map(|range| {
+                    let make_counters = &make_counters;
+                    let scan_rows = &scan_rows;
+                    move || {
+                        let mut counters = make_counters();
+                        let t0 = Instant::now();
+                        let cancelled = scan_rows(&mut counters, range);
+                        (counters, t0.elapsed(), cancelled)
+                    }
+                })
+                .collect();
+            let shards: Vec<(Vec<MultiDimCounter>, Duration, bool)> = run_sharded(opts.pool, tasks);
             if shards.iter().any(|(_, _, cancelled)| *cancelled) {
                 return Err(ScanCancelled);
             }
@@ -656,13 +913,8 @@ pub fn count_pairs_cancellable(
                     .map(move |&(ib, _)| Itemset::new(vec![ia, ib]))
             })
             .collect();
-        let (counts, sub) = count_candidates_cancellable(
-            table,
-            &candidates,
-            Some(CounterKind::RTree),
-            num_threads,
-            cancel,
-        )?;
+        let (counts, sub) =
+            count_candidates_opts(table, &candidates, Some(CounterKind::RTree), opts)?;
         stats.absorb_scan(&sub);
         frequent.extend(
             candidates
@@ -924,6 +1176,204 @@ mod tests {
             assert_eq!(counts, vec![0], "threads={threads}");
             assert_eq!(stats.num_shards(), 1, "empty table collapses to one shard");
         }
+    }
+
+    /// A duplicate-heavy categorical table: 2 categorical attributes with
+    /// 2–3 labels over many rows, so a few distinct tuples cover all rows.
+    fn duplicate_heavy() -> EncodedTable {
+        let schema = Schema::builder()
+            .categorical("c0")
+            .categorical("c1")
+            .quantitative("q")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..60i64 {
+            let c0 = ["a", "b"][(i % 2) as usize];
+            let c1 = ["u", "v", "w"][(i % 3) as usize];
+            t.push_row(&[Value::from(c0), Value::from(c1), Value::Int(i % 5)])
+                .unwrap();
+        }
+        EncodedTable::encode_full_resolution(&t).unwrap()
+    }
+
+    fn duplicate_heavy_candidates() -> Vec<Itemset> {
+        let mut cands: Vec<Itemset> = Vec::new();
+        for c0 in 0..2u32 {
+            for c1 in 0..3u32 {
+                cands.push(
+                    vec![Item::value(0, c0), Item::value(1, c1)]
+                        .into_iter()
+                        .collect(),
+                );
+                cands.push(
+                    vec![Item::value(0, c0), Item::value(1, c1), Item::range(2, 0, 2)]
+                        .into_iter()
+                        .collect(),
+                );
+            }
+            cands.push(
+                vec![Item::value(0, c0), Item::range(2, 1, 4)]
+                    .into_iter()
+                    .collect(),
+            );
+        }
+        cands
+    }
+
+    /// Memoized and direct scans are bit-identical, for every thread
+    /// count, and both match the naive reference.
+    #[test]
+    fn memoized_equals_direct_equals_naive() {
+        let enc = duplicate_heavy();
+        let cands = duplicate_heavy_candidates();
+        let naive = count_candidates_naive(&enc, &cands);
+        for threads in [1, 2, 4, 7] {
+            for memoize in [true, false] {
+                let opts = ScanOptions {
+                    memoize,
+                    ..ScanOptions::new(threads)
+                };
+                let (counts, stats) = count_candidates_opts(&enc, &cands, None, opts).unwrap();
+                assert_eq!(counts, naive, "threads={threads} memoize={memoize}");
+                assert_eq!(stats.memoized, memoize);
+                if memoize {
+                    // 6 distinct (c0, c1) tuples; every shard sees at most 6.
+                    assert!(stats.distinct_tuples >= 6, "{}", stats.distinct_tuples);
+                    assert!(stats.distinct_tuples <= 6 * stats.num_shards());
+                    assert!(stats.memo_hits > 0, "60 rows over 6 tuples must hit");
+                } else {
+                    assert_eq!(stats.distinct_tuples, 0);
+                    assert_eq!(stats.memo_hits, 0);
+                }
+            }
+        }
+    }
+
+    /// The cache stops admitting tuples at `memo_limit`, keeps serving the
+    /// admitted ones, and counts stay exact through the fallback.
+    #[test]
+    fn memo_limit_caps_cache_and_preserves_counts() {
+        let enc = duplicate_heavy();
+        let cands = duplicate_heavy_candidates();
+        let naive = count_candidates_naive(&enc, &cands);
+        // 6 distinct tuples; a limit of 2 forces the direct walk for the
+        // other 4 tuples' rows.
+        let opts = ScanOptions {
+            memo_limit: 2,
+            ..ScanOptions::new(1)
+        };
+        let (counts, stats) = count_candidates_opts(&enc, &cands, None, opts).unwrap();
+        assert_eq!(counts, naive);
+        assert_eq!(stats.distinct_tuples, 2, "cache admits exactly the cap");
+        // The two admitted tuples each cover 10 of 60 rows; all but their
+        // first occurrences are hits.
+        assert_eq!(stats.memo_hits, 18);
+        // A zero limit disables caching entirely without changing counts.
+        let opts = ScanOptions {
+            memo_limit: 0,
+            ..ScanOptions::new(1)
+        };
+        let (counts, stats) = count_candidates_opts(&enc, &cands, None, opts).unwrap();
+        assert_eq!(counts, naive);
+        assert_eq!(stats.distinct_tuples, 0);
+        assert_eq!(stats.memo_hits, 0);
+    }
+
+    /// The distinct-tuple fallback: on an all-distinct table the shard
+    /// stops probing the cache at the first full-block boundary — hits
+    /// stay at zero, the admitted high-water mark is exactly one block's
+    /// worth of tuples, and counts are untouched.
+    #[test]
+    fn distinct_tuple_fallback_disables_cache() {
+        let schema = Schema::builder()
+            .categorical("c0")
+            .categorical("c1")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        // 41 × 43 coprime cardinalities: every tuple distinct up to 1763.
+        for i in 0..1600usize {
+            t.push_row(&[
+                Value::from(format!("v{}", i % 41)),
+                Value::from(format!("v{}", (i / 41) % 43)),
+            ])
+            .unwrap();
+        }
+        let enc = EncodedTable::encode_full_resolution(&t).unwrap();
+        let cands: Vec<Itemset> = (0..3u32)
+            .map(|c| {
+                vec![Item::value(0, c), Item::value(1, c)]
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        let naive = count_candidates_naive(&enc, &cands);
+        let (counts, stats) =
+            count_candidates_opts(&enc, &cands, None, ScanOptions::new(1)).unwrap();
+        assert_eq!(counts, naive);
+        assert!(stats.memoized);
+        assert_eq!(stats.memo_hits, 0, "all-distinct tuples never hit");
+        assert_eq!(
+            stats.distinct_tuples, CANCEL_CHECK_INTERVAL,
+            "cache dropped at the first block boundary"
+        );
+    }
+
+    /// The trial keeps the cache for a long duplicate-heavy table: 6
+    /// tuples over 1600 rows easily clear the reuse bar, so every row
+    /// after the first occurrences is a hit.
+    #[test]
+    fn trial_keeps_cache_on_duplicate_heavy_tables() {
+        let schema = Schema::builder()
+            .categorical("c0")
+            .categorical("c1")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..1600usize {
+            t.push_row(&[
+                Value::from(["a", "b"][i % 2]),
+                Value::from(["u", "v", "w"][i % 3]),
+            ])
+            .unwrap();
+        }
+        let enc = EncodedTable::encode_full_resolution(&t).unwrap();
+        let cands: Vec<Itemset> = vec![
+            vec![Item::value(0, 0), Item::value(1, 0)]
+                .into_iter()
+                .collect(),
+            vec![Item::value(0, 1), Item::value(1, 2)]
+                .into_iter()
+                .collect(),
+        ];
+        let naive = count_candidates_naive(&enc, &cands);
+        let (counts, stats) =
+            count_candidates_opts(&enc, &cands, None, ScanOptions::new(1)).unwrap();
+        assert_eq!(counts, naive);
+        assert_eq!(stats.distinct_tuples, 6);
+        assert_eq!(stats.memo_hits, 1600 - 6, "every repeat row hits");
+    }
+
+    /// An explicit per-`Miner` pool and the implicit global pool produce
+    /// identical counts.
+    #[test]
+    fn explicit_pool_matches_global_pool() {
+        let enc = duplicate_heavy();
+        let cands = duplicate_heavy_candidates();
+        let pool = crate::pool::WorkerPool::new(3);
+        let opts_own = ScanOptions {
+            pool: Some(&pool),
+            ..ScanOptions::new(4)
+        };
+        let (with_own, stats) = count_candidates_opts(&enc, &cands, None, opts_own).unwrap();
+        assert!(stats.pooled);
+        let (with_global, _) =
+            count_candidates_opts(&enc, &cands, None, ScanOptions::new(4)).unwrap();
+        assert_eq!(with_own, with_global);
+        // The pool survives for another scan (persistent across passes).
+        let (again, _) = count_candidates_opts(&enc, &cands, None, opts_own).unwrap();
+        assert_eq!(again, with_own);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::ndcounter::MultiDimCounter;
 use qar_rtree::{RStarTree, Rect};
+use std::sync::Arc;
 
 /// Which structure backs a [`RectCounter`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +31,7 @@ fn rtree_estimate_bytes(num_rects: usize) -> usize {
 enum Backend {
     Array {
         counter: MultiDimCounter,
-        rects: Vec<(Vec<u32>, Vec<u32>)>,
+        rects: Arc<[(Vec<u32>, Vec<u32>)]>,
     },
     RTree {
         tree: RStarTree<usize>,
@@ -104,7 +105,19 @@ impl RectCounter {
     /// Build with an explicit backend (used by tests and the ablation
     /// bench).
     pub fn build_with(kind: CounterKind, dims: &[u32], rects: Vec<(Vec<u32>, Vec<u32>)>) -> Self {
-        for (lo, hi) in &rects {
+        Self::build_shared(kind, dims, rects.into())
+    }
+
+    /// [`RectCounter::build_with`] over a *shared* rectangle set: the
+    /// parallel scan builds one counter per data shard from a single
+    /// [`Arc`]'d plan, so construction is O(1) in the rectangle count
+    /// instead of a deep clone per shard.
+    pub fn build_shared(
+        kind: CounterKind,
+        dims: &[u32],
+        rects: Arc<[(Vec<u32>, Vec<u32>)]>,
+    ) -> Self {
+        for (lo, hi) in rects.iter() {
             assert_eq!(lo.len(), dims.len(), "rect dimensionality");
             assert_eq!(hi.len(), dims.len(), "rect dimensionality");
             for j in 0..dims.len() {
@@ -348,6 +361,21 @@ mod tests {
                 RectCounter::build(&dims, rects).kind()
             );
         }
+    }
+
+    #[test]
+    fn shared_rects_agree_with_owned_build() {
+        let shared: Arc<[(Vec<u32>, Vec<u32>)]> = demo_rects().into();
+        for kind in [CounterKind::Array, CounterKind::RTree] {
+            let mut a = RectCounter::build_shared(kind, &[10, 10], Arc::clone(&shared));
+            let mut b = RectCounter::build_with(kind, &[10, 10], demo_rects());
+            feed(&mut a);
+            feed(&mut b);
+            assert_eq!(a.finish(), b.finish(), "{kind:?}");
+        }
+        // Both counters above dropped their clones; the original handle
+        // still owns the one shared allocation.
+        assert_eq!(Arc::strong_count(&shared), 1);
     }
 
     #[test]

@@ -28,6 +28,10 @@ enum Node<V> {
     Leaf {
         entries: Vec<(Vec<u64>, V)>,
         stamp: u64,
+        /// Dense-ish slot index into a [`VisitScratch`] stamp table, so
+        /// shared (read-only) walks can dedupe leaf visits without
+        /// mutating the tree.
+        id: usize,
     },
     Interior {
         children: Vec<Option<Box<Node<V>>>>,
@@ -35,11 +39,33 @@ enum Node<V> {
 }
 
 impl<V> Node<V> {
-    fn new_leaf() -> Self {
+    fn new_leaf(id: usize) -> Self {
         Node::Leaf {
             entries: Vec::new(),
             stamp: 0,
+            id,
         }
+    }
+}
+
+/// Per-walker scratch state for [`HashTree::for_each_subset_of_shared`]:
+/// the visit stamps that [`HashTree::for_each_subset_of`] keeps inside the
+/// tree's leaves, externalized so many walkers (e.g. parallel scan shards)
+/// can share one read-only tree.
+///
+/// A scratch is tied to the tree it was first used with — reusing it
+/// across *different* trees within its lifetime would let stale stamps
+/// suppress leaf visits. Allocate one scratch per (tree, walker) pair.
+#[derive(Debug, Clone, Default)]
+pub struct VisitScratch {
+    stamps: Vec<u64>,
+    walk: u64,
+}
+
+impl VisitScratch {
+    /// A fresh scratch, usable with any one tree.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -65,6 +91,10 @@ pub struct HashTree<V> {
     key_len: Option<usize>,
     len: usize,
     walk_stamp: u64,
+    /// High-water mark of leaf slot ids: the stamp-table size a
+    /// [`VisitScratch`] needs for this tree. Splits retire a leaf's slot
+    /// without reusing it, so this can exceed the live leaf count.
+    leaf_slots: usize,
 }
 
 impl<V> Default for HashTree<V> {
@@ -77,10 +107,11 @@ impl<V> HashTree<V> {
     /// An empty tree.
     pub fn new() -> Self {
         HashTree {
-            root: Node::new_leaf(),
+            root: Node::new_leaf(0),
             key_len: None,
             len: 0,
             walk_stamp: 0,
+            leaf_slots: 1,
         }
     }
 
@@ -131,11 +162,23 @@ impl<V> HashTree<V> {
             Some(k) => assert_eq!(k, key.len(), "all keys in a tree share one length"),
         }
         let key_len = key.len();
-        Self::insert_at(&mut self.root, key, value, 0, key_len);
+        Self::insert_at(&mut self.root, key, value, 0, key_len, &mut self.leaf_slots);
         self.len += 1;
     }
 
-    fn insert_at(node: &mut Node<V>, key: Vec<u64>, value: V, depth: usize, key_len: usize) {
+    fn insert_at(
+        node: &mut Node<V>,
+        key: Vec<u64>,
+        value: V,
+        depth: usize,
+        key_len: usize,
+        leaf_slots: &mut usize,
+    ) {
+        let alloc_slot = |slots: &mut usize| {
+            let id = *slots;
+            *slots += 1;
+            id
+        };
         match node {
             Node::Leaf { entries, .. } => {
                 entries.push((key, value));
@@ -147,16 +190,19 @@ impl<V> HashTree<V> {
                         (0..BRANCH).map(|_| None).collect();
                     for (k, v) in moved {
                         let b = bucket(k[depth]);
-                        let child = children[b].get_or_insert_with(|| Box::new(Node::new_leaf()));
-                        Self::insert_at(child, k, v, depth + 1, key_len);
+                        let child = children[b].get_or_insert_with(|| {
+                            Box::new(Node::new_leaf(alloc_slot(leaf_slots)))
+                        });
+                        Self::insert_at(child, k, v, depth + 1, key_len, leaf_slots);
                     }
                     *node = Node::Interior { children };
                 }
             }
             Node::Interior { children } => {
                 let b = bucket(key[depth]);
-                let child = children[b].get_or_insert_with(|| Box::new(Node::new_leaf()));
-                Self::insert_at(child, key, value, depth + 1, key_len);
+                let child = children[b]
+                    .get_or_insert_with(|| Box::new(Node::new_leaf(alloc_slot(leaf_slots))));
+                Self::insert_at(child, key, value, depth + 1, key_len, leaf_slots);
             }
         }
     }
@@ -231,7 +277,7 @@ impl<V> HashTree<V> {
         visit: &mut impl FnMut(&[u64], &mut V),
     ) {
         match node {
-            Node::Leaf { entries, stamp } => {
+            Node::Leaf { entries, stamp, .. } => {
                 if *stamp == walk_stamp {
                     return; // already examined for this record
                 }
@@ -250,6 +296,79 @@ impl<V> HashTree<V> {
                 for (i, &id) in remaining.iter().enumerate() {
                     if let Some(child) = &mut children[bucket(id)] {
                         Self::walk(child, full_record, &remaining[i + 1..], walk_stamp, visit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`HashTree::for_each_subset_of`] without mutating the tree: the
+    /// per-walk leaf visit stamps live in `scratch` instead of the leaves,
+    /// so one tree can be shared read-only by many concurrent walkers,
+    /// each with its own scratch. Values are borrowed immutably.
+    ///
+    /// `scratch` must be dedicated to this tree (see [`VisitScratch`]);
+    /// `record` must be sorted and duplicate-free.
+    pub fn for_each_subset_of_shared(
+        &self,
+        scratch: &mut VisitScratch,
+        record: &[u64],
+        mut visit: impl FnMut(&[u64], &V),
+    ) {
+        debug_assert!(
+            record.windows(2).all(|w| w[0] < w[1]),
+            "record must be sorted"
+        );
+        let Some(key_len) = self.key_len else { return };
+        if key_len > record.len() {
+            return;
+        }
+        if scratch.stamps.len() < self.leaf_slots {
+            scratch.stamps.resize(self.leaf_slots, 0);
+        }
+        scratch.walk += 1;
+        let walk = scratch.walk;
+        Self::walk_shared(
+            &self.root,
+            record,
+            record,
+            walk,
+            &mut scratch.stamps,
+            &mut visit,
+        );
+    }
+
+    fn walk_shared(
+        node: &Node<V>,
+        full_record: &[u64],
+        remaining: &[u64],
+        walk_stamp: u64,
+        stamps: &mut [u64],
+        visit: &mut impl FnMut(&[u64], &V),
+    ) {
+        match node {
+            Node::Leaf { entries, id, .. } => {
+                if stamps[*id] == walk_stamp {
+                    return; // already examined for this record
+                }
+                stamps[*id] = walk_stamp;
+                for (key, value) in entries {
+                    if Self::is_subset(key, full_record) {
+                        visit(key, value);
+                    }
+                }
+            }
+            Node::Interior { children } => {
+                for (i, &id) in remaining.iter().enumerate() {
+                    if let Some(child) = &children[bucket(id)] {
+                        Self::walk_shared(
+                            child,
+                            full_record,
+                            &remaining[i + 1..],
+                            walk_stamp,
+                            stamps,
+                            visit,
+                        );
                     }
                 }
             }
@@ -553,6 +672,73 @@ mod tests {
         // And merging an empty tree changes nothing.
         a.merge_from(HashTree::new(), |x, y| *x += y);
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn shared_walk_matches_mut_walk() {
+        let mut t = HashTree::new();
+        let mut entries = Vec::new();
+        let mut id = 0u32;
+        for a in 0u64..14 {
+            for b in (a + 1)..14 {
+                if (a * 5 + b) % 3 != 1 {
+                    t.insert(vec![a, b], id);
+                    entries.push((vec![a, b], id));
+                    id += 1;
+                }
+            }
+        }
+        let mut scratch = VisitScratch::new();
+        for record in [
+            vec![0, 1, 2, 3, 4, 5, 6],
+            vec![2, 5, 7, 9, 11, 13],
+            vec![0, 13],
+            vec![],
+            (0..14).collect::<Vec<u64>>(),
+        ] {
+            let mut shared: Vec<u32> = Vec::new();
+            t.for_each_subset_of_shared(&mut scratch, &record, |_, &v| shared.push(v));
+            let mut muts: Vec<u32> = Vec::new();
+            t.for_each_subset_of(&record, |_, &mut v| muts.push(v));
+            shared.sort_unstable();
+            muts.sort_unstable();
+            assert_eq!(shared, muts, "record {record:?}");
+        }
+    }
+
+    #[test]
+    fn shared_walk_dedupes_multi_path_leaf_visits() {
+        // Same collision-heavy setup as `exact_counts_no_double_visits`,
+        // but counting through the read-only walk.
+        let mut t = HashTree::new();
+        let mut all = 0usize;
+        for a in 0u64..12 {
+            for b in (a + 1)..12 {
+                t.insert(vec![a, b], 0u32);
+                all += 1;
+            }
+        }
+        let record: Vec<u64> = (0..12).collect();
+        let mut scratch = VisitScratch::new();
+        // Two consecutive walks with one scratch: each must see every key
+        // exactly once (the walk counter separates them).
+        for _ in 0..2 {
+            let mut visits = 0usize;
+            t.for_each_subset_of_shared(&mut scratch, &record, |_, _| visits += 1);
+            assert_eq!(visits, all, "every pair contained exactly once");
+        }
+    }
+
+    #[test]
+    fn fresh_scratch_grows_to_tree_size() {
+        let mut t = HashTree::new();
+        for i in 0u64..100 {
+            t.insert(vec![i, i + 200], i as u32);
+        }
+        let mut scratch = VisitScratch::new();
+        let mut n = 0;
+        t.for_each_subset_of_shared(&mut scratch, &[7, 207], |_, _| n += 1);
+        assert_eq!(n, 1);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod item;
 pub mod ndcounter;
 
 pub use counter::{CounterKind, RectCounter};
-pub use hash_tree::HashTree;
+pub use hash_tree::{HashTree, VisitScratch};
 pub use item::{Item, Itemset};
 pub use ndcounter::MultiDimCounter;

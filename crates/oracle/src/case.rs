@@ -18,6 +18,10 @@ pub enum ReproCase {
     Snap(SnapCase),
     /// Interval-count invariant case for [`qar_partition::num_intervals`].
     Intervals(IntervalsCase),
+    /// Memoized-scan case: a duplicate-heavy categorical table mined with
+    /// the tuple cache + worker pool on, cross-checked against the
+    /// direct serial scan.
+    Memo(MiningCase),
 }
 
 impl ReproCase {
@@ -28,6 +32,7 @@ impl ReproCase {
             ReproCase::Partition(_) => "partition",
             ReproCase::Snap(_) => "snap",
             ReproCase::Intervals(_) => "intervals",
+            ReproCase::Memo(_) => "memo",
         }
     }
 }

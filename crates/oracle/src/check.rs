@@ -20,7 +20,7 @@ use qar_apriori::apriori;
 use qar_apriori::bridge::to_transactions;
 use qar_core::naive::naive_mine;
 use qar_core::{
-    InterestMode, ItemsetSetDelta, Miner, MinerConfig, MiningOutput, PartitionStrategy,
+    InterestMode, ItemsetSetDelta, Miner, MinerConfig, MinerError, MiningOutput, PartitionStrategy,
     QuantFrequentItemsets, RuleSetDelta,
 };
 use qar_itemset::{Item, Itemset};
@@ -58,6 +58,7 @@ pub fn check_case(case: &ReproCase) -> Result<(), Divergence> {
         ReproCase::Partition(c) => check_partition(c),
         ReproCase::Snap(c) => check_snap(c),
         ReproCase::Intervals(c) => check_intervals(c),
+        ReproCase::Memo(c) => check_memo(c),
     }
 }
 
@@ -65,6 +66,71 @@ fn with_parallelism(config: &MinerConfig, threads: usize) -> MinerConfig {
     let mut c = config.clone();
     c.parallelism = NonZeroUsize::new(threads);
     c
+}
+
+/// Memoized-scan oracle: the pooled scan with the categorical-tuple
+/// cache on must agree bit-for-bit with the direct serial scan (cache
+/// off), and the cache must also be thread-count-independent (memoized
+/// serial agrees too). Generated tables are duplicate-heavy, so the
+/// cache's hit path actually executes.
+pub fn check_memo(case: &MiningCase) -> Result<(), Divergence> {
+    let mut direct_cfg = with_parallelism(&case.config, 1);
+    direct_cfg.memoize_scan = false;
+    let mut memo_par_cfg = with_parallelism(&case.config, case.threads.max(2));
+    memo_par_cfg.memoize_scan = true;
+    let mut memo_ser_cfg = with_parallelism(&case.config, 1);
+    memo_ser_cfg.memoize_scan = true;
+
+    let direct = Miner::new(direct_cfg).mine(&case.table);
+    let memo_par = Miner::new(memo_par_cfg).mine(&case.table);
+    let memo_ser = Miner::new(memo_ser_cfg).mine(&case.table);
+    compare_paths("memo-parallel-vs-direct", &direct, &memo_par)?;
+    compare_paths("memo-serial-vs-direct", &direct, &memo_ser)
+}
+
+/// Demand two executions of the same case agree: same error, or same
+/// frequent itemsets, rules, and interest verdicts.
+fn compare_paths(
+    check: &'static str,
+    reference: &Result<MiningOutput, MinerError>,
+    other: &Result<MiningOutput, MinerError>,
+) -> Result<(), Divergence> {
+    match (reference, other) {
+        (Err(a), Err(b)) => {
+            if a.to_string() != b.to_string() {
+                return Err(div(check, format!("errors differ: `{a}` vs `{b}`")));
+            }
+            Ok(())
+        }
+        (Ok(_), Err(b)) => Err(div(
+            check,
+            format!("reference succeeded but the other path failed: {b}"),
+        )),
+        (Err(a), Ok(_)) => Err(div(
+            check,
+            format!("the other path succeeded but the reference failed: {a}"),
+        )),
+        (Ok(a), Ok(b)) => {
+            let itemsets = ItemsetSetDelta::between(&a.frequent, &b.frequent);
+            if !itemsets.is_empty() {
+                return Err(div(check, itemsets.to_string()));
+            }
+            let rules = RuleSetDelta::between(&a.rules, &b.rules, 0);
+            if !rules.is_empty() {
+                return Err(div(check, rules.to_string()));
+            }
+            if a.interest != b.interest {
+                return Err(div(
+                    check,
+                    format!(
+                        "interest verdicts differ: {:?} != {:?}",
+                        a.interest, b.interest
+                    ),
+                ));
+            }
+            Ok(())
+        }
+    }
 }
 
 /// Run the five mining paths and compare them pairwise.

@@ -11,11 +11,12 @@ use qar_table::{Schema, Table, Value};
 /// Draw one case. The mix favors end-to-end mining cases; the rest stress
 /// the partitioning and completeness primitives directly.
 pub fn gen_case(rng: &mut Prng) -> ReproCase {
-    match rng.gen_weighted(&[6.0, 2.0, 1.0, 1.0]) {
+    match rng.gen_weighted(&[6.0, 2.0, 1.0, 1.0, 2.0]) {
         0 => ReproCase::Mining(gen_mining(rng)),
         1 => ReproCase::Partition(gen_partition(rng)),
         2 => ReproCase::Snap(gen_snap(rng)),
-        _ => ReproCase::Intervals(gen_intervals(rng)),
+        3 => ReproCase::Intervals(gen_intervals(rng)),
+        _ => ReproCase::Memo(gen_memo(rng)),
     }
 }
 
@@ -164,6 +165,59 @@ fn gen_mining(rng: &mut Prng) -> MiningCase {
         interest,
         max_itemset_size: *rng.choose(&[0, 0, 0, 1, 2, 3]).expect("non-empty"),
         parallelism: None,
+        memoize_scan: true,
+    };
+    MiningCase {
+        table,
+        config,
+        threads: rng.gen_range(2..9),
+    }
+}
+
+/// A memoized-scan case: low-cardinality categorical attributes over
+/// enough rows that the per-shard tuple cache sees real duplication
+/// (every distinct tuple recurs many times), with a thread count that
+/// forces the pooled sharded path. The checker compares this against the
+/// direct (cache-off) serial scan.
+fn gen_memo(rng: &mut Prng) -> MiningCase {
+    let num_rows = rng.gen_range(16..65);
+    let num_cats = rng.gen_range(2..5usize);
+    let with_quant = rng.gen_bool(0.4);
+    let mut builder = Schema::builder();
+    for i in 0..num_cats {
+        builder = builder.categorical(format!("c{i}"));
+    }
+    if with_quant {
+        builder = builder.quantitative("q");
+    }
+    let schema = builder.build().expect("generated names are valid");
+    let labels = ["a", "b", "c", "d"];
+    let cardinalities: Vec<usize> = (0..num_cats).map(|_| rng.gen_range(2..5usize)).collect();
+    let mut table = Table::new(schema);
+    for _ in 0..num_rows {
+        let mut cells: Vec<Value> = cardinalities
+            .iter()
+            .map(|&card| Value::from(labels[rng.gen_zipf(card, 1.0)]))
+            .collect();
+        if with_quant {
+            // A tiny integer domain keeps PartitionSpec::None cheap and
+            // the quant dimension duplicate-heavy too.
+            cells.push(Value::Float(rng.gen_range(0i64..4) as f64));
+        }
+        table.push_row(&cells).expect("cells match schema");
+    }
+    let denom = num_rows as u64;
+    let config = MinerConfig {
+        min_support: rng.gen_edge_fraction(denom),
+        min_confidence: rng.gen_edge_fraction(denom),
+        max_support: 1.0,
+        partitioning: PartitionSpec::None,
+        partition_strategy: PartitionStrategy::EquiDepth,
+        taxonomies: Default::default(),
+        interest: None,
+        max_itemset_size: *rng.choose(&[0, 0, 2, 3]).expect("non-empty"),
+        parallelism: None,
+        memoize_scan: true,
     };
     MiningCase {
         table,

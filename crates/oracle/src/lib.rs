@@ -3,8 +3,9 @@
 //! Every iteration draws a random case — skewed toward the edge regions
 //! where boundary bugs live — and cross-checks every execution path the
 //! repo has for the same question: serial vs parallel mining, the
-//! brute-force enumerator, the boolean apriori bridge, and the `.qarcat`
-//! save → load → query round trip. On divergence the case is shrunk to a
+//! brute-force enumerator, the boolean apriori bridge, the `.qarcat`
+//! save → load → query round trip, and the memoized pooled scan against
+//! the direct serial scan on duplicate-heavy categorical tables. On divergence the case is shrunk to a
 //! minimal repro and rendered as a self-contained text fixture that
 //! [`repro::parse`] turns back into an executable case.
 //!
@@ -134,7 +135,8 @@ mod tests {
         );
         // The generator mix must actually exercise every case kind.
         assert!(report.kind_counts.contains_key("mining"));
-        assert!(report.kind_counts.len() >= 3, "{:?}", report.kind_counts);
+        assert!(report.kind_counts.contains_key("memo"));
+        assert!(report.kind_counts.len() >= 4, "{:?}", report.kind_counts);
     }
 
     /// Same seed, same run — byte for byte.

@@ -54,6 +54,10 @@ fn candidates(case: &ReproCase) -> Vec<ReproCase> {
             .into_iter()
             .map(ReproCase::Mining)
             .collect(),
+        ReproCase::Memo(c) => mining_candidates(c)
+            .into_iter()
+            .map(ReproCase::Memo)
+            .collect(),
         ReproCase::Partition(c) => partition_candidates(c)
             .into_iter()
             .map(ReproCase::Partition)

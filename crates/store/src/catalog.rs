@@ -718,6 +718,8 @@ fn decode_stats(payload: &[u8]) -> Result<MiningStats, StoreError> {
         for _ in 0..shards {
             shard_scan_times.push(r.get_duration()?);
         }
+        // Pool/memoization stats are run-shape details the catalog does
+        // not persist; they default on load.
         pass_stats.push(PassStats {
             super_candidates,
             array_backed,
@@ -727,6 +729,7 @@ fn decode_stats(payload: &[u8]) -> Result<MiningStats, StoreError> {
             scan_time,
             merge_time,
             shard_scan_times,
+            ..PassStats::default()
         });
     }
     if r.remaining() > 0 {

@@ -132,6 +132,10 @@ fn arb_stats(rng: &mut Prng, num_attrs: usize, num_rules: usize) -> MiningStats 
                     shard_scan_times: (0..rng.gen_range(0..4usize))
                         .map(|_| arb_duration(rng))
                         .collect(),
+                    pooled: rng.gen_bool(0.5),
+                    memoized: rng.gen_bool(0.5),
+                    distinct_tuples: rng.gen_range(0..5000),
+                    memo_hits: rng.gen_range(0..100_000),
                 })
                 .collect(),
             interest_pruned_items: rng.gen_range(0..50),

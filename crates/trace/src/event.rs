@@ -71,6 +71,17 @@ pub enum TraceEvent {
         merge_us: u64,
         /// Per-shard busy time of the scan, µs, in shard order.
         shard_scan_us: Vec<u64>,
+        /// True when the scan ran its shards on the persistent worker
+        /// pool (more than one shard); false for a serial scan.
+        pooled: bool,
+        /// True when the categorical-tuple memo cache was enabled.
+        memoized: bool,
+        /// Distinct categorical tuples admitted to the memo caches,
+        /// summed over shards (0 when memoization was off).
+        distinct_tuples: usize,
+        /// Rows answered from a memo cache instead of a hash-tree walk,
+        /// summed over shards.
+        memo_hits: u64,
     },
     /// The run completed (all frequent itemsets found).
     RunFinished {
@@ -163,6 +174,10 @@ impl TraceEvent {
                 scan_us,
                 merge_us,
                 shard_scan_us,
+                pooled,
+                memoized,
+                distinct_tuples,
+                memo_hits,
             } => {
                 let shards: Vec<String> =
                     shard_scan_us.iter().map(|us| us.to_string()).collect();
@@ -172,7 +187,9 @@ impl TraceEvent {
                      \"super_candidates\":{super_candidates},\"array_backed\":{array_backed},\
                      \"rtree_backed\":{rtree_backed},\"hash_tree_nodes\":{hash_tree_nodes},\
                      \"counter_bytes\":{counter_bytes},\"scan_us\":{scan_us},\
-                     \"merge_us\":{merge_us},\"shard_scan_us\":[{}]}}",
+                     \"merge_us\":{merge_us},\"shard_scan_us\":[{}],\
+                     \"pooled\":{pooled},\"memoized\":{memoized},\
+                     \"distinct_tuples\":{distinct_tuples},\"memo_hits\":{memo_hits}}}",
                     shards.join(",")
                 )
             }
@@ -261,6 +278,10 @@ impl fmt::Display for TraceEvent {
                 scan_us,
                 merge_us,
                 shard_scan_us,
+                pooled: _,
+                memoized,
+                distinct_tuples: _,
+                memo_hits,
             } => {
                 write!(
                     f,
@@ -290,6 +311,9 @@ impl fmt::Display for TraceEvent {
                 }
                 if *counter_bytes > 0 {
                     write!(f, " | counters ~{} KiB", counter_bytes / 1024)?;
+                }
+                if *memoized && *memo_hits > 0 {
+                    write!(f, " | memo hits {memo_hits}")?;
                 }
                 Ok(())
             }
@@ -364,6 +388,10 @@ mod tests {
             scan_us: 1500,
             merge_us: 20,
             shard_scan_us: vec![700, 750],
+            pooled: true,
+            memoized: true,
+            distinct_tuples: 40,
+            memo_hits: 3800,
         }
     }
 
@@ -429,6 +457,10 @@ mod tests {
         let shards = obj.get("shard_scan_us").unwrap().as_array().unwrap();
         assert_eq!(shards.len(), 2);
         assert_eq!(shards[0].as_u64(), Some(700));
+        assert_eq!(obj.get("pooled").unwrap().as_bool(), Some(true));
+        assert_eq!(obj.get("memoized").unwrap().as_bool(), Some(true));
+        assert_eq!(obj.get("distinct_tuples").unwrap().as_u64(), Some(40));
+        assert_eq!(obj.get("memo_hits").unwrap().as_u64(), Some(3800));
     }
 
     #[test]
@@ -437,6 +469,7 @@ mod tests {
         assert!(text.contains("pass 2"), "{text}");
         assert!(text.contains("120 candidates"), "{text}");
         assert!(text.contains("2 shard(s)"), "{text}");
+        assert!(text.contains("memo hits 3800"), "{text}");
         let cancelled = TraceEvent::Cancelled {
             pass: 4,
             deadline: false,

@@ -436,6 +436,10 @@ mod tests {
                 scan_us: 40,
                 merge_us: 2,
                 shard_scan_us: vec![20, 19],
+                pooled: true,
+                memoized: true,
+                distinct_tuples: 4,
+                memo_hits: 6,
             },
             TraceEvent::RunFinished {
                 passes: 2,

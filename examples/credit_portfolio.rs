@@ -41,6 +41,7 @@ fn main() {
         }),
         max_itemset_size: 0,
         parallelism: None,
+        memoize_scan: true,
     };
 
     let output = Miner::new(config)

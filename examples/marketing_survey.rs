@@ -38,6 +38,7 @@ fn main() {
         }),
         max_itemset_size: 2,
         parallelism: None,
+        memoize_scan: true,
     };
     let output = Miner::new(config)
         .mine(&data.table)

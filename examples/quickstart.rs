@@ -23,6 +23,7 @@ fn main() {
         interest: None,
         max_itemset_size: 0,
         parallelism: None,
+        memoize_scan: true,
     };
 
     let output = Miner::new(config)

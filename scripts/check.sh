@@ -56,6 +56,18 @@ fi
 # Query throughput floor (the bin exits non-zero below 10k queries/sec).
 QAR_BENCH_QUICK=1 ./target/release/store_query > /dev/null
 
+echo "==> scan-kernel bench smoke (memo speedup + all-distinct floors)"
+# Quick run of the support-counting scan bench: exits non-zero when the
+# memoized pooled scan misses its throughput floor, fails to beat the
+# direct scan on the duplicate-heavy table, or regresses the all-distinct
+# worst case. The JSON goes to a temp path so a local run never clobbers
+# the committed BENCH_scan.json baseline.
+QAR_BENCH_QUICK=1 QAR_BENCH_OUT="$STORE_DIR/bench_scan.json" \
+    ./target/release/scan_kernel > /dev/null
+grep -q '"suite":"scan_kernel"' "$STORE_DIR/bench_scan.json"
+grep -q '"dup_memo_speedup_4t"' "$STORE_DIR/bench_scan.json"
+grep -q '"distinct_memo_ratio_4t"' "$STORE_DIR/bench_scan.json"
+
 echo "==> fuzz smoke (200 differential cases, fixed seed)"
 # A short deterministic sweep of the differential oracle: serial miner,
 # parallel miner, naive reference, apriori bridge, and catalog round trip

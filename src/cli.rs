@@ -183,6 +183,7 @@ MINE OPTIONS:
   --interest-mode M     and | or                        [default or]
   --max-size K          cap itemset size (0 = unbounded)
   --threads N           counting worker threads (0 = all cores) [default 0]
+  --no-memoize          disable the categorical-tuple scan cache
   --top N               print at most N rules (0 = all) [default 50]
   --all-rules           print pruned rules too (with a * marker)
   --format F            text | csv | json               [default text]
@@ -228,9 +229,10 @@ TRACE-CHECK:
 FUZZ:
   Draws random tables and configurations (skewed toward boundary cases)
   and cross-checks every mining path — serial, parallel, the brute-force
-  reference, the apriori bridge, and the catalog round trip — for
-  agreement. On divergence the failing case is shrunk to a minimal repro
-  and written as a fixture under --out; the exit code is non-zero.
+  reference, the apriori bridge, the catalog round trip, and the
+  memoized scan cache on duplicate-heavy tables — for agreement. On
+  divergence the failing case is shrunk to a minimal repro and written
+  as a fixture under --out; the exit code is non-zero.
   --iters N             fuzz iterations                 [default 200]
   --seed S              base RNG seed (each iteration derives a
                         replayable per-case seed)       [default 42]
@@ -259,7 +261,7 @@ fn parse_flag_map(args: &[String]) -> Result<BTreeMap<String, String>, CliError>
         }
         let key = a.trim_start_matches("--").to_string();
         // Boolean flags take no value.
-        if key == "no-partition" || key == "all-rules" {
+        if key == "no-partition" || key == "all-rules" || key == "no-memoize" {
             map.insert(key, "true".into());
             i += 1;
             continue;
@@ -407,6 +409,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 interest,
                 max_itemset_size: parse_usize(&map, "max-size", 0)?,
                 parallelism: std::num::NonZeroUsize::new(parse_usize(&map, "threads", 0)?),
+                memoize_scan: !map.contains_key("no-memoize"),
             };
             config.validate().map_err(|e| err(e.to_string()))?;
             let format = match map.get("format").map(String::as_str) {
@@ -1015,6 +1018,7 @@ mod tests {
             PartitionSpec::CompletenessLevel(2.0)
         );
         assert!(args.config.interest.is_none());
+        assert!(args.config.memoize_scan);
         assert_eq!(args.top, 50);
     }
 
@@ -1023,7 +1027,7 @@ mod tests {
         let cmd = parse_command(&argv(
             "mine --input - --schema a:q,b:c --minsup 0.1 --minconf 0.6 --maxsup 0.3 \
              --intervals 8 --strategy kmeans --interest 1.5 --interest-mode and \
-             --max-size 3 --top 10 --all-rules",
+             --max-size 3 --top 10 --all-rules --no-memoize",
         ))
         .unwrap();
         let Command::Mine(args) = cmd else { panic!() };
@@ -1035,6 +1039,7 @@ mod tests {
         assert_eq!(interest.mode, InterestMode::SupportAndConfidence);
         assert!(interest.prune_candidates);
         assert_eq!(args.config.max_itemset_size, 3);
+        assert!(!args.config.memoize_scan);
         assert!(!args.interesting_only);
         assert_eq!(args.format, OutputFormat::Text);
     }

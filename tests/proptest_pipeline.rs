@@ -44,6 +44,7 @@ fn base_config() -> MinerConfig {
         interest: None,
         max_itemset_size: 0,
         parallelism: None,
+        memoize_scan: true,
     }
 }
 
@@ -108,6 +109,54 @@ fn parallel_mining_equals_serial() {
         // exactly, so parallelism never perturbs a rule.
         let rule_delta = RuleSetDelta::between(&serial_rules, &par_rules, 0);
         assert!(rule_delta.is_empty(), "case {case}: {rule_delta}");
+    });
+}
+
+/// The scan-kernel equivalence property: the memoized blocked scan must
+/// count every candidate bit-identically to the direct (cache-off) scan
+/// and to the brute-force recount, at any thread count. The generated
+/// tables are duplicate-heavy (small domains), so the memo cache's hit
+/// path executes on nearly every row.
+#[test]
+fn memoized_scan_equals_direct_and_naive() {
+    use quantrules::core::supercand::{count_candidates_naive, count_candidates_opts, ScanOptions};
+    cases(48, 0x5EED_4242_0006, |case, rng| {
+        let table = arbitrary_table(rng);
+        let config = MinerConfig {
+            min_support: rng.gen_range(5u32..30) as f64 / 100.0,
+            max_support: 1.0,
+            ..base_config()
+        };
+        let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
+        // Use the miner's own frequent itemsets as the candidate set —
+        // a mix of sizes, categorical parts, and quant rectangles.
+        let (frequent, _) = Miner::new(config)
+            .frequent_itemsets(&encoded)
+            .expect("mine");
+        let candidates: Vec<_> = frequent.iter().map(|(set, _)| set.clone()).collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let naive = count_candidates_naive(&encoded, &candidates);
+        for threads in [1usize, 2, 4, 7] {
+            for memoize in [false, true] {
+                let opts = ScanOptions {
+                    memoize,
+                    ..ScanOptions::new(threads)
+                };
+                let (counts, stats) = count_candidates_opts(&encoded, &candidates, None, opts)
+                    .expect("no cancel token");
+                assert_eq!(
+                    counts, naive,
+                    "case {case}: threads {threads} memoize {memoize}"
+                );
+                assert_eq!(stats.memoized, memoize, "case {case}");
+                if !memoize {
+                    assert_eq!(stats.memo_hits, 0, "case {case}");
+                    assert_eq!(stats.distinct_tuples, 0, "case {case}");
+                }
+            }
+        }
     });
 }
 
