@@ -77,6 +77,29 @@ impl WorkerPool {
         })
     }
 
+    /// Enqueue a detached job and return immediately. Unlike
+    /// [`WorkerPool::run`] the job must be `'static` (it outlives the
+    /// caller's frame) and its result — including a panic, which is
+    /// caught so the worker survives — is discarded. This is the
+    /// long-lived-service entry point: `qar serve` runs one connection
+    /// handler per job, so the same workers that count a mining pass can
+    /// carry client connections between passes.
+    ///
+    /// Jobs queued when the pool is dropped still run: dropping closes
+    /// the channel, and workers drain it before parking forever.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let job: Job = Box::new(move || {
+            // A detached job has no caller to resume the panic on; eat it
+            // so the worker thread stays in its loop.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        });
+        self.sender
+            .as_ref()
+            .expect("pool is alive while borrowed")
+            .send(job)
+            .expect("scan workers alive");
+    }
+
     /// Execute every task on the pool and return their results in task
     /// order. Blocks until all tasks completed; if any task panicked, the
     /// first panic (in task order) is resumed on the caller after all
@@ -259,6 +282,129 @@ mod tests {
         assert_eq!(finished.load(Ordering::Relaxed), 5, "other tasks still ran");
         // The pool survives a panicking round.
         assert_eq!(pool.run(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn panic_resumed_on_caller_is_the_first_in_task_order_with_its_payload() {
+        let pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                (0..8)
+                    .map(|i| {
+                        move || match i {
+                            2 => panic!("boom from task 2"),
+                            5 => panic!("boom from task 5"),
+                            _ => {}
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        let payload = result.expect_err("a panicking task must unwind the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .expect("panic! with a string literal carries a &str payload");
+        assert_eq!(
+            *message, "boom from task 2",
+            "run resumes the first panic in task order, not arrival order"
+        );
+    }
+
+    #[test]
+    fn rounds_run_on_the_same_persistent_worker_threads() {
+        use std::collections::HashSet;
+        use std::sync::Barrier;
+        use std::thread::ThreadId;
+
+        let pool = WorkerPool::new(3);
+        let occupy = |pool: &WorkerPool| -> HashSet<ThreadId> {
+            // One task per worker, all held at a barrier: every worker
+            // must pick up exactly one task, so the returned ids are the
+            // full worker set.
+            let barrier = Barrier::new(3);
+            pool.run(
+                (0..3)
+                    .map(|_| {
+                        let barrier = &barrier;
+                        move || {
+                            barrier.wait();
+                            std::thread::current().id()
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .into_iter()
+            .collect()
+        };
+        let first = occupy(&pool);
+        assert_eq!(first.len(), 3, "three workers ran the three tasks");
+        let second = occupy(&pool);
+        assert_eq!(
+            first, second,
+            "later rounds reuse the same parked threads — no respawn"
+        );
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = channel();
+        for i in 0..16u32 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).expect("test receiver alive"));
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn spawned_panic_is_contained_and_the_worker_survives() {
+        // A single worker: the panicking job and everything after it run
+        // on the same thread, so surviving proves the catch.
+        let pool = WorkerPool::new(1);
+        pool.spawn(|| panic!("detached job blew up"));
+        let (tx, rx) = channel();
+        pool.spawn(move || tx.send(7u32).expect("test receiver alive"));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)),
+            Ok(7),
+            "jobs after a panicking job still run"
+        );
+        // Fork-join rounds keep working on the same worker too.
+        assert_eq!(pool.run(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn drop_drains_jobs_queued_behind_a_busy_worker() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        let pool = WorkerPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let (gate_tx, gate_rx) = channel::<()>();
+        pool.spawn(move || gate_rx.recv().expect("gate opens"));
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            pool.spawn(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // The eight jobs are queued behind the gated one while the pool is
+        // dropped; a helper opens the gate so the join can finish. Drop
+        // must drain the queue, not abandon it.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            gate_tx.send(()).expect("worker still gated");
+        });
+        drop(pool);
+        releaser.join().expect("releaser ran");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            8,
+            "every job queued at drop time still ran"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub mod catalog;
 pub mod error;
 pub mod format;
 pub mod index;
+pub mod protocol;
+pub mod serve;
 
 pub use catalog::Catalog;
 pub use error::StoreError;
 pub use index::{naive_query_range, naive_query_record, RankBy, RuleIndex};
+pub use protocol::{ProtocolError, Request, Response};
+pub use serve::{Server, ServerConfig};

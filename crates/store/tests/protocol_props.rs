@@ -1,0 +1,288 @@
+//! Property tests for the serve wire protocol: encode → decode → encode
+//! is the identity byte-for-byte over arbitrary requests and responses,
+//! and no corrupted frame — any single-byte flip, any prefix truncation
+//! — ever panics or slips through as a valid message; each surfaces a
+//! structured [`ProtocolError`].
+
+use qar_prng::Prng;
+use qar_store::protocol::{
+    decode_request, decode_response, read_frame, CatalogInfo, ErrorCode, ProtocolError, Query,
+    QueryOptions, WireError,
+};
+use qar_store::{RankBy, Request, Response};
+
+/// Characters chosen to stress UTF-8 boundaries and JSON-escape paths
+/// downstream: ASCII, quotes, backslashes, control bytes, multi-byte.
+const CHAR_POOL: [char; 12] = [
+    'a',
+    'Z',
+    '0',
+    ' ',
+    '"',
+    '\\',
+    '\n',
+    '\u{1}',
+    'é',
+    '桜',
+    '\u{10348}',
+    '-',
+];
+
+fn arb_string(rng: &mut Prng) -> String {
+    let n = rng.gen_range(0..12usize);
+    (0..n).map(|_| *rng.choose(&CHAR_POOL).unwrap()).collect()
+}
+
+/// Finite, infinite, NaN, and signed-zero bounds: the frame must carry
+/// every bit pattern unchanged.
+fn arb_f64(rng: &mut Prng) -> f64 {
+    match rng.gen_range(0..6u32) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        4 => f64::MAX,
+        _ => rng.gen_f64() * 200.0 - 100.0,
+    }
+}
+
+fn arb_rank_by(rng: &mut Prng) -> RankBy {
+    *rng.choose(&[RankBy::Support, RankBy::Confidence, RankBy::Interest])
+        .unwrap()
+}
+
+fn arb_opts(rng: &mut Prng) -> QueryOptions {
+    QueryOptions {
+        by: rng.gen_bool(0.5).then(|| arb_rank_by(rng)),
+        top_k: rng
+            .gen_bool(0.5)
+            .then(|| *rng.choose(&[0, 1, 7, u32::MAX]).unwrap()),
+    }
+}
+
+fn arb_query(rng: &mut Prng) -> Query {
+    match rng.gen_range(0..3u32) {
+        0 => Query::Point {
+            record: (0..rng.gen_range(0..5usize))
+                .map(|_| (rng.next_u64() as u32, rng.next_u64() as u32))
+                .collect(),
+            opts: arb_opts(rng),
+        },
+        1 => Query::Range {
+            attr: rng.next_u64() as u32,
+            lo: arb_f64(rng),
+            hi: arb_f64(rng),
+            opts: arb_opts(rng),
+        },
+        _ => Query::TopK {
+            by: arb_rank_by(rng),
+            k: *rng.choose(&[0, 1, 10, u32::MAX]).unwrap(),
+        },
+    }
+}
+
+fn arb_deadline(rng: &mut Prng) -> Option<u32> {
+    rng.gen_bool(0.5)
+        .then(|| *rng.choose(&[0, 1, 10_000, u32::MAX]).unwrap())
+}
+
+fn arb_request(rng: &mut Prng) -> Request {
+    match rng.gen_range(0..6u32) {
+        0 => Request::Ping,
+        1 => Request::Query {
+            catalog: arb_string(rng),
+            deadline_ms: arb_deadline(rng),
+            query: arb_query(rng),
+        },
+        2 => Request::Batch {
+            catalog: arb_string(rng),
+            deadline_ms: arb_deadline(rng),
+            queries: (0..rng.gen_range(0..6usize))
+                .map(|_| arb_query(rng))
+                .collect(),
+        },
+        3 => Request::Reload {
+            catalog: arb_string(rng),
+        },
+        4 => Request::Info,
+        _ => Request::Shutdown,
+    }
+}
+
+fn arb_error_code(rng: &mut Prng) -> ErrorCode {
+    *rng.choose(&[
+        ErrorCode::UnknownCatalog,
+        ErrorCode::BadRequest,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::ReloadFailed,
+        ErrorCode::UnknownRequest,
+        ErrorCode::BadFrame,
+        ErrorCode::Internal,
+    ])
+    .unwrap()
+}
+
+fn arb_wire_error(rng: &mut Prng) -> WireError {
+    WireError::new(arb_error_code(rng), arb_string(rng))
+}
+
+fn arb_ids(rng: &mut Prng) -> Vec<u32> {
+    (0..rng.gen_range(0..20usize))
+        .map(|_| rng.next_u64() as u32)
+        .collect()
+}
+
+fn arb_response(rng: &mut Prng) -> Response {
+    match rng.gen_range(0..7u32) {
+        0 => Response::Pong,
+        1 => Response::Ids {
+            generation: rng.next_u64(),
+            ids: arb_ids(rng),
+        },
+        2 => Response::Batch {
+            generation: rng.next_u64(),
+            items: (0..rng.gen_range(0..6usize))
+                .map(|_| {
+                    if rng.gen_bool(0.75) {
+                        Ok(arb_ids(rng))
+                    } else {
+                        Err(arb_wire_error(rng))
+                    }
+                })
+                .collect(),
+        },
+        3 => Response::Reloaded {
+            catalog: arb_string(rng),
+            generation: rng.next_u64(),
+            rules: rng.next_u64(),
+        },
+        4 => Response::Info {
+            catalogs: (0..rng.gen_range(0..4usize))
+                .map(|_| CatalogInfo {
+                    name: arb_string(rng),
+                    generation: rng.next_u64(),
+                    rules: rng.next_u64(),
+                })
+                .collect(),
+        },
+        5 => Response::Error(arb_wire_error(rng)),
+        _ => Response::ShuttingDown,
+    }
+}
+
+/// Requests survive encode → decode → encode byte-exactly, including
+/// NaN range bounds and adversarial strings.
+#[test]
+fn arbitrary_requests_round_trip_bit_exactly() {
+    qar_prng::cases(256, 0x9E0_0E57, |case, rng| {
+        let request = arb_request(rng);
+        let frame = request.to_frame();
+        let back = decode_request(&frame)
+            .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}\n{request:?}"));
+        assert_eq!(
+            back.to_frame(),
+            frame,
+            "case {case}: re-encode differs\n{request:?}"
+        );
+    });
+}
+
+/// Responses survive encode → decode → encode byte-exactly.
+#[test]
+fn arbitrary_responses_round_trip_bit_exactly() {
+    qar_prng::cases(256, 0x9E0_0E5B, |case, rng| {
+        let response = arb_response(rng);
+        let frame = response.to_frame();
+        let back = decode_response(&frame)
+            .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}\n{response:?}"));
+        assert_eq!(
+            back.to_frame(),
+            frame,
+            "case {case}: re-encode differs\n{response:?}"
+        );
+    });
+}
+
+/// Every single-byte flip of a valid frame is rejected with a structured
+/// error, never a panic and never a silently different message: the
+/// magic guards the prefix, the length field is consistency-checked, and
+/// the CRC covers the tag and the whole payload.
+#[test]
+fn every_single_byte_flip_is_a_structured_error() {
+    qar_prng::cases(48, 0xF11B, |case, rng| {
+        let frame = if rng.gen_bool(0.5) {
+            arb_request(rng).to_frame()
+        } else {
+            arb_response(rng).to_frame()
+        };
+        for offset in 0..frame.len() {
+            for mask in [0x01u8, 0x80, rng.gen_range(1..256u32) as u8] {
+                let mut bad = frame.clone();
+                bad[offset] ^= mask;
+                for result in [decode_request(&bad).err(), decode_response(&bad).err()] {
+                    let error = result.unwrap_or_else(|| {
+                        panic!("case {case}: flipping byte {offset} with {mask:#04x} undetected")
+                    });
+                    // Always a deterministic protocol error, never Io.
+                    assert!(
+                        !matches!(error, ProtocolError::Io(_)),
+                        "case {case}: unexpected Io error at byte {offset}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Every strict prefix of a valid frame fails to decode — no truncation
+/// is silently accepted — and the streaming reader agrees: an empty
+/// stream is a clean EOF, a partial frame is an error.
+#[test]
+fn every_prefix_truncation_is_a_structured_error() {
+    qar_prng::cases(32, 0x7B04C47E, |case, rng| {
+        let frame = if rng.gen_bool(0.5) {
+            arb_request(rng).to_frame()
+        } else {
+            arb_response(rng).to_frame()
+        };
+        for len in 0..frame.len() {
+            let prefix = &frame[..len];
+            assert!(
+                decode_request(prefix).is_err(),
+                "case {case}: request prefix of {len} bytes decoded"
+            );
+            assert!(
+                decode_response(prefix).is_err(),
+                "case {case}: response prefix of {len} bytes decoded"
+            );
+            let mut cursor = std::io::Cursor::new(prefix.to_vec());
+            match read_frame(&mut cursor) {
+                Ok(None) => assert_eq!(len, 0, "case {case}: clean EOF mid-frame at {len}"),
+                Ok(Some(_)) => panic!("case {case}: streaming reader accepted a {len}-byte prefix"),
+                Err(e) => assert!(
+                    !matches!(e, ProtocolError::Io(_)) || len > 0,
+                    "case {case}: empty stream must not be Io"
+                ),
+            }
+        }
+    });
+}
+
+/// Request tags and response tags are disjoint: decoding a frame with
+/// the wrong decoder is always an [`ProtocolError::UnknownTag`] carrying
+/// the offending tag.
+#[test]
+fn request_and_response_tag_spaces_are_disjoint() {
+    qar_prng::cases(64, 0xD157017, |case, rng| {
+        let request = arb_request(rng);
+        match decode_response(&request.to_frame()) {
+            Err(ProtocolError::UnknownTag(tag)) => assert_eq!(tag, request.tag(), "case {case}"),
+            other => panic!("case {case}: request decoded as response: {other:?}"),
+        }
+        let response = arb_response(rng);
+        match decode_request(&response.to_frame()) {
+            Err(ProtocolError::UnknownTag(tag)) => assert_eq!(tag, response.tag(), "case {case}"),
+            other => panic!("case {case}: response decoded as request: {other:?}"),
+        }
+    });
+}

@@ -1,0 +1,308 @@
+//! Concurrent-client soak tests for the rule-serving daemon: many
+//! client threads fire mixed point / range / top-k / batch queries at a
+//! live server and every response must be **byte-identical** to the
+//! frame built from direct in-process [`RuleIndex`] answers. A second
+//! test hot-reloads the catalog mid-flight and pins the generation
+//! semantics: every response matches the catalog version its generation
+//! names, and once the reload is acknowledged every later query sees
+//! the new generation.
+
+mod common;
+
+use std::path::PathBuf;
+use std::sync::Barrier;
+
+use common::arb_catalog;
+use qar_prng::Prng;
+use qar_store::protocol::{Query, QueryOptions};
+use qar_store::serve::{execute_query, ServeClient};
+use qar_store::{RankBy, Request, Response, RuleIndex, Server, ServerConfig};
+
+const CLIENTS: usize = 8;
+
+/// A scratch file under the OS temp dir, unique per process and test.
+fn scratch_catalog_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "qar_serve_soak_{}_{tag}.qarcat",
+        std::process::id()
+    ))
+}
+
+/// An arbitrary query, loosely shaped by the catalog's attribute count
+/// but deliberately allowed to wander out of range — the index answers
+/// unknown attributes and codes with empty sets, and the server must
+/// agree byte-for-byte.
+fn arb_query(rng: &mut Prng, num_attrs: u32) -> Query {
+    let opts = QueryOptions {
+        by: rng.gen_bool(0.4).then(|| {
+            *rng.choose(&[RankBy::Support, RankBy::Confidence, RankBy::Interest])
+                .unwrap()
+        }),
+        top_k: rng.gen_bool(0.4).then(|| rng.gen_range(0..8u32)),
+    };
+    match rng.gen_range(0..3u32) {
+        0 => Query::Point {
+            record: (0..rng.gen_range(0..4usize))
+                .map(|_| (rng.gen_range(0..num_attrs + 2), rng.gen_range(0..40u32)))
+                .collect(),
+            opts,
+        },
+        1 => {
+            let a = rng.gen_f64() * 200.0 - 100.0;
+            let b = rng.gen_f64() * 200.0 - 100.0;
+            Query::Range {
+                attr: rng.gen_range(0..num_attrs + 2),
+                lo: a.min(b),
+                hi: a.max(b),
+                opts,
+            }
+        }
+        _ => Query::TopK {
+            by: *rng
+                .choose(&[RankBy::Support, RankBy::Confidence, RankBy::Interest])
+                .unwrap(),
+            k: rng.gen_range(0..10u32),
+        },
+    }
+}
+
+/// One client-side request plus the byte-exact response the server must
+/// produce when serving the catalog behind `index` at `generation`.
+fn expected_response(index: &RuleIndex, generation: u64, request: &Request) -> Response {
+    match request {
+        Request::Query { query, .. } => Response::Ids {
+            generation,
+            ids: execute_query(index, query),
+        },
+        Request::Batch { queries, .. } => Response::Batch {
+            generation,
+            items: queries
+                .iter()
+                .map(|q| Ok(execute_query(index, q)))
+                .collect(),
+        },
+        other => panic!("not a query request: {other:?}"),
+    }
+}
+
+/// A mixed workload of single and batch query requests for one client.
+fn workload(rng: &mut Prng, slot: &str, num_attrs: u32, requests: usize) -> Vec<Request> {
+    (0..requests)
+        .map(|i| {
+            let deadline_ms = (i % 5 == 4).then_some(30_000);
+            if i % 4 == 3 {
+                Request::Batch {
+                    catalog: slot.into(),
+                    deadline_ms,
+                    queries: (0..rng.gen_range(1..4usize))
+                        .map(|_| arb_query(rng, num_attrs))
+                        .collect(),
+                }
+            } else {
+                Request::Query {
+                    catalog: slot.into(),
+                    deadline_ms,
+                    query: arb_query(rng, num_attrs),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Eight concurrent clients, mixed queries, zero tolerance: every
+/// response frame must equal the frame computed from the in-process
+/// index, bit for bit.
+#[test]
+fn concurrent_clients_get_byte_identical_answers() {
+    let mut rng = Prng::seed_from_u64(0x50AC_0001);
+    let catalog = arb_catalog(&mut rng);
+    let num_attrs = catalog.schema().len() as u32;
+    let path = scratch_catalog_path("consistency");
+    catalog.save(&path, None).expect("save catalog");
+    let index = RuleIndex::build(&catalog, None);
+
+    let server = Server::bind(
+        &[("soak".to_string(), path.clone())],
+        &ServerConfig {
+            port: 0,
+            threads: CLIENTS + 1,
+        },
+        None,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    let workloads: Vec<Vec<Request>> = (0..CLIENTS)
+        .map(|c| workload(&mut rng, "soak", num_attrs, 60 + c))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (client_id, requests) in workloads.iter().enumerate() {
+            let index = &index;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for (i, request) in requests.iter().enumerate() {
+                    let response = client
+                        .request(request)
+                        .unwrap_or_else(|e| panic!("client {client_id} request {i}: {e}"));
+                    let expected = expected_response(index, 1, request);
+                    assert_eq!(
+                        response.to_frame(),
+                        expected.to_frame(),
+                        "client {client_id} request {i}: served answer diverges\n\
+                         request: {request:?}\ngot: {response:?}\nwant: {expected:?}"
+                    );
+                }
+            });
+        }
+    });
+
+    let mut control = ServeClient::connect(addr).expect("connect control");
+    assert!(matches!(
+        control.request(&Request::Shutdown),
+        Ok(Response::ShuttingDown)
+    ));
+    server_thread.join().unwrap().expect("server exits cleanly");
+    let _ = std::fs::remove_file(path);
+}
+
+/// Hot reload mid-flight: while clients hammer the server, the catalog
+/// file is replaced and a reload frame lands. Responses may come from
+/// either generation during the overlap, but each must match the
+/// catalog its generation tags; after the reload acknowledgement every
+/// new query sees generation 2. The swap must never tear a response.
+#[test]
+fn hot_reload_keeps_every_response_generation_consistent() {
+    let mut rng = Prng::seed_from_u64(0x50AC_0002);
+    let catalog_v1 = arb_catalog(&mut rng);
+    // A second version with a different rule count so the two
+    // generations are observably different catalogs.
+    let catalog_v2 = loop {
+        let candidate = arb_catalog(&mut rng);
+        if candidate.rules().len() != catalog_v1.rules().len() {
+            break candidate;
+        }
+    };
+    let num_attrs = catalog_v1.schema().len().max(catalog_v2.schema().len()) as u32;
+    let path = scratch_catalog_path("reload");
+    catalog_v1.save(&path, None).expect("save v1");
+    let index_v1 = RuleIndex::build(&catalog_v1, None);
+    let index_v2 = RuleIndex::build(&catalog_v2, None);
+
+    let server = Server::bind(
+        &[("soak".to_string(), path.clone())],
+        &ServerConfig {
+            port: 0,
+            // Clients + the reload controller + the shutdown control
+            // connection at the end.
+            threads: CLIENTS + 2,
+        },
+        None,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    let workloads: Vec<Vec<Request>> = (0..CLIENTS)
+        .map(|c| workload(&mut rng, "soak", num_attrs, 40 + c))
+        .collect();
+
+    // Everyone (clients + reload controller) starts together; the end
+    // barrier is crossed by the controller only after the reload is
+    // acknowledged, so queries after it must see generation 2.
+    let start = Barrier::new(CLIENTS + 1);
+    let done = Barrier::new(CLIENTS + 1);
+
+    std::thread::scope(|scope| {
+        for (client_id, requests) in workloads.iter().enumerate() {
+            let (start, done) = (&start, &done);
+            let (index_v1, index_v2) = (&index_v1, &index_v2);
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                start.wait();
+                for (i, request) in requests.iter().enumerate() {
+                    let response = client
+                        .request(request)
+                        .unwrap_or_else(|e| panic!("client {client_id} request {i}: {e}"));
+                    let generation = match &response {
+                        Response::Ids { generation, .. } | Response::Batch { generation, .. } => {
+                            *generation
+                        }
+                        other => panic!("client {client_id} request {i}: {other:?}"),
+                    };
+                    let index = match generation {
+                        1 => index_v1,
+                        2 => index_v2,
+                        g => panic!("client {client_id} request {i}: impossible generation {g}"),
+                    };
+                    let expected = expected_response(index, generation, request);
+                    assert_eq!(
+                        response.to_frame(),
+                        expected.to_frame(),
+                        "client {client_id} request {i}: answer does not match \
+                         generation {generation}\nrequest: {request:?}"
+                    );
+                }
+                done.wait();
+                // The reload is acknowledged: from here on, only v2.
+                let request = Request::Query {
+                    catalog: "soak".into(),
+                    deadline_ms: None,
+                    query: Query::TopK {
+                        by: RankBy::Confidence,
+                        k: 5,
+                    },
+                };
+                let response = client.request(&request).expect("post-reload query");
+                let expected = expected_response(index_v2, 2, &request);
+                assert_eq!(
+                    response.to_frame(),
+                    expected.to_frame(),
+                    "client {client_id}: post-reload query not served from generation 2"
+                );
+            });
+        }
+
+        // The reload controller: swap the file mid-flight, demand the
+        // acknowledgement, and verify Info reports the new generation.
+        let (start, done) = (&start, &done);
+        let (path, catalog_v2) = (&path, &catalog_v2);
+        scope.spawn(move || {
+            let mut control = ServeClient::connect(addr).expect("connect control");
+            start.wait();
+            catalog_v2.save(path, None).expect("overwrite with v2");
+            match control.request(&Request::Reload {
+                catalog: "soak".into(),
+            }) {
+                Ok(Response::Reloaded {
+                    catalog,
+                    generation,
+                    rules,
+                }) => {
+                    assert_eq!(catalog, "soak");
+                    assert_eq!(generation, 2);
+                    assert_eq!(rules, catalog_v2.rules().len() as u64);
+                }
+                other => panic!("reload failed: {other:?}"),
+            }
+            match control.request(&Request::Info) {
+                Ok(Response::Info { catalogs }) => {
+                    assert_eq!(catalogs.len(), 1);
+                    assert_eq!(catalogs[0].generation, 2);
+                    assert_eq!(catalogs[0].rules, catalog_v2.rules().len() as u64);
+                }
+                other => panic!("info failed: {other:?}"),
+            }
+            done.wait();
+        });
+    });
+
+    let mut control = ServeClient::connect(addr).expect("connect control");
+    assert!(matches!(
+        control.request(&Request::Shutdown),
+        Ok(Response::ShuttingDown)
+    ));
+    server_thread.join().unwrap().expect("server exits cleanly");
+    let _ = std::fs::remove_file(path);
+}

@@ -128,6 +128,74 @@ pub enum TraceEvent {
         /// Wall-clock of the index build, µs.
         elapsed_us: u64,
     },
+    /// The rule-serving daemon (`qar serve`) is listening.
+    ServerStarted {
+        /// TCP port the listener bound (the OS's pick when `--port 0`).
+        port: u16,
+        /// Worker threads carrying connections.
+        threads: usize,
+        /// Catalogs loaded at startup.
+        catalogs: usize,
+    },
+    /// A client connection was accepted.
+    ConnectionOpened {
+        /// Server-assigned connection number (1-based, monotonic).
+        conn: u64,
+    },
+    /// A client connection ended (clean close or error).
+    ConnectionClosed {
+        /// Connection number from [`TraceEvent::ConnectionOpened`].
+        conn: u64,
+        /// Requests the connection served, including failed ones.
+        requests: u64,
+    },
+    /// One request was answered (every request emits exactly one).
+    RequestServed {
+        /// Connection number serving the request.
+        conn: u64,
+        /// Request kind: `ping`, `point`, `range`, `top_k`, `batch`,
+        /// `reload`, `info`, or `shutdown`.
+        kind: String,
+        /// False when the response was a structured error.
+        ok: bool,
+        /// Queries inside the request (1, or the batch length).
+        items: usize,
+        /// Rule ids returned across all queries in the request.
+        results: usize,
+        /// Wall-clock from decoded request to encoded response, µs.
+        elapsed_us: u64,
+    },
+    /// A `RELOAD` control frame swapped in a fresh catalog.
+    CatalogReloaded {
+        /// Name of the reloaded catalog slot.
+        catalog: String,
+        /// Generation number after the swap (starts at 1 on load).
+        generation: u64,
+        /// Rules in the new catalog.
+        rules: usize,
+        /// Wall-clock of load + index rebuild + swap, µs.
+        elapsed_us: u64,
+    },
+}
+
+/// Render a string as a JSON string literal (quotes included), escaping
+/// per RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl TraceEvent {
@@ -142,6 +210,11 @@ impl TraceEvent {
             TraceEvent::CatalogSaved { .. } => "catalog_saved",
             TraceEvent::CatalogLoaded { .. } => "catalog_loaded",
             TraceEvent::IndexBuilt { .. } => "index_built",
+            TraceEvent::ServerStarted { .. } => "server_started",
+            TraceEvent::ConnectionOpened { .. } => "connection_opened",
+            TraceEvent::ConnectionClosed { .. } => "connection_closed",
+            TraceEvent::RequestServed { .. } => "request_served",
+            TraceEvent::CatalogReloaded { .. } => "catalog_reloaded",
         }
     }
 
@@ -229,6 +302,44 @@ impl TraceEvent {
                 "{{\"event\":\"index_built\",\"rules\":{rules},\
                  \"posting_entries\":{posting_entries},\
                  \"interval_entries\":{interval_entries},\"elapsed_us\":{elapsed_us}}}"
+            ),
+            TraceEvent::ServerStarted {
+                port,
+                threads,
+                catalogs,
+            } => format!(
+                "{{\"event\":\"server_started\",\"port\":{port},\"threads\":{threads},\
+                 \"catalogs\":{catalogs}}}"
+            ),
+            TraceEvent::ConnectionOpened { conn } => {
+                format!("{{\"event\":\"connection_opened\",\"conn\":{conn}}}")
+            }
+            TraceEvent::ConnectionClosed { conn, requests } => format!(
+                "{{\"event\":\"connection_closed\",\"conn\":{conn},\"requests\":{requests}}}"
+            ),
+            TraceEvent::RequestServed {
+                conn,
+                kind,
+                ok,
+                items,
+                results,
+                elapsed_us,
+            } => format!(
+                "{{\"event\":\"request_served\",\"conn\":{conn},\"kind\":{},\
+                 \"ok\":{ok},\"items\":{items},\"results\":{results},\
+                 \"elapsed_us\":{elapsed_us}}}",
+                json_str(kind)
+            ),
+            TraceEvent::CatalogReloaded {
+                catalog,
+                generation,
+                rules,
+                elapsed_us,
+            } => format!(
+                "{{\"event\":\"catalog_reloaded\",\"catalog\":{},\
+                 \"generation\":{generation},\"rules\":{rules},\
+                 \"elapsed_us\":{elapsed_us}}}",
+                json_str(catalog)
             ),
         }
     }
@@ -365,6 +476,45 @@ impl fmt::Display for TraceEvent {
                  {interval_entries} interval entries in {}",
                 fmt_us(*elapsed_us)
             ),
+            TraceEvent::ServerStarted {
+                port,
+                threads,
+                catalogs,
+            } => write!(
+                f,
+                "server started: port {port}, {threads} worker(s), \
+                 {catalogs} catalog(s)"
+            ),
+            TraceEvent::ConnectionOpened { conn } => {
+                write!(f, "connection {conn} opened")
+            }
+            TraceEvent::ConnectionClosed { conn, requests } => {
+                write!(f, "connection {conn} closed after {requests} request(s)")
+            }
+            TraceEvent::RequestServed {
+                conn,
+                kind,
+                ok,
+                items,
+                results,
+                elapsed_us,
+            } => write!(
+                f,
+                "conn {conn}: {kind} x{items} -> {} ({results} id(s)) in {}",
+                if *ok { "ok" } else { "error" },
+                fmt_us(*elapsed_us)
+            ),
+            TraceEvent::CatalogReloaded {
+                catalog,
+                generation,
+                rules,
+                elapsed_us,
+            } => write!(
+                f,
+                "catalog \"{catalog}\" reloaded: generation {generation}, \
+                 {rules} rule(s) in {}",
+                fmt_us(*elapsed_us)
+            ),
         }
     }
 }
@@ -435,6 +585,30 @@ mod tests {
                 interval_entries: 52,
                 elapsed_us: 40,
             },
+            TraceEvent::ServerStarted {
+                port: 7979,
+                threads: 4,
+                catalogs: 2,
+            },
+            TraceEvent::ConnectionOpened { conn: 3 },
+            TraceEvent::ConnectionClosed {
+                conn: 3,
+                requests: 17,
+            },
+            TraceEvent::RequestServed {
+                conn: 3,
+                kind: "batch".into(),
+                ok: true,
+                items: 16,
+                results: 240,
+                elapsed_us: 85,
+            },
+            TraceEvent::CatalogReloaded {
+                catalog: "cat \"v2\"\\planted".into(),
+                generation: 2,
+                rules: 44,
+                elapsed_us: 310,
+            },
         ];
         for event in events {
             let parsed = parse(&event.to_json()).expect("event JSON parses");
@@ -445,6 +619,25 @@ mod tests {
                 "{event:?}"
             );
         }
+    }
+
+    #[test]
+    fn string_fields_are_escaped() {
+        let event = TraceEvent::CatalogReloaded {
+            catalog: "a\"b\\c\n\u{1}".into(),
+            generation: 1,
+            rules: 0,
+            elapsed_us: 0,
+        };
+        let parsed = parse(&event.to_json()).expect("escaped JSON parses");
+        assert_eq!(
+            parsed
+                .as_object()
+                .unwrap()
+                .get("catalog")
+                .and_then(Json::as_str),
+            Some("a\"b\\c\n\u{1}")
+        );
     }
 
     #[test]

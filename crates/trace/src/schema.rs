@@ -466,12 +466,36 @@ mod tests {
                 interval_entries: 5,
                 elapsed_us: 33,
             },
+            TraceEvent::ServerStarted {
+                port: 7979,
+                threads: 4,
+                catalogs: 1,
+            },
+            TraceEvent::ConnectionOpened { conn: 1 },
+            TraceEvent::ConnectionClosed {
+                conn: 1,
+                requests: 9,
+            },
+            TraceEvent::RequestServed {
+                conn: 1,
+                kind: "point".into(),
+                ok: true,
+                items: 1,
+                results: 4,
+                elapsed_us: 12,
+            },
+            TraceEvent::CatalogReloaded {
+                catalog: "planted".into(),
+                generation: 2,
+                rules: 7,
+                elapsed_us: 450,
+            },
         ];
         for event in events {
             schema
                 .validate_line(&event.to_json())
                 .unwrap_or_else(|e| panic!("{}: {e}", event.name()));
         }
-        assert_eq!(schema.event_names().len(), 8);
+        assert_eq!(schema.event_names().len(), 13);
     }
 }

@@ -56,6 +56,28 @@ fi
 # Query throughput floor (the bin exits non-zero below 10k queries/sec).
 QAR_BENCH_QUICK=1 ./target/release/store_query > /dev/null
 
+echo "==> serve smoke (daemon + concurrent load + trace validation + qps floor)"
+# Start the rule-serving daemon on an OS-assigned port over the catalog
+# mined above, drive a concurrent mixed workload against it, and stop it
+# with a shutdown frame. The load generator exits non-zero below the
+# 50k aggregate queries/sec floor; every server trace event must
+# validate against the pinned schema.
+./target/release/qar serve "$STORE_DIR/cat.qarcat" --port 0 --threads 10 \
+    --trace json > "$STORE_DIR/serve.out" 2> "$STORE_DIR/serve.trace" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$STORE_DIR/serve.out" 2> /dev/null && break
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$STORE_DIR/serve.out")
+QAR_BENCH_QUICK=1 ./target/release/qar bench-serve --addr "$ADDR" \
+    --catalog "$STORE_DIR/cat.qarcat" --clients 8 --requests 250 \
+    --out "$STORE_DIR/bench_serve.json" --shutdown > /dev/null
+wait "$SERVE_PID"
+grep -q '"suite":"bench_serve"' "$STORE_DIR/bench_serve.json"
+grep -q '"p99_us"' "$STORE_DIR/bench_serve.json"
+./target/release/qar trace-check < "$STORE_DIR/serve.trace" > /dev/null
+
 echo "==> scan-kernel bench smoke (memo speedup + all-distinct floors)"
 # Quick run of the support-counting scan bench: exits non-zero when the
 # memoized pooled scan misses its throughput floor, fails to beat the

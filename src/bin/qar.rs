@@ -41,8 +41,53 @@ fn main() -> ExitCode {
             Ok(n) => fail(&format!("{n} divergence(s) found; see fixtures above")),
             Err(e) => fail(&e.to_string()),
         },
+        Ok(Command::Serve(serve)) => match run_serve(&serve) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
+        Ok(Command::BenchServe(bench)) => match run_bench_serve(&bench) {
+            Ok(qps) if bench.floor > 0.0 && qps < bench.floor => fail(&format!(
+                "bench-serve: {qps:.0} queries/sec is below the {:.0} floor",
+                bench.floor
+            )),
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
         Err(e) => fail(&e.to_string()),
     }
+}
+
+/// Run the rule-serving daemon: print the bound address (port 0 is
+/// OS-assigned, so scripts parse this line), then block in the accept
+/// loop until a shutdown frame arrives.
+fn run_serve(args: &cli::ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let slots = cli::catalog_slots(&args.catalogs)?;
+    let sink = cli::trace_sink(args.trace);
+    let server = quantrules::store::Server::bind(
+        &slots,
+        &quantrules::store::ServerConfig {
+            port: args.port,
+            threads: args.threads,
+        },
+        sink,
+    )?;
+    println!(
+        "listening on {} ({} catalog(s), {} worker(s))",
+        server.local_addr(),
+        slots.len(),
+        server.threads()
+    );
+    std::io::stdout().flush()?;
+    server.serve()?;
+    Ok(())
+}
+
+fn run_bench_serve(args: &cli::BenchServeArgs) -> Result<f64, Box<dyn std::error::Error>> {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let qps = cli::run_bench_serve(args, &mut lock)?;
+    lock.flush()?;
+    Ok(qps)
 }
 
 /// Read a binary input that may be a path or `-` for stdin.

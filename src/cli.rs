@@ -10,14 +10,18 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use qar_core::{
     InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec, PartitionStrategy, QuantRule,
     RuleInterest,
 };
-use qar_store::{Catalog, RankBy, RuleIndex};
+use qar_prng::Prng;
+use qar_store::protocol::{Query, QueryOptions, Request, Response};
+use qar_store::serve::ServeClient;
+use qar_store::{Catalog, RankBy, RuleIndex, Server, ServerConfig};
 use qar_table::{csv, AttributeKind, Schema, SchemaBuilder, Table, Value};
 use qar_trace::{CancelToken, ProgressSink, TraceFormat, WriterSink};
 
@@ -36,6 +40,10 @@ pub enum Command {
     StoreCheck(StoreCheckArgs),
     /// Differentially fuzz every mining path against its references.
     Fuzz(FuzzArgs),
+    /// Serve one or more catalogs over TCP.
+    Serve(ServeArgs),
+    /// Benchmark a rule server with concurrent clients.
+    BenchServe(BenchServeArgs),
     /// Print usage.
     Help,
 }
@@ -115,6 +123,48 @@ pub struct FuzzArgs {
     pub out: String,
 }
 
+/// Arguments of `qar serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// `.qarcat` paths to serve; each becomes a slot named after its
+    /// file stem.
+    pub catalogs: Vec<String>,
+    /// TCP port on 127.0.0.1 (0 lets the OS pick; the bound address is
+    /// printed on startup).
+    pub port: u16,
+    /// Connection worker threads (0 = one per CPU). Each live connection
+    /// occupies one worker, so size this to the expected concurrent
+    /// client count.
+    pub threads: usize,
+    /// Emit server trace events to stderr in this format.
+    pub trace: Option<TraceFormat>,
+}
+
+/// Arguments of `qar bench-serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchServeArgs {
+    /// Benchmark an already-running server at this address instead of
+    /// spinning one up in-process.
+    pub addr: Option<String>,
+    /// Catalog the workload queries are drawn from. Required context for
+    /// realistic queries; without it (addr mode only) the workload falls
+    /// back to a generic query space.
+    pub catalog: Option<String>,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests sent per client.
+    pub requests: usize,
+    /// Server worker threads in self-hosted mode (0 = one per client).
+    pub threads: usize,
+    /// Minimum aggregate queries/sec; the run fails below this (0 = off).
+    pub floor: f64,
+    /// Send a shutdown frame to an `--addr` server when done.
+    pub shutdown: bool,
+    /// Where the machine-readable summary JSON goes; `None` falls back
+    /// to `$QAR_BENCH_OUT`, then `BENCH_serve.json`.
+    pub out: Option<String>,
+}
+
 /// Output format for `qar mine`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OutputFormat {
@@ -167,6 +217,8 @@ USAGE:
   qar store-check [CATALOG]
   qar trace-check [TRACE] [--schema FILE]
   qar fuzz [--iters N] [--seed S] [--out DIR]
+  qar serve CATALOG... [--port P] [--threads N] [--trace F]
+  qar bench-serve [--addr HOST:PORT] [--catalog FILE] [options]
   qar help
 
 MINE OPTIONS:
@@ -237,6 +289,40 @@ FUZZ:
   --seed S              base RNG seed (each iteration derives a
                         replayable per-case seed)       [default 42]
   --out DIR             fixture directory    [default tests/fuzz_repros]
+
+SERVE:
+  Long-lived rule-serving daemon on 127.0.0.1. Loads each CATALOG into a
+  slot named after its file stem and answers point / range / top-k /
+  batch queries over a length-prefixed, CRC-framed TCP protocol (see
+  DESIGN.md §12). Prints `listening on ADDR` once bound, then blocks.
+  Stop it with a shutdown frame (`qar bench-serve --addr A --shutdown`).
+  Catalogs hot-reload in place on a reload frame; in-flight queries
+  finish on the old snapshot.
+  --port P              TCP port (0 = OS-assigned)      [default 0]
+  --threads N           connection workers (0 = one per CPU); each live
+                        connection occupies one worker  [default 0]
+  --trace F             emit server trace events to stderr: json | text
+
+BENCH-SERVE:
+  Drives a mixed point/range/top-k/batch workload from concurrent client
+  connections, reports p50/p99 request latency and aggregate throughput,
+  and writes a summary JSON line to BENCH_serve.json. Without --addr it
+  mines a planted catalog and serves it in-process on an OS-assigned
+  port. Exits non-zero below the throughput floor.
+  --addr HOST:PORT      benchmark an already-running server
+  --catalog FILE        catalog to draw realistic queries from (used as
+                        the slot name via its file stem; in self-hosted
+                        mode also the catalog served)
+  --clients N           concurrent connections          [default 8]
+  --requests M          requests per client             [default 2000]
+                        (QAR_BENCH_QUICK=1 caps this at 300)
+  --threads N           self-hosted server workers (0 = one per client)
+  --floor Q             fail under Q aggregate queries/sec (0 = off)
+                        [default 50000]
+  --shutdown            send a shutdown frame to an --addr server after
+                        the run
+  --out FILE            summary JSON destination
+                        [default $QAR_BENCH_OUT, then BENCH_serve.json]
 ";
 
 /// Split an optional leading positional argument (anything not starting
@@ -261,7 +347,7 @@ fn parse_flag_map(args: &[String]) -> Result<BTreeMap<String, String>, CliError>
         }
         let key = a.trim_start_matches("--").to_string();
         // Boolean flags take no value.
-        if key == "no-partition" || key == "all-rules" || key == "no-memoize" {
+        if key == "no-partition" || key == "all-rules" || key == "no-memoize" || key == "shutdown" {
             map.insert(key, "true".into());
             i += 1;
             continue;
@@ -555,6 +641,71 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                     .get("out")
                     .cloned()
                     .unwrap_or_else(|| "tests/fuzz_repros".into()),
+            }))
+        }
+        "serve" => {
+            let rest = &args[1..];
+            let split = rest
+                .iter()
+                .position(|a| a.starts_with("--"))
+                .unwrap_or(rest.len());
+            let catalogs: Vec<String> = rest[..split].to_vec();
+            if catalogs.is_empty() {
+                return Err(err("serve requires at least one CATALOG path"));
+            }
+            let map = parse_flag_map(&rest[split..])?;
+            for key in map.keys() {
+                if !["port", "threads", "trace"].contains(&key.as_str()) {
+                    return Err(err(format!("serve does not take --{key}")));
+                }
+            }
+            let port = parse_usize(&map, "port", 0)?;
+            if port > u16::MAX as usize {
+                return Err(err(format!("--port {port} is not a TCP port")));
+            }
+            let trace = match map.get("trace") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<TraceFormat>()
+                        .map_err(|_| err(format!("--trace: `{v}` is not json or text")))?,
+                ),
+            };
+            Ok(Command::Serve(ServeArgs {
+                catalogs,
+                port: port as u16,
+                threads: parse_usize(&map, "threads", 0)?,
+                trace,
+            }))
+        }
+        "bench-serve" => {
+            let map = parse_flag_map(&args[1..])?;
+            for key in map.keys() {
+                let known = [
+                    "addr", "catalog", "clients", "requests", "threads", "floor", "shutdown", "out",
+                ];
+                if !known.contains(&key.as_str()) {
+                    return Err(err(format!("bench-serve does not take --{key}")));
+                }
+            }
+            let clients = parse_usize(&map, "clients", 8)?;
+            let requests = parse_usize(&map, "requests", 2000)?;
+            if clients == 0 || requests == 0 {
+                return Err(err("--clients and --requests must be at least 1"));
+            }
+            if map.contains_key("shutdown") && !map.contains_key("addr") {
+                return Err(err(
+                    "--shutdown only applies with --addr (self-hosted servers always stop)",
+                ));
+            }
+            Ok(Command::BenchServe(BenchServeArgs {
+                addr: map.get("addr").cloned(),
+                catalog: map.get("catalog").cloned(),
+                clients,
+                requests,
+                threads: parse_usize(&map, "threads", 0)?,
+                floor: parse_f64(&map, "floor", 50_000.0)?,
+                shutdown: map.contains_key("shutdown"),
+                out: map.get("out").cloned(),
             }))
         }
         other => Err(err(format!("unknown command `{other}` (try `qar help`)"))),
@@ -986,6 +1137,367 @@ pub fn run_fuzz(
         writeln!(out, "  minimized repro written to {}", path.display())?;
     }
     Ok(report.failures.len())
+}
+
+/// Map catalog paths to `(slot_name, path)` pairs for [`Server::bind`]:
+/// the slot name is the file stem (`rules/cat.qarcat` serves as `cat`).
+pub fn catalog_slots(paths: &[String]) -> Result<Vec<(String, PathBuf)>, CliError> {
+    let mut slots = Vec::with_capacity(paths.len());
+    for raw in paths {
+        let path = PathBuf::from(raw);
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| err(format!("`{raw}` has no usable file stem for a slot name")))?;
+        slots.push((stem.to_string(), path));
+    }
+    Ok(slots)
+}
+
+/// The query space a bench workload draws from: per-attribute code
+/// cardinalities plus the numeric domain of each quantitative attribute.
+struct QuerySpace {
+    cards: Vec<u32>,
+    quant_domains: Vec<(u32, f64, f64)>,
+}
+
+impl QuerySpace {
+    fn from_catalog(catalog: &Catalog) -> QuerySpace {
+        let cards: Vec<u32> = catalog.encoders().iter().map(|e| e.cardinality()).collect();
+        let quant_domains = cards
+            .iter()
+            .enumerate()
+            .filter_map(|(attr, &card)| {
+                let encoder = &catalog.encoders()[attr];
+                encoder
+                    .numeric_bounds(0, card.saturating_sub(1))
+                    .map(|(lo, hi)| (attr as u32, lo, hi))
+            })
+            .collect();
+        QuerySpace {
+            cards,
+            quant_domains,
+        }
+    }
+
+    /// Without a catalog the workload still exercises the protocol: the
+    /// server answers unknown codes with empty result sets.
+    fn generic() -> QuerySpace {
+        QuerySpace {
+            cards: vec![16; 4],
+            quant_domains: vec![(0, 0.0, 100.0)],
+        }
+    }
+
+    fn point(&self, rng: &mut Prng) -> Query {
+        let record = self
+            .cards
+            .iter()
+            .enumerate()
+            .map(|(attr, &card)| (attr as u32, rng.gen_range(0..card.max(1))))
+            .collect();
+        Query::Point {
+            record,
+            opts: QueryOptions::default(),
+        }
+    }
+
+    fn range(&self, rng: &mut Prng) -> Query {
+        let (attr, dom_lo, dom_hi) = match self.quant_domains.as_slice() {
+            [] => (0, 0.0, 100.0),
+            domains => domains[rng.gen_range(0..domains.len() as u32) as usize],
+        };
+        let a = dom_lo + rng.gen_f64() * (dom_hi - dom_lo);
+        let b = dom_lo + rng.gen_f64() * (dom_hi - dom_lo);
+        Query::Range {
+            attr,
+            lo: a.min(b),
+            hi: a.max(b),
+            opts: QueryOptions::default(),
+        }
+    }
+}
+
+/// Queries inside one batch request.
+const BENCH_BATCH: usize = 4;
+
+/// A deterministic mixed workload for one client: point-heavy with
+/// range, top-k, and batch requests interleaved, plus a deadline on
+/// every seventh request to keep that path hot.
+fn bench_workload(space: &QuerySpace, slot: &str, requests: usize, seed: u64) -> Vec<Request> {
+    let mut rng = Prng::seed_from_u64(seed);
+    let rank_cycle = [RankBy::Support, RankBy::Confidence, RankBy::Interest];
+    (0..requests)
+        .map(|i| {
+            let deadline_ms = if i % 7 == 6 { Some(10_000) } else { None };
+            match i % 8 {
+                0 => Request::Query {
+                    catalog: slot.to_string(),
+                    deadline_ms,
+                    query: Query::TopK {
+                        by: rank_cycle[i / 8 % rank_cycle.len()],
+                        k: 1 + (i as u32 % 20),
+                    },
+                },
+                1 => Request::Query {
+                    catalog: slot.to_string(),
+                    deadline_ms,
+                    query: space.range(&mut rng),
+                },
+                2 => Request::Batch {
+                    catalog: slot.to_string(),
+                    deadline_ms,
+                    queries: (0..BENCH_BATCH).map(|_| space.point(&mut rng)).collect(),
+                },
+                _ => Request::Query {
+                    catalog: slot.to_string(),
+                    deadline_ms,
+                    query: space.point(&mut rng),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Per-client tallies from one bench connection.
+struct ClientStats {
+    latencies_us: Vec<u64>,
+    queries: u64,
+    results: u64,
+}
+
+/// Run one client's workload against a live server, timing each
+/// request round trip.
+fn drive_bench_client(addr: &str, workload: &[Request]) -> Result<ClientStats, String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect to {addr}: {e}"))?;
+    let mut stats = ClientStats {
+        latencies_us: Vec::with_capacity(workload.len()),
+        queries: 0,
+        results: 0,
+    };
+    for request in workload {
+        let start = Instant::now();
+        let response = client
+            .request(request)
+            .map_err(|e| format!("request failed: {e}"))?;
+        stats
+            .latencies_us
+            .push(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        match response {
+            Response::Ids { ids, .. } => {
+                stats.queries += 1;
+                stats.results += ids.len() as u64;
+            }
+            Response::Batch { items, .. } => {
+                stats.queries += items.len() as u64;
+                for item in items {
+                    match item {
+                        Ok(ids) => stats.results += ids.len() as u64,
+                        Err(e) => return Err(format!("batch item failed: {e}")),
+                    }
+                }
+            }
+            Response::Error(e) => return Err(format!("server error: {e}")),
+            other => return Err(format!("unexpected response tag {}", other.tag())),
+        }
+    }
+    Ok(stats)
+}
+
+/// The p-th percentile (0–100) of an unsorted latency sample.
+fn percentile_us(latencies: &mut [u64], p: f64) -> u64 {
+    if latencies.is_empty() {
+        return 0;
+    }
+    latencies.sort_unstable();
+    let rank = (p / 100.0 * (latencies.len() - 1) as f64).round() as usize;
+    latencies[rank.min(latencies.len() - 1)]
+}
+
+/// Mine a small planted catalog for self-hosted benchmarking, written
+/// to a temp file (`Server::bind` loads from disk). Looser thresholds
+/// than the golden snapshot so the catalog holds a useful rule count.
+fn bench_catalog_file(quick: bool) -> Result<PathBuf, Box<dyn std::error::Error>> {
+    let records = if quick { 2_000 } else { 20_000 };
+    let data = qar_datagen::PlantedDataset::generate(qar_datagen::PlantedConfig {
+        num_records: records,
+        seed: 1996,
+    });
+    let config = MinerConfig {
+        min_support: 0.08,
+        min_confidence: 0.5,
+        max_support: 0.4,
+        partitioning: PartitionSpec::FixedIntervals(20),
+        interest: None,
+        max_itemset_size: 2,
+        ..MinerConfig::default()
+    };
+    let result = Miner::new(config).mine(&data.table)?;
+    let path = std::env::temp_dir().join(format!("qar_bench_serve_{}.qarcat", std::process::id()));
+    Catalog::from_mining(&result).save(&path, None)?;
+    Ok(path)
+}
+
+/// Send a shutdown frame and wait for the acknowledgement.
+fn shutdown_server(addr: &str) -> Result<(), String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    match client.request(&Request::Shutdown) {
+        Ok(Response::ShuttingDown) => Ok(()),
+        Ok(other) => Err(format!("unexpected shutdown response tag {}", other.tag())),
+        Err(e) => Err(format!("shutdown request failed: {e}")),
+    }
+}
+
+/// Execute `qar bench-serve`: run the concurrent-client workload,
+/// print a human summary to `out`, write the machine-readable JSON
+/// line, and return the aggregate queries/sec (the caller enforces the
+/// floor so the exit code carries it).
+pub fn run_bench_serve(
+    args: &BenchServeArgs,
+    out: &mut impl std::io::Write,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let quick = std::env::var_os("QAR_BENCH_QUICK").is_some();
+    let requests = if quick {
+        args.requests.min(300)
+    } else {
+        args.requests
+    };
+
+    // Resolve the catalog the workload is shaped by, and — in
+    // self-hosted mode — the file the server loads.
+    let mut temp_catalog: Option<PathBuf> = None;
+    let catalog_path: Option<PathBuf> = match (&args.catalog, &args.addr) {
+        (Some(path), _) => Some(PathBuf::from(path)),
+        (None, Some(_)) => None,
+        (None, None) => {
+            let path = bench_catalog_file(quick)?;
+            temp_catalog = Some(path.clone());
+            Some(path)
+        }
+    };
+    let slot = catalog_path
+        .as_deref()
+        .and_then(Path::file_stem)
+        .and_then(|s| s.to_str())
+        .unwrap_or("cat")
+        .to_string();
+    let space = match &catalog_path {
+        Some(path) => QuerySpace::from_catalog(&Catalog::load(path, None)?),
+        None => QuerySpace::generic(),
+    };
+
+    // Self-hosted mode spins the server on an OS-assigned port with one
+    // worker per client (each live connection occupies a worker).
+    let mut server_thread = None;
+    let (addr, stop_when_done) = match &args.addr {
+        Some(addr) => (addr.clone(), args.shutdown),
+        None => {
+            let path = catalog_path
+                .clone()
+                .expect("self-hosted mode has a catalog");
+            let threads = if args.threads == 0 {
+                args.clients.max(2)
+            } else {
+                args.threads
+            };
+            let server = Server::bind(
+                &[(slot.clone(), path)],
+                &ServerConfig { port: 0, threads },
+                None,
+            )?;
+            let addr = server.local_addr().to_string();
+            server_thread = Some(std::thread::spawn(move || server.serve()));
+            (addr, true)
+        }
+    };
+
+    let workloads: Vec<Vec<Request>> = (0..args.clients)
+        .map(|c| bench_workload(&space, &slot, requests, 0xBE5E ^ c as u64))
+        .collect();
+
+    let started = Instant::now();
+    let stats: Vec<Result<ClientStats, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|workload| {
+                let addr = addr.as_str();
+                scope.spawn(move || drive_bench_client(addr, workload))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut bench_error = None;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut queries = 0u64;
+    let mut results = 0u64;
+    for client in stats {
+        match client {
+            Ok(s) => {
+                latencies.extend_from_slice(&s.latencies_us);
+                queries += s.queries;
+                results += s.results;
+            }
+            Err(e) => bench_error = Some(e),
+        }
+    }
+
+    if stop_when_done {
+        if let Err(e) = shutdown_server(&addr) {
+            bench_error.get_or_insert(format!("shutdown: {e}"));
+        }
+    }
+    if let Some(handle) = server_thread {
+        handle
+            .join()
+            .map_err(|_| err("server thread panicked"))?
+            .map_err(|e| err(format!("server failed: {e}")))?;
+    }
+    if let Some(path) = temp_catalog {
+        let _ = std::fs::remove_file(path);
+    }
+    if let Some(e) = bench_error {
+        return Err(Box::new(err(format!("bench client failed: {e}"))));
+    }
+
+    let total_requests = latencies.len() as u64;
+    let elapsed_s = elapsed.as_secs_f64();
+    let qps = queries as f64 / elapsed_s.max(1e-9);
+    let rps = total_requests as f64 / elapsed_s.max(1e-9);
+    let p50 = percentile_us(&mut latencies, 50.0);
+    let p99 = percentile_us(&mut latencies, 99.0);
+
+    writeln!(
+        out,
+        "{} client(s) x {requests} request(s) against {addr} (slot `{slot}`)",
+        args.clients
+    )?;
+    writeln!(
+        out,
+        "{total_requests} requests / {queries} queries in {elapsed_s:.3}s: \
+         {qps:.0} queries/sec ({rps:.0} requests/sec), {results} rule ids returned"
+    )?;
+    writeln!(out, "latency p50 {p50}us, p99 {p99}us")?;
+
+    let json = format!(
+        "{{\"suite\":\"bench_serve\",\"clients\":{},\"requests\":{total_requests},\
+         \"queries\":{queries},\"results\":{results},\"elapsed_s\":{elapsed_s:.6},\
+         \"queries_per_sec\":{qps:.1},\"requests_per_sec\":{rps:.1},\
+         \"p50_us\":{p50},\"p99_us\":{p99},\"floor\":{:.1}}}",
+        args.clients, args.floor
+    );
+    let json_path = args
+        .out
+        .clone()
+        .or_else(|| std::env::var("QAR_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    std::fs::write(&json_path, format!("{json}\n"))
+        .map_err(|e| err(format!("cannot write `{json_path}`: {e}")))?;
+    writeln!(out, "summary written to {json_path}")?;
+
+    Ok(qps)
 }
 
 #[cfg(test)]
@@ -1425,5 +1937,130 @@ mod tests {
         let cmd = parse_command(&argv("query - --range Married=1..2")).unwrap();
         let Command::Query(qargs) = cmd else { panic!() };
         assert!(run_query(&bytes, &qargs, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let cmd = parse_command(&argv("serve cat.qarcat")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                catalogs: vec!["cat.qarcat".into()],
+                port: 0,
+                threads: 0,
+                trace: None,
+            })
+        );
+        let cmd = parse_command(&argv(
+            "serve a.qarcat b.qarcat --port 9999 --threads 4 --trace json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                catalogs: vec!["a.qarcat".into(), "b.qarcat".into()],
+                port: 9999,
+                threads: 4,
+                trace: Some(TraceFormat::Json),
+            })
+        );
+        assert!(parse_command(&argv("serve")).is_err());
+        assert!(parse_command(&argv("serve --port 1234")).is_err());
+        assert!(parse_command(&argv("serve cat.qarcat --port 70000")).is_err());
+        assert!(parse_command(&argv("serve cat.qarcat --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn bench_serve_defaults_and_flags() {
+        let cmd = parse_command(&argv("bench-serve")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchServe(BenchServeArgs {
+                addr: None,
+                catalog: None,
+                clients: 8,
+                requests: 2000,
+                threads: 0,
+                floor: 50_000.0,
+                shutdown: false,
+                out: None,
+            })
+        );
+        let cmd = parse_command(&argv(
+            "bench-serve --addr 127.0.0.1:7000 --catalog cat.qarcat --clients 2 \
+             --requests 10 --threads 3 --floor 0 --shutdown --out b.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchServe(BenchServeArgs {
+                addr: Some("127.0.0.1:7000".into()),
+                catalog: Some("cat.qarcat".into()),
+                clients: 2,
+                requests: 10,
+                threads: 3,
+                floor: 0.0,
+                shutdown: true,
+                out: Some("b.json".into()),
+            })
+        );
+        // --shutdown is meaningless without --addr: self-hosted servers
+        // are always stopped.
+        assert!(parse_command(&argv("bench-serve --shutdown")).is_err());
+        assert!(parse_command(&argv("bench-serve --clients 0")).is_err());
+        assert!(parse_command(&argv("bench-serve --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn catalog_slots_use_file_stems() {
+        let slots = catalog_slots(&["rules/cat.qarcat".into(), "other.qarcat".into()]).unwrap();
+        assert_eq!(
+            slots,
+            vec![
+                ("cat".to_string(), PathBuf::from("rules/cat.qarcat")),
+                ("other".to_string(), PathBuf::from("other.qarcat")),
+            ]
+        );
+        assert!(catalog_slots(&["..".into()]).is_err());
+    }
+
+    #[test]
+    fn bench_workload_is_deterministic_and_mixed() {
+        let space = QuerySpace::generic();
+        let a = bench_workload(&space, "cat", 32, 7);
+        let b = bench_workload(&space, "cat", 32, 7);
+        assert_eq!(a, b);
+        let kind = |r: &Request| match r {
+            Request::Batch { .. } => "batch",
+            Request::Query { query, .. } => query.kind(),
+            _ => "other",
+        };
+        for want in ["point", "range", "top_k", "batch"] {
+            assert!(a.iter().any(|r| kind(r) == want), "missing {want}");
+        }
+        // Every seventh request carries a deadline.
+        let with_deadline = a
+            .iter()
+            .filter(|r| match r {
+                Request::Query { deadline_ms, .. } | Request::Batch { deadline_ms, .. } => {
+                    deadline_ms.is_some()
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(with_deadline, 32 / 7);
+    }
+
+    #[test]
+    fn percentiles_of_latency_samples() {
+        let mut empty: Vec<u64> = Vec::new();
+        assert_eq!(percentile_us(&mut empty, 50.0), 0);
+        let mut one = vec![42];
+        assert_eq!(percentile_us(&mut one, 99.0), 42);
+        let mut sample: Vec<u64> = (1..=100).rev().collect();
+        // Nearest-rank on 100 samples: rank round(0.5 * 99) = 50.
+        assert_eq!(percentile_us(&mut sample, 50.0), 51);
+        assert_eq!(percentile_us(&mut sample, 99.0), 99);
+        assert_eq!(percentile_us(&mut sample, 100.0), 100);
     }
 }
