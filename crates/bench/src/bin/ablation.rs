@@ -171,7 +171,7 @@ fn interest_prune_ablation(table: &Table) {
         // cap the pass depth so the no-prune arm stays measurable.
         max_itemset_size: 2,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     };
     let widths = [8usize, 12, 14, 14, 12];
     println!(

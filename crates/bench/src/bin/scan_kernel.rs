@@ -1,16 +1,22 @@
 //! Scan-kernel throughput benchmark: the support-counting record scan
-//! (`count_candidates_opts`) measured serial vs pooled and memoized vs
-//! direct, on the two tables that bracket the memo cache's behavior:
+//! (`count_candidates_opts`) measured serial vs pooled across the three
+//! concrete kernels (direct, memoized, bitmask), on the two tables that
+//! bracket the kernels' behavior:
 //!
 //! * **duplicate-heavy** — 3 low-cardinality categorical attributes
 //!   (24 distinct tuples cover every row) + 1 small quantitative, the
 //!   regime the categorical-tuple cache is built for;
 //! * **all-distinct** — every row's categorical tuple is unique, so the
-//!   cache saturates at its admission limit and the scan degenerates to
-//!   the direct walk plus cache-probe overhead (the worst case the memo
-//!   path must not regress).
+//!   cache saturates at its admission limit and the row-wise scan
+//!   degenerates to the direct walk. This is the regime the blocked
+//!   bitmask kernel exists for: its throughput floor is enforced here.
 //!
-//! Usage: `cargo run --release -p qar-bench --bin scan_kernel [records]`
+//! Usage: `cargo run --release -p qar-bench --bin scan_kernel
+//! [records] [--seed S]`
+//!
+//! `--seed` rotates the deterministic table layouts (default 0 keeps the
+//! historical tables bit-for-bit), so a floor violation can be replayed
+//! on the exact offending table.
 //!
 //! Each measurement prints the human harness line plus one JSON line
 //! (`rows_per_sec` extra). The whole suite is also written as a single
@@ -19,12 +25,12 @@
 //! baseline future perf work diffs against. Exit is non-zero when the
 //! memoized pooled scan falls below the throughput floor, when
 //! memoization fails to beat the direct scan on the duplicate-heavy
-//! table, or when it regresses the all-distinct worst case.
+//! table, when it regresses the all-distinct worst case, or when the
+//! bitmask kernel fails its all-distinct speedup floor.
 
-use qar_bench::experiments::records_arg;
 use qar_bench::harness::{bench, json_line};
 use qar_core::supercand::{count_candidates_opts, ScanOptions};
-use qar_core::WorkerPool;
+use qar_core::{ScanKernel, WorkerPool};
 use qar_itemset::{Item, Itemset};
 use qar_table::{EncodedTable, Schema, Table, Value};
 
@@ -38,14 +44,22 @@ const THREADS: usize = 4;
 const FLOOR_ROWS_PER_SEC: f64 = 1_000_000.0;
 /// …memoized/direct speedup there (acceptance asks for ≥ 1.4×)…
 const FLOOR_DUP_SPEEDUP: f64 = 1.4;
-/// …and the memoized/direct ratio on the all-distinct worst case
-/// (acceptance allows at most a 5% regression; quick CI runs get slack).
+/// …the memoized/direct ratio on the all-distinct worst case
+/// (acceptance allows at most a 5% regression; quick CI runs get slack)…
 const FLOOR_DISTINCT_RATIO: f64 = 0.80;
+/// …and the bitmask/direct serial speedup on the all-distinct worst
+/// case. The issue floor is ≥ 3× the committed 14.4M rows/s direct
+/// baseline; measuring against the same run's direct scan makes the
+/// ratio machine-independent, so the floor holds on slower CI hosts too.
+const FLOOR_BITMASK_SPEEDUP: f64 = 3.0;
+
+/// Maximum rows before the all-distinct table's tuples would repeat.
+const DISTINCT_SPAN: usize = 59 * 61 * 57;
 
 /// The duplicate-heavy table: c0 × c1 × c2 cycle through 2 × 3 × 4
 /// labels (24 distinct categorical tuples regardless of row count) and
-/// q cycles through 5 values.
-fn duplicate_heavy(rows: usize) -> EncodedTable {
+/// q cycles through 5 values. `seed` rotates the starting phase.
+fn duplicate_heavy(rows: usize, seed: u64) -> EncodedTable {
     let schema = Schema::builder()
         .categorical("c0")
         .categorical("c1")
@@ -58,11 +72,12 @@ fn duplicate_heavy(rows: usize) -> EncodedTable {
     let c1 = ["u", "v", "w"];
     let c2 = ["p", "q", "r", "s"];
     for i in 0..rows {
+        let j = i.wrapping_add(seed as usize);
         t.push_row(&[
-            Value::from(c0[i % c0.len()]),
-            Value::from(c1[i % c1.len()]),
-            Value::from(c2[i % c2.len()]),
-            Value::Int((i % 5) as i64),
+            Value::from(c0[j % c0.len()]),
+            Value::from(c1[j % c1.len()]),
+            Value::from(c2[j % c2.len()]),
+            Value::Int((j % 5) as i64),
         ])
         .expect("row matches schema");
     }
@@ -71,9 +86,11 @@ fn duplicate_heavy(rows: usize) -> EncodedTable {
 
 /// The all-distinct worst case: three coprime-cardinality categorical
 /// attributes whose combined tuple is unique for every row up to
-/// 59 × 61 × 57 ≈ 205k, far past the memo admission limit.
-fn all_distinct(rows: usize) -> EncodedTable {
-    assert!(rows <= 59 * 61 * 57, "tuples would repeat");
+/// 59 × 61 × 57 ≈ 205k, far past the memo admission limit. `seed`
+/// rotates through the tuple space (i ↦ i + seed is injective, so the
+/// tuples stay pairwise distinct for any seed).
+fn all_distinct(rows: usize, seed: u64) -> EncodedTable {
+    assert!(rows <= DISTINCT_SPAN, "tuples would repeat");
     let schema = Schema::builder()
         .categorical("c0")
         .categorical("c1")
@@ -83,11 +100,12 @@ fn all_distinct(rows: usize) -> EncodedTable {
         .expect("static schema");
     let mut t = Table::new(schema);
     for i in 0..rows {
+        let j = (i + (seed as usize % DISTINCT_SPAN)) % DISTINCT_SPAN;
         t.push_row(&[
-            Value::from(format!("v{}", i % 59)),
-            Value::from(format!("v{}", (i / 59) % 61)),
-            Value::from(format!("v{}", (i / (59 * 61)) % 57)),
-            Value::Int((i % 5) as i64),
+            Value::from(format!("v{}", j % 59)),
+            Value::from(format!("v{}", (j / 59) % 61)),
+            Value::from(format!("v{}", (j / (59 * 61)) % 57)),
+            Value::Int((j % 5) as i64),
         ])
         .expect("row matches schema");
     }
@@ -144,19 +162,18 @@ fn measure(
     cands: &[Itemset],
     threads: usize,
     pool: Option<&WorkerPool>,
-    memoize: bool,
+    kernel: ScanKernel,
 ) -> Measurement {
     let rows = encoded.num_rows() as f64;
-    let mode = if memoize { "memo" } else { "direct" };
     let exec = if threads == 1 {
         "serial".to_string()
     } else {
         format!("pooled{threads}")
     };
-    let label = format!("{table_name} {exec} {mode}");
+    let label = format!("{table_name} {exec} {}", kernel.name());
     let opts = ScanOptions {
         pool,
-        memoize,
+        kernel,
         ..ScanOptions::new(threads)
     };
     let sample = bench(&label, || {
@@ -169,7 +186,14 @@ fn measure(
         &[
             ("rows_per_sec", rows_per_sec),
             ("threads", threads as f64),
-            ("memoized", if memoize { 1.0 } else { 0.0 }),
+            (
+                "memoized",
+                if kernel == ScanKernel::Memoized {
+                    1.0
+                } else {
+                    0.0
+                },
+            ),
         ],
     );
     println!("{json}");
@@ -180,50 +204,95 @@ fn measure(
     }
 }
 
+/// `[records] [--seed S]`: an optional positional record count and an
+/// optional table seed (0 keeps the historical layouts).
+fn parse_args(default_records: usize) -> (usize, u64) {
+    let mut records = default_records;
+    let mut seed = 0u64;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--seed" {
+            seed = argv
+                .get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("scan_kernel: --seed needs an unsigned integer");
+                    std::process::exit(2);
+                });
+            i += 2;
+        } else {
+            if let Ok(n) = argv[i].parse() {
+                records = n;
+            }
+            i += 1;
+        }
+    }
+    (records, seed)
+}
+
 fn main() {
-    let records = records_arg(200_000);
+    let (records, seed) = parse_args(200_000);
     let pool = WorkerPool::new(THREADS);
 
     let mut results: Vec<Measurement> = Vec::new();
     let mut suite = Vec::new();
     for (name, encoded) in [
-        ("dup_heavy", duplicate_heavy(records)),
-        ("all_distinct", all_distinct(records.min(59 * 61 * 57))),
+        ("dup_heavy", duplicate_heavy(records, seed)),
+        (
+            "all_distinct",
+            all_distinct(records.min(DISTINCT_SPAN), seed),
+        ),
     ] {
         let cands = candidates(&encoded);
         println!(
-            "\n{name}: {} rows, {} candidates",
+            "\n{name}: {} rows, {} candidates (seed {seed})",
             encoded.num_rows(),
             cands.len()
         );
-        for (threads, memoize) in [(1, false), (1, true), (THREADS, false), (THREADS, true)] {
-            let pool_ref = (threads > 1).then_some(&pool);
-            results.push(measure(name, &encoded, &cands, threads, pool_ref, memoize));
+        for threads in [1, THREADS] {
+            for kernel in [
+                ScanKernel::Direct,
+                ScanKernel::Memoized,
+                ScanKernel::Bitmask,
+            ] {
+                let pool_ref = (threads > 1).then_some(&pool);
+                results.push(measure(name, &encoded, &cands, threads, pool_ref, kernel));
+            }
         }
         suite.push((name, results.split_off(0)));
     }
 
-    let find = |rs: &[Measurement], needle: &str| -> f64 {
+    fn find<'m>(rs: &'m [Measurement], needle: &str) -> &'m Measurement {
         rs.iter()
             .find(|m| m.label.contains(needle))
-            .map(|m| m.rows_per_sec)
             .expect("measurement present")
-    };
+    }
     let dup = &suite[0].1;
     let distinct = &suite[1].1;
-    let dup_memo_4t = find(dup, &format!("pooled{THREADS} memo"));
-    let dup_direct_4t = find(dup, &format!("pooled{THREADS} direct"));
-    let distinct_memo_4t = find(distinct, &format!("pooled{THREADS} memo"));
-    let distinct_direct_4t = find(distinct, &format!("pooled{THREADS} direct"));
+    let pooled_memo = format!("pooled{THREADS} memoized");
+    let pooled_direct = format!("pooled{THREADS} direct");
+    let dup_memo_4t = find(dup, &pooled_memo).rows_per_sec;
+    let dup_direct_4t = find(dup, &pooled_direct).rows_per_sec;
+    let distinct_memo_4t = find(distinct, &pooled_memo).rows_per_sec;
+    let distinct_direct_4t = find(distinct, &pooled_direct).rows_per_sec;
+    let distinct_direct_1t = find(distinct, "serial direct").rows_per_sec;
+    let distinct_bitmask_1t = find(distinct, "serial bitmask");
     let dup_speedup = dup_memo_4t / dup_direct_4t;
     let distinct_ratio = distinct_memo_4t / distinct_direct_4t;
+    let bitmask_speedup = distinct_bitmask_1t.rows_per_sec / distinct_direct_1t;
 
     // Assemble the committed baseline document: suite metadata, every
-    // per-measurement JSON object, and the two acceptance ratios.
+    // per-measurement JSON object, and the acceptance ratios.
     let mut doc = String::from("{\"suite\":\"scan_kernel\"");
-    doc.push_str(&format!(",\"records\":{records},\"threads\":{THREADS}"));
+    doc.push_str(&format!(
+        ",\"records\":{records},\"threads\":{THREADS},\"seed\":{seed}"
+    ));
     doc.push_str(&format!(
         ",\"dup_memo_speedup_4t\":{dup_speedup:.4},\"distinct_memo_ratio_4t\":{distinct_ratio:.4}"
+    ));
+    doc.push_str(&format!(
+        ",\"distinct_bitmask_speedup_1t\":{bitmask_speedup:.4}"
     ));
     doc.push_str(",\"results\":[");
     let all: Vec<&str> = suite
@@ -243,6 +312,11 @@ fn main() {
         "all-distinct  @{THREADS}t: memo {distinct_memo_4t:.0} rows/s vs direct \
          {distinct_direct_4t:.0} rows/s (ratio {distinct_ratio:.2}, floor {FLOOR_DISTINCT_RATIO})"
     );
+    println!(
+        "all-distinct  @1t: bitmask {:.0} rows/s vs direct {distinct_direct_1t:.0} rows/s \
+         ({bitmask_speedup:.2}x, floor {FLOOR_BITMASK_SPEEDUP}x)",
+        distinct_bitmask_1t.rows_per_sec
+    );
     println!("wrote {out_path}");
 
     let mut failed = false;
@@ -258,6 +332,14 @@ fn main() {
         eprintln!(
             "scan_kernel: memoization regresses the all-distinct case \
              ({distinct_ratio:.2} < {FLOOR_DISTINCT_RATIO})"
+        );
+        failed = true;
+    }
+    if bitmask_speedup < FLOOR_BITMASK_SPEEDUP {
+        eprintln!(
+            "scan_kernel: bitmask kernel speedup {bitmask_speedup:.2}x below \
+             {FLOOR_BITMASK_SPEEDUP}x on the all-distinct case; failing record: {}",
+            distinct_bitmask_1t.json
         );
         failed = true;
     }

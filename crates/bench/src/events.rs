@@ -86,6 +86,7 @@ mod tests {
             memoized: false,
             distinct_tuples: 0,
             memo_hits: 0,
+            kernel: "direct".to_string(),
         }
     }
 

@@ -29,7 +29,7 @@ pub fn section6_config(
         }),
         max_itemset_size: 0,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     }
 }
 

@@ -37,6 +37,67 @@ pub enum PartitionStrategy {
     KMeans,
 }
 
+/// Which support-counting scan kernel the miner runs (Step 3's record
+/// scan). Every variant produces **bit-identical counts** — the kernel is
+/// a pure performance choice, never semantics — so this knob exists for
+/// ablations, benches, and the differential fuzz oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanKernel {
+    /// Row-at-a-time hash-tree subset walks with no memo cache — the
+    /// reference kernel every other variant is checked against.
+    Direct,
+    /// Row-at-a-time walks with the categorical-tuple memo cache: the
+    /// subset walk runs once per *distinct* tuple. Wins on
+    /// duplicate-heavy tables; self-disables (falling back to the direct
+    /// walk) when a trial block shows near-zero tuple reuse.
+    Memoized,
+    /// Blocked bitmask kernel: per-attribute `lo <= code <= hi`
+    /// predicates are evaluated over 1024-row blocks into `u64` bitsets,
+    /// ANDed across attributes, and popcounted — no per-row branching,
+    /// plus per-block min/max pre-screening so non-intersecting plans
+    /// skip whole blocks. Wins on (near-)all-distinct tables where the
+    /// memo cache cannot help.
+    Bitmask,
+    /// Start memoized and let each shard's first-full-block
+    /// duplicate-ratio trial pick: high tuple reuse keeps the memo cache,
+    /// near-zero reuse switches the shard to the bitmask kernel for its
+    /// remaining rows.
+    #[default]
+    Auto,
+}
+
+impl ScanKernel {
+    /// The kernel's wire name, as recorded in
+    /// [`crate::supercand::PassStats::kernel`] and the `pass_finished`
+    /// trace event (`Auto` resolves per shard and is never reported
+    /// verbatim).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanKernel::Direct => "direct",
+            ScanKernel::Memoized => "memoized",
+            ScanKernel::Bitmask => "bitmask",
+            ScanKernel::Auto => "auto",
+        }
+    }
+
+    /// Parse a CLI/config spelling (the [`ScanKernel::name`] strings).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "direct" => Some(ScanKernel::Direct),
+            "memoized" | "memo" => Some(ScanKernel::Memoized),
+            "bitmask" => Some(ScanKernel::Bitmask),
+            "auto" => Some(ScanKernel::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScanKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Which deviations from expectation make a rule interesting (Section 4:
 /// "the user can specify whether it should be support and confidence, or
 /// support or confidence").
@@ -96,13 +157,13 @@ pub struct MinerConfig {
     /// their integer counts are summed in shard order — so this knob is
     /// pure performance, never semantics.
     pub parallelism: Option<std::num::NonZeroUsize>,
-    /// Enable categorical-tuple memoization in the support-counting scan:
-    /// each shard caches `categorical tuple → matched super-candidates`
-    /// so the hash-tree subset walk runs once per *distinct* tuple rather
-    /// than once per row. Counts are bit-identical either way — this knob
-    /// (default `true`) exists for the `--no-memoize` ablation and the
-    /// differential fuzz oracle.
-    pub memoize_scan: bool,
+    /// Which support-counting scan kernel to run (see [`ScanKernel`]).
+    /// Counts are bit-identical for every variant — the default
+    /// [`ScanKernel::Auto`] picks memoized vs. bitmask per shard from the
+    /// first-full-block duplicate-ratio trial; the explicit variants
+    /// exist for the `--kernel` ablation and the differential fuzz
+    /// oracle.
+    pub kernel: ScanKernel,
 }
 
 impl Default for MinerConfig {
@@ -122,7 +183,7 @@ impl Default for MinerConfig {
             }),
             max_itemset_size: 0,
             parallelism: None,
-            memoize_scan: true,
+            kernel: ScanKernel::Auto,
         }
     }
 }
@@ -346,6 +407,22 @@ mod tests {
         assert_eq!(c.effective_parallelism(), 3);
         let auto = MinerConfig::default().effective_parallelism();
         assert!(auto >= 1);
+    }
+
+    #[test]
+    fn scan_kernel_names_round_trip() {
+        for kernel in [
+            ScanKernel::Direct,
+            ScanKernel::Memoized,
+            ScanKernel::Bitmask,
+            ScanKernel::Auto,
+        ] {
+            assert_eq!(ScanKernel::parse(kernel.name()), Some(kernel));
+            assert_eq!(kernel.to_string(), kernel.name());
+        }
+        assert_eq!(ScanKernel::parse("memo"), Some(ScanKernel::Memoized));
+        assert_eq!(ScanKernel::parse("simd"), None);
+        assert_eq!(ScanKernel::default(), ScanKernel::Auto);
     }
 
     #[test]

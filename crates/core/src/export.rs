@@ -245,7 +245,7 @@ mod tests {
             }),
             max_itemset_size: 0,
             parallelism: None,
-            memoize_scan: true,
+            kernel: Default::default(),
         })
         .mine(&t)
         .unwrap()

@@ -45,7 +45,7 @@ pub use delta::{f64_close_ulps, ItemsetSetDelta, RuleSetDelta};
 
 pub use config::{
     CancelledInfo, InterestConfig, InterestMode, MinerConfig, MinerError, PartitionSpec,
-    PartitionStrategy,
+    PartitionStrategy, ScanKernel,
 };
 pub use frequent::QuantFrequentItemsets;
 pub use interest::{annotate_interest, RuleInterest};

@@ -115,6 +115,7 @@ fn pass_finished_event(
         memoized: stats.memoized,
         distinct_tuples: stats.distinct_tuples,
         memo_hits: stats.memo_hits,
+        kernel: stats.kernel.clone(),
     }
 }
 
@@ -160,7 +161,7 @@ pub(crate) fn mine_encoded_ctx(
     let scan_opts = ScanOptions {
         cancel: ctx.cancel,
         pool: ctx.pool,
-        memoize: config.memoize_scan,
+        kernel: config.kernel,
         ..ScanOptions::new(num_threads)
     };
 
@@ -223,6 +224,9 @@ pub(crate) fn mine_encoded_ctx(
         memoized: false,
         distinct_tuples: 0,
         memo_hits: 0,
+        // Pass 1 is a plain per-attribute value count — no hash tree, no
+        // cache, no masks — which is the direct kernel's shape.
+        kernel: "direct".to_string(),
     });
     if level1.is_empty() {
         ctx.emit(|| TraceEvent::RunFinished {
@@ -375,7 +379,7 @@ mod tests {
             interest: None,
             max_itemset_size: 0,
             parallelism: None,
-            memoize_scan: true,
+            kernel: Default::default(),
         }
     }
 

@@ -5,7 +5,7 @@
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use crate::config::{MinerConfig, MinerError};
+use crate::config::{MinerConfig, MinerError, ScanKernel};
 use crate::interest::annotate_interest;
 use crate::mine::{mine_encoded_ctx, MineStats, RunCtx};
 use crate::pipeline::{build_encoders, item_supports_of, MiningOutput, MiningStats};
@@ -112,6 +112,14 @@ impl Miner {
     /// picks per super-candidate by the memory heuristic).
     pub fn with_counter(mut self, kind: CounterKind) -> Self {
         self.force_counter = Some(kind);
+        self
+    }
+
+    /// Pin the support-counting scan kernel (the default, [`ScanKernel::Auto`],
+    /// picks memoized vs bitmask per shard from the first-block duplicate
+    /// trial).
+    pub fn with_kernel(mut self, kernel: ScanKernel) -> Self {
+        self.config.kernel = kernel;
         self
     }
 

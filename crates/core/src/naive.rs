@@ -108,7 +108,7 @@ mod tests {
                 interest: None,
                 max_itemset_size: 0,
                 parallelism: None,
-                memoize_scan: true,
+                kernel: Default::default(),
             };
             let naive = naive_mine(&enc, &config);
             let (real, _) = Miner::new(config.clone()).frequent_itemsets(&enc).unwrap();
@@ -142,7 +142,7 @@ mod tests {
             interest: None,
             max_itemset_size: 0,
             parallelism: None,
-            memoize_scan: true,
+            kernel: Default::default(),
         };
         let naive = naive_mine(&enc, &config);
         for (itemset, count) in naive.iter() {

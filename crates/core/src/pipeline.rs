@@ -211,7 +211,7 @@ mod tests {
             interest: None,
             max_itemset_size: 0,
             parallelism: None,
-            memoize_scan: true,
+            kernel: Default::default(),
         }
     }
 

@@ -39,16 +39,44 @@
 //! caches `categorical tuple → matched plan list` and reuses the list for
 //! every later row with the same tuple, so the subset walk runs once per
 //! *distinct* tuple instead of once per row. The cache stops admitting
-//! new tuples past [`ScanOptions::memo_limit`], and falls back to the
-//! direct walk outright when the distinct-tuple count is high — after the
-//! first full block, if fewer than [`MEMO_TRIAL_FACTOR`] rows share each
-//! observed tuple on average, or at any block boundary where the cache is
-//! full and has never served a hit, the shard stops probing entirely so
-//! near-distinct tables pay at most one block's worth of cache overhead.
-//! Cached and direct walks produce the same list, so memoization never
-//! changes counts — [`ScanOptions::memoize`] exists purely for ablation
-//! and the differential fuzz oracle.
+//! new tuples past [`ScanOptions::memo_limit`], and gives up when the
+//! distinct-tuple count is high — after the first full block, if fewer
+//! than [`MEMO_TRIAL_FACTOR`] rows share each observed tuple on average,
+//! or at any block boundary where the cache is full and has never served
+//! a hit, the shard stops probing entirely so near-distinct tables pay at
+//! most one block's worth of cache overhead. Cached and direct walks
+//! produce the same list, so memoization never changes counts.
+//!
+//! # The bitmask kernel
+//!
+//! Where memoization gives up — (near-)all-distinct categorical tuples —
+//! the remaining cost is per-row branching: the subset walk plus
+//! rectangle containment, row at a time. The bitmask kernel
+//! ([`crate::ScanKernel::Bitmask`]) removes the per-row control flow
+//! entirely: for each [`CANCEL_CHECK_INTERVAL`]-row block it evaluates
+//! every predicate over the whole block into `u64` bitsets — one
+//! equality mask per *distinct* categorical `(attribute, code)` pair
+//! (shared by all plans that test it), one branchless
+//! `lo <= code <= hi` range mask per member rectangle dimension — then
+//! ANDs masks together and popcounts, a shape the autovectorizer turns
+//! into SIMD compares with no per-row branches. Per-block min/max
+//! summaries of each touched column pre-screen plans and members: a
+//! predicate code or rectangle that cannot intersect the block's value
+//! range skips the block without touching a single row, and a mask word
+//! that has gone all-zero short-circuits the remaining ANDs.
+//!
+//! Which kernel runs is [`ScanOptions::kernel`] (a
+//! [`crate::ScanKernel`]): `Direct` and `Memoized` are the row-wise
+//! walks above, `Bitmask` is the blocked kernel, and `Auto` (the
+//! default) starts memoized and lets the first-full-block trial decide —
+//! high tuple reuse keeps the cache, near-zero reuse switches the shard
+//! to the bitmask kernel for its remaining blocks. Every kernel produces
+//! **bit-identical counts** (enforced by unit tests, the
+//! `bitmask_scan_equals_direct_and_naive` proptest, and the fuzz
+//! oracle's `kernel` kind); the knob is pure performance, never
+//! semantics.
 
+use crate::config::ScanKernel;
 use crate::pool::WorkerPool;
 use qar_itemset::{CounterKind, HashTree, Itemset, RectCounter, VisitScratch};
 use qar_table::{AttributeId, AttributeKind, EncodedTable};
@@ -93,7 +121,7 @@ pub const MEMO_TRIAL_FACTOR: usize = 2;
 
 /// Tuning knobs for one counting scan. [`ScanOptions::new`] gives the
 /// defaults every production path uses; the extra fields exist for the
-/// `--no-memoize` ablation, the fuzz oracle, and threshold unit tests.
+/// `--kernel` ablation, the fuzz oracle, and threshold unit tests.
 #[derive(Debug, Clone, Copy)]
 pub struct ScanOptions<'a> {
     /// Upper bound on data shards scanned in parallel (`<= 1` is serial).
@@ -104,11 +132,13 @@ pub struct ScanOptions<'a> {
     /// Worker pool to run shard tasks on; `None` uses the process-wide
     /// [`WorkerPool::global`].
     pub pool: Option<&'a WorkerPool>,
-    /// Enable the categorical-tuple memo cache (see module docs). Counts
-    /// are bit-identical either way.
-    pub memoize: bool,
+    /// Which scan kernel runs the record loop (see module docs). Counts
+    /// are bit-identical for every variant.
+    pub kernel: ScanKernel,
     /// Distinct-tuple cap of the memo cache, [`MEMO_MAX_DISTINCT`] unless
-    /// a test overrides it.
+    /// a test overrides it. Zero disables the cache (under
+    /// [`ScanKernel::Auto`] the shard then starts on the bitmask kernel
+    /// directly — there is nothing left to trial).
     pub memo_limit: usize,
 }
 
@@ -119,7 +149,7 @@ impl<'a> ScanOptions<'a> {
             num_threads,
             cancel: None,
             pool: None,
-            memoize: true,
+            kernel: ScanKernel::Auto,
             memo_limit: MEMO_MAX_DISTINCT,
         }
     }
@@ -180,6 +210,11 @@ pub struct PassStats {
     /// Rows whose matched-plan list was served from the memo cache,
     /// summed over shards.
     pub memo_hits: u64,
+    /// The scan kernel the pass resolved to: `"direct"`, `"memoized"`,
+    /// or `"bitmask"` when every shard agreed ([`crate::ScanKernel::Auto`]
+    /// resolves per shard), `"mixed"` when shards — or the physical
+    /// sub-scans of one logical pass — disagreed.
+    pub kernel: String,
 }
 
 impl PassStats {
@@ -202,6 +237,11 @@ impl PassStats {
         self.memoized |= other.memoized;
         self.distinct_tuples += other.distinct_tuples;
         self.memo_hits += other.memo_hits;
+        if self.kernel.is_empty() {
+            self.kernel = other.kernel.clone();
+        } else if !other.kernel.is_empty() && self.kernel != other.kernel {
+            self.kernel = "mixed".into();
+        }
         add_shard_times(&mut self.shard_scan_times, &other.shard_scan_times);
     }
 }
@@ -261,6 +301,16 @@ struct SuperPlan {
     /// counter construction shares one allocation instead of deep-cloning
     /// O(rects) vectors per shard.
     rects: SharedRects,
+    /// The same bounds column-major for the bitmask kernel:
+    /// `lo_cols[d][m]`/`hi_cols[d][m]` is member `m`'s inclusive range
+    /// over dimension `d` — contiguous per dimension so the member loop
+    /// streams bounds instead of hopping between corner vectors.
+    lo_cols: Vec<Vec<u32>>,
+    hi_cols: Vec<Vec<u32>>,
+    /// Per-dimension union of the member ranges (`min` of the lows,
+    /// `max` of the highs), for whole-plan block pre-screening.
+    dim_lo_min: Vec<u32>,
+    dim_hi_max: Vec<u32>,
     /// Counting backend, decided once for all shards (`None` when the
     /// super-candidate is purely categorical).
     kind: Option<CounterKind>,
@@ -268,10 +318,18 @@ struct SuperPlan {
 
 /// One shard's private tallies, merged in shard order after the scan.
 struct ShardTally {
-    /// Per-plan rectangle counters (`None` for purely categorical plans).
+    /// Per-plan rectangle counters (`None` for purely categorical plans,
+    /// and for every plan when the shard ran the bitmask kernel from row
+    /// zero — the bitmask path never builds them).
     counters: Vec<Option<RectCounter>>,
-    /// Per-plan match counts for purely categorical plans.
+    /// Per-plan match counts for purely categorical plans (row-wise
+    /// increments and bitmask popcounts both land here).
     direct: Vec<u64>,
+    /// Per-plan, per-member match counts from the bitmask kernel. All
+    /// zero when the shard never ran it; a shard that switched mid-scan
+    /// (`Auto`) holds its row-wise prefix in `counters` and the rest
+    /// here — the scatter sums both.
+    member_counts: Vec<Vec<u64>>,
     /// Busy time of this shard's scan loop.
     scan_time: Duration,
     /// True when the scan stopped early on a fired [`CancelToken`] — the
@@ -281,6 +339,10 @@ struct ShardTally {
     distinct_tuples: usize,
     /// Rows this shard served from the memo cache.
     memo_hits: u64,
+    /// The kernel this shard resolved to — never [`ScanKernel::Auto`]
+    /// (`Auto` reports `Memoized` when the cache survived, `Bitmask`
+    /// when the trial switched the shard over).
+    kernel: ScanKernel,
 }
 
 /// Group candidates into super-candidate plans and decide each plan's
@@ -352,12 +414,29 @@ fn build_plans(
                 .saturating_add(RectCounter::estimated_bytes(kind, &dims, rects.len()));
             (dims, rects.into(), Some(kind))
         };
+        let num_dims = dims.len();
+        let mut lo_cols = vec![Vec::with_capacity(rects.len()); num_dims];
+        let mut hi_cols = vec![Vec::with_capacity(rects.len()); num_dims];
+        let mut dim_lo_min = vec![u32::MAX; num_dims];
+        let mut dim_hi_max = vec![0u32; num_dims];
+        for (lo, hi) in rects.iter() {
+            for d in 0..num_dims {
+                lo_cols[d].push(lo[d]);
+                hi_cols[d].push(hi[d]);
+                dim_lo_min[d] = dim_lo_min[d].min(lo[d]);
+                dim_hi_max[d] = dim_hi_max[d].max(hi[d]);
+            }
+        }
         plans.push(SuperPlan {
             cat_key,
             quant_attrs,
             members,
             dims,
             rects,
+            lo_cols,
+            hi_cols,
+            dim_lo_min,
+            dim_hi_max,
             kind,
         });
     }
@@ -384,6 +463,229 @@ fn build_trees(plans: &[SuperPlan]) -> (Vec<u32>, BTreeMap<usize, HashTree<u32>>
     (always, trees)
 }
 
+/// Words per bitmask block: one bit per row of a
+/// [`CANCEL_CHECK_INTERVAL`]-row block.
+const BLOCK_WORDS: usize = CANCEL_CHECK_INTERVAL / 64;
+
+/// Count set bits across the active words of a block mask.
+#[inline]
+fn popcount(mask: &[u64]) -> u64 {
+    mask.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// Set the first `n` bits of `mask` (the block's row count), clear the
+/// tail of the last active word.
+#[inline]
+fn fill_ones(mask: &mut [u64; BLOCK_WORDS], n: usize) {
+    let words = n.div_ceil(64);
+    mask[..words].fill(!0u64);
+    let rem = n % 64;
+    if rem != 0 {
+        mask[words - 1] = !0u64 >> (64 - rem);
+    }
+}
+
+/// Per-shard state of the bitmask kernel (see module docs): the deduped
+/// predicate table built once per shard, plus the per-block mask and
+/// min/max scratch reused across blocks.
+struct BitmaskScan<'t> {
+    /// Distinct code columns touched by any categorical predicate or
+    /// quantitative dimension.
+    cols: Vec<&'t [u32]>,
+    /// Per-column `(min, max)` over the current block, the pre-screening
+    /// summaries (aligned with `cols`).
+    minmax: Vec<(u32, u32)>,
+    /// Deduped categorical equality predicates `(column slot, code)` —
+    /// every plan testing the same `(attribute, code)` shares one mask.
+    preds: Vec<(usize, u32)>,
+    /// Per-predicate equality masks over the current block.
+    pred_masks: Vec<[u64; BLOCK_WORDS]>,
+    /// `true` when the predicate's code lies outside the block's
+    /// `[min, max]` — its mask was never computed and every plan using
+    /// it skips the block.
+    pred_dead: Vec<bool>,
+    /// Per plan: indices into `preds`.
+    plan_preds: Vec<Vec<usize>>,
+    /// Per plan: column slot of each quantitative dimension.
+    plan_dims: Vec<Vec<usize>>,
+}
+
+/// Intern `attr`'s code column, returning its slot in `cols`.
+fn col_slot<'t>(
+    table: &'t EncodedTable,
+    attr: u32,
+    slot_of: &mut HashMap<u32, usize>,
+    cols: &mut Vec<&'t [u32]>,
+) -> usize {
+    *slot_of.entry(attr).or_insert_with(|| {
+        cols.push(table.codes(AttributeId(attr as usize)));
+        cols.len() - 1
+    })
+}
+
+impl<'t> BitmaskScan<'t> {
+    fn new(table: &'t EncodedTable, plans: &[SuperPlan]) -> Self {
+        let mut slot_of: HashMap<u32, usize> = HashMap::new();
+        let mut cols: Vec<&[u32]> = Vec::new();
+        let mut pred_of: HashMap<(u32, u32), usize> = HashMap::new();
+        let mut preds: Vec<(usize, u32)> = Vec::new();
+        let mut plan_preds = Vec::with_capacity(plans.len());
+        let mut plan_dims = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let mut pp = Vec::with_capacity(plan.cat_key.len());
+            for &key in &plan.cat_key {
+                let (attr, code) = ((key >> 32) as u32, key as u32);
+                let idx = *pred_of.entry((attr, code)).or_insert_with(|| {
+                    let slot = col_slot(table, attr, &mut slot_of, &mut cols);
+                    preds.push((slot, code));
+                    preds.len() - 1
+                });
+                pp.push(idx);
+            }
+            plan_preds.push(pp);
+            plan_dims.push(
+                plan.quant_attrs
+                    .iter()
+                    .map(|&a| col_slot(table, a, &mut slot_of, &mut cols))
+                    .collect(),
+            );
+        }
+        let minmax = vec![(0, 0); cols.len()];
+        let pred_masks = vec![[0u64; BLOCK_WORDS]; preds.len()];
+        let pred_dead = vec![false; preds.len()];
+        BitmaskScan {
+            cols,
+            minmax,
+            preds,
+            pred_masks,
+            pred_dead,
+            plan_preds,
+            plan_dims,
+        }
+    }
+
+    /// Count one block of rows into `direct` (purely categorical plans)
+    /// and `member_counts` (per-member rectangle matches).
+    fn scan_block(
+        &mut self,
+        plans: &[SuperPlan],
+        rows: Range<usize>,
+        direct: &mut [u64],
+        member_counts: &mut [Vec<u64>],
+    ) {
+        let n = rows.len();
+        let words = n.div_ceil(64);
+
+        // Block summaries: one min/max sweep per touched column.
+        for (col, mm) in self.cols.iter().zip(&mut self.minmax) {
+            let block = &col[rows.clone()];
+            let (mut lo, mut hi) = (u32::MAX, 0u32);
+            for &v in block {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            *mm = (lo, hi);
+        }
+
+        // Equality masks, once per distinct (attribute, code) predicate;
+        // codes outside the block's range are dead without touching rows.
+        for ((&(slot, code), dead), mask) in self
+            .preds
+            .iter()
+            .zip(&mut self.pred_dead)
+            .zip(&mut self.pred_masks)
+        {
+            let (lo, hi) = self.minmax[slot];
+            *dead = code < lo || code > hi;
+            if *dead {
+                continue;
+            }
+            let block = &self.cols[slot][rows.clone()];
+            for (w, chunk) in block.chunks(64).enumerate() {
+                let mut bits = 0u64;
+                for (i, &v) in chunk.iter().enumerate() {
+                    bits |= u64::from(v == code) << i;
+                }
+                mask[w] = bits;
+            }
+        }
+
+        let mut plan_mask = [0u64; BLOCK_WORDS];
+        let mut member_mask = [0u64; BLOCK_WORDS];
+        'plans: for (pi, plan) in plans.iter().enumerate() {
+            // Pre-screen the whole plan: a dead predicate, or a dimension
+            // whose member-range union misses the block's value range,
+            // rules every member out without touching a row.
+            for &p in &self.plan_preds[pi] {
+                if self.pred_dead[p] {
+                    continue 'plans;
+                }
+            }
+            let dims = &self.plan_dims[pi];
+            for (d, &slot) in dims.iter().enumerate() {
+                let (blo, bhi) = self.minmax[slot];
+                if plan.dim_lo_min[d] > bhi || plan.dim_hi_max[d] < blo {
+                    continue 'plans;
+                }
+            }
+
+            // AND the plan's shared categorical masks (all-ones for a
+            // plan with no categorical part).
+            fill_ones(&mut plan_mask, n);
+            for &p in &self.plan_preds[pi] {
+                let mut any = 0u64;
+                for (m, &b) in plan_mask[..words]
+                    .iter_mut()
+                    .zip(&self.pred_masks[p][..words])
+                {
+                    *m &= b;
+                    any |= *m;
+                }
+                if any == 0 {
+                    continue 'plans;
+                }
+            }
+            if dims.is_empty() {
+                direct[pi] += popcount(&plan_mask[..words]);
+                continue;
+            }
+
+            // Per member: start from the categorical mask and AND one
+            // branchless range mask per dimension, skipping words already
+            // all-zero and members whose rectangle misses the block.
+            'members: for (m, count) in member_counts[pi].iter_mut().enumerate() {
+                member_mask[..words].copy_from_slice(&plan_mask[..words]);
+                for (d, &slot) in dims.iter().enumerate() {
+                    let lo = plan.lo_cols[d][m];
+                    let hi = plan.hi_cols[d][m];
+                    let (blo, bhi) = self.minmax[slot];
+                    if lo > bhi || hi < blo {
+                        continue 'members;
+                    }
+                    let span = hi - lo;
+                    let block = &self.cols[slot][rows.clone()];
+                    let mut any = 0u64;
+                    for (w, chunk) in block.chunks(64).enumerate() {
+                        if member_mask[w] == 0 {
+                            continue;
+                        }
+                        let mut bits = 0u64;
+                        for (i, &v) in chunk.iter().enumerate() {
+                            bits |= u64::from(v.wrapping_sub(lo) <= span) << i;
+                        }
+                        member_mask[w] &= bits;
+                        any |= member_mask[w];
+                    }
+                    if any == 0 {
+                        continue 'members;
+                    }
+                }
+                *count += popcount(&member_mask[..words]);
+            }
+        }
+    }
+}
+
 /// The per-record counting loop over one contiguous row range. `trees` is
 /// shared read-only across shards (visit stamps live in this shard's
 /// private [`VisitScratch`]es); the returned tally holds this shard's
@@ -394,7 +696,10 @@ fn build_trees(plans: &[SuperPlan]) -> (Vec<u32>, BTreeMap<usize, HashTree<u32>>
 /// row), and rows are processed in [`CANCEL_CHECK_INTERVAL`]-sized blocks
 /// with the cancellation checkpoint at each block boundary — relative to
 /// the rows this shard has scanned, so a shard starting mid-interval
-/// still checks after at most one block.
+/// still checks after at most one block. Each block runs either the
+/// row-wise walk (with or without the memo cache) or the bitmask kernel,
+/// per `kernel`; under [`ScanKernel::Auto`] the shard starts memoized
+/// and the trial fallback switches it to the bitmask kernel mid-scan.
 #[allow(clippy::too_many_arguments)]
 fn scan_shard(
     table: &EncodedTable,
@@ -403,19 +708,36 @@ fn scan_shard(
     trees: &BTreeMap<usize, HashTree<u32>>,
     rows: Range<usize>,
     cancel: Option<&CancelToken>,
-    memoize: bool,
+    kernel: ScanKernel,
     memo_limit: usize,
 ) -> ShardTally {
     let started = Instant::now();
     let mut was_cancelled = false;
-    let mut counters: Vec<Option<RectCounter>> = plans
-        .iter()
-        .map(|plan| {
-            plan.kind
-                .map(|kind| RectCounter::build_shared(kind, &plan.dims, Arc::clone(&plan.rects)))
-        })
-        .collect();
+    // The bitmask kernel never touches rectangle counters — skipping
+    // their construction is part of its win. `Auto` must build them: the
+    // memoized prefix before a mid-scan switch counts into them.
+    let mut counters: Vec<Option<RectCounter>> = if kernel == ScanKernel::Bitmask {
+        plans.iter().map(|_| None).collect()
+    } else {
+        plans
+            .iter()
+            .map(|plan| {
+                plan.kind.map(|kind| {
+                    RectCounter::build_shared(kind, &plan.dims, Arc::clone(&plan.rects))
+                })
+            })
+            .collect()
+    };
     let mut direct = vec![0u64; plans.len()];
+    let mut member_counts: Vec<Vec<u64>> = plans
+        .iter()
+        .map(|plan| vec![0u64; plan.members.len()])
+        .collect();
+    // Start on the bitmask kernel outright when asked to, or when `Auto`
+    // has no memo cache to trial.
+    let mut on_bitmask =
+        kernel == ScanKernel::Bitmask || (kernel == ScanKernel::Auto && memo_limit == 0);
+    let mut bitmask: Option<BitmaskScan<'_>> = None;
 
     // Hoisted column slices: categorical columns once for the tuple key,
     // and each plan's quantitative columns once for the point lookup.
@@ -439,7 +761,7 @@ fn scan_shard(
     // The cache can be dropped mid-scan by the distinct-tuple fallback, so
     // the admitted-tuple high-water mark is tracked outside the map.
     let mut memo: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
-    let mut memo_on = memoize && memo_limit > 0;
+    let mut memo_on = matches!(kernel, ScanKernel::Memoized | ScanKernel::Auto) && memo_limit > 0;
     let mut distinct_high = 0usize;
     let mut memo_hits = 0u64;
     let mut scanned = 0usize;
@@ -454,6 +776,18 @@ fn scan_shard(
             break 'scan;
         }
         let block_end = rows.end.min(block_start + CANCEL_CHECK_INTERVAL);
+        if on_bitmask {
+            bitmask
+                .get_or_insert_with(|| BitmaskScan::new(table, plans))
+                .scan_block(
+                    plans,
+                    block_start..block_end,
+                    &mut direct,
+                    &mut member_counts,
+                );
+            block_start = block_end;
+            continue;
+        }
         for row in block_start..block_end {
             cat_buf.clear();
             for &(attr, col) in &cat_cols {
@@ -499,7 +833,11 @@ fn scan_shard(
         // Distinct-tuple fallback (see module docs): give up on the cache
         // when the first full block shows near-zero tuple reuse, or when
         // the cache has filled without ever serving a hit. Dropping the
-        // cache only skips future probes — counts are unaffected.
+        // cache only skips future probes — counts are unaffected. Under
+        // `Auto` the same signal switches the shard to the bitmask kernel
+        // (the cache just proved the table near-distinct — exactly the
+        // shape the bitmask kernel wins on); explicit `Memoized` keeps
+        // the row-wise walk, cache off.
         if memo_on {
             distinct_high = distinct_high.max(memo.len());
             let trial_failed =
@@ -508,16 +846,31 @@ fn scan_shard(
             if trial_failed || full_and_cold {
                 memo_on = false;
                 memo = HashMap::new();
+                if kernel == ScanKernel::Auto {
+                    on_bitmask = true;
+                }
             }
         }
     }
+    let resolved = match kernel {
+        ScanKernel::Direct | ScanKernel::Memoized | ScanKernel::Bitmask => kernel,
+        ScanKernel::Auto => {
+            if on_bitmask {
+                ScanKernel::Bitmask
+            } else {
+                ScanKernel::Memoized
+            }
+        }
+    };
     ShardTally {
         counters,
         direct,
+        member_counts,
         scan_time: started.elapsed(),
         cancelled: was_cancelled,
         distinct_tuples: distinct_high.max(memo.len()),
         memo_hits,
+        kernel: resolved,
     }
 }
 
@@ -589,7 +942,7 @@ pub fn count_candidates_opts(
     let (plans, mut stats) = build_plans(table, candidates, force_kind);
     let (always, trees) = build_trees(&plans);
     stats.hash_tree_nodes = trees.values().map(HashTree::node_count).sum();
-    stats.memoized = opts.memoize;
+    stats.memoized = matches!(opts.kernel, ScanKernel::Memoized | ScanKernel::Auto);
     let num_rows = table.num_rows();
     let bounds = shard_bounds(num_rows, opts.num_threads);
     stats.counter_bytes = stats.counter_bytes.saturating_mul(bounds.len());
@@ -606,7 +959,7 @@ pub fn count_candidates_opts(
             &trees,
             range,
             cancel,
-            opts.memoize,
+            opts.kernel,
             opts.memo_limit,
         )]
     } else {
@@ -624,7 +977,7 @@ pub fn count_candidates_opts(
                         trees_ref,
                         range,
                         cancel,
-                        opts.memoize,
+                        opts.kernel,
                         opts.memo_limit,
                     )
                 }
@@ -639,37 +992,69 @@ pub fn count_candidates_opts(
     stats.shard_scan_times = tallies.iter().map(|t| t.scan_time).collect();
     stats.distinct_tuples = tallies.iter().map(|t| t.distinct_tuples).sum();
     stats.memo_hits = tallies.iter().map(|t| t.memo_hits).sum();
+    // `Auto` resolves per shard; shards that disagree report "mixed".
+    let first_kernel = tallies[0].kernel;
+    stats.kernel = if tallies.iter().all(|t| t.kernel == first_kernel) {
+        first_kernel.name().to_string()
+    } else {
+        "mixed".to_string()
+    };
 
     // Merge per-shard tallies in shard order (u64 sums: order-independent,
-    // fixed anyway for determinism of the timing bookkeeping).
+    // fixed anyway for determinism of the timing bookkeeping). A shard may
+    // carry a rectangle counter, bitmask member counts, or (after an
+    // `Auto` mid-scan switch) both — one-sided counters are adopted.
     let merge_started = Instant::now();
     let mut merged = tallies.remove(0);
     for tally in tallies {
         for (into, from) in merged.counters.iter_mut().zip(tally.counters) {
-            match (into, from) {
-                (Some(into), Some(from)) => into.merge_from(from),
-                (None, None) => {}
-                _ => unreachable!("shards share one plan"),
+            match (into.take(), from) {
+                (Some(mut a), Some(b)) => {
+                    a.merge_from(b);
+                    *into = Some(a);
+                }
+                (Some(a), None) => *into = Some(a),
+                (None, b) => *into = b,
             }
         }
         for (into, from) in merged.direct.iter_mut().zip(tally.direct) {
             *into += from;
+        }
+        for (into, from) in merged.member_counts.iter_mut().zip(tally.member_counts) {
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += b;
+            }
         }
     }
     if stats.shard_scan_times.len() > 1 {
         stats.merge_time = merge_started.elapsed();
     }
 
-    // Scatter per-rectangle counts back to candidate order.
+    // Scatter per-rectangle counts back to candidate order: the row-wise
+    // counter's tally (when one ran) plus the bitmask member counts.
     let mut counts = vec![0u64; candidates.len()];
-    for (plan, (counter, direct)) in plans
-        .iter()
-        .zip(merged.counters.into_iter().zip(merged.direct))
+    let ShardTally {
+        counters,
+        direct,
+        member_counts,
+        ..
+    } = merged;
+    for (((plan, counter), direct), bm_counts) in
+        plans.iter().zip(counters).zip(direct).zip(member_counts)
     {
         match counter {
             Some(counter) => {
-                for (member, count) in plan.members.iter().zip(counter.finish()) {
-                    counts[*member] = count;
+                for ((member, count), bm) in
+                    plan.members.iter().zip(counter.finish()).zip(bm_counts)
+                {
+                    counts[*member] = count + bm;
+                }
+            }
+            None if plan.kind.is_some() => {
+                // Every shard ran the bitmask kernel from row zero: no
+                // rectangle counter was ever built.
+                for (member, bm) in plan.members.iter().zip(bm_counts) {
+                    counts[*member] = bm;
                 }
             }
             None => {
@@ -742,8 +1127,9 @@ pub fn count_pairs_cancellable(
 
 /// The fully parameterized implicit pair pass behind the `count_pairs*`
 /// entry points. The dense 2-D array scan has no hash-tree walk, so
-/// [`ScanOptions::memoize`] only reaches the explicit R*-tree fallback
-/// groups; shard tasks run on the pool like the generic scan.
+/// [`ScanOptions::kernel`] only reaches the explicit R*-tree fallback
+/// groups (the array scan itself reports as the `"direct"` kernel);
+/// shard tasks run on the pool like the generic scan.
 pub fn count_pairs_opts(
     table: &EncodedTable,
     items_by_attr: &BTreeMap<u32, Vec<(qar_itemset::Item, u64)>>,
@@ -781,6 +1167,12 @@ pub fn count_pairs_opts(
     stats.super_candidates = array_pairs.len() + fallback_pairs.len();
     stats.array_backed = array_pairs.len();
     stats.rtree_backed = fallback_pairs.len();
+    if !array_pairs.is_empty() {
+        // The dense 2-D scan is a plain per-row increment: no memo cache,
+        // no bitmask — report it as the direct kernel (fallback groups
+        // fold their own kernel in via `absorb_scan`).
+        stats.kernel = ScanKernel::Direct.name().to_string();
+    }
 
     // Process array pairs in chunks bounded by the cell budget, one table
     // pass per chunk.
@@ -1221,28 +1613,38 @@ mod tests {
         cands
     }
 
-    /// Memoized and direct scans are bit-identical, for every thread
-    /// count, and both match the naive reference.
+    /// Every kernel is bit-identical to the naive reference, for every
+    /// thread count, and reports itself in [`PassStats::kernel`].
     #[test]
-    fn memoized_equals_direct_equals_naive() {
+    fn every_kernel_equals_naive_for_all_thread_counts() {
         let enc = duplicate_heavy();
         let cands = duplicate_heavy_candidates();
         let naive = count_candidates_naive(&enc, &cands);
         for threads in [1, 2, 4, 7] {
-            for memoize in [true, false] {
+            for kernel in [
+                ScanKernel::Direct,
+                ScanKernel::Memoized,
+                ScanKernel::Bitmask,
+                ScanKernel::Auto,
+            ] {
                 let opts = ScanOptions {
-                    memoize,
+                    kernel,
                     ..ScanOptions::new(threads)
                 };
                 let (counts, stats) = count_candidates_opts(&enc, &cands, None, opts).unwrap();
-                assert_eq!(counts, naive, "threads={threads} memoize={memoize}");
-                assert_eq!(stats.memoized, memoize);
-                if memoize {
-                    // 6 distinct (c0, c1) tuples; every shard sees at most 6.
+                assert_eq!(counts, naive, "threads={threads} kernel={kernel}");
+                let cache_on = matches!(kernel, ScanKernel::Memoized | ScanKernel::Auto);
+                assert_eq!(stats.memoized, cache_on);
+                if cache_on {
+                    // 6 distinct (c0, c1) tuples; every shard sees at most 6,
+                    // and on this tiny table the trial never fires — `Auto`
+                    // stays memoized.
+                    assert_eq!(stats.kernel, "memoized");
                     assert!(stats.distinct_tuples >= 6, "{}", stats.distinct_tuples);
                     assert!(stats.distinct_tuples <= 6 * stats.num_shards());
                     assert!(stats.memo_hits > 0, "60 rows over 6 tuples must hit");
                 } else {
+                    assert_eq!(stats.kernel, kernel.name());
                     assert_eq!(stats.distinct_tuples, 0);
                     assert_eq!(stats.memo_hits, 0);
                 }
@@ -1260,6 +1662,7 @@ mod tests {
         // 6 distinct tuples; a limit of 2 forces the direct walk for the
         // other 4 tuples' rows.
         let opts = ScanOptions {
+            kernel: ScanKernel::Memoized,
             memo_limit: 2,
             ..ScanOptions::new(1)
         };
@@ -1269,13 +1672,26 @@ mod tests {
         // The two admitted tuples each cover 10 of 60 rows; all but their
         // first occurrences are hits.
         assert_eq!(stats.memo_hits, 18);
-        // A zero limit disables caching entirely without changing counts.
+        // A zero limit disables caching entirely without changing counts;
+        // explicit `Memoized` stays on the row-wise walk...
+        let opts = ScanOptions {
+            kernel: ScanKernel::Memoized,
+            memo_limit: 0,
+            ..ScanOptions::new(1)
+        };
+        let (counts, stats) = count_candidates_opts(&enc, &cands, None, opts).unwrap();
+        assert_eq!(counts, naive);
+        assert_eq!(stats.kernel, "memoized");
+        assert_eq!(stats.distinct_tuples, 0);
+        assert_eq!(stats.memo_hits, 0);
+        // ...while `Auto` with nothing to trial goes straight to bitmask.
         let opts = ScanOptions {
             memo_limit: 0,
             ..ScanOptions::new(1)
         };
         let (counts, stats) = count_candidates_opts(&enc, &cands, None, opts).unwrap();
         assert_eq!(counts, naive);
+        assert_eq!(stats.kernel, "bitmask");
         assert_eq!(stats.distinct_tuples, 0);
         assert_eq!(stats.memo_hits, 0);
     }
@@ -1318,6 +1734,20 @@ mod tests {
             stats.distinct_tuples, CANCEL_CHECK_INTERVAL,
             "cache dropped at the first block boundary"
         );
+        // `Auto` turns the failed trial into a mid-scan kernel switch: the
+        // remaining 576 rows run the bitmask kernel (and still count
+        // identically — asserted against naive above).
+        assert_eq!(stats.kernel, "bitmask");
+        // Explicit `Memoized` keeps the row-wise walk after the same
+        // fallback and reports itself unchanged.
+        let opts = ScanOptions {
+            kernel: ScanKernel::Memoized,
+            ..ScanOptions::new(1)
+        };
+        let (counts, stats) = count_candidates_opts(&enc, &cands, None, opts).unwrap();
+        assert_eq!(counts, naive);
+        assert_eq!(stats.kernel, "memoized");
+        assert_eq!(stats.distinct_tuples, CANCEL_CHECK_INTERVAL);
     }
 
     /// The trial keeps the cache for a long duplicate-heavy table: 6
@@ -1351,8 +1781,100 @@ mod tests {
         let (counts, stats) =
             count_candidates_opts(&enc, &cands, None, ScanOptions::new(1)).unwrap();
         assert_eq!(counts, naive);
+        assert_eq!(stats.kernel, "memoized", "trial keeps Auto on the cache");
         assert_eq!(stats.distinct_tuples, 6);
         assert_eq!(stats.memo_hits, 1600 - 6, "every repeat row hits");
+    }
+
+    /// A wide mixed table exercising the bitmask kernel's edge geometry:
+    /// multiple blocks plus a partial tail block, degenerate `lo == hi`
+    /// rectangles, boundary-hugging codes, purely categorical plans,
+    /// purely quantitative plans, and a sorted column whose narrow
+    /// per-block ranges make the pre-screen actually skip work.
+    fn mixed_wide() -> (EncodedTable, Vec<Itemset>) {
+        let schema = Schema::builder()
+            .categorical("c0")
+            .quantitative("q0")
+            .quantitative("q1")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..2500i64 {
+            // q0 is sorted (0..=96): later blocks sit in narrow value
+            // ranges, so low rectangles pre-screen whole blocks away.
+            t.push_row(&[
+                Value::from(["a", "b", "c", "d", "e", "f", "g"][(i % 7) as usize]),
+                Value::Int(i / 26),
+                Value::Int((i * 31) % 53),
+            ])
+            .unwrap();
+        }
+        let enc = EncodedTable::encode_full_resolution(&t).unwrap();
+        let mut cands: Vec<Itemset> = Vec::new();
+        for c in 0..7u32 {
+            // Categorical + degenerate one-code rectangle (lo == hi).
+            cands.push(
+                vec![Item::value(0, c), Item::range(1, 0, 0)]
+                    .into_iter()
+                    .collect(),
+            );
+            // Categorical + low range that later (sorted) blocks miss.
+            cands.push(
+                vec![Item::value(0, c), Item::range(1, 0, 3)]
+                    .into_iter()
+                    .collect(),
+            );
+            // Categorical + full-range + second dimension.
+            cands.push(
+                vec![
+                    Item::value(0, c),
+                    Item::range(1, 0, 96),
+                    Item::range(2, 10, 40),
+                ]
+                .into_iter()
+                .collect(),
+            );
+        }
+        // Purely quantitative plans, including both domain boundaries.
+        cands.push(vec![Item::range(1, 96, 96)].into_iter().collect());
+        cands.push(
+            vec![Item::range(1, 90, 96), Item::range(2, 0, 52)]
+                .into_iter()
+                .collect(),
+        );
+        cands.push(
+            vec![Item::range(1, 0, 96), Item::range(2, 52, 52)]
+                .into_iter()
+                .collect(),
+        );
+        // Purely categorical plan.
+        cands.push(vec![Item::value(0, 6)].into_iter().collect());
+        (enc, cands)
+    }
+
+    /// The bitmask kernel matches the direct kernel and the naive
+    /// reference bit-for-bit across thread counts on a table whose blocks
+    /// hit the tail, pre-screen, and degenerate-rectangle paths.
+    #[test]
+    fn bitmask_matches_direct_on_mixed_wide_table() {
+        let (enc, cands) = mixed_wide();
+        let naive = count_candidates_naive(&enc, &cands);
+        let direct_opts = ScanOptions {
+            kernel: ScanKernel::Direct,
+            ..ScanOptions::new(1)
+        };
+        let (direct, _) = count_candidates_opts(&enc, &cands, None, direct_opts).unwrap();
+        assert_eq!(direct, naive);
+        for threads in [1, 2, 3, 8] {
+            let opts = ScanOptions {
+                kernel: ScanKernel::Bitmask,
+                ..ScanOptions::new(threads)
+            };
+            let (counts, stats) = count_candidates_opts(&enc, &cands, None, opts).unwrap();
+            assert_eq!(counts, naive, "threads={threads}");
+            assert_eq!(stats.kernel, "bitmask");
+            assert!(!stats.memoized);
+        }
     }
 
     /// An explicit per-`Miner` pool and the implicit global pool produce

@@ -54,7 +54,7 @@ fn config(threads: usize) -> MinerConfig {
         interest: None,
         max_itemset_size: 0,
         parallelism: NonZeroUsize::new(threads),
-        memoize_scan: true,
+        kernel: Default::default(),
     }
 }
 

@@ -22,6 +22,10 @@ pub enum ReproCase {
     /// the tuple cache + worker pool on, cross-checked against the
     /// direct serial scan.
     Memo(MiningCase),
+    /// Bitmask-kernel case: boundary-skewed codes and degenerate (lo==hi)
+    /// ranges mined with the blocked bitmask kernel, serial and pooled,
+    /// cross-checked against the direct serial scan.
+    Kernel(MiningCase),
 }
 
 impl ReproCase {
@@ -33,6 +37,7 @@ impl ReproCase {
             ReproCase::Snap(_) => "snap",
             ReproCase::Intervals(_) => "intervals",
             ReproCase::Memo(_) => "memo",
+            ReproCase::Kernel(_) => "kernel",
         }
     }
 }

@@ -21,7 +21,7 @@ use qar_apriori::bridge::to_transactions;
 use qar_core::naive::naive_mine;
 use qar_core::{
     InterestMode, ItemsetSetDelta, Miner, MinerConfig, MinerError, MiningOutput, PartitionStrategy,
-    QuantFrequentItemsets, RuleSetDelta,
+    QuantFrequentItemsets, RuleSetDelta, ScanKernel,
 };
 use qar_itemset::{Item, Itemset};
 use qar_partition::range_completeness::snap_to_intervals;
@@ -59,6 +59,7 @@ pub fn check_case(case: &ReproCase) -> Result<(), Divergence> {
         ReproCase::Snap(c) => check_snap(c),
         ReproCase::Intervals(c) => check_intervals(c),
         ReproCase::Memo(c) => check_memo(c),
+        ReproCase::Kernel(c) => check_kernel(c),
     }
 }
 
@@ -75,17 +76,38 @@ fn with_parallelism(config: &MinerConfig, threads: usize) -> MinerConfig {
 /// cache's hit path actually executes.
 pub fn check_memo(case: &MiningCase) -> Result<(), Divergence> {
     let mut direct_cfg = with_parallelism(&case.config, 1);
-    direct_cfg.memoize_scan = false;
+    direct_cfg.kernel = ScanKernel::Direct;
     let mut memo_par_cfg = with_parallelism(&case.config, case.threads.max(2));
-    memo_par_cfg.memoize_scan = true;
+    memo_par_cfg.kernel = ScanKernel::Memoized;
     let mut memo_ser_cfg = with_parallelism(&case.config, 1);
-    memo_ser_cfg.memoize_scan = true;
+    memo_ser_cfg.kernel = ScanKernel::Memoized;
 
     let direct = Miner::new(direct_cfg).mine(&case.table);
     let memo_par = Miner::new(memo_par_cfg).mine(&case.table);
     let memo_ser = Miner::new(memo_ser_cfg).mine(&case.table);
     compare_paths("memo-parallel-vs-direct", &direct, &memo_par)?;
     compare_paths("memo-serial-vs-direct", &direct, &memo_ser)
+}
+
+/// Bitmask-kernel oracle: the blocked bitmask scan must agree
+/// bit-for-bit with the direct serial scan, both on one thread (same
+/// shard boundaries, different counting loop) and pooled (different
+/// shard boundaries too). Generated tables skew codes to the domain
+/// boundaries and include constant columns, so the kernel's tail masks,
+/// `lo == hi` range rows, and block pre-screening all execute.
+pub fn check_kernel(case: &MiningCase) -> Result<(), Divergence> {
+    let mut direct_cfg = with_parallelism(&case.config, 1);
+    direct_cfg.kernel = ScanKernel::Direct;
+    let mut bitmask_ser_cfg = with_parallelism(&case.config, 1);
+    bitmask_ser_cfg.kernel = ScanKernel::Bitmask;
+    let mut bitmask_par_cfg = with_parallelism(&case.config, case.threads.max(2));
+    bitmask_par_cfg.kernel = ScanKernel::Bitmask;
+
+    let direct = Miner::new(direct_cfg).mine(&case.table);
+    let bitmask_ser = Miner::new(bitmask_ser_cfg).mine(&case.table);
+    let bitmask_par = Miner::new(bitmask_par_cfg).mine(&case.table);
+    compare_paths("bitmask-serial-vs-direct", &direct, &bitmask_ser)?;
+    compare_paths("bitmask-parallel-vs-direct", &direct, &bitmask_par)
 }
 
 /// Demand two executions of the same case agree: same error, or same

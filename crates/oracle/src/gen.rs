@@ -11,12 +11,13 @@ use qar_table::{Schema, Table, Value};
 /// Draw one case. The mix favors end-to-end mining cases; the rest stress
 /// the partitioning and completeness primitives directly.
 pub fn gen_case(rng: &mut Prng) -> ReproCase {
-    match rng.gen_weighted(&[6.0, 2.0, 1.0, 1.0, 2.0]) {
+    match rng.gen_weighted(&[5.0, 2.0, 1.0, 1.0, 2.0, 2.0]) {
         0 => ReproCase::Mining(gen_mining(rng)),
         1 => ReproCase::Partition(gen_partition(rng)),
         2 => ReproCase::Snap(gen_snap(rng)),
         3 => ReproCase::Intervals(gen_intervals(rng)),
-        _ => ReproCase::Memo(gen_memo(rng)),
+        4 => ReproCase::Memo(gen_memo(rng)),
+        _ => ReproCase::Kernel(gen_kernel(rng)),
     }
 }
 
@@ -165,7 +166,7 @@ fn gen_mining(rng: &mut Prng) -> MiningCase {
         interest,
         max_itemset_size: *rng.choose(&[0, 0, 0, 1, 2, 3]).expect("non-empty"),
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     };
     MiningCase {
         table,
@@ -217,7 +218,95 @@ fn gen_memo(rng: &mut Prng) -> MiningCase {
         interest: None,
         max_itemset_size: *rng.choose(&[0, 0, 2, 3]).expect("non-empty"),
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
+    };
+    MiningCase {
+        table,
+        config,
+        threads: rng.gen_range(2..9),
+    }
+}
+
+/// A bitmask-kernel case: codes skewed toward the domain boundaries
+/// (first/last encoded value), constant columns whose frequent ranges
+/// degenerate to `lo == hi`, and row counts straddling the kernel's
+/// 64-bit word and block edges — plus occasional empty tables and
+/// impossible supports so the plan list itself can be empty. The checker
+/// compares bitmask serial and bitmask pooled against direct serial.
+fn gen_kernel(rng: &mut Prng) -> MiningCase {
+    // Word- and block-boundary row counts matter: the kernel's tail
+    // masking and partial-block path only run when rows % 64 != 0.
+    let num_rows = match rng.gen_weighted(&[1.0, 2.0, 3.0, 3.0, 3.0]) {
+        0 => 0,
+        1 => rng.gen_range(1..4),
+        2 => *rng.choose(&[63, 64, 65, 127, 128, 129]).expect("non-empty"),
+        3 => rng.gen_range(2..64),
+        _ => rng.gen_range(64..200),
+    };
+    let num_quants = rng.gen_range(1..4usize);
+    let num_cats = rng.gen_range(0..3usize);
+    let mut builder = Schema::builder();
+    for i in 0..num_quants {
+        builder = builder.quantitative(format!("q{i}"));
+    }
+    for i in 0..num_cats {
+        builder = builder.categorical(format!("c{i}"));
+    }
+    let schema = builder.build().expect("generated names are valid");
+    let labels = ["a", "b", "c", "d"];
+    // Per-column style: boundary-skewed (mass at domain min/max),
+    // constant (every range is lo == hi), or a small uniform domain.
+    let quant_styles: Vec<u32> = (0..num_quants)
+        .map(|_| rng.gen_weighted(&[3.0, 2.0, 2.0]) as u32)
+        .collect();
+    let cat_cards: Vec<usize> = (0..num_cats).map(|_| rng.gen_range(1..5usize)).collect();
+    let domain = rng.gen_range(2i64..8);
+    let mut table = Table::new(schema);
+    for _ in 0..num_rows {
+        let mut cells: Vec<Value> = Vec::with_capacity(num_quants + num_cats);
+        for &style in &quant_styles {
+            let v = match style {
+                // ~80% of the mass on the two extreme codes.
+                0 => {
+                    if rng.gen_bool(0.8) {
+                        if rng.gen_bool(0.5) {
+                            0
+                        } else {
+                            domain - 1
+                        }
+                    } else {
+                        rng.gen_range(0i64..domain)
+                    }
+                }
+                1 => 2,
+                _ => rng.gen_range(0i64..domain),
+            };
+            cells.push(Value::Float(v as f64));
+        }
+        for &card in &cat_cards {
+            cells.push(Value::from(labels[rng.gen_zipf(card, 1.0)]));
+        }
+        table.push_row(&cells).expect("cells match schema");
+    }
+    let denom = num_rows.max(1) as u64;
+    // Sometimes demand more support than any itemset can have, so the
+    // super-candidate plan list is empty and the kernel counts nothing.
+    let min_support = if rng.gen_bool(0.15) {
+        1.0
+    } else {
+        rng.gen_edge_fraction(denom)
+    };
+    let config = MinerConfig {
+        min_support,
+        min_confidence: rng.gen_edge_fraction(denom),
+        max_support: if rng.gen_bool(0.5) { 1.0 } else { 0.5 },
+        partitioning: PartitionSpec::None,
+        partition_strategy: PartitionStrategy::EquiDepth,
+        taxonomies: Default::default(),
+        interest: None,
+        max_itemset_size: *rng.choose(&[0, 0, 2, 3]).expect("non-empty"),
+        parallelism: None,
+        kernel: Default::default(),
     };
     MiningCase {
         table,

@@ -4,8 +4,10 @@
 //! where boundary bugs live — and cross-checks every execution path the
 //! repo has for the same question: serial vs parallel mining, the
 //! brute-force enumerator, the boolean apriori bridge, the `.qarcat`
-//! save → load → query round trip, and the memoized pooled scan against
-//! the direct serial scan on duplicate-heavy categorical tables. On divergence the case is shrunk to a
+//! save → load → query round trip, the memoized pooled scan against
+//! the direct serial scan on duplicate-heavy categorical tables, and the
+//! blocked bitmask kernel (serial and pooled) against the direct serial
+//! scan on boundary-skewed tables. On divergence the case is shrunk to a
 //! minimal repro and rendered as a self-contained text fixture that
 //! [`repro::parse`] turns back into an executable case.
 //!
@@ -136,7 +138,8 @@ mod tests {
         // The generator mix must actually exercise every case kind.
         assert!(report.kind_counts.contains_key("mining"));
         assert!(report.kind_counts.contains_key("memo"));
-        assert!(report.kind_counts.len() >= 4, "{:?}", report.kind_counts);
+        assert!(report.kind_counts.contains_key("kernel"));
+        assert!(report.kind_counts.len() >= 5, "{:?}", report.kind_counts);
     }
 
     /// Same seed, same run — byte for byte.

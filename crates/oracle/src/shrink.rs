@@ -58,6 +58,10 @@ fn candidates(case: &ReproCase) -> Vec<ReproCase> {
             .into_iter()
             .map(ReproCase::Memo)
             .collect(),
+        ReproCase::Kernel(c) => mining_candidates(c)
+            .into_iter()
+            .map(ReproCase::Kernel)
+            .collect(),
         ReproCase::Partition(c) => partition_candidates(c)
             .into_iter()
             .map(ReproCase::Partition)

@@ -82,6 +82,10 @@ pub enum TraceEvent {
         /// Rows answered from a memo cache instead of a hash-tree walk,
         /// summed over shards.
         memo_hits: u64,
+        /// Scan kernel that counted the pass: `"direct"`, `"memoized"`, or
+        /// `"bitmask"` when every shard resolved the same way, `"mixed"`
+        /// otherwise.
+        kernel: String,
     },
     /// The run completed (all frequent itemsets found).
     RunFinished {
@@ -251,6 +255,7 @@ impl TraceEvent {
                 memoized,
                 distinct_tuples,
                 memo_hits,
+                kernel,
             } => {
                 let shards: Vec<String> =
                     shard_scan_us.iter().map(|us| us.to_string()).collect();
@@ -262,8 +267,10 @@ impl TraceEvent {
                      \"counter_bytes\":{counter_bytes},\"scan_us\":{scan_us},\
                      \"merge_us\":{merge_us},\"shard_scan_us\":[{}],\
                      \"pooled\":{pooled},\"memoized\":{memoized},\
-                     \"distinct_tuples\":{distinct_tuples},\"memo_hits\":{memo_hits}}}",
-                    shards.join(",")
+                     \"distinct_tuples\":{distinct_tuples},\"memo_hits\":{memo_hits},\
+                     \"kernel\":{}}}",
+                    shards.join(","),
+                    json_str(kernel)
                 )
             }
             TraceEvent::RunFinished {
@@ -393,6 +400,7 @@ impl fmt::Display for TraceEvent {
                 memoized,
                 distinct_tuples: _,
                 memo_hits,
+                kernel,
             } => {
                 write!(
                     f,
@@ -425,6 +433,9 @@ impl fmt::Display for TraceEvent {
                 }
                 if *memoized && *memo_hits > 0 {
                     write!(f, " | memo hits {memo_hits}")?;
+                }
+                if !kernel.is_empty() {
+                    write!(f, " | kernel {kernel}")?;
                 }
                 Ok(())
             }
@@ -542,6 +553,7 @@ mod tests {
             memoized: true,
             distinct_tuples: 40,
             memo_hits: 3800,
+            kernel: "memoized".to_string(),
         }
     }
 
@@ -654,6 +666,11 @@ mod tests {
         assert_eq!(obj.get("memoized").unwrap().as_bool(), Some(true));
         assert_eq!(obj.get("distinct_tuples").unwrap().as_u64(), Some(40));
         assert_eq!(obj.get("memo_hits").unwrap().as_u64(), Some(3800));
+        assert_eq!(
+            obj.get("kernel").unwrap().as_str(),
+            Some("memoized"),
+            "pass_finished must carry the resolved scan kernel"
+        );
     }
 
     #[test]
@@ -663,6 +680,7 @@ mod tests {
         assert!(text.contains("120 candidates"), "{text}");
         assert!(text.contains("2 shard(s)"), "{text}");
         assert!(text.contains("memo hits 3800"), "{text}");
+        assert!(text.contains("kernel memoized"), "{text}");
         let cancelled = TraceEvent::Cancelled {
             pass: 4,
             deadline: false,

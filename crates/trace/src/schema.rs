@@ -440,6 +440,7 @@ mod tests {
                 memoized: true,
                 distinct_tuples: 4,
                 memo_hits: 6,
+                kernel: "memoized".to_string(),
             },
             TraceEvent::RunFinished {
                 passes: 2,

@@ -41,7 +41,7 @@ fn main() {
         }),
         max_itemset_size: 0,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     };
 
     let output = Miner::new(config)

@@ -38,7 +38,7 @@ fn main() {
         }),
         max_itemset_size: 2,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     };
     let output = Miner::new(config)
         .mine(&data.table)

@@ -23,7 +23,7 @@ fn main() {
         interest: None,
         max_itemset_size: 0,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     };
 
     let output = Miner::new(config)

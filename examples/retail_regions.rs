@@ -70,7 +70,7 @@ fn main() {
         interest: None,
         max_itemset_size: 2,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     };
     let out = Miner::new(config).mine(&table).expect("mining succeeds");
     println!(

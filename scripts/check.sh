@@ -78,23 +78,33 @@ grep -q '"suite":"bench_serve"' "$STORE_DIR/bench_serve.json"
 grep -q '"p99_us"' "$STORE_DIR/bench_serve.json"
 ./target/release/qar trace-check < "$STORE_DIR/serve.trace" > /dev/null
 
-echo "==> scan-kernel bench smoke (memo speedup + all-distinct floors)"
+echo "==> scan-kernel bench smoke (memo speedup + all-distinct + bitmask floors)"
 # Quick run of the support-counting scan bench: exits non-zero when the
 # memoized pooled scan misses its throughput floor, fails to beat the
-# direct scan on the duplicate-heavy table, or regresses the all-distinct
-# worst case. The JSON goes to a temp path so a local run never clobbers
-# the committed BENCH_scan.json baseline.
-QAR_BENCH_QUICK=1 QAR_BENCH_OUT="$STORE_DIR/bench_scan.json" \
-    ./target/release/scan_kernel > /dev/null
+# direct scan on the duplicate-heavy table, regresses the all-distinct
+# worst case, or when the bitmask kernel misses its all-distinct speedup
+# floor. The JSON goes to a temp path so a local run never clobbers the
+# committed BENCH_scan.json baseline. On a floor violation, print the
+# bench document so the failing record is visible, not just the exit
+# code.
+if ! QAR_BENCH_QUICK=1 QAR_BENCH_OUT="$STORE_DIR/bench_scan.json" \
+    ./target/release/scan_kernel > "$STORE_DIR/bench_scan.log"; then
+    echo "scan_kernel floor violation; failing bench records:" >&2
+    cat "$STORE_DIR/bench_scan.log" >&2
+    [ -f "$STORE_DIR/bench_scan.json" ] && cat "$STORE_DIR/bench_scan.json" >&2
+    exit 1
+fi
 grep -q '"suite":"scan_kernel"' "$STORE_DIR/bench_scan.json"
 grep -q '"dup_memo_speedup_4t"' "$STORE_DIR/bench_scan.json"
 grep -q '"distinct_memo_ratio_4t"' "$STORE_DIR/bench_scan.json"
+grep -q '"distinct_bitmask_speedup_1t"' "$STORE_DIR/bench_scan.json"
 
 echo "==> fuzz smoke (200 differential cases, fixed seed)"
 # A short deterministic sweep of the differential oracle: serial miner,
-# parallel miner, naive reference, apriori bridge, and catalog round trip
-# must agree on every generated case. Divergences minimize into
-# tests/fuzz_repros/ fixtures; a clean run writes nothing.
+# parallel miner, naive reference, apriori bridge, catalog round trip,
+# memoized scan cache, and bitmask scan kernel must agree on every
+# generated case. Divergences minimize into tests/fuzz_repros/ fixtures;
+# a clean run writes nothing.
 ./target/release/qar fuzz --iters 200 --seed 42
 
 echo "==> clippy -D warnings"

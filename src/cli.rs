@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 
 use qar_core::{
     InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec, PartitionStrategy, QuantRule,
-    RuleInterest,
+    RuleInterest, ScanKernel,
 };
 use qar_prng::Prng;
 use qar_store::protocol::{Query, QueryOptions, Request, Response};
@@ -235,7 +235,9 @@ MINE OPTIONS:
   --interest-mode M     and | or                        [default or]
   --max-size K          cap itemset size (0 = unbounded)
   --threads N           counting worker threads (0 = all cores) [default 0]
-  --no-memoize          disable the categorical-tuple scan cache
+  --kernel K            support-counting scan kernel: auto | direct |
+                        memoized | bitmask              [default auto]
+  --no-memoize          deprecated alias for --kernel direct
   --top N               print at most N rules (0 = all) [default 50]
   --all-rules           print pruned rules too (with a * marker)
   --format F            text | csv | json               [default text]
@@ -281,10 +283,11 @@ TRACE-CHECK:
 FUZZ:
   Draws random tables and configurations (skewed toward boundary cases)
   and cross-checks every mining path — serial, parallel, the brute-force
-  reference, the apriori bridge, the catalog round trip, and the
-  memoized scan cache on duplicate-heavy tables — for agreement. On
-  divergence the failing case is shrunk to a minimal repro and written
-  as a fixture under --out; the exit code is non-zero.
+  reference, the apriori bridge, the catalog round trip, the memoized
+  scan cache on duplicate-heavy tables, and the bitmask scan kernel on
+  boundary-skewed tables — for agreement. On divergence the failing
+  case is shrunk to a minimal repro and written as a fixture under
+  --out; the exit code is non-zero.
   --iters N             fuzz iterations                 [default 200]
   --seed S              base RNG seed (each iteration derives a
                         replayable per-case seed)       [default 42]
@@ -495,7 +498,17 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 interest,
                 max_itemset_size: parse_usize(&map, "max-size", 0)?,
                 parallelism: std::num::NonZeroUsize::new(parse_usize(&map, "threads", 0)?),
-                memoize_scan: !map.contains_key("no-memoize"),
+                kernel: match map.get("kernel") {
+                    Some(v) => ScanKernel::parse(v).ok_or_else(|| {
+                        err(format!(
+                            "--kernel: `{v}` is not auto, direct, memoized, or bitmask"
+                        ))
+                    })?,
+                    // `--no-memoize` predates `--kernel`; keep it working as
+                    // an alias for the direct (uncached, unblocked) kernel.
+                    None if map.contains_key("no-memoize") => ScanKernel::Direct,
+                    None => ScanKernel::Auto,
+                },
             };
             config.validate().map_err(|e| err(e.to_string()))?;
             let format = match map.get("format").map(String::as_str) {
@@ -1530,8 +1543,34 @@ mod tests {
             PartitionSpec::CompletenessLevel(2.0)
         );
         assert!(args.config.interest.is_none());
-        assert!(args.config.memoize_scan);
+        assert_eq!(args.config.kernel, ScanKernel::Auto);
         assert_eq!(args.top, 50);
+    }
+
+    #[test]
+    fn kernel_flag() {
+        for (flag, want) in [
+            ("auto", ScanKernel::Auto),
+            ("direct", ScanKernel::Direct),
+            ("memoized", ScanKernel::Memoized),
+            ("memo", ScanKernel::Memoized),
+            ("bitmask", ScanKernel::Bitmask),
+        ] {
+            let cmd = parse_command(&argv(&format!(
+                "mine --input f --schema a:q --kernel {flag}"
+            )))
+            .unwrap();
+            let Command::Mine(args) = cmd else { panic!() };
+            assert_eq!(args.config.kernel, want, "--kernel {flag}");
+        }
+        assert!(parse_command(&argv("mine --input f --schema a:q --kernel turbo")).is_err());
+        // An explicit --kernel wins over the deprecated --no-memoize alias.
+        let cmd = parse_command(&argv(
+            "mine --input f --schema a:q --kernel bitmask --no-memoize",
+        ))
+        .unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert_eq!(args.config.kernel, ScanKernel::Bitmask);
     }
 
     #[test]
@@ -1551,7 +1590,7 @@ mod tests {
         assert_eq!(interest.mode, InterestMode::SupportAndConfidence);
         assert!(interest.prune_candidates);
         assert_eq!(args.config.max_itemset_size, 3);
-        assert!(!args.config.memoize_scan);
+        assert_eq!(args.config.kernel, ScanKernel::Direct);
         assert!(!args.interesting_only);
         assert_eq!(args.format, OutputFormat::Text);
     }

@@ -52,7 +52,7 @@ fn no_combining_config(minsup: f64) -> MinerConfig {
         interest: None,
         max_itemset_size: 0,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     }
 }
 
@@ -231,7 +231,7 @@ fn pipeline_is_deterministic() {
         }),
         max_itemset_size: 0,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     };
     let a = Miner::new(config.clone()).mine(&table).expect("run 1");
     let b = Miner::new(config.clone()).mine(&table).expect("run 2");

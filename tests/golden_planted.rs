@@ -32,7 +32,7 @@ fn config(parallelism: Option<NonZeroUsize>) -> MinerConfig {
         interest: None,
         max_itemset_size: 2,
         parallelism,
-        memoize_scan: true,
+        kernel: Default::default(),
     }
 }
 

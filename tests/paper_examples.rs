@@ -19,7 +19,7 @@ fn fig1_config() -> MinerConfig {
         interest: None,
         max_itemset_size: 0,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     }
 }
 

@@ -16,7 +16,7 @@ fn config() -> MinerConfig {
         interest: None,
         max_itemset_size: 2,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     }
 }
 

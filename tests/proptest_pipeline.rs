@@ -44,7 +44,7 @@ fn base_config() -> MinerConfig {
         interest: None,
         max_itemset_size: 0,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     }
 }
 
@@ -120,6 +120,7 @@ fn parallel_mining_equals_serial() {
 #[test]
 fn memoized_scan_equals_direct_and_naive() {
     use quantrules::core::supercand::{count_candidates_naive, count_candidates_opts, ScanOptions};
+    use quantrules::core::ScanKernel;
     cases(48, 0x5EED_4242_0006, |case, rng| {
         let table = arbitrary_table(rng);
         let config = MinerConfig {
@@ -139,21 +140,85 @@ fn memoized_scan_equals_direct_and_naive() {
         }
         let naive = count_candidates_naive(&encoded, &candidates);
         for threads in [1usize, 2, 4, 7] {
-            for memoize in [false, true] {
+            for kernel in [ScanKernel::Direct, ScanKernel::Memoized] {
                 let opts = ScanOptions {
-                    memoize,
+                    kernel,
                     ..ScanOptions::new(threads)
                 };
                 let (counts, stats) = count_candidates_opts(&encoded, &candidates, None, opts)
                     .expect("no cancel token");
                 assert_eq!(
                     counts, naive,
-                    "case {case}: threads {threads} memoize {memoize}"
+                    "case {case}: threads {threads} kernel {kernel}"
                 );
-                assert_eq!(stats.memoized, memoize, "case {case}");
-                if !memoize {
+                assert_eq!(
+                    stats.memoized,
+                    kernel == ScanKernel::Memoized,
+                    "case {case}"
+                );
+                if kernel == ScanKernel::Direct {
                     assert_eq!(stats.memo_hits, 0, "case {case}");
                     assert_eq!(stats.distinct_tuples, 0, "case {case}");
+                }
+            }
+        }
+    });
+}
+
+/// The bitmask-kernel equivalence property: the blocked bitmask scan
+/// must count every candidate bit-identically to the direct scan and to
+/// the brute-force recount, at any thread count — including the `Auto`
+/// selector, which may resolve to different kernels per shard. Tables
+/// are small (tail-masking territory) with codes concentrated at the
+/// domain boundaries, so `lo == hi` rectangles and dead-predicate
+/// pre-screening both occur.
+#[test]
+fn bitmask_scan_equals_direct_and_naive() {
+    use quantrules::core::supercand::{count_candidates_naive, count_candidates_opts, ScanOptions};
+    use quantrules::core::ScanKernel;
+    cases(48, 0x5EED_4242_0007, |case, rng| {
+        let table = arbitrary_table(rng);
+        let config = MinerConfig {
+            min_support: rng.gen_range(5u32..30) as f64 / 100.0,
+            max_support: 1.0,
+            ..base_config()
+        };
+        let encoded = EncodedTable::encode_full_resolution(&table).expect("encode");
+        let (frequent, _) = Miner::new(config)
+            .frequent_itemsets(&encoded)
+            .expect("mine");
+        let candidates: Vec<_> = frequent.iter().map(|(set, _)| set.clone()).collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let naive = count_candidates_naive(&encoded, &candidates);
+        let direct = count_candidates_opts(
+            &encoded,
+            &candidates,
+            None,
+            ScanOptions {
+                kernel: ScanKernel::Direct,
+                ..ScanOptions::new(1)
+            },
+        )
+        .expect("no cancel token")
+        .0;
+        assert_eq!(direct, naive, "case {case}: direct vs naive");
+        for threads in [1usize, 2, 4, 7] {
+            for kernel in [ScanKernel::Bitmask, ScanKernel::Auto] {
+                let opts = ScanOptions {
+                    kernel,
+                    ..ScanOptions::new(threads)
+                };
+                let (counts, stats) = count_candidates_opts(&encoded, &candidates, None, opts)
+                    .expect("no cancel token");
+                assert_eq!(
+                    counts, naive,
+                    "case {case}: threads {threads} kernel {kernel}"
+                );
+                if kernel == ScanKernel::Bitmask {
+                    assert_eq!(stats.kernel, "bitmask", "case {case}");
+                    assert_eq!(stats.memo_hits, 0, "case {case}");
                 }
             }
         }

@@ -66,7 +66,7 @@ fn config_with_taxonomy() -> MinerConfig {
         interest: None,
         max_itemset_size: 0,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     }
 }
 

@@ -23,7 +23,7 @@ fn config() -> MinerConfig {
         interest: None,
         max_itemset_size: 0,
         parallelism: None,
-        memoize_scan: true,
+        kernel: Default::default(),
     }
 }
 
@@ -81,6 +81,28 @@ fn every_emitted_event_validates_against_the_checked_in_schema() {
     assert!(passes >= 2, "workload must reach a counting pass");
     assert_eq!(count_of("pass_started"), passes);
     assert_eq!(count_of("pass_finished"), passes);
+
+    // Every pass_finished must name the kernel that counted it, so
+    // benches and `qar trace-check` observe kernel selection directly.
+    let kernels: Vec<(usize, String)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::PassFinished { pass, kernel, .. } => Some((*pass, kernel.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(kernels.len(), passes);
+    for (pass, kernel) in &kernels {
+        if *pass == 1 {
+            // Pass 1 is a plain per-attribute value count.
+            assert_eq!(kernel, "direct", "pass 1 kernel");
+        } else {
+            assert!(
+                ["direct", "memoized", "bitmask", "mixed"].contains(&kernel.as_str()),
+                "pass {pass} reported unknown kernel `{kernel}`"
+            );
+        }
+    }
 }
 
 #[test]
