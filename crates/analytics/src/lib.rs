@@ -1,0 +1,427 @@
+//! # qar-analytics — rule-quality statistics
+//!
+//! The paper prunes rules by support, confidence, and its
+//! greater-than-expected interest measure; this crate answers the
+//! production question "which of the surviving rules are statistically
+//! *real*?" For each rule it computes, from the 2×2 contingency counts
+//! the miner already has:
+//!
+//! * **lift**, **conviction**, and **leverage** — the classical
+//!   correlation measures;
+//! * the **chi-square statistic** with its **p-value** (regularized
+//!   incomplete gamma implemented in-repo, [`mod@gamma`]) and a
+//!   ruleset-wide **Benjamini–Hochberg** multiple-testing adjustment;
+//! * the **J-measure** (expected information content);
+//! * a **Monte-Carlo Shapley attribution** ranking each antecedent
+//!   attribute's contribution to the rule's J-measure, sampled with a
+//!   deterministic seed ([`mod@shapley`]).
+//!
+//! The crate is pure math over counts: callers supply support counts via
+//! a closure (on the mine path that is a frequent-itemset lookup — no
+//! table re-scan), and persistence lives in `qar-store`'s `ANALYTICS`
+//! catalog section.
+
+#![warn(missing_docs)]
+
+pub mod gamma;
+pub mod measures;
+pub mod shapley;
+
+pub use gamma::{chi2_p_value, gamma_q, ln_gamma};
+pub use measures::{bh_adjust, jmeasure, Measures, RuleFacts};
+pub use shapley::shapley_values;
+
+use qar_itemset::Itemset;
+use qar_prng::Prng;
+
+/// Shapley permutation samples used when the caller does not choose.
+pub const DEFAULT_SHAPLEY_SAMPLES: u32 = 64;
+/// Shapley seed used when the caller does not choose.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Per-rule seed mixing constant (golden-ratio increment), so every
+/// rule's sampler is independent of the ruleset's order and length.
+const RULE_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Tuning for [`compute_ruleset`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticsConfig {
+    /// Permutations sampled per rule for the Shapley attribution
+    /// (clamped to at least 1).
+    pub shapley_samples: u32,
+    /// Base seed for the deterministic Shapley sampler.
+    pub seed: u64,
+}
+
+impl Default for AnalyticsConfig {
+    fn default() -> Self {
+        AnalyticsConfig {
+            shapley_samples: DEFAULT_SHAPLEY_SAMPLES,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// One rule, as the computation needs it: both sides plus the exact
+/// support count of their union.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSides<'a> {
+    /// The rule's antecedent itemset.
+    pub antecedent: &'a Itemset,
+    /// The rule's consequent itemset.
+    pub consequent: &'a Itemset,
+    /// Rows supporting `antecedent ∪ consequent`.
+    pub support: u64,
+}
+
+/// Everything computed for one rule, in a form ready to persist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleAnalytics {
+    /// Rows matching the antecedent.
+    pub count_antecedent: u64,
+    /// Rows matching the consequent.
+    pub count_consequent: u64,
+    /// Observed-over-expected co-occurrence.
+    pub lift: f64,
+    /// `(1 − P(C)) / (1 − conf)`; +∞ for perfect rules.
+    pub conviction: f64,
+    /// `P(AC) − P(A)·P(C)`.
+    pub leverage: f64,
+    /// 2×2 contingency chi-square statistic.
+    pub chi2: f64,
+    /// Raw chi-square p-value (1 dof).
+    pub p_value: f64,
+    /// Benjamini–Hochberg adjusted p-value across the whole ruleset.
+    pub p_adjusted: f64,
+    /// J-measure, bits.
+    pub jmeasure: f64,
+    /// Per-attribute Shapley contribution to the J-measure, one entry
+    /// per antecedent attribute in ascending attribute order.
+    pub shapley: Vec<(u32, f64)>,
+}
+
+impl RuleAnalytics {
+    /// Bit-exact equality (NaN-tolerant, unlike `PartialEq` on floats):
+    /// the relation the catalog round-trip tests compare under.
+    pub fn bits_eq(&self, other: &RuleAnalytics) -> bool {
+        self.count_antecedent == other.count_antecedent
+            && self.count_consequent == other.count_consequent
+            && self.lift.to_bits() == other.lift.to_bits()
+            && self.conviction.to_bits() == other.conviction.to_bits()
+            && self.leverage.to_bits() == other.leverage.to_bits()
+            && self.chi2.to_bits() == other.chi2.to_bits()
+            && self.p_value.to_bits() == other.p_value.to_bits()
+            && self.p_adjusted.to_bits() == other.p_adjusted.to_bits()
+            && self.jmeasure.to_bits() == other.jmeasure.to_bits()
+            && self.shapley.len() == other.shapley.len()
+            && self
+                .shapley
+                .iter()
+                .zip(&other.shapley)
+                .all(|((aa, av), (ba, bv))| aa == ba && av.to_bits() == bv.to_bits())
+    }
+}
+
+/// The analytics of a whole ruleset, aligned index-for-index with the
+/// catalog's rules, plus the sampling provenance needed to reproduce the
+/// Shapley attributions exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticsSet {
+    /// Shapley permutation samples drawn per rule.
+    pub shapley_samples: u32,
+    /// Base seed of the Shapley sampler.
+    pub seed: u64,
+    /// Per-rule analytics, in rule order.
+    pub rules: Vec<RuleAnalytics>,
+}
+
+impl AnalyticsSet {
+    /// Bit-exact equality over every float (see
+    /// [`RuleAnalytics::bits_eq`]).
+    pub fn bits_eq(&self, other: &AnalyticsSet) -> bool {
+        self.shapley_samples == other.shapley_samples
+            && self.seed == other.seed
+            && self.rules.len() == other.rules.len()
+            && self
+                .rules
+                .iter()
+                .zip(&other.rules)
+                .all(|(a, b)| a.bits_eq(b))
+    }
+}
+
+/// The deterministic per-rule sampler seed: mixing by rule index keeps
+/// each rule's attribution independent of every other rule.
+pub fn rule_seed(base: u64, rule_index: usize) -> u64 {
+    base ^ (rule_index as u64).wrapping_mul(RULE_SEED_MIX)
+}
+
+/// Compute the full analytics of a ruleset over a table of `num_rows`
+/// rows. `support` must return the exact support count of any sub-itemset
+/// of a rule's `antecedent ∪ consequent` — on the mine path that is a
+/// frequent-itemset lookup (every such subset is frequent by
+/// anti-monotonicity), on the backfill path a direct count.
+pub fn compute_ruleset<S>(
+    num_rows: u64,
+    rules: &[RuleSides<'_>],
+    config: &AnalyticsConfig,
+    mut support: S,
+) -> AnalyticsSet
+where
+    S: FnMut(&Itemset) -> u64,
+{
+    let samples = config.shapley_samples.max(1);
+    let mut out: Vec<RuleAnalytics> = Vec::with_capacity(rules.len());
+    for (index, rule) in rules.iter().enumerate() {
+        let count_a = support(rule.antecedent);
+        let count_c = support(rule.consequent);
+        let facts = RuleFacts {
+            n: num_rows,
+            count_a,
+            count_c,
+            count_ac: rule.support,
+        };
+        let m = Measures::from_facts(&facts);
+
+        // Shapley: players are the antecedent's items (one per
+        // attribute); a coalition's payoff is the J-measure of the
+        // restricted rule.
+        let ant_items = rule.antecedent.items();
+        let k = ant_items.len();
+        let cons_items = rule.consequent.items();
+        let mut rng = Prng::seed_from_u64(rule_seed(config.seed, index));
+        let values = shapley_values(k, samples, &mut rng, |mask| {
+            let selected: Vec<qar_itemset::Item> = (0..k)
+                .filter(|i| mask & (1u64 << i) != 0)
+                .map(|i| ant_items[i])
+                .collect();
+            let count_t = support(&Itemset::new(selected.clone()));
+            if count_t == 0 {
+                return 0.0;
+            }
+            let mut union = selected;
+            union.extend_from_slice(cons_items);
+            let count_tc = support(&Itemset::new(union));
+            jmeasure(&RuleFacts {
+                n: num_rows,
+                count_a: count_t,
+                count_c,
+                count_ac: count_tc,
+            })
+        });
+        let shapley = ant_items
+            .iter()
+            .zip(values)
+            .map(|(item, v)| (item.attr, v))
+            .collect();
+
+        out.push(RuleAnalytics {
+            count_antecedent: count_a,
+            count_consequent: count_c,
+            lift: m.lift,
+            conviction: m.conviction,
+            leverage: m.leverage,
+            chi2: m.chi2,
+            p_value: m.p_value,
+            p_adjusted: 0.0, // filled in below, ruleset-wide
+            jmeasure: m.jmeasure,
+            shapley,
+        });
+    }
+    let raw: Vec<f64> = out.iter().map(|r| r.p_value).collect();
+    for (rule, adjusted) in out.iter_mut().zip(bh_adjust(&raw)) {
+        rule.p_adjusted = adjusted;
+    }
+    AnalyticsSet {
+        shapley_samples: samples,
+        seed: config.seed,
+        rules: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qar_itemset::Item;
+    use std::collections::HashMap;
+
+    /// A tiny synthetic table as explicit row code tuples, counted the
+    /// obvious way — the closure every test hands to `compute_ruleset`.
+    fn count_in(rows: &[Vec<u32>]) -> impl FnMut(&Itemset) -> u64 + '_ {
+        |set: &Itemset| rows.iter().filter(|r| set.supported_by(r)).count() as u64
+    }
+
+    fn two_attr_rows() -> Vec<Vec<u32>> {
+        // 10 rows over (a0, a1): a0 = 0 strongly implies a1 = 0.
+        vec![
+            vec![0, 0],
+            vec![0, 0],
+            vec![0, 0],
+            vec![0, 1],
+            vec![1, 1],
+            vec![1, 1],
+            vec![1, 0],
+            vec![1, 1],
+            vec![1, 1],
+            vec![1, 1],
+        ]
+    }
+
+    #[test]
+    fn end_to_end_on_a_planted_rule() {
+        let rows = two_attr_rows();
+        let ant = Itemset::new(vec![Item::value(0, 0)]);
+        let cons = Itemset::new(vec![Item::value(1, 0)]);
+        let support = rows
+            .iter()
+            .filter(|r| ant.supported_by(r) && cons.supported_by(r))
+            .count() as u64;
+        assert_eq!(support, 3);
+        let set = compute_ruleset(
+            rows.len() as u64,
+            &[RuleSides {
+                antecedent: &ant,
+                consequent: &cons,
+                support,
+            }],
+            &AnalyticsConfig::default(),
+            count_in(&rows),
+        );
+        let r = &set.rules[0];
+        assert_eq!(r.count_antecedent, 4);
+        assert_eq!(r.count_consequent, 4);
+        // conf = 3/4 vs P(C) = 0.4: a strong positive association.
+        assert!(r.lift > 1.5, "{}", r.lift);
+        assert!(r.leverage > 0.0);
+        assert!(r.chi2 > 0.0);
+        assert!(r.p_value < 0.5 && r.p_value > 0.0);
+        assert_eq!(r.p_adjusted.to_bits(), r.p_value.to_bits()); // m = 1
+        assert!(r.jmeasure > 0.0);
+        // One antecedent attribute: its Shapley value IS the J-measure.
+        assert_eq!(r.shapley.len(), 1);
+        assert_eq!(r.shapley[0].0, 0);
+        assert_eq!(r.shapley[0].1.to_bits(), r.jmeasure.to_bits());
+    }
+
+    #[test]
+    fn shapley_attributions_are_efficient_and_deterministic() {
+        // 3-attribute antecedent over a 4-attribute synthetic table.
+        let mut rows = Vec::new();
+        for i in 0..24u32 {
+            rows.push(vec![i % 2, i % 3, (i / 3) % 2, u32::from(i % 6 == 0)]);
+        }
+        let ant = Itemset::new(vec![
+            Item::value(0, 0),
+            Item::value(1, 0),
+            Item::value(2, 0),
+        ]);
+        let cons = Itemset::new(vec![Item::value(3, 1)]);
+        let support = rows
+            .iter()
+            .filter(|r| ant.supported_by(r) && cons.supported_by(r))
+            .count() as u64;
+        let rule = RuleSides {
+            antecedent: &ant,
+            consequent: &cons,
+            support,
+        };
+        let cfg = AnalyticsConfig {
+            shapley_samples: 16,
+            seed: 7,
+        };
+        let a = compute_ruleset(rows.len() as u64, &[rule], &cfg, count_in(&rows));
+        let b = compute_ruleset(rows.len() as u64, &[rule], &cfg, count_in(&rows));
+        assert!(a.bits_eq(&b), "same seed must be bit-identical");
+        let r = &a.rules[0];
+        let sum: f64 = r.shapley.iter().map(|(_, v)| v).sum();
+        assert!(
+            (sum - r.jmeasure).abs() < 1e-12,
+            "attributions {sum} do not sum to J-measure {}",
+            r.jmeasure
+        );
+        let attrs: Vec<u32> = r.shapley.iter().map(|(a, _)| *a).collect();
+        assert_eq!(attrs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn different_seeds_differ_but_stay_efficient() {
+        let rows = two_attr_rows();
+        let ant = Itemset::new(vec![Item::value(0, 1), Item::value(1, 1)]);
+        let cons_rows: Vec<Vec<u32>> = rows.iter().map(|r| vec![r[0], r[1], r[0] ^ r[1]]).collect();
+        let cons = Itemset::new(vec![Item::value(2, 0)]);
+        let support = cons_rows
+            .iter()
+            .filter(|r| ant.supported_by(r) && cons.supported_by(r))
+            .count() as u64;
+        let rule = RuleSides {
+            antecedent: &ant,
+            consequent: &cons,
+            support,
+        };
+        for seed in [1u64, 2, 3] {
+            let cfg = AnalyticsConfig {
+                shapley_samples: 4,
+                seed,
+            };
+            let set = compute_ruleset(cons_rows.len() as u64, &[rule], &cfg, count_in(&cons_rows));
+            let r = &set.rules[0];
+            let sum: f64 = r.shapley.iter().map(|(_, v)| v).sum();
+            assert!((sum - r.jmeasure).abs() < 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bh_adjustment_spans_the_ruleset() {
+        // Three copies of the same weak rule: BH multiplies the shared
+        // p-value by m/rank.
+        let rows = two_attr_rows();
+        let ant = Itemset::new(vec![Item::value(0, 0)]);
+        let cons = Itemset::new(vec![Item::value(1, 0)]);
+        let support = 3;
+        let rule = RuleSides {
+            antecedent: &ant,
+            consequent: &cons,
+            support,
+        };
+        let set = compute_ruleset(
+            rows.len() as u64,
+            &[rule, rule, rule],
+            &AnalyticsConfig::default(),
+            count_in(&rows),
+        );
+        // Identical p-values: every adjusted value is p·m/m = p.
+        for r in &set.rules {
+            assert_eq!(r.p_adjusted.to_bits(), set.rules[0].p_adjusted.to_bits());
+            assert!(r.p_adjusted >= r.p_value);
+        }
+    }
+
+    #[test]
+    fn support_closure_sees_only_rule_subsets() {
+        let rows = two_attr_rows();
+        let ant = Itemset::new(vec![Item::value(0, 0)]);
+        let cons = Itemset::new(vec![Item::value(1, 0)]);
+        let mut seen: HashMap<Vec<(u32, u32, u32)>, u32> = HashMap::new();
+        compute_ruleset(
+            rows.len() as u64,
+            &[RuleSides {
+                antecedent: &ant,
+                consequent: &cons,
+                support: 3,
+            }],
+            &AnalyticsConfig::default(),
+            |set| {
+                let key: Vec<(u32, u32, u32)> =
+                    set.items().iter().map(|i| (i.attr, i.lo, i.hi)).collect();
+                *seen.entry(key).or_insert(0) += 1;
+                rows.iter().filter(|r| set.supported_by(r)).count() as u64
+            },
+        );
+        // Every queried itemset is a subset of antecedent ∪ consequent.
+        for key in seen.keys() {
+            for (attr, lo, hi) in key {
+                assert!(*attr <= 1 && lo == hi && *lo == 0, "{key:?}");
+            }
+        }
+    }
+}

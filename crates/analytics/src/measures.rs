@@ -1,0 +1,294 @@
+//! Closed-form rule-quality measures over a 2×2 contingency table.
+//!
+//! Every measure is a deterministic function of four exact integer
+//! counts ([`RuleFacts`]). The fuzz oracle recomputes each formula from
+//! independently obtained counts and demands bit-identical results, so
+//! the exact operation order written here is part of the contract: a
+//! reordering that changes rounding is an observable change.
+
+use crate::gamma::chi2_p_value;
+
+/// The support counts a rule's quality measures derive from. All four
+/// come straight from the miner's frequent-itemset counts — computing
+/// them needs no table re-scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleFacts {
+    /// Total rows in the mined table.
+    pub n: u64,
+    /// Rows matching the antecedent.
+    pub count_a: u64,
+    /// Rows matching the consequent.
+    pub count_c: u64,
+    /// Rows matching both sides (the rule's support count).
+    pub count_ac: u64,
+}
+
+/// The closed-form measures of one rule (everything except the
+/// ruleset-level Benjamini–Hochberg adjustment and the sampled Shapley
+/// attribution).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measures {
+    /// Observed-over-expected co-occurrence: `n·n_AC / (n_A·n_C)`.
+    pub lift: f64,
+    /// `(1 − P(C)) / (1 − conf)`; +∞ for a perfect (conf = 1) rule.
+    pub conviction: f64,
+    /// `P(AC) − P(A)·P(C)`.
+    pub leverage: f64,
+    /// 2×2 contingency chi-square statistic (0 for degenerate margins).
+    pub chi2: f64,
+    /// Chi-square survival at 1 dof: `Q(1/2, χ²/2)`.
+    pub p_value: f64,
+    /// Smyth–Goodman J-measure (expected information of the rule), bits.
+    pub jmeasure: f64,
+}
+
+/// One term of the J-measure's relative entropy, with the `0·log 0 = 0`
+/// convention.
+fn jterm(p: f64, q: f64) -> f64 {
+    if p == 0.0 {
+        0.0
+    } else {
+        p * (p / q).log2()
+    }
+}
+
+/// The J-measure of a rule with the given counts:
+/// `P(A)·[P(C|A)·log₂(P(C|A)/P(C)) + (1−P(C|A))·log₂((1−P(C|A))/(1−P(C)))]`.
+///
+/// Also the Shapley coalition payoff, with `count_a`/`count_ac` replaced
+/// by the restricted antecedent's counts. Zero-support antecedents pay 0.
+pub fn jmeasure(facts: &RuleFacts) -> f64 {
+    if facts.count_a == 0 || facts.n == 0 {
+        return 0.0;
+    }
+    let n = facts.n as f64;
+    let pa = facts.count_a as f64 / n;
+    let pc = facts.count_c as f64 / n;
+    let pca = facts.count_ac as f64 / facts.count_a as f64;
+    pa * (jterm(pca, pc) + jterm(1.0 - pca, 1.0 - pc))
+}
+
+impl Measures {
+    /// Compute every closed-form measure from the counts.
+    pub fn from_facts(facts: &RuleFacts) -> Measures {
+        let n = facts.n as f64;
+        let ca = facts.count_a as f64;
+        let cc = facts.count_c as f64;
+        let cac = facts.count_ac as f64;
+
+        let lift = if facts.count_a == 0 || facts.count_c == 0 {
+            f64::NAN
+        } else {
+            (cac * n) / (ca * cc)
+        };
+
+        let conviction = if facts.count_a == 0 {
+            f64::NAN
+        } else if facts.count_ac == facts.count_a {
+            f64::INFINITY
+        } else {
+            (1.0 - cc / n) / (1.0 - cac / ca)
+        };
+
+        let leverage = if facts.n == 0 {
+            f64::NAN
+        } else {
+            cac / n - (ca / n) * (cc / n)
+        };
+
+        // Degenerate margins (an all-rows or no-rows side) have no
+        // variation to test: chi2 = 0, p = 1.
+        let degenerate = facts.count_a == 0
+            || facts.count_a == facts.n
+            || facts.count_c == 0
+            || facts.count_c == facts.n;
+        let chi2 = if degenerate {
+            0.0
+        } else {
+            let o11 = cac;
+            let o12 = ca - cac;
+            let o21 = cc - cac;
+            let o22 = n - ca - cc + cac;
+            let det = o11 * o22 - o12 * o21;
+            (n * det * det) / (ca * cc * (n - ca) * (n - cc))
+        };
+        let p_value = chi2_p_value(chi2);
+
+        Measures {
+            lift,
+            conviction,
+            leverage,
+            chi2,
+            p_value,
+            jmeasure: jmeasure(facts),
+        }
+    }
+}
+
+/// Benjamini–Hochberg step-up adjustment: given the raw p-values of a
+/// ruleset, return the adjusted p-values (q-values) in the same order.
+///
+/// With the p-values sorted ascending, `adj_(i) = min_{j ≥ i} (m·p_(j)/j)`
+/// clamped to 1. Ties and the sort are resolved by `total_cmp` then
+/// original index, so the output is deterministic for any input,
+/// including repeated p-values.
+pub fn bh_adjust(p: &[f64]) -> Vec<f64> {
+    let m = p.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p[a].total_cmp(&p[b]).then(a.cmp(&b)));
+    let mut adjusted = vec![0.0; m];
+    let mut running = f64::INFINITY;
+    for rank in (0..m).rev() {
+        let i = order[rank];
+        // Ratio first: `m/(rank+1)` is exactly 1.0 at the last rank and
+        // strictly above 1 before it, so `scaled >= p[i]` holds exactly
+        // (the `p*m/(rank+1)` order can round one ulp below `p`).
+        let scaled = p[i] * (m as f64 / (rank + 1) as f64);
+        if scaled < running {
+            running = scaled;
+        }
+        adjusted[i] = if running > 1.0 { 1.0 } else { running };
+    }
+    adjusted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(n: u64, a: u64, c: u64, ac: u64) -> RuleFacts {
+        RuleFacts {
+            n,
+            count_a: a,
+            count_c: c,
+            count_ac: ac,
+        }
+    }
+
+    #[test]
+    fn independent_sides_have_unit_lift_and_zero_chi2() {
+        // P(A) = 1/2, P(C) = 1/2, P(AC) = 1/4 over 100 rows: exactly
+        // independent.
+        let m = Measures::from_facts(&facts(100, 50, 50, 25));
+        assert_eq!(m.lift, 1.0);
+        assert_eq!(m.leverage, 0.0);
+        assert_eq!(m.chi2, 0.0);
+        assert_eq!(m.p_value, 1.0);
+        assert_eq!(m.conviction, 1.0);
+        assert!(m.jmeasure.abs() < 1e-15, "{}", m.jmeasure);
+    }
+
+    #[test]
+    fn perfect_implication() {
+        // Every antecedent row is a consequent row.
+        let m = Measures::from_facts(&facts(100, 20, 40, 20));
+        assert_eq!(m.lift, 2.5);
+        assert_eq!(m.conviction, f64::INFINITY);
+        assert!(m.chi2 > 0.0);
+        assert!(m.p_value < 0.001, "{}", m.p_value);
+        assert!(m.jmeasure > 0.0);
+    }
+
+    #[test]
+    fn perfect_negative_association() {
+        // A and C never co-occur.
+        let m = Measures::from_facts(&facts(100, 50, 50, 0));
+        assert_eq!(m.lift, 0.0);
+        assert!(m.leverage < 0.0);
+        assert_eq!(m.chi2, 100.0); // n·(0·0 − 50·50)²/50⁴ = n
+        assert!(m.conviction < 1.0);
+    }
+
+    #[test]
+    fn degenerate_margins_are_untestable() {
+        for f in [
+            facts(10, 10, 4, 4), // antecedent covers every row
+            facts(10, 4, 10, 4), // consequent covers every row
+            facts(10, 0, 4, 0),  // empty antecedent
+            facts(10, 4, 0, 0),  // empty consequent
+        ] {
+            let m = Measures::from_facts(&f);
+            assert_eq!(m.chi2, 0.0, "{f:?}");
+            assert_eq!(m.p_value, 1.0, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn chi2_is_symmetric_in_the_sides() {
+        let a = Measures::from_facts(&facts(200, 60, 90, 45));
+        let b = Measures::from_facts(&facts(200, 90, 60, 45));
+        assert_eq!(a.chi2.to_bits(), b.chi2.to_bits());
+        assert_eq!(a.lift.to_bits(), b.lift.to_bits());
+    }
+
+    /// Known worked example: 2×2 table [[30, 10], [20, 40]] (n = 100,
+    /// n_A = 40, n_C = 50, n_AC = 30); χ² = 100·(30·40−10·20)²/
+    /// (40·50·60·50) = 100·1_000_000/6_000_000.
+    #[test]
+    fn chi2_worked_example() {
+        let m = Measures::from_facts(&facts(100, 40, 50, 30));
+        assert!((m.chi2 - 100.0 / 6.0).abs() < 1e-12, "{}", m.chi2);
+        assert_eq!(m.lift, 1.5);
+    }
+
+    #[test]
+    fn jmeasure_decomposes_per_textbook() {
+        let f = facts(100, 40, 50, 30);
+        let pa: f64 = 0.4;
+        let pca: f64 = 0.75;
+        let pc: f64 = 0.5;
+        let want = pa * (pca * (pca / pc).log2() + (1.0 - pca) * ((1.0 - pca) / (1.0 - pc)).log2());
+        assert!((jmeasure(&f) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bh_identity_on_single_p() {
+        assert_eq!(bh_adjust(&[0.03]), vec![0.03]);
+        assert_eq!(bh_adjust(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn bh_worked_example() {
+        // Classic example: p = [0.01, 0.02, 0.03, 0.04] with m = 4:
+        // adj = [0.04, 0.04, 0.04, 0.04].
+        let adj = bh_adjust(&[0.01, 0.02, 0.03, 0.04]);
+        for a in &adj {
+            assert!((a - 0.04).abs() < 1e-15, "{adj:?}");
+        }
+        // And a case where the running minimum actually steps:
+        // p = [0.005, 0.04, 0.8] → scaled = [0.015, 0.06, 0.8].
+        let adj = bh_adjust(&[0.8, 0.005, 0.04]);
+        assert!((adj[1] - 0.015).abs() < 1e-15, "{adj:?}");
+        assert!((adj[2] - 0.06).abs() < 1e-15, "{adj:?}");
+        assert!((adj[0] - 0.8).abs() < 1e-15, "{adj:?}");
+    }
+
+    #[test]
+    fn bh_properties_hold_on_random_inputs() {
+        qar_prng::cases(128, 0xB41, |_, rng| {
+            let m = rng.gen_range(1..40usize);
+            let p: Vec<f64> = (0..m)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        *rng.choose(&[0.0, 1.0, 0.05]).unwrap()
+                    } else {
+                        rng.gen_f64()
+                    }
+                })
+                .collect();
+            let adj = bh_adjust(&p);
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by(|&a, &b| p[a].total_cmp(&p[b]).then(a.cmp(&b)));
+            let mut prev = 0.0;
+            for &i in &order {
+                assert!(adj[i] >= p[i], "adjusted below raw: {adj:?} vs {p:?}");
+                assert!(adj[i] <= 1.0, "adjusted above 1: {adj:?}");
+                assert!(
+                    adj[i] >= prev,
+                    "adjusted not monotone in p order: {adj:?} vs {p:?}"
+                );
+                prev = adj[i];
+            }
+        });
+    }
+}

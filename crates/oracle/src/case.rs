@@ -26,6 +26,12 @@ pub enum ReproCase {
     /// ranges mined with the blocked bitmask kernel, serial and pooled,
     /// cross-checked against the direct serial scan.
     Kernel(MiningCase),
+    /// Rule-analytics case: a mined ruleset's lift / conviction /
+    /// leverage / chi² / p-value / J-measure cross-checked at 0 ulps
+    /// against an independent contingency-table reference, plus BH
+    /// monotonicity, Shapley determinism and efficiency, and a byte-exact
+    /// catalog round trip of the `ANALYTICS` section.
+    Analytics(MiningCase),
 }
 
 impl ReproCase {
@@ -38,6 +44,7 @@ impl ReproCase {
             ReproCase::Intervals(_) => "intervals",
             ReproCase::Memo(_) => "memo",
             ReproCase::Kernel(_) => "kernel",
+            ReproCase::Analytics(_) => "analytics",
         }
     }
 }

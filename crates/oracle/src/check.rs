@@ -16,6 +16,7 @@
 //! encoded table.
 
 use crate::case::{IntervalsCase, MiningCase, PartitionCase, ReproCase, SnapCase};
+use qar_analytics::{chi2_p_value, AnalyticsConfig};
 use qar_apriori::apriori;
 use qar_apriori::bridge::to_transactions;
 use qar_core::naive::naive_mine;
@@ -26,7 +27,7 @@ use qar_core::{
 use qar_itemset::{Item, Itemset};
 use qar_partition::range_completeness::snap_to_intervals;
 use qar_partition::{num_intervals, EquiDepth, EquiWidth, KMeans1D, Partitioner, MAX_INTERVALS};
-use qar_store::{naive_query_range, naive_query_record, Catalog, RuleIndex};
+use qar_store::{analytics_from_mining, naive_query_range, naive_query_record, Catalog, RuleIndex};
 use qar_table::{AttributeId, AttributeKind, EncodedTable};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
@@ -60,6 +61,7 @@ pub fn check_case(case: &ReproCase) -> Result<(), Divergence> {
         ReproCase::Intervals(c) => check_intervals(c),
         ReproCase::Memo(c) => check_memo(c),
         ReproCase::Kernel(c) => check_kernel(c),
+        ReproCase::Analytics(c) => check_analytics(c),
     }
 }
 
@@ -108,6 +110,308 @@ pub fn check_kernel(case: &MiningCase) -> Result<(), Divergence> {
     let bitmask_par = Miner::new(bitmask_par_cfg).mine(&case.table);
     compare_paths("bitmask-serial-vs-direct", &direct, &bitmask_ser)?;
     compare_paths("bitmask-parallel-vs-direct", &direct, &bitmask_par)
+}
+
+/// The fixed analytics tuning every analytics case uses, so persisted
+/// repros re-check identically: few samples (speed), a fixed seed.
+const ANALYTICS_CFG: AnalyticsConfig = AnalyticsConfig {
+    shapley_samples: 8,
+    seed: 0xA11A,
+};
+
+/// Independent restatement of the closed-form measures: same formulas,
+/// same operation order as `qar_analytics::Measures::from_facts`, but a
+/// second copy the oracle owns — any refactor over there that changes
+/// rounding (or a count plumbed wrong anywhere in the pipeline) shows up
+/// as a ulp-level divergence here.
+struct RefMeasures {
+    lift: f64,
+    conviction: f64,
+    leverage: f64,
+    chi2: f64,
+    p_value: f64,
+    jmeasure: f64,
+}
+
+fn ref_jterm(p: f64, q: f64) -> f64 {
+    if p == 0.0 {
+        0.0
+    } else {
+        p * (p / q).log2()
+    }
+}
+
+fn ref_jmeasure(n_rows: u64, count_a: u64, count_c: u64, count_ac: u64) -> f64 {
+    if count_a == 0 || n_rows == 0 {
+        return 0.0;
+    }
+    let n = n_rows as f64;
+    let pa = count_a as f64 / n;
+    let pc = count_c as f64 / n;
+    let pca = count_ac as f64 / count_a as f64;
+    pa * (ref_jterm(pca, pc) + ref_jterm(1.0 - pca, 1.0 - pc))
+}
+
+fn ref_measures(n_rows: u64, count_a: u64, count_c: u64, count_ac: u64) -> RefMeasures {
+    let n = n_rows as f64;
+    let ca = count_a as f64;
+    let cc = count_c as f64;
+    let cac = count_ac as f64;
+    let lift = if count_a == 0 || count_c == 0 {
+        f64::NAN
+    } else {
+        (cac * n) / (ca * cc)
+    };
+    let conviction = if count_a == 0 {
+        f64::NAN
+    } else if count_ac == count_a {
+        f64::INFINITY
+    } else {
+        (1.0 - cc / n) / (1.0 - cac / ca)
+    };
+    let leverage = if n_rows == 0 {
+        f64::NAN
+    } else {
+        cac / n - (ca / n) * (cc / n)
+    };
+    let degenerate = count_a == 0 || count_a == n_rows || count_c == 0 || count_c == n_rows;
+    let chi2 = if degenerate {
+        0.0
+    } else {
+        let o11 = cac;
+        let o12 = ca - cac;
+        let o21 = cc - cac;
+        let o22 = n - ca - cc + cac;
+        let det = o11 * o22 - o12 * o21;
+        (n * det * det) / (ca * cc * (n - ca) * (n - cc))
+    };
+    RefMeasures {
+        lift,
+        conviction,
+        leverage,
+        chi2,
+        p_value: chi2_p_value(chi2),
+        jmeasure: ref_jmeasure(n_rows, count_a, count_c, count_ac),
+    }
+}
+
+/// Independent Benjamini–Hochberg restatement (same tie-break, same
+/// ratio-first operation order).
+fn ref_bh(p: &[f64]) -> Vec<f64> {
+    let m = p.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p[a].total_cmp(&p[b]).then(a.cmp(&b)));
+    let mut adjusted = vec![0.0; m];
+    let mut running = f64::INFINITY;
+    for rank in (0..m).rev() {
+        let i = order[rank];
+        let scaled = p[i] * (m as f64 / (rank + 1) as f64);
+        if scaled < running {
+            running = scaled;
+        }
+        adjusted[i] = if running > 1.0 { 1.0 } else { running };
+    }
+    adjusted
+}
+
+/// Exact support count of an itemset by direct row iteration — the
+/// independent counting path (the production paths count via
+/// frequent-itemset lookups or the store's memoized scan).
+fn ref_count(encoded: &EncodedTable, set: &Itemset) -> u64 {
+    let mut record: Vec<u32> = vec![0; encoded.schema().len()];
+    let mut count = 0;
+    for row in 0..encoded.num_rows() {
+        for (a, slot) in record.iter_mut().enumerate() {
+            *slot = encoded.codes(AttributeId(a))[row];
+        }
+        if set.supported_by(&record) {
+            count += 1;
+        }
+    }
+    count
+}
+
+fn ulps_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// Analytics oracle: every persisted measure must match the independent
+/// contingency-table reference at 0 ulps, the BH adjustment must match
+/// the independent restatement and its monotonicity contract, Shapley
+/// attributions must be deterministic, efficient, and aligned with the
+/// antecedent, and the `ANALYTICS` section must round-trip through the
+/// catalog byte-exactly.
+pub fn check_analytics(case: &MiningCase) -> Result<(), Divergence> {
+    let out = match Miner::new(with_parallelism(&case.config, 1)).mine(&case.table) {
+        Ok(out) => out,
+        // Rejected configurations have no ruleset to annotate; the
+        // error-agreement oracle owns that surface.
+        Err(_) => return Ok(()),
+    };
+    let set = analytics_from_mining(&out, &ANALYTICS_CFG, None);
+    if set.rules.len() != out.rules.len() {
+        return Err(div(
+            "analytics-alignment",
+            format!(
+                "{} analytics entries for {} rules",
+                set.rules.len(),
+                out.rules.len()
+            ),
+        ));
+    }
+
+    // Determinism: same mine, same config, bit-identical floats.
+    let again = analytics_from_mining(&out, &ANALYTICS_CFG, None);
+    if !set.bits_eq(&again) {
+        return Err(div(
+            "analytics-determinism",
+            "two computations over the same mine differ bitwise".to_string(),
+        ));
+    }
+
+    let n = out.frequent.num_rows;
+    let mut ref_p = Vec::with_capacity(out.rules.len());
+    for (i, (rule, got)) in out.rules.iter().zip(&set.rules).enumerate() {
+        let count_a = ref_count(&out.encoded, &rule.antecedent);
+        let count_c = ref_count(&out.encoded, &rule.consequent);
+        if got.count_antecedent != count_a || got.count_consequent != count_c {
+            return Err(div(
+                "analytics-counts",
+                format!(
+                    "rule {i}: counts ({}, {}) != independent scan ({count_a}, {count_c})",
+                    got.count_antecedent, got.count_consequent
+                ),
+            ));
+        }
+        let want = ref_measures(n, count_a, count_c, rule.support);
+        for (name, got_v, want_v) in [
+            ("lift", got.lift, want.lift),
+            ("conviction", got.conviction, want.conviction),
+            ("leverage", got.leverage, want.leverage),
+            ("chi2", got.chi2, want.chi2),
+            ("p_value", got.p_value, want.p_value),
+            ("jmeasure", got.jmeasure, want.jmeasure),
+        ] {
+            if !ulps_eq(got_v, want_v) {
+                return Err(div(
+                    "analytics-measures",
+                    format!("rule {i}: {name} {got_v} != reference {want_v} (0 ulps demanded)"),
+                ));
+            }
+        }
+        ref_p.push(want.p_value);
+
+        // Shapley structure: one entry per antecedent attribute, in
+        // order; the values sum to the J-measure (telescoping exactness
+        // up to the sample average's rounding).
+        let want_attrs: Vec<u32> = rule.antecedent.items().iter().map(|it| it.attr).collect();
+        let got_attrs: Vec<u32> = got.shapley.iter().map(|(a, _)| *a).collect();
+        if got_attrs != want_attrs {
+            return Err(div(
+                "analytics-shapley-attrs",
+                format!("rule {i}: attribution over {got_attrs:?}, antecedent is {want_attrs:?}"),
+            ));
+        }
+        let sum: f64 = got.shapley.iter().map(|(_, v)| v).sum();
+        if (sum - got.jmeasure).abs() > 1e-9 * got.jmeasure.abs().max(1.0) {
+            return Err(div(
+                "analytics-shapley-efficiency",
+                format!(
+                    "rule {i}: attributions sum to {sum}, J-measure is {}",
+                    got.jmeasure
+                ),
+            ));
+        }
+        if got.shapley.len() == 1 && !ulps_eq(got.shapley[0].1, got.jmeasure) {
+            return Err(div(
+                "analytics-shapley-single",
+                format!(
+                    "rule {i}: single-attribute attribution {} != J-measure {}",
+                    got.shapley[0].1, got.jmeasure
+                ),
+            ));
+        }
+    }
+
+    // BH across the whole ruleset: bit-identical to the restatement, and
+    // the order contract (adjusted >= raw, <= 1, monotone in p order).
+    let want_adjusted = ref_bh(&ref_p);
+    for (i, (got, want)) in set.rules.iter().zip(&want_adjusted).enumerate() {
+        if !ulps_eq(got.p_adjusted, *want) {
+            return Err(div(
+                "analytics-bh",
+                format!(
+                    "rule {i}: p_adjusted {} != reference {want}",
+                    got.p_adjusted
+                ),
+            ));
+        }
+        // NaN on either side must flag, so spell the negated >= out.
+        if got.p_adjusted.is_nan()
+            || got.p_value.is_nan()
+            || got.p_adjusted < got.p_value
+            || got.p_adjusted > 1.0
+        {
+            return Err(div(
+                "analytics-bh-bounds",
+                format!(
+                    "rule {i}: p_adjusted {} vs raw {} violates [raw, 1]",
+                    got.p_adjusted, got.p_value
+                ),
+            ));
+        }
+    }
+    let mut order: Vec<usize> = (0..ref_p.len()).collect();
+    order.sort_by(|&a, &b| ref_p[a].total_cmp(&ref_p[b]).then(a.cmp(&b)));
+    let mut prev = 0.0;
+    for &i in &order {
+        let adj = set.rules[i].p_adjusted;
+        if adj < prev {
+            return Err(div(
+                "analytics-bh-monotone",
+                format!("p_adjusted not monotone in p order at rule {i}: {adj} < {prev}"),
+            ));
+        }
+        prev = adj;
+    }
+
+    // The ANALYTICS section round-trips byte-exactly through the catalog.
+    let catalog = match Catalog::from_mining(&out).with_analytics(set.clone()) {
+        Ok(c) => c,
+        Err(e) => {
+            return Err(div(
+                "analytics-catalog",
+                format!("attaching computed analytics failed validation: {e}"),
+            ))
+        }
+    };
+    let bytes = catalog.encode();
+    let loaded = match Catalog::load_bytes(&bytes, None) {
+        Ok(c) => c,
+        Err(e) => {
+            return Err(div(
+                "analytics-catalog",
+                format!("decoding a just-encoded analytics catalog failed: {e}"),
+            ))
+        }
+    };
+    if loaded.encode() != bytes {
+        return Err(div(
+            "analytics-catalog",
+            "re-encoded analytics catalog differs byte-for-byte".to_string(),
+        ));
+    }
+    match loaded.analytics() {
+        Some(decoded) if decoded.bits_eq(&set) => Ok(()),
+        Some(_) => Err(div(
+            "analytics-catalog",
+            "decoded analytics differ bitwise from the computed set".to_string(),
+        )),
+        None => Err(div(
+            "analytics-catalog",
+            "ANALYTICS section lost in the round trip".to_string(),
+        )),
+    }
 }
 
 /// Demand two executions of the same case agree: same error, or same

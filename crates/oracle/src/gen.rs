@@ -11,14 +11,30 @@ use qar_table::{Schema, Table, Value};
 /// Draw one case. The mix favors end-to-end mining cases; the rest stress
 /// the partitioning and completeness primitives directly.
 pub fn gen_case(rng: &mut Prng) -> ReproCase {
-    match rng.gen_weighted(&[5.0, 2.0, 1.0, 1.0, 2.0, 2.0]) {
+    match rng.gen_weighted(&[5.0, 2.0, 1.0, 1.0, 2.0, 2.0, 2.0]) {
         0 => ReproCase::Mining(gen_mining(rng)),
         1 => ReproCase::Partition(gen_partition(rng)),
         2 => ReproCase::Snap(gen_snap(rng)),
         3 => ReproCase::Intervals(gen_intervals(rng)),
         4 => ReproCase::Memo(gen_memo(rng)),
-        _ => ReproCase::Kernel(gen_kernel(rng)),
+        5 => ReproCase::Kernel(gen_kernel(rng)),
+        _ => ReproCase::Analytics(gen_analytics(rng)),
     }
+}
+
+/// An analytics case: an ordinary mining case with the thresholds biased
+/// toward actually producing rules (empty rulesets stay covered by the
+/// edge draws the base generator keeps making), since the analytics
+/// checks are per rule.
+fn gen_analytics(rng: &mut Prng) -> MiningCase {
+    let mut case = gen_mining(rng);
+    if case.config.min_support > 0.3 && rng.gen_bool(0.8) {
+        case.config.min_support = 0.25;
+    }
+    if case.config.min_confidence > 0.6 && rng.gen_bool(0.8) {
+        case.config.min_confidence = 0.5;
+    }
+    case
 }
 
 /// A quantitative column of length `len`, drawn from one of the edge

@@ -139,7 +139,8 @@ mod tests {
         assert!(report.kind_counts.contains_key("mining"));
         assert!(report.kind_counts.contains_key("memo"));
         assert!(report.kind_counts.contains_key("kernel"));
-        assert!(report.kind_counts.len() >= 5, "{:?}", report.kind_counts);
+        assert!(report.kind_counts.contains_key("analytics"));
+        assert!(report.kind_counts.len() >= 6, "{:?}", report.kind_counts);
     }
 
     /// Same seed, same run — byte for byte.

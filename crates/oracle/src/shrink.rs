@@ -62,6 +62,10 @@ fn candidates(case: &ReproCase) -> Vec<ReproCase> {
             .into_iter()
             .map(ReproCase::Kernel)
             .collect(),
+        ReproCase::Analytics(c) => mining_candidates(c)
+            .into_iter()
+            .map(ReproCase::Analytics)
+            .collect(),
         ReproCase::Partition(c) => partition_candidates(c)
             .into_iter()
             .map(ReproCase::Partition)

@@ -1,0 +1,184 @@
+//! Glue between the analytics math ([`qar_analytics`]) and the miner's
+//! data structures: builds the support-count closure each path needs.
+//!
+//! Two entry points, one per workflow:
+//!
+//! * [`analytics_from_mining`] — the `qar mine --analytics` path. Counts
+//!   come from the frequent-itemset table the mine already built, so no
+//!   table re-scan happens; by anti-monotonicity every sub-itemset of a
+//!   rule's `antecedent ∪ consequent` is itself frequent, so the lookup
+//!   almost never misses (a direct scan over the encoded table is the
+//!   safety net).
+//! * [`analytics_from_encoded`] — the `qar analyze` backfill path for
+//!   catalogs mined before analytics existed. The original CSV is
+//!   re-encoded with the catalog's own encoders and every count is a
+//!   direct scan, memoized per distinct itemset.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use qar_analytics::{compute_ruleset, AnalyticsConfig, AnalyticsSet, RuleSides};
+use qar_core::pipeline::MiningOutput;
+use qar_core::QuantRule;
+use qar_itemset::Itemset;
+use qar_table::{AttributeId, EncodedTable};
+use qar_trace::{event::micros, ProgressSink, TraceEvent};
+
+/// Count an itemset's support by scanning every encoded record.
+fn scan_support(table: &EncodedTable, itemset: &Itemset) -> u64 {
+    let mut record: Vec<u32> = vec![0; table.schema().len()];
+    let mut count = 0;
+    for row in 0..table.num_rows() {
+        for (a, slot) in record.iter_mut().enumerate() {
+            *slot = table.codes(AttributeId(a))[row];
+        }
+        if itemset.supported_by(&record) {
+            count += 1;
+        }
+    }
+    count
+}
+
+fn rule_sides(rules: &[QuantRule]) -> Vec<RuleSides<'_>> {
+    rules
+        .iter()
+        .map(|r| RuleSides {
+            antecedent: &r.antecedent,
+            consequent: &r.consequent,
+            support: r.support,
+        })
+        .collect()
+}
+
+/// Emit the pinned `analytics_computed` trace event for a finished set.
+fn report(set: &AnalyticsSet, start: Instant, sink: Option<&dyn ProgressSink>) {
+    if let Some(sink) = sink {
+        sink.on_event(&TraceEvent::AnalyticsComputed {
+            rules: set.rules.len(),
+            shapley_samples: set.shapley_samples,
+            elapsed_us: micros(start.elapsed()),
+        });
+    }
+}
+
+/// Compute a ruleset's analytics straight off a finished mine, using the
+/// frequent-itemset counts already in memory (no table re-scan on the
+/// common path).
+pub fn analytics_from_mining(
+    output: &MiningOutput,
+    config: &AnalyticsConfig,
+    sink: Option<&dyn ProgressSink>,
+) -> AnalyticsSet {
+    let start = Instant::now();
+    let mut memo: HashMap<Itemset, u64> = HashMap::new();
+    let sides = rule_sides(&output.rules);
+    let set = compute_ruleset(output.frequent.num_rows, &sides, config, |set| {
+        if let Some(count) = output.frequent.support_of(set) {
+            return count;
+        }
+        *memo
+            .entry(set.clone())
+            .or_insert_with(|| scan_support(&output.encoded, set))
+    });
+    report(&set, start, sink);
+    set
+}
+
+/// Compute analytics for an already-persisted ruleset by counting
+/// directly over a re-encoded table — the `qar analyze` backfill path.
+/// `encoded` must be the rule's source table encoded with the catalog's
+/// own encoders, so item codes line up.
+pub fn analytics_from_encoded(
+    rules: &[QuantRule],
+    encoded: &EncodedTable,
+    config: &AnalyticsConfig,
+    sink: Option<&dyn ProgressSink>,
+) -> AnalyticsSet {
+    let start = Instant::now();
+    let mut memo: HashMap<Itemset, u64> = HashMap::new();
+    let sides = rule_sides(rules);
+    let set = compute_ruleset(encoded.num_rows() as u64, &sides, config, |set| {
+        *memo
+            .entry(set.clone())
+            .or_insert_with(|| scan_support(encoded, set))
+    });
+    report(&set, start, sink);
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qar_core::{Miner, MinerConfig, PartitionSpec};
+    use qar_datagen::{PlantedConfig, PlantedDataset};
+
+    fn mined_output() -> MiningOutput {
+        let data = PlantedDataset::generate(PlantedConfig {
+            num_records: 300,
+            seed: 11,
+        });
+        let config = MinerConfig {
+            min_support: 0.05,
+            min_confidence: 0.5,
+            max_support: 0.5,
+            partitioning: PartitionSpec::FixedIntervals(10),
+            max_itemset_size: 2,
+            ..MinerConfig::default()
+        };
+        Miner::new(config)
+            .mine(&data.table)
+            .expect("planted table mines")
+    }
+
+    /// The frequent-lookup path and the direct-scan path must agree
+    /// bit-for-bit: same counts in, same floats out.
+    #[test]
+    fn mine_path_and_backfill_path_agree_bitwise() {
+        let output = mined_output();
+        assert!(!output.rules.is_empty(), "planted mine found no rules");
+        let config = AnalyticsConfig::default();
+        let sink = qar_trace::CollectingSink::new();
+        let from_mine = analytics_from_mining(&output, &config, Some(&sink));
+        let from_scan =
+            analytics_from_encoded(&output.rules, &output.encoded, &config, Some(&sink));
+        assert!(from_mine.bits_eq(&from_scan));
+
+        // Both paths report the pinned trace event.
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        for event in events {
+            match event {
+                TraceEvent::AnalyticsComputed {
+                    rules,
+                    shapley_samples,
+                    ..
+                } => {
+                    assert_eq!(rules, output.rules.len());
+                    assert_eq!(shapley_samples, config.shapley_samples);
+                }
+                other => panic!("expected analytics_computed, got {other:?}"),
+            }
+        }
+    }
+
+    /// Analytics counts are consistent with the rules they annotate.
+    #[test]
+    fn counts_are_consistent_with_rule_supports() {
+        let output = mined_output();
+        let set = analytics_from_mining(&output, &AnalyticsConfig::default(), None);
+        assert_eq!(set.rules.len(), output.rules.len());
+        let n = output.frequent.num_rows;
+        for (entry, rule) in set.rules.iter().zip(&output.rules) {
+            assert!(entry.count_antecedent >= rule.support);
+            assert!(entry.count_consequent >= rule.support);
+            assert!(entry.count_antecedent <= n);
+            assert!(entry.count_consequent <= n);
+            let sum: f64 = entry.shapley.iter().map(|(_, v)| v).sum();
+            assert!(
+                (sum - entry.jmeasure).abs() <= 1e-9 * entry.jmeasure.abs().max(1.0),
+                "Shapley efficiency violated: {sum} vs {}",
+                entry.jmeasure
+            );
+        }
+    }
+}

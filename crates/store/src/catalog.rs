@@ -16,6 +16,7 @@ use std::time::Instant;
 
 use crate::error::StoreError;
 use crate::format::{self, Reader, Writer};
+use qar_analytics::{AnalyticsSet, RuleAnalytics};
 use qar_core::pipeline::{MiningOutput, MiningStats};
 use qar_core::supercand::PassStats;
 use qar_core::{mine::MineStats, QuantRule, RuleDecoder, RuleInterest};
@@ -33,6 +34,7 @@ pub struct Catalog {
     rules: Vec<QuantRule>,
     interest: Option<Vec<RuleInterest>>,
     stats: MiningStats,
+    analytics: Option<AnalyticsSet>,
 }
 
 impl Catalog {
@@ -53,9 +55,19 @@ impl Catalog {
             rules,
             interest,
             stats,
+            analytics: None,
         };
         catalog.validate()?;
         Ok(catalog)
+    }
+
+    /// Attach rule-quality analytics, validating that they line up with
+    /// the catalog's rules (one entry per rule, Shapley attributions over
+    /// exactly the antecedent's attributes).
+    pub fn with_analytics(mut self, analytics: AnalyticsSet) -> Result<Self, StoreError> {
+        self.analytics = Some(analytics);
+        self.validate()?;
+        Ok(self)
     }
 
     /// Capture a finished mine as a catalog.
@@ -106,17 +118,31 @@ impl Catalog {
         &self.stats
     }
 
+    /// Rule-quality analytics aligned with [`Catalog::rules`], if this
+    /// catalog carries them (mined with `--analytics` or backfilled with
+    /// `qar analyze`).
+    pub fn analytics(&self) -> Option<&AnalyticsSet> {
+        self.analytics.as_ref()
+    }
+
     /// True when two catalogs carry the same mining *content*: schema,
     /// encoders, row count, rules (bit-for-bit supports and confidences),
-    /// and interest verdicts. Run statistics are excluded — they describe
-    /// how a mine ran, not what it found. This is the equality a
-    /// save→load round trip must preserve.
+    /// interest verdicts, and analytics (bit-for-bit, NaN-tolerant). Run
+    /// statistics are excluded — they describe how a mine ran, not what
+    /// it found. This is the equality a save→load round trip must
+    /// preserve.
     pub fn content_eq(&self, other: &Catalog) -> bool {
+        let analytics_eq = match (&self.analytics, &other.analytics) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a.bits_eq(b),
+            _ => false,
+        };
         self.schema == other.schema
             && self.encoders == other.encoders
             && self.num_rows == other.num_rows
             && self.rules == other.rules
             && self.interest == other.interest
+            && analytics_eq
     }
 
     /// Serialize to `.qarcat` bytes.
@@ -129,6 +155,9 @@ impl Catalog {
         w.put_section(format::tag::SCHEMA, &self.encode_schema());
         w.put_section(format::tag::RULES, &self.encode_rules());
         w.put_section(format::tag::STATS, &self.encode_stats());
+        if let Some(analytics) = &self.analytics {
+            w.put_section(format::tag::ANALYTICS, &encode_analytics(analytics));
+        }
         w.into_bytes()
     }
 
@@ -157,15 +186,43 @@ impl Catalog {
             }
             sections.push(payload);
         }
-        if r.remaining() > 0 {
-            return Err(StoreError::TrailingBytes {
-                offset: format::MAGIC.len() + r.pos(),
-            });
+        // Optional trailing sections: analytics is decoded; unknown tags
+        // are CRC-verified (a flipped byte is still detected) but their
+        // contents skipped, so readers of this version open catalogs
+        // written by future ones.
+        let mut analytics_payload = None;
+        while r.remaining() > 0 {
+            let (tag, payload) = r.get_section()?;
+            match tag {
+                format::tag::ANALYTICS => {
+                    if analytics_payload.is_some() {
+                        return Err(StoreError::Corrupt {
+                            section: "analytics",
+                            detail: "duplicate analytics section".into(),
+                        });
+                    }
+                    analytics_payload = Some(payload);
+                }
+                format::tag::SCHEMA | format::tag::RULES | format::tag::STATS => {
+                    return Err(StoreError::Corrupt {
+                        section: "header",
+                        detail: format!(
+                            "duplicate {} section after the mandatory three",
+                            format::section_name(tag)
+                        ),
+                    });
+                }
+                _ => {} // unknown trailing section: verified, skipped
+            }
         }
         let (schema, encoders) = decode_schema(sections[0])?;
         let (num_rows, rules, interest) = decode_rules(sections[1])?;
         let stats = decode_stats(sections[2])?;
-        Catalog::new(schema, encoders, num_rows, rules, interest, stats)
+        let catalog = Catalog::new(schema, encoders, num_rows, rules, interest, stats)?;
+        match analytics_payload {
+            Some(payload) => catalog.with_analytics(decode_analytics(payload)?),
+            None => Ok(catalog),
+        }
     }
 
     /// Decode from bytes already in memory (e.g. piped via stdin),
@@ -339,8 +396,84 @@ impl Catalog {
                 ),
             ));
         }
+        if let Some(analytics) = &self.analytics {
+            if analytics.rules.len() != self.rules.len() {
+                return Err(corrupt(
+                    "analytics",
+                    format!(
+                        "{} analytics entr(ies) for {} rule(s)",
+                        analytics.rules.len(),
+                        self.rules.len()
+                    ),
+                ));
+            }
+            for (i, (entry, rule)) in analytics.rules.iter().zip(&self.rules).enumerate() {
+                let ant_attrs: Vec<u32> =
+                    rule.antecedent.items().iter().map(|it| it.attr).collect();
+                let shap_attrs: Vec<u32> = entry.shapley.iter().map(|(a, _)| *a).collect();
+                if ant_attrs != shap_attrs {
+                    return Err(corrupt(
+                        "analytics",
+                        format!(
+                            "rule {i}: Shapley attributes {shap_attrs:?} do not match \
+                             antecedent attributes {ant_attrs:?}"
+                        ),
+                    ));
+                }
+            }
+        }
         Ok(())
     }
+}
+
+/// One section of a `.qarcat` file, as reported by
+/// [`section_inventory`]: its framing plus whether the checksum held and
+/// whether this reader version understands the tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// The section's tag value.
+    pub tag: u32,
+    /// Human name of the tag ("unknown" for tags this version skips).
+    pub name: &'static str,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Whether the stored CRC matches the payload.
+    pub crc_ok: bool,
+}
+
+impl SectionInfo {
+    /// True when this reader version decodes the section (rather than
+    /// skipping it as an unknown trailing section).
+    pub fn known(&self) -> bool {
+        self.name != "unknown"
+    }
+}
+
+/// Walk a `.qarcat` file's section framing without decoding payloads,
+/// reporting each section's tag, length, and CRC verdict — the engine of
+/// `qar store-check`. Unlike [`Catalog::decode`] a checksum mismatch is
+/// reported per-section, not fatal; only structurally unwalkable files
+/// (bad magic, wrong version, truncated framing) error.
+pub fn section_inventory(bytes: &[u8]) -> Result<Vec<SectionInfo>, StoreError> {
+    if bytes.len() < format::MAGIC.len() || bytes[..format::MAGIC.len()] != format::MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let mut r = Reader::new(&bytes[format::MAGIC.len()..]);
+    let version = r.get_u32()?;
+    if version != format::VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let mut out = Vec::new();
+    while r.remaining() > 0 {
+        let (tag, len, crc_ok) = r.get_section_frame()?;
+        out.push(SectionInfo {
+            tag,
+            name: format::section_name(tag),
+            len,
+            crc_ok,
+        });
+    }
+    Ok(out)
 }
 
 impl RuleDecoder for Catalog {
@@ -350,6 +483,85 @@ impl RuleDecoder for Catalog {
     fn encoder(&self, id: AttributeId) -> &AttributeEncoder {
         &self.encoders[id.index()]
     }
+}
+
+/// Serialize an [`AnalyticsSet`] into the `ANALYTICS` section payload:
+/// sampling provenance, then per rule the two marginal counts, the seven
+/// measures as raw f64 bits, and the Shapley `(attr, value)` pairs.
+fn encode_analytics(set: &AnalyticsSet) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(set.shapley_samples);
+    w.put_u64(set.seed);
+    w.put_u64(set.rules.len() as u64);
+    for r in &set.rules {
+        w.put_u64(r.count_antecedent);
+        w.put_u64(r.count_consequent);
+        w.put_f64(r.lift);
+        w.put_f64(r.conviction);
+        w.put_f64(r.leverage);
+        w.put_f64(r.chi2);
+        w.put_f64(r.p_value);
+        w.put_f64(r.p_adjusted);
+        w.put_f64(r.jmeasure);
+        w.put_u64(r.shapley.len() as u64);
+        for (attr, value) in &r.shapley {
+            w.put_u32(*attr);
+            w.put_f64(*value);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_analytics(payload: &[u8]) -> Result<AnalyticsSet, StoreError> {
+    let mut r = Reader::new(payload);
+    r.set_section("analytics");
+    let shapley_samples = r.get_u32()?;
+    let seed = r.get_u64()?;
+    // Two counts + seven measures + shapley count per rule at minimum.
+    let count = r.get_count(2 * 8 + 7 * 8 + 8)?;
+    let mut rules = Vec::with_capacity(count);
+    for _ in 0..count {
+        let count_antecedent = r.get_u64()?;
+        let count_consequent = r.get_u64()?;
+        let lift = r.get_f64()?;
+        let conviction = r.get_f64()?;
+        let leverage = r.get_f64()?;
+        let chi2 = r.get_f64()?;
+        let p_value = r.get_f64()?;
+        let p_adjusted = r.get_f64()?;
+        let jmeasure = r.get_f64()?;
+        let n = r.get_count(12)?;
+        let mut shapley = Vec::with_capacity(n);
+        let mut prev_attr = None;
+        for _ in 0..n {
+            let attr = r.get_u32()?;
+            if prev_attr.is_some_and(|p| p >= attr) {
+                return Err(r.corrupt("Shapley attributes are not strictly increasing"));
+            }
+            prev_attr = Some(attr);
+            shapley.push((attr, r.get_f64()?));
+        }
+        rules.push(RuleAnalytics {
+            count_antecedent,
+            count_consequent,
+            lift,
+            conviction,
+            leverage,
+            chi2,
+            p_value,
+            p_adjusted,
+            jmeasure,
+            shapley,
+        });
+    }
+    if r.remaining() > 0 {
+        return Err(r.corrupt(format!("{} unread byte(s) in section", r.remaining())));
+    }
+    Ok(AnalyticsSet {
+        shapley_samples,
+        seed,
+        rules,
+    })
 }
 
 fn encode_itemset(w: &mut Writer, itemset: &Itemset) {

@@ -5,7 +5,10 @@
 //! ```text
 //! magic    8 bytes   "QARCAT\r\n"  (catches text-mode CRLF mangling)
 //! version  u32       currently 1
-//! section  repeated, fixed order: schema (1), rules (2), stats (3)
+//! section  repeated, fixed order: schema (1), rules (2), stats (3),
+//!          then optional trailing sections (analytics (4), and any
+//!          unknown tag — skipped, but still CRC-verified — so old
+//!          readers open new catalogs and vice versa)
 //!   tag    u32
 //!   len    u64       payload length in bytes
 //!   crc    u32       CRC-32 (IEEE) over tag bytes ++ payload
@@ -34,6 +37,9 @@ pub mod tag {
     pub const RULES: u32 = 2;
     /// `MiningStats` provenance.
     pub const STATS: u32 = 3;
+    /// Optional rule-quality analytics (lift, conviction, chi-square,
+    /// J-measure, Shapley attributions). Trails the mandatory sections.
+    pub const ANALYTICS: u32 = 4;
 }
 
 /// Human name of a section tag (for error messages).
@@ -42,6 +48,7 @@ pub fn section_name(tag: u32) -> &'static str {
         tag::SCHEMA => "schema",
         tag::RULES => "rules",
         tag::STATS => "stats",
+        tag::ANALYTICS => "analytics",
         _ => "unknown",
     }
 }
@@ -287,6 +294,29 @@ impl<'a> Reader<'a> {
             });
         }
         Ok((tag, payload))
+    }
+
+    /// Read one section's framing like [`Reader::get_section`], but
+    /// report a checksum mismatch as data (`crc_ok = false`) instead of
+    /// an error — the inventory walk of `qar store-check` wants to list
+    /// every section, bad ones included. Truncated framing still errors.
+    pub fn get_section_frame(&mut self) -> Result<(u32, u64, bool), StoreError> {
+        self.set_section("header");
+        let tag = self.get_u32()?;
+        let len = self.get_u64()?;
+        let need = len.saturating_add(4); // crc + payload
+        if (self.remaining() as u64) < need {
+            return Err(StoreError::Truncated {
+                offset: self.pos,
+                needed: (need - self.remaining() as u64).min(usize::MAX as u64) as usize,
+            });
+        }
+        let crc = self.get_u32()?;
+        let payload = self.take(len as usize)?;
+        let mut crc_input = Vec::with_capacity(4 + payload.len());
+        crc_input.extend_from_slice(&tag.to_le_bytes());
+        crc_input.extend_from_slice(payload);
+        Ok((tag, len, crc32(&crc_input) == crc))
     }
 }
 

@@ -36,6 +36,27 @@ pub enum RankBy {
     /// confidence. Falls back to confidence order when the catalog has
     /// no interest verdicts.
     Interest,
+    /// Lift, descending. Needs the catalog's analytics section.
+    Lift,
+    /// Conviction, descending. Needs analytics.
+    Conviction,
+    /// Chi-square statistic, descending (equivalently: raw p-value,
+    /// ascending). Needs analytics.
+    Chi2,
+    /// J-measure, descending. Needs analytics.
+    JMeasure,
+}
+
+impl RankBy {
+    /// Does this ranking read the catalog's analytics section? Callers
+    /// (CLI, serve) reject such rankings up front on catalogs without
+    /// one, pointing at `qar analyze`.
+    pub fn needs_analytics(&self) -> bool {
+        matches!(
+            self,
+            RankBy::Lift | RankBy::Conviction | RankBy::Chi2 | RankBy::JMeasure
+        )
+    }
 }
 
 impl std::str::FromStr for RankBy {
@@ -45,8 +66,13 @@ impl std::str::FromStr for RankBy {
             "support" => Ok(RankBy::Support),
             "confidence" => Ok(RankBy::Confidence),
             "interest" => Ok(RankBy::Interest),
+            "lift" => Ok(RankBy::Lift),
+            "conviction" => Ok(RankBy::Conviction),
+            "chi2" => Ok(RankBy::Chi2),
+            "jmeasure" => Ok(RankBy::JMeasure),
             other => Err(format!(
-                "unknown ranking '{other}' (expected support, confidence, or interest)"
+                "unknown ranking '{other}' (expected support, confidence, interest, \
+                 lift, conviction, chi2, or jmeasure)"
             )),
         }
     }
@@ -58,9 +84,30 @@ impl std::fmt::Display for RankBy {
             RankBy::Support => "support",
             RankBy::Confidence => "confidence",
             RankBy::Interest => "interest",
+            RankBy::Lift => "lift",
+            RankBy::Conviction => "conviction",
+            RankBy::Chi2 => "chi2",
+            RankBy::JMeasure => "jmeasure",
         })
     }
 }
+
+/// Requested an analytics-backed ranking or filter on a catalog without
+/// an analytics section. The fix is `qar analyze` (backfill) or mining
+/// with `--analytics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyticsUnavailable;
+
+impl std::fmt::Display for AnalyticsUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(
+            "catalog has no analytics section; backfill it with `qar analyze` \
+             or mine with `--analytics`",
+        )
+    }
+}
+
+impl std::error::Error for AnalyticsUnavailable {}
 
 /// Interval-indexed view of one catalog's rules. Build once with
 /// [`RuleIndex::build`], query many times.
@@ -80,6 +127,19 @@ pub struct RuleIndex {
     by_support: Vec<u32>,
     by_confidence: Vec<u32>,
     by_interest: Vec<u32>,
+    /// Analytics-backed orders and per-rule `(lift, p_adjusted)` filter
+    /// values; `None` when the catalog has no analytics section.
+    analytics: Option<AnalyticsOrders>,
+}
+
+/// The analytics-derived part of the index.
+struct AnalyticsOrders {
+    by_lift: Vec<u32>,
+    by_conviction: Vec<u32>,
+    by_chi2: Vec<u32>,
+    by_jmeasure: Vec<u32>,
+    /// Per-rule `(lift, p_adjusted)` for [`RuleIndex::filter_analytics`].
+    filter_values: Vec<(f64, f64)>,
 }
 
 impl RuleIndex {
@@ -157,6 +217,33 @@ impl RuleIndex {
                 .then(a.cmp(&b))
         });
 
+        // Analytics orders: metric descending (NaN sorts last via
+        // total_cmp descending), then support descending, then id — the
+        // same tie-break discipline as the confidence order.
+        let analytics = catalog.analytics().map(|set| {
+            let metric_order = |metric: fn(&qar_analytics::RuleAnalytics) -> f64| {
+                let mut o = ids();
+                o.sort_by(|&a, &b| {
+                    let (ma, mb) = (
+                        metric(&set.rules[a as usize]),
+                        metric(&set.rules[b as usize]),
+                    );
+                    let (ra, rb) = (&rules[a as usize], &rules[b as usize]);
+                    mb.total_cmp(&ma)
+                        .then(rb.support.cmp(&ra.support))
+                        .then(a.cmp(&b))
+                });
+                o
+            };
+            AnalyticsOrders {
+                by_lift: metric_order(|r| r.lift),
+                by_conviction: metric_order(|r| r.conviction),
+                by_chi2: metric_order(|r| r.chi2),
+                by_jmeasure: metric_order(|r| r.jmeasure),
+                filter_values: set.rules.iter().map(|r| (r.lift, r.p_adjusted)).collect(),
+            }
+        });
+
         let index = RuleIndex {
             ant_len,
             postings,
@@ -165,6 +252,7 @@ impl RuleIndex {
             by_support,
             by_confidence,
             by_interest,
+            analytics,
         };
         if let Some(sink) = sink {
             sink.on_event(&TraceEvent::IndexBuilt {
@@ -252,11 +340,54 @@ impl RuleIndex {
         ids.sort_by_key(|&id| pos.get(id as usize).copied().unwrap_or(u32::MAX));
     }
 
+    /// Whether analytics-backed rankings and filters are available (the
+    /// indexed catalog carried an `ANALYTICS` section).
+    pub fn has_analytics(&self) -> bool {
+        self.analytics.is_some()
+    }
+
+    /// Drop the rule ids failing the analytics filters: keep rules with
+    /// `lift >= min_lift` and `p_adjusted <= max_p` (NaN fails either
+    /// test). No-op when both filters are `None`; errors when a filter is
+    /// requested but the catalog has no analytics.
+    pub fn filter_analytics(
+        &self,
+        ids: &mut Vec<u32>,
+        min_lift: Option<f64>,
+        max_p: Option<f64>,
+    ) -> Result<(), AnalyticsUnavailable> {
+        if min_lift.is_none() && max_p.is_none() {
+            return Ok(());
+        }
+        let Some(analytics) = &self.analytics else {
+            return Err(AnalyticsUnavailable);
+        };
+        ids.retain(|&id| {
+            let (lift, p_adjusted) = analytics.filter_values[id as usize];
+            min_lift.is_none_or(|min| lift >= min) && max_p.is_none_or(|max| p_adjusted <= max)
+        });
+        Ok(())
+    }
+
+    /// The precomputed order for `by`. Analytics rankings on a catalog
+    /// without analytics fall back to support order — entry points
+    /// (CLI, serve) reject that combination before getting here, via
+    /// [`RankBy::needs_analytics`] and [`RuleIndex::has_analytics`].
     fn order(&self, by: RankBy) -> &[u32] {
+        let analytics_order = |pick: fn(&AnalyticsOrders) -> &Vec<u32>| {
+            self.analytics
+                .as_ref()
+                .map(pick)
+                .map_or(&self.by_support[..], Vec::as_slice)
+        };
         match by {
             RankBy::Support => &self.by_support,
             RankBy::Confidence => &self.by_confidence,
             RankBy::Interest => &self.by_interest,
+            RankBy::Lift => analytics_order(|a| &a.by_lift),
+            RankBy::Conviction => analytics_order(|a| &a.by_conviction),
+            RankBy::Chi2 => analytics_order(|a| &a.by_chi2),
+            RankBy::JMeasure => analytics_order(|a| &a.by_jmeasure),
         }
     }
 }

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod catalog;
 pub mod error;
 pub mod format;
@@ -28,8 +29,9 @@ pub mod index;
 pub mod protocol;
 pub mod serve;
 
-pub use catalog::Catalog;
+pub use analytics::{analytics_from_encoded, analytics_from_mining};
+pub use catalog::{section_inventory, Catalog, SectionInfo};
 pub use error::StoreError;
-pub use index::{naive_query_range, naive_query_record, RankBy, RuleIndex};
+pub use index::{naive_query_range, naive_query_record, AnalyticsUnavailable, RankBy, RuleIndex};
 pub use protocol::{ProtocolError, Request, Response};
 pub use serve::{Server, ServerConfig};

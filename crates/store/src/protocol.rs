@@ -221,13 +221,21 @@ impl fmt::Display for WireError {
 /// Ranking/truncation options shared by point and range queries,
 /// mirroring the CLI's `--by` / `--top-k` flags exactly: ranking kicks in
 /// when either is set (`--top-k` alone ranks by confidence), and `k = 0`
-/// truncates to nothing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// truncates to nothing. The analytics filters run *before* ranking and
+/// truncation; they (and the analytics rankings) need the served catalog
+/// to carry an analytics section — probe via [`CatalogInfo::analytics`]
+/// in the [`Response::Info`] answer, or expect a
+/// [`ErrorCode::BadRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QueryOptions {
     /// Rank matches by this measure before returning.
     pub by: Option<RankBy>,
     /// Keep only the first `k` (after ranking).
     pub top_k: Option<u32>,
+    /// Keep only rules with `lift >= min_lift` (NaN lift never passes).
+    pub min_lift: Option<f64>,
+    /// Keep only rules with BH-adjusted p-value `<= max_p`.
+    pub max_p: Option<f64>,
 }
 
 /// One query against a catalog's [`crate::RuleIndex`].
@@ -319,6 +327,9 @@ pub struct CatalogInfo {
     pub generation: u64,
     /// Rules in the currently served generation.
     pub rules: u64,
+    /// Whether the served catalog carries an analytics section — the
+    /// capability gate for analytics rankings and filters.
+    pub analytics: bool,
 }
 
 /// A server-to-client message.
@@ -368,6 +379,10 @@ fn rank_by_code(by: RankBy) -> u8 {
         RankBy::Support => 1,
         RankBy::Confidence => 2,
         RankBy::Interest => 3,
+        RankBy::Lift => 4,
+        RankBy::Conviction => 5,
+        RankBy::Chi2 => 6,
+        RankBy::JMeasure => 7,
     }
 }
 
@@ -376,6 +391,10 @@ fn rank_by_from(code: u8, r: &Reader<'_>) -> Result<RankBy, ProtocolError> {
         1 => RankBy::Support,
         2 => RankBy::Confidence,
         3 => RankBy::Interest,
+        4 => RankBy::Lift,
+        5 => RankBy::Conviction,
+        6 => RankBy::Chi2,
+        7 => RankBy::JMeasure,
         other => return Err(r.corrupt(format!("unknown rank-by code {other}")).into()),
     })
 }
@@ -398,9 +417,29 @@ fn get_opt_u32(r: &mut Reader<'_>) -> Result<Option<u32>, ProtocolError> {
     })
 }
 
+fn put_opt_f64(w: &mut Writer, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            w.put_bool(true);
+            w.put_f64(v);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_opt_f64(r: &mut Reader<'_>) -> Result<Option<f64>, ProtocolError> {
+    Ok(if r.get_bool()? {
+        Some(r.get_f64()?)
+    } else {
+        None
+    })
+}
+
 fn put_opts(w: &mut Writer, opts: QueryOptions) {
     w.put_u8(opts.by.map_or(0, rank_by_code));
     put_opt_u32(w, opts.top_k);
+    put_opt_f64(w, opts.min_lift);
+    put_opt_f64(w, opts.max_p);
 }
 
 fn get_opts(r: &mut Reader<'_>) -> Result<QueryOptions, ProtocolError> {
@@ -409,7 +448,14 @@ fn get_opts(r: &mut Reader<'_>) -> Result<QueryOptions, ProtocolError> {
         code => Some(rank_by_from(code, r)?),
     };
     let top_k = get_opt_u32(r)?;
-    Ok(QueryOptions { by, top_k })
+    let min_lift = get_opt_f64(r)?;
+    let max_p = get_opt_f64(r)?;
+    Ok(QueryOptions {
+        by,
+        top_k,
+        min_lift,
+        max_p,
+    })
 }
 
 fn put_query(w: &mut Writer, q: &Query) {
@@ -631,6 +677,7 @@ impl Response {
                     w.put_str(&c.name);
                     w.put_u64(c.generation);
                     w.put_u64(c.rules);
+                    w.put_bool(c.analytics);
                 }
             }
             Response::Error(e) => put_wire_error(&mut w, e),
@@ -691,6 +738,7 @@ impl Response {
                         name: r.get_str()?,
                         generation: r.get_u64()?,
                         rules: r.get_u64()?,
+                        analytics: r.get_bool()?,
                     });
                 }
                 Response::Info { catalogs }
@@ -880,6 +928,8 @@ mod tests {
                     opts: QueryOptions {
                         by: Some(RankBy::Support),
                         top_k: Some(5),
+                        min_lift: Some(1.25),
+                        max_p: Some(0.05),
                     },
                 },
             },
@@ -896,6 +946,14 @@ mod tests {
                     Query::TopK {
                         by: RankBy::Interest,
                         k: 3,
+                    },
+                    Query::TopK {
+                        by: RankBy::Lift,
+                        k: 10,
+                    },
+                    Query::TopK {
+                        by: RankBy::JMeasure,
+                        k: 1,
                     },
                 ],
             },
@@ -931,6 +989,7 @@ mod tests {
                     name: "planted".into(),
                     generation: 1,
                     rules: 44,
+                    analytics: true,
                 }],
             },
             Response::Error(WireError::new(ErrorCode::UnknownCatalog, "no such slot")),

@@ -352,6 +352,7 @@ fn answer(state: &ServerState, request: Request) -> (Response, &'static str, usi
                             name: name.clone(),
                             generation: current.generation,
                             rules: current.catalog.rules().len() as u64,
+                            analytics: current.index.has_analytics(),
                         }
                     })
                     .collect(),
@@ -446,24 +447,52 @@ fn guarded_query(
             "deadline expired before the query ran",
         ));
     }
-    Ok(execute_query(index, query))
+    execute_query(index, query)
 }
 
 /// Answer `query` against `index` with exactly the CLI's `qar query`
-/// semantics: rank when `--by` or `--top-k` is given (defaulting to
-/// confidence), truncate only for `k > 0` (`k = 0` keeps everything).
+/// semantics: analytics filters first, then rank when `--by` or
+/// `--top-k` is given (defaulting to confidence), then truncate only for
+/// `k > 0` (`k = 0` keeps everything). Analytics rankings or filters
+/// against a catalog without an analytics section are a structured
+/// [`ErrorCode::BadRequest`] — probe [`CatalogInfo::analytics`] first.
 /// The soak tests call this directly to compute expected answers.
-pub fn execute_query(index: &RuleIndex, query: &Query) -> Vec<u32> {
+pub fn execute_query(index: &RuleIndex, query: &Query) -> Result<Vec<u32>, WireError> {
     let (mut ids, opts) = match query {
         Query::Point { record, opts } => (index.query_record(record), *opts),
         Query::Range { attr, lo, hi, opts } => (index.query_range(*attr, *lo, *hi), *opts),
-        Query::TopK { by, k } => return index.top_k(*by, *k as usize),
+        Query::TopK { by, k } => {
+            require_analytics_for(index, Some(*by))?;
+            return Ok(index.top_k(*by, *k as usize));
+        }
     };
-    apply_options(index, &mut ids, opts);
-    ids
+    apply_options(index, &mut ids, opts)?;
+    Ok(ids)
 }
 
-fn apply_options(index: &RuleIndex, ids: &mut Vec<u32>, opts: QueryOptions) {
+fn require_analytics_for(index: &RuleIndex, by: Option<RankBy>) -> Result<(), WireError> {
+    if by.is_some_and(|by| by.needs_analytics()) && !index.has_analytics() {
+        return Err(WireError::new(
+            ErrorCode::BadRequest,
+            format!(
+                "ranking by {} needs analytics: {}",
+                by.expect("checked above"),
+                crate::index::AnalyticsUnavailable,
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn apply_options(
+    index: &RuleIndex,
+    ids: &mut Vec<u32>,
+    opts: QueryOptions,
+) -> Result<(), WireError> {
+    index
+        .filter_analytics(ids, opts.min_lift, opts.max_p)
+        .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?;
+    require_analytics_for(index, opts.by)?;
     if opts.by.is_some() || opts.top_k.is_some() {
         index.rank(ids, opts.by.unwrap_or(RankBy::Confidence));
     }
@@ -472,6 +501,7 @@ fn apply_options(index: &RuleIndex, ids: &mut Vec<u32>, opts: QueryOptions) {
             ids.truncate(k as usize);
         }
     }
+    Ok(())
 }
 
 /// Reload a slot from its backing file. On any failure the slot is left

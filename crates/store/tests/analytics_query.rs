@@ -1,0 +1,337 @@
+//! Property and end-to-end tests for analytics-backed queries: ranking
+//! by lift / conviction / chi² / J-measure must match a naive sort of
+//! the persisted analytics, the `--min-lift` / `--max-p` filters must
+//! match a naive retain, analytics-less catalogs must refuse both with
+//! [`AnalyticsUnavailable`] locally and `BadRequest` over the wire, and
+//! the Info response must advertise the capability truthfully.
+
+mod common;
+
+use common::arb_catalog;
+use qar_analytics::{AnalyticsConfig, RuleAnalytics};
+use qar_core::{Miner, MinerConfig, PartitionSpec};
+use qar_datagen::{PlantedConfig, PlantedDataset};
+use qar_prng::Prng;
+use qar_store::protocol::{CatalogInfo, ErrorCode, Query, QueryOptions};
+use qar_store::serve::{execute_query, ServeClient};
+use qar_store::{
+    analytics_from_mining, Catalog, RankBy, Request, Response, RuleIndex, Server, ServerConfig,
+};
+
+/// The metric each analytics ranking sorts by, shared with the naive
+/// reference below.
+fn metric(by: RankBy, r: &RuleAnalytics) -> f64 {
+    match by {
+        RankBy::Lift => r.lift,
+        RankBy::Conviction => r.conviction,
+        RankBy::Chi2 => r.chi2,
+        RankBy::JMeasure => r.jmeasure,
+        other => panic!("not an analytics ranking: {other:?}"),
+    }
+}
+
+/// Naive reference order: metric descending (`total_cmp`, so NaN sorts
+/// last), then support descending, then rule id — the documented
+/// tie-break discipline.
+fn naive_order(catalog: &Catalog, by: RankBy) -> Vec<u32> {
+    let set = catalog.analytics().expect("catalog has analytics");
+    let rules = catalog.rules();
+    let mut ids: Vec<u32> = (0..rules.len() as u32).collect();
+    ids.sort_by(|&a, &b| {
+        let (ma, mb) = (
+            metric(by, &set.rules[a as usize]),
+            metric(by, &set.rules[b as usize]),
+        );
+        mb.total_cmp(&ma)
+            .then(rules[b as usize].support.cmp(&rules[a as usize].support))
+            .then(a.cmp(&b))
+    });
+    ids
+}
+
+const ANALYTICS_RANKINGS: [RankBy; 4] = [
+    RankBy::Lift,
+    RankBy::Conviction,
+    RankBy::Chi2,
+    RankBy::JMeasure,
+];
+
+#[test]
+fn analytics_rankings_match_naive_sort() {
+    qar_prng::cases(64, 0xA11A_11CE, |case, rng| {
+        let catalog = arb_catalog(rng);
+        let Some(_) = catalog.analytics() else {
+            return; // half the generated catalogs; covered by the error test
+        };
+        let index = RuleIndex::build(&catalog, None);
+        assert!(index.has_analytics(), "case {case}");
+        for by in ANALYTICS_RANKINGS {
+            let want = naive_order(&catalog, by);
+            assert_eq!(
+                index.top_k(by, catalog.rules().len()),
+                want,
+                "case {case}: full order by {by}"
+            );
+            // rank() agrees with top_k on an arbitrary id subset.
+            let mut subset: Vec<u32> = want.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+            rng.shuffle(&mut subset);
+            let mut ranked = subset.clone();
+            index.rank(&mut ranked, by);
+            let mut expected = subset;
+            let pos = |id: u32| want.iter().position(|&w| w == id).unwrap();
+            expected.sort_by_key(|&id| pos(id));
+            assert_eq!(ranked, expected, "case {case}: subset rank by {by}");
+        }
+    });
+}
+
+#[test]
+fn analytics_filters_match_naive_retain() {
+    qar_prng::cases(64, 0xF117E2, |case, rng| {
+        let catalog = arb_catalog(rng);
+        let Some(set) = catalog.analytics() else {
+            return;
+        };
+        let set = set.clone();
+        let index = RuleIndex::build(&catalog, None);
+        for _ in 0..8 {
+            let min_lift = rng.gen_bool(0.7).then(|| rng.gen_f64() * 4.0);
+            let max_p = rng.gen_bool(0.7).then(|| rng.gen_f64());
+            let mut ids: Vec<u32> = (0..catalog.rules().len() as u32)
+                .filter(|_| rng.gen_bool(0.8))
+                .collect();
+            let mut want = ids.clone();
+            index
+                .filter_analytics(&mut ids, min_lift, max_p)
+                .expect("analytics present");
+            want.retain(|&id| {
+                let r = &set.rules[id as usize];
+                // NaN metrics fail every threshold.
+                min_lift.is_none_or(|min| r.lift >= min)
+                    && max_p.is_none_or(|max| r.p_adjusted <= max)
+            });
+            assert_eq!(
+                ids, want,
+                "case {case}: min_lift={min_lift:?} max_p={max_p:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn analytics_less_catalogs_refuse_analytics_queries() {
+    qar_prng::cases(32, 0x0FF, |case, rng| {
+        let catalog = arb_catalog(rng);
+        if catalog.analytics().is_some() {
+            return;
+        }
+        let index = RuleIndex::build(&catalog, None);
+        assert!(!index.has_analytics(), "case {case}");
+
+        // Filters without thresholds are a no-op even without analytics.
+        let mut ids: Vec<u32> = (0..catalog.rules().len() as u32).collect();
+        let before = ids.clone();
+        index
+            .filter_analytics(&mut ids, None, None)
+            .expect("no-op filter");
+        assert_eq!(ids, before, "case {case}");
+
+        // Any actual threshold errors instead of silently passing rules.
+        assert!(
+            index.filter_analytics(&mut ids, Some(1.0), None).is_err(),
+            "case {case}: min_lift must error"
+        );
+        assert!(
+            index.filter_analytics(&mut ids, None, Some(0.05)).is_err(),
+            "case {case}: max_p must error"
+        );
+
+        // execute_query surfaces the same refusal as a structured
+        // BadRequest for both rankings and filters.
+        for by in ANALYTICS_RANKINGS {
+            let err = execute_query(&index, &Query::TopK { by, k: 5 })
+                .expect_err("analytics ranking without analytics");
+            assert_eq!(err.code, ErrorCode::BadRequest, "case {case}: {by}");
+        }
+        let err = execute_query(
+            &index,
+            &Query::Point {
+                record: vec![],
+                opts: QueryOptions {
+                    min_lift: Some(1.0),
+                    ..QueryOptions::default()
+                },
+            },
+        )
+        .expect_err("analytics filter without analytics");
+        assert_eq!(err.code, ErrorCode::BadRequest, "case {case}");
+    });
+}
+
+/// A catalog mined from the planted dataset with real analytics attached.
+fn mined_catalog_with_analytics() -> Catalog {
+    let data = PlantedDataset::generate(PlantedConfig {
+        num_records: 800,
+        seed: 2024,
+    });
+    let config = MinerConfig {
+        min_support: 0.05,
+        min_confidence: 0.4,
+        max_support: 0.5,
+        partitioning: PartitionSpec::FixedIntervals(10),
+        interest: None,
+        max_itemset_size: 2,
+        ..MinerConfig::default()
+    };
+    let out = Miner::new(config).mine(&data.table).expect("mine");
+    let analytics = analytics_from_mining(&out, &AnalyticsConfig::default(), None);
+    let catalog = Catalog::from_mining(&out);
+    assert!(!catalog.rules().is_empty(), "planted mine found rules");
+    catalog
+        .with_analytics(analytics)
+        .expect("mined analytics are valid")
+}
+
+/// End-to-end over the wire: the server advertises analytics via Info,
+/// answers analytics rankings and filters byte-identically to the local
+/// reference, and refuses them with BadRequest on a slot whose catalog
+/// has no analytics section.
+#[test]
+fn serve_carries_analytics_rankings_and_filters() {
+    let with = mined_catalog_with_analytics();
+    let mut rng = Prng::seed_from_u64(77);
+    let without = loop {
+        let c = arb_catalog(&mut rng);
+        if c.analytics().is_none() {
+            break c;
+        }
+    };
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let with_path = dir.join(format!("qar_analytics_serve_{pid}_with.qarcat"));
+    let without_path = dir.join(format!("qar_analytics_serve_{pid}_without.qarcat"));
+    with.save(&with_path, None).expect("save");
+    without.save(&without_path, None).expect("save");
+
+    let server = Server::bind(
+        &[
+            ("with".to_string(), with_path.clone()),
+            ("without".to_string(), without_path.clone()),
+        ],
+        &ServerConfig {
+            port: 0,
+            threads: 2,
+        },
+        None,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.serve());
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    // Info reports the capability per slot.
+    match client.request(&Request::Info).expect("info") {
+        Response::Info { mut catalogs } => {
+            catalogs.sort_by(|a, b| a.name.cmp(&b.name));
+            let caps: Vec<(String, bool)> = catalogs
+                .iter()
+                .map(|c: &CatalogInfo| (c.name.clone(), c.analytics))
+                .collect();
+            assert_eq!(
+                caps,
+                vec![("with".to_string(), true), ("without".to_string(), false)]
+            );
+        }
+        other => panic!("expected Info, got {other:?}"),
+    }
+
+    // Rankings and filters answer byte-identically to the local engine.
+    let index = RuleIndex::build(&with, None);
+    let queries = [
+        Query::TopK {
+            by: RankBy::Lift,
+            k: 5,
+        },
+        Query::TopK {
+            by: RankBy::JMeasure,
+            k: 3,
+        },
+        Query::Range {
+            attr: 0,
+            lo: -1.0e9,
+            hi: 1.0e9,
+            opts: QueryOptions {
+                by: Some(RankBy::Chi2),
+                top_k: Some(4),
+                min_lift: Some(1.0),
+                max_p: Some(0.5),
+            },
+        },
+    ];
+    for query in queries {
+        let response = client
+            .request(&Request::Query {
+                catalog: "with".into(),
+                deadline_ms: None,
+                query: query.clone(),
+            })
+            .expect("query");
+        let expected = Response::Ids {
+            generation: 1,
+            ids: execute_query(&index, &query).expect("servable"),
+        };
+        assert_eq!(response.to_frame(), expected.to_frame(), "query {query:?}");
+    }
+
+    // The analytics-less slot keeps answering plain queries but refuses
+    // analytics rankings and filters with BadRequest — and the
+    // connection survives the refusal.
+    for query in [
+        Query::TopK {
+            by: RankBy::Conviction,
+            k: 2,
+        },
+        Query::Point {
+            record: vec![],
+            opts: QueryOptions {
+                max_p: Some(0.05),
+                ..QueryOptions::default()
+            },
+        },
+    ] {
+        match client
+            .request(&Request::Query {
+                catalog: "without".into(),
+                deadline_ms: None,
+                query,
+            })
+            .expect("request survives")
+        {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+    match client
+        .request(&Request::Query {
+            catalog: "without".into(),
+            deadline_ms: None,
+            query: Query::TopK {
+                by: RankBy::Support,
+                k: 2,
+            },
+        })
+        .expect("plain query")
+    {
+        Response::Ids { .. } => {}
+        other => panic!("plain ranking still works, got {other:?}"),
+    }
+
+    assert!(matches!(
+        client.request(&Request::Shutdown),
+        Ok(Response::ShuttingDown)
+    ));
+    server_thread.join().unwrap().expect("clean exit");
+    let _ = std::fs::remove_file(&with_path);
+    let _ = std::fs::remove_file(&without_path);
+}

@@ -5,6 +5,7 @@
 
 use std::time::Duration;
 
+use qar_analytics::{AnalyticsSet, RuleAnalytics};
 use qar_core::mine::MineStats;
 use qar_core::pipeline::MiningStats;
 use qar_core::supercand::PassStats;
@@ -152,6 +153,48 @@ fn arb_stats(rng: &mut Prng, num_attrs: usize, num_rules: usize) -> MiningStats 
     }
 }
 
+/// An f64 that exercises the format's bit-exactness: NaN, infinities,
+/// and signed zero alongside ordinary values.
+fn adversarial_f64(rng: &mut Prng) -> f64 {
+    match rng.gen_range(0..8u32) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        _ => rng.gen_f64(),
+    }
+}
+
+/// Arbitrary analytics aligned with `rules`: any floats at all (the
+/// format carries them bit-exactly), Shapley entries over exactly the
+/// antecedent's attributes (the one structural invariant).
+fn arb_analytics(rng: &mut Prng, rules: &[QuantRule]) -> AnalyticsSet {
+    AnalyticsSet {
+        shapley_samples: rng.gen_range(1..128u32),
+        seed: rng.next_u64(),
+        rules: rules
+            .iter()
+            .map(|r| RuleAnalytics {
+                count_antecedent: rng.next_u64(),
+                count_consequent: rng.next_u64(),
+                lift: adversarial_f64(rng),
+                conviction: adversarial_f64(rng),
+                leverage: adversarial_f64(rng),
+                chi2: adversarial_f64(rng),
+                p_value: adversarial_f64(rng),
+                p_adjusted: adversarial_f64(rng),
+                jmeasure: adversarial_f64(rng),
+                shapley: r
+                    .antecedent
+                    .items()
+                    .iter()
+                    .map(|it| (it.attr, adversarial_f64(rng)))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
 /// A random structurally valid catalog: 1–5 attributes of mixed kinds,
 /// 0–20 rules over them (possibly none — the empty-ruleset edge case),
 /// interest verdicts half the time, and adversarial float values in both
@@ -215,6 +258,17 @@ pub fn arb_catalog(rng: &mut Prng) -> Catalog {
     });
 
     let stats = arb_stats(rng, num_attrs, num_rules);
-    Catalog::new(schema, encoders, rng.next_u64(), rules, interest, stats)
-        .expect("generated catalog is valid")
+    let catalog = Catalog::new(schema, encoders, rng.next_u64(), rules, interest, stats)
+        .expect("generated catalog is valid");
+    // Half the catalogs carry the optional analytics section, so every
+    // property downstream (round trip, corruption, truncation, queries)
+    // covers both the pre-analytics and the analytics-bearing layout.
+    if rng.gen_bool(0.5) {
+        let analytics = arb_analytics(rng, catalog.rules());
+        catalog
+            .with_analytics(analytics)
+            .expect("generated analytics are valid")
+    } else {
+        catalog
+    }
 }

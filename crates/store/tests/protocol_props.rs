@@ -47,8 +47,16 @@ fn arb_f64(rng: &mut Prng) -> f64 {
 }
 
 fn arb_rank_by(rng: &mut Prng) -> RankBy {
-    *rng.choose(&[RankBy::Support, RankBy::Confidence, RankBy::Interest])
-        .unwrap()
+    *rng.choose(&[
+        RankBy::Support,
+        RankBy::Confidence,
+        RankBy::Interest,
+        RankBy::Lift,
+        RankBy::Conviction,
+        RankBy::Chi2,
+        RankBy::JMeasure,
+    ])
+    .unwrap()
 }
 
 fn arb_opts(rng: &mut Prng) -> QueryOptions {
@@ -57,6 +65,8 @@ fn arb_opts(rng: &mut Prng) -> QueryOptions {
         top_k: rng
             .gen_bool(0.5)
             .then(|| *rng.choose(&[0, 1, 7, u32::MAX]).unwrap()),
+        min_lift: rng.gen_bool(0.3).then(|| arb_f64(rng)),
+        max_p: rng.gen_bool(0.3).then(|| arb_f64(rng)),
     }
 }
 
@@ -162,6 +172,7 @@ fn arb_response(rng: &mut Prng) -> Response {
                     name: arb_string(rng),
                     generation: rng.next_u64(),
                     rules: rng.next_u64(),
+                    analytics: rng.gen_bool(0.5),
                 })
                 .collect(),
         },

@@ -77,18 +77,79 @@ fn single_byte_corruption_is_always_detected() {
 }
 
 /// Every strict prefix of a valid catalog fails to decode (no truncation
-/// is silently accepted), and decoding never panics on any prefix.
+/// is silently accepted), and decoding never panics on any prefix. The
+/// single deliberate exception: a catalog with trailing optional
+/// sections cut *exactly* at a section boundary after the mandatory
+/// three is a valid, shorter catalog — that boundary is the
+/// forward-compatibility seam, and a cut there must decode to the same
+/// content minus the trailing section.
 #[test]
 fn truncated_catalogs_always_error() {
     qar_prng::cases(8, 0x7254C, |case, rng| {
-        let bytes = arb_catalog(rng).encode();
+        let catalog = arb_catalog(rng);
+        let bytes = catalog.encode();
+        // The only decodable prefix: everything up to the analytics
+        // section, present iff the catalog carries analytics.
+        let boundary = catalog.analytics().map(|_| {
+            let sections = qar_store::section_inventory(&bytes).expect("valid catalog walks");
+            let analytics_len = sections.last().expect("analytics is last").len;
+            bytes.len() - (4 + 8 + 4 + analytics_len as usize)
+        });
         for len in 0..bytes.len() {
-            assert!(
-                Catalog::decode(&bytes[..len]).is_err(),
-                "case {case}: prefix of {len}/{} bytes decoded",
-                bytes.len()
-            );
+            match Catalog::decode(&bytes[..len]) {
+                Err(_) => assert_ne!(
+                    Some(len),
+                    boundary,
+                    "case {case}: cut at the optional-section boundary must decode"
+                ),
+                Ok(back) => {
+                    assert_eq!(
+                        Some(len),
+                        boundary,
+                        "case {case}: prefix of {len}/{} bytes decoded",
+                        bytes.len()
+                    );
+                    assert!(
+                        back.analytics().is_none(),
+                        "case {case}: truncated catalog kept analytics"
+                    );
+                }
+            }
         }
+    });
+}
+
+/// A catalog followed by a well-formed *unknown* trailing section (the
+/// layout a future format revision would write) still decodes, and its
+/// content is untouched — old readers skip what they don't understand.
+/// A corrupted unknown section is still rejected: skipping never skips
+/// the checksum.
+#[test]
+fn unknown_trailing_sections_are_skipped_but_verified() {
+    qar_prng::cases(16, 0xF07A4D, |case, rng| {
+        let catalog = arb_catalog(rng);
+        let mut bytes = catalog.encode();
+        let payload: Vec<u8> = (0..rng.gen_range(0..64usize))
+            .map(|_| rng.gen_range(0..256u32) as u8)
+            .collect();
+        let tag: u32 = rng.gen_range(1000..2000);
+        let mut w = qar_store::format::Writer::new();
+        w.put_section(tag, &payload);
+        let section = w.into_bytes();
+        bytes.extend_from_slice(&section);
+
+        let back = Catalog::decode(&bytes)
+            .unwrap_or_else(|e| panic!("case {case}: unknown section broke decode: {e}"));
+        let has_nan = catalog.rules().iter().any(|r| r.confidence.is_nan());
+        assert_eq!(back.content_eq(&catalog), !has_nan, "case {case}");
+
+        // Any flipped byte inside the appended section is still caught.
+        let offset = bytes.len() - section.len() + rng.gen_range(0..section.len());
+        bytes[offset] ^= 0x10;
+        assert!(
+            Catalog::decode(&bytes).is_err(),
+            "case {case}: corrupted unknown section went undetected"
+        );
     });
 }
 

@@ -82,7 +82,7 @@ impl Fixture {
             .expect("health query");
         let expected = Response::Ids {
             generation: 1,
-            ids: execute_query(&self.index, &query),
+            ids: execute_query(&self.index, &query).expect("health query is servable"),
         };
         assert_eq!(response.to_frame(), expected.to_frame());
     }
@@ -287,7 +287,7 @@ fn expired_deadline_is_a_structured_error() {
         .expect("generous deadline");
     let expected = Response::Ids {
         generation: 1,
-        ids: execute_query(&fx.index, &query),
+        ids: execute_query(&fx.index, &query).expect("query is servable"),
     };
     assert_eq!(response.to_frame(), expected.to_frame());
     fx.stop();

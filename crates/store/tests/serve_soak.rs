@@ -39,6 +39,10 @@ fn arb_query(rng: &mut Prng, num_attrs: u32) -> Query {
                 .unwrap()
         }),
         top_k: rng.gen_bool(0.4).then(|| rng.gen_range(0..8u32)),
+        // Analytics filters stay off: the soak catalog is mined without
+        // analytics, and the reference `execute_query` would reject them.
+        min_lift: None,
+        max_p: None,
     };
     match rng.gen_range(0..3u32) {
         0 => Query::Point {
@@ -72,13 +76,13 @@ fn expected_response(index: &RuleIndex, generation: u64, request: &Request) -> R
     match request {
         Request::Query { query, .. } => Response::Ids {
             generation,
-            ids: execute_query(index, query),
+            ids: execute_query(index, query).expect("soak query is servable"),
         },
         Request::Batch { queries, .. } => Response::Batch {
             generation,
             items: queries
                 .iter()
-                .map(|q| Ok(execute_query(index, q)))
+                .map(|q| Ok(execute_query(index, q).expect("soak query is servable")))
                 .collect(),
         },
         other => panic!("not a query request: {other:?}"),

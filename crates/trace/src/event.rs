@@ -169,6 +169,17 @@ pub enum TraceEvent {
         /// Wall-clock from decoded request to encoded response, µs.
         elapsed_us: u64,
     },
+    /// Rule-quality analytics (lift, conviction, chi², J-measure,
+    /// Shapley attribution) were computed for a ruleset — on the mine
+    /// path (`qar mine --analytics`) or as a backfill (`qar analyze`).
+    AnalyticsComputed {
+        /// Rules the analytics cover.
+        rules: usize,
+        /// Monte-Carlo permutation samples per Shapley estimate.
+        shapley_samples: u32,
+        /// Wall-clock of the whole analytics computation, µs.
+        elapsed_us: u64,
+    },
     /// A `RELOAD` control frame swapped in a fresh catalog.
     CatalogReloaded {
         /// Name of the reloaded catalog slot.
@@ -218,6 +229,7 @@ impl TraceEvent {
             TraceEvent::ConnectionOpened { .. } => "connection_opened",
             TraceEvent::ConnectionClosed { .. } => "connection_closed",
             TraceEvent::RequestServed { .. } => "request_served",
+            TraceEvent::AnalyticsComputed { .. } => "analytics_computed",
             TraceEvent::CatalogReloaded { .. } => "catalog_reloaded",
         }
     }
@@ -336,6 +348,14 @@ impl TraceEvent {
                  \"ok\":{ok},\"items\":{items},\"results\":{results},\
                  \"elapsed_us\":{elapsed_us}}}",
                 json_str(kind)
+            ),
+            TraceEvent::AnalyticsComputed {
+                rules,
+                shapley_samples,
+                elapsed_us,
+            } => format!(
+                "{{\"event\":\"analytics_computed\",\"rules\":{rules},\
+                 \"shapley_samples\":{shapley_samples},\"elapsed_us\":{elapsed_us}}}"
             ),
             TraceEvent::CatalogReloaded {
                 catalog,
@@ -515,6 +535,16 @@ impl fmt::Display for TraceEvent {
                 if *ok { "ok" } else { "error" },
                 fmt_us(*elapsed_us)
             ),
+            TraceEvent::AnalyticsComputed {
+                rules,
+                shapley_samples,
+                elapsed_us,
+            } => write!(
+                f,
+                "analytics computed: {rules} rule(s), \
+                 {shapley_samples} Shapley sample(s) in {}",
+                fmt_us(*elapsed_us)
+            ),
             TraceEvent::CatalogReloaded {
                 catalog,
                 generation,
@@ -615,6 +645,11 @@ mod tests {
                 results: 240,
                 elapsed_us: 85,
             },
+            TraceEvent::AnalyticsComputed {
+                rules: 44,
+                shapley_samples: 64,
+                elapsed_us: 1200,
+            },
             TraceEvent::CatalogReloaded {
                 catalog: "cat \"v2\"\\planted".into(),
                 generation: 2,
@@ -688,6 +723,23 @@ mod tests {
         .to_string();
         assert!(cancelled.contains("pass 4"), "{cancelled}");
         assert!(cancelled.contains("caller abort"), "{cancelled}");
+    }
+
+    #[test]
+    fn analytics_computed_fields_survive() {
+        let event = TraceEvent::AnalyticsComputed {
+            rules: 44,
+            shapley_samples: 64,
+            elapsed_us: 1200,
+        };
+        let parsed = parse(&event.to_json()).unwrap();
+        let obj = parsed.as_object().unwrap();
+        assert_eq!(obj.get("rules").unwrap().as_u64(), Some(44));
+        assert_eq!(obj.get("shapley_samples").unwrap().as_u64(), Some(64));
+        assert_eq!(obj.get("elapsed_us").unwrap().as_u64(), Some(1200));
+        let text = event.to_string();
+        assert!(text.contains("44 rule(s)"), "{text}");
+        assert!(text.contains("64 Shapley sample(s)"), "{text}");
     }
 
     #[test]

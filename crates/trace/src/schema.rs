@@ -485,6 +485,11 @@ mod tests {
                 results: 4,
                 elapsed_us: 12,
             },
+            TraceEvent::AnalyticsComputed {
+                rules: 7,
+                shapley_samples: 64,
+                elapsed_us: 900,
+            },
             TraceEvent::CatalogReloaded {
                 catalog: "planted".into(),
                 generation: 2,
@@ -497,6 +502,6 @@ mod tests {
                 .validate_line(&event.to_json())
                 .unwrap_or_else(|e| panic!("{}: {e}", event.name()));
         }
-        assert_eq!(schema.event_names().len(), 13);
+        assert_eq!(schema.event_names().len(), 14);
     }
 }

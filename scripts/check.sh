@@ -99,12 +99,55 @@ grep -q '"dup_memo_speedup_4t"' "$STORE_DIR/bench_scan.json"
 grep -q '"distinct_memo_ratio_4t"' "$STORE_DIR/bench_scan.json"
 grep -q '"distinct_bitmask_speedup_1t"' "$STORE_DIR/bench_scan.json"
 
+echo "==> analytics smoke (mine --analytics -> query --by chi2 -> store-check -> trace-check)"
+# Mine the planted dataset with the rule-quality analytics pass, rank the
+# catalog by a statistic that only exists in the ANALYTICS section, and
+# confirm store-check reports the section with an intact checksum. The
+# analytics trace events from both the mine and the `qar analyze`
+# backfill must validate against the pinned schema, and the backfill of
+# an analytics-less catalog must enable the same queries.
+./target/release/qar mine --input "$STORE_DIR/planted.csv" \
+    --schema x0:quant,x1:quant,x2:quant,c:cat \
+    --minsup 0.1 --minconf 0.5 --maxsup 0.4 --intervals 10 \
+    --analytics --store "$STORE_DIR/ana.qarcat" --trace json \
+    > /dev/null 2> "$STORE_DIR/ana.trace"
+./target/release/qar trace-check < "$STORE_DIR/ana.trace"
+./target/release/qar query "$STORE_DIR/ana.qarcat" --top-k 5 --by chi2 > /dev/null
+./target/release/qar query "$STORE_DIR/ana.qarcat" --min-lift 1.0 --max-p 0.05 \
+    --by lift > /dev/null
+./target/release/qar store-check "$STORE_DIR/ana.qarcat" | grep -q "analytics (tag 4):"
+# Plain catalogs refuse analytics ranking with a pointer at the backfill
+# path, and `qar analyze` backfills them in place.
+if ./target/release/qar query "$STORE_DIR/cat.qarcat" --by lift > /dev/null 2>&1; then
+    echo "query ranked by lift without an ANALYTICS section" >&2
+    exit 1
+fi
+cp "$STORE_DIR/cat.qarcat" "$STORE_DIR/backfill.qarcat"
+./target/release/qar analyze "$STORE_DIR/backfill.qarcat" \
+    --input "$STORE_DIR/planted.csv" --trace json \
+    > /dev/null 2> "$STORE_DIR/analyze.trace"
+./target/release/qar trace-check < "$STORE_DIR/analyze.trace"
+./target/release/qar query "$STORE_DIR/backfill.qarcat" --top-k 5 --by jmeasure > /dev/null
+
+echo "==> analytics bench smoke (closed-form rules/sec floor)"
+# Quick run of the rule-quality analytics bench: the bin exits non-zero
+# when the closed-form measures (lift/conviction/chi-square/J-measure +
+# BH correction) fall below 50k rules/sec — ~30x headroom under the
+# committed BENCH_analytics.json baseline. The JSON goes to a temp path
+# so a local run never clobbers the committed baseline.
+QAR_BENCH_QUICK=1 ./target/release/qar bench-analytics --floor 50000 \
+    --out "$STORE_DIR/bench_analytics.json" > /dev/null
+grep -q '"suite":"bench_analytics"' "$STORE_DIR/bench_analytics.json"
+grep -q '"closed_form_rules_per_sec"' "$STORE_DIR/bench_analytics.json"
+grep -q '"shapley_samples_per_sec"' "$STORE_DIR/bench_analytics.json"
+
 echo "==> fuzz smoke (200 differential cases, fixed seed)"
 # A short deterministic sweep of the differential oracle: serial miner,
 # parallel miner, naive reference, apriori bridge, catalog round trip,
-# memoized scan cache, and bitmask scan kernel must agree on every
-# generated case. Divergences minimize into tests/fuzz_repros/ fixtures;
-# a clean run writes nothing.
+# memoized scan cache, bitmask scan kernel, and the rule-quality
+# analytics pass (0-ulps closed-form reference + BH monotonicity +
+# catalog round trip) must agree on every generated case. Divergences
+# minimize into tests/fuzz_repros/ fixtures; a clean run writes nothing.
 ./target/release/qar fuzz --iters 200 --seed 42
 
 echo "==> clippy -D warnings"

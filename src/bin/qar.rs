@@ -16,10 +16,15 @@ fn main() -> ExitCode {
             print!("{}", cli::USAGE);
             ExitCode::SUCCESS
         }
-        Ok(Command::Mine(mine)) => match run_mine(&mine) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => fail(&e.to_string()),
-        },
+        Ok(Command::Mine(mine)) => {
+            for warning in &mine.warnings {
+                eprintln!("qar: warning: {warning}");
+            }
+            match run_mine(&mine) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e.to_string()),
+            }
+        }
         Ok(Command::Generate(gen)) => match run_generate(&gen) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e.to_string()),
@@ -29,6 +34,10 @@ fn main() -> ExitCode {
             Err(e) => fail(&e.to_string()),
         },
         Ok(Command::Query(query)) => match run_query(&query) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
+        Ok(Command::Analyze(analyze)) => match run_analyze(&analyze) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e.to_string()),
         },
@@ -48,6 +57,14 @@ fn main() -> ExitCode {
         Ok(Command::BenchServe(bench)) => match run_bench_serve(&bench) {
             Ok(qps) if bench.floor > 0.0 && qps < bench.floor => fail(&format!(
                 "bench-serve: {qps:.0} queries/sec is below the {:.0} floor",
+                bench.floor
+            )),
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
+        Ok(Command::BenchAnalytics(bench)) => match run_bench_analytics(&bench) {
+            Ok(rps) if bench.floor > 0.0 && rps < bench.floor => fail(&format!(
+                "bench-analytics: {rps:.0} rules/sec is below the {:.0} floor",
                 bench.floor
             )),
             Ok(_) => ExitCode::SUCCESS,
@@ -108,6 +125,27 @@ fn run_query(args: &cli::QueryArgs) -> Result<(), Box<dyn std::error::Error>> {
     cli::run_query(&bytes, args, &mut lock)?;
     lock.flush()?;
     Ok(())
+}
+
+fn run_analyze(args: &cli::AnalyzeArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let catalog_bytes = std::fs::read(&args.catalog)?;
+    let csv_bytes = read_input_bytes(&args.input)?;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let annotated = cli::run_analyze(&catalog_bytes, &csv_bytes, args, &mut lock)?;
+    let dest = args.output.as_deref().unwrap_or(&args.catalog);
+    std::fs::write(dest, annotated)?;
+    writeln!(lock, "annotated catalog written to {dest}")?;
+    lock.flush()?;
+    Ok(())
+}
+
+fn run_bench_analytics(args: &cli::BenchAnalyticsArgs) -> Result<f64, Box<dyn std::error::Error>> {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let rps = cli::run_bench_analytics(args, &mut lock)?;
+    lock.flush()?;
+    Ok(rps)
 }
 
 fn run_store_check(args: &cli::StoreCheckArgs) -> Result<(), Box<dyn std::error::Error>> {

@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use qar_analytics::AnalyticsConfig;
 use qar_core::{
     InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec, PartitionStrategy, QuantRule,
     RuleInterest, ScanKernel,
@@ -21,8 +22,11 @@ use qar_core::{
 use qar_prng::Prng;
 use qar_store::protocol::{Query, QueryOptions, Request, Response};
 use qar_store::serve::ServeClient;
-use qar_store::{Catalog, RankBy, RuleIndex, Server, ServerConfig};
-use qar_table::{csv, AttributeKind, Schema, SchemaBuilder, Table, Value};
+use qar_store::{
+    analytics_from_encoded, analytics_from_mining, section_inventory, Catalog, RankBy, RuleIndex,
+    Server, ServerConfig,
+};
+use qar_table::{csv, AttributeKind, EncodedTable, Schema, SchemaBuilder, Table, Value};
 use qar_trace::{CancelToken, ProgressSink, TraceFormat, WriterSink};
 
 /// A parsed command line.
@@ -36,6 +40,8 @@ pub enum Command {
     TraceCheck(TraceCheckArgs),
     /// Query a stored rule catalog.
     Query(QueryArgs),
+    /// Backfill rule analytics into an existing catalog.
+    Analyze(AnalyzeArgs),
     /// Validate a `.qarcat` catalog file.
     StoreCheck(StoreCheckArgs),
     /// Differentially fuzz every mining path against its references.
@@ -44,6 +50,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// Benchmark a rule server with concurrent clients.
     BenchServe(BenchServeArgs),
+    /// Benchmark the analytics subsystem (closed-form + Shapley).
+    BenchAnalytics(BenchAnalyticsArgs),
     /// Print usage.
     Help,
 }
@@ -73,6 +81,12 @@ pub struct MineArgs {
     pub deadline: Option<f64>,
     /// Also write the mined ruleset to this `.qarcat` catalog file.
     pub store: Option<String>,
+    /// Compute rule analytics (lift, conviction, chi², J-measure,
+    /// Shapley attribution) and persist them in the stored catalog.
+    pub analytics: bool,
+    /// Deprecation warnings this command line earned; the binary prints
+    /// each to stderr before running.
+    pub warnings: Vec<String>,
 }
 
 /// Arguments of `qar trace-check`.
@@ -99,10 +113,47 @@ pub struct QueryArgs {
     pub top_k: Option<usize>,
     /// Ranking metric; `None` preserves the catalog's mined order.
     pub by: Option<RankBy>,
+    /// Keep only rules with `lift >= min_lift` (needs analytics).
+    pub min_lift: Option<f64>,
+    /// Keep only rules with BH-adjusted `p <= max_p` (needs analytics).
+    pub max_p: Option<f64>,
     /// Output format.
     pub format: OutputFormat,
     /// Emit store trace events (catalog load, index build) to stderr.
     pub trace: Option<TraceFormat>,
+}
+
+/// Arguments of `qar analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Catalog file to backfill (a real path — it is rewritten in place
+    /// unless `--output` redirects).
+    pub catalog: String,
+    /// The catalog's source data as CSV (`-` = stdin); must have the
+    /// same row count the catalog was mined from.
+    pub input: String,
+    /// Monte-Carlo permutations per rule for the Shapley attribution.
+    pub samples: u32,
+    /// Base seed for the deterministic Shapley sampler.
+    pub seed: u64,
+    /// Destination path; `None` rewrites the catalog in place.
+    pub output: Option<String>,
+    /// Emit store trace events to stderr in this format.
+    pub trace: Option<TraceFormat>,
+}
+
+/// Arguments of `qar bench-analytics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchAnalyticsArgs {
+    /// Planted-dataset records to mine the benchmark ruleset from.
+    pub records: usize,
+    /// Shapley samples per rule in the attribution timing.
+    pub samples: u32,
+    /// Minimum closed-form rules/sec; the run fails below this (0 = off).
+    pub floor: f64,
+    /// Where the machine-readable summary JSON goes; `None` falls back
+    /// to `$QAR_BENCH_OUT`, then `BENCH_analytics.json`.
+    pub out: Option<String>,
 }
 
 /// Arguments of `qar store-check`.
@@ -214,11 +265,13 @@ USAGE:
   qar mine --input FILE --schema DECLS [options]
   qar generate DATASET [--records N] [--seed S] [--output FILE]
   qar query CATALOG [--record K=V,...|--range A=LO..HI] [--top-k N] [--by M]
+  qar analyze CATALOG --input FILE [--samples N] [--seed S] [--output FILE]
   qar store-check [CATALOG]
   qar trace-check [TRACE] [--schema FILE]
   qar fuzz [--iters N] [--seed S] [--out DIR]
   qar serve CATALOG... [--port P] [--threads N] [--trace F]
   qar bench-serve [--addr HOST:PORT] [--catalog FILE] [options]
+  qar bench-analytics [--records N] [--samples N] [--floor R] [--out FILE]
   qar help
 
 MINE OPTIONS:
@@ -248,6 +301,10 @@ MINE OPTIONS:
   --deadline SECS       abort after SECS seconds, reporting partial progress
   --store FILE          also write the ruleset to FILE as a .qarcat catalog
                         (query it later with `qar query`, no re-mining)
+  --analytics           compute rule analytics (lift, conviction, leverage,
+                        chi² + BH-adjusted p, J-measure, Shapley attribution)
+                        from the mine's own counts and persist them in the
+                        stored catalog (requires --store)
 
 GENERATE:
   DATASET               credit | people | planted
@@ -264,14 +321,35 @@ QUERY:
   --range A=LO..HI      rules MENTIONING quantitative attribute A on
                         [LO, HI] (either rule side, bounds inclusive)
   --top-k N             keep only the first N rules after ranking (0 = all)
-  --by M                rank by support | confidence | interest
-                        [default: the catalog's mined order]
+  --by M                rank by support | confidence | interest, or — with
+                        an analytics section — lift | conviction | chi2 |
+                        jmeasure   [default: the catalog's mined order]
+  --min-lift F          keep only rules with lift >= F (needs analytics)
+  --max-p F             keep only rules with BH-adjusted p <= F (needs
+                        analytics)
   --format F            text | csv | json               [default text]
+
+ANALYZE:
+  Backfills the ANALYTICS section into a catalog mined before analytics
+  existed (or re-computes it with different sampling). Re-encodes the
+  catalog's source CSV with the catalog's own encoders and counts
+  support by direct scan; the result is bit-identical to what
+  `qar mine --analytics` would have stored.
+  CATALOG               .qarcat file to annotate (rewritten in place)
+  --input FILE          the catalog's source data as CSV (\"-\" = stdin);
+                        row count must match the catalog
+  --samples N           Shapley permutations per rule     [default 64]
+  --seed S              Shapley sampler base seed
+  --output FILE         write the annotated catalog here instead of
+                        rewriting CATALOG in place
+  --trace F             emit store trace events to stderr: json | text
 
 STORE-CHECK:
   Decodes a .qarcat catalog (\"-\" or no argument reads stdin), verifying
   magic, version, section checksums, and structural invariants, then
-  prints a summary. Exits non-zero on any corruption.
+  prints a summary and a section inventory (tag, length, CRC verdict,
+  and how many unknown trailing sections this version skips). Exits
+  non-zero on any corruption.
 
 TRACE-CHECK:
   Reads a JSON-lines trace stream (as written by --trace json) from TRACE
@@ -326,6 +404,20 @@ BENCH-SERVE:
                         the run
   --out FILE            summary JSON destination
                         [default $QAR_BENCH_OUT, then BENCH_serve.json]
+
+BENCH-ANALYTICS:
+  Mines a planted catalog, then times the analytics subsystem: the
+  closed-form measures (lift, conviction, leverage, chi² + p, J-measure,
+  BH correction) as rules/sec and the Monte-Carlo Shapley attribution as
+  samples/sec. Writes a summary JSON line to BENCH_analytics.json.
+  Exits non-zero below the closed-form floor.
+  --records N           planted records to mine         [default 5000]
+                        (QAR_BENCH_QUICK=1 caps this at 1000)
+  --samples N           Shapley permutations per rule   [default 64]
+  --floor R             fail under R closed-form rules/sec (0 = off)
+                        [default 500]
+  --out FILE            summary JSON destination
+                        [default $QAR_BENCH_OUT, then BENCH_analytics.json]
 ";
 
 /// Split an optional leading positional argument (anything not starting
@@ -350,7 +442,12 @@ fn parse_flag_map(args: &[String]) -> Result<BTreeMap<String, String>, CliError>
         }
         let key = a.trim_start_matches("--").to_string();
         // Boolean flags take no value.
-        if key == "no-partition" || key == "all-rules" || key == "no-memoize" || key == "shutdown" {
+        if key == "no-partition"
+            || key == "all-rules"
+            || key == "no-memoize"
+            || key == "shutdown"
+            || key == "analytics"
+        {
             map.insert(key, "true".into());
             i += 1;
             continue;
@@ -382,6 +479,16 @@ fn parse_f64(map: &BTreeMap<String, String>, key: &str, default: f64) -> Result<
         None => Ok(default),
         Some(v) => v
             .parse()
+            .map_err(|_| err(format!("--{key}: `{v}` is not a number"))),
+    }
+}
+
+fn parse_opt_f64(map: &BTreeMap<String, String>, key: &str) -> Result<Option<f64>, CliError> {
+    match map.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
             .map_err(|_| err(format!("--{key}: `{v}` is not a number"))),
     }
 }
@@ -545,6 +652,19 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                     Some(secs)
                 }
             };
+            let analytics = map.contains_key("analytics");
+            if analytics && !map.contains_key("store") {
+                return Err(err(
+                    "--analytics requires --store FILE (analytics are persisted in the catalog)",
+                ));
+            }
+            let mut warnings = Vec::new();
+            if map.contains_key("no-memoize") {
+                warnings.push(
+                    "--no-memoize is deprecated and will be removed; use `--kernel direct` instead"
+                        .to_string(),
+                );
+            }
             Ok(Command::Mine(MineArgs {
                 input,
                 schema,
@@ -556,6 +676,8 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 trace,
                 deadline,
                 store: map.get("store").cloned(),
+                analytics,
+                warnings,
             }))
         }
         "generate" => {
@@ -624,7 +746,48 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 range,
                 top_k,
                 by,
+                min_lift: parse_opt_f64(&map, "min-lift")?,
+                max_p: parse_opt_f64(&map, "max-p")?,
                 format,
+                trace,
+            }))
+        }
+        "analyze" => {
+            let (catalog, rest) = positional_then_flags(&args[1..], "");
+            if catalog.is_empty() || catalog == "-" {
+                return Err(err(
+                    "analyze requires a CATALOG file path (it is rewritten in place \
+                     unless --output redirects, so stdin is not supported)",
+                ));
+            }
+            let map = parse_flag_map(rest)?;
+            for key in map.keys() {
+                if !["input", "samples", "seed", "output", "trace"].contains(&key.as_str()) {
+                    return Err(err(format!("analyze does not take --{key}")));
+                }
+            }
+            let input = map
+                .get("input")
+                .cloned()
+                .ok_or_else(|| err("analyze requires --input FILE (the catalog's source CSV)"))?;
+            let defaults = AnalyticsConfig::default();
+            let samples = parse_usize(&map, "samples", defaults.shapley_samples as usize)?;
+            if samples == 0 || samples > u32::MAX as usize {
+                return Err(err("--samples must be between 1 and 2^32-1"));
+            }
+            let trace = match map.get("trace") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<TraceFormat>()
+                        .map_err(|_| err(format!("--trace: `{v}` is not json or text")))?,
+                ),
+            };
+            Ok(Command::Analyze(AnalyzeArgs {
+                catalog,
+                input,
+                samples: samples as u32,
+                seed: parse_usize(&map, "seed", defaults.seed as usize)? as u64,
+                output: map.get("output").cloned(),
                 trace,
             }))
         }
@@ -721,6 +884,28 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 out: map.get("out").cloned(),
             }))
         }
+        "bench-analytics" => {
+            let map = parse_flag_map(&args[1..])?;
+            for key in map.keys() {
+                if !["records", "samples", "floor", "out"].contains(&key.as_str()) {
+                    return Err(err(format!("bench-analytics does not take --{key}")));
+                }
+            }
+            let records = parse_usize(&map, "records", 5_000)?;
+            let samples = parse_usize(&map, "samples", 64)?;
+            if records == 0 || samples == 0 {
+                return Err(err("--records and --samples must be at least 1"));
+            }
+            if samples > u32::MAX as usize {
+                return Err(err("--samples must fit in 32 bits"));
+            }
+            Ok(Command::BenchAnalytics(BenchAnalyticsArgs {
+                records,
+                samples: samples as u32,
+                floor: parse_f64(&map, "floor", 500.0)?,
+                out: map.get("out").cloned(),
+            }))
+        }
         other => Err(err(format!("unknown command `{other}` (try `qar help`)"))),
     }
 }
@@ -776,7 +961,12 @@ pub fn run_mine_on_table(
     let sink = trace_sink(args.trace);
     let result = build_miner(args, sink.clone()).mine(table)?;
     if let Some(path) = &args.store {
-        Catalog::from_mining(&result).save(path, sink.as_deref())?;
+        let mut catalog = Catalog::from_mining(&result);
+        if args.analytics {
+            let set = analytics_from_mining(&result, &AnalyticsConfig::default(), sink.as_deref());
+            catalog = catalog.with_analytics(set)?;
+        }
+        catalog.save(path, sink.as_deref())?;
     }
     match args.format {
         OutputFormat::Csv => {
@@ -1005,6 +1195,14 @@ pub fn run_query(
     } else {
         ((0..catalog.rules().len() as u32).collect(), "stored")
     };
+    index.filter_analytics(&mut ids, args.min_lift, args.max_p)?;
+    let analytics_ranking = matches!(
+        args.by,
+        Some(RankBy::Lift | RankBy::Conviction | RankBy::Chi2 | RankBy::JMeasure)
+    );
+    if analytics_ranking && !index.has_analytics() {
+        return Err(Box::new(qar_store::AnalyticsUnavailable));
+    }
     let matched = ids.len();
     if args.by.is_some() || args.top_k.is_some() {
         index.rank(&mut ids, args.by.unwrap_or(RankBy::Confidence));
@@ -1070,6 +1268,26 @@ pub fn run_store_check(
     bytes: &[u8],
     out: &mut impl std::io::Write,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    // Walk the section framing first: on corruption the inventory still
+    // prints, showing WHICH section's checksum failed before the decode
+    // error surfaces.
+    let sections = section_inventory(bytes);
+    if let Ok(sections) = &sections {
+        writeln!(out, "sections:")?;
+        for s in sections {
+            writeln!(
+                out,
+                "  {} (tag {}): {} byte(s), crc {}{}",
+                s.name,
+                s.tag,
+                s.len,
+                if s.crc_ok { "ok" } else { "MISMATCH" },
+                if s.known() { "" } else { " [skipped]" },
+            )?;
+        }
+        let unknown = sections.iter().filter(|s| !s.known()).count();
+        writeln!(out, "  {unknown} unknown section(s) skipped")?;
+    }
     let catalog = Catalog::decode(bytes)?;
     let interesting = catalog
         .interest()
@@ -1095,7 +1313,53 @@ pub fn run_store_check(
         Some(n) => writeln!(out, "  interest verdicts: {n} interesting")?,
         None => writeln!(out, "  interest verdicts: none")?,
     }
+    match catalog.analytics() {
+        Some(set) => writeln!(
+            out,
+            "  analytics: {} rule(s), {} Shapley sample(s), seed {}",
+            set.rules.len(),
+            set.shapley_samples,
+            set.seed,
+        )?,
+        None => writeln!(out, "  analytics: none")?,
+    }
     Ok(())
+}
+
+/// Execute `qar analyze`: backfill the `ANALYTICS` section by re-encoding
+/// the catalog's source CSV with the catalog's own encoders and counting
+/// support by direct scan. Returns the annotated catalog's bytes (the
+/// binary writes them to `--output`, or back over the catalog).
+pub fn run_analyze(
+    catalog_bytes: &[u8],
+    csv_bytes: &[u8],
+    args: &AnalyzeArgs,
+    out: &mut impl std::io::Write,
+) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    let sink = trace_sink(args.trace);
+    let catalog = Catalog::load_bytes(catalog_bytes, sink.as_deref())?;
+    let table = csv::read_table(csv_bytes, catalog.schema())?;
+    if table.num_rows() as u64 != catalog.num_rows() {
+        return Err(Box::new(err(format!(
+            "catalog was mined from {} row(s) but --input has {} — \
+             is this the catalog's source data?",
+            catalog.num_rows(),
+            table.num_rows(),
+        ))));
+    }
+    let encoded = EncodedTable::encode(&table, catalog.encoders().to_vec())?;
+    let config = AnalyticsConfig {
+        shapley_samples: args.samples,
+        seed: args.seed,
+    };
+    let set = analytics_from_encoded(catalog.rules(), &encoded, &config, sink.as_deref());
+    writeln!(
+        out,
+        "backfilled analytics for {} rule(s) ({} Shapley sample(s) per rule)",
+        set.rules.len(),
+        set.shapley_samples,
+    )?;
+    Ok(catalog.with_analytics(set)?.encode())
 }
 
 /// Execute `qar fuzz`: run the differential oracle, write one fixture
@@ -1511,6 +1775,104 @@ pub fn run_bench_serve(
     writeln!(out, "summary written to {json_path}")?;
 
     Ok(qps)
+}
+
+/// Execute `qar bench-analytics`: mine a planted ruleset, time the
+/// closed-form measures and the Monte-Carlo Shapley attribution, print a
+/// human summary, write the machine-readable JSON line, and return the
+/// closed-form rules/sec (the caller enforces the floor so the exit code
+/// carries it).
+pub fn run_bench_analytics(
+    args: &BenchAnalyticsArgs,
+    out: &mut impl std::io::Write,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let quick = std::env::var_os("QAR_BENCH_QUICK").is_some();
+    let records = if quick {
+        args.records.min(1_000)
+    } else {
+        args.records
+    };
+    let iters = if quick { 2 } else { 5 };
+
+    let data = qar_datagen::PlantedDataset::generate(qar_datagen::PlantedConfig {
+        num_records: records,
+        seed: 1996,
+    });
+    let config = MinerConfig {
+        min_support: 0.05,
+        min_confidence: 0.4,
+        max_support: 0.5,
+        partitioning: PartitionSpec::FixedIntervals(10),
+        interest: None,
+        max_itemset_size: 2,
+        ..MinerConfig::default()
+    };
+    let result = Miner::new(config).mine(&data.table)?;
+    let rules = result.rules.len();
+    if rules == 0 {
+        return Err(Box::new(err("benchmark mine produced no rules")));
+    }
+
+    // Best-of-N wall time for one full analytics computation at the
+    // given sampling level. One Shapley sample is the computation's
+    // floor (samples are clamped to >= 1), so that run times the
+    // closed-form measures; the delta to the full-sampling run is
+    // attribution work.
+    let time_at = |samples: u32| -> f64 {
+        let config = AnalyticsConfig {
+            shapley_samples: samples,
+            ..AnalyticsConfig::default()
+        };
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let set = analytics_from_mining(&result, &config, None);
+            best = best.min(start.elapsed().as_secs_f64());
+            std::hint::black_box(set);
+        }
+        best
+    };
+    let closed_s = time_at(1);
+    let shapley_s = time_at(args.samples);
+
+    let rules_per_sec = rules as f64 / closed_s.max(1e-9);
+    let total_samples = rules as u64 * args.samples as u64;
+    let samples_per_sec = total_samples as f64 / shapley_s.max(1e-9);
+
+    writeln!(
+        out,
+        "{rules} rule(s) from {records} planted record(s); best of {iters} run(s)"
+    )?;
+    writeln!(
+        out,
+        "closed-form measures: {rules_per_sec:.0} rules/sec ({:.3}ms per pass)",
+        closed_s * 1e3
+    )?;
+    writeln!(
+        out,
+        "Shapley attribution: {samples_per_sec:.0} samples/sec \
+         ({} samples/rule, {:.3}ms per pass)",
+        args.samples,
+        shapley_s * 1e3
+    )?;
+
+    let json = format!(
+        "{{\"suite\":\"bench_analytics\",\"records\":{records},\"rules\":{rules},\
+         \"samples\":{},\"closed_form_rules_per_sec\":{rules_per_sec:.1},\
+         \"shapley_samples_per_sec\":{samples_per_sec:.1},\"closed_form_s\":{closed_s:.6},\
+         \"shapley_s\":{shapley_s:.6},\"floor\":{:.1}}}",
+        args.samples, args.floor
+    );
+    let json_path = args
+        .out
+        .clone()
+        .or_else(|| std::env::var("QAR_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_analytics.json".into());
+    std::fs::write(&json_path, format!("{json}\n"))
+        .map_err(|e| err(format!("cannot write `{json_path}`: {e}")))?;
+    writeln!(out, "summary written to {json_path}")?;
+
+    Ok(rules_per_sec)
 }
 
 #[cfg(test)]
@@ -1934,11 +2296,19 @@ mod tests {
         let bytes = std::fs::read(&store_path).expect("catalog written");
         std::fs::remove_file(&store_path).ok();
 
-        // `qar store-check` accepts the pristine catalog...
+        // `qar store-check` accepts the pristine catalog, leading with
+        // the section inventory...
         let mut check_out = Vec::new();
         run_store_check(&bytes, &mut check_out).expect("store-check");
         let check_text = String::from_utf8(check_out).unwrap();
-        assert!(check_text.starts_with("catalog OK:"), "{check_text}");
+        assert!(check_text.starts_with("sections:"), "{check_text}");
+        assert!(check_text.contains("catalog OK:"), "{check_text}");
+        assert!(check_text.contains("rules (tag 2):"), "{check_text}");
+        assert!(
+            check_text.contains("0 unknown section(s) skipped"),
+            "{check_text}"
+        );
+        assert!(check_text.contains("analytics: none"), "{check_text}");
 
         // ...and rejects a bit-flipped copy.
         let mut corrupt = bytes.clone();
@@ -2088,6 +2458,279 @@ mod tests {
             })
             .count();
         assert_eq!(with_deadline, 32 / 7);
+    }
+
+    #[test]
+    fn analytics_flag_requires_store() {
+        let cmd = parse_command(&argv(
+            "mine --input f --schema a:q --analytics --store cat.qarcat",
+        ))
+        .unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert!(args.analytics);
+        assert!(args.warnings.is_empty());
+        let cmd = parse_command(&argv("mine --input f --schema a:q --store cat.qarcat")).unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert!(!args.analytics);
+        let e = parse_command(&argv("mine --input f --schema a:q --analytics")).unwrap_err();
+        assert!(e.to_string().contains("--store"), "{e}");
+    }
+
+    /// `--no-memoize` still parses (as `--kernel direct`) but now earns
+    /// a deprecation warning the binary prints to stderr.
+    #[test]
+    fn no_memoize_earns_deprecation_warning() {
+        let cmd = parse_command(&argv("mine --input f --schema a:q --no-memoize")).unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert_eq!(args.config.kernel, ScanKernel::Direct);
+        assert_eq!(args.warnings.len(), 1, "{:?}", args.warnings);
+        assert!(
+            args.warnings[0].contains("deprecated"),
+            "{:?}",
+            args.warnings
+        );
+        assert!(
+            args.warnings[0].contains("--kernel direct"),
+            "{:?}",
+            args.warnings
+        );
+        let cmd = parse_command(&argv("mine --input f --schema a:q --kernel direct")).unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert!(args.warnings.is_empty(), "{:?}", args.warnings);
+    }
+
+    #[test]
+    fn analyze_parsing() {
+        let cmd = parse_command(&argv("analyze cat.qarcat --input data.csv")).unwrap();
+        let Command::Analyze(args) = cmd else {
+            panic!()
+        };
+        assert_eq!(args.catalog, "cat.qarcat");
+        assert_eq!(args.input, "data.csv");
+        assert_eq!(args.samples, AnalyticsConfig::default().shapley_samples);
+        assert_eq!(args.seed, AnalyticsConfig::default().seed);
+        assert!(args.output.is_none() && args.trace.is_none());
+
+        let cmd = parse_command(&argv(
+            "analyze cat.qarcat --input - --samples 16 --seed 7 --output new.qarcat --trace json",
+        ))
+        .unwrap();
+        let Command::Analyze(args) = cmd else {
+            panic!()
+        };
+        assert_eq!(args.samples, 16);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.output.as_deref(), Some("new.qarcat"));
+        assert_eq!(args.trace, Some(TraceFormat::Json));
+
+        assert!(parse_command(&argv("analyze --input d.csv")).is_err()); // catalog required
+        assert!(parse_command(&argv("analyze - --input d.csv")).is_err()); // no stdin catalog
+        assert!(parse_command(&argv("analyze cat.qarcat")).is_err()); // input required
+        assert!(parse_command(&argv("analyze cat.qarcat --input d --samples 0")).is_err());
+        assert!(parse_command(&argv("analyze cat.qarcat --input d --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn query_analytics_flags_parse() {
+        let cmd = parse_command(&argv(
+            "query cat.qarcat --by lift --min-lift 1.5 --max-p 0.05",
+        ))
+        .unwrap();
+        let Command::Query(args) = cmd else { panic!() };
+        assert_eq!(args.by, Some(RankBy::Lift));
+        assert_eq!(args.min_lift, Some(1.5));
+        assert_eq!(args.max_p, Some(0.05));
+        for by in ["conviction", "chi2", "jmeasure"] {
+            let cmd = parse_command(&argv(&format!("query c --by {by}"))).unwrap();
+            let Command::Query(args) = cmd else { panic!() };
+            assert!(args.by.is_some(), "--by {by}");
+        }
+        assert!(parse_command(&argv("query c --min-lift lots")).is_err());
+        assert!(parse_command(&argv("query c --max-p often")).is_err());
+    }
+
+    #[test]
+    fn bench_analytics_parsing() {
+        let cmd = parse_command(&argv("bench-analytics")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchAnalytics(BenchAnalyticsArgs {
+                records: 5_000,
+                samples: 64,
+                floor: 500.0,
+                out: None,
+            })
+        );
+        let cmd = parse_command(&argv(
+            "bench-analytics --records 100 --samples 8 --floor 0 --out b.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchAnalytics(BenchAnalyticsArgs {
+                records: 100,
+                samples: 8,
+                floor: 0.0,
+                out: Some("b.json".into()),
+            })
+        );
+        assert!(parse_command(&argv("bench-analytics --records 0")).is_err());
+        assert!(parse_command(&argv("bench-analytics --samples 0")).is_err());
+        assert!(parse_command(&argv("bench-analytics --bogus 1")).is_err());
+    }
+
+    /// The full analytics lifecycle through the CLI layer: mine with
+    /// `--analytics`, inventory the stored sections, rank and filter by
+    /// the new metrics, refuse them on an analytics-less catalog, and
+    /// prove `qar analyze` backfills a byte-identical catalog.
+    #[test]
+    fn mine_analytics_analyze_query_end_to_end() {
+        let gen = GenerateArgs {
+            dataset: "people".into(),
+            records: 0,
+            seed: 0,
+            output: "-".into(),
+        };
+        let mut csv_bytes = Vec::new();
+        run_generate(&gen, &mut csv_bytes).expect("generate");
+        let decls = parse_schema_decls("Age:quant,Married:cat,NumCars:quant").unwrap();
+        let schema = build_schema(&decls).unwrap();
+        let table = csv::read_table(csv_bytes.as_slice(), &schema).unwrap();
+
+        let pid = std::process::id();
+        let with_path = std::env::temp_dir().join(format!("qar-cli-analytics-{pid}.qarcat"));
+        let plain_path = std::env::temp_dir().join(format!("qar-cli-plain-{pid}.qarcat"));
+        let base = "mine --input - --schema Age:quant,Married:cat,NumCars:quant \
+                    --minsup 0.4 --minconf 0.5 --maxsup 1.0 --no-partition";
+        for (flags, path) in [(" --analytics", &with_path), ("", &plain_path)] {
+            let cmd = parse_command(&argv(&format!(
+                "{base}{flags} --store {}",
+                path.to_str().unwrap()
+            )))
+            .unwrap();
+            let Command::Mine(args) = cmd else { panic!() };
+            run_mine_on_table(&table, &args, &mut Vec::new()).expect("mine");
+        }
+        let with_bytes = std::fs::read(&with_path).expect("analytics catalog written");
+        let plain_bytes = std::fs::read(&plain_path).expect("plain catalog written");
+        std::fs::remove_file(&with_path).ok();
+        std::fs::remove_file(&plain_path).ok();
+
+        // store-check inventories the ANALYTICS section on one catalog
+        // and reports its absence on the other.
+        let mut check_out = Vec::new();
+        run_store_check(&with_bytes, &mut check_out).expect("store-check");
+        let check_text = String::from_utf8(check_out).unwrap();
+        assert!(check_text.contains("analytics (tag 4):"), "{check_text}");
+        assert!(check_text.contains("Shapley sample(s)"), "{check_text}");
+        let mut check_out = Vec::new();
+        run_store_check(&plain_bytes, &mut check_out).expect("store-check");
+        let check_text = String::from_utf8(check_out).unwrap();
+        assert!(!check_text.contains("analytics (tag 4):"), "{check_text}");
+        assert!(check_text.contains("analytics: none"), "{check_text}");
+
+        // Analytics rankings and filters work on the annotated catalog...
+        for spec in [
+            "query - --by lift",
+            "query - --by conviction --top-k 2",
+            "query - --by chi2 --max-p 1.0",
+            "query - --by jmeasure --min-lift 0",
+            "query - --record Married=Yes --by lift --min-lift 0 --max-p 1.0",
+        ] {
+            let cmd = parse_command(&argv(spec)).unwrap();
+            let Command::Query(qargs) = cmd else { panic!() };
+            let mut out = Vec::new();
+            run_query(&with_bytes, &qargs, &mut out).expect(spec);
+            assert!(String::from_utf8(out).unwrap().contains("rules"), "{spec}");
+        }
+
+        // ...and are refused with a pointer at the backfill path on the
+        // plain catalog, which keeps answering classic queries.
+        for spec in ["query - --by lift", "query - --min-lift 1.0"] {
+            let cmd = parse_command(&argv(spec)).unwrap();
+            let Command::Query(qargs) = cmd else { panic!() };
+            let e = run_query(&plain_bytes, &qargs, &mut Vec::new()).unwrap_err();
+            assert!(e.to_string().contains("qar analyze"), "{spec}: {e}");
+        }
+        let cmd = parse_command(&argv("query - --by confidence --top-k 3")).unwrap();
+        let Command::Query(qargs) = cmd else { panic!() };
+        run_query(&plain_bytes, &qargs, &mut Vec::new()).expect("classic ranking");
+
+        // `qar analyze` backfills the plain catalog into a byte-for-byte
+        // copy of what `mine --analytics` stored (same defaults, same
+        // deterministic sampler).
+        let cmd = parse_command(&argv("analyze plain.qarcat --input -")).unwrap();
+        let Command::Analyze(aargs) = cmd else {
+            panic!()
+        };
+        let mut analyze_out = Vec::new();
+        let annotated =
+            run_analyze(&plain_bytes, &csv_bytes, &aargs, &mut analyze_out).expect("analyze");
+        let analyze_text = String::from_utf8(analyze_out).unwrap();
+        assert!(
+            analyze_text.contains("backfilled analytics for"),
+            "{analyze_text}"
+        );
+        // The annotated catalog is the plain one with the ANALYTICS
+        // section appended — and that section is byte-identical to what
+        // `mine --analytics` stored (the whole files can't be compared:
+        // the two mines' STATS sections carry different wall times).
+        assert_eq!(&annotated[..plain_bytes.len()], &plain_bytes[..]);
+        let tail = annotated.len() - plain_bytes.len();
+        assert_eq!(
+            annotated[plain_bytes.len()..],
+            with_bytes[with_bytes.len() - tail..],
+            "backfilled ANALYTICS section is byte-identical"
+        );
+
+        // A row-count mismatch is rejected before any annotation.
+        let truncated_csv = {
+            let text = String::from_utf8(csv_bytes.clone()).unwrap();
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.pop();
+            lines.join("\n") + "\n"
+        };
+        let e = run_analyze(
+            &plain_bytes,
+            truncated_csv.as_bytes(),
+            &aargs,
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("row"), "{e}");
+    }
+
+    /// `bench-analytics` produces sane numbers and a parseable summary
+    /// line at smoke scale.
+    #[test]
+    fn bench_analytics_smoke() {
+        let out_path = std::env::temp_dir().join(format!(
+            "qar-bench-analytics-test-{}.json",
+            std::process::id()
+        ));
+        let args = BenchAnalyticsArgs {
+            records: 400,
+            samples: 8,
+            floor: 0.0,
+            out: Some(out_path.to_str().unwrap().to_string()),
+        };
+        let mut report = Vec::new();
+        let rps = run_bench_analytics(&args, &mut report).expect("bench runs");
+        assert!(rps > 0.0);
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.contains("closed-form measures:"), "{text}");
+        assert!(text.contains("Shapley attribution:"), "{text}");
+        let json = std::fs::read_to_string(&out_path).expect("summary written");
+        std::fs::remove_file(&out_path).ok();
+        let doc = qar_trace::json::parse(&json).expect("valid JSON");
+        let obj = doc.as_object().expect("object");
+        assert_eq!(obj["suite"].as_str(), Some("bench_analytics"));
+        for key in ["closed_form_rules_per_sec", "shapley_samples_per_sec"] {
+            let qar_trace::json::Json::Num(v) = obj[key] else {
+                panic!("{key} is not a number");
+            };
+            assert!(v > 0.0, "{key} = {v}");
+        }
     }
 
     #[test]

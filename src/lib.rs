@@ -7,6 +7,7 @@
 
 pub mod cli;
 
+pub use qar_analytics as analytics;
 pub use qar_apriori as apriori;
 pub use qar_core as core;
 pub use qar_datagen as datagen;

@@ -1,0 +1,169 @@
+//! Cross-version catalog compatibility: a `.qarcat` file written BEFORE
+//! the `ANALYTICS` section existed is checked in as a frozen artifact,
+//! and this suite proves the current reader serves it unchanged — loads
+//! it, answers classic queries, refuses analytics-only features with the
+//! documented error, and re-encodes it byte-for-byte. It also proves the
+//! forward path: backfilling analytics into the golden catalog yields a
+//! strictly-appended file that round-trips byte-exactly.
+//!
+//! To regenerate the artifact after an *intended* format change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test catalog_compat
+//! ```
+//!
+//! and review the new bytes like code (the file should only change when
+//! the format version does).
+
+use quantrules::analytics::AnalyticsConfig;
+use quantrules::core::{Miner, MinerConfig, PartitionSpec};
+use quantrules::store::{analytics_from_encoded, section_inventory, Catalog, RankBy, RuleIndex};
+use quantrules::table::EncodedTable;
+
+const GOLDEN_PATH: &str = "tests/golden/pre_analytics.qarcat";
+
+/// The deterministic source table the golden catalog was mined from.
+fn source_table() -> quantrules::table::Table {
+    quantrules::datagen::people_table()
+}
+
+/// The mine that produced the golden catalog: people dataset, raw
+/// values, thresholds loose enough for a handful of rules.
+fn golden_mine_config() -> MinerConfig {
+    MinerConfig {
+        min_support: 0.4,
+        min_confidence: 0.5,
+        max_support: 1.0,
+        partitioning: PartitionSpec::None,
+        interest: None,
+        max_itemset_size: 2,
+        ..MinerConfig::default()
+    }
+}
+
+fn golden_bytes() -> Vec<u8> {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let out = Miner::new(golden_mine_config())
+            .mine(&source_table())
+            .expect("golden mine succeeds");
+        let bytes = Catalog::from_mining(&out).encode();
+        std::fs::write(GOLDEN_PATH, &bytes).expect("write golden catalog");
+    }
+    std::fs::read(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("cannot read {GOLDEN_PATH} (regenerate with UPDATE_GOLDEN=1): {e}")
+    })
+}
+
+/// The frozen pre-analytics catalog loads, answers classic queries, and
+/// re-encodes byte-for-byte — old catalogs keep working, unchanged.
+#[test]
+fn pre_analytics_catalog_loads_and_serves_unchanged() {
+    let bytes = golden_bytes();
+    let catalog = Catalog::load_bytes(&bytes, None).expect("golden catalog loads");
+    assert!(catalog.analytics().is_none(), "artifact predates analytics");
+    assert!(!catalog.rules().is_empty());
+    assert_eq!(
+        catalog.encode(),
+        bytes,
+        "decode/encode round trip is byte-identical"
+    );
+
+    // Exactly the three original sections, every checksum intact.
+    let sections = section_inventory(&bytes).expect("walkable");
+    assert_eq!(
+        sections.iter().map(|s| s.name).collect::<Vec<_>>(),
+        ["schema", "rules", "stats"]
+    );
+    assert!(sections.iter().all(|s| s.crc_ok));
+
+    // Classic queries behave as they always did.
+    let index = RuleIndex::build(&catalog, None);
+    assert!(!index.has_analytics());
+    let all = index.top_k(RankBy::Confidence, catalog.rules().len());
+    assert_eq!(all.len(), catalog.rules().len());
+
+    // Analytics-only features refuse with the documented pointer at the
+    // backfill path instead of silently misbehaving.
+    let mut ids: Vec<u32> = (0..catalog.rules().len() as u32).collect();
+    let err = index
+        .filter_analytics(&mut ids, Some(1.0), None)
+        .expect_err("filters need analytics");
+    assert!(err.to_string().contains("qar analyze"), "{err}");
+}
+
+/// Backfilling analytics into the golden catalog strictly appends the
+/// `ANALYTICS` section — the original bytes are untouched — and the
+/// annotated file round-trips byte-exactly with bit-identical floats.
+#[test]
+fn golden_catalog_backfills_and_round_trips_with_analytics() {
+    let bytes = golden_bytes();
+    let catalog = Catalog::load_bytes(&bytes, None).expect("golden catalog loads");
+
+    // Re-encode the source data with the catalog's own encoders, the
+    // `qar analyze` path.
+    let table = source_table();
+    assert_eq!(table.num_rows() as u64, catalog.num_rows());
+    let encoded =
+        EncodedTable::encode(&table, catalog.encoders().to_vec()).expect("source re-encodes");
+    let set = analytics_from_encoded(catalog.rules(), &encoded, &AnalyticsConfig::default(), None);
+
+    let annotated = catalog
+        .with_analytics(set.clone())
+        .expect("analytics attach")
+        .encode();
+    assert_eq!(
+        &annotated[..bytes.len()],
+        &bytes[..],
+        "annotation strictly appends"
+    );
+    let sections = section_inventory(&annotated).expect("walkable");
+    assert_eq!(
+        sections.iter().map(|s| s.name).collect::<Vec<_>>(),
+        ["schema", "rules", "stats", "analytics"]
+    );
+    assert!(sections.iter().all(|s| s.crc_ok));
+
+    let reloaded = Catalog::load_bytes(&annotated, None).expect("annotated loads");
+    assert!(reloaded
+        .analytics()
+        .expect("analytics decoded")
+        .bits_eq(&set));
+    assert_eq!(
+        reloaded.encode(),
+        annotated,
+        "annotated round trip is byte-identical"
+    );
+
+    // The annotated catalog now ranks and filters by the new metrics.
+    let index = RuleIndex::build(&reloaded, None);
+    assert!(index.has_analytics());
+    let by_lift = index.top_k(RankBy::Lift, 3);
+    assert!(!by_lift.is_empty());
+    let mut ids: Vec<u32> = (0..reloaded.rules().len() as u32).collect();
+    index
+        .filter_analytics(&mut ids, Some(0.0), Some(1.0))
+        .expect("filters work with analytics");
+}
+
+/// An OLD reader — simulated by truncating the file at the analytics
+/// boundary — sees a valid analytics-less catalog: the trailing-section
+/// design means new sections never break old consumers, and this reader
+/// skips unknown future sections the same way.
+#[test]
+fn analytics_section_is_invisible_to_pre_analytics_readers() {
+    let bytes = golden_bytes();
+    let catalog = Catalog::load_bytes(&bytes, None).expect("golden catalog loads");
+    let table = source_table();
+    let encoded =
+        EncodedTable::encode(&table, catalog.encoders().to_vec()).expect("source re-encodes");
+    let set = analytics_from_encoded(catalog.rules(), &encoded, &AnalyticsConfig::default(), None);
+    let num_rules = catalog.rules().len();
+    let annotated = catalog.with_analytics(set).expect("attach").encode();
+
+    // Truncating at the boundary of the old format's last section yields
+    // exactly the golden bytes — i.e. the old reader's view.
+    let truncated = &annotated[..golden_bytes().len()];
+    let old_view = Catalog::load_bytes(truncated, None).expect("old view loads");
+    assert!(old_view.analytics().is_none());
+    assert_eq!(old_view.rules().len(), num_rules);
+}
