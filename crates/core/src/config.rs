@@ -295,6 +295,19 @@ pub enum MinerError {
     /// The run was aborted through a [`qar_trace::CancelToken`]; partial
     /// statistics are inside.
     Cancelled(CancelledInfo),
+    /// Distributed-mining setup or protocol failure (worker spawn,
+    /// handshake, malformed frame) with no usable fallback.
+    Distributed(String),
+    /// A worker died or timed out mid-run and its partition could not be
+    /// recounted elsewhere.
+    WorkerLost {
+        /// 0-based index of the lost worker.
+        worker: usize,
+        /// 1-based pass during which the loss was observed.
+        pass: usize,
+        /// The underlying I/O or protocol failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MinerError {
@@ -314,6 +327,12 @@ impl fmt::Display for MinerError {
                     "caller abort"
                 }
             ),
+            MinerError::Distributed(msg) => write!(f, "distributed mining error: {msg}"),
+            MinerError::WorkerLost {
+                worker,
+                pass,
+                detail,
+            } => write!(f, "worker {worker} lost during pass {pass}: {detail}"),
         }
     }
 }

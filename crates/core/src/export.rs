@@ -113,6 +113,21 @@ fn items_to_json(items: &[Item], table: &impl RuleDecoder) -> String {
     format!("[{}]", parts.join(","))
 }
 
+/// Render an `f64` as a JSON value. JSON has no encoding for `inf` or
+/// `NaN` — emitting them verbatim (as `{:?}`/`{}` would) produces a
+/// document every conforming parser rejects — so non-finite values
+/// become `null`. This is the one convention for every JSON boundary in
+/// the workspace: an analytics measure that is undefined (χ² with an
+/// empty margin) or divergent (conviction of an exact rule) reads as
+/// `null`, never as `inf`/`NaN` tokens.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Write rules as a JSON array. Quantitative items carry numeric `lo`/`hi`
 /// bounds; categorical items carry their `value` label.
 pub fn rules_to_json<W: Write>(
@@ -121,6 +136,22 @@ pub fn rules_to_json<W: Write>(
     verdicts: Option<&[RuleInterest]>,
     table: &impl RuleDecoder,
     num_rows: u64,
+) -> std::io::Result<()> {
+    rules_to_json_with(out, rules, verdicts, table, num_rows, |_| String::new())
+}
+
+/// [`rules_to_json`] with an extra-fields hook: for each rule index the
+/// closure returns raw JSON members (each prefixed with a comma, e.g.
+/// `,"lift":1.5`) appended inside that rule's object. Callers use this
+/// to attach analytics measures without this crate depending on the
+/// analytics types.
+pub fn rules_to_json_with<W: Write>(
+    out: &mut W,
+    rules: &[QuantRule],
+    verdicts: Option<&[RuleInterest]>,
+    table: &impl RuleDecoder,
+    num_rows: u64,
+    extra: impl Fn(usize) -> String,
 ) -> std::io::Result<()> {
     if let Some(v) = verdicts {
         assert_eq!(v.len(), rules.len(), "one verdict per rule");
@@ -134,13 +165,14 @@ pub fn rules_to_json<W: Write>(
         let comma = if i + 1 < rules.len() { "," } else { "" };
         writeln!(
             out,
-            "  {{\"antecedent\":{},\"consequent\":{},\"support_count\":{},\"support\":{:.6},\"confidence\":{:.6}{}}}{}",
+            "  {{\"antecedent\":{},\"consequent\":{},\"support_count\":{},\"support\":{:.6},\"confidence\":{:.6}{}{}}}{}",
             items_to_json(rule.antecedent.items(), table),
             items_to_json(rule.consequent.items(), table),
             rule.support,
             rule.support as f64 / num_rows as f64,
             rule.confidence,
             interesting,
+            extra(i),
             comma,
         )?;
     }
@@ -317,6 +349,40 @@ mod tests {
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+
+    #[test]
+    fn json_f64_nulls_non_finite() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.0), "0");
+        assert_eq!(json_f64(-3.25e-4), "-0.000325");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn extra_fields_land_inside_each_rule_object() {
+        let out = mined();
+        let mut buf = Vec::new();
+        rules_to_json_with(
+            &mut buf,
+            &out.rules,
+            None,
+            &out.encoded,
+            out.frequent.num_rows,
+            |i| format!(",\"lift\":{},\"conviction\":{}", i, json_f64(f64::INFINITY)),
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = qar_trace::json::parse(&text).expect("valid JSON");
+        let rules = parsed.as_array().expect("an array");
+        assert_eq!(rules.len(), out.rules.len());
+        for (i, rule) in rules.iter().enumerate() {
+            let obj = rule.as_object().expect("a rule object");
+            assert_eq!(obj["lift"].as_u64(), Some(i as u64));
+            assert!(obj["conviction"].is_null());
+        }
     }
 
     #[test]

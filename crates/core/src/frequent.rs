@@ -88,15 +88,44 @@ pub struct FrequentItems {
 ///   only "as long as their support is less than the user-specified max
 ///   support".
 pub fn find_frequent_items(table: &EncodedTable, min_count: u64, max_count: u64) -> FrequentItems {
+    frequent_items_from_counts(table, attribute_value_counts(table), min_count, max_count)
+}
+
+/// The scan half of pass 1: per-attribute value histograms of `table`
+/// (index = code). Histograms over disjoint row partitions merge by
+/// element-wise addition into exactly the whole-table histogram — the
+/// property the distributed and out-of-core paths rely on.
+pub fn attribute_value_counts(table: &EncodedTable) -> Vec<Vec<u64>> {
+    table
+        .schema()
+        .iter()
+        .map(|(id, _)| {
+            let mut counts = vec![0u64; table.cardinality(id) as usize];
+            for &code in table.codes(id) {
+                counts[code as usize] += 1;
+            }
+            counts
+        })
+        .collect()
+}
+
+/// The combination half of pass 1: derive the frequent items from
+/// already-computed per-attribute histograms. `meta` supplies only
+/// schema kinds, cardinalities and taxonomy groups, so a decode-only
+/// header table ([`EncodedTable::header_only`]) works.
+pub fn frequent_items_from_counts(
+    meta: &EncodedTable,
+    value_counts: Vec<Vec<u64>>,
+    min_count: u64,
+    max_count: u64,
+) -> FrequentItems {
+    let table = meta;
     let schema = table.schema();
     let mut items: Vec<(Item, u64)> = Vec::new();
-    let mut value_counts: Vec<Vec<u64>> = Vec::with_capacity(schema.len());
     for (id, def) in schema.iter() {
         let card = table.cardinality(id) as usize;
-        let mut counts = vec![0u64; card];
-        for &code in table.codes(id) {
-            counts[code as usize] += 1;
-        }
+        let counts = &value_counts[id.index()];
+        debug_assert_eq!(counts.len(), card, "histogram length != cardinality");
         let attr = id.index() as u32;
         match def.kind() {
             AttributeKind::Categorical => {
@@ -150,7 +179,6 @@ pub fn find_frequent_items(table: &EncodedTable, min_count: u64, max_count: u64)
                 }
             }
         }
-        value_counts.push(counts);
     }
     items.sort_by_key(|&(item, _)| item);
     FrequentItems {

@@ -39,6 +39,7 @@ pub mod output;
 pub mod pipeline;
 pub mod pool;
 pub mod rules;
+pub mod source;
 pub mod supercand;
 
 pub use delta::{f64_close_ulps, ItemsetSetDelta, RuleSetDelta};
@@ -57,3 +58,4 @@ pub use output::RuleDecoder;
 pub use pipeline::{mine_table, MiningOutput, MiningStats};
 pub use pool::WorkerPool;
 pub use rules::{generate_rules, QuantRule};
+pub use source::{mine_source, ChunkedSource, CountError, CountSource, InMemorySource};

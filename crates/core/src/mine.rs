@@ -68,19 +68,19 @@ impl<'a> RunCtx<'a> {
 
     /// Emit an event if a sink is attached (the closure keeps event
     /// construction off the unobserved path).
-    fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+    pub(crate) fn emit(&self, make: impl FnOnce() -> TraceEvent) {
         if let Some(sink) = self.sink {
             sink.on_event(&make());
         }
     }
 
-    fn is_cancelled(&self) -> bool {
+    pub(crate) fn is_cancelled(&self) -> bool {
         self.cancel.is_some_and(CancelToken::is_cancelled)
     }
 
     /// Emit the `cancelled` event and build the [`MinerError::Cancelled`]
     /// carrying the completed passes' statistics.
-    fn cancelled(&self, pass: usize, stats: MineStats) -> MinerError {
+    pub(crate) fn cancelled(&self, pass: usize, stats: MineStats) -> MinerError {
         let deadline = self.cancel.is_some_and(CancelToken::deadline_exceeded);
         self.emit(|| TraceEvent::Cancelled { pass, deadline });
         MinerError::Cancelled(CancelledInfo {
@@ -92,7 +92,7 @@ impl<'a> RunCtx<'a> {
 }
 
 /// A [`TraceEvent::PassFinished`] for a counting pass `k ≥ 2`.
-fn pass_finished_event(
+pub(crate) fn pass_finished_event(
     pass: usize,
     candidates: usize,
     frequent: usize,

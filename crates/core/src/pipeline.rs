@@ -36,6 +36,41 @@ pub struct MiningStats {
     pub encoding_reused: bool,
 }
 
+impl MiningStats {
+    /// A copy with every volatile field zeroed: wall-clock durations,
+    /// machine parallelism, and the per-pass kernel/shard/cache numbers
+    /// (each [`crate::supercand::PassStats`] is replaced by its default,
+    /// preserving only the entry count). What survives is exactly the
+    /// algorithmic trace — intervals per attribute, candidate counts per
+    /// pass, pruned items, rule totals — so two catalogs written with
+    /// normalized stats are byte-identical iff the *mining results*
+    /// agree, regardless of which machine, thread count, kernel, or
+    /// execution strategy (serial, distributed, out-of-core) produced
+    /// them. `encoding_reused` is pinned to `false` for the same reason.
+    pub fn normalized(&self) -> MiningStats {
+        MiningStats {
+            intervals_per_attribute: self.intervals_per_attribute.clone(),
+            mine: crate::mine::MineStats {
+                candidates_per_pass: self.mine.candidates_per_pass.clone(),
+                pass_stats: self
+                    .mine
+                    .pass_stats
+                    .iter()
+                    .map(|_| Default::default())
+                    .collect(),
+                interest_pruned_items: self.mine.interest_pruned_items,
+                pass1_scan_time: Duration::ZERO,
+                parallelism: 0,
+            },
+            rules_total: self.rules_total,
+            rules_interesting: self.rules_interesting,
+            elapsed: Duration::ZERO,
+            elapsed_mining: Duration::ZERO,
+            encoding_reused: false,
+        }
+    }
+}
+
 /// Everything a mining run produces.
 pub struct MiningOutput {
     /// The encoded table (kept so rules can be rendered and recounted).
@@ -110,35 +145,105 @@ pub fn build_encoders(
                     PartitionSpec::PerAttribute(map) => map.get(def.name()).copied(),
                     _ => default_intervals,
                 };
-                let mut distinct = data.to_vec();
-                distinct.sort_by(f64::total_cmp);
-                distinct.dedup();
-                match wanted {
-                    // "If the number of values is small, we do not
-                    // partition": fewer distinct values than intervals means
-                    // full resolution already satisfies the completeness
-                    // target.
-                    Some(k) if distinct.len() > k && k >= 1 => {
-                        let kmeans = KMeans1D::default();
-                        let partitioner: &dyn Partitioner = match config.partition_strategy {
-                            PartitionStrategy::EquiDepth => &EquiDepth,
-                            PartitionStrategy::EquiWidth => &EquiWidth,
-                            PartitionStrategy::KMeans => &kmeans,
-                        };
-                        let cuts = partitioner.cut_points(data, k);
-                        let achieved = cuts.len() + 1;
-                        encoders.push(AttributeEncoder::quant_intervals_from(
-                            data, cuts, *integral,
-                        ));
-                        intervals.push(Some(achieved));
-                    }
-                    _ => {
-                        encoders.push(AttributeEncoder::quant_values_from(data, *integral));
-                        intervals.push(None);
-                    }
-                }
+                let (encoder, achieved) =
+                    quant_encoder_from(data, *integral, wanted, config.partition_strategy);
+                encoders.push(encoder);
+                intervals.push(achieved);
             }
             _ => unreachable!("columns always match their schema kind"),
+        }
+    }
+    Ok((encoders, intervals))
+}
+
+/// The quantitative half of Step 1/2 for one attribute: partition (or
+/// not) and build the encoder. Order-independent in `data` — the
+/// partitioners sort internally and the display bounds are per-interval
+/// min/max — so the streaming path may pass a sorted reconstruction.
+fn quant_encoder_from(
+    data: &[f64],
+    integral: bool,
+    wanted: Option<usize>,
+    strategy: PartitionStrategy,
+) -> (AttributeEncoder, Option<usize>) {
+    let mut distinct = data.to_vec();
+    distinct.sort_by(f64::total_cmp);
+    distinct.dedup();
+    match wanted {
+        // "If the number of values is small, we do not partition": fewer
+        // distinct values than intervals means full resolution already
+        // satisfies the completeness target.
+        Some(k) if distinct.len() > k && k >= 1 => {
+            let kmeans = KMeans1D::default();
+            let partitioner: &dyn Partitioner = match strategy {
+                PartitionStrategy::EquiDepth => &EquiDepth,
+                PartitionStrategy::EquiWidth => &EquiWidth,
+                PartitionStrategy::KMeans => &kmeans,
+            };
+            let cuts = partitioner.cut_points(data, k);
+            let achieved = cuts.len() + 1;
+            (
+                AttributeEncoder::quant_intervals_from(data, cuts, integral),
+                Some(achieved),
+            )
+        }
+        _ => (AttributeEncoder::quant_values_from(data, integral), None),
+    }
+}
+
+/// [`build_encoders`] from a streaming [`qar_table::TableSummary`] instead
+/// of an in-memory table — the out-of-core ingest path. Produces encoders
+/// identical to what `build_encoders` would build on the full table,
+/// because every constructor involved is order-independent and the
+/// summary reconstructs each column with exact multiplicities (one
+/// attribute at a time, so peak memory is a single column).
+pub fn build_encoders_from_summary(
+    summary: &qar_table::TableSummary,
+    config: &MinerConfig,
+) -> Result<(Vec<AttributeEncoder>, Vec<Option<usize>>), MinerError> {
+    let schema = summary.schema();
+    let n_quant = schema.quantitative_ids().len();
+    let default_intervals: Option<usize> = match &config.partitioning {
+        PartitionSpec::None => None,
+        PartitionSpec::FixedIntervals(m) => Some(*m),
+        PartitionSpec::CompletenessLevel(k) => Some(
+            num_intervals(n_quant.max(1), config.min_support, *k)
+                .map_err(|e| MinerError::Partition(e.to_string()))?,
+        ),
+        PartitionSpec::PerAttribute(_) => None,
+    };
+
+    let mut encoders = Vec::with_capacity(schema.len());
+    let mut intervals = Vec::with_capacity(schema.len());
+    for (id, def) in schema.iter() {
+        match def.kind() {
+            AttributeKind::Categorical => {
+                let labels = summary.labels(id);
+                match config.taxonomies.get(def.name()) {
+                    Some(taxonomy) => {
+                        encoders.push(AttributeEncoder::categorical_with_taxonomy(
+                            &labels, taxonomy,
+                        )?);
+                    }
+                    None => encoders.push(AttributeEncoder::categorical_from(&labels)),
+                }
+                intervals.push(None);
+            }
+            AttributeKind::Quantitative => {
+                let wanted = match &config.partitioning {
+                    PartitionSpec::PerAttribute(map) => map.get(def.name()).copied(),
+                    _ => default_intervals,
+                };
+                let data = summary.expand_quant(id);
+                let (encoder, achieved) = quant_encoder_from(
+                    &data,
+                    summary.integral(id),
+                    wanted,
+                    config.partition_strategy,
+                );
+                encoders.push(encoder);
+                intervals.push(achieved);
+            }
         }
     }
     Ok((encoders, intervals))

@@ -1,0 +1,683 @@
+//! Count-distribution mining over an abstract counting backend.
+//!
+//! The level-wise loop of [`crate::mine`] needs only two things from the
+//! data: the pass-1 per-attribute value histograms and, for every later
+//! pass, the raw support count of each candidate itemset. Both are sums
+//! over rows, so counts taken over *disjoint row partitions* merge by
+//! element-wise `u64` addition into exactly the whole-table counts.
+//!
+//! [`CountSource`] abstracts that contract. [`mine_source`] then runs the
+//! complete Steps 3–5 pipeline — candidate generation, rule generation and
+//! the interest measure all happen on the caller's side, only counting is
+//! delegated — which is precisely the *count distribution* scheme for
+//! distributed Apriori: every participant counts its partition, the
+//! coordinator merges and decides. Because candidate generation is global
+//! and counts are exact integers, the result is bit-identical to the
+//! serial miner, whatever the partitioning.
+//!
+//! Two local sources live here:
+//!
+//! * [`InMemorySource`] — counts an [`EncodedTable`] directly (the
+//!   reference implementation the others are tested against),
+//! * [`ChunkedSource`] — counts a [`qar_table::ChunkStore`] one spilled
+//!   chunk at a time, so tables larger than memory mine out-of-core.
+//!
+//! The TCP-backed source of the `qar-dist` crate implements the same
+//! trait over a pool of worker processes.
+
+use std::time::Instant;
+
+use crate::candidate::{generate_candidates, interest_prune_level1};
+use crate::config::{InterestMode, MinerConfig, MinerError};
+use crate::frequent::{attribute_value_counts, frequent_items_from_counts, QuantFrequentItemsets};
+use crate::interest::{annotate_interest, ItemSupports};
+use crate::mine::{pass_finished_event, MineStats, RunCtx};
+use crate::pipeline::{MiningOutput, MiningStats};
+use crate::rules::generate_rules;
+use crate::supercand::{count_candidates_opts, PassStats, ScanOptions};
+use qar_itemset::Itemset;
+use qar_table::{AttributeKind, ChunkStore, EncodedTable};
+use qar_trace::{event::micros, CancelToken, ProgressSink, TraceEvent};
+
+/// Why a [`CountSource`] call did not produce counts.
+#[derive(Debug)]
+pub enum CountError {
+    /// The run's cancellation token tripped mid-count; the driver turns
+    /// this into [`MinerError::Cancelled`] with the completed passes'
+    /// statistics.
+    Cancelled,
+    /// The source failed for real (I/O, a lost worker, a corrupt chunk).
+    Failed(MinerError),
+}
+
+impl From<MinerError> for CountError {
+    fn from(e: MinerError) -> Self {
+        CountError::Failed(e)
+    }
+}
+
+impl From<qar_table::TableError> for CountError {
+    fn from(e: qar_table::TableError) -> Self {
+        CountError::Failed(MinerError::from(e))
+    }
+}
+
+impl From<crate::supercand::ScanCancelled> for CountError {
+    fn from(_: crate::supercand::ScanCancelled) -> Self {
+        CountError::Cancelled
+    }
+}
+
+/// A counting backend for the level-wise search.
+///
+/// Implementations must satisfy the count-distribution contract: the
+/// returned vectors are the *exact whole-table* tallies (raw, unfiltered
+/// by support thresholds), as if computed by a single serial scan. Any
+/// partitioning — across chunks, processes, or machines — must be over
+/// disjoint row subsets whose per-partition counts are merged by `u64`
+/// addition.
+pub trait CountSource {
+    /// The schema and encoders of the table being mined. A decode-only
+    /// header table ([`EncodedTable::header_only`]) is sufficient — the
+    /// driver never scans it.
+    fn meta(&self) -> &EncodedTable;
+
+    /// Total number of rows across all partitions.
+    fn num_rows(&self) -> u64;
+
+    /// Pass 1: the per-attribute value histograms (`counts[attr][code]`),
+    /// merged across partitions.
+    fn value_counts(&mut self) -> Result<Vec<Vec<u64>>, CountError>;
+
+    /// Pass `k ≥ 2`: the raw support count of each candidate, aligned
+    /// with `candidates`, merged across partitions.
+    fn count(&mut self, pass: usize, candidates: &[Itemset]) -> Result<Vec<u64>, CountError>;
+}
+
+/// Mine all frequent itemsets using `source` for every counting scan.
+///
+/// Mirrors [`crate::mine::mine_encoded_ctx`] event-for-event and
+/// stat-for-stat, with one structural difference: pass 2 counts an
+/// explicit candidate list (the cross product of frequent items over
+/// distinct attribute pairs — the same set the serial implicit pair pass
+/// counts, so `candidates_per_pass` agrees) because implicit pair
+/// counting cannot be delegated through the count-vector interface.
+///
+/// Also returns the merged pass-1 value counts (the driver reuses them
+/// for [`ItemSupports`] instead of re-scanning).
+pub(crate) fn mine_with_source_ctx(
+    source: &mut dyn CountSource,
+    config: &MinerConfig,
+    ctx: RunCtx<'_>,
+) -> Result<(QuantFrequentItemsets, MineStats, Vec<Vec<u64>>), MinerError> {
+    config.validate()?;
+    let num_rows = source.num_rows();
+    if num_rows == 0 {
+        return Err(MinerError::Schema(qar_table::TableError::EmptyTable));
+    }
+    let min_count = ((config.min_support * num_rows as f64).ceil() as u64).max(1);
+    let max_count = (config.max_support * num_rows as f64).floor() as u64;
+
+    let mut frequent = QuantFrequentItemsets::new(num_rows);
+    let mut stats = MineStats {
+        parallelism: config.effective_parallelism(),
+        ..MineStats::default()
+    };
+
+    let run_started = Instant::now();
+    ctx.emit(|| TraceEvent::RunStarted {
+        rows: num_rows,
+        attributes: source.meta().schema().len(),
+        min_count,
+        max_count,
+        parallelism: stats.parallelism,
+    });
+    if ctx.is_cancelled() {
+        return Err(ctx.cancelled(1, stats));
+    }
+
+    // Pass 1: frequent items from the merged histograms.
+    ctx.emit(|| TraceEvent::PassStarted {
+        pass: 1,
+        candidates: 0,
+    });
+    let pass1_started = Instant::now();
+    let value_counts = match source.value_counts() {
+        Ok(v) => v,
+        Err(CountError::Cancelled) => return Err(ctx.cancelled(1, stats)),
+        Err(CountError::Failed(e)) => return Err(e),
+    };
+    let items = frequent_items_from_counts(source.meta(), value_counts, min_count, max_count);
+    stats.pass1_scan_time = pass1_started.elapsed();
+    let mut level1: Vec<(Itemset, u64)> = items
+        .items
+        .iter()
+        .map(|&(item, count)| (Itemset::singleton(item), count))
+        .collect();
+    let value_counts = items.value_counts;
+
+    // Lemma 5 interest prune — identical to the serial path (it depends
+    // only on level-1 fractions and the schema, both already global).
+    if let Some(interest) = &config.interest {
+        if interest.prune_candidates && interest.mode == InterestMode::SupportAndConfidence {
+            let before = level1.len();
+            let mut probe = QuantFrequentItemsets::new(num_rows);
+            probe.push_level(level1.clone());
+            let schema = source.meta().schema();
+            let is_quant = |attr: u32| {
+                schema.attributes()[attr as usize].kind() == AttributeKind::Quantitative
+            };
+            level1 = interest_prune_level1(level1, &probe, interest.level, &is_quant);
+            stats.interest_pruned_items = before - level1.len();
+        }
+    }
+    ctx.emit(|| TraceEvent::PassFinished {
+        pass: 1,
+        candidates: 0,
+        frequent: level1.len(),
+        pruned: stats.interest_pruned_items,
+        super_candidates: 0,
+        array_backed: 0,
+        rtree_backed: 0,
+        hash_tree_nodes: 0,
+        counter_bytes: 0,
+        scan_us: micros(stats.pass1_scan_time),
+        merge_us: 0,
+        shard_scan_us: Vec::new(),
+        pooled: false,
+        memoized: false,
+        kernel: "direct".to_string(),
+        distinct_tuples: 0,
+        memo_hits: 0,
+    });
+    if level1.is_empty() {
+        ctx.emit(|| TraceEvent::RunFinished {
+            passes: 1,
+            frequent_total: 0,
+            elapsed_us: micros(run_started.elapsed()),
+        });
+        return Ok((frequent, stats, value_counts));
+    }
+    frequent.push_level(level1);
+
+    // Passes k >= 2: global candidate generation, delegated counting.
+    loop {
+        let k = frequent.levels.len() + 1;
+        if config.max_itemset_size != 0 && k > config.max_itemset_size {
+            break;
+        }
+        if ctx.is_cancelled() {
+            return Err(ctx.cancelled(k, stats));
+        }
+        let prev = frequent.levels.last().expect("level 1 pushed");
+        let candidates = generate_candidates(prev);
+        if candidates.is_empty() {
+            if k == 2 {
+                // The serial implicit pair pass records pass 2 (with zero
+                // candidates) even when no attribute pair exists; mirror
+                // that so stats and traces stay aligned.
+                stats.candidates_per_pass.push(0);
+                ctx.emit(|| TraceEvent::PassStarted {
+                    pass: k,
+                    candidates: 0,
+                });
+                let pass = PassStats::default();
+                ctx.emit(|| pass_finished_event(k, 0, 0, &pass));
+                stats.pass_stats.push(pass);
+            }
+            break;
+        }
+        stats.candidates_per_pass.push(candidates.len());
+        ctx.emit(|| TraceEvent::PassStarted {
+            pass: k,
+            candidates: candidates.len(),
+        });
+        let counts = match source.count(k, &candidates) {
+            Ok(c) => c,
+            Err(CountError::Cancelled) => return Err(ctx.cancelled(k, stats)),
+            Err(CountError::Failed(e)) => return Err(e),
+        };
+        if counts.len() != candidates.len() {
+            return Err(MinerError::Distributed(format!(
+                "pass {k}: source returned {} counts for {} candidates",
+                counts.len(),
+                candidates.len()
+            )));
+        }
+        let level: Vec<(Itemset, u64)> = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        let pass = PassStats::default();
+        ctx.emit(|| pass_finished_event(k, stats.candidates_per_pass[k - 2], level.len(), &pass));
+        stats.pass_stats.push(pass);
+        if level.is_empty() {
+            break;
+        }
+        frequent.push_level(level);
+    }
+    ctx.emit(|| TraceEvent::RunFinished {
+        passes: 1 + stats.pass_stats.len(),
+        frequent_total: frequent.total(),
+        elapsed_us: micros(run_started.elapsed()),
+    });
+    Ok((frequent, stats, value_counts))
+}
+
+/// Run the complete Steps 3–5 pipeline (frequent itemsets, rules,
+/// interest) over an abstract counting backend.
+///
+/// The result is bit-identical to [`crate::Miner::mine_encoded`] on the
+/// corresponding in-memory table: same frequent itemsets and supports,
+/// same rules, same interest verdicts. Statistics differ only in their
+/// volatile fields (timings, kernels) — [`MiningStats::normalized`]
+/// projections agree exactly.
+pub fn mine_source(
+    source: &mut dyn CountSource,
+    config: &MinerConfig,
+    sink: Option<&dyn ProgressSink>,
+    cancel: Option<&CancelToken>,
+) -> Result<MiningOutput, MinerError> {
+    config.validate()?;
+    let started = Instant::now();
+    let ctx = RunCtx {
+        sink,
+        cancel,
+        pool: None,
+    };
+
+    let mining_started = Instant::now();
+    let (frequent, mine_stats, value_counts) = mine_with_source_ctx(source, config, ctx)?;
+    let elapsed_mining = mining_started.elapsed();
+
+    // Step 4: rules.
+    let rules = generate_rules(&frequent, config.min_confidence);
+
+    // Step 5: interest — from the merged pass-1 histograms, which equal
+    // the serial path's whole-table scan.
+    let item_supports = ItemSupports::from_value_counts(&value_counts, frequent.num_rows);
+    let interest = config
+        .interest
+        .as_ref()
+        .map(|ic| annotate_interest(&rules, &frequent, &item_supports, ic));
+
+    let rules_total = rules.len();
+    let rules_interesting = match &interest {
+        Some(v) => v.iter().filter(|x| x.interesting).count(),
+        None => rules_total,
+    };
+    Ok(MiningOutput {
+        encoded: source.meta().clone(),
+        frequent,
+        rules,
+        interest,
+        item_supports,
+        stats: MiningStats {
+            intervals_per_attribute: Vec::new(),
+            mine: mine_stats,
+            rules_total,
+            rules_interesting,
+            elapsed: started.elapsed(),
+            elapsed_mining,
+            encoding_reused: false,
+        },
+    })
+}
+
+/// The reference [`CountSource`]: counts an in-memory [`EncodedTable`]
+/// with the same scan kernels the serial miner uses.
+pub struct InMemorySource<'a> {
+    table: &'a EncodedTable,
+    num_threads: usize,
+    kernel: crate::config::ScanKernel,
+    cancel: Option<&'a CancelToken>,
+}
+
+impl<'a> InMemorySource<'a> {
+    /// A source over `table`, with parallelism and kernel from `config`.
+    pub fn new(table: &'a EncodedTable, config: &MinerConfig) -> Self {
+        InMemorySource {
+            table,
+            num_threads: config.effective_parallelism(),
+            kernel: config.kernel,
+            cancel: None,
+        }
+    }
+
+    /// Attach a cancellation token checked inside every counting scan.
+    pub fn with_cancel(mut self, cancel: &'a CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    fn opts(&self) -> ScanOptions<'a> {
+        ScanOptions {
+            cancel: self.cancel,
+            kernel: self.kernel,
+            ..ScanOptions::new(self.num_threads)
+        }
+    }
+}
+
+impl CountSource for InMemorySource<'_> {
+    fn meta(&self) -> &EncodedTable {
+        self.table
+    }
+
+    fn num_rows(&self) -> u64 {
+        self.table.num_rows() as u64
+    }
+
+    fn value_counts(&mut self) -> Result<Vec<Vec<u64>>, CountError> {
+        Ok(attribute_value_counts(self.table))
+    }
+
+    fn count(&mut self, _pass: usize, candidates: &[Itemset]) -> Result<Vec<u64>, CountError> {
+        let (counts, _) = count_candidates_opts(self.table, candidates, None, self.opts())?;
+        Ok(counts)
+    }
+}
+
+/// A [`CountSource`] over a spilled [`ChunkStore`]: every counting pass
+/// streams the chunks from disk one at a time and merges their counts by
+/// addition, so peak memory is one chunk regardless of table size.
+pub struct ChunkedSource<'a> {
+    store: &'a ChunkStore,
+    meta: EncodedTable,
+    num_threads: usize,
+    kernel: crate::config::ScanKernel,
+    cancel: Option<&'a CancelToken>,
+}
+
+impl<'a> ChunkedSource<'a> {
+    /// A source over `store`, with parallelism and kernel from `config`.
+    pub fn new(store: &'a ChunkStore, config: &MinerConfig) -> Self {
+        ChunkedSource {
+            store,
+            meta: store.header(),
+            num_threads: config.effective_parallelism(),
+            kernel: config.kernel,
+            cancel: None,
+        }
+    }
+
+    /// Attach a cancellation token checked inside every counting scan.
+    pub fn with_cancel(mut self, cancel: &'a CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    fn opts(&self) -> ScanOptions<'a> {
+        ScanOptions {
+            cancel: self.cancel,
+            kernel: self.kernel,
+            ..ScanOptions::new(self.num_threads)
+        }
+    }
+}
+
+impl CountSource for ChunkedSource<'_> {
+    fn meta(&self) -> &EncodedTable {
+        &self.meta
+    }
+
+    fn num_rows(&self) -> u64 {
+        self.store.num_rows() as u64
+    }
+
+    fn value_counts(&mut self) -> Result<Vec<Vec<u64>>, CountError> {
+        let mut merged: Option<Vec<Vec<u64>>> = None;
+        for i in 0..self.store.num_chunks() {
+            if self.cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(CountError::Cancelled);
+            }
+            let chunk = self.store.chunk(i)?;
+            let counts = attribute_value_counts(&chunk);
+            match &mut merged {
+                None => merged = Some(counts),
+                Some(m) => {
+                    for (acc, add) in m.iter_mut().zip(&counts) {
+                        for (a, b) in acc.iter_mut().zip(add) {
+                            *a += b;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(merged.unwrap_or_else(|| {
+            self.meta
+                .schema()
+                .iter()
+                .map(|(id, _)| vec![0u64; self.meta.cardinality(id) as usize])
+                .collect()
+        }))
+    }
+
+    fn count(&mut self, _pass: usize, candidates: &[Itemset]) -> Result<Vec<u64>, CountError> {
+        let mut merged = vec![0u64; candidates.len()];
+        for i in 0..self.store.num_chunks() {
+            let chunk = self.store.chunk(i)?;
+            let (counts, _) = count_candidates_opts(&chunk, candidates, None, self.opts())?;
+            for (a, b) in merged.iter_mut().zip(counts) {
+                *a += b;
+            }
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionSpec;
+    use crate::miner::Miner;
+    use qar_table::{Schema, Table, Value};
+
+    fn people_table() -> Table {
+        let schema = Schema::builder()
+            .quantitative("Age")
+            .categorical("Married")
+            .quantitative("NumCars")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (age, married, cars) in [
+            (23, "No", 1),
+            (25, "Yes", 1),
+            (29, "No", 0),
+            (34, "Yes", 2),
+            (38, "Yes", 2),
+            (41, "No", 1),
+            (45, "Yes", 3),
+            (52, "Yes", 2),
+            (58, "No", 0),
+            (63, "Yes", 2),
+        ] {
+            t.push_row(&[Value::Int(age), Value::from(married), Value::Int(cars)])
+                .unwrap();
+        }
+        t
+    }
+
+    fn config() -> MinerConfig {
+        MinerConfig {
+            min_support: 0.2,
+            min_confidence: 0.5,
+            max_support: 1.0,
+            partitioning: PartitionSpec::FixedIntervals(3),
+            interest: None,
+            ..MinerConfig::default()
+        }
+    }
+
+    fn encoded() -> EncodedTable {
+        let table = people_table();
+        let (encoders, _) = crate::pipeline::build_encoders(&table, &config()).unwrap();
+        EncodedTable::encode(&table, encoders).unwrap()
+    }
+
+    fn assert_outputs_identical(a: &MiningOutput, b: &MiningOutput) {
+        assert_eq!(a.frequent.levels, b.frequent.levels);
+        assert_eq!(a.rules, b.rules);
+        assert_eq!(a.stats.rules_total, b.stats.rules_total);
+        assert_eq!(a.stats.rules_interesting, b.stats.rules_interesting);
+        assert_eq!(
+            a.stats.mine.candidates_per_pass,
+            b.stats.mine.candidates_per_pass
+        );
+        assert_eq!(a.stats.mine.pass_stats.len(), b.stats.mine.pass_stats.len());
+        assert_eq!(
+            a.stats.mine.interest_pruned_items,
+            b.stats.mine.interest_pruned_items
+        );
+    }
+
+    #[test]
+    fn in_memory_source_matches_serial_miner() {
+        let enc = encoded();
+        let serial = Miner::new(config()).mine_encoded(&enc).unwrap();
+        let mut source = InMemorySource::new(&enc, &config());
+        let sourced = mine_source(&mut source, &config(), None, None).unwrap();
+        assert_outputs_identical(&serial, &sourced);
+    }
+
+    #[test]
+    fn in_memory_source_matches_with_interest() {
+        let mut cfg = config();
+        cfg.interest = Some(crate::config::InterestConfig {
+            level: 1.1,
+            mode: InterestMode::SupportAndConfidence,
+            prune_candidates: true,
+        });
+        let enc = encoded();
+        let serial = Miner::new(cfg.clone()).mine_encoded(&enc).unwrap();
+        let mut source = InMemorySource::new(&enc, &cfg);
+        let sourced = mine_source(&mut source, &cfg, None, None).unwrap();
+        assert_outputs_identical(&serial, &sourced);
+        let sv: Vec<bool> = serial
+            .interest
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|v| v.interesting)
+            .collect();
+        let dv: Vec<bool> = sourced
+            .interest
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|v| v.interesting)
+            .collect();
+        assert_eq!(sv, dv);
+    }
+
+    #[test]
+    fn chunked_source_matches_serial_for_every_chunk_size() {
+        let enc = encoded();
+        let serial = Miner::new(config()).mine_encoded(&enc).unwrap();
+        for chunk_rows in [1usize, 3, 4, 10, 100] {
+            let dir = qar_table::chunk::default_spill_dir(&format!("src_test_{chunk_rows}"));
+            let mut store =
+                ChunkStore::create(&dir, enc.schema().clone(), enc.encoders().to_vec()).unwrap();
+            let table = people_table();
+            let mut i = 0;
+            while i < table.num_rows() {
+                let end = (i + chunk_rows).min(table.num_rows());
+                let mut part = Table::new(table.schema().clone());
+                for r in i..end {
+                    part.push_row(&table.row(r).to_values()).unwrap();
+                }
+                store.append_chunk(&part).unwrap();
+                i = end;
+            }
+            let mut source = ChunkedSource::new(&store, &config());
+            let sourced = mine_source(&mut source, &config(), None, None).unwrap();
+            assert_outputs_identical(&serial, &sourced);
+        }
+    }
+
+    #[test]
+    fn normalized_stats_agree_between_serial_and_source() {
+        let enc = encoded();
+        let serial = Miner::new(config()).mine_encoded(&enc).unwrap();
+        let mut source = InMemorySource::new(&enc, &config());
+        let sourced = mine_source(&mut source, &config(), None, None).unwrap();
+        let a = serial.stats.normalized();
+        let b = sourced.stats.normalized();
+        assert_eq!(a.mine, b.mine);
+        assert_eq!(a.rules_total, b.rules_total);
+        assert_eq!(a.rules_interesting, b.rules_interesting);
+    }
+
+    #[test]
+    fn source_traces_mirror_serial_traces() {
+        let enc = encoded();
+        let serial_sink = std::sync::Arc::new(qar_trace::CollectingSink::new());
+        Miner::new(config())
+            .with_progress(serial_sink.clone())
+            .mine_encoded(&enc)
+            .unwrap();
+        let source_sink = qar_trace::CollectingSink::new();
+        let mut source = InMemorySource::new(&enc, &config());
+        mine_source(&mut source, &config(), Some(&source_sink), None).unwrap();
+        let names = |sink: &qar_trace::CollectingSink| -> Vec<String> {
+            sink.events().iter().map(|e| e.name().to_string()).collect()
+        };
+        assert_eq!(names(&serial_sink), names(&source_sink));
+    }
+
+    #[test]
+    fn empty_source_rejected() {
+        let schema = Schema::builder().quantitative("x").build().unwrap();
+        let t = Table::new(schema);
+        let enc = EncodedTable::encode_full_resolution(&t).unwrap();
+        let mut source = InMemorySource::new(&enc, &config());
+        assert!(matches!(
+            mine_source(&mut source, &config(), None, None),
+            Err(MinerError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_count_length_is_a_distributed_error() {
+        struct Broken<'a>(InMemorySource<'a>);
+        impl CountSource for Broken<'_> {
+            fn meta(&self) -> &EncodedTable {
+                self.0.meta()
+            }
+            fn num_rows(&self) -> u64 {
+                self.0.num_rows()
+            }
+            fn value_counts(&mut self) -> Result<Vec<Vec<u64>>, CountError> {
+                self.0.value_counts()
+            }
+            fn count(
+                &mut self,
+                _pass: usize,
+                _candidates: &[Itemset],
+            ) -> Result<Vec<u64>, CountError> {
+                Ok(vec![0]) // wrong length
+            }
+        }
+        let enc = encoded();
+        let mut broken = Broken(InMemorySource::new(&enc, &config()));
+        assert!(matches!(
+            mine_source(&mut broken, &config(), None, None),
+            Err(MinerError::Distributed(_))
+        ));
+    }
+
+    #[test]
+    fn cancelled_source_surfaces_cancellation() {
+        let enc = encoded();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut source = InMemorySource::new(&enc, &config()).with_cancel(&token);
+        match mine_source(&mut source, &config(), None, Some(&token)) {
+            Err(MinerError::Cancelled(info)) => assert_eq!(info.pass, 1),
+            Err(other) => panic!("expected Cancelled, got {other:?}"),
+            Ok(_) => panic!("expected Cancelled, got Ok"),
+        }
+    }
+}

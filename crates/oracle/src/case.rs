@@ -32,6 +32,12 @@ pub enum ReproCase {
     /// monotonicity, Shapley determinism and efficiency, and a byte-exact
     /// catalog round trip of the `ANALYTICS` section.
     Analytics(MiningCase),
+    /// Count-distribution case: the same table mined through the
+    /// distributed coordinator over in-process worker threads (raw
+    /// per-partition count vectors, merged element-wise), cross-checked
+    /// against the single-process miner — same errors, same rules, and a
+    /// byte-identical catalog once volatile stats are normalized.
+    Distributed(MiningCase),
 }
 
 impl ReproCase {
@@ -45,6 +51,7 @@ impl ReproCase {
             ReproCase::Memo(_) => "memo",
             ReproCase::Kernel(_) => "kernel",
             ReproCase::Analytics(_) => "analytics",
+            ReproCase::Distributed(_) => "distributed",
         }
     }
 }

@@ -20,10 +20,12 @@ use qar_analytics::{chi2_p_value, AnalyticsConfig};
 use qar_apriori::apriori;
 use qar_apriori::bridge::to_transactions;
 use qar_core::naive::naive_mine;
+use qar_core::pipeline::build_encoders;
 use qar_core::{
     InterestMode, ItemsetSetDelta, Miner, MinerConfig, MinerError, MiningOutput, PartitionStrategy,
     QuantFrequentItemsets, RuleSetDelta, ScanKernel,
 };
+use qar_dist::{mine_distributed, Backing, DistOptions, WorkerOptions, WorkerSpawn};
 use qar_itemset::{Item, Itemset};
 use qar_partition::range_completeness::snap_to_intervals;
 use qar_partition::{num_intervals, EquiDepth, EquiWidth, KMeans1D, Partitioner, MAX_INTERVALS};
@@ -62,6 +64,7 @@ pub fn check_case(case: &ReproCase) -> Result<(), Divergence> {
         ReproCase::Memo(c) => check_memo(c),
         ReproCase::Kernel(c) => check_kernel(c),
         ReproCase::Analytics(c) => check_analytics(c),
+        ReproCase::Distributed(c) => check_distributed(c),
     }
 }
 
@@ -110,6 +113,63 @@ pub fn check_kernel(case: &MiningCase) -> Result<(), Divergence> {
     let bitmask_par = Miner::new(bitmask_par_cfg).mine(&case.table);
     compare_paths("bitmask-serial-vs-direct", &direct, &bitmask_ser)?;
     compare_paths("bitmask-parallel-vs-direct", &direct, &bitmask_par)
+}
+
+/// Count-distribution oracle: the distributed coordinator over
+/// in-process worker threads must reproduce the single-process miner
+/// exactly. Workers return raw per-partition `u64` count vectors and the
+/// coordinator merges them element-wise, so the cross-check is bitwise,
+/// not approximate: same error on rejection, same itemsets, rules, and
+/// interest verdicts on success — and the two runs' catalogs must be
+/// byte-identical once volatile statistics are normalized.
+pub fn check_distributed(case: &MiningCase) -> Result<(), Divergence> {
+    let config = with_parallelism(&case.config, 1);
+    let serial = Miner::new(config.clone()).mine(&case.table);
+    let options = DistOptions {
+        workers: case.threads.clamp(2, 4),
+        spawn: WorkerSpawn::Threads(WorkerOptions::default()),
+        ..DistOptions::default()
+    };
+    // Steps 1-2 (partitioning, encoding) run on the coordinator with the
+    // factored-out builder — the same one the CLI's distributed path uses.
+    let distributed = build_encoders(&case.table, &config).and_then(|(encoders, intervals)| {
+        let encoded = EncodedTable::encode(&case.table, encoders).map_err(MinerError::from)?;
+        let mut out = mine_distributed(Backing::Memory(&encoded), &config, &options, None, None)?;
+        out.stats.intervals_per_attribute = intervals;
+        Ok(out)
+    });
+    compare_paths("distributed-vs-serial", &serial, &distributed)?;
+    if let (Ok(s), Ok(d)) = (&serial, &distributed) {
+        let serial_bytes = normalized_catalog_bytes(s);
+        let dist_bytes = normalized_catalog_bytes(d);
+        if serial_bytes != dist_bytes {
+            return Err(div(
+                "distributed-catalog-bytes",
+                format!(
+                    "normalized catalogs differ: serial {} byte(s), distributed {} byte(s)",
+                    serial_bytes.len(),
+                    dist_bytes.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The `.qarcat` encoding of a mine with volatile statistics zeroed —
+/// the byte-level identity relation serial and distributed runs are held
+/// to (what `qar mine --normalize-stats --store` writes).
+fn normalized_catalog_bytes(out: &MiningOutput) -> Vec<u8> {
+    Catalog::new(
+        out.encoded.schema().clone(),
+        out.encoded.encoders().to_vec(),
+        out.frequent.num_rows,
+        out.rules.clone(),
+        out.interest.clone(),
+        out.stats.normalized(),
+    )
+    .expect("mining output forms a valid catalog")
+    .encode()
 }
 
 /// The fixed analytics tuning every analytics case uses, so persisted

@@ -11,15 +11,25 @@ use qar_table::{Schema, Table, Value};
 /// Draw one case. The mix favors end-to-end mining cases; the rest stress
 /// the partitioning and completeness primitives directly.
 pub fn gen_case(rng: &mut Prng) -> ReproCase {
-    match rng.gen_weighted(&[5.0, 2.0, 1.0, 1.0, 2.0, 2.0, 2.0]) {
+    match rng.gen_weighted(&[5.0, 2.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]) {
         0 => ReproCase::Mining(gen_mining(rng)),
         1 => ReproCase::Partition(gen_partition(rng)),
         2 => ReproCase::Snap(gen_snap(rng)),
         3 => ReproCase::Intervals(gen_intervals(rng)),
         4 => ReproCase::Memo(gen_memo(rng)),
         5 => ReproCase::Kernel(gen_kernel(rng)),
-        _ => ReproCase::Analytics(gen_analytics(rng)),
+        6 => ReproCase::Analytics(gen_analytics(rng)),
+        _ => ReproCase::Distributed(gen_distributed(rng)),
     }
+}
+
+/// A distributed case: an ordinary mining case, unchanged — the edge
+/// draws the base generator keeps making (empty tables, single rows,
+/// row counts below the worker count) are exactly what the partition
+/// split and empty-partition handling must survive. The case's thread
+/// count doubles as the worker count.
+fn gen_distributed(rng: &mut Prng) -> MiningCase {
+    gen_mining(rng)
 }
 
 /// An analytics case: an ordinary mining case with the thresholds biased

@@ -5,9 +5,11 @@
 //! repo has for the same question: serial vs parallel mining, the
 //! brute-force enumerator, the boolean apriori bridge, the `.qarcat`
 //! save → load → query round trip, the memoized pooled scan against
-//! the direct serial scan on duplicate-heavy categorical tables, and the
+//! the direct serial scan on duplicate-heavy categorical tables, the
 //! blocked bitmask kernel (serial and pooled) against the direct serial
-//! scan on boundary-skewed tables. On divergence the case is shrunk to a
+//! scan on boundary-skewed tables, and count-distribution distributed
+//! mining over worker threads against the single-process miner (down to
+//! byte-identical normalized catalogs). On divergence the case is shrunk to a
 //! minimal repro and rendered as a self-contained text fixture that
 //! [`repro::parse`] turns back into an executable case.
 //!
@@ -140,7 +142,8 @@ mod tests {
         assert!(report.kind_counts.contains_key("memo"));
         assert!(report.kind_counts.contains_key("kernel"));
         assert!(report.kind_counts.contains_key("analytics"));
-        assert!(report.kind_counts.len() >= 6, "{:?}", report.kind_counts);
+        assert!(report.kind_counts.contains_key("distributed"));
+        assert!(report.kind_counts.len() >= 7, "{:?}", report.kind_counts);
     }
 
     /// Same seed, same run — byte for byte.

@@ -66,6 +66,10 @@ fn candidates(case: &ReproCase) -> Vec<ReproCase> {
             .into_iter()
             .map(ReproCase::Analytics)
             .collect(),
+        ReproCase::Distributed(c) => mining_candidates(c)
+            .into_iter()
+            .map(ReproCase::Distributed)
+            .collect(),
         ReproCase::Partition(c) => partition_candidates(c)
             .into_iter()
             .map(ReproCase::Partition)

@@ -270,17 +270,7 @@ impl Catalog {
     }
 
     fn encode_schema(&self) -> Vec<u8> {
-        let mut w = Writer::new();
-        w.put_u64(self.schema.len() as u64);
-        for (id, def) in self.schema.iter() {
-            w.put_str(def.name());
-            w.put_u8(match def.kind() {
-                AttributeKind::Quantitative => 0,
-                AttributeKind::Categorical => 1,
-            });
-            encode_encoder(&mut w, &self.encoders[id.index()]);
-        }
-        w.into_bytes()
+        encode_schema_with(&self.schema, &self.encoders)
     }
 
     fn encode_rules(&self) -> Vec<u8> {
@@ -564,7 +554,7 @@ fn decode_analytics(payload: &[u8]) -> Result<AnalyticsSet, StoreError> {
     })
 }
 
-fn encode_itemset(w: &mut Writer, itemset: &Itemset) {
+pub(crate) fn encode_itemset(w: &mut Writer, itemset: &Itemset) {
     w.put_u64(itemset.items().len() as u64);
     for item in itemset.items() {
         w.put_u32(item.attr);
@@ -573,7 +563,24 @@ fn encode_itemset(w: &mut Writer, itemset: &Itemset) {
     }
 }
 
-fn encode_encoder(w: &mut Writer, enc: &AttributeEncoder) {
+/// Encode a schema + its encoders in the catalog's schema-section layout
+/// (shared with the distributed-mining wire protocol, so a worker's view
+/// of the table is bit-identical to what a catalog would persist).
+pub(crate) fn encode_schema_with(schema: &Schema, encoders: &[AttributeEncoder]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(schema.len() as u64);
+    for (id, def) in schema.iter() {
+        w.put_str(def.name());
+        w.put_u8(match def.kind() {
+            AttributeKind::Quantitative => 0,
+            AttributeKind::Categorical => 1,
+        });
+        encode_encoder(&mut w, &encoders[id.index()]);
+    }
+    w.into_bytes()
+}
+
+pub(crate) fn encode_encoder(w: &mut Writer, enc: &AttributeEncoder) {
     match enc {
         AttributeEncoder::Categorical { labels } => {
             w.put_u8(0);
@@ -631,7 +638,7 @@ fn encode_encoder(w: &mut Writer, enc: &AttributeEncoder) {
     }
 }
 
-fn decode_schema(payload: &[u8]) -> Result<(Schema, Vec<AttributeEncoder>), StoreError> {
+pub(crate) fn decode_schema(payload: &[u8]) -> Result<(Schema, Vec<AttributeEncoder>), StoreError> {
     let mut r = Reader::new(payload);
     r.set_section("schema");
     let count = r.get_count(2)?; // name len prefix + kind byte at minimum
@@ -661,7 +668,7 @@ fn decode_schema(payload: &[u8]) -> Result<(Schema, Vec<AttributeEncoder>), Stor
     Ok((schema, encoders))
 }
 
-fn decode_encoder(r: &mut Reader<'_>) -> Result<AttributeEncoder, StoreError> {
+pub(crate) fn decode_encoder(r: &mut Reader<'_>) -> Result<AttributeEncoder, StoreError> {
     match r.get_u8()? {
         0 => {
             let n = r.get_count(8)?;
@@ -727,6 +734,29 @@ fn decode_encoder(r: &mut Reader<'_>) -> Result<AttributeEncoder, StoreError> {
         }
         b => Err(r.corrupt(format!("unknown encoder tag {b}"))),
     }
+}
+
+/// Check a full schema/encoder pairing: one encoder per attribute, each
+/// satisfying its kind's invariants (shared with the distributed-mining
+/// wire protocol's `Setup` decode).
+pub(crate) fn validate_catalog_encoders(
+    schema: &Schema,
+    encoders: &[AttributeEncoder],
+) -> Result<(), StoreError> {
+    if encoders.len() != schema.len() {
+        return Err(StoreError::Corrupt {
+            section: "schema",
+            detail: format!(
+                "{} encoder(s) for {} attribute(s)",
+                encoders.len(),
+                schema.len()
+            ),
+        });
+    }
+    for (id, def) in schema.iter() {
+        validate_encoder(def.name(), def.kind(), &encoders[id.index()])?;
+    }
+    Ok(())
 }
 
 /// Check one encoder's internal invariants (the ones `encode`,
@@ -823,7 +853,7 @@ fn validate_encoder(
     Ok(())
 }
 
-fn decode_itemset(r: &mut Reader<'_>) -> Result<Itemset, StoreError> {
+pub(crate) fn decode_itemset(r: &mut Reader<'_>) -> Result<Itemset, StoreError> {
     let n = r.get_count(12)?;
     let mut items = Vec::with_capacity(n);
     let mut prev_attr = None;

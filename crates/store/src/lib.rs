@@ -23,6 +23,7 @@
 
 pub mod analytics;
 pub mod catalog;
+pub mod dist;
 pub mod error;
 pub mod format;
 pub mod index;

@@ -574,7 +574,9 @@ impl Request {
     }
 
     /// Encode as a complete frame, ready for the socket.
-    pub fn to_frame(&self) -> Vec<u8> {
+    /// [`ProtocolError::Oversized`] when the payload exceeds
+    /// [`MAX_PAYLOAD`].
+    pub fn to_frame(&self) -> Result<Vec<u8>, ProtocolError> {
         encode_frame(self.tag(), &self.payload())
     }
 
@@ -686,7 +688,9 @@ impl Response {
     }
 
     /// Encode as a complete frame, ready for the socket.
-    pub fn to_frame(&self) -> Vec<u8> {
+    /// [`ProtocolError::Oversized`] when the payload exceeds
+    /// [`MAX_PAYLOAD`].
+    pub fn to_frame(&self) -> Result<Vec<u8>, ProtocolError> {
         encode_frame(self.tag(), &self.payload())
     }
 
@@ -762,11 +766,17 @@ fn finish(r: Reader<'_>) -> Result<(), ProtocolError> {
 
 /// Frame a tag + payload: magic, tag, length, CRC over tag ++ payload,
 /// then the payload.
-pub fn encode_frame(tag: u32, payload: &[u8]) -> Vec<u8> {
-    assert!(
-        payload.len() as u64 <= MAX_PAYLOAD as u64,
-        "payload exceeds MAX_PAYLOAD"
-    );
+///
+/// A payload larger than [`MAX_PAYLOAD`] is a structured
+/// [`ProtocolError::Oversized`] — the same error the decode side would
+/// raise — so a message that cannot possibly be read is rejected before
+/// a single byte hits the socket, instead of panicking the sender.
+pub fn encode_frame(tag: u32, payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+    if payload.len() as u64 > MAX_PAYLOAD as u64 {
+        return Err(ProtocolError::Oversized {
+            len: u32::try_from(payload.len()).unwrap_or(u32::MAX),
+        });
+    }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&tag.to_le_bytes());
@@ -776,7 +786,7 @@ pub fn encode_frame(tag: u32, payload: &[u8]) -> Vec<u8> {
     crc_input.extend_from_slice(payload);
     out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
     out.extend_from_slice(payload);
-    out
+    Ok(out)
 }
 
 /// Decode one frame from a complete buffer. Strict: `bytes` must be
@@ -891,8 +901,11 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(u32, Vec<u8>)>, Protocol
 }
 
 /// Write one complete frame to a stream (single `write_all`).
-pub fn write_frame<W: Write>(w: &mut W, tag: u32, payload: &[u8]) -> io::Result<()> {
-    w.write_all(&encode_frame(tag, payload))
+/// [`ProtocolError::Oversized`] when the payload exceeds
+/// [`MAX_PAYLOAD`] — nothing is written in that case.
+pub fn write_frame<W: Write>(w: &mut W, tag: u32, payload: &[u8]) -> Result<(), ProtocolError> {
+    w.write_all(&encode_frame(tag, payload)?)?;
+    Ok(())
 }
 
 /// Read the next [`Request`] from a stream; `Ok(None)` is a clean EOF at
@@ -1000,20 +1013,20 @@ mod tests {
     #[test]
     fn requests_round_trip_byte_exactly() {
         for req in sample_requests() {
-            let frame = req.to_frame();
+            let frame = req.to_frame().unwrap();
             let decoded = decode_request(&frame).expect("frame decodes");
             assert_eq!(decoded, req);
-            assert_eq!(decoded.to_frame(), frame, "canonical re-encode");
+            assert_eq!(decoded.to_frame().unwrap(), frame, "canonical re-encode");
         }
     }
 
     #[test]
     fn responses_round_trip_byte_exactly() {
         for resp in sample_responses() {
-            let frame = resp.to_frame();
+            let frame = resp.to_frame().unwrap();
             let decoded = decode_response(&frame).expect("frame decodes");
             assert_eq!(decoded, resp);
-            assert_eq!(decoded.to_frame(), frame, "canonical re-encode");
+            assert_eq!(decoded.to_frame().unwrap(), frame, "canonical re-encode");
         }
     }
 
@@ -1029,7 +1042,7 @@ mod tests {
                 opts: QueryOptions::default(),
             },
         };
-        let frame = req.to_frame();
+        let frame = req.to_frame().unwrap();
         match decode_request(&frame).unwrap() {
             Request::Query {
                 query: Query::Range { lo, hi, .. },
@@ -1040,18 +1053,18 @@ mod tests {
             }
             other => panic!("wrong decode: {other:?}"),
         }
-        assert_eq!(decode_request(&frame).unwrap().to_frame(), frame);
+        assert_eq!(decode_request(&frame).unwrap().to_frame().unwrap(), frame);
     }
 
     #[test]
     fn unknown_tags_are_structured_errors() {
-        let frame = encode_frame(77, b"");
+        let frame = encode_frame(77, b"").unwrap();
         assert!(matches!(
             decode_request(&frame),
             Err(ProtocolError::UnknownTag(77))
         ));
         // A response tag sent where a request is expected is unknown too.
-        let frame = encode_frame(tag::RESP_PONG, b"");
+        let frame = encode_frame(tag::RESP_PONG, b"").unwrap();
         assert!(matches!(
             decode_request(&frame),
             Err(ProtocolError::UnknownTag(_))
@@ -1060,7 +1073,7 @@ mod tests {
 
     #[test]
     fn oversized_length_is_rejected_before_allocation() {
-        let mut frame = encode_frame(tag::REQ_PING, b"");
+        let mut frame = encode_frame(tag::REQ_PING, b"").unwrap();
         frame[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         assert!(matches!(
             decode_frame(&frame),
@@ -1077,7 +1090,7 @@ mod tests {
     fn stream_reader_round_trips_multiple_frames() {
         let mut buf = Vec::new();
         for req in sample_requests() {
-            buf.extend_from_slice(&req.to_frame());
+            buf.extend_from_slice(&req.to_frame().unwrap());
         }
         let mut cursor = std::io::Cursor::new(buf);
         let mut seen = Vec::new();
@@ -1089,7 +1102,7 @@ mod tests {
 
     #[test]
     fn eof_mid_frame_is_truncated_not_clean() {
-        let frame = Request::Info.to_frame();
+        let frame = Request::Info.to_frame().unwrap();
         for cut in 1..frame.len() {
             let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
             assert!(
@@ -1103,5 +1116,43 @@ mod tests {
         // Zero bytes is the one clean EOF.
         let mut cursor = std::io::Cursor::new(Vec::new());
         assert!(matches!(read_frame(&mut cursor), Ok(None)));
+    }
+
+    #[test]
+    fn oversized_payload_is_a_structured_encode_error() {
+        // Exactly MAX_PAYLOAD bytes still frames.
+        let at_limit = vec![0u8; MAX_PAYLOAD as usize];
+        let frame = encode_frame(tag::REQ_PING, &at_limit).unwrap();
+        assert_eq!(frame.len(), HEADER_LEN + MAX_PAYLOAD as usize);
+
+        // One byte more is Oversized on the *encode* side — no panic, no
+        // bytes produced.
+        let too_big = vec![0u8; MAX_PAYLOAD as usize + 1];
+        match encode_frame(tag::REQ_PING, &too_big) {
+            Err(ProtocolError::Oversized { len }) => {
+                assert_eq!(len, MAX_PAYLOAD + 1);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+
+        // And the same through a whole message: enough rule ids to blow
+        // the 16 MiB ceiling.
+        let ids: Vec<u32> = (0..(MAX_PAYLOAD / 4)).collect();
+        let response = Response::Ids { generation: 1, ids };
+        match response.to_frame() {
+            Err(ProtocolError::Oversized { len }) => {
+                assert!(len > MAX_PAYLOAD);
+            }
+            Err(other) => panic!("expected Oversized, got {other:?}"),
+            Ok(_) => panic!("oversized response framed"),
+        }
+
+        // write_frame refuses before touching the writer.
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, tag::REQ_PING, &too_big),
+            Err(ProtocolError::Oversized { .. })
+        ));
+        assert!(sink.is_empty());
     }
 }

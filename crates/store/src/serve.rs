@@ -325,7 +325,20 @@ fn handle_connection(state: &ServerState, stream: TcpStream, conn: u64) {
 }
 
 fn write_response(mut stream: &TcpStream, response: &Response) -> io::Result<()> {
-    stream.write_all(&response.to_frame())?;
+    // A response that cannot be framed (payload over MAX_PAYLOAD, e.g. a
+    // batch with millions of matching ids) degrades to a structured
+    // Internal error instead of killing the connection thread — the
+    // client learns *why* it got nothing.
+    let frame = match response.to_frame() {
+        Ok(frame) => frame,
+        Err(e) => Response::Error(WireError::new(
+            ErrorCode::Internal,
+            format!("response could not be framed: {e}"),
+        ))
+        .to_frame()
+        .expect("error responses are small"),
+    };
+    stream.write_all(&frame)?;
     stream.flush()
 }
 
@@ -566,7 +579,7 @@ impl ServeClient {
 
     /// Send one request and read its response.
     pub fn request(&mut self, request: &Request) -> Result<Response, ProtocolError> {
-        self.stream.write_all(&request.to_frame())?;
+        self.stream.write_all(&request.to_frame()?)?;
         match protocol::read_response(&mut self.stream)? {
             Some(response) => Ok(response),
             None => Err(ProtocolError::Io(io::Error::new(

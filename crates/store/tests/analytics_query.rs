@@ -281,7 +281,11 @@ fn serve_carries_analytics_rankings_and_filters() {
             generation: 1,
             ids: execute_query(&index, &query).expect("servable"),
         };
-        assert_eq!(response.to_frame(), expected.to_frame(), "query {query:?}");
+        assert_eq!(
+            response.to_frame().unwrap(),
+            expected.to_frame().unwrap(),
+            "query {query:?}"
+        );
     }
 
     // The analytics-less slot keeps answering plain queries but refuses

@@ -187,11 +187,11 @@ fn arb_response(rng: &mut Prng) -> Response {
 fn arbitrary_requests_round_trip_bit_exactly() {
     qar_prng::cases(256, 0x9E0_0E57, |case, rng| {
         let request = arb_request(rng);
-        let frame = request.to_frame();
+        let frame = request.to_frame().unwrap();
         let back = decode_request(&frame)
             .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}\n{request:?}"));
         assert_eq!(
-            back.to_frame(),
+            back.to_frame().unwrap(),
             frame,
             "case {case}: re-encode differs\n{request:?}"
         );
@@ -203,11 +203,11 @@ fn arbitrary_requests_round_trip_bit_exactly() {
 fn arbitrary_responses_round_trip_bit_exactly() {
     qar_prng::cases(256, 0x9E0_0E5B, |case, rng| {
         let response = arb_response(rng);
-        let frame = response.to_frame();
+        let frame = response.to_frame().unwrap();
         let back = decode_response(&frame)
             .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}\n{response:?}"));
         assert_eq!(
-            back.to_frame(),
+            back.to_frame().unwrap(),
             frame,
             "case {case}: re-encode differs\n{response:?}"
         );
@@ -222,9 +222,9 @@ fn arbitrary_responses_round_trip_bit_exactly() {
 fn every_single_byte_flip_is_a_structured_error() {
     qar_prng::cases(48, 0xF11B, |case, rng| {
         let frame = if rng.gen_bool(0.5) {
-            arb_request(rng).to_frame()
+            arb_request(rng).to_frame().unwrap()
         } else {
-            arb_response(rng).to_frame()
+            arb_response(rng).to_frame().unwrap()
         };
         for offset in 0..frame.len() {
             for mask in [0x01u8, 0x80, rng.gen_range(1..256u32) as u8] {
@@ -252,9 +252,9 @@ fn every_single_byte_flip_is_a_structured_error() {
 fn every_prefix_truncation_is_a_structured_error() {
     qar_prng::cases(32, 0x7B04C47E, |case, rng| {
         let frame = if rng.gen_bool(0.5) {
-            arb_request(rng).to_frame()
+            arb_request(rng).to_frame().unwrap()
         } else {
-            arb_response(rng).to_frame()
+            arb_response(rng).to_frame().unwrap()
         };
         for len in 0..frame.len() {
             let prefix = &frame[..len];
@@ -286,12 +286,12 @@ fn every_prefix_truncation_is_a_structured_error() {
 fn request_and_response_tag_spaces_are_disjoint() {
     qar_prng::cases(64, 0xD157017, |case, rng| {
         let request = arb_request(rng);
-        match decode_response(&request.to_frame()) {
+        match decode_response(&request.to_frame().unwrap()) {
             Err(ProtocolError::UnknownTag(tag)) => assert_eq!(tag, request.tag(), "case {case}"),
             other => panic!("case {case}: request decoded as response: {other:?}"),
         }
         let response = arb_response(rng);
-        match decode_request(&response.to_frame()) {
+        match decode_request(&response.to_frame().unwrap()) {
             Err(ProtocolError::UnknownTag(tag)) => assert_eq!(tag, response.tag(), "case {case}"),
             other => panic!("case {case}: response decoded as request: {other:?}"),
         }

@@ -84,7 +84,7 @@ impl Fixture {
             generation: 1,
             ids: execute_query(&self.index, &query).expect("health query is servable"),
         };
-        assert_eq!(response.to_frame(), expected.to_frame());
+        assert_eq!(response.to_frame().unwrap(), expected.to_frame().unwrap());
     }
 
     fn stop(self) {
@@ -153,7 +153,7 @@ fn unknown_request_tag_keeps_the_connection_alive() {
     let fx = Fixture::start("unknown_tag", 0xB0B0_0002);
     let mut client = fx.client();
     client
-        .send_raw(&encode_frame(99, b"whatever"))
+        .send_raw(&encode_frame(99, b"whatever").unwrap())
         .expect("send unknown tag");
     let response = client.read_response().expect("read").expect("response");
     expect_error(response, ErrorCode::UnknownRequest);
@@ -170,7 +170,7 @@ fn malformed_payload_is_a_bad_request_not_a_disconnect() {
     let fx = Fixture::start("malformed", 0xB0B0_0003);
     let mut client = fx.client();
     client
-        .send_raw(&encode_frame(tag::REQ_QUERY, b"\xff\xff\xff\xff garbage"))
+        .send_raw(&encode_frame(tag::REQ_QUERY, b"\xff\xff\xff\xff garbage").unwrap())
         .expect("send malformed query");
     let response = client.read_response().expect("read").expect("response");
     expect_error(response, ErrorCode::BadRequest);
@@ -186,7 +186,7 @@ fn checksum_corruption_closes_only_that_connection() {
     let fx = Fixture::start("crc", 0xB0B0_0004);
     let mut client = fx.client();
     // Ping has an empty payload, so flip a byte of the CRC field.
-    let mut frame = Request::Ping.to_frame();
+    let mut frame = Request::Ping.to_frame().unwrap();
     let last = frame.len() - 1;
     frame[last] ^= 0x41;
     client.send_raw(&frame).expect("send corrupt frame");
@@ -214,7 +214,8 @@ fn client_disconnect_mid_request_is_contained() {
     let frame = Request::Reload {
         catalog: "cat".into(),
     }
-    .to_frame();
+    .to_frame()
+    .unwrap();
     client
         .send_raw(&frame[..frame.len() / 2])
         .expect("send half");
@@ -289,7 +290,7 @@ fn expired_deadline_is_a_structured_error() {
         generation: 1,
         ids: execute_query(&fx.index, &query).expect("query is servable"),
     };
-    assert_eq!(response.to_frame(), expected.to_frame());
+    assert_eq!(response.to_frame().unwrap(), expected.to_frame().unwrap());
     fx.stop();
 }
 

@@ -152,8 +152,8 @@ fn concurrent_clients_get_byte_identical_answers() {
                         .unwrap_or_else(|e| panic!("client {client_id} request {i}: {e}"));
                     let expected = expected_response(index, 1, request);
                     assert_eq!(
-                        response.to_frame(),
-                        expected.to_frame(),
+                        response.to_frame().unwrap(),
+                        expected.to_frame().unwrap(),
                         "client {client_id} request {i}: served answer diverges\n\
                          request: {request:?}\ngot: {response:?}\nwant: {expected:?}"
                     );
@@ -242,8 +242,8 @@ fn hot_reload_keeps_every_response_generation_consistent() {
                     };
                     let expected = expected_response(index, generation, request);
                     assert_eq!(
-                        response.to_frame(),
-                        expected.to_frame(),
+                        response.to_frame().unwrap(),
+                        expected.to_frame().unwrap(),
                         "client {client_id} request {i}: answer does not match \
                          generation {generation}\nrequest: {request:?}"
                     );
@@ -261,8 +261,8 @@ fn hot_reload_keeps_every_response_generation_consistent() {
                 let response = client.request(&request).expect("post-reload query");
                 let expected = expected_response(index_v2, 2, &request);
                 assert_eq!(
-                    response.to_frame(),
-                    expected.to_frame(),
+                    response.to_frame().unwrap(),
+                    expected.to_frame().unwrap(),
                     "client {client_id}: post-reload query not served from generation 2"
                 );
             });

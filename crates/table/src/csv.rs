@@ -112,73 +112,122 @@ fn read_record<R: BufRead>(
 /// assert_eq!(table.num_rows(), 2);
 /// assert_eq!(table.row(0).value(0), Value::Int(23));
 /// ```
-pub fn read_table<R: BufRead>(mut reader: R, schema: &Schema) -> Result<Table, TableError> {
-    let mut line_no = 0usize;
-    let (header, header_line) = read_record(&mut reader, &mut line_no)?.ok_or(TableError::Csv {
-        line: 1,
-        message: "empty input (no header)".into(),
-    })?;
-    if header.len() != schema.len() {
-        return Err(TableError::Csv {
-            line: header_line,
-            message: format!(
-                "header has {} columns but schema has {}",
-                header.len(),
-                schema.len()
-            ),
-        });
+pub fn read_table<R: BufRead>(reader: R, schema: &Schema) -> Result<Table, TableError> {
+    let mut chunks = CsvChunks::new(reader, schema.clone(), usize::MAX)?;
+    match chunks.next_chunk()? {
+        Some(table) => Ok(table),
+        None => Ok(Table::new(schema.clone())),
     }
-    // Map CSV column position -> schema attribute index.
-    let mut order = Vec::with_capacity(header.len());
-    for name in &header {
-        order.push(schema.id_of(name.trim()).map_err(|_| TableError::Csv {
-            line: header_line,
-            message: format!("header column `{name}` is not in the schema"),
-        })?);
-    }
+}
 
-    let mut table = Table::new(schema.clone());
-    let mut cells: Vec<Value> = vec![Value::Int(0); schema.len()];
-    while let Some((fields, line)) = read_record(&mut reader, &mut line_no)? {
-        if fields.len() != schema.len() {
+/// Streaming CSV reader that yields the table in fixed-size row blocks —
+/// the ingest half of the out-of-core path. The header is parsed once at
+/// construction (same by-name matching as [`read_table`]); each
+/// [`CsvChunks::next_chunk`] call then reads up to `chunk_rows` logical
+/// records into its own [`Table`]. Record assembly reuses the same
+/// quote-balancing reader as the whole-table path, so a quoted field
+/// spanning a block boundary stays one record.
+pub struct CsvChunks<R: BufRead> {
+    reader: R,
+    schema: Schema,
+    /// CSV column position -> schema attribute.
+    order: Vec<crate::schema::AttributeId>,
+    line_no: usize,
+    chunk_rows: usize,
+}
+
+impl<R: BufRead> CsvChunks<R> {
+    /// Parse the header and prepare to stream blocks of at most
+    /// `chunk_rows` records. Fails on an empty input (no header), a
+    /// header/schema column-count mismatch, or an unknown header name.
+    pub fn new(mut reader: R, schema: Schema, chunk_rows: usize) -> Result<Self, TableError> {
+        assert!(chunk_rows >= 1, "chunk_rows must be at least 1");
+        let mut line_no = 0usize;
+        let (header, header_line) =
+            read_record(&mut reader, &mut line_no)?.ok_or(TableError::Csv {
+                line: 1,
+                message: "empty input (no header)".into(),
+            })?;
+        if header.len() != schema.len() {
             return Err(TableError::Csv {
-                line,
+                line: header_line,
                 message: format!(
-                    "record has {} fields but schema has {}",
-                    fields.len(),
+                    "header has {} columns but schema has {}",
+                    header.len(),
                     schema.len()
                 ),
             });
         }
-        for (pos, raw) in fields.iter().enumerate() {
-            let id = order[pos];
-            let def = schema.attribute(id);
-            cells[id.index()] = match def.kind() {
-                AttributeKind::Categorical => Value::Cat(raw.clone()),
-                AttributeKind::Quantitative => {
-                    let token = raw.trim();
-                    if let Ok(i) = token.parse::<i64>() {
-                        Value::Int(i)
-                    } else if let Ok(x) = token.parse::<f64>() {
-                        if !x.is_finite() {
+        let mut order = Vec::with_capacity(header.len());
+        for name in &header {
+            order.push(schema.id_of(name.trim()).map_err(|_| TableError::Csv {
+                line: header_line,
+                message: format!("header column `{name}` is not in the schema"),
+            })?);
+        }
+        Ok(CsvChunks {
+            reader,
+            schema,
+            order,
+            line_no,
+            chunk_rows,
+        })
+    }
+
+    /// Read the next block of up to `chunk_rows` records. Returns
+    /// `Ok(None)` at end of input — never an empty table, so a row count
+    /// that divides evenly by the chunk size produces no empty trailing
+    /// chunk.
+    pub fn next_chunk(&mut self) -> Result<Option<Table>, TableError> {
+        let mut table = Table::new(self.schema.clone());
+        let mut cells: Vec<Value> = vec![Value::Int(0); self.schema.len()];
+        while table.num_rows() < self.chunk_rows {
+            let Some((fields, line)) = read_record(&mut self.reader, &mut self.line_no)? else {
+                break;
+            };
+            if fields.len() != self.schema.len() {
+                return Err(TableError::Csv {
+                    line,
+                    message: format!(
+                        "record has {} fields but schema has {}",
+                        fields.len(),
+                        self.schema.len()
+                    ),
+                });
+            }
+            for (pos, raw) in fields.iter().enumerate() {
+                let id = self.order[pos];
+                let def = self.schema.attribute(id);
+                cells[id.index()] = match def.kind() {
+                    AttributeKind::Categorical => Value::Cat(raw.clone()),
+                    AttributeKind::Quantitative => {
+                        let token = raw.trim();
+                        if let Ok(i) = token.parse::<i64>() {
+                            Value::Int(i)
+                        } else if let Ok(x) = token.parse::<f64>() {
+                            if !x.is_finite() {
+                                return Err(TableError::BadNumber {
+                                    line,
+                                    token: raw.clone(),
+                                });
+                            }
+                            Value::Float(x)
+                        } else {
                             return Err(TableError::BadNumber {
                                 line,
                                 token: raw.clone(),
                             });
                         }
-                        Value::Float(x)
-                    } else {
-                        return Err(TableError::BadNumber {
-                            line,
-                            token: raw.clone(),
-                        });
                     }
-                }
-            };
+                };
+            }
+            table.push_row(&cells)?;
         }
-        table.push_row(&cells)?;
+        if table.num_rows() == 0 {
+            return Ok(None);
+        }
+        Ok(Some(table))
     }
-    Ok(table)
 }
 
 fn escape(field: &str) -> String {
@@ -333,5 +382,104 @@ mod tests {
         let s = Schema::builder().categorical("c").build().unwrap();
         let err = read_table("c\nab\"cd\n".as_bytes(), &s).unwrap_err();
         assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    /// Collect every chunk of `input` at the given block size.
+    fn chunks_of(input: &str, schema: &Schema, rows: usize) -> Vec<Table> {
+        let mut reader = CsvChunks::new(input.as_bytes(), schema.clone(), rows).unwrap();
+        let mut out = Vec::new();
+        while let Some(chunk) = reader.next_chunk().unwrap() {
+            out.push(chunk);
+        }
+        out
+    }
+
+    #[test]
+    fn chunked_reader_matches_whole_table_read() {
+        let s = schema();
+        let input = "age,married,num_cars\n23,No,1\n25,Yes,1\n29,No,0\n34,Yes,2\n38,Yes,2\n";
+        let whole = read_table(input.as_bytes(), &s).unwrap();
+        for rows in [1, 2, 3, 5, 100] {
+            let chunks = chunks_of(input, &s, rows);
+            let total: usize = chunks.iter().map(Table::num_rows).sum();
+            assert_eq!(total, whole.num_rows(), "chunk_rows={rows}");
+            let mut row = 0;
+            for chunk in &chunks {
+                for r in 0..chunk.num_rows() {
+                    for c in 0..chunk.num_columns() {
+                        assert_eq!(chunk.row(r).value(c), whole.row(row).value(c));
+                    }
+                    row += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_reader_crlf_only_file() {
+        let s = Schema::builder().quantitative("x").build().unwrap();
+        let input = "x\r\n1\r\n2\r\n3\r\n";
+        let chunks = chunks_of(input, &s, 2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].num_rows(), 2);
+        assert_eq!(chunks[1].num_rows(), 1);
+        assert_eq!(chunks[1].row(0).value(0), Value::Int(3));
+    }
+
+    #[test]
+    fn chunked_reader_final_record_without_trailing_newline() {
+        let s = Schema::builder().quantitative("x").build().unwrap();
+        let chunks = chunks_of("x\n1\n2\n3", &s, 2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1].num_rows(), 1);
+        assert_eq!(chunks[1].row(0).value(0), Value::Int(3));
+    }
+
+    #[test]
+    fn chunked_reader_quoted_field_spans_block_boundary() {
+        // The second record's quoted field contains a newline; with
+        // chunk_rows=1 the record straddles what a byte-block reader would
+        // call a boundary. Logical-record assembly must keep it whole.
+        let s = Schema::builder()
+            .categorical("note")
+            .categorical("tag")
+            .build()
+            .unwrap();
+        let input = "note,tag\nplain,a\n\"two\nlines, with comma\",b\nlast,c\n";
+        let chunks = chunks_of(input, &s, 1);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(
+            chunks[1].row(0).value(0),
+            Value::Cat("two\nlines, with comma".into())
+        );
+        assert_eq!(chunks[1].row(0).value(1), Value::Cat("b".into()));
+    }
+
+    #[test]
+    fn chunked_reader_no_empty_trailing_chunk() {
+        // 4 records at chunk_rows=2: exactly two chunks, and the next call
+        // reports end of input rather than an empty table.
+        let s = Schema::builder().quantitative("x").build().unwrap();
+        let mut reader = CsvChunks::new("x\n1\n2\n3\n4\n".as_bytes(), s, 2).unwrap();
+        assert_eq!(reader.next_chunk().unwrap().unwrap().num_rows(), 2);
+        assert_eq!(reader.next_chunk().unwrap().unwrap().num_rows(), 2);
+        assert!(reader.next_chunk().unwrap().is_none());
+        assert!(reader.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn chunked_reader_header_only_input() {
+        let s = Schema::builder().quantitative("x").build().unwrap();
+        let mut reader = CsvChunks::new("x\n".as_bytes(), s, 8).unwrap();
+        assert!(reader.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn chunked_reader_blank_lines_between_blocks() {
+        let s = Schema::builder().quantitative("x").build().unwrap();
+        let chunks = chunks_of("x\n1\n\n\n2\n\n3\n", &s, 2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].num_rows(), 2);
+        assert_eq!(chunks[1].num_rows(), 1);
     }
 }

@@ -376,6 +376,53 @@ impl EncodedTable {
         Self::encode(table, encoders)
     }
 
+    /// Assemble an encoded table from already-encoded code columns.
+    ///
+    /// This is the loading path for spilled chunk files
+    /// ([`crate::chunk::ChunkStore`]) and for worker row partitions
+    /// received over the wire: the codes were produced by these exact
+    /// encoders elsewhere, so re-encoding would be wasted work. Panics if
+    /// the shapes disagree (one column per attribute, every column
+    /// `num_rows` long, every code below its encoder's cardinality is NOT
+    /// checked here — callers validating untrusted input must check codes
+    /// themselves).
+    pub fn from_parts(
+        schema: Schema,
+        encoders: Vec<AttributeEncoder>,
+        columns: Vec<Vec<u32>>,
+        num_rows: usize,
+    ) -> Self {
+        assert_eq!(encoders.len(), schema.len(), "one encoder per attribute");
+        assert_eq!(columns.len(), schema.len(), "one column per attribute");
+        for (i, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), num_rows, "column {i} length != num_rows");
+        }
+        EncodedTable {
+            schema,
+            encoders,
+            columns,
+            num_rows,
+        }
+    }
+
+    /// A decode-only view: schema and encoders with no code columns.
+    ///
+    /// Used where rules must be rendered (attribute names, range labels)
+    /// but the row data lives elsewhere — on chunk files, on remote
+    /// workers. `num_rows` reports the true row count of the backing data;
+    /// [`EncodedTable::codes`] returns empty slices, so this must never be
+    /// handed to a scan.
+    pub fn header_only(schema: Schema, encoders: Vec<AttributeEncoder>, num_rows: usize) -> Self {
+        assert_eq!(encoders.len(), schema.len(), "one encoder per attribute");
+        let columns = vec![Vec::new(); schema.len()];
+        EncodedTable {
+            schema,
+            encoders,
+            columns,
+            num_rows,
+        }
+    }
+
     /// The schema shared with the source table.
     pub fn schema(&self) -> &Schema {
         &self.schema

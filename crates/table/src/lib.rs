@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod csv;
 pub mod encode;
 pub mod error;
@@ -30,6 +31,7 @@ pub mod table;
 pub mod taxonomy;
 pub mod value;
 
+pub use chunk::{ChunkStore, TableSummary};
 pub use encode::{AttributeEncoder, EncodedTable};
 pub use error::TableError;
 pub use schema::{AttributeDef, AttributeId, AttributeKind, Schema, SchemaBuilder};

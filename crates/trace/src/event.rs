@@ -180,6 +180,37 @@ pub enum TraceEvent {
         /// Wall-clock of the whole analytics computation, µs.
         elapsed_us: u64,
     },
+    /// A distributed-mining worker connected and received its row
+    /// partition (count-distribution coordinator side).
+    WorkerJoined {
+        /// 0-based worker index at the coordinator.
+        worker: usize,
+        /// Peer address the worker connected from.
+        addr: String,
+        /// Rows in the partition streamed to the worker.
+        rows: u64,
+    },
+    /// The coordinator merged one pass's count vectors from all workers.
+    PassMerged {
+        /// 1-based pass number (matches [`TraceEvent::PassStarted`]).
+        pass: usize,
+        /// Workers whose counts were merged.
+        workers: usize,
+        /// Candidates counted this pass (0 for pass 1's histograms).
+        candidates: usize,
+        /// Wall-clock from dispatch to merged tallies, µs.
+        elapsed_us: u64,
+    },
+    /// A worker connection failed mid-run; the coordinator recovers by
+    /// recounting the lost partition locally.
+    WorkerLost {
+        /// 0-based worker index at the coordinator.
+        worker: usize,
+        /// Pass during which the loss was observed.
+        pass: usize,
+        /// Human-readable failure reason.
+        detail: String,
+    },
     /// A `RELOAD` control frame swapped in a fresh catalog.
     CatalogReloaded {
         /// Name of the reloaded catalog slot.
@@ -230,6 +261,9 @@ impl TraceEvent {
             TraceEvent::ConnectionClosed { .. } => "connection_closed",
             TraceEvent::RequestServed { .. } => "request_served",
             TraceEvent::AnalyticsComputed { .. } => "analytics_computed",
+            TraceEvent::WorkerJoined { .. } => "worker_joined",
+            TraceEvent::PassMerged { .. } => "pass_merged",
+            TraceEvent::WorkerLost { .. } => "worker_lost",
             TraceEvent::CatalogReloaded { .. } => "catalog_reloaded",
         }
     }
@@ -356,6 +390,29 @@ impl TraceEvent {
             } => format!(
                 "{{\"event\":\"analytics_computed\",\"rules\":{rules},\
                  \"shapley_samples\":{shapley_samples},\"elapsed_us\":{elapsed_us}}}"
+            ),
+            TraceEvent::WorkerJoined { worker, addr, rows } => format!(
+                "{{\"event\":\"worker_joined\",\"worker\":{worker},\"addr\":{},\
+                 \"rows\":{rows}}}",
+                json_str(addr)
+            ),
+            TraceEvent::PassMerged {
+                pass,
+                workers,
+                candidates,
+                elapsed_us,
+            } => format!(
+                "{{\"event\":\"pass_merged\",\"pass\":{pass},\"workers\":{workers},\
+                 \"candidates\":{candidates},\"elapsed_us\":{elapsed_us}}}"
+            ),
+            TraceEvent::WorkerLost {
+                worker,
+                pass,
+                detail,
+            } => format!(
+                "{{\"event\":\"worker_lost\",\"worker\":{worker},\"pass\":{pass},\
+                 \"detail\":{}}}",
+                json_str(detail)
             ),
             TraceEvent::CatalogReloaded {
                 catalog,
@@ -545,6 +602,26 @@ impl fmt::Display for TraceEvent {
                  {shapley_samples} Shapley sample(s) in {}",
                 fmt_us(*elapsed_us)
             ),
+            TraceEvent::WorkerJoined { worker, addr, rows } => write!(
+                f,
+                "worker {worker} joined from {addr}: {rows} row(s) assigned"
+            ),
+            TraceEvent::PassMerged {
+                pass,
+                workers,
+                candidates,
+                elapsed_us,
+            } => write!(
+                f,
+                "pass {pass} merged from {workers} worker(s) \
+                 ({candidates} candidate(s)) in {}",
+                fmt_us(*elapsed_us)
+            ),
+            TraceEvent::WorkerLost {
+                worker,
+                pass,
+                detail,
+            } => write!(f, "worker {worker} lost during pass {pass}: {detail}"),
             TraceEvent::CatalogReloaded {
                 catalog,
                 generation,
@@ -649,6 +726,22 @@ mod tests {
                 rules: 44,
                 shapley_samples: 64,
                 elapsed_us: 1200,
+            },
+            TraceEvent::WorkerJoined {
+                worker: 1,
+                addr: "127.0.0.1:4921".into(),
+                rows: 5000,
+            },
+            TraceEvent::PassMerged {
+                pass: 2,
+                workers: 2,
+                candidates: 120,
+                elapsed_us: 800,
+            },
+            TraceEvent::WorkerLost {
+                worker: 1,
+                pass: 3,
+                detail: "read timed out".into(),
             },
             TraceEvent::CatalogReloaded {
                 catalog: "cat \"v2\"\\planted".into(),

@@ -75,6 +75,11 @@ impl Json {
         matches!(self, Json::Num(n) if n.fract() == 0.0)
     }
 
+    /// True when this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
     /// Short name of the value's JSON type, for error messages.
     pub fn type_name(&self) -> &'static str {
         match self {

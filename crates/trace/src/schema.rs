@@ -490,6 +490,22 @@ mod tests {
                 shapley_samples: 64,
                 elapsed_us: 900,
             },
+            TraceEvent::WorkerJoined {
+                worker: 0,
+                addr: "127.0.0.1:5001".into(),
+                rows: 500,
+            },
+            TraceEvent::PassMerged {
+                pass: 2,
+                workers: 2,
+                candidates: 9,
+                elapsed_us: 70,
+            },
+            TraceEvent::WorkerLost {
+                worker: 1,
+                pass: 3,
+                detail: "connection reset".into(),
+            },
             TraceEvent::CatalogReloaded {
                 catalog: "planted".into(),
                 generation: 2,
@@ -502,6 +518,6 @@ mod tests {
                 .validate_line(&event.to_json())
                 .unwrap_or_else(|e| panic!("{}: {e}", event.name()));
         }
-        assert_eq!(schema.event_names().len(), 14);
+        assert_eq!(schema.event_names().len(), 17);
     }
 }

@@ -141,13 +141,50 @@ grep -q '"suite":"bench_analytics"' "$STORE_DIR/bench_analytics.json"
 grep -q '"closed_form_rules_per_sec"' "$STORE_DIR/bench_analytics.json"
 grep -q '"shapley_samples_per_sec"' "$STORE_DIR/bench_analytics.json"
 
+echo "==> distributed smoke (coordinator + 2 worker processes, byte-identical catalogs)"
+# Serial, distributed (2 spawned `qar worker` processes), out-of-core
+# (small forced chunk size), and the chunked+distributed combination
+# must all write byte-identical .qarcat catalogs for the same input
+# under --normalize-stats — count distribution merges raw per-partition
+# count vectors, so the agreement is exact, not approximate.
+MINE_FLAGS="--schema x0:quant,x1:quant,x2:quant,c:cat \
+    --minsup 0.1 --minconf 0.5 --maxsup 0.4 --intervals 10 --normalize-stats"
+./target/release/qar mine --input "$STORE_DIR/planted.csv" $MINE_FLAGS \
+    --store "$STORE_DIR/serial.qarcat" > /dev/null
+./target/release/qar mine --input "$STORE_DIR/planted.csv" $MINE_FLAGS \
+    --workers 2 --store "$STORE_DIR/dist.qarcat" > /dev/null
+cmp "$STORE_DIR/serial.qarcat" "$STORE_DIR/dist.qarcat"
+./target/release/qar mine --input "$STORE_DIR/planted.csv" $MINE_FLAGS \
+    --chunk-rows 173 --store "$STORE_DIR/chunked.qarcat" > /dev/null
+cmp "$STORE_DIR/serial.qarcat" "$STORE_DIR/chunked.qarcat"
+./target/release/qar mine --input "$STORE_DIR/planted.csv" $MINE_FLAGS \
+    --chunk-rows 173 --workers 2 --store "$STORE_DIR/chunked_dist.qarcat" > /dev/null
+cmp "$STORE_DIR/serial.qarcat" "$STORE_DIR/chunked_dist.qarcat"
+
+echo "==> dist bench smoke (counting speedup floor)"
+# Quick run of the count-distribution bench: exits non-zero when the
+# 2-partition counting critical path (max partition scan + merge) fails
+# to beat serial counting by at least 1.6x. The JSON goes to a temp path
+# so a local run never clobbers the committed BENCH_dist.json baseline,
+# which must itself exist and respect the same floor.
+QAR_BENCH_QUICK=1 ./target/release/qar bench-dist --floor 1.6 \
+    --out "$STORE_DIR/bench_dist.json" > /dev/null
+grep -q '"suite":"bench_dist"' "$STORE_DIR/bench_dist.json"
+grep -q '"critical_path_s"' "$STORE_DIR/bench_dist.json"
+grep -q '"suite":"bench_dist"' BENCH_dist.json
+awk -F'"speedup":' '{split($2, a, ","); if (a[1] + 0 < 1.6) {
+    print "committed BENCH_dist.json speedup " a[1] " is below the 1.6x floor" > "/dev/stderr";
+    exit 1 } }' BENCH_dist.json
+
 echo "==> fuzz smoke (200 differential cases, fixed seed)"
 # A short deterministic sweep of the differential oracle: serial miner,
 # parallel miner, naive reference, apriori bridge, catalog round trip,
-# memoized scan cache, bitmask scan kernel, and the rule-quality
+# memoized scan cache, bitmask scan kernel, the rule-quality
 # analytics pass (0-ulps closed-form reference + BH monotonicity +
-# catalog round trip) must agree on every generated case. Divergences
-# minimize into tests/fuzz_repros/ fixtures; a clean run writes nothing.
+# catalog round trip), and count-distribution distributed mining over
+# worker threads (byte-identical normalized catalogs) must agree on
+# every generated case. Divergences minimize into tests/fuzz_repros/
+# fixtures; a clean run writes nothing.
 ./target/release/qar fuzz --iters 200 --seed 42
 
 echo "==> clippy -D warnings"

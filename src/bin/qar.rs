@@ -70,6 +70,24 @@ fn main() -> ExitCode {
             Ok(_) => ExitCode::SUCCESS,
             Err(e) => fail(&e.to_string()),
         },
+        Ok(Command::BenchDist(bench)) => match run_bench_dist(&bench) {
+            Ok(speedup) if bench.floor > 0.0 && speedup < bench.floor => fail(&format!(
+                "bench-dist: {speedup:.2}x counting speedup is below the {:.2}x floor",
+                bench.floor
+            )),
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
+        Ok(Command::Worker(worker)) => {
+            let opts = quantrules::dist::WorkerOptions {
+                num_threads: worker.threads,
+                kernel: worker.kernel,
+            };
+            match quantrules::dist::run_worker(&worker.connect, &opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&format!("worker: {e}")),
+            }
+        }
         Err(e) => fail(&e.to_string()),
     }
 }
@@ -148,6 +166,14 @@ fn run_bench_analytics(args: &cli::BenchAnalyticsArgs) -> Result<f64, Box<dyn st
     Ok(rps)
 }
 
+fn run_bench_dist(args: &cli::BenchDistArgs) -> Result<f64, Box<dyn std::error::Error>> {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let speedup = cli::run_bench_dist(args, &mut lock)?;
+    lock.flush()?;
+    Ok(speedup)
+}
+
 fn run_store_check(args: &cli::StoreCheckArgs) -> Result<(), Box<dyn std::error::Error>> {
     let bytes = read_input_bytes(&args.input)?;
     let stdout = std::io::stdout();
@@ -178,6 +204,14 @@ fn run_mine(args: &cli::MineArgs) -> Result<(), Box<dyn std::error::Error>> {
         args.config.taxonomies.insert(attr, taxonomy);
     }
     let args = &args;
+    if args.chunk_rows > 0 {
+        // Out-of-core: the CLI layer streams the file itself (twice).
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        cli::run_mine_chunked(args, &mut lock)?;
+        lock.flush()?;
+        return Ok(());
+    }
     let schema = cli::build_schema(&args.schema)?;
     let table = if args.input == "-" {
         let mut buf = String::new();

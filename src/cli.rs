@@ -16,9 +16,11 @@ use std::time::{Duration, Instant};
 
 use qar_analytics::AnalyticsConfig;
 use qar_core::{
-    InterestConfig, InterestMode, Miner, MinerConfig, PartitionSpec, PartitionStrategy, QuantRule,
+    mine_source, ChunkedSource, CountError, CountSource, InterestConfig, InterestMode, Miner,
+    MinerConfig, MinerError, MiningOutput, PartitionSpec, PartitionStrategy, QuantRule,
     RuleInterest, ScanKernel,
 };
+use qar_dist::{mine_distributed, Backing, DistOptions, WorkerSpawn};
 use qar_prng::Prng;
 use qar_store::protocol::{Query, QueryOptions, Request, Response};
 use qar_store::serve::ServeClient;
@@ -52,8 +54,37 @@ pub enum Command {
     BenchServe(BenchServeArgs),
     /// Benchmark the analytics subsystem (closed-form + Shapley).
     BenchAnalytics(BenchAnalyticsArgs),
+    /// Benchmark count-distribution counting against the serial scan.
+    BenchDist(BenchDistArgs),
+    /// Run as a counting worker connected to a mine coordinator.
+    Worker(WorkerArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `qar worker`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerArgs {
+    /// Coordinator address (`HOST:PORT`) to connect to.
+    pub connect: String,
+    /// Threads per counting scan (0 = all cores).
+    pub threads: usize,
+    /// Scan kernel for candidate counting.
+    pub kernel: ScanKernel,
+}
+
+/// Arguments of `qar bench-dist`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDistArgs {
+    /// Planted-dataset records the benchmark table holds.
+    pub records: usize,
+    /// Worker partitions the counting is distributed over.
+    pub workers: usize,
+    /// Minimum counting speedup; the run fails below this (0 = off).
+    pub floor: f64,
+    /// Where the machine-readable summary JSON goes; `None` falls back
+    /// to `$QAR_BENCH_OUT`, then `BENCH_dist.json`.
+    pub out: Option<String>,
 }
 
 /// Arguments of `qar mine`.
@@ -84,6 +115,16 @@ pub struct MineArgs {
     /// Compute rule analytics (lift, conviction, chi², J-measure,
     /// Shapley attribution) and persist them in the stored catalog.
     pub analytics: bool,
+    /// Distribute the counting passes over this many worker processes
+    /// (0 = mine serially in this process).
+    pub workers: usize,
+    /// Stream the CSV in row blocks of this size and spill encoded
+    /// chunks to disk instead of loading the table into memory
+    /// (0 = in-memory).
+    pub chunk_rows: usize,
+    /// Zero the volatile statistics (timings, kernels) before storing or
+    /// reporting, so identical inputs give byte-identical catalogs.
+    pub normalize_stats: bool,
     /// Deprecation warnings this command line earned; the binary prints
     /// each to stderr before running.
     pub warnings: Vec<String>,
@@ -270,8 +311,10 @@ USAGE:
   qar trace-check [TRACE] [--schema FILE]
   qar fuzz [--iters N] [--seed S] [--out DIR]
   qar serve CATALOG... [--port P] [--threads N] [--trace F]
+  qar worker --connect HOST:PORT [--threads N] [--kernel K]
   qar bench-serve [--addr HOST:PORT] [--catalog FILE] [options]
   qar bench-analytics [--records N] [--samples N] [--floor R] [--out FILE]
+  qar bench-dist [--records N] [--workers W] [--floor R] [--out FILE]
   qar help
 
 MINE OPTIONS:
@@ -304,7 +347,22 @@ MINE OPTIONS:
   --analytics           compute rule analytics (lift, conviction, leverage,
                         chi² + BH-adjusted p, J-measure, Shapley attribution)
                         from the mine's own counts and persist them in the
-                        stored catalog (requires --store)
+                        stored catalog (requires --store; incompatible with
+                        --workers / --chunk-rows)
+  --workers N           distribute the counting passes over N worker
+                        processes (spawned from this binary as
+                        `qar worker`); candidate generation, frequency
+                        decisions, and rule generation stay in the
+                        coordinator, and the result is bit-identical to a
+                        serial run                      [default 0 = serial]
+  --chunk-rows N        stream the CSV in N-row blocks and spill encoded
+                        chunks to a temp directory, mining out-of-core
+                        with one chunk in memory at a time; needs a real
+                        --input file (read twice)    [default 0 = in-memory]
+  --normalize-stats     zero the volatile statistics (timings, kernel
+                        names) before storing/reporting so identical
+                        inputs give byte-identical .qarcat catalogs
+                        across serial, --workers, and --chunk-rows runs
 
 GENERATE:
   DATASET               credit | people | planted
@@ -384,6 +442,18 @@ SERVE:
                         connection occupies one worker  [default 0]
   --trace F             emit server trace events to stderr: json | text
 
+WORKER:
+  Counting worker for distributed mining. Connects to a `qar mine
+  --workers N` coordinator, receives the schema, encoders, and its row
+  partition over the wire, and answers per-pass counting requests with
+  raw u64 tallies until the coordinator shuts it down. Normally spawned
+  by the coordinator itself; run it by hand only to place workers on
+  other machines or debug the protocol.
+  --connect HOST:PORT   coordinator address (required)
+  --threads N           threads per counting scan (0 = all cores)
+  --kernel K            scan kernel: auto | direct | memoized | bitmask
+                        [default auto]
+
 BENCH-SERVE:
   Drives a mixed point/range/top-k/batch workload from concurrent client
   connections, reports p50/p99 request latency and aggregate throughput,
@@ -418,6 +488,25 @@ BENCH-ANALYTICS:
                         [default 500]
   --out FILE            summary JSON destination
                         [default $QAR_BENCH_OUT, then BENCH_analytics.json]
+
+BENCH-DIST:
+  Measures what count distribution buys per pass: mines a planted table
+  once, timing every counting pass twice — a single serial scan over the
+  whole table, and the distributed critical path (the slowest of W
+  equal contiguous partitions scanned with the same single-threaded
+  kernel, plus the coordinator's element-wise merge). The reported
+  speedup = serial / (critical path + merge) isolates the algorithmic
+  gain from host core count, so it holds on a single-core machine; it
+  still falls below W when merge overhead or partition skew eats the
+  margin. Every pass asserts the merged partition counts equal the
+  serial counts. Writes a summary JSON line to BENCH_dist.json and
+  exits non-zero below the floor.
+  --records N           planted records to mine      [default 10000000]
+                        (QAR_BENCH_QUICK=1 caps this at 200000)
+  --workers W           partitions to distribute over   [default 2]
+  --floor R             fail under speedup R (0 = off)  [default 1.6]
+  --out FILE            summary JSON destination
+                        [default $QAR_BENCH_OUT, then BENCH_dist.json]
 ";
 
 /// Split an optional leading positional argument (anything not starting
@@ -447,6 +536,7 @@ fn parse_flag_map(args: &[String]) -> Result<BTreeMap<String, String>, CliError>
             || key == "no-memoize"
             || key == "shutdown"
             || key == "analytics"
+            || key == "normalize-stats"
         {
             map.insert(key, "true".into());
             i += 1;
@@ -658,6 +748,20 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                     "--analytics requires --store FILE (analytics are persisted in the catalog)",
                 ));
             }
+            let workers = parse_usize(&map, "workers", 0)?;
+            let chunk_rows = parse_usize(&map, "chunk-rows", 0)?;
+            if analytics && (workers > 0 || chunk_rows > 0) {
+                return Err(err(
+                    "--analytics needs the full in-memory table; drop --workers/--chunk-rows \
+                     or backfill the catalog later with `qar analyze`",
+                ));
+            }
+            if chunk_rows > 0 && input == "-" {
+                return Err(err(
+                    "--chunk-rows streams the input twice (stats pass, then spill pass), \
+                     so it needs a real --input file, not stdin",
+                ));
+            }
             let mut warnings = Vec::new();
             if map.contains_key("no-memoize") {
                 warnings.push(
@@ -677,7 +781,35 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 deadline,
                 store: map.get("store").cloned(),
                 analytics,
+                workers,
+                chunk_rows,
+                normalize_stats: map.contains_key("normalize-stats"),
                 warnings,
+            }))
+        }
+        "worker" => {
+            let map = parse_flag_map(&args[1..])?;
+            for key in map.keys() {
+                if !["connect", "threads", "kernel"].contains(&key.as_str()) {
+                    return Err(err(format!("worker does not take --{key}")));
+                }
+            }
+            let connect = map
+                .get("connect")
+                .cloned()
+                .ok_or_else(|| err("worker requires --connect HOST:PORT"))?;
+            let kernel = match map.get("kernel") {
+                Some(v) => ScanKernel::parse(v).ok_or_else(|| {
+                    err(format!(
+                        "--kernel: `{v}` is not auto, direct, memoized, or bitmask"
+                    ))
+                })?,
+                None => ScanKernel::Auto,
+            };
+            Ok(Command::Worker(WorkerArgs {
+                connect,
+                threads: parse_usize(&map, "threads", 0)?,
+                kernel,
             }))
         }
         "generate" => {
@@ -906,6 +1038,30 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 out: map.get("out").cloned(),
             }))
         }
+        "bench-dist" => {
+            let map = parse_flag_map(&args[1..])?;
+            for key in map.keys() {
+                if !["records", "workers", "floor", "out"].contains(&key.as_str()) {
+                    return Err(err(format!("bench-dist does not take --{key}")));
+                }
+            }
+            let records = parse_usize(&map, "records", 10_000_000)?;
+            let workers = parse_usize(&map, "workers", 2)?;
+            if records == 0 {
+                return Err(err("--records must be at least 1"));
+            }
+            if workers < 2 {
+                return Err(err(
+                    "--workers must be at least 2 (a one-worker split has no counting to distribute)",
+                ));
+            }
+            Ok(Command::BenchDist(BenchDistArgs {
+                records,
+                workers,
+                floor: parse_f64(&map, "floor", 1.6)?,
+                out: map.get("out").cloned(),
+            }))
+        }
         other => Err(err(format!("unknown command `{other}` (try `qar help`)"))),
     }
 }
@@ -950,16 +1106,182 @@ pub fn build_miner(args: &MineArgs, sink: Option<Arc<dyn ProgressSink>>) -> Mine
     miner
 }
 
+/// The [`WorkerSpawn`] a production `qar mine --workers N` uses: child
+/// processes of this very binary running `qar worker`, inheriting the
+/// mine's thread and kernel flags.
+fn process_spawn(config: &MinerConfig) -> Result<WorkerSpawn, CliError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| err(format!("cannot locate the qar binary for workers: {e}")))?;
+    let mut worker_args = Vec::new();
+    if let Some(threads) = config.parallelism {
+        worker_args.push("--threads".to_string());
+        worker_args.push(threads.get().to_string());
+    }
+    if config.kernel != ScanKernel::Auto {
+        worker_args.push("--kernel".to_string());
+        worker_args.push(config.kernel.name().to_string());
+    }
+    Ok(WorkerSpawn::Processes {
+        exe,
+        args: worker_args,
+    })
+}
+
+/// The deadline token a `--deadline` flag asks for (the non-serial mine
+/// paths thread it into their counting scans themselves).
+fn deadline_token(args: &MineArgs) -> Option<CancelToken> {
+    args.deadline
+        .map(|secs| CancelToken::with_deadline(Duration::from_secs_f64(secs)))
+}
+
+/// [`DistOptions`] for a `qar mine --workers N` run with the given spawn.
+fn dist_options(args: &MineArgs, spawn: WorkerSpawn) -> DistOptions {
+    DistOptions {
+        workers: args.workers,
+        spawn,
+        ..DistOptions::default()
+    }
+}
+
 /// Execute `qar mine` against an already-loaded table, writing a report to
 /// `out` (trace events, when enabled, go to stderr). Separated from file
-/// I/O for testability.
+/// I/O for testability. With `args.workers > 0` the counting passes run
+/// on worker processes spawned from this binary.
 pub fn run_mine_on_table(
     table: &Table,
     args: &MineArgs,
     out: &mut impl std::io::Write,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    let spawn = if args.workers > 0 {
+        Some(process_spawn(&args.config)?)
+    } else {
+        None
+    };
+    run_mine_on_table_spawn(table, args, spawn, out)
+}
+
+/// [`run_mine_on_table`] with an explicit worker spawn, so tests can use
+/// in-process worker threads instead of child processes.
+pub fn run_mine_on_table_spawn(
+    table: &Table,
+    args: &MineArgs,
+    spawn: Option<WorkerSpawn>,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
     let sink = trace_sink(args.trace);
-    let result = build_miner(args, sink.clone()).mine(table)?;
+    let result = if args.workers > 0 {
+        let spawn = spawn.ok_or_else(|| err("distributed mining needs a worker spawn"))?;
+        // The distributed driver counts already-encoded rows, so Steps 1-2
+        // (partitioning, encoding) happen here on the coordinator — with
+        // the exact encoders the serial path would build.
+        let (encoders, intervals) =
+            qar_core::pipeline::build_encoders(table, &args.config).map_err(box_miner_error)?;
+        let encoded = EncodedTable::encode(table, encoders)?;
+        let cancel = deadline_token(args);
+        let mut result = mine_distributed(
+            Backing::Memory(&encoded),
+            &args.config,
+            &dist_options(args, spawn),
+            sink.as_deref(),
+            cancel.as_ref(),
+        )
+        .map_err(box_miner_error)?;
+        result.stats.intervals_per_attribute = intervals;
+        result
+    } else {
+        build_miner(args, sink.clone()).mine(table)?
+    };
+    finish_mine(table.num_rows() as u64, result, args, sink, out)
+}
+
+/// Execute `qar mine --chunk-rows N`: stream the CSV twice (stats pass,
+/// then spill pass), mine the spilled chunks out-of-core — optionally
+/// distributed over workers — and clean the spill directory up. The
+/// result is bit-identical to the in-memory path on the same input.
+pub fn run_mine_chunked(
+    args: &MineArgs,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let spawn = if args.workers > 0 {
+        Some(process_spawn(&args.config)?)
+    } else {
+        None
+    };
+    run_mine_chunked_spawn(args, spawn, out)
+}
+
+/// [`run_mine_chunked`] with an explicit worker spawn (see
+/// [`run_mine_on_table_spawn`]).
+pub fn run_mine_chunked_spawn(
+    args: &MineArgs,
+    spawn: Option<WorkerSpawn>,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if args.input == "-" {
+        return Err(Box::new(err(
+            "--chunk-rows needs a real --input file (the CSV is read twice)",
+        )));
+    }
+    let sink = trace_sink(args.trace);
+    let schema = build_schema(&args.schema)?;
+    let open = || {
+        std::fs::File::open(&args.input)
+            .map(std::io::BufReader::new)
+            .map_err(|e| err(format!("cannot open `{}`: {e}", args.input)))
+    };
+    // Pass 1 (stats): per-attribute summaries — enough to build the exact
+    // encoders Steps 1-2 would build on the in-memory table.
+    let summary = qar_table::chunk::summarize_csv(open()?, &schema, args.chunk_rows)?;
+    let (encoders, intervals) =
+        qar_core::pipeline::build_encoders_from_summary(&summary, &args.config)
+            .map_err(box_miner_error)?;
+    // Pass 2 (spill): encode row blocks and write per-chunk code files.
+    let dir = qar_table::chunk::default_spill_dir("mine");
+    let store = qar_table::chunk::spill_csv(open()?, &schema, encoders, args.chunk_rows, &dir)?;
+    let num_rows = store.num_rows() as u64;
+    let cancel = deadline_token(args);
+    let mined = if args.workers > 0 {
+        let spawn = spawn.ok_or_else(|| err("distributed mining needs a worker spawn"))?;
+        mine_distributed(
+            Backing::Chunks(&store),
+            &args.config,
+            &dist_options(args, spawn),
+            sink.as_deref(),
+            cancel.as_ref(),
+        )
+    } else {
+        let mut source = ChunkedSource::new(&store, &args.config);
+        if let Some(token) = &cancel {
+            source = source.with_cancel(token);
+        }
+        mine_source(&mut source, &args.config, sink.as_deref(), cancel.as_ref())
+    };
+    // The spill directory is temporary either way — remove it before
+    // surfacing the mining verdict.
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut result = mined.map_err(box_miner_error)?;
+    result.stats.intervals_per_attribute = intervals;
+    finish_mine(num_rows, result, args, sink, out)
+}
+
+/// Box a [`MinerError`] without losing its message.
+fn box_miner_error(e: MinerError) -> Box<dyn std::error::Error> {
+    Box::new(err(e.to_string()))
+}
+
+/// The shared tail of every `qar mine` path: normalize stats when asked,
+/// store the catalog, and write the report in the requested format.
+fn finish_mine(
+    num_rows: u64,
+    mut result: MiningOutput,
+    args: &MineArgs,
+    sink: Option<Arc<dyn ProgressSink>>,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if args.normalize_stats {
+        result.stats = result.stats.normalized();
+    }
     if let Some(path) = &args.store {
         let mut catalog = Catalog::from_mining(&result);
         if args.analytics {
@@ -1004,7 +1326,7 @@ pub fn run_mine_on_table(
     writeln!(
         out,
         "{} records; {} frequent itemsets across {} levels; {} rules ({} interesting)",
-        table.num_rows(),
+        num_rows,
         result.frequent.total(),
         result.frequent.levels.len(),
         result.stats.rules_total,
@@ -1231,13 +1553,47 @@ pub fn run_query(
             )?;
         }
         OutputFormat::Json => {
-            qar_core::export::rules_to_json(
-                out,
-                &rules,
-                verdicts.as_deref(),
-                &catalog,
-                catalog.num_rows(),
-            )?;
+            // With an ANALYTICS section each rule object carries its
+            // measures. Non-finite values (conviction diverges to +inf at
+            // confidence 1; chi² and its p degenerate to NaN on an empty
+            // margin) serialize as `null` — JSON has no inf/NaN tokens,
+            // and emitting them raw would make the document unparseable.
+            match catalog.analytics() {
+                Some(set) => {
+                    use qar_core::export::json_f64 as f;
+                    qar_core::export::rules_to_json_with(
+                        out,
+                        &rules,
+                        verdicts.as_deref(),
+                        &catalog,
+                        catalog.num_rows(),
+                        |i| {
+                            let a = &set.rules[ids[i] as usize];
+                            format!(
+                                ",\"lift\":{},\"conviction\":{},\"leverage\":{},\
+                                 \"chi2\":{},\"p_value\":{},\"p_adjusted\":{},\
+                                 \"jmeasure\":{}",
+                                f(a.lift),
+                                f(a.conviction),
+                                f(a.leverage),
+                                f(a.chi2),
+                                f(a.p_value),
+                                f(a.p_adjusted),
+                                f(a.jmeasure),
+                            )
+                        },
+                    )?;
+                }
+                None => {
+                    qar_core::export::rules_to_json(
+                        out,
+                        &rules,
+                        verdicts.as_deref(),
+                        &catalog,
+                        catalog.num_rows(),
+                    )?;
+                }
+            }
         }
         OutputFormat::Text => {
             writeln!(
@@ -1582,6 +1938,20 @@ fn drive_bench_client(addr: &str, workload: &[Request]) -> Result<ClientStats, S
     Ok(stats)
 }
 
+/// Human-readable detail from a joined thread's panic payload. `join`
+/// hands back `Box<dyn Any>`; the payload is a `&str` or `String` for
+/// every `panic!`/`assert!` in practice, and anything else still gets a
+/// generic description instead of propagating the panic.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        format!("thread panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("thread panicked: {s}")
+    } else {
+        "thread panicked (non-string payload)".to_string()
+    }
+}
+
 /// The p-th percentile (0–100) of an unsorted latency sample.
 fn percentile_us(latencies: &mut [u64], p: f64) -> u64 {
     if latencies.is_empty() {
@@ -1702,41 +2072,64 @@ pub fn run_bench_serve(
                 scope.spawn(move || drive_bench_client(addr, workload))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        // A panicking client thread must not abort the whole bench via
+        // an unwrap on `join` — capture the payload as that client's
+        // failure row so the server still gets shut down and the other
+        // clients' outcomes still get reported.
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| Err(panic_detail(&*payload)))
+            })
+            .collect()
     });
     let elapsed = started.elapsed();
 
-    let mut bench_error = None;
+    let mut failures: Vec<(usize, String)> = Vec::new();
     let mut latencies: Vec<u64> = Vec::new();
     let mut queries = 0u64;
     let mut results = 0u64;
-    for client in stats {
-        match client {
+    for (client, outcome) in stats.into_iter().enumerate() {
+        match outcome {
             Ok(s) => {
                 latencies.extend_from_slice(&s.latencies_us);
                 queries += s.queries;
                 results += s.results;
             }
-            Err(e) => bench_error = Some(e),
+            Err(e) => failures.push((client, e)),
         }
     }
 
+    let mut shutdown_error = None;
     if stop_when_done {
         if let Err(e) = shutdown_server(&addr) {
-            bench_error.get_or_insert(format!("shutdown: {e}"));
+            shutdown_error = Some(format!("shutdown: {e}"));
         }
     }
     if let Some(handle) = server_thread {
         handle
             .join()
-            .map_err(|_| err("server thread panicked"))?
+            .map_err(|payload| err(format!("server {}", panic_detail(&*payload))))?
             .map_err(|e| err(format!("server failed: {e}")))?;
     }
     if let Some(path) = temp_catalog {
         let _ = std::fs::remove_file(path);
     }
-    if let Some(e) = bench_error {
-        return Err(Box::new(err(format!("bench client failed: {e}"))));
+    if !failures.is_empty() {
+        for (client, e) in &failures {
+            writeln!(out, "client {client} failed: {e}")?;
+        }
+        return Err(Box::new(err(format!(
+            "{} of {} bench client(s) failed; first: client {}: {}",
+            failures.len(),
+            args.clients,
+            failures[0].0,
+            failures[0].1,
+        ))));
+    }
+    if let Some(e) = shutdown_error {
+        return Err(Box::new(err(format!("bench cleanup failed: {e}"))));
     }
 
     let total_requests = latencies.len() as u64;
@@ -1873,6 +2266,221 @@ pub fn run_bench_analytics(
     writeln!(out, "summary written to {json_path}")?;
 
     Ok(rules_per_sec)
+}
+
+/// A [`CountSource`] that times every counting pass two ways — one
+/// serial scan of the whole table, and the count-distribution critical
+/// path (slowest of `parts`, plus the merge) — while returning the
+/// serial counts so the level-wise search proceeds normally. Each pass
+/// asserts the merged partition counts equal the serial counts, so the
+/// benchmark doubles as an exactness check with real candidate sets.
+struct BenchDistSource<'a> {
+    full: &'a EncodedTable,
+    parts: Vec<EncodedTable>,
+    serial_s: f64,
+    critical_s: f64,
+    merge_s: f64,
+}
+
+impl BenchDistSource<'_> {
+    fn opts() -> qar_core::supercand::ScanOptions<'static> {
+        qar_core::supercand::ScanOptions {
+            kernel: ScanKernel::Auto,
+            ..qar_core::supercand::ScanOptions::new(1)
+        }
+    }
+}
+
+impl CountSource for BenchDistSource<'_> {
+    fn meta(&self) -> &EncodedTable {
+        self.full
+    }
+
+    fn num_rows(&self) -> u64 {
+        self.full.num_rows() as u64
+    }
+
+    fn value_counts(&mut self) -> Result<Vec<Vec<u64>>, CountError> {
+        let started = Instant::now();
+        let full = qar_core::frequent::attribute_value_counts(self.full);
+        self.serial_s += started.elapsed().as_secs_f64();
+
+        let mut worst = 0.0f64;
+        let mut part_counts = Vec::with_capacity(self.parts.len());
+        for part in &self.parts {
+            let started = Instant::now();
+            part_counts.push(qar_core::frequent::attribute_value_counts(part));
+            worst = worst.max(started.elapsed().as_secs_f64());
+        }
+        self.critical_s += worst;
+
+        let started = Instant::now();
+        let mut merged: Vec<Vec<u64>> = full.iter().map(|v| vec![0u64; v.len()]).collect();
+        for counts in &part_counts {
+            for (acc, add) in merged.iter_mut().zip(counts) {
+                for (a, b) in acc.iter_mut().zip(add) {
+                    *a += b;
+                }
+            }
+        }
+        self.merge_s += started.elapsed().as_secs_f64();
+        if merged != full {
+            return Err(CountError::Failed(MinerError::Distributed(
+                "pass 1: merged partition histograms diverge from the serial scan".into(),
+            )));
+        }
+        Ok(full)
+    }
+
+    fn count(
+        &mut self,
+        pass: usize,
+        candidates: &[qar_itemset::Itemset],
+    ) -> Result<Vec<u64>, CountError> {
+        let started = Instant::now();
+        let (full, _) =
+            qar_core::supercand::count_candidates_opts(self.full, candidates, None, Self::opts())?;
+        self.serial_s += started.elapsed().as_secs_f64();
+
+        let mut worst = 0.0f64;
+        let mut part_counts = Vec::with_capacity(self.parts.len());
+        for part in &self.parts {
+            let started = Instant::now();
+            let (counts, _) =
+                qar_core::supercand::count_candidates_opts(part, candidates, None, Self::opts())?;
+            part_counts.push(counts);
+            worst = worst.max(started.elapsed().as_secs_f64());
+        }
+        self.critical_s += worst;
+
+        let started = Instant::now();
+        let mut merged = vec![0u64; candidates.len()];
+        for counts in &part_counts {
+            for (a, b) in merged.iter_mut().zip(counts) {
+                *a += b;
+            }
+        }
+        self.merge_s += started.elapsed().as_secs_f64();
+        if merged != full {
+            return Err(CountError::Failed(MinerError::Distributed(format!(
+                "pass {pass}: merged partition counts diverge from the serial scan"
+            ))));
+        }
+        Ok(full)
+    }
+}
+
+/// Split an encoded table into `workers` contiguous row partitions, the
+/// same split the distributed coordinator uses: near-even, with the
+/// first `rows % workers` partitions one row longer.
+fn partition_encoded(encoded: &EncodedTable, workers: usize) -> Vec<EncodedTable> {
+    let rows = encoded.num_rows();
+    let base = rows / workers;
+    let extra = rows % workers;
+    let mut parts = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        let columns: Vec<Vec<u32>> = encoded
+            .schema()
+            .iter()
+            .map(|(id, _)| encoded.codes(id)[start..start + len].to_vec())
+            .collect();
+        parts.push(EncodedTable::from_parts(
+            encoded.schema().clone(),
+            encoded.encoders().to_vec(),
+            columns,
+            len,
+        ));
+        start += len;
+    }
+    parts
+}
+
+/// Execute `qar bench-dist`: mine a planted table through
+/// `BenchDistSource`, print a human summary, write the
+/// machine-readable JSON line, and return the counting speedup (the
+/// caller enforces the floor so the exit code carries it).
+pub fn run_bench_dist(
+    args: &BenchDistArgs,
+    out: &mut impl std::io::Write,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let quick = std::env::var_os("QAR_BENCH_QUICK").is_some();
+    let records = if quick {
+        args.records.min(200_000)
+    } else {
+        args.records
+    };
+
+    let data = qar_datagen::PlantedDataset::generate(qar_datagen::PlantedConfig {
+        num_records: records,
+        seed: 1996,
+    });
+    let config = MinerConfig {
+        min_support: 0.08,
+        min_confidence: 0.5,
+        max_support: 0.4,
+        partitioning: PartitionSpec::FixedIntervals(10),
+        interest: None,
+        max_itemset_size: 2,
+        parallelism: std::num::NonZeroUsize::new(1),
+        ..MinerConfig::default()
+    };
+    let (encoders, _) =
+        qar_core::pipeline::build_encoders(&data.table, &config).map_err(box_miner_error)?;
+    let encoded = EncodedTable::encode(&data.table, encoders)?;
+    drop(data);
+
+    let mut source = BenchDistSource {
+        parts: partition_encoded(&encoded, args.workers),
+        full: &encoded,
+        serial_s: 0.0,
+        critical_s: 0.0,
+        merge_s: 0.0,
+    };
+    let result = mine_source(&mut source, &config, None, None).map_err(box_miner_error)?;
+    let (serial_s, critical_s, merge_s) = (source.serial_s, source.critical_s, source.merge_s);
+    let dist_s = critical_s + merge_s;
+    let speedup = serial_s / dist_s.max(1e-9);
+    let passes = 1 + result.stats.mine.pass_stats.len();
+
+    writeln!(
+        out,
+        "{records} planted record(s), {} worker partition(s), {passes} counting pass(es), \
+         {} rule(s); partition counts merged exactly on every pass",
+        args.workers,
+        result.rules.len(),
+    )?;
+    writeln!(
+        out,
+        "serial counting {serial_s:.3}s; distributed critical path {critical_s:.3}s \
+         + merge {merge_s:.3}s = {dist_s:.3}s"
+    )?;
+    writeln!(
+        out,
+        "counting speedup {speedup:.2}x (floor {:.2}x)",
+        args.floor
+    )?;
+
+    let json = format!(
+        "{{\"suite\":\"bench_dist\",\"records\":{records},\"workers\":{},\
+         \"passes\":{passes},\"rules\":{},\"serial_s\":{serial_s:.6},\
+         \"critical_path_s\":{critical_s:.6},\"merge_s\":{merge_s:.6},\
+         \"speedup\":{speedup:.3},\"floor\":{:.2}}}",
+        args.workers,
+        result.rules.len(),
+        args.floor
+    );
+    let json_path = args
+        .out
+        .clone()
+        .or_else(|| std::env::var("QAR_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_dist.json".into());
+    std::fs::write(&json_path, format!("{json}\n"))
+        .map_err(|e| err(format!("cannot write `{json_path}`: {e}")))?;
+    writeln!(out, "summary written to {json_path}")?;
+
+    Ok(speedup)
 }
 
 #[cfg(test)]
@@ -2744,5 +3352,312 @@ mod tests {
         assert_eq!(percentile_us(&mut sample, 50.0), 51);
         assert_eq!(percentile_us(&mut sample, 99.0), 99);
         assert_eq!(percentile_us(&mut sample, 100.0), 100);
+    }
+
+    #[test]
+    fn dist_mine_flags_parse() {
+        let cmd = parse_command(&argv(
+            "mine --input f --schema a:q --workers 3 --chunk-rows 512 --normalize-stats",
+        ))
+        .unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert_eq!(args.workers, 3);
+        assert_eq!(args.chunk_rows, 512);
+        assert!(args.normalize_stats);
+        // Defaults: serial, in-memory, raw stats.
+        let cmd = parse_command(&argv("mine --input f --schema a:q")).unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert_eq!(args.workers, 0);
+        assert_eq!(args.chunk_rows, 0);
+        assert!(!args.normalize_stats);
+        // Analytics need the full in-memory table on the coordinator.
+        for flags in ["--workers 2", "--chunk-rows 64"] {
+            let e = parse_command(&argv(&format!(
+                "mine --input f --schema a:q --store c.qarcat --analytics {flags}"
+            )))
+            .unwrap_err();
+            assert!(e.to_string().contains("qar analyze"), "{flags}: {e}");
+        }
+        // The chunked path reads the file twice, so stdin is out.
+        let e = parse_command(&argv("mine --input - --schema a:q --chunk-rows 64")).unwrap_err();
+        assert!(e.to_string().contains("stdin"), "{e}");
+        assert!(parse_command(&argv("mine --input f --schema a:q --workers lots")).is_err());
+    }
+
+    #[test]
+    fn worker_parsing() {
+        let cmd = parse_command(&argv("worker --connect 127.0.0.1:7001")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Worker(WorkerArgs {
+                connect: "127.0.0.1:7001".into(),
+                threads: 0,
+                kernel: ScanKernel::Auto,
+            })
+        );
+        let cmd =
+            parse_command(&argv("worker --connect h:1 --threads 2 --kernel bitmask")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Worker(WorkerArgs {
+                connect: "h:1".into(),
+                threads: 2,
+                kernel: ScanKernel::Bitmask,
+            })
+        );
+        let e = parse_command(&argv("worker")).unwrap_err();
+        assert!(e.to_string().contains("--connect"), "{e}");
+        assert!(parse_command(&argv("worker --connect h:1 --kernel turbo")).is_err());
+        assert!(parse_command(&argv("worker --connect h:1 --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn bench_dist_parsing() {
+        let cmd = parse_command(&argv("bench-dist")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchDist(BenchDistArgs {
+                records: 10_000_000,
+                workers: 2,
+                floor: 1.6,
+                out: None,
+            })
+        );
+        let cmd = parse_command(&argv(
+            "bench-dist --records 1000 --workers 4 --floor 0 --out b.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchDist(BenchDistArgs {
+                records: 1000,
+                workers: 4,
+                floor: 0.0,
+                out: Some("b.json".into()),
+            })
+        );
+        assert!(parse_command(&argv("bench-dist --records 0")).is_err());
+        let e = parse_command(&argv("bench-dist --workers 1")).unwrap_err();
+        assert!(e.to_string().contains("at least 2"), "{e}");
+        assert!(parse_command(&argv("bench-dist --bogus 1")).is_err());
+    }
+
+    /// Count-distribution over in-process worker threads reproduces the
+    /// serial miner's JSON report and stored catalog byte-for-byte
+    /// (`--normalize-stats` zeroes the volatile timings on both sides).
+    #[test]
+    fn distributed_mine_matches_serial_byte_for_byte() {
+        let gen = GenerateArgs {
+            dataset: "people".into(),
+            records: 0,
+            seed: 0,
+            output: "-".into(),
+        };
+        let mut csv_bytes = Vec::new();
+        run_generate(&gen, &mut csv_bytes).expect("generate");
+        let decls = parse_schema_decls("Age:quant,Married:cat,NumCars:quant").unwrap();
+        let schema = build_schema(&decls).unwrap();
+        let table = csv::read_table(csv_bytes.as_slice(), &schema).unwrap();
+
+        let pid = std::process::id();
+        let mut outputs = Vec::new();
+        for workers in [0usize, 2, 3] {
+            let path = std::env::temp_dir().join(format!("qar-cli-dist-{pid}-{workers}.qarcat"));
+            let cmd = parse_command(&argv(
+                "mine --input - --schema Age:quant,Married:cat,NumCars:quant \
+                 --minsup 0.4 --minconf 0.5 --maxsup 1.0 --no-partition \
+                 --normalize-stats --format json",
+            ))
+            .unwrap();
+            let Command::Mine(mut args) = cmd else {
+                panic!()
+            };
+            args.workers = workers;
+            args.store = Some(path.to_str().unwrap().to_string());
+            let spawn =
+                (workers > 0).then(|| WorkerSpawn::Threads(qar_dist::WorkerOptions::default()));
+            let mut report = Vec::new();
+            run_mine_on_table_spawn(&table, &args, spawn, &mut report)
+                .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
+            let catalog = std::fs::read(&path).expect("catalog written");
+            std::fs::remove_file(&path).ok();
+            outputs.push((workers, report, catalog));
+        }
+        let (_, serial_report, serial_catalog) = &outputs[0];
+        assert!(!serial_catalog.is_empty());
+        assert!(qar_trace::json::parse(&String::from_utf8(serial_report.clone()).unwrap()).is_ok());
+        for (workers, report, catalog) in &outputs[1..] {
+            assert_eq!(report, serial_report, "{workers} workers: report differs");
+            assert_eq!(
+                catalog, serial_catalog,
+                "{workers} workers: catalog differs"
+            );
+        }
+    }
+
+    /// An out-of-core mine at an adversarially tiny chunk size — serial
+    /// and distributed over worker threads — reproduces the in-memory
+    /// catalog and report byte-for-byte (the issue's acceptance bar).
+    #[test]
+    fn chunked_mine_matches_in_memory_byte_for_byte() {
+        let gen = GenerateArgs {
+            dataset: "people".into(),
+            records: 0,
+            seed: 0,
+            output: "-".into(),
+        };
+        let mut csv_bytes = Vec::new();
+        run_generate(&gen, &mut csv_bytes).expect("generate");
+        let decls = parse_schema_decls("Age:quant,Married:cat,NumCars:quant").unwrap();
+        let schema = build_schema(&decls).unwrap();
+        let table = csv::read_table(csv_bytes.as_slice(), &schema).unwrap();
+
+        let pid = std::process::id();
+        let csv_path = std::env::temp_dir().join(format!("qar-cli-chunked-{pid}.csv"));
+        std::fs::write(&csv_path, &csv_bytes).expect("write CSV");
+        let parse_mine = || {
+            let cmd = parse_command(&argv(
+                "mine --input - --schema Age:quant,Married:cat,NumCars:quant \
+                 --minsup 0.4 --minconf 0.5 --maxsup 1.0 --no-partition \
+                 --normalize-stats --format json",
+            ))
+            .unwrap();
+            let Command::Mine(args) = cmd else { panic!() };
+            args
+        };
+
+        // In-memory reference run.
+        let ref_path = std::env::temp_dir().join(format!("qar-cli-chunked-{pid}-ref.qarcat"));
+        let mut args = parse_mine();
+        args.store = Some(ref_path.to_str().unwrap().to_string());
+        let mut ref_report = Vec::new();
+        run_mine_on_table(&table, &args, &mut ref_report).expect("in-memory mine");
+        let ref_catalog = std::fs::read(&ref_path).expect("reference catalog");
+        std::fs::remove_file(&ref_path).ok();
+
+        // Out-of-core runs: 3-row chunks force many spill files; the
+        // distributed variant hands whole chunks to worker threads.
+        for workers in [0usize, 2] {
+            let path = std::env::temp_dir().join(format!("qar-cli-chunked-{pid}-{workers}.qarcat"));
+            let mut args = parse_mine();
+            args.input = csv_path.to_str().unwrap().to_string();
+            args.chunk_rows = 3;
+            args.workers = workers;
+            args.store = Some(path.to_str().unwrap().to_string());
+            let spawn =
+                (workers > 0).then(|| WorkerSpawn::Threads(qar_dist::WorkerOptions::default()));
+            let mut report = Vec::new();
+            run_mine_chunked_spawn(&args, spawn, &mut report)
+                .unwrap_or_else(|e| panic!("chunked, {workers} workers: {e}"));
+            let catalog = std::fs::read(&path).expect("chunked catalog");
+            std::fs::remove_file(&path).ok();
+            assert_eq!(report, ref_report, "chunked report, {workers} workers");
+            assert_eq!(catalog, ref_catalog, "chunked catalog, {workers} workers");
+        }
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    /// Non-finite analytics values (conviction diverges to +inf at
+    /// confidence 1; chi² and its p-values degenerate to NaN) serialize
+    /// as `null` in `qar query --format json`, keeping the document
+    /// parseable; finite values stay plain numbers.
+    #[test]
+    fn query_json_nulls_non_finite_analytics() {
+        let gen = GenerateArgs {
+            dataset: "people".into(),
+            records: 0,
+            seed: 0,
+            output: "-".into(),
+        };
+        let mut csv_bytes = Vec::new();
+        run_generate(&gen, &mut csv_bytes).expect("generate");
+        let decls = parse_schema_decls("Age:quant,Married:cat,NumCars:quant").unwrap();
+        let schema = build_schema(&decls).unwrap();
+        let table = csv::read_table(csv_bytes.as_slice(), &schema).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("qar-cli-nonfinite-{}.qarcat", std::process::id()));
+        let cmd = parse_command(&argv(
+            "mine --input - --schema Age:quant,Married:cat,NumCars:quant \
+             --minsup 0.4 --minconf 0.5 --maxsup 1.0 --no-partition",
+        ))
+        .unwrap();
+        let Command::Mine(mut args) = cmd else {
+            panic!()
+        };
+        args.store = Some(path.to_str().unwrap().to_string());
+        run_mine_on_table(&table, &args, &mut Vec::new()).expect("mine");
+        let bytes = std::fs::read(&path).expect("catalog written");
+        std::fs::remove_file(&path).ok();
+
+        // Decorate with handcrafted analytics that pin the worst case:
+        // +inf conviction and NaN chi²/p on every rule.
+        let catalog = Catalog::load_bytes(&bytes, None).expect("load");
+        let rules_analytics: Vec<qar_analytics::RuleAnalytics> = catalog
+            .rules()
+            .iter()
+            .map(|rule| qar_analytics::RuleAnalytics {
+                count_antecedent: rule.support,
+                count_consequent: rule.support,
+                lift: 2.5,
+                conviction: f64::INFINITY,
+                leverage: 0.125,
+                chi2: f64::NAN,
+                p_value: f64::NAN,
+                p_adjusted: f64::NAN,
+                jmeasure: 0.5,
+                shapley: rule
+                    .antecedent
+                    .items()
+                    .iter()
+                    .map(|it| (it.attr, 0.5))
+                    .collect(),
+            })
+            .collect();
+        let annotated = catalog
+            .with_analytics(qar_analytics::AnalyticsSet {
+                shapley_samples: 1,
+                seed: 0,
+                rules: rules_analytics,
+            })
+            .expect("valid analytics")
+            .encode();
+
+        let cmd = parse_command(&argv("query - --format json")).unwrap();
+        let Command::Query(qargs) = cmd else { panic!() };
+        let mut out = Vec::new();
+        run_query(&annotated, &qargs, &mut out).expect("query");
+        let text = String::from_utf8(out).unwrap();
+        let doc = qar_trace::json::parse(&text)
+            .unwrap_or_else(|e| panic!("JSON stays parseable ({e}): {text}"));
+        let rules = doc.as_array().expect("rules array");
+        assert!(!rules.is_empty());
+        for rule in rules {
+            let obj = rule.as_object().expect("rule object");
+            assert!(obj["conviction"].is_null(), "{text}");
+            assert!(obj["chi2"].is_null(), "{text}");
+            assert!(obj["p_value"].is_null(), "{text}");
+            assert!(obj["p_adjusted"].is_null(), "{text}");
+            let qar_trace::json::Json::Num(lift) = obj["lift"] else {
+                panic!("lift is not a number: {text}");
+            };
+            assert_eq!(lift, 2.5);
+        }
+        // The raw text never smuggles bare inf/NaN tokens through.
+        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn panic_detail_extracts_payload_message() {
+        let payload = std::thread::spawn(|| panic!("boom {}", 42))
+            .join()
+            .unwrap_err();
+        assert_eq!(panic_detail(&*payload), "thread panicked: boom 42");
+        let payload = std::thread::spawn(|| std::panic::panic_any(7u32))
+            .join()
+            .unwrap_err();
+        assert_eq!(
+            panic_detail(&*payload),
+            "thread panicked (non-string payload)"
+        );
     }
 }

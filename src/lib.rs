@@ -11,6 +11,7 @@ pub use qar_analytics as analytics;
 pub use qar_apriori as apriori;
 pub use qar_core as core;
 pub use qar_datagen as datagen;
+pub use qar_dist as dist;
 pub use qar_itemset as itemset;
 pub use qar_partition as partition;
 pub use qar_ps91 as ps91;
