@@ -308,6 +308,11 @@ pub enum MinerError {
         /// The underlying I/O or protocol failure.
         detail: String,
     },
+    /// An incremental update could not proceed and no fallback was
+    /// available (configuration drift from the persisted counts, encoding
+    /// fingerprint mismatch, or a delta that invalidates the counts with
+    /// no base rows to re-mine from).
+    Update(String),
 }
 
 impl fmt::Display for MinerError {
@@ -333,6 +338,7 @@ impl fmt::Display for MinerError {
                 pass,
                 detail,
             } => write!(f, "worker {worker} lost during pass {pass}: {detail}"),
+            MinerError::Update(msg) => write!(f, "incremental update error: {msg}"),
         }
     }
 }

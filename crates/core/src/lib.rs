@@ -28,6 +28,7 @@
 
 pub mod candidate;
 pub mod config;
+pub mod counts;
 pub mod delta;
 pub mod export;
 pub mod frequent;
@@ -48,14 +49,21 @@ pub use config::{
     CancelledInfo, InterestConfig, InterestMode, MinerConfig, MinerError, PartitionSpec,
     PartitionStrategy, ScanKernel,
 };
+pub use counts::{
+    encoding_fingerprint, update_precheck, CapturedCounts, CountsConfig, SupportCounts,
+};
 pub use frequent::QuantFrequentItemsets;
 pub use interest::{annotate_interest, RuleInterest};
 #[allow(deprecated)]
 pub use mine::mine_encoded;
 pub use miner::Miner;
+pub use miner::{UpdateInput, UpdateOutput};
 pub use output::RuleDecoder;
 #[allow(deprecated)]
 pub use pipeline::{mine_table, MiningOutput, MiningStats};
 pub use pool::WorkerPool;
 pub use rules::{generate_rules, QuantRule};
-pub use source::{mine_source, ChunkedSource, CountError, CountSource, InMemorySource};
+pub use source::{
+    mine_source, mine_source_captured, CaptureSource, ChunkedSource, CountError, CountSource,
+    InMemorySource, MergeSource,
+};

@@ -6,14 +6,16 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crate::config::{MinerConfig, MinerError, ScanKernel};
+use crate::counts::{encoding_fingerprint, update_precheck, SupportCounts};
 use crate::interest::annotate_interest;
 use crate::mine::{mine_encoded_ctx, MineStats, RunCtx};
 use crate::pipeline::{build_encoders, item_supports_of, MiningOutput, MiningStats};
 use crate::pool::WorkerPool;
 use crate::rules::generate_rules;
+use crate::source::{mine_source_captured, InMemorySource, MergeSource};
 use qar_itemset::CounterKind;
-use qar_table::{Column, EncodedTable, Table};
-use qar_trace::{CancelToken, ProgressSink};
+use qar_table::{AttributeEncoder, Column, EncodedTable, Schema, Table, TableError};
+use qar_trace::{event::micros, CancelToken, ProgressSink, TraceEvent};
 
 /// A configured miner: the builder-style entry point for the pipeline.
 ///
@@ -172,6 +174,7 @@ impl Miner {
     /// ([`MiningStats::encoding_reused`] reports which path ran).
     pub fn mine(&mut self, table: &Table) -> Result<MiningOutput, MinerError> {
         self.config.validate()?;
+        crate::pipeline::validate_partitioning(table.schema(), &self.config)?;
         if table.is_empty() {
             return Err(MinerError::Schema(qar_table::TableError::EmptyTable));
         }
@@ -200,6 +203,213 @@ impl Miner {
         output.stats.intervals_per_attribute = cache.intervals.clone();
         output.stats.encoding_reused = reused;
         Ok(output)
+    }
+
+    /// [`Miner::mine`] with count capture: additionally returns the raw
+    /// support tallies of every counting pass as a [`SupportCounts`],
+    /// ready to persist in a catalog `COUNTS` section so later runs can
+    /// update incrementally via [`Miner::update`].
+    ///
+    /// Steps 3–5 run through the count-distribution driver
+    /// ([`crate::source::mine_source`]); results are identical to
+    /// [`Miner::mine`] (same itemsets, supports, rules, interest —
+    /// statistics agree under [`MiningStats::normalized`]).
+    pub fn mine_with_counts(
+        &mut self,
+        table: &Table,
+    ) -> Result<(MiningOutput, SupportCounts), MinerError> {
+        self.config.validate()?;
+        crate::pipeline::validate_partitioning(table.schema(), &self.config)?;
+        if table.is_empty() {
+            return Err(MinerError::Schema(TableError::EmptyTable));
+        }
+        let started = Instant::now();
+        let fingerprint = table_fingerprint(table);
+        let reused = match &self.cache {
+            Some(cache) if cache.fingerprint == fingerprint => true,
+            _ => {
+                let (encoders, intervals) = build_encoders(table, &self.config)?;
+                let encoded = EncodedTable::encode(table, encoders)?;
+                self.cache = Some(EncodingCache {
+                    fingerprint,
+                    encoded,
+                    intervals,
+                });
+                false
+            }
+        };
+        let cache = self.cache.as_ref().expect("cache populated above");
+
+        let mut source = InMemorySource::new(&cache.encoded, &self.config);
+        if let Some(cancel) = self.cancel.as_ref() {
+            source = source.with_cancel(cancel);
+        }
+        let (mut output, captured) = mine_source_captured(
+            &mut source,
+            &self.config,
+            self.sink.as_deref(),
+            self.cancel.as_ref(),
+        )?;
+        output.stats.intervals_per_attribute = cache.intervals.clone();
+        output.stats.encoding_reused = reused;
+        output.stats.elapsed = started.elapsed();
+        let counts = SupportCounts::assemble(
+            cache.encoded.schema(),
+            cache.encoded.encoders(),
+            table.num_rows() as u64,
+            &self.config,
+            cache.intervals.clone(),
+            captured,
+        );
+        Ok((output, counts))
+    }
+
+    /// Incrementally refresh a catalog's mining results after `delta`
+    /// rows were appended to its table, scanning **only** the delta.
+    ///
+    /// `schema`/`encoders`/`counts` come from the existing catalog. The
+    /// miner's configuration must semantically match the one the counts
+    /// were taken under ([`crate::counts::CountsConfig::check_matches`]);
+    /// performance knobs (parallelism, kernel) may differ freely.
+    ///
+    /// The merged counts are exact, so the result — including the new
+    /// [`SupportCounts`] — is identical to mining base+delta from
+    /// scratch. When the delta would change the encoding (interval
+    /// repartitioning, an unseen value) or a support crossing a
+    /// threshold changes a candidate set, the update falls back to a
+    /// full re-mine of `base_rows` + `delta` (emitting a pinned
+    /// `incremental_fallback` trace event with the reason); without
+    /// `base_rows` the fallback is unavailable and [`MinerError::Update`]
+    /// is returned instead.
+    pub fn update(&mut self, input: UpdateInput<'_>) -> Result<UpdateOutput, MinerError> {
+        self.config.validate()?;
+        let UpdateInput {
+            schema,
+            encoders,
+            counts,
+            delta,
+            base_rows,
+        } = input;
+        counts
+            .config
+            .check_matches(&self.config)
+            .map_err(MinerError::Update)?;
+        if delta.schema() != schema {
+            return Err(MinerError::Update(
+                "delta schema differs from the catalog schema".to_string(),
+            ));
+        }
+        if counts.fingerprint != encoding_fingerprint(schema, encoders) {
+            return self.update_fallback(
+                "persisted counts were taken under a different encoding fingerprint".to_string(),
+                delta,
+                base_rows,
+            );
+        }
+        if let Err(reason) = update_precheck(schema, encoders, delta.num_rows() as u64) {
+            return self.update_fallback(reason, delta, base_rows);
+        }
+
+        // Encode the delta with the catalog's encoders. An unseen value
+        // means the combined table would be encoded differently — the
+        // persisted counts are invalid for it, so re-mine.
+        let delta_encoded = if delta.num_rows() == 0 {
+            None
+        } else {
+            match EncodedTable::encode(delta, encoders.to_vec()) {
+                Ok(enc) => Some(enc),
+                Err(e @ TableError::UnencodableValue { .. }) => {
+                    return self.update_fallback(
+                        format!("delta is not encodable under the catalog's encoders ({e})"),
+                        delta,
+                        base_rows,
+                    );
+                }
+                Err(e) => return Err(MinerError::Schema(e)),
+            }
+        };
+
+        let update_started = Instant::now();
+        let total_rows = counts.num_rows + delta.num_rows() as u64;
+        let meta =
+            EncodedTable::header_only(schema.clone(), encoders.to_vec(), total_rows as usize);
+        let delta_source = delta_encoded.as_ref().map(|enc| {
+            let mut src = InMemorySource::new(enc, &self.config);
+            if let Some(cancel) = self.cancel.as_ref() {
+                src = src.with_cancel(cancel);
+            }
+            src
+        });
+        let mut merge = MergeSource::new(counts, delta_source, meta);
+        match mine_source_captured(
+            &mut merge,
+            &self.config,
+            self.sink.as_deref(),
+            self.cancel.as_ref(),
+        ) {
+            Ok((mut output, captured)) => {
+                output.stats.intervals_per_attribute = counts.intervals_per_attribute.clone();
+                let new_counts = SupportCounts {
+                    num_rows: total_rows,
+                    fingerprint: counts.fingerprint,
+                    config: counts.config.clone(),
+                    intervals_per_attribute: counts.intervals_per_attribute.clone(),
+                    captured,
+                };
+                self.emit(TraceEvent::IncrementalUpdate {
+                    base_rows: counts.num_rows,
+                    delta_rows: delta.num_rows() as u64,
+                    total_rows,
+                    passes: new_counts.captured.passes.len() + 1,
+                    elapsed_us: micros(update_started.elapsed()),
+                });
+                Ok(UpdateOutput {
+                    output,
+                    counts: new_counts,
+                    incremental: true,
+                    fallback: None,
+                })
+            }
+            Err(MinerError::Update(reason)) => self.update_fallback(reason, delta, base_rows),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// The full re-mine escape hatch of [`Miner::update`].
+    fn update_fallback(
+        &mut self,
+        reason: String,
+        delta: &Table,
+        base_rows: Option<&Table>,
+    ) -> Result<UpdateOutput, MinerError> {
+        self.emit(TraceEvent::IncrementalFallback {
+            reason: reason.clone(),
+        });
+        let Some(base) = base_rows else {
+            return Err(MinerError::Update(format!(
+                "{reason}; base rows unavailable for a full re-mine"
+            )));
+        };
+        let mut combined = Table::new(base.schema().clone());
+        for r in 0..base.num_rows() {
+            combined.push_row(&base.row(r).to_values())?;
+        }
+        for r in 0..delta.num_rows() {
+            combined.push_row(&delta.row(r).to_values())?;
+        }
+        let (output, counts) = self.mine_with_counts(&combined)?;
+        Ok(UpdateOutput {
+            output,
+            counts,
+            incremental: false,
+            fallback: Some(reason),
+        })
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.on_event(&event);
+        }
     }
 
     /// Run Steps 3–5 over an already-encoded table (partitioning was
@@ -264,6 +474,49 @@ impl Miner {
             },
             encoded: encoded.clone(),
         })
+    }
+}
+
+/// Everything [`Miner::update`] needs from the existing catalog plus the
+/// newly appended rows.
+pub struct UpdateInput<'a> {
+    /// The catalog's schema.
+    pub schema: &'a Schema,
+    /// The catalog's per-attribute encoders (what the persisted counts
+    /// were encoded under).
+    pub encoders: &'a [AttributeEncoder],
+    /// The catalog's persisted support counts.
+    pub counts: &'a SupportCounts,
+    /// The appended rows (may be empty).
+    pub delta: &'a Table,
+    /// The base table's rows, if still available — enables the full
+    /// re-mine fallback when the delta invalidates the counts.
+    pub base_rows: Option<&'a Table>,
+}
+
+/// What [`Miner::update`] produced.
+pub struct UpdateOutput {
+    /// The refreshed mining results over base+delta. On the incremental
+    /// path `output.encoded` is a decode-only header (rules render, but
+    /// there are no code columns to re-scan).
+    pub output: MiningOutput,
+    /// Refreshed support counts, ready to persist (identical to what a
+    /// from-scratch capture mine of base+delta would produce).
+    pub counts: SupportCounts,
+    /// True when only the delta was scanned.
+    pub incremental: bool,
+    /// The fallback reason, when a full re-mine was required.
+    pub fallback: Option<String>,
+}
+
+impl std::fmt::Debug for UpdateOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateOutput")
+            .field("rules", &self.output.rules.len())
+            .field("num_rows", &self.counts.num_rows)
+            .field("incremental", &self.incremental)
+            .field("fallback", &self.fallback)
+            .finish()
     }
 }
 
@@ -456,6 +709,190 @@ mod tests {
                 .unwrap();
         }
         assert_ne!(base, table_fingerprint(&t));
+    }
+
+    fn bigger_table(rows: std::ops::Range<usize>) -> Table {
+        // Small integer domains so full-resolution encoders are
+        // append-stable (every delta value already occurs in the base).
+        let schema = Schema::builder()
+            .quantitative("x")
+            .quantitative("y")
+            .categorical("c")
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for r in rows {
+            t.push_row(&[
+                Value::Int((r % 5) as i64),
+                Value::Int(((r * 7) % 4) as i64),
+                Value::from(if r % 3 == 0 { "a" } else { "b" }),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn update_config() -> MinerConfig {
+        MinerConfig {
+            min_support: 0.2,
+            min_confidence: 0.4,
+            max_support: 0.9,
+            partitioning: PartitionSpec::None,
+            interest: None,
+            ..MinerConfig::default()
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_scratch_mine() {
+        let base = bigger_table(0..40);
+        let delta = bigger_table(40..50);
+        let full = bigger_table(0..50);
+
+        let mut miner = Miner::new(update_config());
+        let (_, base_counts) = miner.mine_with_counts(&base).unwrap();
+        let (full_out, full_counts) = Miner::new(update_config()).mine_with_counts(&full).unwrap();
+
+        let schema = base.schema().clone();
+        let (encoders, _) = crate::pipeline::build_encoders(&base, &update_config()).unwrap();
+        let updated = miner
+            .update(UpdateInput {
+                schema: &schema,
+                encoders: &encoders,
+                counts: &base_counts,
+                delta: &delta,
+                base_rows: Some(&base),
+            })
+            .unwrap();
+
+        assert_eq!(updated.output.frequent.levels, full_out.frequent.levels);
+        assert_eq!(updated.output.rules, full_out.rules);
+        assert_eq!(updated.counts, full_counts);
+        if updated.incremental {
+            assert!(updated.fallback.is_none());
+        } else {
+            assert!(updated.fallback.is_some());
+        }
+    }
+
+    #[test]
+    fn empty_delta_update_is_a_pure_replay() {
+        let base = bigger_table(0..40);
+        let mut miner = Miner::new(update_config());
+        let (base_out, base_counts) = miner.mine_with_counts(&base).unwrap();
+        let schema = base.schema().clone();
+        let (encoders, _) = crate::pipeline::build_encoders(&base, &update_config()).unwrap();
+        let empty_delta = Table::new(schema.clone());
+        let updated = miner
+            .update(UpdateInput {
+                schema: &schema,
+                encoders: &encoders,
+                counts: &base_counts,
+                delta: &empty_delta,
+                base_rows: None,
+            })
+            .unwrap();
+        assert!(updated.incremental);
+        assert_eq!(updated.output.frequent.levels, base_out.frequent.levels);
+        assert_eq!(updated.output.rules, base_out.rules);
+        assert_eq!(updated.counts, base_counts);
+    }
+
+    #[test]
+    fn interval_encoders_force_fallback() {
+        let base = people_table();
+        let mut cfg = update_config();
+        cfg.partitioning = PartitionSpec::FixedIntervals(2);
+        let mut miner = Miner::new(cfg.clone());
+        let (_, counts) = miner.mine_with_counts(&base).unwrap();
+        let schema = base.schema().clone();
+        let (encoders, _) = crate::pipeline::build_encoders(&base, &cfg).unwrap();
+
+        let mut delta = Table::new(schema.clone());
+        delta
+            .push_row(&[Value::Int(99), Value::from("Yes"), Value::Int(1)])
+            .unwrap();
+
+        // Without base rows the fallback is unavailable.
+        let sink = Arc::new(qar_trace::CollectingSink::new());
+        let mut observed = Miner::new(cfg.clone()).with_progress(sink.clone());
+        let (_, counts2) = observed.mine_with_counts(&base).unwrap();
+        assert_eq!(counts, counts2);
+        let err = observed
+            .update(UpdateInput {
+                schema: &schema,
+                encoders: &encoders,
+                counts: &counts,
+                delta: &delta,
+                base_rows: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, MinerError::Update(_)), "{err:?}");
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| e.name() == "incremental_fallback"),
+            "fallback event must be pinned"
+        );
+
+        // With base rows the fallback re-mines and matches scratch.
+        let updated = miner
+            .update(UpdateInput {
+                schema: &schema,
+                encoders: &encoders,
+                counts: &counts,
+                delta: &delta,
+                base_rows: Some(&base),
+            })
+            .unwrap();
+        assert!(!updated.incremental);
+        assert!(updated.fallback.is_some());
+        let mut full = people_table();
+        full.push_row(&[Value::Int(99), Value::from("Yes"), Value::Int(1)])
+            .unwrap();
+        let (full_out, full_counts) = Miner::new(cfg).mine_with_counts(&full).unwrap();
+        assert_eq!(updated.output.frequent.levels, full_out.frequent.levels);
+        assert_eq!(updated.counts, full_counts);
+    }
+
+    #[test]
+    fn config_drift_is_an_update_error() {
+        let base = bigger_table(0..40);
+        let mut miner = Miner::new(update_config());
+        let (_, counts) = miner.mine_with_counts(&base).unwrap();
+        let schema = base.schema().clone();
+        let (encoders, _) = crate::pipeline::build_encoders(&base, &update_config()).unwrap();
+        let mut drifted_cfg = update_config();
+        drifted_cfg.min_support = 0.3;
+        let mut drifted = Miner::new(drifted_cfg);
+        let err = drifted
+            .update(UpdateInput {
+                schema: &schema,
+                encoders: &encoders,
+                counts: &counts,
+                delta: &bigger_table(40..45),
+                base_rows: Some(&base),
+            })
+            .unwrap_err();
+        assert!(matches!(err, MinerError::Update(_)), "{err:?}");
+    }
+
+    #[test]
+    fn mine_with_counts_matches_plain_mine() {
+        let table = people_table();
+        let plain = Miner::new(config()).mine(&table).unwrap();
+        let (captured, counts) = Miner::new(config()).mine_with_counts(&table).unwrap();
+        assert_eq!(plain.frequent.levels, captured.frequent.levels);
+        assert_eq!(plain.rules, captured.rules);
+        let a = plain.stats.normalized();
+        let b = captured.stats.normalized();
+        assert_eq!(a.mine, b.mine);
+        assert_eq!(a.intervals_per_attribute, b.intervals_per_attribute);
+        assert_eq!(counts.num_rows, table.num_rows() as u64);
+        assert_eq!(
+            counts.fingerprint,
+            encoding_fingerprint(captured.encoded.schema(), captured.encoded.encoders())
+        );
     }
 
     #[test]

@@ -109,6 +109,27 @@ impl MiningOutput {
     }
 }
 
+/// Validate the data-independent half of the partitioning policy for
+/// `schema`: the [`num_intervals`] computation a
+/// [`PartitionSpec::CompletenessLevel`] demands, which depends only on
+/// the schema's quantitative-attribute count and the configured minimum
+/// support. [`build_encoders`] performs the same check; running it up
+/// front keeps rejection row-count-independent, so an empty table with
+/// impossible partitioning parameters reports the partitioning error on
+/// every path instead of whichever of the two errors that path reaches
+/// first.
+pub fn validate_partitioning(
+    schema: &qar_table::Schema,
+    config: &MinerConfig,
+) -> Result<(), MinerError> {
+    if let PartitionSpec::CompletenessLevel(k) = &config.partitioning {
+        let n_quant = schema.quantitative_ids().len();
+        num_intervals(n_quant.max(1), config.min_support, *k)
+            .map_err(|e| MinerError::Partition(e.to_string()))?;
+    }
+    Ok(())
+}
+
 /// Build per-attribute encoders according to the partitioning policy
 /// (Steps 1 and 2).
 pub fn build_encoders(

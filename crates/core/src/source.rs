@@ -25,10 +25,12 @@
 //! The TCP-backed source of the `qar-dist` crate implements the same
 //! trait over a pool of worker processes.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::candidate::{generate_candidates, interest_prune_level1};
 use crate::config::{InterestMode, MinerConfig, MinerError};
+use crate::counts::{CapturedCounts, SupportCounts};
 use crate::frequent::{attribute_value_counts, frequent_items_from_counts, QuantFrequentItemsets};
 use crate::interest::{annotate_interest, ItemSupports};
 use crate::mine::{pass_finished_event, MineStats, RunCtx};
@@ -323,6 +325,195 @@ pub fn mine_source(
             encoding_reused: false,
         },
     })
+}
+
+/// A pass-through [`CountSource`] that records everything the driver
+/// asked of the inner source: the pass-1 histograms and every
+/// `(pass, candidate, raw count)` triple. The recording is exactly the
+/// [`CapturedCounts`] a catalog persists for later incremental updates.
+pub struct CaptureSource<'s> {
+    inner: &'s mut dyn CountSource,
+    value_counts: Option<Vec<Vec<u64>>>,
+    passes: Vec<(u32, Vec<(Itemset, u64)>)>,
+}
+
+impl<'s> CaptureSource<'s> {
+    /// Wrap `inner`, recording every count it serves.
+    pub fn new(inner: &'s mut dyn CountSource) -> Self {
+        CaptureSource {
+            inner,
+            value_counts: None,
+            passes: Vec::new(),
+        }
+    }
+
+    /// The recording (valid once a mine over this source has finished).
+    pub fn into_captured(self) -> CapturedCounts {
+        CapturedCounts {
+            value_counts: self.value_counts.unwrap_or_default(),
+            passes: self.passes,
+        }
+    }
+}
+
+impl CountSource for CaptureSource<'_> {
+    fn meta(&self) -> &EncodedTable {
+        self.inner.meta()
+    }
+
+    fn num_rows(&self) -> u64 {
+        self.inner.num_rows()
+    }
+
+    fn value_counts(&mut self) -> Result<Vec<Vec<u64>>, CountError> {
+        let counts = self.inner.value_counts()?;
+        self.value_counts = Some(counts.clone());
+        Ok(counts)
+    }
+
+    fn count(&mut self, pass: usize, candidates: &[Itemset]) -> Result<Vec<u64>, CountError> {
+        let counts = self.inner.count(pass, candidates)?;
+        if counts.len() == candidates.len() {
+            self.passes.push((
+                pass as u32,
+                candidates
+                    .iter()
+                    .cloned()
+                    .zip(counts.iter().copied())
+                    .collect(),
+            ));
+        }
+        Ok(counts)
+    }
+}
+
+/// [`mine_source`] with count capture: returns the finished output
+/// together with the raw tallies the run accumulated, ready to persist
+/// as a catalog `COUNTS` section.
+pub fn mine_source_captured(
+    source: &mut dyn CountSource,
+    config: &MinerConfig,
+    sink: Option<&dyn ProgressSink>,
+    cancel: Option<&CancelToken>,
+) -> Result<(MiningOutput, CapturedCounts), MinerError> {
+    let mut capture = CaptureSource::new(source);
+    let output = mine_source(&mut capture, config, sink, cancel)?;
+    Ok((output, capture.into_captured()))
+}
+
+/// The incremental-update [`CountSource`]: persisted base counts plus a
+/// delta-only source, merged element-wise.
+///
+/// `value_counts` is base histograms + delta histograms. `count` serves
+/// each candidate as its base tally (looked up in the persisted pass
+/// records) plus the delta source's tally — so the only rows ever
+/// scanned are the delta's. By the count-distribution invariant the sums
+/// equal a full base+delta scan exactly.
+///
+/// A candidate the base run never counted (a support crossed a threshold
+/// as rows arrived, changing a frequent level and hence the candidate
+/// sets derived from it) cannot be served incrementally; the lookup
+/// fails with [`MinerError::Update`] and the caller falls back to a full
+/// re-mine.
+pub struct MergeSource<'a, S: CountSource> {
+    base: &'a SupportCounts,
+    delta: Option<S>,
+    meta: EncodedTable,
+    pass_maps: HashMap<u32, HashMap<Itemset, u64>>,
+}
+
+impl<'a, S: CountSource> MergeSource<'a, S> {
+    /// A source over `base` counts plus `delta` (pass `None` for an
+    /// empty delta — no scan at all then). `meta` must be a decode-only
+    /// header whose `num_rows` is the combined base+delta total and whose
+    /// schema/encoders are the ones `base.fingerprint` pins.
+    pub fn new(base: &'a SupportCounts, delta: Option<S>, meta: EncodedTable) -> Self {
+        MergeSource {
+            base,
+            delta,
+            meta,
+            pass_maps: HashMap::new(),
+        }
+    }
+
+    /// Hand back the delta source (e.g. so a distributed cluster behind
+    /// it can be shut down).
+    pub fn into_delta(self) -> Option<S> {
+        self.delta
+    }
+
+    fn base_counts(&mut self, pass: usize, candidates: &[Itemset]) -> Result<Vec<u64>, CountError> {
+        let diverged = || {
+            CountError::Failed(MinerError::Update(format!(
+                "pass {pass}: candidate set diverged from the base run \
+                 (a support crossed a threshold); full re-mine required"
+            )))
+        };
+        let map = match self.pass_maps.entry(pass as u32) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let recorded = self
+                    .base
+                    .captured
+                    .passes
+                    .iter()
+                    .find(|(p, _)| *p == pass as u32)
+                    .ok_or_else(diverged)?;
+                e.insert(recorded.1.iter().cloned().collect())
+            }
+        };
+        candidates
+            .iter()
+            .map(|c| map.get(c).copied().ok_or_else(diverged))
+            .collect()
+    }
+}
+
+impl<S: CountSource> CountSource for MergeSource<'_, S> {
+    fn meta(&self) -> &EncodedTable {
+        &self.meta
+    }
+
+    fn num_rows(&self) -> u64 {
+        self.base.num_rows + self.delta.as_ref().map_or(0, |d| d.num_rows())
+    }
+
+    fn value_counts(&mut self) -> Result<Vec<Vec<u64>>, CountError> {
+        let mut merged = self.base.captured.value_counts.clone();
+        if let Some(delta) = &mut self.delta {
+            let add = delta.value_counts()?;
+            if add.len() != merged.len() || add.iter().zip(&merged).any(|(a, m)| a.len() != m.len())
+            {
+                return Err(CountError::Failed(MinerError::Update(
+                    "delta histograms do not align with the persisted base counts".to_string(),
+                )));
+            }
+            for (acc, a) in merged.iter_mut().zip(add) {
+                for (x, y) in acc.iter_mut().zip(a) {
+                    *x += y;
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    fn count(&mut self, pass: usize, candidates: &[Itemset]) -> Result<Vec<u64>, CountError> {
+        let mut counts = self.base_counts(pass, candidates)?;
+        if let Some(delta) = &mut self.delta {
+            let add = delta.count(pass, candidates)?;
+            if add.len() != counts.len() {
+                return Err(CountError::Failed(MinerError::Distributed(format!(
+                    "pass {pass}: delta source returned {} counts for {} candidates",
+                    add.len(),
+                    candidates.len()
+                ))));
+            }
+            for (x, y) in counts.iter_mut().zip(add) {
+                *x += y;
+            }
+        }
+        Ok(counts)
+    }
 }
 
 /// The reference [`CountSource`]: counts an in-memory [`EncodedTable`]
@@ -666,6 +857,147 @@ mod tests {
             mine_source(&mut broken, &config(), None, None),
             Err(MinerError::Distributed(_))
         ));
+    }
+
+    fn sub_table(rows: std::ops::Range<usize>) -> Table {
+        let table = people_table();
+        let mut part = Table::new(table.schema().clone());
+        for r in rows {
+            part.push_row(&table.row(r).to_values()).unwrap();
+        }
+        part
+    }
+
+    #[test]
+    fn capture_records_histograms_and_every_counting_pass() {
+        let enc = encoded();
+        let mut source = InMemorySource::new(&enc, &config());
+        let (out, captured) = mine_source_captured(&mut source, &config(), None, None).unwrap();
+        assert_eq!(captured.value_counts, attribute_value_counts(&enc));
+        // One pass record per non-empty candidate set, raw counts kept for
+        // infrequent candidates too.
+        let counting_passes = out
+            .stats
+            .mine
+            .candidates_per_pass
+            .iter()
+            .filter(|&&c| c > 0)
+            .count();
+        assert_eq!(captured.passes.len(), counting_passes);
+        for ((pass, entries), (k, &cands)) in captured
+            .passes
+            .iter()
+            .zip(out.stats.mine.candidates_per_pass.iter().enumerate())
+        {
+            assert_eq!(*pass as usize, k + 2);
+            assert_eq!(entries.len(), cands);
+        }
+    }
+
+    #[test]
+    fn merge_of_split_counts_equals_full_mine() {
+        let full_table = people_table();
+        let (encoders, _) = crate::pipeline::build_encoders(&full_table, &config()).unwrap();
+        let full_enc = EncodedTable::encode(&full_table, encoders.clone()).unwrap();
+        let mut full_src = InMemorySource::new(&full_enc, &config());
+        let (full_out, full_cap) =
+            mine_source_captured(&mut full_src, &config(), None, None).unwrap();
+
+        for cut in [0usize, 4, 7, 10] {
+            let base_enc = EncodedTable::encode(&sub_table(0..cut), encoders.clone()).unwrap();
+            let delta_enc = EncodedTable::encode(&sub_table(cut..10), encoders.clone()).unwrap();
+
+            // Base counts: captured from a real mine when the base is
+            // non-empty, synthesized otherwise (a zero-row base mines
+            // nothing, so the empty-base case starts from zero tallies).
+            let base_counts = if cut > 0 {
+                let mut base_src = InMemorySource::new(&base_enc, &config());
+                let (_, cap) = mine_source_captured(&mut base_src, &config(), None, None).unwrap();
+                SupportCounts::assemble(
+                    full_enc.schema(),
+                    &encoders,
+                    cut as u64,
+                    &config(),
+                    Vec::new(),
+                    cap,
+                )
+            } else {
+                SupportCounts::assemble(
+                    full_enc.schema(),
+                    &encoders,
+                    0,
+                    &config(),
+                    Vec::new(),
+                    CapturedCounts {
+                        value_counts: full_enc
+                            .schema()
+                            .iter()
+                            .map(|(id, _)| vec![0u64; full_enc.cardinality(id) as usize])
+                            .collect(),
+                        passes: Vec::new(),
+                    },
+                )
+            };
+
+            let meta = EncodedTable::header_only(
+                full_enc.schema().clone(),
+                encoders.clone(),
+                full_table.num_rows(),
+            );
+            let delta_src = (cut < 10).then(|| InMemorySource::new(&delta_enc, &config()));
+            let mut merge = MergeSource::new(&base_counts, delta_src, meta);
+            match mine_source_captured(&mut merge, &config(), None, None) {
+                Ok((out, cap)) => {
+                    assert_outputs_identical(&full_out, &out);
+                    assert_eq!(cap, full_cap, "cut {cut}: captured counts diverge");
+                }
+                // A candidate-set divergence is a legitimate outcome (the
+                // caller re-mines); anything else is a bug.
+                Err(MinerError::Update(_)) => assert!(
+                    cut < 10,
+                    "an empty delta can never diverge from the base run"
+                ),
+                Err(other) => panic!("cut {cut}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_delta_never_scans() {
+        struct Explode;
+        impl CountSource for Explode {
+            fn meta(&self) -> &EncodedTable {
+                unreachable!("empty delta must not be consulted")
+            }
+            fn num_rows(&self) -> u64 {
+                0
+            }
+            fn value_counts(&mut self) -> Result<Vec<Vec<u64>>, CountError> {
+                panic!("empty delta must not be scanned")
+            }
+            fn count(&mut self, _: usize, _: &[Itemset]) -> Result<Vec<u64>, CountError> {
+                panic!("empty delta must not be scanned")
+            }
+        }
+        let enc = encoded();
+        let mut src = InMemorySource::new(&enc, &config());
+        let (full_out, cap) = mine_source_captured(&mut src, &config(), None, None).unwrap();
+        let counts = SupportCounts::assemble(
+            enc.schema(),
+            enc.encoders(),
+            enc.num_rows() as u64,
+            &config(),
+            Vec::new(),
+            cap,
+        );
+        let meta = EncodedTable::header_only(
+            enc.schema().clone(),
+            enc.encoders().to_vec(),
+            enc.num_rows(),
+        );
+        let mut merge: MergeSource<'_, Explode> = MergeSource::new(&counts, None, meta);
+        let replay = mine_source(&mut merge, &config(), None, None).unwrap();
+        assert_outputs_identical(&full_out, &replay);
     }
 
     #[test]

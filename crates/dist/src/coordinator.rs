@@ -17,9 +17,9 @@
 //! the merged counts, and therefore the mined rules, are unchanged.
 
 use qar_core::pipeline::MiningOutput;
-use qar_core::source::{mine_source, CountError, CountSource};
+use qar_core::source::{mine_source_captured, CountError, CountSource};
 use qar_core::supercand::{count_candidates_opts, ScanOptions};
-use qar_core::{MinerConfig, MinerError, ScanKernel};
+use qar_core::{CapturedCounts, MinerConfig, MinerError, ScanKernel};
 use qar_itemset::Itemset;
 use qar_store::dist::{read_response, write_request, DistRequest, DistResponse};
 use qar_store::protocol::MAX_PAYLOAD;
@@ -805,6 +805,22 @@ pub fn mine_distributed(
     sink: Option<&dyn ProgressSink>,
     cancel: Option<&CancelToken>,
 ) -> Result<MiningOutput, MinerError> {
+    mine_distributed_captured(backing, config, options, sink, cancel).map(|(output, _)| output)
+}
+
+/// [`mine_distributed`] that also returns the raw tallies of every
+/// counting pass ([`CapturedCounts`]) — what `qar mine --store` persists
+/// as the catalog's `COUNTS` section so later runs can update it by
+/// scanning only appended rows. Capture wraps the merged coordinator-side
+/// counts, so the tallies are bit-identical to a serial capture of the
+/// same data.
+pub fn mine_distributed_captured(
+    backing: Backing<'_>,
+    config: &MinerConfig,
+    options: &DistOptions,
+    sink: Option<&dyn ProgressSink>,
+    cancel: Option<&CancelToken>,
+) -> Result<(MiningOutput, CapturedCounts), MinerError> {
     let cluster = Cluster::start(&ClusterOptions {
         workers: options.workers,
         spawn: options.spawn.clone(),
@@ -812,7 +828,7 @@ pub fn mine_distributed(
         accept_timeout: ClusterOptions::default().accept_timeout,
     })?;
     let mut source = DistSource::new(cluster, backing, config, sink, cancel, options.fail_fast)?;
-    let result = mine_source(&mut source, config, sink, cancel);
+    let result = mine_source_captured(&mut source, config, sink, cancel);
     source.shutdown();
     result
 }
@@ -821,6 +837,7 @@ pub fn mine_distributed(
 mod tests {
     use super::*;
     use qar_core::frequent::attribute_value_counts;
+    use qar_core::source::mine_source;
     use qar_core::Miner;
     use qar_store::Catalog;
     use qar_table::{Table, Value};
@@ -925,6 +942,27 @@ mod tests {
             .unwrap();
             assert_identical(&serial, &dist);
         }
+    }
+
+    #[test]
+    fn distributed_capture_matches_serial_capture() {
+        let enc = encoded();
+        let mut serial_source = qar_core::InMemorySource::new(&enc, &config());
+        let (serial, serial_counts) =
+            mine_source_captured(&mut serial_source, &config(), None, None).unwrap();
+        let (dist, dist_counts) = mine_distributed_captured(
+            Backing::Memory(&enc),
+            &config(),
+            &threads_options(3),
+            None,
+            None,
+        )
+        .unwrap();
+        assert_identical(&serial, &dist);
+        assert_eq!(
+            serial_counts, dist_counts,
+            "captured raw tallies are bit-identical across topologies"
+        );
     }
 
     #[test]

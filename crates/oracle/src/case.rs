@@ -38,6 +38,13 @@ pub enum ReproCase {
     /// against the single-process miner — same errors, same rules, and a
     /// byte-identical catalog once volatile stats are normalized.
     Distributed(MiningCase),
+    /// Incremental-update case: the table split at a cut into base and
+    /// delta rows; mine(base) → update(delta) must reproduce
+    /// mine(base+delta) exactly — same errors, same rules, same merged
+    /// counts, and a byte-identical normalized catalog including the
+    /// `COUNTS` section — whether the update stays incremental or falls
+    /// back to a re-mine over the retained base rows.
+    Incremental(IncrementalCase),
 }
 
 impl ReproCase {
@@ -52,8 +59,21 @@ impl ReproCase {
             ReproCase::Kernel(_) => "kernel",
             ReproCase::Analytics(_) => "analytics",
             ReproCase::Distributed(_) => "distributed",
+            ReproCase::Incremental(_) => "incremental",
         }
     }
+}
+
+/// A mining case plus the base/delta split point for the incremental
+/// oracle.
+#[derive(Debug, Clone)]
+pub struct IncrementalCase {
+    /// The underlying table + configuration; the table is base+delta.
+    pub case: MiningCase,
+    /// Row index where the delta starts: rows `[0, cut)` are the base,
+    /// rows `[cut, n)` the delta. `0` is an empty base (the delta
+    /// outweighs it); `n` is an empty delta.
+    pub cut: usize,
 }
 
 /// A table + miner configuration to run through every execution path.

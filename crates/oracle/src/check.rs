@@ -15,7 +15,7 @@
 //! mining-path divergence because every mining path shares the one
 //! encoded table.
 
-use crate::case::{IntervalsCase, MiningCase, PartitionCase, ReproCase, SnapCase};
+use crate::case::{IncrementalCase, IntervalsCase, MiningCase, PartitionCase, ReproCase, SnapCase};
 use qar_analytics::{chi2_p_value, AnalyticsConfig};
 use qar_apriori::apriori;
 use qar_apriori::bridge::to_transactions;
@@ -23,14 +23,14 @@ use qar_core::naive::naive_mine;
 use qar_core::pipeline::build_encoders;
 use qar_core::{
     InterestMode, ItemsetSetDelta, Miner, MinerConfig, MinerError, MiningOutput, PartitionStrategy,
-    QuantFrequentItemsets, RuleSetDelta, ScanKernel,
+    QuantFrequentItemsets, RuleSetDelta, ScanKernel, SupportCounts, UpdateInput,
 };
 use qar_dist::{mine_distributed, Backing, DistOptions, WorkerOptions, WorkerSpawn};
 use qar_itemset::{Item, Itemset};
 use qar_partition::range_completeness::snap_to_intervals;
 use qar_partition::{num_intervals, EquiDepth, EquiWidth, KMeans1D, Partitioner, MAX_INTERVALS};
 use qar_store::{analytics_from_mining, naive_query_range, naive_query_record, Catalog, RuleIndex};
-use qar_table::{AttributeId, AttributeKind, EncodedTable};
+use qar_table::{AttributeId, AttributeKind, EncodedTable, Table};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -65,6 +65,7 @@ pub fn check_case(case: &ReproCase) -> Result<(), Divergence> {
         ReproCase::Kernel(c) => check_kernel(c),
         ReproCase::Analytics(c) => check_analytics(c),
         ReproCase::Distributed(c) => check_distributed(c),
+        ReproCase::Incremental(c) => check_incremental(c),
     }
 }
 
@@ -170,6 +171,146 @@ fn normalized_catalog_bytes(out: &MiningOutput) -> Vec<u8> {
     )
     .expect("mining output forms a valid catalog")
     .encode()
+}
+
+/// Incremental oracle: split the table at the cut, mine the base with
+/// count capture, feed the delta through [`Miner::update`] (base rows
+/// retained, so a fallback still completes), and demand the result equal
+/// the from-scratch mine of the whole table exactly — same errors, same
+/// itemsets/rules/interest, element-wise identical merged counts, and a
+/// byte-identical normalized catalog with the `COUNTS` section attached.
+pub fn check_incremental(inc: &IncrementalCase) -> Result<(), Divergence> {
+    let case = &inc.case;
+    let cut = inc.cut.min(case.table.num_rows());
+    let mut base = Table::new(case.table.schema().clone());
+    let mut delta = Table::new(case.table.schema().clone());
+    for row in case.table.rows() {
+        let side = if row.index() < cut {
+            &mut base
+        } else {
+            &mut delta
+        };
+        side.push_row(&row.to_values()).expect("same schema");
+    }
+
+    let config = with_parallelism(&case.config, 1);
+    let full = Miner::new(config.clone()).mine_with_counts(&case.table);
+    let based = Miner::new(config.clone()).mine_with_counts(&base);
+    let (base_output, base_counts) = match (based, &full) {
+        (Err(b), Err(f)) => {
+            // Rejection is configuration-driven; the split must not
+            // change the error.
+            if b.to_string() != f.to_string() {
+                return Err(div(
+                    "incremental-error-agreement",
+                    format!("base mine error `{b}` != full mine error `{f}`"),
+                ));
+            }
+            return Ok(());
+        }
+        (Err(b), Ok(_)) => {
+            // An empty base legitimately fails data-dependent checks the
+            // full table passes (e.g. quantitative encoding needs rows);
+            // with no base catalog there is nothing incremental to check.
+            if base.num_rows() == 0 {
+                return Ok(());
+            }
+            return Err(div(
+                "incremental-error-agreement",
+                format!("full mine succeeded but the base mine failed: {b}"),
+            ));
+        }
+        (Ok(_), Err(f)) => {
+            return Err(div(
+                "incremental-error-agreement",
+                format!("base mine succeeded but the full mine failed: {f}"),
+            ))
+        }
+        (Ok(b), Ok(_)) => b,
+    };
+    let (full_output, full_counts) = full.expect("full mine succeeded above");
+
+    let updated = match Miner::new(config).update(UpdateInput {
+        schema: base_output.encoded.schema(),
+        encoders: base_output.encoded.encoders(),
+        counts: &base_counts,
+        delta: &delta,
+        base_rows: Some(&base),
+    }) {
+        Ok(u) => u,
+        Err(e) => {
+            return Err(div(
+                "incremental-update-error",
+                format!("update failed where the full mine succeeded: {e}"),
+            ))
+        }
+    };
+    if delta.num_rows() == 0 && !updated.incremental {
+        return Err(div(
+            "incremental-empty-delta",
+            format!(
+                "an empty delta must stay on the incremental path, fell back: {:?}",
+                updated.fallback
+            ),
+        ));
+    }
+
+    let full_res = Ok(full_output);
+    let upd_res = Ok(updated.output);
+    compare_paths("incremental-vs-full", &full_res, &upd_res)?;
+    let (Ok(full_output), Ok(upd_output)) = (full_res, upd_res) else {
+        unreachable!("both constructed as Ok")
+    };
+
+    if updated.counts != full_counts {
+        return Err(div(
+            "incremental-counts",
+            format!(
+                "merged counts differ from the full scan's \
+                 (update {} candidate(s) over {} row(s), full {} over {})",
+                updated.counts.total_candidates(),
+                updated.counts.num_rows,
+                full_counts.total_candidates(),
+                full_counts.num_rows,
+            ),
+        ));
+    }
+    let upd_bytes = counted_catalog_bytes(&upd_output, updated.counts)?;
+    let full_bytes = counted_catalog_bytes(&full_output, full_counts)?;
+    if upd_bytes != full_bytes {
+        return Err(div(
+            "incremental-catalog-bytes",
+            format!(
+                "normalized catalogs (COUNTS included) differ: \
+                 update {} byte(s), full {} byte(s)",
+                upd_bytes.len(),
+                full_bytes.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// [`normalized_catalog_bytes`] with the `COUNTS` section attached — the
+/// byte-level identity an incremental update is held to.
+fn counted_catalog_bytes(out: &MiningOutput, counts: SupportCounts) -> Result<Vec<u8>, Divergence> {
+    Catalog::new(
+        out.encoded.schema().clone(),
+        out.encoded.encoders().to_vec(),
+        out.frequent.num_rows,
+        out.rules.clone(),
+        out.interest.clone(),
+        out.stats.normalized(),
+    )
+    .expect("mining output forms a valid catalog")
+    .with_counts(counts)
+    .map(|catalog| catalog.encode())
+    .map_err(|e| {
+        div(
+            "incremental-catalog-bytes",
+            format!("counts do not attach to their own catalog: {e}"),
+        )
+    })
 }
 
 /// The fixed analytics tuning every analytics case uses, so persisted

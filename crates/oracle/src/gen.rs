@@ -3,7 +3,7 @@
 //! `k/n` grid points or near 0/1, completeness levels just above 1,
 //! empty and single-row tables.
 
-use crate::case::{IntervalsCase, MiningCase, PartitionCase, ReproCase, SnapCase};
+use crate::case::{IncrementalCase, IntervalsCase, MiningCase, PartitionCase, ReproCase, SnapCase};
 use qar_core::{InterestConfig, InterestMode, MinerConfig, PartitionSpec, PartitionStrategy};
 use qar_prng::Prng;
 use qar_table::{Schema, Table, Value};
@@ -11,7 +11,7 @@ use qar_table::{Schema, Table, Value};
 /// Draw one case. The mix favors end-to-end mining cases; the rest stress
 /// the partitioning and completeness primitives directly.
 pub fn gen_case(rng: &mut Prng) -> ReproCase {
-    match rng.gen_weighted(&[5.0, 2.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]) {
+    match rng.gen_weighted(&[5.0, 2.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0, 2.0]) {
         0 => ReproCase::Mining(gen_mining(rng)),
         1 => ReproCase::Partition(gen_partition(rng)),
         2 => ReproCase::Snap(gen_snap(rng)),
@@ -19,8 +19,25 @@ pub fn gen_case(rng: &mut Prng) -> ReproCase {
         4 => ReproCase::Memo(gen_memo(rng)),
         5 => ReproCase::Kernel(gen_kernel(rng)),
         6 => ReproCase::Analytics(gen_analytics(rng)),
-        _ => ReproCase::Distributed(gen_distributed(rng)),
+        7 => ReproCase::Distributed(gen_distributed(rng)),
+        _ => ReproCase::Incremental(gen_incremental(rng)),
     }
+}
+
+/// An incremental case: an ordinary mining case split at a cut point,
+/// with the edges over-weighted — an empty base (the whole table is
+/// delta), an empty delta, and a base much smaller than its delta — on
+/// top of a uniform draw over every split.
+fn gen_incremental(rng: &mut Prng) -> IncrementalCase {
+    let case = gen_mining(rng);
+    let rows = case.table.num_rows();
+    let cut = match rng.gen_weighted(&[1.0, 2.0, 2.0, 5.0]) {
+        0 => 0,
+        1 => rows,
+        2 => rows / 4,
+        _ => rng.gen_range(0..rows + 1),
+    };
+    IncrementalCase { case, cut }
 }
 
 /// A distributed case: an ordinary mining case, unchanged — the edge

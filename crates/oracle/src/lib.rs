@@ -7,9 +7,12 @@
 //! save → load → query round trip, the memoized pooled scan against
 //! the direct serial scan on duplicate-heavy categorical tables, the
 //! blocked bitmask kernel (serial and pooled) against the direct serial
-//! scan on boundary-skewed tables, and count-distribution distributed
+//! scan on boundary-skewed tables, count-distribution distributed
 //! mining over worker threads against the single-process miner (down to
-//! byte-identical normalized catalogs). On divergence the case is shrunk to a
+//! byte-identical normalized catalogs), and incremental catalog updates
+//! (mine the base, merge a delta-only scan into the persisted counts)
+//! against a from-scratch mine of base+delta down to byte-identical
+//! catalogs including the `COUNTS` section. On divergence the case is shrunk to a
 //! minimal repro and rendered as a self-contained text fixture that
 //! [`repro::parse`] turns back into an executable case.
 //!
@@ -24,7 +27,7 @@ pub mod gen;
 pub mod repro;
 pub mod shrink;
 
-pub use case::{IntervalsCase, MiningCase, PartitionCase, ReproCase, SnapCase};
+pub use case::{IncrementalCase, IntervalsCase, MiningCase, PartitionCase, ReproCase, SnapCase};
 pub use check::{check_case, Divergence};
 pub use gen::gen_case;
 pub use repro::ReproError;
@@ -143,7 +146,8 @@ mod tests {
         assert!(report.kind_counts.contains_key("kernel"));
         assert!(report.kind_counts.contains_key("analytics"));
         assert!(report.kind_counts.contains_key("distributed"));
-        assert!(report.kind_counts.len() >= 7, "{:?}", report.kind_counts);
+        assert!(report.kind_counts.contains_key("incremental"));
+        assert!(report.kind_counts.len() >= 8, "{:?}", report.kind_counts);
     }
 
     /// Same seed, same run — byte for byte.

@@ -8,7 +8,7 @@
 //! failing case, and "any failure" shrinks much further than "the same
 //! failure".
 
-use crate::case::{MiningCase, PartitionCase, ReproCase};
+use crate::case::{IncrementalCase, MiningCase, PartitionCase, ReproCase};
 use crate::check::check_case;
 use qar_core::{PartitionSpec, PartitionStrategy};
 use qar_table::{AttributeKind, Schema, Table, Value};
@@ -70,6 +70,32 @@ fn candidates(case: &ReproCase) -> Vec<ReproCase> {
             .into_iter()
             .map(ReproCase::Distributed)
             .collect(),
+        ReproCase::Incremental(inc) => {
+            // Shrinking the table can shorten it past the cut; clamp so
+            // every candidate keeps a valid split. Then try moving the
+            // cut itself toward the edges (all-delta, all-base).
+            let mut out: Vec<ReproCase> = mining_candidates(&inc.case)
+                .into_iter()
+                .map(|case| {
+                    let cut = inc.cut.min(case.table.num_rows());
+                    ReproCase::Incremental(IncrementalCase { case, cut })
+                })
+                .collect();
+            for cut in [
+                0,
+                inc.cut / 2,
+                inc.cut.saturating_sub(1),
+                inc.case.table.num_rows(),
+            ] {
+                if cut != inc.cut {
+                    out.push(ReproCase::Incremental(IncrementalCase {
+                        case: inc.case.clone(),
+                        cut,
+                    }));
+                }
+            }
+            out
+        }
         ReproCase::Partition(c) => partition_candidates(c)
             .into_iter()
             .map(ReproCase::Partition)

@@ -19,7 +19,11 @@ use crate::format::{self, Reader, Writer};
 use qar_analytics::{AnalyticsSet, RuleAnalytics};
 use qar_core::pipeline::{MiningOutput, MiningStats};
 use qar_core::supercand::PassStats;
-use qar_core::{mine::MineStats, QuantRule, RuleDecoder, RuleInterest};
+use qar_core::{
+    encoding_fingerprint, mine::MineStats, CapturedCounts, CountsConfig, InterestConfig,
+    InterestMode, PartitionSpec, PartitionStrategy, QuantRule, RuleDecoder, RuleInterest,
+    SupportCounts,
+};
 use qar_itemset::{Item, Itemset};
 use qar_table::encode::IntervalSpec;
 use qar_table::{AttributeDef, AttributeEncoder, AttributeId, AttributeKind, Schema};
@@ -35,6 +39,7 @@ pub struct Catalog {
     interest: Option<Vec<RuleInterest>>,
     stats: MiningStats,
     analytics: Option<AnalyticsSet>,
+    counts: Option<SupportCounts>,
 }
 
 impl Catalog {
@@ -56,6 +61,7 @@ impl Catalog {
             interest,
             stats,
             analytics: None,
+            counts: None,
         };
         catalog.validate()?;
         Ok(catalog)
@@ -68,6 +74,22 @@ impl Catalog {
         self.analytics = Some(analytics);
         self.validate()?;
         Ok(self)
+    }
+
+    /// Attach persisted support counts, validating that they line up with
+    /// the catalog (row total, encoding fingerprint, histogram shapes,
+    /// in-range candidate codes).
+    pub fn with_counts(mut self, counts: SupportCounts) -> Result<Self, StoreError> {
+        self.counts = Some(counts);
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Drop persisted support counts (e.g. when re-saving a catalog whose
+    /// counts no longer describe its rules).
+    pub fn without_counts(mut self) -> Self {
+        self.counts = None;
+        self
     }
 
     /// Capture a finished mine as a catalog.
@@ -125,12 +147,19 @@ impl Catalog {
         self.analytics.as_ref()
     }
 
+    /// Persisted support counts, if this catalog carries them (mined with
+    /// a counts-capturing run) — the raw tallies `qar mine --update`
+    /// merges with a delta-only scan instead of re-scanning the base.
+    pub fn counts(&self) -> Option<&SupportCounts> {
+        self.counts.as_ref()
+    }
+
     /// True when two catalogs carry the same mining *content*: schema,
     /// encoders, row count, rules (bit-for-bit supports and confidences),
-    /// interest verdicts, and analytics (bit-for-bit, NaN-tolerant). Run
-    /// statistics are excluded — they describe how a mine ran, not what
-    /// it found. This is the equality a save→load round trip must
-    /// preserve.
+    /// interest verdicts, analytics (bit-for-bit, NaN-tolerant), and
+    /// persisted support counts. Run statistics are excluded — they
+    /// describe how a mine ran, not what it found. This is the equality a
+    /// save→load round trip must preserve.
     pub fn content_eq(&self, other: &Catalog) -> bool {
         let analytics_eq = match (&self.analytics, &other.analytics) {
             (None, None) => true,
@@ -143,6 +172,7 @@ impl Catalog {
             && self.rules == other.rules
             && self.interest == other.interest
             && analytics_eq
+            && self.counts == other.counts
     }
 
     /// Serialize to `.qarcat` bytes.
@@ -157,6 +187,9 @@ impl Catalog {
         w.put_section(format::tag::STATS, &self.encode_stats());
         if let Some(analytics) = &self.analytics {
             w.put_section(format::tag::ANALYTICS, &encode_analytics(analytics));
+        }
+        if let Some(counts) = &self.counts {
+            w.put_section(format::tag::COUNTS, &encode_counts(counts));
         }
         w.into_bytes()
     }
@@ -186,11 +219,13 @@ impl Catalog {
             }
             sections.push(payload);
         }
-        // Optional trailing sections: analytics is decoded; unknown tags
-        // are CRC-verified (a flipped byte is still detected) but their
-        // contents skipped, so readers of this version open catalogs
-        // written by future ones.
+        // Optional trailing sections: analytics and counts are decoded
+        // (in that canonical order, so re-encoding reproduces the bytes);
+        // unknown tags are CRC-verified (a flipped byte is still
+        // detected) but their contents skipped, so readers of this
+        // version open catalogs written by future ones.
         let mut analytics_payload = None;
+        let mut counts_payload = None;
         while r.remaining() > 0 {
             let (tag, payload) = r.get_section()?;
             match tag {
@@ -201,7 +236,22 @@ impl Catalog {
                             detail: "duplicate analytics section".into(),
                         });
                     }
+                    if counts_payload.is_some() {
+                        return Err(StoreError::Corrupt {
+                            section: "analytics",
+                            detail: "analytics section after counts section".into(),
+                        });
+                    }
                     analytics_payload = Some(payload);
+                }
+                format::tag::COUNTS => {
+                    if counts_payload.is_some() {
+                        return Err(StoreError::Corrupt {
+                            section: "counts",
+                            detail: "duplicate counts section".into(),
+                        });
+                    }
+                    counts_payload = Some(payload);
                 }
                 format::tag::SCHEMA | format::tag::RULES | format::tag::STATS => {
                     return Err(StoreError::Corrupt {
@@ -218,11 +268,14 @@ impl Catalog {
         let (schema, encoders) = decode_schema(sections[0])?;
         let (num_rows, rules, interest) = decode_rules(sections[1])?;
         let stats = decode_stats(sections[2])?;
-        let catalog = Catalog::new(schema, encoders, num_rows, rules, interest, stats)?;
-        match analytics_payload {
-            Some(payload) => catalog.with_analytics(decode_analytics(payload)?),
-            None => Ok(catalog),
+        let mut catalog = Catalog::new(schema, encoders, num_rows, rules, interest, stats)?;
+        if let Some(payload) = analytics_payload {
+            catalog = catalog.with_analytics(decode_analytics(payload)?)?;
         }
+        if let Some(payload) = counts_payload {
+            catalog = catalog.with_counts(decode_counts(payload)?)?;
+        }
+        Ok(catalog)
     }
 
     /// Decode from bytes already in memory (e.g. piped via stdin),
@@ -236,6 +289,13 @@ impl Catalog {
                 bytes: bytes.len() as u64,
                 elapsed_us: micros(start.elapsed()),
             });
+            if let Some(counts) = &catalog.counts {
+                sink.on_event(&TraceEvent::CountsLoaded {
+                    passes: counts.captured.passes.len(),
+                    itemsets: counts.total_candidates(),
+                    rows: counts.num_rows,
+                });
+            }
         }
         Ok(catalog)
     }
@@ -265,6 +325,13 @@ impl Catalog {
                 bytes: bytes.len() as u64,
                 elapsed_us: micros(start.elapsed()),
             });
+            if let Some(counts) = &self.counts {
+                sink.on_event(&TraceEvent::CountsSaved {
+                    passes: counts.captured.passes.len(),
+                    itemsets: counts.total_candidates(),
+                    bytes: encode_counts(counts).len() as u64,
+                });
+            }
         }
         Ok(())
     }
@@ -412,6 +479,82 @@ impl Catalog {
                 }
             }
         }
+        if let Some(counts) = &self.counts {
+            self.validate_counts(counts)?;
+        }
+        Ok(())
+    }
+
+    /// Check persisted counts against the catalog they ride in: row total
+    /// and encoding fingerprint agree, the config is a valid miner
+    /// configuration, histograms span exactly the encoders' code spaces,
+    /// and every tallied candidate's codes are in range.
+    fn validate_counts(&self, counts: &SupportCounts) -> Result<(), StoreError> {
+        let corrupt = |detail: String| StoreError::Corrupt {
+            section: "counts",
+            detail,
+        };
+        if counts.num_rows != self.num_rows {
+            return Err(corrupt(format!(
+                "counts cover {} row(s) but the catalog has {}",
+                counts.num_rows, self.num_rows
+            )));
+        }
+        let expected = encoding_fingerprint(&self.schema, &self.encoders);
+        if counts.fingerprint != expected {
+            return Err(corrupt(
+                "encoding fingerprint does not match the catalog's schema and encoders".into(),
+            ));
+        }
+        if let Err(e) = counts.config.miner_config().validate() {
+            return Err(corrupt(format!("invalid mining configuration: {e}")));
+        }
+        if counts.intervals_per_attribute.len() != self.schema.len() {
+            return Err(corrupt(format!(
+                "{} interval count(s) for {} attribute(s)",
+                counts.intervals_per_attribute.len(),
+                self.schema.len()
+            )));
+        }
+        if counts.captured.value_counts.len() != self.schema.len() {
+            return Err(corrupt(format!(
+                "{} histogram(s) for {} attribute(s)",
+                counts.captured.value_counts.len(),
+                self.schema.len()
+            )));
+        }
+        for (id, _) in self.schema.iter() {
+            let have = counts.captured.value_counts[id.index()].len();
+            let want = self.encoders[id.index()].cardinality() as usize;
+            if have != want {
+                return Err(corrupt(format!(
+                    "attribute {}: histogram has {have} bucket(s) for cardinality {want}",
+                    id.index()
+                )));
+            }
+        }
+        for (pass, entries) in &counts.captured.passes {
+            for (itemset, _) in entries {
+                for item in itemset.items() {
+                    let Some(enc) = self.encoders.get(item.attr as usize) else {
+                        return Err(corrupt(format!(
+                            "pass {pass}: candidate references unknown attribute {}",
+                            item.attr
+                        )));
+                    };
+                    if item.hi >= enc.cardinality() {
+                        return Err(corrupt(format!(
+                            "pass {pass}: candidate codes {}..{} exceed cardinality {} \
+                             of attribute {}",
+                            item.lo,
+                            item.hi,
+                            enc.cardinality(),
+                            item.attr
+                        )));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -551,6 +694,196 @@ fn decode_analytics(payload: &[u8]) -> Result<AnalyticsSet, StoreError> {
         shapley_samples,
         seed,
         rules,
+    })
+}
+
+/// Serialize [`SupportCounts`] into the `COUNTS` section payload: row
+/// total, the two encoding-fingerprint lanes, the semantic mining
+/// configuration, the achieved interval counts, the pass-1 histograms,
+/// and per counting pass every candidate with its raw tally.
+fn encode_counts(counts: &SupportCounts) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(counts.num_rows);
+    w.put_u64(counts.fingerprint.0);
+    w.put_u64(counts.fingerprint.1);
+    let c = &counts.config;
+    w.put_f64(c.min_support);
+    w.put_f64(c.min_confidence);
+    w.put_f64(c.max_support);
+    w.put_u64(c.max_itemset_size as u64);
+    w.put_bool(c.interest.is_some());
+    if let Some(interest) = &c.interest {
+        w.put_f64(interest.level);
+        w.put_u8(match interest.mode {
+            InterestMode::SupportAndConfidence => 0,
+            InterestMode::SupportOrConfidence => 1,
+        });
+        w.put_bool(interest.prune_candidates);
+    }
+    match &c.partitioning {
+        PartitionSpec::None => w.put_u8(0),
+        PartitionSpec::CompletenessLevel(k) => {
+            w.put_u8(1);
+            w.put_f64(*k);
+        }
+        PartitionSpec::FixedIntervals(n) => {
+            w.put_u8(2);
+            w.put_u64(*n as u64);
+        }
+        PartitionSpec::PerAttribute(map) => {
+            w.put_u8(3);
+            w.put_u64(map.len() as u64);
+            for (name, n) in map {
+                w.put_str(name);
+                w.put_u64(*n as u64);
+            }
+        }
+    }
+    w.put_u8(match c.partition_strategy {
+        PartitionStrategy::EquiDepth => 0,
+        PartitionStrategy::EquiWidth => 1,
+        PartitionStrategy::KMeans => 2,
+    });
+    w.put_u64(counts.intervals_per_attribute.len() as u64);
+    for iv in &counts.intervals_per_attribute {
+        w.put_bool(iv.is_some());
+        if let Some(n) = iv {
+            w.put_u64(*n as u64);
+        }
+    }
+    w.put_u64(counts.captured.value_counts.len() as u64);
+    for hist in &counts.captured.value_counts {
+        w.put_u64(hist.len() as u64);
+        for &n in hist {
+            w.put_u64(n);
+        }
+    }
+    w.put_u64(counts.captured.passes.len() as u64);
+    for (pass, entries) in &counts.captured.passes {
+        w.put_u32(*pass);
+        w.put_u64(entries.len() as u64);
+        for (itemset, count) in entries {
+            encode_itemset(&mut w, itemset);
+            w.put_u64(*count);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_counts(payload: &[u8]) -> Result<SupportCounts, StoreError> {
+    let mut r = Reader::new(payload);
+    r.set_section("counts");
+    let num_rows = r.get_u64()?;
+    let fingerprint = (r.get_u64()?, r.get_u64()?);
+    let min_support = r.get_f64()?;
+    let min_confidence = r.get_f64()?;
+    let max_support = r.get_f64()?;
+    let max_itemset_size = r.get_u64()? as usize;
+    let interest = if r.get_bool()? {
+        let level = r.get_f64()?;
+        let mode = match r.get_u8()? {
+            0 => InterestMode::SupportAndConfidence,
+            1 => InterestMode::SupportOrConfidence,
+            b => return Err(r.corrupt(format!("interest mode byte is {b}"))),
+        };
+        let prune_candidates = r.get_bool()?;
+        Some(InterestConfig {
+            level,
+            mode,
+            prune_candidates,
+        })
+    } else {
+        None
+    };
+    let partitioning = match r.get_u8()? {
+        0 => PartitionSpec::None,
+        1 => PartitionSpec::CompletenessLevel(r.get_f64()?),
+        2 => PartitionSpec::FixedIntervals(r.get_u64()? as usize),
+        3 => {
+            let n = r.get_count(9)?; // str len prefix + interval count
+            let mut map = std::collections::BTreeMap::new();
+            let mut prev: Option<String> = None;
+            for _ in 0..n {
+                let name = r.get_str()?;
+                if prev.as_ref().is_some_and(|p| *p >= name) {
+                    return Err(r.corrupt("per-attribute names are not strictly increasing"));
+                }
+                let intervals = r.get_u64()? as usize;
+                prev = Some(name.clone());
+                map.insert(name, intervals);
+            }
+            PartitionSpec::PerAttribute(map)
+        }
+        b => return Err(r.corrupt(format!("partitioning tag byte is {b}"))),
+    };
+    let partition_strategy = match r.get_u8()? {
+        0 => PartitionStrategy::EquiDepth,
+        1 => PartitionStrategy::EquiWidth,
+        2 => PartitionStrategy::KMeans,
+        b => return Err(r.corrupt(format!("partition strategy byte is {b}"))),
+    };
+    let config = CountsConfig {
+        min_support,
+        min_confidence,
+        max_support,
+        max_itemset_size,
+        interest,
+        partitioning,
+        partition_strategy,
+    };
+    let count = r.get_count(1)?;
+    let mut intervals_per_attribute = Vec::with_capacity(count);
+    for _ in 0..count {
+        intervals_per_attribute.push(if r.get_bool()? {
+            Some(r.get_u64()? as usize)
+        } else {
+            None
+        });
+    }
+    let attrs = r.get_count(8)?;
+    let mut value_counts = Vec::with_capacity(attrs);
+    for _ in 0..attrs {
+        let n = r.get_count(8)?;
+        let mut hist = Vec::with_capacity(n);
+        for _ in 0..n {
+            hist.push(r.get_u64()?);
+        }
+        value_counts.push(hist);
+    }
+    let npasses = r.get_count(12)?; // pass number + entry count at minimum
+    let mut passes = Vec::with_capacity(npasses);
+    let mut prev_pass = None;
+    for _ in 0..npasses {
+        let pass = r.get_u32()?;
+        if pass < 2 {
+            return Err(r.corrupt(format!("counting pass number is {pass}")));
+        }
+        if prev_pass.is_some_and(|p| p >= pass) {
+            return Err(r.corrupt("pass numbers are not strictly increasing"));
+        }
+        prev_pass = Some(pass);
+        // Each entry is at least a 1-item itemset plus its tally.
+        let n = r.get_count(8 + 12 + 8)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let itemset = decode_itemset(&mut r)?;
+            let count = r.get_u64()?;
+            entries.push((itemset, count));
+        }
+        passes.push((pass, entries));
+    }
+    if r.remaining() > 0 {
+        return Err(r.corrupt(format!("{} unread byte(s) in section", r.remaining())));
+    }
+    Ok(SupportCounts {
+        num_rows,
+        fingerprint,
+        config,
+        intervals_per_attribute,
+        captured: CapturedCounts {
+            value_counts,
+            passes,
+        },
     })
 }
 

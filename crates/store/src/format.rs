@@ -40,6 +40,11 @@ pub mod tag {
     /// Optional rule-quality analytics (lift, conviction, chi-square,
     /// J-measure, Shapley attributions). Trails the mandatory sections.
     pub const ANALYTICS: u32 = 4;
+    /// Optional persisted support counts (raw candidate tallies + row
+    /// total + encoding fingerprint + mining configuration) powering
+    /// incremental updates. Trails the mandatory sections (after
+    /// analytics, when both are present).
+    pub const COUNTS: u32 = 5;
 }
 
 /// Human name of a section tag (for error messages).
@@ -49,6 +54,7 @@ pub fn section_name(tag: u32) -> &'static str {
         tag::RULES => "rules",
         tag::STATS => "stats",
         tag::ANALYTICS => "analytics",
+        tag::COUNTS => "counts",
         _ => "unknown",
     }
 }

@@ -9,7 +9,10 @@ use qar_analytics::{AnalyticsSet, RuleAnalytics};
 use qar_core::mine::MineStats;
 use qar_core::pipeline::MiningStats;
 use qar_core::supercand::PassStats;
-use qar_core::{QuantRule, RuleInterest};
+use qar_core::{
+    encoding_fingerprint, CapturedCounts, CountsConfig, InterestConfig, InterestMode,
+    PartitionSpec, PartitionStrategy, QuantRule, RuleInterest, SupportCounts,
+};
 use qar_itemset::{Item, Itemset};
 use qar_prng::Prng;
 use qar_store::Catalog;
@@ -195,6 +198,83 @@ fn arb_analytics(rng: &mut Prng, rules: &[QuantRule]) -> AnalyticsSet {
     }
 }
 
+/// Arbitrary persisted support counts that satisfy every invariant
+/// [`Catalog::with_counts`] checks: row total and fingerprint taken from
+/// the catalog, a valid semantic config, histograms spanning exactly the
+/// encoders' code spaces, in-range candidates with arbitrary tallies.
+fn arb_counts(rng: &mut Prng, catalog: &Catalog) -> SupportCounts {
+    let schema = catalog.schema();
+    let encoders = catalog.encoders();
+    let num_attrs = schema.len();
+    let min_support = rng.gen_range(0.01..0.9);
+    let config = CountsConfig {
+        min_support,
+        min_confidence: rng.gen_range(0.0..1.0),
+        max_support: rng.gen_range(min_support..1.0),
+        max_itemset_size: rng.gen_range(0..5usize),
+        interest: rng.gen_bool(0.3).then(|| InterestConfig {
+            level: rng.gen_range(1.1..4.0),
+            mode: if rng.gen_bool(0.5) {
+                InterestMode::SupportAndConfidence
+            } else {
+                InterestMode::SupportOrConfidence
+            },
+            prune_candidates: rng.gen_bool(0.5),
+        }),
+        partitioning: match rng.gen_range(0..4u32) {
+            0 => PartitionSpec::None,
+            1 => PartitionSpec::CompletenessLevel(rng.gen_range(1.5..5.0)),
+            2 => PartitionSpec::FixedIntervals(rng.gen_range(1..8usize)),
+            _ => {
+                let mut map = std::collections::BTreeMap::new();
+                for (_, def) in schema.iter() {
+                    if rng.gen_bool(0.5) {
+                        map.insert(def.name().to_string(), rng.gen_range(1..8usize));
+                    }
+                }
+                PartitionSpec::PerAttribute(map)
+            }
+        },
+        partition_strategy: [
+            PartitionStrategy::EquiDepth,
+            PartitionStrategy::EquiWidth,
+            PartitionStrategy::KMeans,
+        ][rng.gen_range(0..3usize)],
+    };
+    let value_counts = encoders
+        .iter()
+        .map(|e| (0..e.cardinality()).map(|_| rng.next_u64()).collect())
+        .collect();
+    let mut passes = Vec::new();
+    let mut pass = 2u32;
+    for _ in 0..rng.gen_range(0..3usize) {
+        let entries = (0..rng.gen_range(0..12usize))
+            .map(|_| {
+                let mut attrs: Vec<u32> = (0..num_attrs as u32).collect();
+                rng.shuffle(&mut attrs);
+                let used = rng.gen_range(1..num_attrs + 1);
+                let mut sub = attrs[..used].to_vec();
+                sub.sort_unstable();
+                (arb_itemset(rng, &sub, encoders), rng.next_u64())
+            })
+            .collect();
+        passes.push((pass, entries));
+        pass += rng.gen_range(1..3u32);
+    }
+    SupportCounts {
+        num_rows: catalog.num_rows(),
+        fingerprint: encoding_fingerprint(schema, encoders),
+        config,
+        intervals_per_attribute: (0..num_attrs)
+            .map(|_| rng.gen_bool(0.5).then(|| rng.gen_range(1..32usize)))
+            .collect(),
+        captured: CapturedCounts {
+            value_counts,
+            passes,
+        },
+    }
+}
+
 /// A random structurally valid catalog: 1–5 attributes of mixed kinds,
 /// 0–20 rules over them (possibly none — the empty-ruleset edge case),
 /// interest verdicts half the time, and adversarial float values in both
@@ -260,14 +340,23 @@ pub fn arb_catalog(rng: &mut Prng) -> Catalog {
     let stats = arb_stats(rng, num_attrs, num_rules);
     let catalog = Catalog::new(schema, encoders, rng.next_u64(), rules, interest, stats)
         .expect("generated catalog is valid");
-    // Half the catalogs carry the optional analytics section, so every
-    // property downstream (round trip, corruption, truncation, queries)
-    // covers both the pre-analytics and the analytics-bearing layout.
-    if rng.gen_bool(0.5) {
+    // Half the catalogs carry the optional analytics section and half
+    // carry persisted counts (independently), so every property
+    // downstream (round trip, corruption, truncation, queries) covers
+    // all four trailing-section layouts.
+    let catalog = if rng.gen_bool(0.5) {
         let analytics = arb_analytics(rng, catalog.rules());
         catalog
             .with_analytics(analytics)
             .expect("generated analytics are valid")
+    } else {
+        catalog
+    };
+    if rng.gen_bool(0.5) {
+        let counts = arb_counts(rng, &catalog);
+        catalog
+            .with_counts(counts)
+            .expect("generated counts are valid")
     } else {
         catalog
     }

@@ -78,40 +78,44 @@ fn single_byte_corruption_is_always_detected() {
 
 /// Every strict prefix of a valid catalog fails to decode (no truncation
 /// is silently accepted), and decoding never panics on any prefix. The
-/// single deliberate exception: a catalog with trailing optional
-/// sections cut *exactly* at a section boundary after the mandatory
-/// three is a valid, shorter catalog — that boundary is the
-/// forward-compatibility seam, and a cut there must decode to the same
-/// content minus the trailing section.
+/// deliberate exceptions: a catalog with trailing optional sections
+/// (analytics, counts) cut *exactly* at a section boundary after the
+/// mandatory three is a valid, shorter catalog — those boundaries are
+/// the forward-compatibility seam, and a cut there must decode to the
+/// same content minus the dropped trailing section(s).
 #[test]
 fn truncated_catalogs_always_error() {
     qar_prng::cases(8, 0x7254C, |case, rng| {
         let catalog = arb_catalog(rng);
         let bytes = catalog.encode();
-        // The only decodable prefix: everything up to the analytics
-        // section, present iff the catalog carries analytics.
-        let boundary = catalog.analytics().map(|_| {
-            let sections = qar_store::section_inventory(&bytes).expect("valid catalog walks");
-            let analytics_len = sections.last().expect("analytics is last").len;
-            bytes.len() - (4 + 8 + 4 + analytics_len as usize)
-        });
+        // Decodable prefixes: every section end after the mandatory
+        // three (excluding the full length, which is not a strict
+        // prefix). One boundary per trailing optional section.
+        let sections = qar_store::section_inventory(&bytes).expect("valid catalog walks");
+        let mut boundaries = std::collections::HashSet::new();
+        let mut offset = qar_store::format::MAGIC.len() + 4;
+        for (i, s) in sections.iter().enumerate() {
+            offset += 4 + 8 + 4 + s.len as usize;
+            if i >= 2 && offset < bytes.len() {
+                boundaries.insert(offset);
+            }
+        }
         for len in 0..bytes.len() {
             match Catalog::decode(&bytes[..len]) {
-                Err(_) => assert_ne!(
-                    Some(len),
-                    boundary,
-                    "case {case}: cut at the optional-section boundary must decode"
+                Err(_) => assert!(
+                    !boundaries.contains(&len),
+                    "case {case}: cut at an optional-section boundary ({len}) must decode"
                 ),
                 Ok(back) => {
-                    assert_eq!(
-                        Some(len),
-                        boundary,
+                    assert!(
+                        boundaries.contains(&len),
                         "case {case}: prefix of {len}/{} bytes decoded",
                         bytes.len()
                     );
-                    assert!(
-                        back.analytics().is_none(),
-                        "case {case}: truncated catalog kept analytics"
+                    assert_eq!(
+                        back.encode(),
+                        &bytes[..len],
+                        "case {case}: truncated catalog re-encodes to its own prefix"
                     );
                 }
             }

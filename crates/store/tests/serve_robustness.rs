@@ -362,3 +362,133 @@ fn reload_of_corrupted_catalog_keeps_serving_the_old_one() {
     }
     fx.stop();
 }
+
+/// End-to-end catalog freshness: the incremental-update library path
+/// (`qar mine --update`'s engine) rewrites a served catalog with delta
+/// rows merged into its persisted counts, and a `Reload` frame makes the
+/// server answer from the updated rules — no restart, generation bumped.
+#[test]
+fn reload_picks_up_an_incrementally_updated_catalog() {
+    use qar_core::{Miner, MinerConfig, PartitionSpec, UpdateInput};
+    use qar_table::Table;
+
+    // The paper's people table is the base; the delta re-appends its
+    // first two rows (values the base encoders already know, so the
+    // update stays on the incremental path).
+    let base = qar_datagen::people_table();
+    let mut delta = Table::new(base.schema().clone());
+    let mut full = Table::new(base.schema().clone());
+    for row in base.rows() {
+        full.push_row(&row.to_values()).expect("same schema");
+    }
+    for row in base.rows().take(2) {
+        delta.push_row(&row.to_values()).expect("same schema");
+        full.push_row(&row.to_values()).expect("same schema");
+    }
+
+    let config = MinerConfig {
+        min_support: 0.4,
+        min_confidence: 0.5,
+        partitioning: PartitionSpec::None,
+        ..MinerConfig::default()
+    };
+    let (out, counts) = Miner::new(config.clone())
+        .mine_with_counts(&base)
+        .expect("base mine succeeds");
+    let catalog = Catalog::from_mining(&out)
+        .with_counts(counts)
+        .expect("counts attach");
+    let path = std::env::temp_dir().join(format!("qar_serve_update_{}.qarcat", std::process::id()));
+    catalog.save(&path, None).expect("save catalog");
+
+    let server = Server::bind(
+        &[("cat".to_string(), path.clone())],
+        &ServerConfig {
+            port: 0,
+            threads: 2,
+        },
+        None,
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.serve());
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    let top_all = Query::TopK {
+        by: RankBy::Confidence,
+        k: u32::MAX,
+    };
+    let ask = |client: &mut ServeClient| match client
+        .request(&Request::Query {
+            catalog: "cat".into(),
+            deadline_ms: None,
+            query: top_all.clone(),
+        })
+        .expect("query")
+    {
+        Response::Ids { generation, ids } => (generation, ids),
+        other => panic!("expected ids, got {other:?}"),
+    };
+
+    // Generation 1 serves the base mine.
+    let base_index = RuleIndex::build(&catalog, None);
+    let (generation, ids) = ask(&mut client);
+    assert_eq!(generation, 1);
+    assert_eq!(ids, execute_query(&base_index, &top_all).expect("servable"));
+
+    // Update the catalog on disk: delta-only scan merged into the
+    // persisted counts, no base rows needed.
+    let loaded =
+        Catalog::load_bytes(&std::fs::read(&path).expect("read"), None).expect("catalog loads");
+    let updated = Miner::new(config.clone())
+        .update(UpdateInput {
+            schema: loaded.schema(),
+            encoders: loaded.encoders(),
+            counts: loaded.counts().expect("counts persisted"),
+            delta: &delta,
+            base_rows: None,
+        })
+        .expect("incremental update succeeds");
+    assert!(
+        updated.incremental,
+        "no fallback expected: {:?}",
+        updated.fallback
+    );
+    let fresh = Catalog::from_mining(&updated.output)
+        .with_counts(updated.counts)
+        .expect("merged counts attach");
+    fresh.save(&path, None).expect("save updated catalog");
+
+    // The server still answers from the old snapshot until told.
+    let (generation, _) = ask(&mut client);
+    assert_eq!(generation, 1, "no reload yet");
+
+    // Reload → generation 2, answers now match the updated catalog,
+    // which in turn matches a from-scratch mine of base+delta.
+    match client.request(&Request::Reload {
+        catalog: "cat".into(),
+    }) {
+        Ok(Response::Reloaded { generation, .. }) => assert_eq!(generation, 2),
+        other => panic!("reload failed: {other:?}"),
+    }
+    let fresh_index = RuleIndex::build(&fresh, None);
+    let (generation, ids) = ask(&mut client);
+    assert_eq!(generation, 2);
+    assert_eq!(
+        ids,
+        execute_query(&fresh_index, &top_all).expect("servable")
+    );
+    let scratch = Miner::new(config).mine(&full).expect("scratch mine");
+    assert_eq!(
+        updated.output.rules, scratch.rules,
+        "updated catalog serves the same rules a full re-mine would"
+    );
+
+    let mut control = ServeClient::connect(addr).expect("connect");
+    assert!(matches!(
+        control.request(&Request::Shutdown),
+        Ok(Response::ShuttingDown)
+    ));
+    server_thread.join().unwrap().expect("server exits cleanly");
+    let _ = std::fs::remove_file(&path);
+}

@@ -211,6 +211,46 @@ pub enum TraceEvent {
         /// Human-readable failure reason.
         detail: String,
     },
+    /// A catalog's `COUNTS` section (persisted raw support tallies for
+    /// incremental updates) was written.
+    CountsSaved {
+        /// Counting passes the section records (pass 1 histograms plus
+        /// each candidate pass).
+        passes: usize,
+        /// Candidate itemsets tallied across all counting passes.
+        itemsets: usize,
+        /// Encoded size of the section payload in bytes.
+        bytes: u64,
+    },
+    /// A catalog's `COUNTS` section was decoded (checksums verified).
+    CountsLoaded {
+        /// Counting passes the section records.
+        passes: usize,
+        /// Candidate itemsets tallied across all counting passes.
+        itemsets: usize,
+        /// Rows of the table the counts were taken over.
+        rows: u64,
+    },
+    /// An incremental update merged persisted base counts with a
+    /// delta-only scan (no base row was re-read).
+    IncrementalUpdate {
+        /// Rows covered by the persisted base counts.
+        base_rows: u64,
+        /// Appended rows scanned by this update.
+        delta_rows: u64,
+        /// Rows covered by the refreshed counts (base + delta).
+        total_rows: u64,
+        /// Passes of the merged run (pass 1 plus candidate passes).
+        passes: usize,
+        /// Wall-clock of the whole update, µs.
+        elapsed_us: u64,
+    },
+    /// An incremental update could not proceed and fell back to a full
+    /// re-mine (or failed, when no base rows were available).
+    IncrementalFallback {
+        /// Why the persisted counts could not be updated in place.
+        reason: String,
+    },
     /// A `RELOAD` control frame swapped in a fresh catalog.
     CatalogReloaded {
         /// Name of the reloaded catalog slot.
@@ -264,6 +304,10 @@ impl TraceEvent {
             TraceEvent::WorkerJoined { .. } => "worker_joined",
             TraceEvent::PassMerged { .. } => "pass_merged",
             TraceEvent::WorkerLost { .. } => "worker_lost",
+            TraceEvent::CountsSaved { .. } => "counts_saved",
+            TraceEvent::CountsLoaded { .. } => "counts_loaded",
+            TraceEvent::IncrementalUpdate { .. } => "incremental_update",
+            TraceEvent::IncrementalFallback { .. } => "incremental_fallback",
             TraceEvent::CatalogReloaded { .. } => "catalog_reloaded",
         }
     }
@@ -413,6 +457,37 @@ impl TraceEvent {
                 "{{\"event\":\"worker_lost\",\"worker\":{worker},\"pass\":{pass},\
                  \"detail\":{}}}",
                 json_str(detail)
+            ),
+            TraceEvent::CountsSaved {
+                passes,
+                itemsets,
+                bytes,
+            } => format!(
+                "{{\"event\":\"counts_saved\",\"passes\":{passes},\
+                 \"itemsets\":{itemsets},\"bytes\":{bytes}}}"
+            ),
+            TraceEvent::CountsLoaded {
+                passes,
+                itemsets,
+                rows,
+            } => format!(
+                "{{\"event\":\"counts_loaded\",\"passes\":{passes},\
+                 \"itemsets\":{itemsets},\"rows\":{rows}}}"
+            ),
+            TraceEvent::IncrementalUpdate {
+                base_rows,
+                delta_rows,
+                total_rows,
+                passes,
+                elapsed_us,
+            } => format!(
+                "{{\"event\":\"incremental_update\",\"base_rows\":{base_rows},\
+                 \"delta_rows\":{delta_rows},\"total_rows\":{total_rows},\
+                 \"passes\":{passes},\"elapsed_us\":{elapsed_us}}}"
+            ),
+            TraceEvent::IncrementalFallback { reason } => format!(
+                "{{\"event\":\"incremental_fallback\",\"reason\":{}}}",
+                json_str(reason)
             ),
             TraceEvent::CatalogReloaded {
                 catalog,
@@ -622,6 +697,42 @@ impl fmt::Display for TraceEvent {
                 pass,
                 detail,
             } => write!(f, "worker {worker} lost during pass {pass}: {detail}"),
+            TraceEvent::CountsSaved {
+                passes,
+                itemsets,
+                bytes,
+            } => write!(
+                f,
+                "support counts saved: {passes} pass(es), \
+                 {itemsets} itemset tally(ies), {bytes} bytes"
+            ),
+            TraceEvent::CountsLoaded {
+                passes,
+                itemsets,
+                rows,
+            } => write!(
+                f,
+                "support counts loaded: {passes} pass(es), \
+                 {itemsets} itemset tally(ies) over {rows} row(s)"
+            ),
+            TraceEvent::IncrementalUpdate {
+                base_rows,
+                delta_rows,
+                total_rows,
+                passes,
+                elapsed_us,
+            } => write!(
+                f,
+                "incremental update: {base_rows} base + {delta_rows} delta \
+                 -> {total_rows} row(s), {passes} pass(es) in {}",
+                fmt_us(*elapsed_us)
+            ),
+            TraceEvent::IncrementalFallback { reason } => {
+                write!(
+                    f,
+                    "incremental update fell back to a full re-mine: {reason}"
+                )
+            }
             TraceEvent::CatalogReloaded {
                 catalog,
                 generation,
@@ -742,6 +853,26 @@ mod tests {
                 worker: 1,
                 pass: 3,
                 detail: "read timed out".into(),
+            },
+            TraceEvent::CountsSaved {
+                passes: 3,
+                itemsets: 310,
+                bytes: 5200,
+            },
+            TraceEvent::CountsLoaded {
+                passes: 3,
+                itemsets: 310,
+                rows: 4000,
+            },
+            TraceEvent::IncrementalUpdate {
+                base_rows: 4000,
+                delta_rows: 40,
+                total_rows: 4040,
+                passes: 3,
+                elapsed_us: 900,
+            },
+            TraceEvent::IncrementalFallback {
+                reason: "attribute \"x\" is interval-partitioned".into(),
             },
             TraceEvent::CatalogReloaded {
                 catalog: "cat \"v2\"\\planted".into(),

@@ -506,6 +506,26 @@ mod tests {
                 pass: 3,
                 detail: "connection reset".into(),
             },
+            TraceEvent::CountsSaved {
+                passes: 3,
+                itemsets: 120,
+                bytes: 4096,
+            },
+            TraceEvent::CountsLoaded {
+                passes: 3,
+                itemsets: 120,
+                rows: 500,
+            },
+            TraceEvent::IncrementalUpdate {
+                base_rows: 500,
+                delta_rows: 5,
+                total_rows: 505,
+                passes: 3,
+                elapsed_us: 800,
+            },
+            TraceEvent::IncrementalFallback {
+                reason: "encoding fingerprint mismatch".into(),
+            },
             TraceEvent::CatalogReloaded {
                 catalog: "planted".into(),
                 generation: 2,
@@ -518,6 +538,6 @@ mod tests {
                 .validate_line(&event.to_json())
                 .unwrap_or_else(|e| panic!("{}: {e}", event.name()));
         }
-        assert_eq!(schema.event_names().len(), 17);
+        assert_eq!(schema.event_names().len(), 21);
     }
 }

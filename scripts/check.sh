@@ -115,7 +115,8 @@ echo "==> analytics smoke (mine --analytics -> query --by chi2 -> store-check ->
 ./target/release/qar query "$STORE_DIR/ana.qarcat" --top-k 5 --by chi2 > /dev/null
 ./target/release/qar query "$STORE_DIR/ana.qarcat" --min-lift 1.0 --max-p 0.05 \
     --by lift > /dev/null
-./target/release/qar store-check "$STORE_DIR/ana.qarcat" | grep -q "analytics (tag 4):"
+./target/release/qar store-check "$STORE_DIR/ana.qarcat" > "$STORE_DIR/ana.inventory"
+grep -q "analytics (tag 4):" "$STORE_DIR/ana.inventory"
 # Plain catalogs refuse analytics ranking with a pointer at the backfill
 # path, and `qar analyze` backfills them in place.
 if ./target/release/qar query "$STORE_DIR/cat.qarcat" --by lift > /dev/null 2>&1; then
@@ -161,6 +162,54 @@ cmp "$STORE_DIR/serial.qarcat" "$STORE_DIR/chunked.qarcat"
     --chunk-rows 173 --workers 2 --store "$STORE_DIR/chunked_dist.qarcat" > /dev/null
 cmp "$STORE_DIR/serial.qarcat" "$STORE_DIR/chunked_dist.qarcat"
 
+echo "==> update smoke (mine -> counts -> --update vs scratch re-mine, byte-identical)"
+# Mine the paper's People table into a catalog (support counts are
+# persisted automatically with --store), append a delta of rows whose
+# values the base encoders already know, refresh the catalog with a
+# delta-only incremental scan, and compare against mining base+delta
+# from scratch: the two catalogs must match byte for byte under
+# --normalize-stats — merged counts included. The update's pinned trace
+# events must validate against the schema.
+PEOPLE_FLAGS="--schema Age:quant,Married:cat,NumCars:quant \
+    --minsup 0.4 --minconf 0.5 --maxsup 1.0 --no-partition --normalize-stats"
+./target/release/qar generate people --output "$STORE_DIR/people.csv"
+head -n 1 "$STORE_DIR/people.csv" > "$STORE_DIR/delta.csv"
+sed -n '2,3p' "$STORE_DIR/people.csv" >> "$STORE_DIR/delta.csv"
+cat "$STORE_DIR/people.csv" > "$STORE_DIR/combined.csv"
+sed -n '2,3p' "$STORE_DIR/people.csv" >> "$STORE_DIR/combined.csv"
+./target/release/qar mine --input "$STORE_DIR/people.csv" $PEOPLE_FLAGS \
+    --store "$STORE_DIR/people_updated.qarcat" > /dev/null
+./target/release/qar store-check "$STORE_DIR/people_updated.qarcat" \
+    > "$STORE_DIR/people.inventory"
+grep -q "counts (tag 5):" "$STORE_DIR/people.inventory"
+./target/release/qar mine --input "$STORE_DIR/delta.csv" \
+    --update "$STORE_DIR/people_updated.qarcat" --normalize-stats --trace json \
+    > /dev/null 2> "$STORE_DIR/update.trace"
+./target/release/qar trace-check < "$STORE_DIR/update.trace"
+grep -q '"event":"counts_loaded"' "$STORE_DIR/update.trace"
+grep -q '"event":"incremental_update"' "$STORE_DIR/update.trace"
+./target/release/qar mine --input "$STORE_DIR/combined.csv" $PEOPLE_FLAGS \
+    --store "$STORE_DIR/people_scratch.qarcat" > /dev/null
+cmp "$STORE_DIR/people_updated.qarcat" "$STORE_DIR/people_scratch.qarcat"
+./target/release/qar store-check "$STORE_DIR/people_updated.qarcat" > /dev/null
+
+echo "==> update bench smoke (delta-update speedup floor)"
+# Quick run of the incremental-update bench: exits non-zero when a 1%
+# delta update fails to beat re-mining base+delta from scratch by at
+# least 5x (the result is also gated on exactness: the update must stay
+# on the incremental path and reproduce the scratch mine's counts and
+# rules). The JSON goes to a temp path so a local run never clobbers
+# the committed BENCH_update.json baseline, which must itself exist and
+# respect the same floor.
+QAR_BENCH_QUICK=1 ./target/release/qar bench-update --floor 5.0 \
+    --out "$STORE_DIR/bench_update.json" > /dev/null
+grep -q '"suite":"bench_update"' "$STORE_DIR/bench_update.json"
+grep -q '"speedup"' "$STORE_DIR/bench_update.json"
+grep -q '"suite":"bench_update"' BENCH_update.json
+awk -F'"speedup":' '{split($2, a, ","); if (a[1] + 0 < 5.0) {
+    print "committed BENCH_update.json speedup " a[1] " is below the 5x floor" > "/dev/stderr";
+    exit 1 } }' BENCH_update.json
+
 echo "==> dist bench smoke (counting speedup floor)"
 # Quick run of the count-distribution bench: exits non-zero when the
 # 2-partition counting critical path (max partition scan + merge) fails
@@ -181,9 +230,11 @@ echo "==> fuzz smoke (200 differential cases, fixed seed)"
 # parallel miner, naive reference, apriori bridge, catalog round trip,
 # memoized scan cache, bitmask scan kernel, the rule-quality
 # analytics pass (0-ulps closed-form reference + BH monotonicity +
-# catalog round trip), and count-distribution distributed mining over
-# worker threads (byte-identical normalized catalogs) must agree on
-# every generated case. Divergences minimize into tests/fuzz_repros/
+# catalog round trip), count-distribution distributed mining over
+# worker threads (byte-identical normalized catalogs), and incremental
+# catalog updates (mine(base) + update(delta) vs mine(base+delta), down
+# to byte-identical catalogs with merged counts) must agree on every
+# generated case. Divergences minimize into tests/fuzz_repros/
 # fixtures; a clean run writes nothing.
 ./target/release/qar fuzz --iters 200 --seed 42
 

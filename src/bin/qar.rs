@@ -78,6 +78,14 @@ fn main() -> ExitCode {
             Ok(_) => ExitCode::SUCCESS,
             Err(e) => fail(&e.to_string()),
         },
+        Ok(Command::BenchUpdate(bench)) => match run_bench_update(&bench) {
+            Ok(speedup) if bench.floor > 0.0 && speedup < bench.floor => fail(&format!(
+                "bench-update: {speedup:.2}x update speedup is below the {:.2}x floor",
+                bench.floor
+            )),
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => fail(&e.to_string()),
+        },
         Ok(Command::Worker(worker)) => {
             let opts = quantrules::dist::WorkerOptions {
                 num_threads: worker.threads,
@@ -174,6 +182,14 @@ fn run_bench_dist(args: &cli::BenchDistArgs) -> Result<f64, Box<dyn std::error::
     Ok(speedup)
 }
 
+fn run_bench_update(args: &cli::BenchUpdateArgs) -> Result<f64, Box<dyn std::error::Error>> {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let speedup = cli::run_bench_update(args, &mut lock)?;
+    lock.flush()?;
+    Ok(speedup)
+}
+
 fn run_store_check(args: &cli::StoreCheckArgs) -> Result<(), Box<dyn std::error::Error>> {
     let bytes = read_input_bytes(&args.input)?;
     let stdout = std::io::stdout();
@@ -204,6 +220,15 @@ fn run_mine(args: &cli::MineArgs) -> Result<(), Box<dyn std::error::Error>> {
         args.config.taxonomies.insert(attr, taxonomy);
     }
     let args = &args;
+    if args.update.is_some() {
+        // Incremental: the schema and configuration come from the catalog,
+        // and the CLI layer reads the delta (in memory or spilled) itself.
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        cli::run_mine_update(args, &mut lock)?;
+        lock.flush()?;
+        return Ok(());
+    }
     if args.chunk_rows > 0 {
         // Out-of-core: the CLI layer streams the file itself (twice).
         let stdout = std::io::stdout();

@@ -16,11 +16,15 @@ use std::time::{Duration, Instant};
 
 use qar_analytics::AnalyticsConfig;
 use qar_core::{
-    mine_source, ChunkedSource, CountError, CountSource, InterestConfig, InterestMode, Miner,
-    MinerConfig, MinerError, MiningOutput, PartitionSpec, PartitionStrategy, QuantRule,
-    RuleInterest, ScanKernel,
+    encoding_fingerprint, mine_source, mine_source_captured, update_precheck, CapturedCounts,
+    ChunkedSource, CountError, CountSource, InMemorySource, InterestConfig, InterestMode,
+    MergeSource, Miner, MinerConfig, MinerError, MiningOutput, PartitionSpec, PartitionStrategy,
+    QuantRule, RuleInterest, ScanKernel, SupportCounts, UpdateInput,
 };
-use qar_dist::{mine_distributed, Backing, DistOptions, WorkerSpawn};
+use qar_dist::{
+    mine_distributed, mine_distributed_captured, Backing, Cluster, ClusterOptions, DistOptions,
+    DistSource, WorkerSpawn,
+};
 use qar_prng::Prng;
 use qar_store::protocol::{Query, QueryOptions, Request, Response};
 use qar_store::serve::ServeClient;
@@ -29,7 +33,7 @@ use qar_store::{
     Server, ServerConfig,
 };
 use qar_table::{csv, AttributeKind, EncodedTable, Schema, SchemaBuilder, Table, Value};
-use qar_trace::{CancelToken, ProgressSink, TraceFormat, WriterSink};
+use qar_trace::{event::micros, CancelToken, ProgressSink, TraceEvent, TraceFormat, WriterSink};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +60,8 @@ pub enum Command {
     BenchAnalytics(BenchAnalyticsArgs),
     /// Benchmark count-distribution counting against the serial scan.
     BenchDist(BenchDistArgs),
+    /// Benchmark an incremental catalog update against a full re-mine.
+    BenchUpdate(BenchUpdateArgs),
     /// Run as a counting worker connected to a mine coordinator.
     Worker(WorkerArgs),
     /// Print usage.
@@ -84,6 +90,21 @@ pub struct BenchDistArgs {
     pub floor: f64,
     /// Where the machine-readable summary JSON goes; `None` falls back
     /// to `$QAR_BENCH_OUT`, then `BENCH_dist.json`.
+    pub out: Option<String>,
+}
+
+/// Arguments of `qar bench-update`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchUpdateArgs {
+    /// Base-table records mined (with counts) before the delta arrives.
+    pub records: usize,
+    /// Appended delta size, as a fraction of the base table.
+    pub delta: f64,
+    /// Minimum update-vs-remine speedup; the run fails below this
+    /// (0 = off).
+    pub floor: f64,
+    /// Where the machine-readable summary JSON goes; `None` falls back
+    /// to `$QAR_BENCH_OUT`, then `BENCH_update.json`.
     pub out: Option<String>,
 }
 
@@ -125,6 +146,12 @@ pub struct MineArgs {
     /// Zero the volatile statistics (timings, kernels) before storing or
     /// reporting, so identical inputs give byte-identical catalogs.
     pub normalize_stats: bool,
+    /// Incremental mode: update this existing `.qarcat` catalog by
+    /// scanning only the delta rows in `--input`, merging them with the
+    /// catalog's persisted support counts. The catalog's schema and
+    /// semantic configuration are authoritative; the refreshed catalog is
+    /// rewritten in place unless `--store` redirects it.
+    pub update: Option<String>,
     /// Deprecation warnings this command line earned; the binary prints
     /// each to stderr before running.
     pub warnings: Vec<String>,
@@ -315,6 +342,7 @@ USAGE:
   qar bench-serve [--addr HOST:PORT] [--catalog FILE] [options]
   qar bench-analytics [--records N] [--samples N] [--floor R] [--out FILE]
   qar bench-dist [--records N] [--workers W] [--floor R] [--out FILE]
+  qar bench-update [--records N] [--delta F] [--floor R] [--out FILE]
   qar help
 
 MINE OPTIONS:
@@ -363,6 +391,21 @@ MINE OPTIONS:
                         names) before storing/reporting so identical
                         inputs give byte-identical .qarcat catalogs
                         across serial, --workers, and --chunk-rows runs
+  --update CATALOG      incremental mode: treat --input as the rows
+                        APPENDED since CATALOG was mined, scan only
+                        them, and merge with the catalog's persisted
+                        support counts (a catalog stored by `qar mine
+                        --store` carries them). Schema, thresholds, and
+                        partitioning come from the catalog, so the
+                        corresponding flags are rejected; the refreshed
+                        catalog rewrites CATALOG in place unless --store
+                        redirects it. The result is identical to mining
+                        base+delta from scratch; when the delta would
+                        change the encoding (interval repartitioning, an
+                        unseen value) or a support crosses a threshold,
+                        the update stops with an `incremental_fallback`
+                        trace event and an error naming the reason —
+                        re-mine from the full data then
 
 GENERATE:
   DATASET               credit | people | planted
@@ -507,6 +550,21 @@ BENCH-DIST:
   --floor R             fail under speedup R (0 = off)  [default 1.6]
   --out FILE            summary JSON destination
                         [default $QAR_BENCH_OUT, then BENCH_dist.json]
+
+BENCH-UPDATE:
+  Measures what persisted counts buy: synthesizes a small-domain table,
+  mines the base with count capture, appends a --delta fraction of new
+  rows, then times a full re-mine of base+delta against an incremental
+  `--update` (delta-only scan merged with the persisted counts). Every
+  run asserts the update stayed on the incremental path and produced
+  counts identical to the from-scratch mine. Writes a summary JSON line
+  to BENCH_update.json and exits non-zero below the floor.
+  --records N           base-table records              [default 1000000]
+                        (QAR_BENCH_QUICK=1 caps this at 50000)
+  --delta F             appended fraction of the base   [default 0.01]
+  --floor R             fail under speedup R (0 = off)  [default 5.0]
+  --out FILE            summary JSON destination
+                        [default $QAR_BENCH_OUT, then BENCH_update.json]
 ";
 
 /// Split an optional leading positional argument (anything not starting
@@ -647,10 +705,40 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 .get("input")
                 .cloned()
                 .ok_or_else(|| err("mine requires --input FILE"))?;
-            let schema = parse_schema_decls(
-                map.get("schema")
-                    .ok_or_else(|| err("mine requires --schema DECLS"))?,
-            )?;
+            let update = map.get("update").cloned();
+            let schema = if update.is_some() {
+                // The catalog's persisted counts pin the schema and every
+                // semantic knob; re-specifying any of them on an update
+                // would silently disagree with what the counts mean.
+                for key in [
+                    "schema",
+                    "minsup",
+                    "minconf",
+                    "maxsup",
+                    "completeness",
+                    "intervals",
+                    "no-partition",
+                    "strategy",
+                    "interest",
+                    "interest-mode",
+                    "max-size",
+                    "taxonomy",
+                    "no-memoize",
+                ] {
+                    if map.contains_key(key) {
+                        return Err(err(format!(
+                            "--{key} cannot be combined with --update: the schema, thresholds, \
+                             and partitioning come from the catalog's persisted counts"
+                        )));
+                    }
+                }
+                Vec::new()
+            } else {
+                parse_schema_decls(
+                    map.get("schema")
+                        .ok_or_else(|| err("mine requires --schema DECLS"))?,
+                )?
+            };
             let partitioning = if map.contains_key("no-partition") {
                 PartitionSpec::None
             } else if let Some(n) = map.get("intervals") {
@@ -743,7 +831,9 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 }
             };
             let analytics = map.contains_key("analytics");
-            if analytics && !map.contains_key("store") {
+            // An update rewrites its catalog in place, so it has a
+            // destination for the analytics even without --store.
+            if analytics && !map.contains_key("store") && update.is_none() {
                 return Err(err(
                     "--analytics requires --store FILE (analytics are persisted in the catalog)",
                 ));
@@ -784,6 +874,7 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 workers,
                 chunk_rows,
                 normalize_stats: map.contains_key("normalize-stats"),
+                update,
                 warnings,
             }))
         }
@@ -1062,6 +1153,30 @@ pub fn parse_command(args: &[String]) -> Result<Command, CliError> {
                 out: map.get("out").cloned(),
             }))
         }
+        "bench-update" => {
+            let map = parse_flag_map(&args[1..])?;
+            for key in map.keys() {
+                if !["records", "delta", "floor", "out"].contains(&key.as_str()) {
+                    return Err(err(format!("bench-update does not take --{key}")));
+                }
+            }
+            let records = parse_usize(&map, "records", 1_000_000)?;
+            if records == 0 {
+                return Err(err("--records must be at least 1"));
+            }
+            let delta = parse_f64(&map, "delta", 0.01)?;
+            if !delta.is_finite() || delta <= 0.0 || delta > 1.0 {
+                return Err(err(
+                    "--delta must be a fraction of the base table in (0, 1]",
+                ));
+            }
+            Ok(Command::BenchUpdate(BenchUpdateArgs {
+                records,
+                delta,
+                floor: parse_f64(&map, "floor", 5.0)?,
+                out: map.get("out").cloned(),
+            }))
+        }
         other => Err(err(format!("unknown command `{other}` (try `qar help`)"))),
     }
 }
@@ -1169,7 +1284,10 @@ pub fn run_mine_on_table_spawn(
     out: &mut impl std::io::Write,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let sink = trace_sink(args.trace);
-    let result = if args.workers > 0 {
+    // A stored catalog gets a COUNTS section so `qar mine --update` can
+    // refresh it later; report-only runs skip the capture overhead.
+    let capture = args.store.is_some();
+    let (result, counts) = if args.workers > 0 {
         let spawn = spawn.ok_or_else(|| err("distributed mining needs a worker spawn"))?;
         // The distributed driver counts already-encoded rows, so Steps 1-2
         // (partitioning, encoding) happen here on the coordinator — with
@@ -1178,20 +1296,47 @@ pub fn run_mine_on_table_spawn(
             qar_core::pipeline::build_encoders(table, &args.config).map_err(box_miner_error)?;
         let encoded = EncodedTable::encode(table, encoders)?;
         let cancel = deadline_token(args);
-        let mut result = mine_distributed(
-            Backing::Memory(&encoded),
-            &args.config,
-            &dist_options(args, spawn),
-            sink.as_deref(),
-            cancel.as_ref(),
-        )
-        .map_err(box_miner_error)?;
-        result.stats.intervals_per_attribute = intervals;
-        result
+        let options = dist_options(args, spawn);
+        let (mut result, captured) = if capture {
+            let (result, captured) = mine_distributed_captured(
+                Backing::Memory(&encoded),
+                &args.config,
+                &options,
+                sink.as_deref(),
+                cancel.as_ref(),
+            )
+            .map_err(box_miner_error)?;
+            (result, Some(captured))
+        } else {
+            let result = mine_distributed(
+                Backing::Memory(&encoded),
+                &args.config,
+                &options,
+                sink.as_deref(),
+                cancel.as_ref(),
+            )
+            .map_err(box_miner_error)?;
+            (result, None)
+        };
+        result.stats.intervals_per_attribute = intervals.clone();
+        let counts = captured.map(|captured| {
+            SupportCounts::assemble(
+                result.encoded.schema(),
+                result.encoded.encoders(),
+                table.num_rows() as u64,
+                &args.config,
+                intervals,
+                captured,
+            )
+        });
+        (result, counts)
+    } else if capture {
+        let (result, counts) = build_miner(args, sink.clone()).mine_with_counts(table)?;
+        (result, Some(counts))
     } else {
-        build_miner(args, sink.clone()).mine(table)?
+        (build_miner(args, sink.clone()).mine(table)?, None)
     };
-    finish_mine(table.num_rows() as u64, result, args, sink, out)
+    finish_mine(table.num_rows() as u64, result, counts, args, sink, out)
 }
 
 /// Execute `qar mine --chunk-rows N`: stream the CSV twice (stats pass,
@@ -1240,29 +1385,59 @@ pub fn run_mine_chunked_spawn(
     let store = qar_table::chunk::spill_csv(open()?, &schema, encoders, args.chunk_rows, &dir)?;
     let num_rows = store.num_rows() as u64;
     let cancel = deadline_token(args);
+    let capture = args.store.is_some();
     let mined = if args.workers > 0 {
         let spawn = spawn.ok_or_else(|| err("distributed mining needs a worker spawn"))?;
-        mine_distributed(
-            Backing::Chunks(&store),
-            &args.config,
-            &dist_options(args, spawn),
-            sink.as_deref(),
-            cancel.as_ref(),
-        )
+        let options = dist_options(args, spawn);
+        if capture {
+            mine_distributed_captured(
+                Backing::Chunks(&store),
+                &args.config,
+                &options,
+                sink.as_deref(),
+                cancel.as_ref(),
+            )
+            .map(|(r, c)| (r, Some(c)))
+        } else {
+            mine_distributed(
+                Backing::Chunks(&store),
+                &args.config,
+                &options,
+                sink.as_deref(),
+                cancel.as_ref(),
+            )
+            .map(|r| (r, None))
+        }
     } else {
         let mut source = ChunkedSource::new(&store, &args.config);
         if let Some(token) = &cancel {
             source = source.with_cancel(token);
         }
-        mine_source(&mut source, &args.config, sink.as_deref(), cancel.as_ref())
+        if capture {
+            mine_source_captured(&mut source, &args.config, sink.as_deref(), cancel.as_ref())
+                .map(|(r, c)| (r, Some(c)))
+        } else {
+            mine_source(&mut source, &args.config, sink.as_deref(), cancel.as_ref())
+                .map(|r| (r, None))
+        }
     };
     // The spill directory is temporary either way — remove it before
     // surfacing the mining verdict.
     drop(store);
     let _ = std::fs::remove_dir_all(&dir);
-    let mut result = mined.map_err(box_miner_error)?;
-    result.stats.intervals_per_attribute = intervals;
-    finish_mine(num_rows, result, args, sink, out)
+    let (mut result, captured) = mined.map_err(box_miner_error)?;
+    result.stats.intervals_per_attribute = intervals.clone();
+    let counts = captured.map(|captured| {
+        SupportCounts::assemble(
+            result.encoded.schema(),
+            result.encoded.encoders(),
+            num_rows,
+            &args.config,
+            intervals,
+            captured,
+        )
+    });
+    finish_mine(num_rows, result, counts, args, sink, out)
 }
 
 /// Box a [`MinerError`] without losing its message.
@@ -1270,11 +1445,358 @@ fn box_miner_error(e: MinerError) -> Box<dyn std::error::Error> {
     Box::new(err(e.to_string()))
 }
 
+/// Execute `qar mine --update CATALOG`: refresh an existing catalog by
+/// scanning only the delta rows in `--input` and merging them with the
+/// catalog's persisted support counts. See [`run_mine_update_spawn`].
+pub fn run_mine_update(
+    args: &MineArgs,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let spawn = if args.workers > 0 {
+        Some(process_spawn(&args.config)?)
+    } else {
+        None
+    };
+    run_mine_update_spawn(args, spawn, out)
+}
+
+/// [`run_mine_update`] with an explicit worker spawn (see
+/// [`run_mine_on_table_spawn`]).
+///
+/// The catalog's schema and semantic configuration are authoritative —
+/// only the performance knobs (`--threads`, `--kernel`) and the topology
+/// (`--workers`, `--chunk-rows`) come from this command line. The
+/// refreshed catalog (rules, stats, analytics when `--analytics` is
+/// passed, and the merged counts) rewrites the catalog in place unless
+/// `--store` redirects it; the result is identical to mining base+delta
+/// from scratch under the same flags.
+pub fn run_mine_update_spawn(
+    args: &MineArgs,
+    spawn: Option<WorkerSpawn>,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let catalog_path = args
+        .update
+        .as_deref()
+        .ok_or_else(|| err("run_mine_update needs --update CATALOG"))?;
+    let sink = trace_sink(args.trace);
+    let catalog = Catalog::load(catalog_path, sink.as_deref())
+        .map_err(|e| err(format!("cannot load `{catalog_path}`: {e}")))?;
+    let Some(counts) = catalog.counts() else {
+        return Err(Box::new(err(format!(
+            "`{catalog_path}` has no persisted support counts; re-mine it with `qar mine \
+             --store` (counts are captured automatically) before updating incrementally"
+        ))));
+    };
+    // Rebuild the mining configuration from the catalog's snapshot; the
+    // command line contributes only performance knobs.
+    let mut config = counts.config.miner_config();
+    config.parallelism = args.config.parallelism;
+    config.kernel = args.config.kernel;
+
+    let (mut result, new_counts) = if args.workers == 0 && args.chunk_rows == 0 {
+        // Serial/pooled: the library's own update path.
+        let delta = read_delta_table(&args.input, catalog.schema())?;
+        let mut miner = Miner::new(config.clone());
+        if let Some(s) = &sink {
+            miner = miner.with_progress(Arc::clone(s));
+        }
+        if let Some(secs) = args.deadline {
+            miner = miner.with_cancel(CancelToken::with_deadline(Duration::from_secs_f64(secs)));
+        }
+        let updated = miner
+            .update(UpdateInput {
+                schema: catalog.schema(),
+                encoders: catalog.encoders(),
+                counts,
+                delta: &delta,
+                base_rows: None,
+            })
+            .map_err(box_miner_error)?;
+        (updated.output, updated.counts)
+    } else {
+        update_via_merge(args, &catalog, counts, &config, spawn, sink.as_deref())?
+    };
+
+    if args.normalize_stats {
+        result.stats = result.stats.normalized();
+    }
+    if catalog.analytics().is_some() && !args.analytics {
+        eprintln!(
+            "qar: warning: `{catalog_path}` carried analytics the update invalidates; dropping \
+             them (pass --analytics to recompute, or backfill later with `qar analyze`)"
+        );
+    }
+    let total_rows = new_counts.num_rows;
+    let mut refreshed = Catalog::from_mining(&result);
+    if args.analytics {
+        let set = analytics_from_mining(&result, &AnalyticsConfig::default(), sink.as_deref());
+        refreshed = refreshed.with_analytics(set)?;
+    }
+    refreshed = refreshed.with_counts(new_counts)?;
+    let dest = args.store.as_deref().unwrap_or(catalog_path);
+    refreshed.save(dest, sink.as_deref())?;
+    write_mine_report(total_rows, &result, args, out)
+}
+
+/// Read the delta CSV (`-` = stdin) against the catalog's schema, so the
+/// column layout is the catalog's by construction.
+fn read_delta_table(input: &str, schema: &Schema) -> Result<Table, Box<dyn std::error::Error>> {
+    if input == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)?;
+        Ok(csv::read_table(buf.as_bytes(), schema)?)
+    } else {
+        let file =
+            std::fs::File::open(input).map_err(|e| err(format!("cannot open `{input}`: {e}")))?;
+        Ok(csv::read_table(std::io::BufReader::new(file), schema)?)
+    }
+}
+
+/// Mine through a [`MergeSource`] over the persisted counts plus a
+/// delta-only source, handing the delta source back so topology-specific
+/// teardown (cluster shutdown) can run.
+#[allow(clippy::type_complexity)]
+fn mine_over_merge<S: CountSource>(
+    counts: &SupportCounts,
+    delta: Option<S>,
+    meta: EncodedTable,
+    config: &MinerConfig,
+    sink: Option<&dyn ProgressSink>,
+    cancel: Option<&CancelToken>,
+) -> (
+    Result<(MiningOutput, CapturedCounts), MinerError>,
+    Option<S>,
+) {
+    let mut merge = MergeSource::new(counts, delta, meta);
+    let result = mine_source_captured(&mut merge, config, sink, cancel);
+    (result, merge.into_delta())
+}
+
+/// The `--update` execution path for the non-serial topologies
+/// (`--workers` and/or `--chunk-rows`): mirror [`Miner::update`]'s
+/// checks, build a delta-only [`CountSource`] for the topology, and mine
+/// through a [`MergeSource`] over the persisted counts. Fallback
+/// conditions emit the pinned `incremental_fallback` trace event and
+/// surface as errors — `qar mine --update` only ever reads the delta, so
+/// the full-re-mine escape hatch has no base rows to work with.
+fn update_via_merge(
+    args: &MineArgs,
+    catalog: &Catalog,
+    counts: &SupportCounts,
+    config: &MinerConfig,
+    spawn: Option<WorkerSpawn>,
+    sink: Option<&dyn ProgressSink>,
+) -> Result<(MiningOutput, SupportCounts), Box<dyn std::error::Error>> {
+    let started = Instant::now();
+    let schema = catalog.schema();
+    let encoders = catalog.encoders();
+    let fallback = |reason: String| -> Box<dyn std::error::Error> {
+        if let Some(sink) = sink {
+            sink.on_event(&TraceEvent::IncrementalFallback {
+                reason: reason.clone(),
+            });
+        }
+        Box::new(err(format!(
+            "{reason}; base rows unavailable for a full re-mine"
+        )))
+    };
+    if counts.fingerprint != encoding_fingerprint(schema, encoders) {
+        return Err(fallback(
+            "persisted counts were taken under a different encoding fingerprint".to_string(),
+        ));
+    }
+    let cancel = deadline_token(args);
+    let (total_rows, mined) = if args.chunk_rows > 0 {
+        // Out-of-core delta: spill it with the catalog's encoders (no
+        // stats pass — the encoders are already decided).
+        let open = std::fs::File::open(&args.input)
+            .map(std::io::BufReader::new)
+            .map_err(|e| err(format!("cannot open `{}`: {e}", args.input)))?;
+        let dir = qar_table::chunk::default_spill_dir("update");
+        let store = match qar_table::chunk::spill_csv(
+            open,
+            schema,
+            encoders.to_vec(),
+            args.chunk_rows,
+            &dir,
+        ) {
+            Ok(store) => store,
+            Err(e @ qar_table::TableError::UnencodableValue { .. }) => {
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(fallback(format!(
+                    "delta is not encodable under the catalog's encoders ({e})"
+                )));
+            }
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(Box::new(e));
+            }
+        };
+        let delta_rows = store.num_rows() as u64;
+        let total_rows = counts.num_rows + delta_rows;
+        if let Err(reason) = update_precheck(schema, encoders, delta_rows) {
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+            return Err(fallback(reason));
+        }
+        let meta =
+            EncodedTable::header_only(schema.clone(), encoders.to_vec(), total_rows as usize);
+        let mined = if delta_rows == 0 {
+            mine_over_merge(
+                counts,
+                None::<InMemorySource>,
+                meta,
+                config,
+                sink,
+                cancel.as_ref(),
+            )
+            .0
+        } else if args.workers > 0 {
+            let spawn = spawn.ok_or_else(|| err("distributed mining needs a worker spawn"))?;
+            let options = dist_options(args, spawn);
+            match start_dist_source(
+                &options,
+                Backing::Chunks(&store),
+                config,
+                sink,
+                cancel.as_ref(),
+            ) {
+                Ok(source) => {
+                    let (mined, source) =
+                        mine_over_merge(counts, Some(source), meta, config, sink, cancel.as_ref());
+                    if let Some(source) = source {
+                        source.shutdown();
+                    }
+                    mined
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            let mut source = ChunkedSource::new(&store, config);
+            if let Some(token) = &cancel {
+                source = source.with_cancel(token);
+            }
+            mine_over_merge(counts, Some(source), meta, config, sink, cancel.as_ref()).0
+        };
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+        (total_rows, mined)
+    } else {
+        // In-memory delta, distributed counting.
+        let delta = read_delta_table(&args.input, schema)?;
+        let delta_rows = delta.num_rows() as u64;
+        if let Err(reason) = update_precheck(schema, encoders, delta_rows) {
+            return Err(fallback(reason));
+        }
+        let delta_encoded = if delta_rows == 0 {
+            None
+        } else {
+            match EncodedTable::encode(&delta, encoders.to_vec()) {
+                Ok(enc) => Some(enc),
+                Err(e @ qar_table::TableError::UnencodableValue { .. }) => {
+                    return Err(fallback(format!(
+                        "delta is not encodable under the catalog's encoders ({e})"
+                    )));
+                }
+                Err(e) => return Err(Box::new(e)),
+            }
+        };
+        let total_rows = counts.num_rows + delta_rows;
+        let meta =
+            EncodedTable::header_only(schema.clone(), encoders.to_vec(), total_rows as usize);
+        let mined = match &delta_encoded {
+            None => {
+                mine_over_merge(
+                    counts,
+                    None::<InMemorySource>,
+                    meta,
+                    config,
+                    sink,
+                    cancel.as_ref(),
+                )
+                .0
+            }
+            Some(enc) => {
+                let spawn = spawn.ok_or_else(|| err("distributed mining needs a worker spawn"))?;
+                let options = dist_options(args, spawn);
+                match start_dist_source(
+                    &options,
+                    Backing::Memory(enc),
+                    config,
+                    sink,
+                    cancel.as_ref(),
+                ) {
+                    Ok(source) => {
+                        let (mined, source) = mine_over_merge(
+                            counts,
+                            Some(source),
+                            meta,
+                            config,
+                            sink,
+                            cancel.as_ref(),
+                        );
+                        if let Some(source) = source {
+                            source.shutdown();
+                        }
+                        mined
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        };
+        (total_rows, mined)
+    };
+    let (mut output, captured) = match mined {
+        Ok(x) => x,
+        Err(MinerError::Update(reason)) => return Err(fallback(reason)),
+        Err(other) => return Err(box_miner_error(other)),
+    };
+    output.stats.intervals_per_attribute = counts.intervals_per_attribute.clone();
+    let new_counts = SupportCounts {
+        num_rows: total_rows,
+        fingerprint: counts.fingerprint,
+        config: counts.config.clone(),
+        intervals_per_attribute: counts.intervals_per_attribute.clone(),
+        captured,
+    };
+    if let Some(sink) = sink {
+        sink.on_event(&TraceEvent::IncrementalUpdate {
+            base_rows: counts.num_rows,
+            delta_rows: total_rows - counts.num_rows,
+            total_rows,
+            passes: new_counts.captured.passes.len() + 1,
+            elapsed_us: micros(started.elapsed()),
+        });
+    }
+    Ok((output, new_counts))
+}
+
+/// Spin up a worker cluster and wrap it as a delta-only [`DistSource`]
+/// (the coordinator side of `--update --workers N`).
+fn start_dist_source<'a>(
+    options: &DistOptions,
+    backing: Backing<'a>,
+    config: &'a MinerConfig,
+    sink: Option<&'a dyn ProgressSink>,
+    cancel: Option<&'a CancelToken>,
+) -> Result<DistSource<'a>, MinerError> {
+    let cluster = Cluster::start(&ClusterOptions {
+        workers: options.workers,
+        spawn: options.spawn.clone(),
+        read_timeout: options.read_timeout,
+        accept_timeout: ClusterOptions::default().accept_timeout,
+    })?;
+    DistSource::new(cluster, backing, config, sink, cancel, options.fail_fast)
+}
+
 /// The shared tail of every `qar mine` path: normalize stats when asked,
-/// store the catalog, and write the report in the requested format.
+/// store the catalog (with its support counts), and write the report in
+/// the requested format.
 fn finish_mine(
     num_rows: u64,
     mut result: MiningOutput,
+    counts: Option<SupportCounts>,
     args: &MineArgs,
     sink: Option<Arc<dyn ProgressSink>>,
     out: &mut impl std::io::Write,
@@ -1288,8 +1810,22 @@ fn finish_mine(
             let set = analytics_from_mining(&result, &AnalyticsConfig::default(), sink.as_deref());
             catalog = catalog.with_analytics(set)?;
         }
+        if let Some(counts) = counts {
+            catalog = catalog.with_counts(counts)?;
+        }
         catalog.save(path, sink.as_deref())?;
     }
+    write_mine_report(num_rows, &result, args, out)
+}
+
+/// The report half of [`finish_mine`], shared with the `--update` path:
+/// write the mined rules to `out` in the requested format.
+fn write_mine_report(
+    num_rows: u64,
+    result: &MiningOutput,
+    args: &MineArgs,
+    out: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
     match args.format {
         OutputFormat::Csv => {
             qar_core::export::rules_to_csv(
@@ -1678,6 +2214,16 @@ pub fn run_store_check(
             set.seed,
         )?,
         None => writeln!(out, "  analytics: none")?,
+    }
+    match catalog.counts() {
+        Some(counts) => writeln!(
+            out,
+            "  counts: {} pass(es), {} candidate(s), {} row(s)",
+            counts.captured.passes.len() + 1,
+            counts.total_candidates(),
+            counts.num_rows,
+        )?,
+        None => writeln!(out, "  counts: none")?,
     }
     Ok(())
 }
@@ -2483,6 +3029,183 @@ pub fn run_bench_dist(
     Ok(speedup)
 }
 
+/// The synthetic update-benchmark table: small integer/categorical
+/// domains (append-stable value-list encoders, so the incremental path
+/// applies), with the first rows enumerating every value so a delta
+/// drawn from the same distribution never introduces an unseen one.
+///
+/// Every candidate's expected support sits at least 0.03 away from the
+/// benchmark's `minsup` (0.10) at any scale: 40% of rows are a planted
+/// `(qty=1, price=10, region=north)` triple (items/pairs/triple at
+/// 0.40–0.60), and the uniform remainder puts every other pair at
+/// 0.05–0.067. Without that separation a pair hovering at the threshold
+/// could cross it between the base mine and the combined mine, which
+/// changes the next pass's candidate set and legitimately forces the
+/// update off the incremental path — the one thing this benchmark must
+/// never do.
+fn bench_update_table(records: usize, seed: u64) -> Table {
+    let schema = Schema::builder()
+        .quantitative("qty")
+        .quantitative("price")
+        .categorical("region")
+        .build()
+        .expect("static schema");
+    let regions = ["south", "east", "west"];
+    let mut rng = Prng::seed_from_u64(seed);
+    let mut table = Table::new(schema);
+    for i in 0..records {
+        // The first 10 rows sweep every domain so later draws (and the
+        // delta) are always encodable under the base encoders.
+        let (qty, price, region) = if i < 10 {
+            (
+                i as i64 % 4,
+                (i as i64 % 3) * 5 + 5,
+                if i % 4 == 0 { "north" } else { regions[i % 3] },
+            )
+        } else if rng.gen_range(0..10u32) < 4 {
+            (1, 10, "north")
+        } else {
+            (
+                rng.gen_range(0..4i64),
+                rng.gen_range(0..3i64) * 5 + 5,
+                regions[rng.gen_range(0..3usize)],
+            )
+        };
+        table
+            .push_row(&[
+                Value::Int(qty),
+                Value::Int(price),
+                Value::Cat(region.to_string()),
+            ])
+            .expect("schema-conformant row");
+    }
+    table
+}
+
+/// Execute `qar bench-update`: mine a base table with count capture,
+/// append a delta, and time the incremental `--update` path against a
+/// full re-mine of base+delta — asserting along the way that the update
+/// stayed incremental and reproduced the from-scratch counts and rules
+/// exactly. Returns the update speedup (re-mine time / update time).
+pub fn run_bench_update(
+    args: &BenchUpdateArgs,
+    out: &mut impl std::io::Write,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let quick = std::env::var_os("QAR_BENCH_QUICK").is_some();
+    let records = if quick {
+        args.records.min(50_000)
+    } else {
+        args.records
+    };
+    let delta_rows = ((records as f64 * args.delta).ceil() as usize).max(1);
+
+    // Base and delta from the same distribution; raw-value mining keeps
+    // the encoders append-stable so the update is genuinely incremental.
+    let base = bench_update_table(records, 1996);
+    let delta = bench_update_table(delta_rows, 2026);
+    let mut combined = Table::new(base.schema().clone());
+    for table in [&base, &delta] {
+        for r in 0..table.num_rows() {
+            combined.push_row(&table.row(r).to_values())?;
+        }
+    }
+    let config = MinerConfig {
+        min_support: 0.1,
+        min_confidence: 0.3,
+        max_support: 1.0,
+        partitioning: PartitionSpec::None,
+        max_itemset_size: 3,
+        parallelism: std::num::NonZeroUsize::new(1),
+        ..MinerConfig::default()
+    };
+
+    let (base_output, base_counts) = Miner::new(config.clone()).mine_with_counts(&base)?;
+
+    let iters = if quick { 1 } else { 3 };
+    let mut remine_s = f64::INFINITY;
+    let mut remined = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let pair = Miner::new(config.clone()).mine_with_counts(&combined)?;
+        remine_s = remine_s.min(t.elapsed().as_secs_f64());
+        remined = Some(pair);
+    }
+    let (remine_output, remine_counts) = remined.expect("at least one re-mine iteration");
+
+    let mut update_s = f64::INFINITY;
+    let mut updated = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let uo = Miner::new(config.clone())
+            .update(UpdateInput {
+                schema: base_output.encoded.schema(),
+                encoders: base_output.encoded.encoders(),
+                counts: &base_counts,
+                delta: &delta,
+                base_rows: None,
+            })
+            .map_err(box_miner_error)?;
+        update_s = update_s.min(t.elapsed().as_secs_f64());
+        updated = Some(uo);
+    }
+    let updated = updated.expect("at least one update iteration");
+
+    // Exactness gates: the benchmark is meaningless if the update fell
+    // back or diverged from the from-scratch mine.
+    if !updated.incremental {
+        return Err(Box::new(err(format!(
+            "bench-update fell back to a full re-mine ({})",
+            updated.fallback.as_deref().unwrap_or("unknown reason")
+        ))));
+    }
+    if updated.counts != remine_counts {
+        return Err(Box::new(err(
+            "bench-update: merged counts diverged from the from-scratch mine",
+        )));
+    }
+    if updated.output.rules != remine_output.rules {
+        return Err(Box::new(err(
+            "bench-update: updated rules diverged from the from-scratch mine",
+        )));
+    }
+
+    let speedup = remine_s / update_s.max(1e-9);
+    let passes = updated.counts.captured.passes.len() + 1;
+    writeln!(
+        out,
+        "{records} base record(s) + {delta_rows} delta record(s), {passes} counting pass(es), \
+         {} rule(s); update counts and rules match the from-scratch mine exactly",
+        updated.output.rules.len(),
+    )?;
+    writeln!(
+        out,
+        "full re-mine {remine_s:.3}s; incremental update {update_s:.3}s"
+    )?;
+    writeln!(
+        out,
+        "update speedup {speedup:.2}x (floor {:.2}x)",
+        args.floor
+    )?;
+
+    let json = format!(
+        "{{\"suite\":\"bench_update\",\"records\":{records},\"delta_rows\":{delta_rows},\
+         \"passes\":{passes},\"rules\":{},\"remine_s\":{remine_s:.6},\
+         \"update_s\":{update_s:.6},\"speedup\":{speedup:.3},\"floor\":{:.2}}}",
+        updated.output.rules.len(),
+        args.floor
+    );
+    let json_path = args
+        .out
+        .clone()
+        .or_else(|| std::env::var("QAR_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_update.json".into());
+    std::fs::write(&json_path, format!("{json}\n"))
+        .map_err(|e| err(format!("cannot write `{json_path}`: {e}")))?;
+    writeln!(out, "summary written to {json_path}")?;
+
+    Ok(speedup)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -3280,15 +4003,40 @@ mod tests {
             "{analyze_text}"
         );
         // The annotated catalog is the plain one with the ANALYTICS
-        // section appended — and that section is byte-identical to what
-        // `mine --analytics` stored (the whole files can't be compared:
-        // the two mines' STATS sections carry different wall times).
-        assert_eq!(&annotated[..plain_bytes.len()], &plain_bytes[..]);
-        let tail = annotated.len() - plain_bytes.len();
+        // section spliced in before COUNTS — and that section is
+        // byte-identical to what `mine --analytics` stored (the whole
+        // files can't be compared: the two mines' STATS sections carry
+        // different wall times).
+        fn section_ranges(bytes: &[u8]) -> Vec<(u32, std::ops::Range<usize>)> {
+            let sections = qar_store::section_inventory(bytes).expect("catalog walks");
+            let mut offset = qar_store::format::MAGIC.len() + 4;
+            sections
+                .iter()
+                .map(|s| {
+                    let start = offset;
+                    offset += 4 + 8 + 4 + s.len as usize;
+                    (s.tag, start..offset)
+                })
+                .collect()
+        }
+        let analytics_of = |bytes: &[u8]| -> std::ops::Range<usize> {
+            section_ranges(bytes)
+                .into_iter()
+                .find(|(tag, _)| *tag == 4)
+                .expect("ANALYTICS section present")
+                .1
+        };
+        let ann_range = analytics_of(&annotated);
         assert_eq!(
-            annotated[plain_bytes.len()..],
-            with_bytes[with_bytes.len() - tail..],
+            annotated[ann_range.clone()],
+            with_bytes[analytics_of(&with_bytes)],
             "backfilled ANALYTICS section is byte-identical"
+        );
+        let mut without_analytics = annotated.clone();
+        without_analytics.drain(ann_range);
+        assert_eq!(
+            without_analytics, plain_bytes,
+            "annotated catalog is the plain one plus the ANALYTICS section"
         );
 
         // A row-count mismatch is rejected before any annotation.
@@ -3555,6 +4303,429 @@ mod tests {
             assert_eq!(catalog, ref_catalog, "chunked catalog, {workers} workers");
         }
         std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn update_flag_parsing() {
+        let cmd = parse_command(&argv("mine --input d.csv --update c.qarcat")).unwrap();
+        let Command::Mine(args) = cmd else { panic!() };
+        assert_eq!(args.update.as_deref(), Some("c.qarcat"));
+        assert!(args.schema.is_empty(), "schema comes from the catalog");
+
+        // The schema, thresholds, and partitioning are the catalog's —
+        // every semantic flag is refused in combination with --update.
+        for flags in [
+            "--schema a:q",
+            "--minsup 0.2",
+            "--minconf 0.6",
+            "--maxsup 0.9",
+            "--completeness 2.0",
+            "--intervals 5",
+            "--no-partition",
+            "--strategy depth",
+            "--interest 1.1",
+            "--interest-mode prune",
+            "--max-size 3",
+            "--no-memoize",
+        ] {
+            let e = parse_command(&argv(&format!(
+                "mine --input d.csv --update c.qarcat {flags}"
+            )))
+            .unwrap_err();
+            assert!(e.to_string().contains("--update"), "{flags}: {e}");
+        }
+
+        // Performance and output knobs still compose, and --analytics is
+        // legal without --store: the update rewrites the catalog in place.
+        for flags in [
+            "--workers 2",
+            "--chunk-rows 64",
+            "--threads 2",
+            "--kernel bitmask",
+            "--normalize-stats",
+            "--analytics",
+            "--analytics --store out.qarcat",
+            "--format json",
+        ] {
+            parse_command(&argv(&format!(
+                "mine --input d.csv --update c.qarcat {flags}"
+            )))
+            .unwrap_or_else(|e| panic!("{flags}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bench_update_parsing() {
+        let cmd = parse_command(&argv("bench-update")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchUpdate(BenchUpdateArgs {
+                records: 1_000_000,
+                delta: 0.01,
+                floor: 5.0,
+                out: None,
+            })
+        );
+        let cmd = parse_command(&argv(
+            "bench-update --records 1000 --delta 0.5 --floor 0 --out b.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchUpdate(BenchUpdateArgs {
+                records: 1000,
+                delta: 0.5,
+                floor: 0.0,
+                out: Some("b.json".into()),
+            })
+        );
+        assert!(parse_command(&argv("bench-update --records 0")).is_err());
+        for delta in ["0", "-0.1", "1.5", "nan"] {
+            assert!(
+                parse_command(&argv(&format!("bench-update --delta {delta}"))).is_err(),
+                "--delta {delta} accepted"
+            );
+        }
+        assert!(parse_command(&argv("bench-update --bogus 1")).is_err());
+    }
+
+    /// Write the paper's people table and a delta of rows copied from it
+    /// (copies are always encodable under the base catalog's value-list
+    /// encoders) to temp files, returning
+    /// `(base_csv, delta_csv, combined_csv)` paths plus the base table.
+    fn update_fixture(tag: &str, delta_rows: usize) -> (PathBuf, PathBuf, PathBuf, Table) {
+        let gen = GenerateArgs {
+            dataset: "people".into(),
+            records: 0,
+            seed: 0,
+            output: "-".into(),
+        };
+        let mut csv_bytes = Vec::new();
+        run_generate(&gen, &mut csv_bytes).expect("generate");
+        let text = String::from_utf8(csv_bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let (header, rows) = (lines[0], &lines[1..]);
+        assert!(delta_rows <= rows.len());
+        let base_csv = text.clone();
+        let delta_csv = std::iter::once(header)
+            .chain(rows[..delta_rows].iter().copied())
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let combined_csv = text.clone() + &rows[..delta_rows].join("\n") + "\n";
+
+        let decls = parse_schema_decls("Age:quant,Married:cat,NumCars:quant").unwrap();
+        let schema = build_schema(&decls).unwrap();
+        let table = csv::read_table(base_csv.as_bytes(), &schema).unwrap();
+
+        let pid = std::process::id();
+        let dir = std::env::temp_dir();
+        let base_path = dir.join(format!("qar-cli-update-{tag}-{pid}-base.csv"));
+        let delta_path = dir.join(format!("qar-cli-update-{tag}-{pid}-delta.csv"));
+        let combined_path = dir.join(format!("qar-cli-update-{tag}-{pid}-combined.csv"));
+        std::fs::write(&base_path, &base_csv).expect("write base CSV");
+        std::fs::write(&delta_path, &delta_csv).expect("write delta CSV");
+        std::fs::write(&combined_path, &combined_csv).expect("write combined CSV");
+        (base_path, delta_path, combined_path, table)
+    }
+
+    const UPDATE_MINE_FLAGS: &str = "--minsup 0.4 --minconf 0.5 --maxsup 1.0 --no-partition \
+                                     --normalize-stats --format json";
+
+    /// `qar mine --update` across every topology — serial, worker
+    /// threads, tiny chunks, and chunked+distributed — reproduces the
+    /// from-scratch mine of base+delta byte-for-byte: same JSON report,
+    /// same stored catalog including the merged COUNTS section. An empty
+    /// delta reproduces the base catalog unchanged.
+    #[test]
+    fn mine_update_matches_scratch_mine_byte_for_byte() {
+        let (base_path, delta_path, combined_path, table) = update_fixture("exact", 2);
+        let pid = std::process::id();
+        let dir = std::env::temp_dir();
+
+        // From-scratch reference over base+delta.
+        let decls = parse_schema_decls("Age:quant,Married:cat,NumCars:quant").unwrap();
+        let schema = build_schema(&decls).unwrap();
+        let combined_bytes = std::fs::read(&combined_path).unwrap();
+        let combined = csv::read_table(combined_bytes.as_slice(), &schema).unwrap();
+        let scratch_path = dir.join(format!("qar-cli-update-exact-{pid}-scratch.qarcat"));
+        let cmd = parse_command(&argv(&format!(
+            "mine --input - --schema Age:quant,Married:cat,NumCars:quant {UPDATE_MINE_FLAGS}"
+        )))
+        .unwrap();
+        let Command::Mine(mut args) = cmd else {
+            panic!()
+        };
+        args.store = Some(scratch_path.to_str().unwrap().to_string());
+        let mut scratch_report = Vec::new();
+        run_mine_on_table(&combined, &args, &mut scratch_report).expect("scratch mine");
+        let scratch_catalog = std::fs::read(&scratch_path).expect("scratch catalog");
+        std::fs::remove_file(&scratch_path).ok();
+
+        // Base catalog with persisted counts.
+        let base_cat_path = dir.join(format!("qar-cli-update-exact-{pid}-base.qarcat"));
+        args.store = Some(base_cat_path.to_str().unwrap().to_string());
+        run_mine_on_table(&table, &args, &mut Vec::new()).expect("base mine");
+        let base_catalog = std::fs::read(&base_cat_path).expect("base catalog");
+        std::fs::remove_file(&base_cat_path).ok();
+
+        for (workers, chunk_rows) in [(0usize, 0usize), (2, 0), (0, 3), (2, 3)] {
+            let label = format!("workers={workers} chunk_rows={chunk_rows}");
+            let cat_path = dir.join(format!(
+                "qar-cli-update-exact-{pid}-w{workers}c{chunk_rows}.qarcat"
+            ));
+            std::fs::write(&cat_path, &base_catalog).expect("seed catalog copy");
+            let cmd = parse_command(&argv(&format!(
+                "mine --input {} --update {} --normalize-stats --format json",
+                delta_path.to_str().unwrap(),
+                cat_path.to_str().unwrap(),
+            )))
+            .unwrap();
+            let Command::Mine(mut uargs) = cmd else {
+                panic!()
+            };
+            uargs.workers = workers;
+            uargs.chunk_rows = chunk_rows;
+            let spawn =
+                (workers > 0).then(|| WorkerSpawn::Threads(qar_dist::WorkerOptions::default()));
+            let mut report = Vec::new();
+            run_mine_update_spawn(&uargs, spawn, &mut report)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let updated = std::fs::read(&cat_path).expect("updated catalog");
+            std::fs::remove_file(&cat_path).ok();
+            assert_eq!(report, scratch_report, "{label}: report differs");
+            assert_eq!(updated, scratch_catalog, "{label}: catalog differs");
+        }
+
+        // An empty delta (header only) leaves the catalog byte-identical.
+        let empty_path = dir.join(format!("qar-cli-update-exact-{pid}-empty.csv"));
+        std::fs::write(&empty_path, "Age,Married,NumCars\n").unwrap();
+        for (workers, chunk_rows) in [(0usize, 0usize), (0, 3)] {
+            let cat_path = dir.join(format!(
+                "qar-cli-update-exact-{pid}-noop-w{workers}c{chunk_rows}.qarcat"
+            ));
+            std::fs::write(&cat_path, &base_catalog).unwrap();
+            let cmd = parse_command(&argv(&format!(
+                "mine --input {} --update {} --normalize-stats --format json",
+                empty_path.to_str().unwrap(),
+                cat_path.to_str().unwrap(),
+            )))
+            .unwrap();
+            let Command::Mine(mut uargs) = cmd else {
+                panic!()
+            };
+            uargs.workers = workers;
+            uargs.chunk_rows = chunk_rows;
+            run_mine_update_spawn(&uargs, None, &mut Vec::new())
+                .unwrap_or_else(|e| panic!("empty delta, chunk_rows={chunk_rows}: {e}"));
+            let updated = std::fs::read(&cat_path).expect("updated catalog");
+            std::fs::remove_file(&cat_path).ok();
+            assert_eq!(
+                updated, base_catalog,
+                "empty delta must be a no-op (chunk_rows={chunk_rows})"
+            );
+        }
+        std::fs::remove_file(&empty_path).ok();
+        std::fs::remove_file(&base_path).ok();
+        std::fs::remove_file(&delta_path).ok();
+        std::fs::remove_file(&combined_path).ok();
+    }
+
+    /// `--update` surfaces its guardrails as structured errors: a
+    /// counts-less catalog points at `qar mine --store`, and a delta the
+    /// base encoders cannot represent reports the incremental fallback
+    /// (the CLI never silently re-mines without the base rows).
+    #[test]
+    fn mine_update_guardrails() {
+        let (base_path, delta_path, combined_path, table) = update_fixture("guard", 1);
+        let pid = std::process::id();
+        let dir = std::env::temp_dir();
+
+        let cmd = parse_command(&argv(&format!(
+            "mine --input - --schema Age:quant,Married:cat,NumCars:quant {UPDATE_MINE_FLAGS}"
+        )))
+        .unwrap();
+        let Command::Mine(mut args) = cmd else {
+            panic!()
+        };
+        let cat_path = dir.join(format!("qar-cli-update-guard-{pid}.qarcat"));
+        args.store = Some(cat_path.to_str().unwrap().to_string());
+        run_mine_on_table(&table, &args, &mut Vec::new()).expect("base mine");
+        let base_catalog = std::fs::read(&cat_path).expect("base catalog");
+
+        // No counts → a structured error pointing at the re-mine path.
+        let stripped = Catalog::load_bytes(&base_catalog, None)
+            .expect("load")
+            .without_counts();
+        let stripped_path = dir.join(format!("qar-cli-update-guard-{pid}-nocounts.qarcat"));
+        stripped
+            .save(stripped_path.to_str().unwrap(), None)
+            .expect("save");
+        let cmd = parse_command(&argv(&format!(
+            "mine --input {} --update {}",
+            delta_path.to_str().unwrap(),
+            stripped_path.to_str().unwrap(),
+        )))
+        .unwrap();
+        let Command::Mine(uargs) = cmd else { panic!() };
+        let e = run_mine_update(&uargs, &mut Vec::new()).unwrap_err();
+        assert!(e.to_string().contains("no persisted support counts"), "{e}");
+        std::fs::remove_file(&stripped_path).ok();
+
+        // A delta with a value the base never saw cannot be encoded under
+        // the frozen value-list encoders; without the base rows the CLI
+        // reports the fallback instead of guessing.
+        let bad_delta_path = dir.join(format!("qar-cli-update-guard-{pid}-bad.csv"));
+        std::fs::write(&bad_delta_path, "Age,Married,NumCars\n99,Divorced,7\n").unwrap();
+        for chunk_rows in [0usize, 3] {
+            let cmd = parse_command(&argv(&format!(
+                "mine --input {} --update {}",
+                bad_delta_path.to_str().unwrap(),
+                cat_path.to_str().unwrap(),
+            )))
+            .unwrap();
+            let Command::Mine(mut uargs) = cmd else {
+                panic!()
+            };
+            uargs.chunk_rows = chunk_rows;
+            let e = run_mine_update(&uargs, &mut Vec::new()).unwrap_err();
+            assert!(
+                e.to_string().contains("base rows unavailable"),
+                "chunk_rows={chunk_rows}: {e}"
+            );
+            let untouched = std::fs::read(&cat_path).expect("catalog survives");
+            assert_eq!(untouched, base_catalog, "failed update must not rewrite");
+        }
+        std::fs::remove_file(&bad_delta_path).ok();
+        std::fs::remove_file(&cat_path).ok();
+        std::fs::remove_file(&base_path).ok();
+        std::fs::remove_file(&delta_path).ok();
+        std::fs::remove_file(&combined_path).ok();
+    }
+
+    /// Updating a catalog that carries ANALYTICS either recomputes them
+    /// (`--analytics`, byte-identical to a from-scratch `mine
+    /// --analytics` of base+delta) or drops them, and `store-check`
+    /// inventories the COUNTS section either way.
+    #[test]
+    fn mine_update_analytics_recompute_or_drop() {
+        let (base_path, delta_path, combined_path, table) = update_fixture("stale", 2);
+        let pid = std::process::id();
+        let dir = std::env::temp_dir();
+
+        let decls = parse_schema_decls("Age:quant,Married:cat,NumCars:quant").unwrap();
+        let schema = build_schema(&decls).unwrap();
+        let combined_bytes = std::fs::read(&combined_path).unwrap();
+        let combined = csv::read_table(combined_bytes.as_slice(), &schema).unwrap();
+
+        // From-scratch reference with analytics over base+delta.
+        let scratch_path = dir.join(format!("qar-cli-update-stale-{pid}-scratch.qarcat"));
+        let cmd = parse_command(&argv(&format!(
+            "mine --input - --schema Age:quant,Married:cat,NumCars:quant \
+             --analytics --store {} {UPDATE_MINE_FLAGS}",
+            scratch_path.to_str().unwrap()
+        )))
+        .unwrap();
+        let Command::Mine(mut args) = cmd else {
+            panic!()
+        };
+        run_mine_on_table(&combined, &args, &mut Vec::new()).expect("scratch mine");
+        let scratch_catalog = std::fs::read(&scratch_path).expect("scratch catalog");
+        std::fs::remove_file(&scratch_path).ok();
+
+        // Base catalog with analytics and counts.
+        let base_cat_path = dir.join(format!("qar-cli-update-stale-{pid}-base.qarcat"));
+        args.store = Some(base_cat_path.to_str().unwrap().to_string());
+        run_mine_on_table(&table, &args, &mut Vec::new()).expect("base mine");
+        let base_catalog = std::fs::read(&base_cat_path).expect("base catalog");
+        assert!(Catalog::load_bytes(&base_catalog, None)
+            .unwrap()
+            .analytics()
+            .is_some());
+
+        // --analytics recomputes: byte-identical to the scratch mine.
+        let cmd = parse_command(&argv(&format!(
+            "mine --input {} --update {} --analytics --normalize-stats --format json",
+            delta_path.to_str().unwrap(),
+            base_cat_path.to_str().unwrap(),
+        )))
+        .unwrap();
+        let Command::Mine(uargs) = cmd else { panic!() };
+        run_mine_update(&uargs, &mut Vec::new()).expect("update with analytics");
+        let recomputed = std::fs::read(&base_cat_path).expect("updated catalog");
+        assert_eq!(
+            recomputed, scratch_catalog,
+            "recomputed analytics must match the from-scratch mine"
+        );
+
+        // Without --analytics the stale section is dropped (with a
+        // warning on stderr), leaving rules+stats+counts only.
+        std::fs::write(&base_cat_path, &base_catalog).unwrap();
+        let cmd = parse_command(&argv(&format!(
+            "mine --input {} --update {} --normalize-stats",
+            delta_path.to_str().unwrap(),
+            base_cat_path.to_str().unwrap(),
+        )))
+        .unwrap();
+        let Command::Mine(uargs) = cmd else { panic!() };
+        run_mine_update(&uargs, &mut Vec::new()).expect("update dropping analytics");
+        let dropped_bytes = std::fs::read(&base_cat_path).expect("updated catalog");
+        let dropped = Catalog::load_bytes(&dropped_bytes, None).expect("load");
+        assert!(dropped.analytics().is_none(), "stale analytics must drop");
+        assert!(dropped.counts().is_some(), "counts must persist");
+
+        // store-check inventories the refreshed COUNTS section.
+        let mut check_out = Vec::new();
+        run_store_check(&dropped_bytes, &mut check_out).expect("store-check");
+        let check_text = String::from_utf8(check_out).unwrap();
+        assert!(check_text.contains("counts (tag 5):"), "{check_text}");
+        assert!(check_text.contains("counts: "), "{check_text}");
+        let mut check_out = Vec::new();
+        run_store_check(
+            &Catalog::load_bytes(&dropped_bytes, None)
+                .unwrap()
+                .without_counts()
+                .encode(),
+            &mut check_out,
+        )
+        .expect("store-check");
+        let check_text = String::from_utf8(check_out).unwrap();
+        assert!(check_text.contains("counts: none"), "{check_text}");
+
+        std::fs::remove_file(&base_cat_path).ok();
+        std::fs::remove_file(&base_path).ok();
+        std::fs::remove_file(&delta_path).ok();
+        std::fs::remove_file(&combined_path).ok();
+    }
+
+    /// `bench-update` produces sane numbers (its internal exactness
+    /// gates double as a correctness check) and a parseable summary.
+    #[test]
+    fn bench_update_smoke() {
+        let out_path =
+            std::env::temp_dir().join(format!("qar-bench-update-test-{}.json", std::process::id()));
+        let args = BenchUpdateArgs {
+            records: 2_000,
+            delta: 0.01,
+            floor: 0.0,
+            out: Some(out_path.to_str().unwrap().to_string()),
+        };
+        let mut report = Vec::new();
+        let speedup = run_bench_update(&args, &mut report).expect("bench runs");
+        assert!(speedup > 0.0);
+        let text = String::from_utf8(report).unwrap();
+        assert!(text.contains("speedup"), "{text}");
+        let json = std::fs::read_to_string(&out_path).expect("summary written");
+        std::fs::remove_file(&out_path).ok();
+        let doc = qar_trace::json::parse(&json).expect("valid JSON");
+        let obj = doc.as_object().expect("object");
+        assert_eq!(obj["suite"].as_str(), Some("bench_update"));
+        for key in ["remine_s", "update_s", "speedup"] {
+            let qar_trace::json::Json::Num(v) = obj[key] else {
+                panic!("{key} is not a number");
+            };
+            assert!(v > 0.0, "{key} = {v}");
+        }
     }
 
     /// Non-finite analytics values (conviction diverges to +inf at

@@ -1,10 +1,11 @@
-//! Cross-version catalog compatibility: a `.qarcat` file written BEFORE
-//! the `ANALYTICS` section existed is checked in as a frozen artifact,
-//! and this suite proves the current reader serves it unchanged — loads
-//! it, answers classic queries, refuses analytics-only features with the
-//! documented error, and re-encodes it byte-for-byte. It also proves the
-//! forward path: backfilling analytics into the golden catalog yields a
-//! strictly-appended file that round-trips byte-exactly.
+//! Cross-version catalog compatibility: `.qarcat` files written BEFORE
+//! optional trailing sections existed (`ANALYTICS`, then `COUNTS`) are
+//! checked in as frozen artifacts, and this suite proves the current
+//! reader serves them unchanged — loads them, answers classic queries,
+//! refuses newer-only features with the documented error, and re-encodes
+//! them byte-for-byte. It also proves the forward path: backfilling
+//! analytics (or persisted support counts) into a golden catalog yields
+//! a strictly-appended file that round-trips byte-exactly.
 //!
 //! To regenerate the artifact after an *intended* format change:
 //!
@@ -166,4 +167,117 @@ fn analytics_section_is_invisible_to_pre_analytics_readers() {
     let old_view = Catalog::load_bytes(truncated, None).expect("old view loads");
     assert!(old_view.analytics().is_none());
     assert_eq!(old_view.rules().len(), num_rules);
+}
+
+const PRE_COUNTS_PATH: &str = "tests/golden/pre_counts.qarcat";
+
+/// The frozen pre-`COUNTS` catalog: the golden mine plus backfilled
+/// analytics — the richest file the format could write before persisted
+/// support counts existed.
+fn pre_counts_bytes() -> Vec<u8> {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let out = Miner::new(golden_mine_config())
+            .mine(&source_table())
+            .expect("golden mine succeeds");
+        let encoded = EncodedTable::encode(&source_table(), out.encoded.encoders().to_vec())
+            .expect("source re-encodes");
+        let set = analytics_from_encoded(&out.rules, &encoded, &AnalyticsConfig::default(), None);
+        let bytes = Catalog::from_mining(&out)
+            .with_analytics(set)
+            .expect("analytics attach")
+            .encode();
+        std::fs::write(PRE_COUNTS_PATH, &bytes).expect("write golden catalog");
+    }
+    std::fs::read(PRE_COUNTS_PATH).unwrap_or_else(|e| {
+        panic!("cannot read {PRE_COUNTS_PATH} (regenerate with UPDATE_GOLDEN=1): {e}")
+    })
+}
+
+/// The frozen pre-counts catalog loads with no counts, serves its rules,
+/// and re-encodes byte-for-byte — catalogs from before incremental
+/// mining keep working, unchanged.
+#[test]
+fn pre_counts_catalog_loads_and_serves_unchanged() {
+    let bytes = pre_counts_bytes();
+    let catalog = Catalog::load_bytes(&bytes, None).expect("golden catalog loads");
+    assert!(catalog.counts().is_none(), "artifact predates COUNTS");
+    assert!(catalog.analytics().is_some(), "artifact carries analytics");
+    assert!(!catalog.rules().is_empty());
+    assert_eq!(
+        catalog.encode(),
+        bytes,
+        "decode/encode round trip is byte-identical"
+    );
+
+    let sections = section_inventory(&bytes).expect("walkable");
+    assert_eq!(
+        sections.iter().map(|s| s.name).collect::<Vec<_>>(),
+        ["schema", "rules", "stats", "analytics"]
+    );
+    assert!(sections.iter().all(|s| s.crc_ok));
+}
+
+/// Backfilling persisted support counts into the golden catalog (the
+/// `qar mine --update`-enabling path) strictly appends the `COUNTS`
+/// section — the original bytes are untouched — and the counted file
+/// round-trips byte-exactly with the tallies intact.
+#[test]
+fn golden_catalog_backfills_counts_strictly_appended() {
+    let bytes = pre_counts_bytes();
+    let catalog = Catalog::load_bytes(&bytes, None).expect("golden catalog loads");
+
+    // Re-run the golden mine with count capture; determinism makes its
+    // encoders (and so the counts' fingerprint) match the frozen file's.
+    let (_, counts) = Miner::new(golden_mine_config())
+        .mine_with_counts(&source_table())
+        .expect("golden mine succeeds");
+
+    let counted = catalog
+        .with_counts(counts.clone())
+        .expect("counts attach to the catalog they were mined for")
+        .encode();
+    assert_eq!(
+        &counted[..bytes.len()],
+        &bytes[..],
+        "counts backfill strictly appends"
+    );
+    let sections = section_inventory(&counted).expect("walkable");
+    assert_eq!(
+        sections.iter().map(|s| s.name).collect::<Vec<_>>(),
+        ["schema", "rules", "stats", "analytics", "counts"]
+    );
+    assert!(sections.iter().all(|s| s.crc_ok));
+
+    let reloaded = Catalog::load_bytes(&counted, None).expect("counted catalog loads");
+    assert_eq!(
+        reloaded.counts(),
+        Some(&counts),
+        "persisted tallies survive the round trip exactly"
+    );
+    assert_eq!(
+        reloaded.encode(),
+        counted,
+        "counted round trip is byte-identical"
+    );
+}
+
+/// An OLD reader — simulated by truncating at the counts boundary —
+/// sees exactly the frozen pre-counts catalog: the trailing-section
+/// design keeps `COUNTS` invisible to consumers that predate it.
+#[test]
+fn counts_section_is_invisible_to_pre_counts_readers() {
+    let bytes = pre_counts_bytes();
+    let catalog = Catalog::load_bytes(&bytes, None).expect("golden catalog loads");
+    let num_rules = catalog.rules().len();
+    let (_, counts) = Miner::new(golden_mine_config())
+        .mine_with_counts(&source_table())
+        .expect("golden mine succeeds");
+    let counted = catalog.with_counts(counts).expect("attach").encode();
+
+    let truncated = &counted[..bytes.len()];
+    let old_view = Catalog::load_bytes(truncated, None).expect("old view loads");
+    assert!(old_view.counts().is_none());
+    assert!(old_view.analytics().is_some());
+    assert_eq!(old_view.rules().len(), num_rules);
+    assert_eq!(old_view.encode(), bytes, "old view is the frozen artifact");
 }
